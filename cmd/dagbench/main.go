@@ -1,0 +1,76 @@
+// Command dagbench regenerates every table and figure of the thesis's
+// Chapter 6 performance analysis, printing paper-style tables (or CSV)
+// for: the §6.1 upper bounds, the §6.2 average and heavy-demand bounds,
+// the §6.3 synchronization delays, the §6.4 storage overheads, the
+// topology sweep behind Figures 1/8, and the load-sweep ablation.
+//
+// Usage:
+//
+//	dagbench                 # run every experiment
+//	dagbench -exp 6.2        # one experiment (6.1, 6.2, 6.2-heavy, 6.3, 6.4, topo, load)
+//	dagbench -csv            # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"dagmutex/internal/harness"
+	"dagmutex/internal/sim"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: 6.1, 6.2, 6.2-placement, 6.2-heavy, 6.3, 6.4, topo, load, all")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	seed := flag.Int64("seed", 1, "random seed for randomized scenarios")
+	flag.Parse()
+
+	if err := run(os.Stdout, *exp, *csv, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "dagbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, exp string, csv bool, seed int64) error {
+	type experiment struct {
+		key string
+		gen func() (*harness.Table, error)
+	}
+	experiments := []experiment{
+		{"6.1", func() (*harness.Table, error) { return harness.UpperBound([]int{9, 16, 25}) }},
+		{"6.2", func() (*harness.Table, error) { return harness.AverageBound([]int{5, 10, 20, 50, 100, 200}) }},
+		{"6.2-placement", func() (*harness.Table, error) { return harness.TokenPlacement([]int{5, 10, 20, 50, 100}) }},
+		{"6.2-heavy", func() (*harness.Table, error) { return harness.HeavyDemand([]int{5, 10, 20, 40}) }},
+		{"6.3", harness.SyncDelay},
+		{"6.4", func() (*harness.Table, error) { return harness.Storage(25) }},
+		{"topo", func() (*harness.Table, error) { return harness.TopologySweep(13, seed) }},
+		{"load", func() (*harness.Table, error) {
+			thinks := []sim.Time{0, sim.Hop, 5 * sim.Hop, 20 * sim.Hop, 100 * sim.Hop, 500 * sim.Hop}
+			return harness.LoadSweep(15, thinks, seed)
+		}},
+	}
+
+	matched := false
+	for _, e := range experiments {
+		if exp != "all" && !strings.EqualFold(exp, e.key) {
+			continue
+		}
+		matched = true
+		tbl, err := e.gen()
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", e.key, err)
+		}
+		if csv {
+			fmt.Fprintf(w, "# %s: %s\n%s\n", tbl.ID, tbl.Title, tbl.CSV())
+		} else {
+			fmt.Fprintf(w, "%s\n", tbl.Format())
+		}
+	}
+	if !matched {
+		return fmt.Errorf("unknown experiment %q (want 6.1, 6.2, 6.2-placement, 6.2-heavy, 6.3, 6.4, topo, load, all)", exp)
+	}
+	return nil
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "6.3", false, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"EXP-6.3-delay", "dag", "raymond", "measured", "paper"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunCSVOutput(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "6.3", true, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "algorithm,topology,measured,paper") {
+		t.Fatalf("CSV header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "dag,star-9,1.0,1.0") {
+		t.Fatalf("CSV row missing:\n%s", out)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "99", false, 1); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunTopoExperiment(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "topo", false, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "radiating-star") {
+		t.Fatalf("topology sweep missing radiating star:\n%s", b.String())
+	}
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigure2Replay(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"Figure 2",
+		"step 7", // initial table + six narrated steps
+		"HOLDING_I",
+		"PRIVILEGE",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure6ReplayShowsImplicitQueue(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, 6); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// Step 9 of the thesis: the global waiting queue is 2, 1, 5.
+	if !strings.Contains(out, "implicit queue (via FOLLOW chain): [2 1 5]") {
+		t.Fatalf("missing the thesis's step-9 implicit queue:\n%s", out)
+	}
+	// Final state: node 5 keeps the token.
+	if !strings.Contains(out, "HOLDING_5 = true") {
+		t.Fatalf("missing final holding state:\n%s", out)
+	}
+	if c := strings.Count(out, "step "); c != 16 {
+		t.Fatalf("steps printed = %d, want 16 (initial + 15 narrated)", c)
+	}
+}
+
+func TestUnknownFigure(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, 5); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}

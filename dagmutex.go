@@ -1,0 +1,184 @@
+package dagmutex
+
+import (
+	"fmt"
+	"time"
+
+	"dagmutex/internal/core"
+	"dagmutex/internal/mutex"
+	"dagmutex/internal/topology"
+	"dagmutex/internal/transport"
+)
+
+// ID identifies a node; valid identifiers are positive.
+type ID = mutex.ID
+
+// Nil is the null node identifier (the paper's 0 value).
+const Nil = mutex.Nil
+
+// Tree is an undirected logical tree over nodes 1..N; the DAG structure is
+// derived by orienting its edges toward the token holder.
+type Tree = topology.Tree
+
+// Topology constructors re-exported from the topology package.
+var (
+	// Star returns the thesis's best ("centralized") topology: node 1 in
+	// the center, all others leaves. Worst-case cost: 3 messages.
+	Star = topology.Star
+	// Line returns the worst topology: a path. Worst-case cost: N.
+	Line = topology.Line
+	// KAry returns a complete k-ary tree, a balanced middle ground.
+	KAry = topology.KAry
+	// RadiatingStar returns a center with equal-length arms — the shape
+	// Raymond's paper recommended and §6 shows is not optimal.
+	RadiatingStar = topology.RadiatingStar
+	// NewTree builds a tree from an explicit edge list.
+	NewTree = topology.New
+)
+
+// Message is a protocol wire message.
+type Message = mutex.Message
+
+// Config carries cluster-wide construction parameters; see NewNode for
+// direct protocol embedding.
+type Config = mutex.Config
+
+// Node is the DAG protocol state machine itself, for embedding into a
+// custom transport. It is not safe for concurrent use: serialize Request,
+// Release and Deliver calls (see internal/transport for two reference
+// integrations).
+type Node = core.Node
+
+// Env is the surface a Node uses to send messages and report grants.
+type Env = mutex.Env
+
+// NewNode constructs a raw protocol node. Most applications should use
+// NewCluster or NewTCPPeer instead.
+func NewNode(id ID, env Env, cfg Config) (*Node, error) {
+	return core.New(id, env, cfg)
+}
+
+// TreeConfig builds the Config for running the DAG algorithm on tree with
+// the token initially at holder — the steady state established by the
+// thesis's Figure 5 INIT procedure.
+func TreeConfig(tree *Tree, holder ID) (Config, error) {
+	if holder == Nil || int(holder) > tree.N() {
+		return Config{}, fmt.Errorf("dagmutex: holder %d not in tree of %d nodes", holder, tree.N())
+	}
+	return Config{IDs: tree.IDs(), Holder: holder, Parent: tree.ParentsToward(holder)}, nil
+}
+
+// Cluster is an in-process live cluster: one DAG protocol node per tree
+// vertex, connected by goroutines and mailboxes that preserve the paper's
+// reliable per-pair FIFO network model.
+type Cluster struct {
+	local *transport.Local
+	tree  *Tree
+}
+
+// Handle is the blocking application API over one node.
+type Handle = transport.Handle
+
+// NewCluster starts a live in-process cluster on tree with the token at
+// holder. Callers must Close it to stop its goroutines.
+func NewCluster(tree *Tree, holder ID) (*Cluster, error) {
+	cfg, err := TreeConfig(tree, holder)
+	if err != nil {
+		return nil, err
+	}
+	l, err := transport.NewLocal(core.Builder, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{local: l, tree: tree}, nil
+}
+
+// Handle returns the acquire/release handle for node id, or nil for an
+// unknown id.
+func (c *Cluster) Handle(id ID) *Handle { return c.local.Handle(id) }
+
+// Tree returns the cluster's logical topology.
+func (c *Cluster) Tree() *Tree { return c.tree }
+
+// Messages returns the number of protocol messages exchanged so far.
+func (c *Cluster) Messages() int64 { return c.local.Messages() }
+
+// Err returns the first protocol error observed, if any. A nil result
+// after a workload is evidence the run respected the protocol contract.
+func (c *Cluster) Err() error { return c.local.Err() }
+
+// Close stops the cluster's goroutines and waits for them to exit.
+func (c *Cluster) Close() { c.local.Close() }
+
+// NewClusterWithINIT starts a live cluster whose nodes derive their edge
+// orientation at runtime by executing the thesis's Figure 5 INIT flood,
+// instead of being configured statically. It blocks until every node has
+// initialized (at most the tree's depth in message hops).
+func NewClusterWithINIT(tree *Tree, holder ID) (*Cluster, error) {
+	if holder == Nil || int(holder) > tree.N() {
+		return nil, fmt.Errorf("dagmutex: holder %d not in tree of %d nodes", holder, tree.N())
+	}
+	neighbors := make(map[ID][]ID, tree.N())
+	for _, id := range tree.IDs() {
+		neighbors[id] = tree.Neighbors(id)
+	}
+	cfg := Config{IDs: tree.IDs(), Holder: holder, Neighbors: neighbors}
+	l, err := transport.NewLocal(core.UninitializedBuilder, cfg)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{local: l, tree: tree}
+	err = l.WithNode(holder, func(n mutex.Node) error {
+		return n.(*core.Node).StartInit()
+	})
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	if err := c.awaitInitialized(); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// awaitInitialized polls until the INIT flood has reached every node.
+func (c *Cluster) awaitInitialized() error {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ready := true
+		for _, id := range c.tree.IDs() {
+			err := c.local.WithNode(id, func(n mutex.Node) error {
+				if !n.(*core.Node).Initialized() {
+					ready = false
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+		}
+		if ready {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("dagmutex: INIT flood did not complete within 10s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TCPPeer hosts one DAG protocol node behind a real TCP listener; a set
+// of TCPPeers (in one process or many) forms a cluster. See NewTCPPeer.
+type TCPPeer = transport.TCPNode
+
+// NewTCPPeer starts the node with the given id listening on a fresh
+// loopback TCP port. Exchange Addr values out of band, then call Connect
+// on every peer with the full address book before the first Acquire.
+func NewTCPPeer(id ID, tree *Tree, holder ID) (*TCPPeer, error) {
+	cfg, err := TreeConfig(tree, holder)
+	if err != nil {
+		return nil, err
+	}
+	return transport.NewTCPNode(id, core.Builder, cfg, transport.DAGCodec{})
+}

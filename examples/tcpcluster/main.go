@@ -1,0 +1,92 @@
+// tcpcluster runs a DAG-mutex cluster over real loopback TCP sockets: one
+// listener per node, length-prefixed frames, one connection per link
+// direction (which is exactly the reliable FIFO channel the thesis
+// assumes). The same code works across machines by exchanging listener
+// addresses instead of loopback ones.
+//
+//	go run ./examples/tcpcluster -n 7 -entries 5
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"dagmutex"
+)
+
+func main() {
+	n := flag.Int("n", 7, "number of nodes")
+	entries := flag.Int("entries", 5, "critical-section entries per node")
+	flag.Parse()
+	if err := run(*n, *entries); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(n, entries int) error {
+	tree := dagmutex.Star(n)
+	const holder = dagmutex.ID(1)
+
+	// Phase 1: start every peer's listener and collect the address book.
+	peers := make(map[dagmutex.ID]*dagmutex.TCPPeer, n)
+	addrs := make(map[dagmutex.ID]string, n)
+	for _, id := range tree.IDs() {
+		p, err := dagmutex.NewTCPPeer(id, tree, holder)
+		if err != nil {
+			return fmt.Errorf("start peer %d: %w", id, err)
+		}
+		defer p.Close()
+		peers[id] = p
+		addrs[id] = p.Addr()
+		fmt.Printf("node %d listening on %s\n", id, p.Addr())
+	}
+
+	// Phase 2: distribute the address book (out of band in a real
+	// deployment) and run the workload.
+	for _, p := range peers {
+		p.Connect(addrs)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, p := range peers {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			for i := 0; i < entries; i++ {
+				if err := p.Acquire(ctx); err != nil {
+					log.Printf("node %d: %v", p.ID(), err)
+					return
+				}
+				// Critical section: in a real system, the guarded
+				// resource lives here.
+				if err := p.Release(); err != nil {
+					log.Printf("node %d: %v", p.ID(), err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	var sent int64
+	for id, p := range peers {
+		if err := p.Err(); err != nil {
+			return fmt.Errorf("node %d: %w", id, err)
+		}
+		s, _ := p.Stats()
+		sent += s
+	}
+	total := n * entries
+	fmt.Printf("\n%d critical-section entries over TCP in %v\n", total, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("%d protocol messages (%.2f per entry; star bound is 3)\n",
+		sent, float64(sent)/float64(total))
+	return nil
+}

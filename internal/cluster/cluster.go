@@ -1,0 +1,378 @@
+// Package cluster drives a set of protocol nodes on the deterministic
+// simulator: it wires nodes to the network, issues critical-section
+// requests, auto-releases granted sections, and keeps the bookkeeping —
+// grants, waits, mutual-exclusion monitoring, storage sampling — that both
+// the algorithm test suites and the Chapter 6 experiments consume.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"dagmutex/internal/mutex"
+	"dagmutex/internal/sim"
+)
+
+// Grant records one completed (or in-progress) critical-section entry.
+type Grant struct {
+	// Seq numbers grants in grant order, starting at 0.
+	Seq int
+	// Node is the site that entered its critical section.
+	Node mutex.ID
+	// ReqAt is the virtual time the request was issued; for a node that
+	// held an idle token it equals GrantAt.
+	ReqAt sim.Time
+	// GrantAt is the virtual time the critical section was entered.
+	GrantAt sim.Time
+	// ExitAt is the virtual time the critical section was left. It is -1
+	// while the section is still held.
+	ExitAt sim.Time
+	// PrevExitAt is the exit time of the previous grant, or -1 for the
+	// first. Synchronization delay = GrantAt - PrevExitAt when the request
+	// was already waiting (ReqAt < PrevExitAt).
+	PrevExitAt sim.Time
+}
+
+// Waited reports whether the request was already pending when the previous
+// holder left its critical section — the §6.3 synchronization-delay
+// scenario.
+func (g Grant) Waited() bool {
+	return g.PrevExitAt >= 0 && g.ReqAt < g.PrevExitAt
+}
+
+// SyncDelayHops returns the synchronization delay in message hops, or
+// false if this grant was not a waiting grant.
+func (g Grant) SyncDelayHops(hop sim.Time) (float64, bool) {
+	if !g.Waited() {
+		return 0, false
+	}
+	return float64(g.GrantAt-g.PrevExitAt) / float64(hop), true
+}
+
+// MutualExclusionError reports two nodes simultaneously inside the
+// critical section — the safety violation the Chapter 5 proof rules out.
+type MutualExclusionError struct {
+	Holder, Intruder mutex.ID
+	At               sim.Time
+}
+
+func (e *MutualExclusionError) Error() string {
+	return fmt.Sprintf("mutual exclusion violated at t=%d: node %d entered while node %d holds the CS",
+		e.At, e.Intruder, e.Holder)
+}
+
+// DeadlockError reports quiescence with requests still outstanding — the
+// situation Theorem 1 proves impossible for a correct implementation.
+type DeadlockError struct {
+	Pending []mutex.ID
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("deadlock: no events left but nodes %v still wait for the critical section", e.Pending)
+}
+
+// ErrLivelock reports that the event limit was exhausted before the run
+// quiesced, which for these protocols indicates a message loop.
+var ErrLivelock = errors.New("cluster: event limit exhausted before quiescence (livelock?)")
+
+// Cluster couples a scheduler, a network and one node per ID.
+type Cluster struct {
+	sched *sim.Scheduler
+	net   *sim.Network
+	cfg   mutex.Config
+	nodes map[mutex.ID]mutex.Node
+
+	csTime      sim.Time
+	autoRelease bool
+	eventLimit  uint64
+
+	curHolder   mutex.ID // node currently in CS, or Nil
+	curGrant    int      // index into grants of the section being held
+	outstanding map[mutex.ID]sim.Time
+	grants      []Grant
+	lastExit    sim.Time
+	failure     error
+
+	maxStorage map[mutex.ID]mutex.Storage
+	onRelease  []func(id mutex.ID, at sim.Time)
+	onGrant    []func(g Grant)
+}
+
+// Option configures a Cluster.
+type Option func(*options)
+
+type options struct {
+	seed       int64
+	csTime     sim.Time
+	auto       bool
+	eventLimit uint64
+	netOpts    []sim.NetworkOption
+	nodeWrap   func(mutex.ID, mutex.Node) mutex.Node
+}
+
+// WithSeed sets the RNG seed for the network's latency draws (default 1).
+func WithSeed(seed int64) Option { return func(o *options) { o.seed = seed } }
+
+// WithCSTime sets how long a node stays in its critical section before the
+// auto-release fires (default 0: enter and leave in the same instant).
+func WithCSTime(d sim.Time) Option { return func(o *options) { o.csTime = d } }
+
+// WithoutAutoRelease disables automatic release; the test drives Release
+// itself via ReleaseNow.
+func WithoutAutoRelease() Option { return func(o *options) { o.auto = false } }
+
+// WithEventLimit overrides the livelock guard (default 10 million events).
+func WithEventLimit(n uint64) Option { return func(o *options) { o.eventLimit = n } }
+
+// WithNetworkOptions forwards options to the underlying sim.Network.
+func WithNetworkOptions(opts ...sim.NetworkOption) Option {
+	return func(o *options) { o.netOpts = append(o.netOpts, opts...) }
+}
+
+// WithNodeWrapper installs a decorator applied to every node after
+// construction, letting checkers interpose on Deliver and friends.
+func WithNodeWrapper(wrap func(mutex.ID, mutex.Node) mutex.Node) Option {
+	return func(o *options) { o.nodeWrap = wrap }
+}
+
+// env adapts the cluster to mutex.Env for one node.
+type env struct {
+	c  *Cluster
+	id mutex.ID
+}
+
+func (e env) Send(to mutex.ID, m mutex.Message) { e.c.net.Send(e.id, to, m) }
+func (e env) Granted()                          { e.c.granted(e.id) }
+
+// New builds one node per cfg.IDs entry using b and wires them together.
+func New(b mutex.Builder, cfg mutex.Config, opts ...Option) (*Cluster, error) {
+	o := options{seed: 1, auto: true, eventLimit: 10_000_000}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	sched := sim.NewScheduler()
+	net := sim.NewNetwork(sched, rand.New(rand.NewSource(o.seed)), o.netOpts...)
+	c := &Cluster{
+		sched:       sched,
+		net:         net,
+		cfg:         cfg,
+		nodes:       make(map[mutex.ID]mutex.Node, len(cfg.IDs)),
+		csTime:      o.csTime,
+		autoRelease: o.auto,
+		eventLimit:  o.eventLimit,
+		curHolder:   mutex.Nil,
+		curGrant:    -1,
+		outstanding: make(map[mutex.ID]sim.Time),
+		lastExit:    -1,
+		maxStorage:  make(map[mutex.ID]mutex.Storage, len(cfg.IDs)),
+	}
+	for _, id := range cfg.IDs {
+		n, err := b(id, env{c: c, id: id}, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("build node %d: %w", id, err)
+		}
+		if o.nodeWrap != nil {
+			n = o.nodeWrap(id, n)
+		}
+		c.nodes[id] = n
+		net.Attach(n)
+	}
+	return c, nil
+}
+
+// Scheduler exposes the underlying virtual clock.
+func (c *Cluster) Scheduler() *sim.Scheduler { return c.sched }
+
+// Network exposes the underlying network, mainly for its Counts.
+func (c *Cluster) Network() *sim.Network { return c.net }
+
+// Node returns the node with the given id.
+func (c *Cluster) Node(id mutex.ID) mutex.Node { return c.nodes[id] }
+
+// IDs returns the cluster membership.
+func (c *Cluster) IDs() []mutex.ID { return c.cfg.IDs }
+
+// OnRelease registers fn to run whenever any node leaves its critical
+// section. Closed-loop workloads use it to schedule the next request.
+func (c *Cluster) OnRelease(fn func(id mutex.ID, at sim.Time)) {
+	c.onRelease = append(c.onRelease, fn)
+}
+
+// OnGrant registers fn to run at every critical-section entry.
+func (c *Cluster) OnGrant(fn func(g Grant)) {
+	c.onGrant = append(c.onGrant, fn)
+}
+
+// RequestAt schedules node id to issue a critical-section request at
+// virtual time t.
+func (c *Cluster) RequestAt(t sim.Time, id mutex.ID) {
+	c.sched.At(t, func() { c.requestNow(id) })
+}
+
+// RequestAfter schedules a request d ticks from the current virtual time.
+func (c *Cluster) RequestAfter(d sim.Time, id mutex.ID) {
+	c.sched.After(d, func() { c.requestNow(id) })
+}
+
+func (c *Cluster) requestNow(id mutex.ID) {
+	if c.failure != nil {
+		return
+	}
+	if _, dup := c.outstanding[id]; dup {
+		c.fail(fmt.Errorf("node %d issued a second outstanding request", id))
+		return
+	}
+	c.outstanding[id] = c.sched.Now()
+	if err := c.nodes[id].Request(); err != nil {
+		c.fail(fmt.Errorf("request at node %d: %w", id, err))
+	}
+}
+
+func (c *Cluster) granted(id mutex.ID) {
+	reqAt, ok := c.outstanding[id]
+	if !ok {
+		c.fail(fmt.Errorf("node %d granted without an outstanding request", id))
+		return
+	}
+	delete(c.outstanding, id)
+	if c.curHolder != mutex.Nil {
+		c.fail(&MutualExclusionError{Holder: c.curHolder, Intruder: id, At: c.sched.Now()})
+		return
+	}
+	g := Grant{
+		Seq:        len(c.grants),
+		Node:       id,
+		ReqAt:      reqAt,
+		GrantAt:    c.sched.Now(),
+		ExitAt:     -1,
+		PrevExitAt: c.lastExit,
+	}
+	c.curHolder = id
+	c.curGrant = g.Seq
+	c.grants = append(c.grants, g)
+	c.sampleStorage()
+	for _, fn := range c.onGrant {
+		fn(g)
+	}
+	if c.autoRelease {
+		c.sched.After(c.csTime, func() { c.ReleaseNow(id) })
+	}
+}
+
+// ReleaseNow makes node id leave its critical section immediately. With
+// auto-release disabled, tests call this themselves.
+func (c *Cluster) ReleaseNow(id mutex.ID) {
+	if c.failure != nil {
+		return
+	}
+	if c.curHolder != id {
+		c.fail(fmt.Errorf("release at node %d which does not hold the CS", id))
+		return
+	}
+	if err := c.nodes[id].Release(); err != nil {
+		c.fail(fmt.Errorf("release at node %d: %w", id, err))
+		return
+	}
+	now := c.sched.Now()
+	c.curHolder = mutex.Nil
+	c.grants[c.curGrant].ExitAt = now
+	c.curGrant = -1
+	c.lastExit = now
+	c.sampleStorage()
+	for _, fn := range c.onRelease {
+		fn(id, now)
+	}
+}
+
+func (c *Cluster) sampleStorage() {
+	for id, n := range c.nodes {
+		s := n.Storage()
+		m := c.maxStorage[id]
+		if s.Scalars > m.Scalars {
+			m.Scalars = s.Scalars
+		}
+		if s.ArrayEntries > m.ArrayEntries {
+			m.ArrayEntries = s.ArrayEntries
+		}
+		if s.QueueEntries > m.QueueEntries {
+			m.QueueEntries = s.QueueEntries
+		}
+		if s.Bytes > m.Bytes {
+			m.Bytes = s.Bytes
+		}
+		c.maxStorage[id] = m
+	}
+}
+
+func (c *Cluster) fail(err error) {
+	if c.failure == nil {
+		c.failure = err
+	}
+}
+
+// Run drives the simulation to quiescence and validates the outcome: no
+// safety violation, no deliver errors, no pending requests (deadlock), no
+// event-limit exhaustion (livelock).
+func (c *Cluster) Run() error {
+	_, drained := c.sched.RunLimited(c.eventLimit)
+	if c.failure != nil {
+		return c.failure
+	}
+	if errs := c.net.DeliverErrors(); len(errs) > 0 {
+		return errs[0]
+	}
+	if !drained {
+		return ErrLivelock
+	}
+	if len(c.outstanding) > 0 {
+		pending := make([]mutex.ID, 0, len(c.outstanding))
+		for id := range c.outstanding {
+			pending = append(pending, id)
+		}
+		sortIDs(pending)
+		return &DeadlockError{Pending: pending}
+	}
+	return nil
+}
+
+// Grants returns the grant log in grant order.
+func (c *Cluster) Grants() []Grant {
+	out := make([]Grant, len(c.grants))
+	copy(out, c.grants)
+	return out
+}
+
+// Entries returns the number of completed critical-section entries.
+func (c *Cluster) Entries() int { return len(c.grants) }
+
+// Counts returns the network traffic snapshot.
+func (c *Cluster) Counts() sim.Counts { return c.net.Counts() }
+
+// MaxStorage returns, per node, the component-wise maximum storage
+// footprint observed at any grant or release boundary during the run.
+func (c *Cluster) MaxStorage() map[mutex.ID]mutex.Storage {
+	out := make(map[mutex.ID]mutex.Storage, len(c.maxStorage))
+	for id, s := range c.maxStorage {
+		out[id] = s
+	}
+	return out
+}
+
+// GrantOrder returns just the sequence of granted node IDs, which tests
+// compare against expected queue orders.
+func (c *Cluster) GrantOrder() []mutex.ID {
+	out := make([]mutex.ID, len(c.grants))
+	for i, g := range c.grants {
+		out[i] = g.Node
+	}
+	return out
+}
+
+func sortIDs(ids []mutex.ID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"dagmutex/internal/conformance"
+	"dagmutex/internal/core"
+	"dagmutex/internal/mutex"
+	"dagmutex/internal/topology"
+)
+
+func treeConfig(tree *topology.Tree) func(n int, holder mutex.ID) mutex.Config {
+	return func(n int, holder mutex.ID) mutex.Config {
+		return mutex.Config{IDs: tree.IDs(), Holder: holder, Parent: tree.ParentsToward(holder)}
+	}
+}
+
+// TestConformance runs the shared battery on each canonical topology. The
+// Config callback regenerates the tree at the requested size.
+func TestConformance(t *testing.T) {
+	shapes := map[string]func(n int) *topology.Tree{
+		"star":   topology.Star,
+		"line":   topology.Line,
+		"binary": func(n int) *topology.Tree { return topology.KAry(n, 2) },
+		"random": func(n int) *topology.Tree { return topology.Random(n, rand.New(rand.NewSource(17))) },
+	}
+	for name, mk := range shapes {
+		t.Run(name, func(t *testing.T) {
+			conformance.Run(t, conformance.Factory{
+				Name:    "dag-" + name,
+				Builder: core.Builder,
+				Config: func(n int, holder mutex.ID) mutex.Config {
+					return treeConfig(mk(n))(n, holder)
+				},
+			})
+		})
+	}
+}

@@ -1,0 +1,437 @@
+// Package core implements the thesis's contribution: Neilsen's DAG-based
+// token algorithm for distributed mutual exclusion (published with Mizuno
+// at ICDCS 1991).
+//
+// Each node keeps exactly three control variables:
+//
+//   - HOLDING — true while the node possesses the token but is idle;
+//   - NEXT    — the neighbor toward the current sink (0 at a sink);
+//   - FOLLOW  — the node to pass the token to after this one (0 if none).
+//
+// REQUEST(X, Y) messages travel along NEXT pointers toward the sink,
+// reversing every edge they cross; the requester becomes the new sink. A
+// sink stores at most one pending successor in FOLLOW, so the system-wide
+// waiting queue exists only implicitly, as the FOLLOW chain rooted at the
+// token holder (see ImplicitQueue). The PRIVILEGE message — the token —
+// carries no data at all.
+//
+// The implementation follows Figure 3 of the thesis (procedures P1 and P2)
+// exactly, restated as an event-driven state machine so that it runs on
+// both the deterministic simulator and the live goroutine runtime. Nodes
+// are not safe for concurrent use by themselves; callers serialize access,
+// which mirrors the paper's "local mutual exclusion" execution model.
+package core
+
+import (
+	"fmt"
+
+	"dagmutex/internal/mutex"
+)
+
+// Request is the thesis's REQUEST(X, Y) message. From is X, the adjacent
+// node that forwarded it; Origin is Y, the node that initiated it. From
+// always equals the transport-level sender; it is kept in the message body
+// because the paper defines the message to carry both integers, and the
+// storage analysis (§6.4) counts them.
+type Request struct {
+	From   mutex.ID
+	Origin mutex.ID
+}
+
+// Kind implements mutex.Message.
+func (Request) Kind() string { return "REQUEST" }
+
+// Size implements mutex.Message: two integers, per thesis §6.4.
+func (Request) Size() int { return 2 * mutex.IntSize }
+
+// Privilege is the token. It carries no data structure (thesis §6.4).
+type Privilege struct{}
+
+// Kind implements mutex.Message.
+func (Privilege) Kind() string { return "PRIVILEGE" }
+
+// Size implements mutex.Message: the token is empty.
+func (Privilege) Size() int { return 0 }
+
+// State names the six node states of the thesis's Figure 4.
+type State uint8
+
+// The states of Figure 4. StateN is deliberately non-zero so that a zero
+// State is detectably invalid.
+const (
+	// StateN: not requesting and not holding the token.
+	StateN State = iota + 1
+	// StateR: requesting; no subsequent request received (a sink).
+	StateR
+	// StateRF: requesting; a subsequent request is stored in FOLLOW.
+	StateRF
+	// StateE: executing in the critical section; no subsequent request (a sink).
+	StateE
+	// StateEF: executing; a subsequent request is stored in FOLLOW.
+	StateEF
+	// StateH: holding the token, idle, no requests received (a sink).
+	StateH
+)
+
+// String returns the thesis's name for the state.
+func (s State) String() string {
+	switch s {
+	case StateN:
+		return "N"
+	case StateR:
+		return "R"
+	case StateRF:
+		return "RF"
+	case StateE:
+		return "E"
+	case StateEF:
+		return "EF"
+	case StateH:
+		return "H"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// Sink reports whether the state is one of Figure 4's shaded (sink)
+// states, in which NEXT = 0.
+func (s State) Sink() bool { return s == StateR || s == StateE || s == StateH }
+
+// Transition labels the eight transitions of Figure 4.
+type Transition uint8
+
+// The transitions of Figure 4, numbered as in the thesis.
+const (
+	// TransRequest (1): the node sends REQUEST(I,I) to NEXT and becomes a sink.
+	TransRequest Transition = iota + 1
+	// TransSaveFollow (2): a sink saves a request in FOLLOW and leaves the sink state.
+	TransSaveFollow
+	// TransForward (3): a non-sink forwards a request and re-points NEXT.
+	TransForward
+	// TransReceiveToken (4): the node receives PRIVILEGE and enters its CS.
+	TransReceiveToken
+	// TransKeepToken (5): the node leaves its CS with no successor and sets HOLDING.
+	TransKeepToken
+	// TransEnterHolding (6): an idle holder enters its CS directly.
+	TransEnterHolding
+	// TransPassToken (7): the node leaves its CS and passes the token to FOLLOW.
+	TransPassToken
+	// TransGrantFromHolding (8): an idle holder passes the token straight to a requester.
+	TransGrantFromHolding
+)
+
+// String returns the thesis's number for the transition.
+func (tr Transition) String() string {
+	if tr >= TransRequest && tr <= TransGrantFromHolding {
+		return fmt.Sprintf("%d", uint8(tr))
+	}
+	return fmt.Sprintf("Transition(%d)", uint8(tr))
+}
+
+// Snapshot is a point-in-time copy of one node's control state, used by
+// invariant checkers, the implicit-queue deduction, and the Figure 2/6
+// golden tests.
+type Snapshot struct {
+	ID         mutex.ID
+	Holding    bool
+	Next       mutex.ID
+	Follow     mutex.ID
+	Requesting bool
+	InCS       bool
+}
+
+// State classifies the snapshot into one of Figure 4's six states.
+func (s Snapshot) State() State {
+	switch {
+	case s.Holding:
+		return StateH
+	case s.InCS && s.Follow != mutex.Nil:
+		return StateEF
+	case s.InCS:
+		return StateE
+	case s.Requesting && s.Follow != mutex.Nil:
+		return StateRF
+	case s.Requesting:
+		return StateR
+	default:
+		return StateN
+	}
+}
+
+// HasToken reports whether the node possesses the token in this snapshot
+// (holding it idle or using it in the critical section).
+func (s Snapshot) HasToken() bool { return s.Holding || s.InCS }
+
+// Node is one site running the DAG algorithm.
+type Node struct {
+	id  mutex.ID
+	env mutex.Env
+
+	holding    bool
+	next       mutex.ID
+	follow     mutex.ID
+	requesting bool
+	inCS       bool
+
+	// Figure 5 INIT support (see init.go). Nodes built with New are
+	// initialized statically and never touch these fields.
+	uninitialized bool
+	isInitHolder  bool
+	neighbors     []mutex.ID
+
+	// onTransition, when set, observes every Figure 4 transition together
+	// with the state the node ends up in. Used by the automaton checker.
+	onTransition func(tr Transition, to State)
+}
+
+var _ mutex.Node = (*Node)(nil)
+
+// Option configures a Node at construction time.
+type Option func(*Node)
+
+// WithTransitionObserver registers fn to be invoked after every state
+// transition, with the Figure 4 transition number and resulting state.
+func WithTransitionObserver(fn func(tr Transition, to State)) Option {
+	return func(n *Node) { n.onTransition = fn }
+}
+
+// New constructs the node with the given identifier. cfg.Holder designates
+// the initial token holder; every other node must have cfg.Parent[id] set
+// to its neighbor on the path toward the holder (the state the Figure 5
+// INIT procedure establishes).
+func New(id mutex.ID, env mutex.Env, cfg mutex.Config, opts ...Option) (*Node, error) {
+	if err := mutex.ValidateIDs(cfg.IDs, id); err != nil {
+		return nil, err
+	}
+	if cfg.Holder == mutex.Nil {
+		return nil, fmt.Errorf("%w: no initial token holder designated", mutex.ErrBadConfig)
+	}
+	n := &Node{id: id, env: env}
+	if cfg.Holder == id {
+		n.holding = true
+		n.next = mutex.Nil
+	} else {
+		p, ok := cfg.Parent[id]
+		if !ok || p == mutex.Nil {
+			return nil, fmt.Errorf("%w: node %d has no parent toward holder %d",
+				mutex.ErrBadConfig, id, cfg.Holder)
+		}
+		if p == id {
+			return nil, fmt.Errorf("%w: node %d is its own parent", mutex.ErrBadConfig, id)
+		}
+		n.next = p
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	return n, nil
+}
+
+// Builder adapts New to the mutex.Builder signature.
+func Builder(id mutex.ID, env mutex.Env, cfg mutex.Config) (mutex.Node, error) {
+	return New(id, env, cfg)
+}
+
+// ID implements mutex.Node.
+func (n *Node) ID() mutex.ID { return n.id }
+
+// Snapshot returns a copy of the node's control state.
+func (n *Node) Snapshot() Snapshot {
+	return Snapshot{
+		ID:         n.id,
+		Holding:    n.holding,
+		Next:       n.next,
+		Follow:     n.follow,
+		Requesting: n.requesting,
+		InCS:       n.inCS,
+	}
+}
+
+// State returns the node's current Figure 4 state.
+func (n *Node) State() State { return n.Snapshot().State() }
+
+// Request implements procedure P1's request half (Figure 3). If the node
+// already holds the token it enters its critical section immediately
+// (transition 6); otherwise it sends REQUEST(I,I) toward the sink and
+// becomes the new sink itself (transition 1).
+func (n *Node) Request() error {
+	if n.uninitialized {
+		return fmt.Errorf("%w: node %d not initialized (run Figure 5 INIT first)", mutex.ErrBadConfig, n.id)
+	}
+	if n.requesting || n.inCS {
+		return mutex.ErrOutstanding
+	}
+	if n.holding {
+		n.holding = false
+		n.inCS = true
+		n.transition(TransEnterHolding)
+		n.env.Granted()
+		return nil
+	}
+	n.requesting = true
+	n.env.Send(n.next, Request{From: n.id, Origin: n.id})
+	n.next = mutex.Nil
+	n.transition(TransRequest)
+	return nil
+}
+
+// Release implements procedure P1's exit half (Figure 3). If a successor
+// is recorded in FOLLOW the token moves to it at once (transition 7);
+// otherwise the node keeps the token idle (transition 5).
+func (n *Node) Release() error {
+	if !n.inCS {
+		return mutex.ErrNotInCS
+	}
+	n.inCS = false
+	if n.follow != mutex.Nil {
+		to := n.follow
+		n.follow = mutex.Nil
+		n.env.Send(to, Privilege{})
+		n.transition(TransPassToken)
+		return nil
+	}
+	n.holding = true
+	n.transition(TransKeepToken)
+	return nil
+}
+
+// Deliver implements procedure P2 (for REQUEST messages) and the grant
+// path of P1 (for PRIVILEGE).
+func (n *Node) Deliver(from mutex.ID, m mutex.Message) error {
+	if _, isInit := m.(Initialize); isInit {
+		return n.deliverInitialize(from)
+	}
+	if n.uninitialized {
+		return fmt.Errorf("%w: node %d got %s before INIT completed",
+			mutex.ErrUnexpectedMessage, n.id, m.Kind())
+	}
+	switch msg := m.(type) {
+	case Request:
+		return n.deliverRequest(from, msg)
+	case Privilege:
+		return n.deliverPrivilege()
+	default:
+		return fmt.Errorf("%w: node %d got %T from %d", mutex.ErrUnexpectedMessage, n.id, m, from)
+	}
+}
+
+// deliverRequest is procedure P2 of Figure 3, verbatim:
+//
+//	if NEXT = 0 then            (* node I is a sink *)
+//	    if HOLDING then send PRIVILEGE to Y; HOLDING := false
+//	    else FOLLOW := Y
+//	else send REQUEST(I, Y) to NEXT
+//	NEXT := X
+func (n *Node) deliverRequest(from mutex.ID, msg Request) error {
+	if msg.From != from {
+		return fmt.Errorf("%w: REQUEST at node %d claims sender %d but arrived from %d",
+			mutex.ErrUnexpectedMessage, n.id, msg.From, from)
+	}
+	if n.next == mutex.Nil { // sink
+		if n.holding {
+			n.env.Send(msg.Origin, Privilege{})
+			n.holding = false
+			n.next = msg.From
+			n.transition(TransGrantFromHolding)
+			return nil
+		}
+		// A sink that is requesting or executing stores the request: this
+		// is the enqueue onto the implicit waiting queue.
+		if n.follow != mutex.Nil {
+			// Cannot happen: once FOLLOW is set the node also left the sink
+			// state, so later requests are forwarded, not stored.
+			return fmt.Errorf("%w: sink %d asked to overwrite FOLLOW=%d with %d",
+				mutex.ErrUnexpectedMessage, n.id, n.follow, msg.Origin)
+		}
+		n.follow = msg.Origin
+		n.next = msg.From
+		n.transition(TransSaveFollow)
+		return nil
+	}
+	n.env.Send(n.next, Request{From: n.id, Origin: msg.Origin})
+	n.next = msg.From
+	n.transition(TransForward)
+	return nil
+}
+
+// deliverPrivilege is the "wait until PRIVILEGE message is received" point
+// of P1: the pending request is granted and the node enters its CS.
+func (n *Node) deliverPrivilege() error {
+	if !n.requesting {
+		return fmt.Errorf("%w: node %d received PRIVILEGE without requesting", mutex.ErrUnexpectedMessage, n.id)
+	}
+	if n.holding || n.inCS {
+		return fmt.Errorf("%w: node %d received PRIVILEGE while already holding the token",
+			mutex.ErrUnexpectedMessage, n.id)
+	}
+	n.requesting = false
+	n.inCS = true
+	n.transition(TransReceiveToken)
+	n.env.Granted()
+	return nil
+}
+
+// Storage implements mutex.Node: exactly three scalar control variables
+// (thesis §6.4), independent of N and of load.
+func (n *Node) Storage() mutex.Storage {
+	return mutex.Storage{
+		Scalars: 3, // HOLDING, NEXT, FOLLOW
+		Bytes:   1 + 2*mutex.IntSize,
+	}
+}
+
+func (n *Node) transition(tr Transition) {
+	if n.onTransition != nil {
+		n.onTransition(tr, n.State())
+	}
+}
+
+// ImplicitQueue deduces the system-wide waiting queue from a consistent
+// set of node snapshots, as §3.2 describes: start at the token holder and
+// follow the FOLLOW chain. The returned slice lists waiting nodes in grant
+// order and excludes the holder itself. It returns an error if no holder
+// exists or the chain is cyclic, both of which indicate an inconsistent
+// snapshot under the paper's invariants.
+func ImplicitQueue(snaps []Snapshot) ([]mutex.ID, error) {
+	byID := make(map[mutex.ID]Snapshot, len(snaps))
+	var holder mutex.ID
+	holders := 0
+	for _, s := range snaps {
+		byID[s.ID] = s
+		if s.HasToken() {
+			holder = s.ID
+			holders++
+		}
+	}
+	if holders == 0 {
+		return nil, fmt.Errorf("core: no token holder in snapshot set")
+	}
+	if holders > 1 {
+		return nil, fmt.Errorf("core: %d token holders in snapshot set", holders)
+	}
+	var queue []mutex.ID
+	seen := map[mutex.ID]bool{holder: true}
+	for at := byID[holder].Follow; at != mutex.Nil; at = byID[at].Follow {
+		if seen[at] {
+			return nil, fmt.Errorf("core: FOLLOW chain cycles at node %d", at)
+		}
+		if _, ok := byID[at]; !ok {
+			return nil, fmt.Errorf("core: FOLLOW chain leaves snapshot set at node %d", at)
+		}
+		seen[at] = true
+		queue = append(queue, at)
+	}
+	return queue, nil
+}
+
+// LegalTransitions is the edge set of Figure 4's state-transition graph:
+// for each (from, transition) pair, the state the node must land in. The
+// automaton-conformance checker validates observed histories against it.
+var LegalTransitions = map[State]map[Transition]State{
+	StateN:  {TransRequest: StateR, TransForward: StateN},
+	StateR:  {TransSaveFollow: StateRF, TransReceiveToken: StateE},
+	StateRF: {TransForward: StateRF, TransReceiveToken: StateEF},
+	StateE:  {TransSaveFollow: StateEF, TransKeepToken: StateH},
+	StateEF: {TransForward: StateEF, TransPassToken: StateN},
+	StateH:  {TransEnterHolding: StateE, TransGrantFromHolding: StateN},
+}

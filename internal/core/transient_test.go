@@ -1,0 +1,183 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dagmutex/internal/mutex"
+	"dagmutex/internal/topology"
+)
+
+// TestTransientSinkBoundTwoRequesters pins §3.3's claim: with two nodes
+// requesting at about the same time there are at most THREE sinks while
+// the requests are in transit, and exactly one at quiescence. The test
+// drives the crossing-requests schedule deterministically and counts
+// sinks after every delivery.
+func TestTransientSinkBoundTwoRequesters(t *testing.T) {
+	tree := topology.Line(4) // 1-2-3-4, token at 4
+	w := newWorld(t, tree, 4)
+
+	countSinks := func() int {
+		sinks := 0
+		for _, s := range w.snapshots() {
+			if s.Next == mutex.Nil {
+				sinks++
+			}
+		}
+		return sinks
+	}
+
+	// Nodes 1 and 2 request concurrently: each becomes a sink, and the
+	// old sink (node 4) still is one — three in total.
+	w.request(1)
+	w.request(2)
+	if got := countSinks(); got != 3 {
+		t.Fatalf("sinks after both requests = %d, want 3 (old sink + 2 requesters)", got)
+	}
+
+	maxSinks := 3
+	for len(w.pending) > 0 {
+		w.deliverTo(w.pending[0].to)
+		if got := countSinks(); got > maxSinks {
+			t.Fatalf("sink count %d exceeds the §3.3 transient bound of 3", got)
+		}
+		// Serve any node that got the token so the run drains.
+		for id, env := range w.envs {
+			if env.grant > 0 && w.nodes[id].Snapshot().InCS {
+				w.release(id)
+			}
+		}
+	}
+	if got := countSinks(); got != 1 {
+		t.Fatalf("sinks at quiescence = %d, want 1", got)
+	}
+}
+
+// TestQuickRandomSchedulesPreserveInvariants is a testing/quick property:
+// for a random star/line size, a random holder, and a random subset of
+// requesters, a fully drained run leaves exactly one token holder, one
+// sink, empty FOLLOW chains, and every requester served exactly once.
+func TestQuickRandomSchedulesPreserveInvariants(t *testing.T) {
+	property := func(nRaw, holderRaw uint8, reqMask uint16, useLine bool) bool {
+		n := int(nRaw%10) + 2
+		var tree *topology.Tree
+		if useLine {
+			tree = topology.Line(n)
+		} else {
+			tree = topology.Star(n)
+		}
+		holder := mutex.ID(int(holderRaw)%n + 1)
+		w := newWorldQuiet(tree, holder)
+		if w == nil {
+			return false
+		}
+
+		requesters := make([]mutex.ID, 0, n)
+		for i := 0; i < n; i++ {
+			if reqMask&(1<<uint(i)) != 0 {
+				requesters = append(requesters, mutex.ID(i+1))
+			}
+		}
+		for _, r := range requesters {
+			if w.nodes[r].Request() != nil {
+				return false
+			}
+		}
+		// Drain: deliver FIFO; release whenever someone is in the CS.
+		for steps := 0; ; steps++ {
+			if steps > 100000 {
+				return false
+			}
+			progressed := false
+			for id := mutex.ID(1); int(id) <= n; id++ {
+				if w.nodes[id].Snapshot().InCS {
+					if w.nodes[id].Release() != nil {
+						return false
+					}
+					progressed = true
+				}
+			}
+			if len(w.pending) > 0 {
+				f := w.pending[0]
+				w.pending = w.pending[1:]
+				if w.nodes[f.to].Deliver(f.from, f.msg) != nil {
+					return false
+				}
+				progressed = true
+			}
+			if !progressed {
+				break
+			}
+		}
+
+		// Invariants at quiescence.
+		holders, sinks := 0, 0
+		for _, s := range w.snapshots() {
+			if s.HasToken() {
+				holders++
+			}
+			if s.Next == mutex.Nil {
+				sinks++
+			}
+			if s.Follow != mutex.Nil || s.Requesting || s.InCS {
+				return false
+			}
+		}
+		if holders != 1 || sinks != 1 {
+			return false
+		}
+		// Every requester granted exactly once; non-requesters never.
+		for id, env := range w.envs {
+			want := 0
+			for _, r := range requesters {
+				if r == id {
+					want = 1
+				}
+			}
+			// The holder entering its own CS also counts as a grant.
+			if env.grant != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// newWorldQuiet builds a world without a testing.T, for quick properties.
+func newWorldQuiet(tree *topology.Tree, holder mutex.ID) *world {
+	w := &world{nodes: make(map[mutex.ID]*Node), envs: make(map[mutex.ID]*recEnv)}
+	cfg := mutex.Config{IDs: tree.IDs(), Holder: holder, Parent: tree.ParentsToward(holder)}
+	for _, id := range tree.IDs() {
+		env := &recEnv{world: w, id: id}
+		n, err := New(id, env, cfg)
+		if err != nil {
+			return nil
+		}
+		w.nodes[id] = n
+		w.envs[id] = env
+	}
+	return w
+}
+
+// TestDuplicatedTokenIsDetected injects a duplicated PRIVILEGE — a
+// violation of the reliable-network model — and checks the node-level
+// guards reject it instead of silently double-granting.
+func TestDuplicatedTokenIsDetected(t *testing.T) {
+	w := newWorld(t, topology.Line(3), 3)
+	w.request(1)
+	w.drain() // node 1 now holds the token in its CS
+	if !w.nodes[1].Snapshot().InCS {
+		t.Fatal("node 1 should be in its critical section")
+	}
+	// Replay the token to the node that already has it.
+	if err := w.nodes[1].Deliver(3, Privilege{}); err == nil {
+		t.Fatal("duplicated PRIVILEGE accepted while in CS")
+	}
+	// And to an idle bystander that never requested.
+	if err := w.nodes[2].Deliver(3, Privilege{}); err == nil {
+		t.Fatal("duplicated PRIVILEGE accepted by a non-requester")
+	}
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+
+	"dagmutex/internal/mutex"
+	"dagmutex/internal/topology"
+)
+
+// recEnv records everything a node asks of its environment.
+type recEnv struct {
+	world *world
+	id    mutex.ID
+	grant int
+}
+
+func (e *recEnv) Send(to mutex.ID, m mutex.Message) {
+	e.world.pending = append(e.world.pending, flight{from: e.id, to: to, msg: m})
+}
+
+func (e *recEnv) Granted() { e.grant++ }
+
+type flight struct {
+	from, to mutex.ID
+	msg      mutex.Message
+}
+
+// world drives a set of core nodes synchronously, delivering messages in
+// whatever order a test dictates. The golden tests need this fine-grained
+// control to replay the thesis's examples step by step.
+type world struct {
+	t     *testing.T
+	nodes map[mutex.ID]*Node
+	envs  map[mutex.ID]*recEnv
+	// pending holds sent-but-undelivered messages in send order.
+	pending []flight
+}
+
+// newWorld builds one node per tree vertex with the token at holder,
+// NEXT pointers oriented toward it (the Figure 5 INIT steady state).
+func newWorld(t *testing.T, tree *topology.Tree, holder mutex.ID) *world {
+	t.Helper()
+	w := &world{t: t, nodes: make(map[mutex.ID]*Node), envs: make(map[mutex.ID]*recEnv)}
+	cfg := mutex.Config{IDs: tree.IDs(), Holder: holder, Parent: tree.ParentsToward(holder)}
+	for _, id := range tree.IDs() {
+		env := &recEnv{world: w, id: id}
+		n, err := New(id, env, cfg)
+		if err != nil {
+			t.Fatalf("New(%d): %v", id, err)
+		}
+		w.nodes[id] = n
+		w.envs[id] = env
+	}
+	return w
+}
+
+// request has node id issue a CS request.
+func (w *world) request(id mutex.ID) {
+	w.t.Helper()
+	if err := w.nodes[id].Request(); err != nil {
+		w.t.Fatalf("Request(%d): %v", id, err)
+	}
+}
+
+// release has node id leave its CS.
+func (w *world) release(id mutex.ID) {
+	w.t.Helper()
+	if err := w.nodes[id].Release(); err != nil {
+		w.t.Fatalf("Release(%d): %v", id, err)
+	}
+}
+
+// deliverTo delivers the oldest pending message addressed to `to`,
+// preserving per-link FIFO (it picks the first match in send order, and
+// sends on one link are queued in order).
+func (w *world) deliverTo(to mutex.ID) flight {
+	w.t.Helper()
+	for i, f := range w.pending {
+		if f.to == to {
+			w.pending = append(w.pending[:i], w.pending[i+1:]...)
+			if err := w.nodes[to].Deliver(f.from, f.msg); err != nil {
+				w.t.Fatalf("Deliver %s %d->%d: %v", f.msg.Kind(), f.from, f.to, err)
+			}
+			return f
+		}
+	}
+	w.t.Fatalf("no pending message for node %d (pending %v)", to, w.pending)
+	return flight{}
+}
+
+// drain delivers all pending messages (and any they trigger) in FIFO
+// order, bounding the work to catch protocol loops.
+func (w *world) drain() {
+	w.t.Helper()
+	for steps := 0; len(w.pending) > 0; steps++ {
+		if steps > 10000 {
+			w.t.Fatal("drain: message storm (protocol loop?)")
+		}
+		f := w.pending[0]
+		w.pending = w.pending[1:]
+		if err := w.nodes[f.to].Deliver(f.from, f.msg); err != nil {
+			w.t.Fatalf("Deliver %s %d->%d: %v", f.msg.Kind(), f.from, f.to, err)
+		}
+	}
+}
+
+// snapshots returns all node snapshots in ID order.
+func (w *world) snapshots() []Snapshot {
+	snaps := make([]Snapshot, 0, len(w.nodes))
+	for id := mutex.ID(1); int(id) <= len(w.nodes); id++ {
+		snaps = append(snaps, w.nodes[id].Snapshot())
+	}
+	return snaps
+}
+
+// expect asserts one node's full variable set, thesis-table style.
+func (w *world) expect(id mutex.ID, holding bool, next, follow mutex.ID) {
+	w.t.Helper()
+	s := w.nodes[id].Snapshot()
+	if s.Holding != holding || s.Next != next || s.Follow != follow {
+		w.t.Fatalf("node %d: HOLDING=%v NEXT=%d FOLLOW=%d, want HOLDING=%v NEXT=%d FOLLOW=%d",
+			id, s.Holding, s.Next, s.Follow, holding, next, follow)
+	}
+}
+
+// expectRow asserts a whole thesis table row: HOLDING, NEXT and FOLLOW for
+// nodes 1..n, exactly as Figures 6a-6k print them.
+func (w *world) expectRow(holding []bool, next, follow []mutex.ID) {
+	w.t.Helper()
+	for i := range holding {
+		w.expect(mutex.ID(i+1), holding[i], next[i], follow[i])
+	}
+}

@@ -1,0 +1,183 @@
+// Package harness configures and runs the Chapter 6 experiments: it knows
+// every algorithm in the repository, builds the scenario each experiment
+// needs (adversarial single requests, exact enumerations, heavy-demand
+// loops, sweeps), and renders the results as the tables the thesis
+// reports.
+package harness
+
+import (
+	"fmt"
+
+	"dagmutex/internal/carvalho"
+	"dagmutex/internal/central"
+	"dagmutex/internal/core"
+	"dagmutex/internal/lamport"
+	"dagmutex/internal/maekawa"
+	"dagmutex/internal/mutex"
+	"dagmutex/internal/raymond"
+	"dagmutex/internal/ricartagrawala"
+	"dagmutex/internal/singhal"
+	"dagmutex/internal/suzukikasami"
+	"dagmutex/internal/topology"
+)
+
+// Algorithm describes one protocol to the experiment runner.
+type Algorithm struct {
+	// Name is the stable identifier used by tables and the CLI.
+	Name string
+	// Builder constructs nodes.
+	Builder mutex.Builder
+	// Configure produces a Config for the given logical tree and initial
+	// holder. Protocols that ignore topology only use the tree's ID set.
+	Configure func(tree *topology.Tree, holder mutex.ID) (mutex.Config, error)
+	// TreeBased marks protocols whose message cost depends on the tree.
+	TreeBased bool
+	// UpperBound returns the paper's worst-case messages-per-entry formula
+	// evaluated for n nodes and diameter d.
+	UpperBound func(n, d int) float64
+	// UpperBoundFormula prints the formula, for table headers.
+	UpperBoundFormula string
+	// SyncDelay returns the paper's synchronization delay for diameter d.
+	SyncDelay func(d int) float64
+}
+
+func treeConfig(tree *topology.Tree, holder mutex.ID) (mutex.Config, error) {
+	if holder == mutex.Nil || int(holder) > tree.N() {
+		return mutex.Config{}, fmt.Errorf("%w: holder %d not in tree of %d nodes",
+			mutex.ErrBadConfig, holder, tree.N())
+	}
+	return mutex.Config{
+		IDs:    tree.IDs(),
+		Holder: holder,
+		Parent: tree.ParentsToward(holder),
+	}, nil
+}
+
+func flatConfig(tree *topology.Tree, holder mutex.ID) (mutex.Config, error) {
+	return mutex.Config{IDs: tree.IDs(), Holder: holder}, nil
+}
+
+func maekawaConfig(tree *topology.Tree, _ mutex.ID) (mutex.Config, error) {
+	q, err := maekawa.GridQuorums(tree.IDs())
+	if err != nil {
+		return mutex.Config{}, err
+	}
+	return mutex.Config{IDs: tree.IDs(), Quorums: q}, nil
+}
+
+// DAG is the thesis's algorithm; exported separately because most
+// experiments single it out.
+var DAG = Algorithm{
+	Name:              "dag",
+	Builder:           core.Builder,
+	Configure:         treeConfig,
+	TreeBased:         true,
+	UpperBound:        func(_, d int) float64 { return float64(d + 1) },
+	UpperBoundFormula: "D+1",
+	SyncDelay:         func(int) float64 { return 1 },
+}
+
+// Centralized is the coordinator scheme §6 compares against.
+var Centralized = Algorithm{
+	Name:              "central",
+	Builder:           central.Builder,
+	Configure:         flatConfig,
+	UpperBound:        func(int, int) float64 { return 3 },
+	UpperBoundFormula: "3",
+	SyncDelay:         func(int) float64 { return 2 },
+}
+
+// Raymond is the tree-based predecessor (§2.7).
+var Raymond = Algorithm{
+	Name:              "raymond",
+	Builder:           raymond.Builder,
+	Configure:         treeConfig,
+	TreeBased:         true,
+	UpperBound:        func(_, d int) float64 { return float64(2 * d) },
+	UpperBoundFormula: "2D",
+	SyncDelay:         func(d int) float64 { return float64(d) },
+}
+
+// SuzukiKasami is the broadcast token algorithm (§2.4).
+var SuzukiKasami = Algorithm{
+	Name:              "suzuki-kasami",
+	Builder:           suzukikasami.Builder,
+	Configure:         flatConfig,
+	UpperBound:        func(n, _ int) float64 { return float64(n) },
+	UpperBoundFormula: "N",
+	SyncDelay:         func(int) float64 { return 1 },
+}
+
+// Singhal is the heuristically-aided token algorithm (§2.5).
+var Singhal = Algorithm{
+	Name:              "singhal",
+	Builder:           singhal.Builder,
+	Configure:         flatConfig,
+	UpperBound:        func(n, _ int) float64 { return float64(n) },
+	UpperBoundFormula: "N",
+	SyncDelay:         func(int) float64 { return 1 },
+}
+
+// RicartAgrawala is the optimal assertion-based algorithm (§2.2).
+var RicartAgrawala = Algorithm{
+	Name:              "ricart-agrawala",
+	Builder:           ricartagrawala.Builder,
+	Configure:         flatConfig,
+	UpperBound:        func(n, _ int) float64 { return float64(2 * (n - 1)) },
+	UpperBoundFormula: "2(N-1)",
+	SyncDelay:         func(int) float64 { return 1 },
+}
+
+// CarvalhoRoucairol retains permissions between entries (§2.3).
+var CarvalhoRoucairol = Algorithm{
+	Name:              "carvalho-roucairol",
+	Builder:           carvalho.Builder,
+	Configure:         flatConfig,
+	UpperBound:        func(n, _ int) float64 { return float64(2 * (n - 1)) },
+	UpperBoundFormula: "0..2(N-1)",
+	SyncDelay:         func(int) float64 { return 1 },
+}
+
+// Lamport is the replicated-queue algorithm (§2.1).
+var Lamport = Algorithm{
+	Name:              "lamport",
+	Builder:           lamport.Builder,
+	Configure:         flatConfig,
+	UpperBound:        func(n, _ int) float64 { return float64(3 * (n - 1)) },
+	UpperBoundFormula: "3(N-1)",
+	SyncDelay:         func(int) float64 { return 1 },
+}
+
+// Maekawa is the √N quorum algorithm with Sanders' fix (§2.6).
+var Maekawa = Algorithm{
+	Name:      "maekawa",
+	Builder:   maekawa.Builder,
+	Configure: maekawaConfig,
+	UpperBound: func(n, _ int) float64 {
+		k := 1
+		for k*k < n {
+			k++
+		}
+		return float64(7 * (2*k - 1)) // grid quorums have K ≈ 2√N−1
+	},
+	UpperBoundFormula: "~7*sqrt(N)",
+	SyncDelay:         func(int) float64 { return 2 }, // RELEASE then LOCKED through a member
+}
+
+// Algorithms lists every protocol, the DAG algorithm first.
+func Algorithms() []Algorithm {
+	return []Algorithm{
+		DAG, Centralized, Raymond, SuzukiKasami, Singhal,
+		RicartAgrawala, CarvalhoRoucairol, Lamport, Maekawa,
+	}
+}
+
+// ByName returns the algorithm with the given name.
+func ByName(name string) (Algorithm, error) {
+	for _, a := range Algorithms() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return Algorithm{}, fmt.Errorf("unknown algorithm %q", name)
+}

@@ -1,0 +1,54 @@
+package harness
+
+import (
+	"testing"
+
+	"dagmutex/internal/topology"
+)
+
+// TestEveryIndividualEntryCostsAtMostThreeOnStar strengthens the §6.1/6.2
+// reproduction: on the star, not only the average but EVERY single entry
+// under saturation costs at most D+1 = 3 messages.
+func TestEveryIndividualEntryCostsAtMostThreeOnStar(t *testing.T) {
+	costs, err := DAGEntryCosts(topology.Star(20), 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(costs) != 200 {
+		t.Fatalf("entry count = %d, want 200", len(costs))
+	}
+	hist := map[int]int{}
+	for i, cost := range costs {
+		if cost > 3 {
+			t.Fatalf("entry %d cost %d messages, bound is 3", i, cost)
+		}
+		hist[cost]++
+	}
+	// Sanity on the shape: leaf entries dominate at 3, center entries at
+	// 2, re-entries at 0; all observed costs appear.
+	if hist[3] == 0 || hist[2] == 0 {
+		t.Fatalf("distribution %v lacks expected 2- and 3-message entries", hist)
+	}
+	total := 0
+	for cost, n := range hist {
+		total += cost * n
+	}
+	if mean := float64(total) / 200; mean > 3 {
+		t.Fatalf("mean %.2f above the bound", mean)
+	}
+}
+
+// TestEveryIndividualEntryRespectsDPlusOneOnLine checks the same
+// per-entry bound on the worst topology: no entry exceeds D+1 = N.
+func TestEveryIndividualEntryRespectsDPlusOneOnLine(t *testing.T) {
+	const n = 10
+	costs, err := DAGEntryCosts(topology.Line(n), n, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cost := range costs {
+		if cost > n {
+			t.Fatalf("entry %d cost %d messages, D+1 bound is %d", i, cost, n)
+		}
+	}
+}

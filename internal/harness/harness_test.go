@@ -1,0 +1,274 @@
+package harness
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dagmutex/internal/mutex"
+	"dagmutex/internal/sim"
+	"dagmutex/internal/topology"
+)
+
+func TestByName(t *testing.T) {
+	for _, a := range Algorithms() {
+		got, err := ByName(a.Name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", a.Name, err)
+		}
+		if got.Name != a.Name {
+			t.Fatalf("ByName(%q) = %q", a.Name, got.Name)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestSingleRequestCostDAGLine(t *testing.T) {
+	// D requests + 1 privilege on the line with ends at distance D.
+	for _, n := range []int{2, 5, 10} {
+		got, err := SingleRequestCost(DAG, topology.Line(n), mutex.ID(n), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != int64(n) {
+			t.Fatalf("n=%d: cost = %d, want %d (D+1)", n, got, n)
+		}
+	}
+}
+
+func TestUpperBoundTableMatchesFormulas(t *testing.T) {
+	tbl, err := UpperBound([]int{9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Index rows by algorithm+scenario.
+	byKey := map[string][]string{}
+	for _, row := range tbl.Rows {
+		byKey[row[0]+"/"+row[2]] = row
+	}
+	exact := map[string]string{
+		"dag/line, ends":                        "9", // N
+		"dag/star, worst pair":                  "3", // D+1 = 3
+		"central/non-coordinator":               "3",
+		"raymond/line, ends":                    "16", // 2D = 16
+		"raymond/star, worst pair":              "4",
+		"suzuki-kasami/remote request":          "9",  // N
+		"ricart-agrawala/any request":           "16", // 2(N-1)
+		"carvalho-roucairol/cold start, max id": "16",
+		"lamport/any request":                   "24", // 3(N-1)
+	}
+	for key, want := range exact {
+		row, ok := byKey[key]
+		if !ok {
+			t.Fatalf("missing row %q in table:\n%s", key, tbl.Format())
+		}
+		if row[3] != want {
+			t.Fatalf("%s measured = %s, want %s", key, row[3], want)
+		}
+	}
+	// Saturation averages must respect their bounds.
+	for _, key := range []string{"singhal/saturation avg", "maekawa/saturation avg"} {
+		row, ok := byKey[key]
+		if !ok {
+			t.Fatalf("missing row %q", key)
+		}
+		measured, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if measured > bound {
+			t.Fatalf("%s: measured %.2f exceeds bound %.2f", key, measured, bound)
+		}
+	}
+}
+
+func TestAverageBoundMatchesClosedForm(t *testing.T) {
+	// AverageBound itself fails if measured deviates from the formula; the
+	// test additionally checks the trend toward 3.
+	tbl, err := AverageBound([]int{5, 10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev float64
+	for i, row := range tbl.Rows {
+		v, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && v <= prev {
+			t.Fatalf("dag average not increasing toward 3: %s", tbl.Format())
+		}
+		if v >= 3 {
+			t.Fatalf("dag average %v must stay below 3", v)
+		}
+		prev = v
+	}
+}
+
+func TestHeavyDemandStaysNearThree(t *testing.T) {
+	tbl, err := HeavyDemand([]int{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := tbl.Rows[0]
+	dag, _ := strconv.ParseFloat(row[1], 64)
+	cen, _ := strconv.ParseFloat(row[2], 64)
+	sk, _ := strconv.ParseFloat(row[3], 64)
+	ra, _ := strconv.ParseFloat(row[4], 64)
+	if dag > 3.0+1e-9 {
+		t.Fatalf("dag heavy = %.3f, thesis promises at most 3", dag)
+	}
+	if cen > 3.0+1e-9 {
+		t.Fatalf("central heavy = %.3f, want <= 3", cen)
+	}
+	if sk < dag || ra < dag {
+		t.Fatalf("broadcast baselines (%v, %v) should cost more than dag (%v)", sk, ra, dag)
+	}
+}
+
+func TestSyncDelayTable(t *testing.T) {
+	tbl, err := SyncDelay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		measured, _ := strconv.ParseFloat(row[2], 64)
+		paper, _ := strconv.ParseFloat(row[3], 64)
+		if math.Abs(measured-paper) > 1e-9 {
+			t.Fatalf("%s on %s: measured %.1f, paper %.1f\n%s", row[0], row[1], measured, paper, tbl.Format())
+		}
+	}
+}
+
+func TestStorageTableShowsDAGConstant(t *testing.T) {
+	tbl, err := Storage(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dagRow, skRow []string
+	for _, row := range tbl.Rows {
+		switch row[0] {
+		case "dag":
+			dagRow = row
+		case "suzuki-kasami":
+			skRow = row
+		}
+	}
+	if dagRow == nil || skRow == nil {
+		t.Fatalf("missing rows:\n%s", tbl.Format())
+	}
+	if dagRow[1] != "3" || dagRow[2] != "0" || dagRow[3] != "0" {
+		t.Fatalf("dag row %v, want 3 scalars and nothing else", dagRow)
+	}
+	if dagRow[5] != "8" {
+		t.Fatalf("dag largest message = %s bytes, want 8 (two integers)", dagRow[5])
+	}
+	skArrays, _ := strconv.Atoi(skRow[2])
+	if skArrays < 12 {
+		t.Fatalf("suzuki-kasami array entries = %d, want >= N", skArrays)
+	}
+}
+
+func TestTopologySweepStarWins(t *testing.T) {
+	tbl, err := TopologySweep(13, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	means := map[string]float64{}
+	worsts := map[string]float64{}
+	for _, row := range tbl.Rows {
+		m, _ := strconv.ParseFloat(row[2], 64)
+		w, _ := strconv.ParseFloat(row[3], 64)
+		means[row[0]] = m
+		worsts[row[0]] = w
+	}
+	for name, m := range means {
+		if name == "star" {
+			continue
+		}
+		if means["star"] > m {
+			t.Fatalf("star mean %.2f not minimal (vs %s %.2f)\n%s", means["star"], name, m, tbl.Format())
+		}
+	}
+	// The thesis's §6 claim against Raymond's suggestion: the plain star
+	// strictly beats the radiating star on worst case.
+	for name, w := range worsts {
+		if strings.HasPrefix(name, "radiating") && worsts["star"] >= w {
+			t.Fatalf("star worst %.0f should beat radiating star %.0f", worsts["star"], w)
+		}
+	}
+}
+
+func TestLoadSweepShape(t *testing.T) {
+	tbl, err := LoadSweep(10, []sim.Time{0, 10 * sim.Hop, 100 * sim.Hop}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// At every load the DAG on a star must beat Ricart-Agrawala (2(N-1)).
+	for _, row := range tbl.Rows {
+		dag, _ := strconv.ParseFloat(row[1], 64)
+		ra, _ := strconv.ParseFloat(row[4], 64)
+		if dag >= ra {
+			t.Fatalf("dag %.2f should beat ricart-agrawala %.2f at think=%s", dag, ra, row[0])
+		}
+	}
+}
+
+func TestTableFormatAndCSV(t *testing.T) {
+	tbl := &Table{ID: "x", Title: "t", Columns: []string{"a", "bb"}}
+	tbl.AddRow("1", "2")
+	txt := tbl.Format()
+	if !strings.Contains(txt, "=== x: t ===") || !strings.Contains(txt, "bb") {
+		t.Fatalf("format:\n%s", txt)
+	}
+	csv := tbl.CSV()
+	if csv != "a,bb\n1,2\n" {
+		t.Fatalf("csv = %q", csv)
+	}
+}
+
+func TestTableRowArityPanics(t *testing.T) {
+	tbl := &Table{ID: "x", Columns: []string{"a"}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("arity mismatch must panic")
+		}
+	}()
+	tbl.AddRow("1", "2")
+}
+
+func TestRadiatingStarOf(t *testing.T) {
+	tree := radiatingStarOf(13)
+	if tree == nil || tree.N() != 13 {
+		t.Fatalf("radiatingStarOf(13) = %v", tree)
+	}
+	if tree := radiatingStarOf(2); tree != nil {
+		t.Fatalf("radiatingStarOf(2) should be nil, got %s", tree.Name())
+	}
+}
+
+func TestTokenPlacementMatchesDerivation(t *testing.T) {
+	// The generator itself errors if measured deviates from the §6.2
+	// intermediate formulas; check the center column stays cheaper.
+	tbl, err := TokenPlacement([]int{5, 10, 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		leaf, _ := strconv.ParseFloat(row[1], 64)
+		center, _ := strconv.ParseFloat(row[3], 64)
+		if center >= leaf {
+			t.Fatalf("center placement %.4f should beat leaf %.4f\n%s", center, leaf, tbl.Format())
+		}
+	}
+}

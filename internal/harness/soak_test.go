@@ -1,0 +1,74 @@
+package harness
+
+import (
+	"testing"
+
+	"dagmutex/internal/check"
+	"dagmutex/internal/cluster"
+	"dagmutex/internal/metrics"
+	"dagmutex/internal/sim"
+	"dagmutex/internal/topology"
+	"dagmutex/internal/workload"
+)
+
+// TestSoakDAGLargeStar pushes the headline configuration well past the
+// thesis's examples: 100 nodes, saturated demand, thousands of entries.
+// The §6.2 bound (at most ~3 messages per entry) and the §6.3 delay
+// (1 hop) must hold at scale, with bypass bounded (starvation freedom).
+func TestSoakDAGLargeStar(t *testing.T) {
+	const n = 100
+	star := topology.Star(n)
+	cfg, err := DAG.Configure(star, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cluster.New(DAG.Builder, cfg, cluster.WithCSTime(sim.Hop/2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const perNode = 30
+	workload.Closed{Requests: perNode}.Install(c)
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := c.Entries(), n*perNode; got != want {
+		t.Fatalf("entries = %d, want %d", got, want)
+	}
+	if per := metrics.MessagesPerEntry(c.Counts(), c.Entries()); per > 3 {
+		t.Fatalf("messages per entry = %.3f at N=%d, thesis bound is 3", per, n)
+	}
+	ds := metrics.SyncDelays(c.Grants())
+	if s := metrics.Summarize(ds); s.Max > 1.01 {
+		t.Fatalf("sync delay max = %.3f hops, thesis promises 1", s.Max)
+	}
+	if err := check.BoundedBypass(c.Grants(), 2*n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSoakAllAlgorithmsMidSize runs every protocol at N=30 under
+// saturation as a uniform robustness sweep; the cluster monitors enforce
+// safety, deadlock- and starvation-freedom for each.
+func TestSoakAllAlgorithmsMidSize(t *testing.T) {
+	star := topology.Star(30)
+	for _, a := range Algorithms() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			cfg, err := a.Configure(star, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := cluster.New(a.Builder, cfg, cluster.WithCSTime(sim.Hop/2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			workload.Closed{Requests: 10}.Install(c)
+			if err := c.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if got, want := c.Entries(), 300; got != want {
+				t.Fatalf("entries = %d, want %d", got, want)
+			}
+		})
+	}
+}

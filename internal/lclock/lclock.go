@@ -1,0 +1,56 @@
+// Package lclock provides Lamport logical clocks and the (sequence, node)
+// timestamps that totally order requests in the assertion-based baselines
+// (Lamport, Ricart–Agrawala, Carvalho–Roucairol, Maekawa).
+//
+// Ordering follows the thesis §2.1: stamp a precedes stamp b if a.Seq <
+// b.Seq, or a.Seq == b.Seq and a.Node < b.Node.
+package lclock
+
+import (
+	"fmt"
+
+	"dagmutex/internal/mutex"
+)
+
+// Clock is a Lamport logical clock. The zero value is ready to use.
+type Clock struct {
+	now uint64
+}
+
+// Now returns the current clock value without advancing it.
+func (c *Clock) Now() uint64 { return c.now }
+
+// Tick advances the clock for a local event and returns the new value.
+func (c *Clock) Tick() uint64 {
+	c.now++
+	return c.now
+}
+
+// Witness merges an observed remote value: the clock jumps past it, so
+// every event that causally follows the observation is stamped later.
+func (c *Clock) Witness(seen uint64) {
+	if seen > c.now {
+		c.now = seen
+	}
+	c.now++
+}
+
+// Stamp is a totally ordered request timestamp.
+type Stamp struct {
+	Seq  uint64
+	Node mutex.ID
+}
+
+// Less reports whether s precedes o in the total order.
+func (s Stamp) Less(o Stamp) bool {
+	if s.Seq != o.Seq {
+		return s.Seq < o.Seq
+	}
+	return s.Node < o.Node
+}
+
+// IsZero reports whether s is the zero stamp (no request).
+func (s Stamp) IsZero() bool { return s == Stamp{} }
+
+// String renders the stamp as "seq.node".
+func (s Stamp) String() string { return fmt.Sprintf("%d.%d", s.Seq, s.Node) }

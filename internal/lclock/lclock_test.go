@@ -1,0 +1,91 @@
+package lclock
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dagmutex/internal/mutex"
+)
+
+func TestTickIncrements(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatal("zero clock should read 0")
+	}
+	if c.Tick() != 1 || c.Tick() != 2 {
+		t.Fatal("Tick must increment by one")
+	}
+}
+
+func TestWitnessJumpsPast(t *testing.T) {
+	var c Clock
+	c.Witness(10)
+	if c.Now() != 11 {
+		t.Fatalf("Now = %d, want 11", c.Now())
+	}
+	c.Witness(5) // older value: still advances by one
+	if c.Now() != 12 {
+		t.Fatalf("Now = %d, want 12", c.Now())
+	}
+}
+
+func TestWitnessMonotone(t *testing.T) {
+	f := func(seen []uint64) bool {
+		var c Clock
+		prev := c.Now()
+		for _, s := range seen {
+			c.Witness(s)
+			if c.Now() <= prev || c.Now() <= s {
+				return false
+			}
+			prev = c.Now()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStampTotalOrder(t *testing.T) {
+	a := Stamp{Seq: 1, Node: 2}
+	b := Stamp{Seq: 2, Node: 1}
+	tie := Stamp{Seq: 1, Node: 3}
+	if !a.Less(b) || b.Less(a) {
+		t.Fatal("sequence must dominate")
+	}
+	if !a.Less(tie) || tie.Less(a) {
+		t.Fatal("node id must break ties")
+	}
+	if a.Less(a) {
+		t.Fatal("irreflexive")
+	}
+}
+
+func TestStampOrderIsStrictTotal(t *testing.T) {
+	f := func(s1, n1, s2, n2 uint8) bool {
+		a := Stamp{Seq: uint64(s1), Node: mutex.ID(1 + n1%9)}
+		b := Stamp{Seq: uint64(s2), Node: mutex.ID(1 + n2%9)}
+		if a == b {
+			return !a.Less(b) && !b.Less(a)
+		}
+		return a.Less(b) != b.Less(a) // exactly one direction holds
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroAndString(t *testing.T) {
+	var z Stamp
+	if !z.IsZero() {
+		t.Fatal("zero stamp must report IsZero")
+	}
+	s := Stamp{Seq: 7, Node: 3}
+	if s.IsZero() {
+		t.Fatal("non-zero stamp must not report IsZero")
+	}
+	if s.String() != "7.3" {
+		t.Fatalf("String = %q", s.String())
+	}
+}

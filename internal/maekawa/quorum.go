@@ -1,0 +1,162 @@
+package maekawa
+
+import (
+	"fmt"
+	"sort"
+
+	"dagmutex/internal/mutex"
+)
+
+// Quorums builds the request sets (the thesis's "committees") used by
+// Maekawa's algorithm. Every returned quorum contains the node itself, and
+// every pair of quorums intersects — the property mutual exclusion rests
+// on. All constructors verify both properties before returning.
+
+// GridQuorums arranges the nodes row-major in a ⌈√N⌉-wide grid and gives
+// each node its full row plus its full column, ≈ 2√N − 1 members. The
+// construction works for every N: two cells always share a row cell, a
+// column cell, or (when both "corners" fall beyond a ragged last row) an
+// entire row.
+func GridQuorums(ids []mutex.ID) (map[mutex.ID][]mutex.ID, error) {
+	if err := mutex.ValidateIDs(ids, mutex.Nil); err != nil {
+		return nil, err
+	}
+	n := len(ids)
+	w := 1
+	for w*w < n {
+		w++
+	}
+	at := func(r, c int) (mutex.ID, bool) {
+		i := r*w + c
+		if i >= n {
+			return mutex.Nil, false
+		}
+		return ids[i], true
+	}
+	q := make(map[mutex.ID][]mutex.ID, n)
+	for i, id := range ids {
+		r, c := i/w, i%w
+		set := map[mutex.ID]bool{id: true}
+		for cc := 0; cc < w; cc++ {
+			if m, ok := at(r, cc); ok {
+				set[m] = true
+			}
+		}
+		for rr := 0; rr*w+c < n; rr++ {
+			if m, ok := at(rr, c); ok {
+				set[m] = true
+			}
+		}
+		q[id] = sortedIDs(set)
+	}
+	if err := Verify(ids, q); err != nil {
+		return nil, fmt.Errorf("grid construction: %w", err)
+	}
+	return q, nil
+}
+
+// perfectDifferenceSets maps N = q²+q+1 to a Singer perfect difference set
+// modulo N. Quorum(i) = { (i + d) mod N } then has exactly one common
+// member with every other quorum — the finite-projective-plane committees
+// Maekawa's paper proposes, of optimal size K = q+1 ≈ √N.
+var perfectDifferenceSets = map[int][]int{
+	3:  {0, 1},                               // q = 1
+	7:  {0, 1, 3},                            // q = 2 (Fano plane)
+	13: {0, 1, 3, 9},                         // q = 3
+	21: {0, 1, 6, 8, 18},                     // q = 4
+	31: {0, 1, 3, 8, 12, 18},                 // q = 5
+	57: {0, 1, 3, 13, 32, 36, 43, 52},        // q = 7
+	73: {0, 1, 3, 7, 15, 31, 36, 54, 63},     // q = 8
+	91: {0, 1, 3, 9, 27, 49, 56, 61, 77, 81}, // q = 9
+}
+
+// ProjectivePlaneSizes lists the cluster sizes for which FPPQuorums is
+// available, ascending.
+func ProjectivePlaneSizes() []int {
+	sizes := make([]int, 0, len(perfectDifferenceSets))
+	for n := range perfectDifferenceSets {
+		sizes = append(sizes, n)
+	}
+	sort.Ints(sizes)
+	return sizes
+}
+
+// FPPQuorums builds finite-projective-plane quorums of size q+1 for
+// N = q²+q+1 nodes via perfect difference sets. It fails for sizes without
+// a tabulated difference set; GridQuorums covers those.
+func FPPQuorums(ids []mutex.ID) (map[mutex.ID][]mutex.ID, error) {
+	if err := mutex.ValidateIDs(ids, mutex.Nil); err != nil {
+		return nil, err
+	}
+	n := len(ids)
+	ds, ok := perfectDifferenceSets[n]
+	if !ok {
+		return nil, fmt.Errorf("%w: no projective plane tabulated for N=%d (available: %v)",
+			mutex.ErrBadConfig, n, ProjectivePlaneSizes())
+	}
+	q := make(map[mutex.ID][]mutex.ID, n)
+	for i, id := range ids {
+		set := make(map[mutex.ID]bool, len(ds))
+		for _, d := range ds {
+			set[ids[(i+d)%n]] = true
+		}
+		q[id] = sortedIDs(set)
+	}
+	if err := Verify(ids, q); err != nil {
+		return nil, fmt.Errorf("difference-set construction: %w", err)
+	}
+	return q, nil
+}
+
+// Verify checks the two structural requirements of Maekawa quorums:
+// self-membership and pairwise non-empty intersection.
+func Verify(ids []mutex.ID, q map[mutex.ID][]mutex.ID) error {
+	for _, id := range ids {
+		members, ok := q[id]
+		if !ok || len(members) == 0 {
+			return fmt.Errorf("node %d has no quorum", id)
+		}
+		if !contains(members, id) {
+			return fmt.Errorf("node %d's quorum %v does not contain itself", id, members)
+		}
+	}
+	for i, a := range ids {
+		for _, b := range ids[i+1:] {
+			if !intersects(q[a], q[b]) {
+				return fmt.Errorf("quorums of %d and %d are disjoint: %v vs %v", a, b, q[a], q[b])
+			}
+		}
+	}
+	return nil
+}
+
+func contains(ids []mutex.ID, id mutex.ID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+func intersects(a, b []mutex.ID) bool {
+	seen := make(map[mutex.ID]bool, len(a))
+	for _, x := range a {
+		seen[x] = true
+	}
+	for _, y := range b {
+		if seen[y] {
+			return true
+		}
+	}
+	return false
+}
+
+func sortedIDs(set map[mutex.ID]bool) []mutex.ID {
+	out := make([]mutex.ID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

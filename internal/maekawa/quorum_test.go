@@ -1,0 +1,174 @@
+package maekawa
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dagmutex/internal/mutex"
+)
+
+func TestGridQuorumsAllSizes(t *testing.T) {
+	for n := 1; n <= 64; n++ {
+		ids := idRange(n)
+		q, err := GridQuorums(ids)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := Verify(ids, q); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// Quorum size is O(√N): at most 2·⌈√N⌉ − 1.
+		w := int(math.Ceil(math.Sqrt(float64(n))))
+		for id, members := range q {
+			if len(members) > 2*w-1+1 { // +1 slack for ragged rows
+				t.Fatalf("n=%d node %d: quorum size %d too large (w=%d)", n, id, len(members), w)
+			}
+		}
+	}
+}
+
+func TestGridQuorumsPropertyRandomSizes(t *testing.T) {
+	f := func(raw uint8) bool {
+		n := int(raw%100) + 1
+		ids := idRange(n)
+		q, err := GridQuorums(ids)
+		if err != nil {
+			return false
+		}
+		return Verify(ids, q) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFPPQuorumsTabulatedSizes(t *testing.T) {
+	for _, n := range ProjectivePlaneSizes() {
+		ids := idRange(n)
+		q, err := FPPQuorums(ids)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := Verify(ids, q); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// A projective plane of order q gives quorums of size q+1 with
+		// pairwise intersections of EXACTLY one node.
+		k := len(q[ids[0]])
+		if k*(k-1)+1 != n {
+			t.Fatalf("n=%d: quorum size %d does not satisfy N = K(K-1)+1", n, k)
+		}
+		for i, a := range ids {
+			if len(q[a]) != k {
+				t.Fatalf("n=%d: node %d quorum size %d, want %d", n, a, len(q[a]), k)
+			}
+			for _, b := range ids[i+1:] {
+				if got := intersectionSize(q[a], q[b]); got != 1 {
+					t.Fatalf("n=%d: |Q%d ∩ Q%d| = %d, want exactly 1", n, a, b, got)
+				}
+			}
+		}
+	}
+}
+
+func intersectionSize(a, b []mutex.ID) int {
+	seen := make(map[mutex.ID]bool, len(a))
+	for _, x := range a {
+		seen[x] = true
+	}
+	c := 0
+	for _, y := range b {
+		if seen[y] {
+			c++
+		}
+	}
+	return c
+}
+
+func TestFPPQuorumsUnavailableSize(t *testing.T) {
+	if _, err := FPPQuorums(idRange(10)); err == nil {
+		t.Fatal("N=10 has no projective plane; FPPQuorums must refuse")
+	}
+}
+
+func TestVerifyRejectsBrokenQuorums(t *testing.T) {
+	ids := idRange(4)
+	missingSelf := map[mutex.ID][]mutex.ID{1: {2}, 2: {1, 2}, 3: {3}, 4: {4}}
+	if err := Verify(ids, missingSelf); err == nil {
+		t.Fatal("quorum without self accepted")
+	}
+	disjoint := map[mutex.ID][]mutex.ID{1: {1, 2}, 2: {1, 2}, 3: {3, 4}, 4: {3, 4}}
+	if err := Verify(ids, disjoint); err == nil {
+		t.Fatal("disjoint quorums accepted")
+	}
+	empty := map[mutex.ID][]mutex.ID{1: {1}, 2: {1, 2}, 3: nil, 4: {1, 4}}
+	if err := Verify(ids, empty); err == nil {
+		t.Fatal("empty quorum accepted")
+	}
+}
+
+func TestGridQuorumSizesNearTheory(t *testing.T) {
+	// For perfect squares the grid quorum has exactly 2√N − 1 members.
+	for _, n := range []int{4, 9, 16, 25, 36, 49} {
+		ids := idRange(n)
+		q, err := GridQuorums(ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := int(math.Sqrt(float64(n)))
+		for id, members := range q {
+			if len(members) != 2*w-1 {
+				t.Fatalf("n=%d node %d: quorum size %d, want %d", n, id, len(members), 2*w-1)
+			}
+		}
+	}
+}
+
+func TestQuorumLoadSpreadIsEven(t *testing.T) {
+	// Each node should arbitrate for roughly the same number of quorums;
+	// for FPP planes, exactly K (the design is symmetric).
+	ids := idRange(13)
+	q, err := FPPQuorums(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := make(map[mutex.ID]int)
+	for _, members := range q {
+		for _, m := range members {
+			load[m]++
+		}
+	}
+	k := len(q[1])
+	for id, l := range load {
+		if l != k {
+			t.Fatalf("node %d arbitrates %d quorums, want %d", id, l, k)
+		}
+	}
+	// Random spot-check that grid loads stay within 2x of each other.
+	rng := rand.New(rand.NewSource(1))
+	n := 20 + rng.Intn(30)
+	gq, err := GridQuorums(idRange(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gl := make(map[mutex.ID]int)
+	for _, members := range gq {
+		for _, m := range members {
+			gl[m]++
+		}
+	}
+	min, max := 1<<30, 0
+	for _, l := range gl {
+		if l < min {
+			min = l
+		}
+		if l > max {
+			max = l
+		}
+	}
+	if max > 3*min {
+		t.Fatalf("grid load skew too high: min %d max %d (n=%d)", min, max, n)
+	}
+}

@@ -1,0 +1,82 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"dagmutex/internal/cluster"
+	"dagmutex/internal/mutex"
+	"dagmutex/internal/sim"
+)
+
+func TestMessagesPerEntry(t *testing.T) {
+	c := sim.Counts{Messages: 30}
+	if got := MessagesPerEntry(c, 10); got != 3 {
+		t.Fatalf("got %v, want 3", got)
+	}
+	if got := MessagesPerEntry(c, 0); !math.IsNaN(got) {
+		t.Fatalf("zero entries should be NaN, got %v", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{3, 1, 2})
+	if s.Count != 3 || s.Min != 1 || s.Max != 3 || s.Mean != 2 {
+		t.Fatalf("summary = %+v", s)
+	}
+	empty := Summarize(nil)
+	if empty.Count != 0 || !math.IsNaN(empty.Mean) {
+		t.Fatalf("empty summary = %+v", empty)
+	}
+	if s.String() == "" {
+		t.Fatal("String must render")
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	Summarize(xs)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestSyncDelays(t *testing.T) {
+	grants := []cluster.Grant{
+		{ReqAt: 0, GrantAt: 10, PrevExitAt: -1},                // first: never waited
+		{ReqAt: 5, GrantAt: 20 + sim.Hop, PrevExitAt: 20},      // waited, 1 hop
+		{ReqAt: 100, GrantAt: 200, PrevExitAt: 50},             // requested after exit: not waiting
+		{ReqAt: 10, GrantAt: 300 + 2*sim.Hop, PrevExitAt: 300}, // waited, 2 hops
+	}
+	ds := SyncDelays(grants)
+	if len(ds) != 2 || ds[0] != 1 || ds[1] != 2 {
+		t.Fatalf("delays = %v, want [1 2]", ds)
+	}
+}
+
+func TestWaitTimes(t *testing.T) {
+	grants := []cluster.Grant{
+		{ReqAt: 0, GrantAt: 2 * sim.Hop},
+		{ReqAt: 3 * sim.Hop, GrantAt: 3 * sim.Hop},
+	}
+	ws := WaitTimes(grants)
+	if len(ws) != 2 || ws[0] != 2 || ws[1] != 0 {
+		t.Fatalf("wait times = %v, want [2 0]", ws)
+	}
+}
+
+func TestStorageFrom(t *testing.T) {
+	m := map[mutex.ID]mutex.Storage{
+		1: {Scalars: 3, Bytes: 9},
+		2: {Scalars: 3, QueueEntries: 5, Bytes: 29},
+		3: {Scalars: 3, ArrayEntries: 10, Bytes: 49},
+	}
+	r := StorageFrom(m)
+	if r.PerNodeMax.Scalars != 3 || r.PerNodeMax.QueueEntries != 5 ||
+		r.PerNodeMax.ArrayEntries != 10 || r.PerNodeMax.Bytes != 49 {
+		t.Fatalf("per-node max = %+v", r.PerNodeMax)
+	}
+	if r.Total.Scalars != 9 || r.Total.Bytes != 87 {
+		t.Fatalf("total = %+v", r.Total)
+	}
+}

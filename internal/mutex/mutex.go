@@ -1,0 +1,179 @@
+// Package mutex defines the abstractions shared by every distributed
+// mutual-exclusion protocol in this repository: node identifiers, wire
+// messages, the environment through which a protocol interacts with the
+// outside world, and the Node interface each protocol implements.
+//
+// A protocol node is a purely event-driven state machine. It never blocks:
+// the paper's "wait until PRIVILEGE message is received" is modeled as an
+// explicit requesting state. Handlers (Request, Release, Deliver) are always
+// invoked in local mutual exclusion — the simulator delivers events one at a
+// time, and the live runtime serializes calls with a per-node lock — which
+// matches the execution model assumed by the thesis (each node executes P1
+// and P2 in local mutual exclusion).
+package mutex
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ID identifies a node. Valid node identifiers are positive; Nil (zero)
+// plays the role of the paper's "0" value for NEXT and FOLLOW pointers.
+type ID int32
+
+// Nil is the null node identifier (the paper's 0).
+const Nil ID = 0
+
+// Message is a protocol message travelling between nodes.
+type Message interface {
+	// Kind returns a short stable name for the message type, such as
+	// "REQUEST" or "PRIVILEGE". Kinds are used for accounting and traces.
+	Kind() string
+	// Size returns the number of payload bytes the message would occupy on
+	// the wire, excluding transport framing. The thesis's storage analysis
+	// counts a REQUEST as two integers and a PRIVILEGE as empty; Size makes
+	// that accounting executable.
+	Size() int
+}
+
+// Env is the surface through which a protocol node acts on the world.
+// Implementations are provided by the simulator driver and by the live
+// runtime; protocols never construct one.
+type Env interface {
+	// Send transmits m to the node identified by to. Delivery is reliable
+	// and FIFO per (sender, receiver) pair, per the paper's system model.
+	Send(to ID, m Message)
+	// Granted reports that the node's pending Request has been granted and
+	// the application now holds the critical section. The application must
+	// eventually call Release on the node.
+	Granted()
+}
+
+// Node is a protocol instance running at one site.
+//
+// The contract follows the paper's model: at most one outstanding request
+// per node, so Request must not be called again until the previous request
+// has been granted (Env.Granted) and released (Release).
+type Node interface {
+	// ID returns the node's identifier.
+	ID() ID
+	// Request asks the protocol to acquire the critical section on behalf
+	// of the local application. If the node can enter immediately (for
+	// example, it already holds an idle token) the implementation calls
+	// Env.Granted before returning. It returns an error if a request is
+	// already outstanding or the node is already in its critical section.
+	Request() error
+	// Release reports that the local application has left the critical
+	// section. It returns an error if the node is not in its critical
+	// section.
+	Release() error
+	// Deliver processes a protocol message previously sent to this node.
+	// from is the transport-level sender.
+	Deliver(from ID, m Message) error
+	// Storage reports the node's current control-state footprint, used by
+	// the storage-overhead experiment (thesis §6.4).
+	Storage() Storage
+}
+
+// Storage describes the control-state footprint of a node (or, with only
+// Bytes set, of a message). Scalars counts simple variables such as the
+// DAG algorithm's HOLDING, NEXT and FOLLOW; ArrayEntries counts per-node
+// array slots such as Suzuki–Kasami's RN vector; QueueEntries counts
+// dynamically queued items such as Raymond's local request queue.
+type Storage struct {
+	Scalars      int
+	ArrayEntries int
+	QueueEntries int
+	Bytes        int
+}
+
+// Add returns the element-wise sum of s and o.
+func (s Storage) Add(o Storage) Storage {
+	return Storage{
+		Scalars:      s.Scalars + o.Scalars,
+		ArrayEntries: s.ArrayEntries + o.ArrayEntries,
+		QueueEntries: s.QueueEntries + o.QueueEntries,
+		Bytes:        s.Bytes + o.Bytes,
+	}
+}
+
+// String renders the footprint compactly, e.g. "3 scalars, 0 array, 0 queued (12B)".
+func (s Storage) String() string {
+	return fmt.Sprintf("%d scalars, %d array, %d queued (%dB)",
+		s.Scalars, s.ArrayEntries, s.QueueEntries, s.Bytes)
+}
+
+// Config carries the cluster-wide parameters a protocol needs at
+// construction time. Fields irrelevant to a given protocol are ignored by
+// its Builder; Builders validate the fields they require.
+type Config struct {
+	// IDs lists every node in the cluster in ascending order.
+	IDs []ID
+	// Holder is the initial token holder for token-based protocols and the
+	// coordinator for the centralized scheme.
+	Holder ID
+	// Parent maps each node to its logical-tree neighbor on the path toward
+	// Holder; Parent[Holder] is absent (treated as Nil). Tree-structured
+	// protocols (the DAG algorithm, Raymond) require it.
+	Parent map[ID]ID
+	// Neighbors is the undirected adjacency of the logical tree, required
+	// only by protocols that derive their own orientation at runtime (the
+	// DAG algorithm's Figure 5 INIT procedure).
+	Neighbors map[ID][]ID
+	// Quorums maps each node to its request set for quorum-based protocols
+	// (Maekawa). Each quorum must contain the node itself.
+	Quorums map[ID][]ID
+}
+
+// Builder constructs a protocol node. Each algorithm package exports one.
+type Builder func(id ID, env Env, cfg Config) (Node, error)
+
+// Common construction and contract errors shared across protocol packages.
+var (
+	// ErrOutstanding reports a Request while one is already pending or the
+	// node is in its critical section (the paper allows at most one
+	// outstanding request per node).
+	ErrOutstanding = errors.New("mutex: request already outstanding")
+	// ErrNotInCS reports a Release without a matching grant.
+	ErrNotInCS = errors.New("mutex: release outside critical section")
+	// ErrUnexpectedMessage reports a message that the protocol state
+	// machine cannot accept (for example a PRIVILEGE at a node that never
+	// requested). Under the paper's assumptions this indicates a bug.
+	ErrUnexpectedMessage = errors.New("mutex: unexpected protocol message")
+	// ErrBadConfig reports an invalid Config passed to a Builder.
+	ErrBadConfig = errors.New("mutex: invalid configuration")
+)
+
+// ValidateIDs checks that ids is non-empty, strictly ascending and all
+// positive, and that member (if non-Nil) is present. Builders use it to
+// validate Config.IDs.
+func ValidateIDs(ids []ID, member ID) error {
+	if len(ids) == 0 {
+		return fmt.Errorf("%w: empty ID list", ErrBadConfig)
+	}
+	prev := Nil
+	found := false
+	for _, id := range ids {
+		if id <= Nil {
+			return fmt.Errorf("%w: non-positive ID %d", ErrBadConfig, id)
+		}
+		if id <= prev {
+			return fmt.Errorf("%w: IDs not strictly ascending at %d", ErrBadConfig, id)
+		}
+		if id == member {
+			found = true
+		}
+		prev = id
+	}
+	if member != Nil && !found {
+		return fmt.Errorf("%w: node %d not in ID list", ErrBadConfig, member)
+	}
+	return nil
+}
+
+// IntSize is the wire size, in bytes, that the message-size accounting
+// assigns to one integer field (node identifier or sequence number).
+const IntSize = 4
+
+// KindSize is the wire size, in bytes, assigned to a message's kind tag.
+const KindSize = 1

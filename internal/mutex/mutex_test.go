@@ -1,0 +1,50 @@
+package mutex
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestValidateIDs(t *testing.T) {
+	cases := []struct {
+		name   string
+		ids    []ID
+		member ID
+		ok     bool
+	}{
+		{"valid", []ID{1, 2, 3}, 2, true},
+		{"valid without member check", []ID{1, 5, 9}, Nil, true},
+		{"empty", nil, Nil, false},
+		{"zero id", []ID{0, 1}, Nil, false},
+		{"negative id", []ID{-1, 1}, Nil, false},
+		{"duplicate", []ID{1, 1}, Nil, false},
+		{"descending", []ID{2, 1}, Nil, false},
+		{"member missing", []ID{1, 2}, 9, false},
+	}
+	for _, c := range cases {
+		err := ValidateIDs(c.ids, c.member)
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok {
+			if err == nil {
+				t.Errorf("%s: expected error", c.name)
+			} else if !errors.Is(err, ErrBadConfig) {
+				t.Errorf("%s: error %v does not wrap ErrBadConfig", c.name, err)
+			}
+		}
+	}
+}
+
+func TestStorageAddAndString(t *testing.T) {
+	a := Storage{Scalars: 3, Bytes: 9}
+	b := Storage{Scalars: 1, ArrayEntries: 4, QueueEntries: 2, Bytes: 30}
+	sum := a.Add(b)
+	if sum.Scalars != 4 || sum.ArrayEntries != 4 || sum.QueueEntries != 2 || sum.Bytes != 39 {
+		t.Fatalf("Add = %+v", sum)
+	}
+	if !strings.Contains(sum.String(), "4 scalars") {
+		t.Fatalf("String = %q", sum.String())
+	}
+}

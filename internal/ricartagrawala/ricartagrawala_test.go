@@ -1,0 +1,118 @@
+package ricartagrawala
+
+import (
+	"errors"
+	"testing"
+
+	"dagmutex/internal/cluster"
+	"dagmutex/internal/conformance"
+	"dagmutex/internal/mutex"
+	"dagmutex/internal/sim"
+)
+
+func config(n int, holder mutex.ID) mutex.Config {
+	ids := make([]mutex.ID, n)
+	for i := range ids {
+		ids[i] = mutex.ID(i + 1)
+	}
+	return mutex.Config{IDs: ids, Holder: holder}
+}
+
+func TestConformance(t *testing.T) {
+	conformance.Run(t, conformance.Factory{Name: "ricart-agrawala", Builder: Builder, Config: config})
+}
+
+func TestEveryEntryCostsTwoNMinusOne(t *testing.T) {
+	// §2.2: always exactly 2(N−1) messages, contended or not.
+	for _, n := range []int{2, 5, 9} {
+		c, err := cluster.New(Builder, config(n, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.RequestAt(0, 1)
+		c.RequestAt(1000*sim.Hop, mutex.ID(n)) // uncontended second entry
+		if err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+		want := int64(2 * 2 * (n - 1))
+		if got := c.Counts().Messages; got != want {
+			t.Fatalf("n=%d: messages = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestLowerStampWinsContention(t *testing.T) {
+	// Simultaneous requests: the earlier stamp (ties broken by id) wins.
+	c, err := cluster.New(Builder, config(4, 1), cluster.WithCSTime(10*sim.Hop))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RequestAt(0, 3)
+	c.RequestAt(0, 2) // same instant: equal seq, lower id 2 wins
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	order := c.GrantOrder()
+	if len(order) != 2 || order[0] != 2 || order[1] != 3 {
+		t.Fatalf("grant order = %v, want [2 3]", order)
+	}
+}
+
+func TestDeferredRepliesFlushOnRelease(t *testing.T) {
+	// While node 1 is in its CS every other request is deferred; its
+	// release must free all of them.
+	const n = 5
+	c, err := cluster.New(Builder, config(n, 1), cluster.WithCSTime(100*sim.Hop))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RequestAt(0, 1)
+	for i := 2; i <= n; i++ {
+		c.RequestAt(10*sim.Hop+sim.Time(i), mutex.ID(i))
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Entries(); got != n {
+		t.Fatalf("entries = %d, want %d", got, n)
+	}
+}
+
+func TestSingleNodeClusterEntersLocally(t *testing.T) {
+	c, err := cluster.New(Builder, config(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RequestAt(0, 1)
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Entries() != 1 || c.Counts().Messages != 0 {
+		t.Fatalf("entries=%d messages=%d", c.Entries(), c.Counts().Messages)
+	}
+}
+
+func TestProtocolErrors(t *testing.T) {
+	env := nopEnv{}
+	n, err := New(1, env, config(3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Release(); !errors.Is(err, mutex.ErrNotInCS) {
+		t.Fatalf("Release = %v", err)
+	}
+	if err := n.Deliver(2, reply{}); !errors.Is(err, mutex.ErrUnexpectedMessage) {
+		t.Fatalf("stray REPLY = %v", err)
+	}
+	if err := n.Request(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Request(); !errors.Is(err, mutex.ErrOutstanding) {
+		t.Fatalf("double request = %v", err)
+	}
+}
+
+type nopEnv struct{}
+
+func (nopEnv) Send(mutex.ID, mutex.Message) {}
+func (nopEnv) Granted()                     {}

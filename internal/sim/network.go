@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"dagmutex/internal/mutex"
+)
+
+// Network is a reliable message network layered over a Scheduler. It
+// guarantees per-(sender, receiver) FIFO delivery — the ordering assumption
+// the thesis makes of the physical network — by clamping each message's
+// arrival time to strictly after the previous arrival on the same link.
+//
+// The network also keeps the message accounting (totals, per-kind counts,
+// byte counts) that the Chapter 6 experiments report.
+type Network struct {
+	sched *Scheduler
+	lat   LatencyModel
+	rng   *rand.Rand
+
+	nodes       map[mutex.ID]mutex.Node
+	lastArrival map[linkKey]Time
+	fifo        bool
+
+	counts  Counts
+	observe func(Delivery)
+	drop    func(from, to mutex.ID, m mutex.Message) bool
+
+	deliverErrs []error
+}
+
+type linkKey struct{ from, to mutex.ID }
+
+// Counts aggregates message-traffic statistics for a run or a phase of one.
+type Counts struct {
+	Messages int64
+	Bytes    int64
+	ByKind   map[string]int64
+	// MaxSizeByKind records the largest payload seen per message kind,
+	// feeding the storage-overhead experiment (variable-size messages such
+	// as the Suzuki–Kasami token grow with load).
+	MaxSizeByKind map[string]int
+}
+
+// clone returns a deep copy so that snapshots are stable.
+func (c Counts) clone() Counts {
+	byKind := make(map[string]int64, len(c.ByKind))
+	for k, v := range c.ByKind {
+		byKind[k] = v
+	}
+	maxSize := make(map[string]int, len(c.MaxSizeByKind))
+	for k, v := range c.MaxSizeByKind {
+		maxSize[k] = v
+	}
+	return Counts{Messages: c.Messages, Bytes: c.Bytes, ByKind: byKind, MaxSizeByKind: maxSize}
+}
+
+// Sub returns the difference c - o, counting traffic between two snapshots.
+func (c Counts) Sub(o Counts) Counts {
+	d := c.clone()
+	d.Messages -= o.Messages
+	d.Bytes -= o.Bytes
+	for k, v := range o.ByKind {
+		d.ByKind[k] -= v
+		if d.ByKind[k] == 0 {
+			delete(d.ByKind, k)
+		}
+	}
+	return d
+}
+
+// Kinds returns the message kinds seen so far, sorted, for stable output.
+func (c Counts) Kinds() []string {
+	kinds := make([]string, 0, len(c.ByKind))
+	for k := range c.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	return kinds
+}
+
+// Delivery describes one message delivery, for tracing.
+type Delivery struct {
+	SentAt    Time
+	DeliverAt Time
+	From, To  mutex.ID
+	Msg       mutex.Message
+}
+
+// NetworkOption configures a Network.
+type NetworkOption func(*Network)
+
+// WithLatency sets the latency model (default Unit(Hop)).
+func WithLatency(l LatencyModel) NetworkOption {
+	return func(n *Network) { n.lat = l }
+}
+
+// WithoutFIFO disables the per-link FIFO clamp. The thesis assumes FIFO
+// links; this option exists only for the ablation that demonstrates what
+// breaks without them.
+func WithoutFIFO() NetworkOption {
+	return func(n *Network) { n.fifo = false }
+}
+
+// WithObserver registers fn to be called at every delivery, for tracing.
+func WithObserver(fn func(Delivery)) NetworkOption {
+	return func(n *Network) { n.observe = fn }
+}
+
+// WithDropRule registers a predicate consulted on every send; returning
+// true silently discards the message. Used by failure-injection tests.
+func WithDropRule(fn func(from, to mutex.ID, m mutex.Message) bool) NetworkOption {
+	return func(n *Network) { n.drop = fn }
+}
+
+// NewNetwork creates a network over sched, with randomness drawn from rng.
+func NewNetwork(sched *Scheduler, rng *rand.Rand, opts ...NetworkOption) *Network {
+	n := &Network{
+		sched:       sched,
+		lat:         Unit(Hop),
+		rng:         rng,
+		nodes:       make(map[mutex.ID]mutex.Node),
+		lastArrival: make(map[linkKey]Time),
+		fifo:        true,
+		counts:      Counts{ByKind: make(map[string]int64), MaxSizeByKind: make(map[string]int)},
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
+}
+
+// Attach registers node to receive deliveries addressed to its ID.
+func (n *Network) Attach(node mutex.Node) {
+	n.nodes[node.ID()] = node
+}
+
+// Node returns the attached node with the given id, or nil.
+func (n *Network) Node(id mutex.ID) mutex.Node { return n.nodes[id] }
+
+// Send queues m for delivery from -> to after the latency model's delay,
+// preserving per-link FIFO order. Sends to unknown destinations panic:
+// under the paper's model the membership is fixed, so they are bugs.
+func (n *Network) Send(from, to mutex.ID, m mutex.Message) {
+	if _, ok := n.nodes[to]; !ok {
+		panic(fmt.Sprintf("sim: send to unknown node %d (from %d, %s)", to, from, m.Kind()))
+	}
+	n.counts.Messages++
+	n.counts.Bytes += int64(m.Size() + mutex.KindSize)
+	n.counts.ByKind[m.Kind()]++
+	if sz := m.Size(); sz > n.counts.MaxSizeByKind[m.Kind()] {
+		n.counts.MaxSizeByKind[m.Kind()] = sz
+	}
+
+	if n.drop != nil && n.drop(from, to, m) {
+		return
+	}
+
+	sentAt := n.sched.Now()
+	arrival := sentAt + n.lat.Delay(from, to, n.rng)
+	if n.fifo {
+		key := linkKey{from, to}
+		if last, ok := n.lastArrival[key]; ok && arrival <= last {
+			arrival = last + 1
+		}
+		n.lastArrival[key] = arrival
+	}
+
+	n.sched.At(arrival, func() {
+		node, ok := n.nodes[to]
+		if !ok {
+			return
+		}
+		if n.observe != nil {
+			n.observe(Delivery{SentAt: sentAt, DeliverAt: n.sched.Now(), From: from, To: to, Msg: m})
+		}
+		if err := node.Deliver(from, m); err != nil {
+			n.deliverErrs = append(n.deliverErrs,
+				fmt.Errorf("deliver %s %d->%d at t=%d: %w", m.Kind(), from, to, n.sched.Now(), err))
+		}
+	})
+}
+
+// Counts returns a snapshot of the traffic statistics so far.
+func (n *Network) Counts() Counts { return n.counts.clone() }
+
+// DeliverErrors returns errors raised by node Deliver handlers. A correct
+// protocol under the paper's assumptions never produces any.
+func (n *Network) DeliverErrors() []error {
+	out := make([]error, len(n.deliverErrs))
+	copy(out, n.deliverErrs)
+	return out
+}

@@ -1,0 +1,180 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"dagmutex/internal/mutex"
+)
+
+// testMsg is a minimal message carrying an ordering tag.
+type testMsg struct {
+	tag int
+}
+
+func (m testMsg) Kind() string { return "TEST" }
+func (m testMsg) Size() int    { return mutex.IntSize }
+
+// sink records deliveries and otherwise behaves as an inert node.
+type sink struct {
+	id   mutex.ID
+	got  []testMsg
+	from []mutex.ID
+}
+
+func (s *sink) ID() mutex.ID           { return s.id }
+func (s *sink) Request() error         { return nil }
+func (s *sink) Release() error         { return nil }
+func (s *sink) Storage() mutex.Storage { return mutex.Storage{} }
+func (s *sink) Deliver(from mutex.ID, m mutex.Message) error {
+	s.got = append(s.got, m.(testMsg))
+	s.from = append(s.from, from)
+	return nil
+}
+
+func newTestNet(t *testing.T, opts ...NetworkOption) (*Scheduler, *Network, *sink, *sink) {
+	t.Helper()
+	sched := NewScheduler()
+	net := NewNetwork(sched, rand.New(rand.NewSource(1)), opts...)
+	a, b := &sink{id: 1}, &sink{id: 2}
+	net.Attach(a)
+	net.Attach(b)
+	return sched, net, a, b
+}
+
+func TestNetworkDeliversWithUnitLatency(t *testing.T) {
+	sched, net, _, b := newTestNet(t)
+	net.Send(1, 2, testMsg{tag: 7})
+	sched.Run()
+	if len(b.got) != 1 || b.got[0].tag != 7 {
+		t.Fatalf("delivery = %+v, want one message with tag 7", b.got)
+	}
+	if b.from[0] != 1 {
+		t.Fatalf("from = %d, want 1", b.from[0])
+	}
+	if sched.Now() != Hop {
+		t.Fatalf("delivery time = %d, want %d", sched.Now(), Hop)
+	}
+}
+
+func TestNetworkFIFOPerLinkUnderRandomLatency(t *testing.T) {
+	sched, net, _, b := newTestNet(t, WithLatency(UniformLatency(1, 10*Hop)))
+	const k = 50
+	for i := 0; i < k; i++ {
+		net.Send(1, 2, testMsg{tag: i})
+	}
+	sched.Run()
+	if len(b.got) != k {
+		t.Fatalf("delivered %d, want %d", len(b.got), k)
+	}
+	for i, m := range b.got {
+		if m.tag != i {
+			t.Fatalf("FIFO violated: position %d has tag %d", i, m.tag)
+		}
+	}
+}
+
+func TestNetworkWithoutFIFOCanReorder(t *testing.T) {
+	// A deterministic adversarial latency: later sends get shorter delays.
+	delays := []Time{3 * Hop, 1 * Hop}
+	i := 0
+	adversarial := latencyFunc(func() Time {
+		d := delays[i%len(delays)]
+		i++
+		return d
+	})
+	sched := NewScheduler()
+	net := NewNetwork(sched, rand.New(rand.NewSource(1)), WithLatency(adversarial), WithoutFIFO())
+	b := &sink{id: 2}
+	net.Attach(&sink{id: 1})
+	net.Attach(b)
+	net.Send(1, 2, testMsg{tag: 0})
+	net.Send(1, 2, testMsg{tag: 1})
+	sched.Run()
+	if b.got[0].tag != 1 || b.got[1].tag != 0 {
+		t.Fatalf("expected reordering without FIFO clamp, got %+v", b.got)
+	}
+}
+
+type latencyFunc func() Time
+
+func (f latencyFunc) Delay(_, _ mutex.ID, _ *rand.Rand) Time { return f() }
+
+func TestNetworkCounts(t *testing.T) {
+	sched, net, _, _ := newTestNet(t)
+	before := net.Counts()
+	net.Send(1, 2, testMsg{})
+	net.Send(2, 1, testMsg{})
+	sched.Run()
+	got := net.Counts().Sub(before)
+	if got.Messages != 2 {
+		t.Fatalf("Messages = %d, want 2", got.Messages)
+	}
+	wantBytes := int64(2 * (mutex.IntSize + mutex.KindSize))
+	if got.Bytes != wantBytes {
+		t.Fatalf("Bytes = %d, want %d", got.Bytes, wantBytes)
+	}
+	if got.ByKind["TEST"] != 2 {
+		t.Fatalf("ByKind[TEST] = %d, want 2", got.ByKind["TEST"])
+	}
+}
+
+func TestNetworkDropRule(t *testing.T) {
+	sched := NewScheduler()
+	net := NewNetwork(sched, rand.New(rand.NewSource(1)),
+		WithDropRule(func(_, _ mutex.ID, m mutex.Message) bool {
+			return m.(testMsg).tag%2 == 0
+		}))
+	b := &sink{id: 2}
+	net.Attach(&sink{id: 1})
+	net.Attach(b)
+	for i := 0; i < 4; i++ {
+		net.Send(1, 2, testMsg{tag: i})
+	}
+	sched.Run()
+	if len(b.got) != 2 || b.got[0].tag != 1 || b.got[1].tag != 3 {
+		t.Fatalf("drop rule failed: delivered %+v", b.got)
+	}
+	// Dropped messages still count as sent: the sender paid for them.
+	if c := net.Counts(); c.Messages != 4 {
+		t.Fatalf("Messages = %d, want 4 (drops count as sends)", c.Messages)
+	}
+}
+
+func TestNetworkObserver(t *testing.T) {
+	var seen []Delivery
+	sched := NewScheduler()
+	net := NewNetwork(sched, rand.New(rand.NewSource(1)),
+		WithObserver(func(d Delivery) { seen = append(seen, d) }))
+	b := &sink{id: 2}
+	net.Attach(&sink{id: 1})
+	net.Attach(b)
+	net.Send(1, 2, testMsg{tag: 9})
+	sched.Run()
+	if len(seen) != 1 {
+		t.Fatalf("observer saw %d deliveries, want 1", len(seen))
+	}
+	d := seen[0]
+	if d.From != 1 || d.To != 2 || d.SentAt != 0 || d.DeliverAt != Hop {
+		t.Fatalf("observed delivery %+v", d)
+	}
+}
+
+func TestNetworkSendToUnknownPanics(t *testing.T) {
+	_, net, _, _ := newTestNet(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("send to unknown node did not panic")
+		}
+	}()
+	net.Send(1, 99, testMsg{})
+}
+
+func TestCountsSub(t *testing.T) {
+	a := Counts{Messages: 5, Bytes: 50, ByKind: map[string]int64{"X": 3, "Y": 2}}
+	b := Counts{Messages: 2, Bytes: 20, ByKind: map[string]int64{"X": 2}}
+	d := a.Sub(b)
+	if d.Messages != 3 || d.Bytes != 30 || d.ByKind["X"] != 1 || d.ByKind["Y"] != 2 {
+		t.Fatalf("Sub = %+v", d)
+	}
+}

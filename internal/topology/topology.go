@@ -1,0 +1,312 @@
+// Package topology builds and analyzes the logical structures the DAG and
+// Raymond algorithms run on. The thesis requires the logical network to be
+// acyclic even ignoring edge directions and to have every node's out-degree
+// at most one — i.e. the undirected skeleton is a tree; directions are then
+// derived by orienting every edge toward the initial token holder, exactly
+// what the Figure 5 initialization procedure computes.
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"dagmutex/internal/mutex"
+)
+
+// Tree is an undirected tree over nodes 1..N. It is immutable after
+// construction; all builder functions validate connectivity and acyclicity.
+type Tree struct {
+	name string
+	n    int
+	adj  map[mutex.ID][]mutex.ID
+}
+
+// New builds a tree over n nodes (IDs 1..n) from an explicit edge list.
+// It returns an error unless the edges form exactly a spanning tree.
+func New(name string, n int, edges [][2]mutex.ID) (*Tree, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("topology: need at least one node, got %d", n)
+	}
+	if len(edges) != n-1 {
+		return nil, fmt.Errorf("topology: tree on %d nodes needs %d edges, got %d", n, n-1, len(edges))
+	}
+	t := &Tree{name: name, n: n, adj: make(map[mutex.ID][]mutex.ID, n)}
+	for _, e := range edges {
+		a, b := e[0], e[1]
+		if a < 1 || b < 1 || int(a) > n || int(b) > n || a == b {
+			return nil, fmt.Errorf("topology: bad edge (%d,%d) for n=%d", a, b, n)
+		}
+		t.adj[a] = append(t.adj[a], b)
+		t.adj[b] = append(t.adj[b], a)
+	}
+	for id := mutex.ID(1); int(id) <= n; id++ {
+		sort.Slice(t.adj[id], func(i, j int) bool { return t.adj[id][i] < t.adj[id][j] })
+	}
+	// n-1 edges + connected => acyclic tree.
+	if reached := t.bfsCount(1); reached != n {
+		return nil, fmt.Errorf("topology: graph not connected (%d of %d reachable)", reached, n)
+	}
+	return t, nil
+}
+
+// MustNew is New but panics on error; for statically known-good shapes.
+func MustNew(name string, n int, edges [][2]mutex.ID) *Tree {
+	t, err := New(name, n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func (t *Tree) bfsCount(root mutex.ID) int {
+	seen := make(map[mutex.ID]bool, t.n)
+	queue := []mutex.ID{root}
+	seen[root] = true
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range t.adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return len(seen)
+}
+
+// Name returns the human-readable shape name ("line", "star", ...).
+func (t *Tree) Name() string { return t.name }
+
+// N returns the number of nodes.
+func (t *Tree) N() int { return t.n }
+
+// IDs returns all node identifiers in ascending order.
+func (t *Tree) IDs() []mutex.ID {
+	ids := make([]mutex.ID, t.n)
+	for i := range ids {
+		ids[i] = mutex.ID(i + 1)
+	}
+	return ids
+}
+
+// Neighbors returns a copy of id's adjacency list, ascending.
+func (t *Tree) Neighbors(id mutex.ID) []mutex.ID {
+	src := t.adj[id]
+	out := make([]mutex.ID, len(src))
+	copy(out, src)
+	return out
+}
+
+// Degree returns the number of neighbors of id.
+func (t *Tree) Degree(id mutex.ID) int { return len(t.adj[id]) }
+
+// ParentsToward orients every edge toward root and returns the resulting
+// parent pointers: parent[v] is v's neighbor on the unique path to root.
+// root itself is absent from the map (its pointer is the paper's 0). This
+// is the steady state that the thesis's INIT procedure (Figure 5) reaches.
+func (t *Tree) ParentsToward(root mutex.ID) map[mutex.ID]mutex.ID {
+	parent := make(map[mutex.ID]mutex.ID, t.n-1)
+	seen := make(map[mutex.ID]bool, t.n)
+	queue := []mutex.ID{root}
+	seen[root] = true
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range t.adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				parent[w] = v
+				queue = append(queue, w)
+			}
+		}
+	}
+	return parent
+}
+
+// Path returns the unique simple path from a to b, inclusive of both ends.
+func (t *Tree) Path(a, b mutex.ID) []mutex.ID {
+	parent := t.ParentsToward(b)
+	path := []mutex.ID{a}
+	for v := a; v != b; {
+		v = parent[v]
+		path = append(path, v)
+	}
+	return path
+}
+
+// Dist returns the number of edges on the path from a to b.
+func (t *Tree) Dist(a, b mutex.ID) int { return len(t.Path(a, b)) - 1 }
+
+// Eccentricity returns the greatest distance from id to any node.
+func (t *Tree) Eccentricity(id mutex.ID) int {
+	_, d := t.farthestFrom(id)
+	return d
+}
+
+func (t *Tree) farthestFrom(root mutex.ID) (mutex.ID, int) {
+	depth := map[mutex.ID]int{root: 0}
+	queue := []mutex.ID{root}
+	far, farD := root, 0
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range t.adj[v] {
+			if _, ok := depth[w]; !ok {
+				depth[w] = depth[v] + 1
+				if depth[w] > farD || (depth[w] == farD && w < far) {
+					far, farD = w, depth[w]
+				}
+				queue = append(queue, w)
+			}
+		}
+	}
+	return far, farD
+}
+
+// Diameter returns the length (in edges) of the longest path in the tree —
+// the D of the thesis's performance analysis. Computed with the classic
+// double-BFS, which is exact on trees.
+func (t *Tree) Diameter() int {
+	if t.n == 1 {
+		return 0
+	}
+	a, _ := t.farthestFrom(1)
+	_, d := t.farthestFrom(a)
+	return d
+}
+
+// DiameterEndpoints returns a pair of nodes realizing the diameter.
+func (t *Tree) DiameterEndpoints() (mutex.ID, mutex.ID) {
+	if t.n == 1 {
+		return 1, 1
+	}
+	a, _ := t.farthestFrom(1)
+	b, _ := t.farthestFrom(a)
+	return a, b
+}
+
+// Center returns a node minimizing eccentricity (a tree 1- or 2-center;
+// ties broken by lowest ID). Placing the token here minimizes the worst
+// request path.
+func (t *Tree) Center() mutex.ID {
+	best, bestEcc := mutex.ID(1), t.Eccentricity(1)
+	for id := mutex.ID(2); int(id) <= t.n; id++ {
+		if e := t.Eccentricity(id); e < bestEcc {
+			best, bestEcc = id, e
+		}
+	}
+	return best
+}
+
+// Line returns the n-node path 1-2-...-n, the thesis's worst topology.
+func Line(n int) *Tree {
+	edges := make([][2]mutex.ID, 0, n-1)
+	for i := 1; i < n; i++ {
+		edges = append(edges, [2]mutex.ID{mutex.ID(i), mutex.ID(i + 1)})
+	}
+	return MustNew("line", n, edges)
+}
+
+// Star returns the thesis's best ("centralized") topology: node 1 at the
+// center, nodes 2..n as leaves. Its diameter is 2 (for n >= 3).
+func Star(n int) *Tree {
+	edges := make([][2]mutex.ID, 0, n-1)
+	for i := 2; i <= n; i++ {
+		edges = append(edges, [2]mutex.ID{1, mutex.ID(i)})
+	}
+	return MustNew("star", n, edges)
+}
+
+// RadiatingStar returns a center (node 1) with arms equal-length chains
+// hanging off it — the topology Raymond's paper suggested as best, which
+// the thesis shows is beaten by the plain star. n = 1 + arms*armLen.
+func RadiatingStar(arms, armLen int) *Tree {
+	n := 1 + arms*armLen
+	edges := make([][2]mutex.ID, 0, n-1)
+	next := mutex.ID(2)
+	for a := 0; a < arms; a++ {
+		prev := mutex.ID(1)
+		for s := 0; s < armLen; s++ {
+			edges = append(edges, [2]mutex.ID{prev, next})
+			prev = next
+			next++
+		}
+	}
+	return MustNew(fmt.Sprintf("radiating-star-%dx%d", arms, armLen), n, edges)
+}
+
+// KAry returns a complete-as-possible k-ary tree on n nodes rooted at 1,
+// filled level by level (node i's parent is (i-2)/k + 1).
+func KAry(n, k int) *Tree {
+	if k < 1 {
+		panic("topology: k must be >= 1")
+	}
+	edges := make([][2]mutex.ID, 0, n-1)
+	for i := 2; i <= n; i++ {
+		parent := mutex.ID((i-2)/k + 1)
+		edges = append(edges, [2]mutex.ID{parent, mutex.ID(i)})
+	}
+	return MustNew(fmt.Sprintf("%d-ary", k), n, edges)
+}
+
+// Random returns a uniformly random labeled tree on n nodes, generated by
+// decoding a random Prüfer sequence with rng.
+func Random(n int, rng *rand.Rand) *Tree {
+	if n == 1 {
+		return MustNew("random", 1, nil)
+	}
+	if n == 2 {
+		return MustNew("random", 2, [][2]mutex.ID{{1, 2}})
+	}
+	seq := make([]int, n-2)
+	for i := range seq {
+		seq[i] = rng.Intn(n) + 1
+	}
+	degree := make([]int, n+1)
+	for i := 1; i <= n; i++ {
+		degree[i] = 1
+	}
+	for _, v := range seq {
+		degree[v]++
+	}
+	edges := make([][2]mutex.ID, 0, n-1)
+	// Standard Prüfer decode with a scan pointer + leaf candidate.
+	ptr := 1
+	for degree[ptr] != 1 {
+		ptr++
+	}
+	leaf := ptr
+	for _, v := range seq {
+		edges = append(edges, [2]mutex.ID{mutex.ID(leaf), mutex.ID(v)})
+		degree[v]--
+		if degree[v] == 1 && v < ptr {
+			leaf = v
+		} else {
+			ptr++
+			for degree[ptr] != 1 {
+				ptr++
+			}
+			leaf = ptr
+		}
+	}
+	edges = append(edges, [2]mutex.ID{mutex.ID(leaf), mutex.ID(n)})
+	return MustNew("random", n, edges)
+}
+
+// Figure2 returns the 6-node line used by the thesis's simple example
+// (§3.3): 1-2-3-4-5-6 with node 5 initially holding the token.
+func Figure2() (*Tree, mutex.ID) {
+	return Line(6), 5
+}
+
+// Figure6 returns the 6-node tree of the thesis's complete example (§4.2),
+// reconstructed from the NEXT table of Figure 6a (1→2, 2→3, 4→3, 5→2,
+// 6→4), with node 3 initially holding the token.
+func Figure6() (*Tree, mutex.ID) {
+	t := MustNew("figure6", 6, [][2]mutex.ID{
+		{1, 2}, {2, 3}, {4, 3}, {5, 2}, {6, 4},
+	})
+	return t, 3
+}

@@ -1,0 +1,234 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dagmutex/internal/mutex"
+)
+
+func TestLineShape(t *testing.T) {
+	l := Line(6)
+	if l.N() != 6 {
+		t.Fatalf("N = %d, want 6", l.N())
+	}
+	if d := l.Diameter(); d != 5 {
+		t.Fatalf("line diameter = %d, want 5", d)
+	}
+	if got := l.Neighbors(1); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("Neighbors(1) = %v", got)
+	}
+	if got := l.Neighbors(3); len(got) != 2 || got[0] != 2 || got[1] != 4 {
+		t.Fatalf("Neighbors(3) = %v", got)
+	}
+}
+
+func TestStarShape(t *testing.T) {
+	s := Star(10)
+	if d := s.Diameter(); d != 2 {
+		t.Fatalf("star diameter = %d, want 2", d)
+	}
+	if deg := s.Degree(1); deg != 9 {
+		t.Fatalf("center degree = %d, want 9", deg)
+	}
+	for id := mutex.ID(2); id <= 10; id++ {
+		if deg := s.Degree(id); deg != 1 {
+			t.Fatalf("leaf %d degree = %d, want 1", id, deg)
+		}
+	}
+	if c := s.Center(); c != 1 {
+		t.Fatalf("Center = %d, want 1", c)
+	}
+}
+
+func TestRadiatingStar(t *testing.T) {
+	r := RadiatingStar(3, 2) // center + 3 arms of length 2 = 7 nodes
+	if r.N() != 7 {
+		t.Fatalf("N = %d, want 7", r.N())
+	}
+	if d := r.Diameter(); d != 4 {
+		t.Fatalf("radiating star diameter = %d, want 4", d)
+	}
+	if deg := r.Degree(1); deg != 3 {
+		t.Fatalf("center degree = %d, want 3", deg)
+	}
+}
+
+func TestKAry(t *testing.T) {
+	b := KAry(7, 2) // complete binary tree of height 2
+	if d := b.Diameter(); d != 4 {
+		t.Fatalf("binary tree diameter = %d, want 4", d)
+	}
+	if got := b.Neighbors(1); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("root children = %v", got)
+	}
+}
+
+func TestParentsTowardFollowsPathsToRoot(t *testing.T) {
+	tr := MustNew("t", 6, [][2]mutex.ID{{1, 2}, {2, 3}, {4, 3}, {5, 2}, {6, 4}})
+	parent := tr.ParentsToward(3)
+	want := map[mutex.ID]mutex.ID{1: 2, 2: 3, 4: 3, 5: 2, 6: 4}
+	if len(parent) != len(want) {
+		t.Fatalf("parent map = %v, want %v", parent, want)
+	}
+	for k, v := range want {
+		if parent[k] != v {
+			t.Fatalf("parent[%d] = %d, want %d", k, parent[k], v)
+		}
+	}
+	if _, ok := parent[3]; ok {
+		t.Fatal("root must not appear in parent map")
+	}
+}
+
+func TestPathAndDist(t *testing.T) {
+	l := Line(6)
+	p := l.Path(1, 4)
+	want := []mutex.ID{1, 2, 3, 4}
+	if len(p) != len(want) {
+		t.Fatalf("Path(1,4) = %v", p)
+	}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("Path(1,4) = %v, want %v", p, want)
+		}
+	}
+	if d := l.Dist(1, 6); d != 5 {
+		t.Fatalf("Dist(1,6) = %d, want 5", d)
+	}
+	if d := l.Dist(4, 4); d != 0 {
+		t.Fatalf("Dist(4,4) = %d, want 0", d)
+	}
+}
+
+func TestNewRejectsBadShapes(t *testing.T) {
+	cases := []struct {
+		name  string
+		n     int
+		edges [][2]mutex.ID
+	}{
+		{"duplicate-edge", 3, [][2]mutex.ID{{1, 2}, {1, 2}}}, // node 3 unreachable
+		{"self-loop", 2, [][2]mutex.ID{{1, 1}}},
+		{"disconnected", 4, [][2]mutex.ID{{1, 2}, {3, 4}, {1, 2}}},
+		{"out-of-range", 2, [][2]mutex.ID{{1, 5}}},
+		{"too-few-edges", 3, [][2]mutex.ID{{1, 2}}},
+		{"zero-nodes", 0, nil},
+	}
+	for _, c := range cases {
+		if _, err := New(c.name, c.n, c.edges); err == nil {
+			t.Errorf("%s: New accepted an invalid shape", c.name)
+		}
+	}
+}
+
+func TestSingletonTree(t *testing.T) {
+	s := MustNew("one", 1, nil)
+	if s.Diameter() != 0 {
+		t.Fatalf("singleton diameter = %d", s.Diameter())
+	}
+	if len(s.ParentsToward(1)) != 0 {
+		t.Fatal("singleton has no parents")
+	}
+}
+
+func TestRandomTreesAreValidTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(40)
+		tr := Random(n, rng)
+		if tr.N() != n {
+			t.Fatalf("random tree N = %d, want %d", tr.N(), n)
+		}
+		// A tree must let every node reach every other node.
+		for id := mutex.ID(1); int(id) <= n; id++ {
+			parent := tr.ParentsToward(id)
+			if len(parent) != n-1 {
+				t.Fatalf("n=%d: ParentsToward(%d) covered %d nodes", n, id, len(parent))
+			}
+		}
+	}
+}
+
+func TestRandomTreeParentChainsTerminate(t *testing.T) {
+	// Property (Lemma 2 precondition): from any node, following parent
+	// pointers toward any root terminates in fewer than N steps.
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%30) + 2
+		rng := rand.New(rand.NewSource(seed))
+		tr := Random(n, rng)
+		root := mutex.ID(rng.Intn(n) + 1)
+		parent := tr.ParentsToward(root)
+		for id := mutex.ID(1); int(id) <= n; id++ {
+			steps := 0
+			for v := id; v != root; v = parent[v] {
+				steps++
+				if steps >= n {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigureTopologies(t *testing.T) {
+	f2, holder2 := Figure2()
+	if f2.N() != 6 || holder2 != 5 {
+		t.Fatalf("Figure2 = n%d holder %d", f2.N(), holder2)
+	}
+	f6, holder6 := Figure6()
+	if f6.N() != 6 || holder6 != 3 {
+		t.Fatalf("Figure6 = n%d holder %d", f6.N(), holder6)
+	}
+	// Figure 6a's NEXT table is exactly ParentsToward(3).
+	parent := f6.ParentsToward(3)
+	want := map[mutex.ID]mutex.ID{1: 2, 2: 3, 4: 3, 5: 2, 6: 4}
+	for k, v := range want {
+		if parent[k] != v {
+			t.Fatalf("Figure6 parent[%d] = %d, want %d", k, parent[k], v)
+		}
+	}
+}
+
+func TestDiameterEndpointsRealizeDiameter(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		tr := Random(2+rng.Intn(30), rng)
+		a, b := tr.DiameterEndpoints()
+		if tr.Dist(a, b) != tr.Diameter() {
+			t.Fatalf("endpoints (%d,%d) dist %d != diameter %d", a, b, tr.Dist(a, b), tr.Diameter())
+		}
+	}
+}
+
+func TestCenterMinimizesEccentricity(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		tr := Random(2+rng.Intn(25), rng)
+		c := tr.Center()
+		ce := tr.Eccentricity(c)
+		for id := mutex.ID(1); int(id) <= tr.N(); id++ {
+			if tr.Eccentricity(id) < ce {
+				t.Fatalf("node %d has lower eccentricity than center %d", id, c)
+			}
+		}
+		// On a tree, center eccentricity is ceil(D/2).
+		if want := (tr.Diameter() + 1) / 2; ce != want {
+			t.Fatalf("center eccentricity %d, want %d (D=%d)", ce, want, tr.Diameter())
+		}
+	}
+}
+
+func TestNeighborsReturnsCopy(t *testing.T) {
+	l := Line(3)
+	n1 := l.Neighbors(2)
+	n1[0] = 99
+	n2 := l.Neighbors(2)
+	if n2[0] == 99 {
+		t.Fatal("Neighbors exposed internal slice")
+	}
+}

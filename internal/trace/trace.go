@@ -1,0 +1,118 @@
+// Package trace renders simulation runs for humans: a time-ordered event
+// log (sends, deliveries, grants, releases) and the thesis-style variable
+// tables that Figures 6a-6k print.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"dagmutex/internal/cluster"
+	"dagmutex/internal/core"
+	"dagmutex/internal/mutex"
+	"dagmutex/internal/sim"
+)
+
+// Event is one line of a run trace.
+type Event struct {
+	At   sim.Time
+	Text string
+}
+
+// Log accumulates events; safe for single-threaded simulator use only.
+type Log struct {
+	events []Event
+}
+
+// NewLog returns an empty log.
+func NewLog() *Log { return &Log{} }
+
+// Addf appends a formatted event at time t.
+func (l *Log) Addf(t sim.Time, format string, args ...any) {
+	l.events = append(l.events, Event{At: t, Text: fmt.Sprintf(format, args...)})
+}
+
+// Events returns the recorded events in insertion order (which is time
+// order, since the simulator fires events chronologically).
+func (l *Log) Events() []Event {
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// WriteTo renders the log, one "t=… message" line per event.
+func (l *Log) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	for _, e := range l.events {
+		n, err := fmt.Fprintf(w, "t=%-8d %s\n", e.At, e.Text)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Attach wires a log to a cluster: every network delivery, grant and
+// release is recorded. Call before the run starts.
+func Attach(l *Log, c *cluster.Cluster) {
+	c.OnGrant(func(g cluster.Grant) {
+		l.Addf(g.GrantAt, "ENTER  node %d enters its critical section (requested at t=%d)", g.Node, g.ReqAt)
+	})
+	c.OnRelease(func(id mutex.ID, at sim.Time) {
+		l.Addf(at, "EXIT   node %d leaves its critical section", id)
+	})
+}
+
+// Observer returns a sim.Network observer that records deliveries into l.
+// Pass it via cluster.WithNetworkOptions(sim.WithObserver(...)).
+func Observer(l *Log) func(sim.Delivery) {
+	return func(d sim.Delivery) {
+		l.Addf(d.DeliverAt, "RECV   %-9s %d -> %d%s (sent t=%d)",
+			d.Msg.Kind(), d.From, d.To, describe(d.Msg), d.SentAt)
+	}
+}
+
+func describe(m mutex.Message) string {
+	if r, ok := m.(core.Request); ok {
+		return fmt.Sprintf(" [origin %d]", r.Origin)
+	}
+	return ""
+}
+
+// StateTable renders a set of DAG-node snapshots as the thesis prints its
+// Figure 6 tables: one column per node, rows HOLDING / NEXT / FOLLOW.
+// FOLLOW and NEXT render 0 as blank, matching the thesis's typography.
+func StateTable(snaps []core.Snapshot) string {
+	var b strings.Builder
+	b.WriteString("I        ")
+	for _, s := range snaps {
+		fmt.Fprintf(&b, "%4d", s.ID)
+	}
+	b.WriteString("\nHOLDING_I")
+	for _, s := range snaps {
+		v := "f"
+		if s.Holding {
+			v = "t"
+		}
+		fmt.Fprintf(&b, "%4s", v)
+	}
+	b.WriteString("\nNEXT_I   ")
+	for _, s := range snaps {
+		fmt.Fprintf(&b, "%4s", idCell(s.Next))
+	}
+	b.WriteString("\nFOLLOW_I ")
+	for _, s := range snaps {
+		fmt.Fprintf(&b, "%4s", idCell(s.Follow))
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+func idCell(id mutex.ID) string {
+	if id == mutex.Nil {
+		return ""
+	}
+	return fmt.Sprintf("%d", id)
+}

@@ -1,0 +1,71 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dagmutex/internal/core"
+	"dagmutex/internal/mutex"
+)
+
+// Codec translates protocol messages to and from wire bytes for the TCP
+// runtime. Implementations must be stateless and safe for concurrent use.
+type Codec interface {
+	// Encode serializes m.
+	Encode(m mutex.Message) ([]byte, error)
+	// Decode parses bytes produced by Encode.
+	Decode(data []byte) (mutex.Message, error)
+}
+
+// Wire kind tags for the DAG protocol.
+const (
+	wireRequest   byte = 1
+	wirePrivilege byte = 2
+)
+
+// DAGCodec encodes the two messages of the thesis's algorithm. A REQUEST
+// is nine bytes on the wire (tag + two 32-bit identifiers); a PRIVILEGE is
+// a single tag byte, faithfully reflecting that the token carries no data.
+type DAGCodec struct{}
+
+var _ Codec = DAGCodec{}
+
+// Encode implements Codec.
+func (DAGCodec) Encode(m mutex.Message) ([]byte, error) {
+	switch msg := m.(type) {
+	case core.Request:
+		buf := make([]byte, 9)
+		buf[0] = wireRequest
+		binary.BigEndian.PutUint32(buf[1:5], uint32(msg.From))
+		binary.BigEndian.PutUint32(buf[5:9], uint32(msg.Origin))
+		return buf, nil
+	case core.Privilege:
+		return []byte{wirePrivilege}, nil
+	default:
+		return nil, fmt.Errorf("dag codec: cannot encode %T", m)
+	}
+}
+
+// Decode implements Codec.
+func (DAGCodec) Decode(data []byte) (mutex.Message, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("dag codec: empty frame")
+	}
+	switch data[0] {
+	case wireRequest:
+		if len(data) != 9 {
+			return nil, fmt.Errorf("dag codec: REQUEST frame has %d bytes, want 9", len(data))
+		}
+		return core.Request{
+			From:   mutex.ID(binary.BigEndian.Uint32(data[1:5])),
+			Origin: mutex.ID(binary.BigEndian.Uint32(data[5:9])),
+		}, nil
+	case wirePrivilege:
+		if len(data) != 1 {
+			return nil, fmt.Errorf("dag codec: PRIVILEGE frame has %d bytes, want 1", len(data))
+		}
+		return core.Privilege{}, nil
+	default:
+		return nil, fmt.Errorf("dag codec: unknown kind tag %d", data[0])
+	}
+}

@@ -1,0 +1,200 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"dagmutex/internal/mutex"
+)
+
+// Local runs one protocol node per cluster member inside a single process,
+// connected by mailboxes. It is the runtime the quickstart and
+// replicated-log examples use, and the integration tests run real
+// concurrent workloads on it (with -race).
+type Local struct {
+	nodes map[mutex.ID]*liveNode
+
+	msgs atomic.Int64
+
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// liveNode couples a protocol node with its mailbox, lock and grant
+// signal.
+type liveNode struct {
+	id      mutex.ID
+	runtime *Local
+
+	mu   sync.Mutex // serializes Request/Release/Deliver on node
+	node mutex.Node
+
+	inbox   *mailbox
+	granted chan struct{} // capacity 1: at most one outstanding request
+
+	deliverErr atomic.Pointer[deliverError]
+}
+
+type deliverError struct{ err error }
+
+// env is the mutex.Env a live node hands its protocol instance.
+type env struct{ ln *liveNode }
+
+// Send enqueues into the destination mailbox. A single mailbox per
+// receiver, filled in program order per sender, yields per-link FIFO.
+func (e env) Send(to mutex.ID, m mutex.Message) {
+	dst, ok := e.ln.runtime.nodes[to]
+	if !ok {
+		panic(fmt.Sprintf("transport: send to unknown node %d", to))
+	}
+	e.ln.runtime.msgs.Add(1)
+	dst.inbox.put(envelope{from: e.ln.id, msg: m})
+}
+
+// Granted signals the waiting Acquire, if any.
+func (e env) Granted() {
+	select {
+	case e.ln.granted <- struct{}{}:
+	default:
+		// A grant with no waiter indicates a protocol double-grant; it
+		// will surface as ErrOutstanding on the next request.
+	}
+}
+
+// NewLocal builds and starts one node per cfg.IDs entry. Callers must
+// Close the runtime to stop its goroutines.
+func NewLocal(b mutex.Builder, cfg mutex.Config) (*Local, error) {
+	l := &Local{nodes: make(map[mutex.ID]*liveNode, len(cfg.IDs))}
+	for _, id := range cfg.IDs {
+		ln := &liveNode{
+			id:      id,
+			runtime: l,
+			inbox:   newMailbox(),
+			granted: make(chan struct{}, 1),
+		}
+		node, err := b(id, env{ln: ln}, cfg)
+		if err != nil {
+			l.Close()
+			return nil, fmt.Errorf("build node %d: %w", id, err)
+		}
+		ln.node = node
+		l.nodes[id] = ln
+	}
+	for _, ln := range l.nodes {
+		ln := ln
+		l.wg.Add(1)
+		go func() {
+			defer l.wg.Done()
+			ln.consume()
+		}()
+	}
+	return l, nil
+}
+
+// consume delivers mailbox messages one at a time under the node lock.
+func (ln *liveNode) consume() {
+	for {
+		e, ok := ln.inbox.get()
+		if !ok {
+			return
+		}
+		ln.mu.Lock()
+		err := ln.node.Deliver(e.from, e.msg)
+		ln.mu.Unlock()
+		if err != nil {
+			ln.deliverErr.CompareAndSwap(nil, &deliverError{err: fmt.Errorf(
+				"deliver %s %d->%d: %w", e.msg.Kind(), e.from, ln.id, err)})
+		}
+	}
+}
+
+// WithNode runs fn on the protocol node with the given id while holding
+// its handler lock, for management operations such as the DAG algorithm's
+// StartInit. fn must not block on protocol progress.
+func (l *Local) WithNode(id mutex.ID, fn func(mutex.Node) error) error {
+	ln, ok := l.nodes[id]
+	if !ok {
+		return fmt.Errorf("transport: unknown node %d", id)
+	}
+	ln.mu.Lock()
+	defer ln.mu.Unlock()
+	return fn(ln.node)
+}
+
+// Handle returns the application-facing handle for node id, or nil if the
+// id is unknown.
+func (l *Local) Handle(id mutex.ID) *Handle {
+	ln, ok := l.nodes[id]
+	if !ok {
+		return nil
+	}
+	return &Handle{ln: ln}
+}
+
+// Messages returns the total number of messages sent so far.
+func (l *Local) Messages() int64 { return l.msgs.Load() }
+
+// Err returns the first protocol-level delivery error, if any occurred.
+func (l *Local) Err() error {
+	for _, ln := range l.nodes {
+		if de := ln.deliverErr.Load(); de != nil {
+			return de.err
+		}
+	}
+	return nil
+}
+
+// Close stops all consumer goroutines and waits for them to exit. Pending
+// mailbox messages are still delivered first.
+func (l *Local) Close() {
+	l.stopOnce.Do(func() {
+		for _, ln := range l.nodes {
+			ln.inbox.close()
+		}
+	})
+	l.wg.Wait()
+}
+
+// Handle is the blocking application API over one live node: Acquire waits
+// for the critical section, Release leaves it.
+type Handle struct {
+	ln *liveNode
+}
+
+// ID returns the underlying node's identifier.
+func (h *Handle) ID() mutex.ID { return h.ln.id }
+
+// Acquire requests the critical section and blocks until it is granted or
+// ctx is done. On ctx expiry the request stays outstanding (the paper's
+// model has no request cancellation), so the handle should not be reused
+// after a failed Acquire.
+func (h *Handle) Acquire(ctx context.Context) error {
+	h.ln.mu.Lock()
+	err := h.ln.node.Request()
+	h.ln.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	select {
+	case <-h.ln.granted:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("acquire node %d: %w", h.ln.id, ctx.Err())
+	}
+}
+
+// Release leaves the critical section.
+func (h *Handle) Release() error {
+	h.ln.mu.Lock()
+	defer h.ln.mu.Unlock()
+	return h.ln.node.Release()
+}
+
+// Storage snapshots the node's storage footprint.
+func (h *Handle) Storage() mutex.Storage {
+	h.ln.mu.Lock()
+	defer h.ln.mu.Unlock()
+	return h.ln.node.Storage()
+}

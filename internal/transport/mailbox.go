@@ -1,0 +1,73 @@
+// Package transport runs protocol nodes live, outside the simulator: an
+// in-process runtime that connects nodes through goroutines and mailboxes,
+// and a loopback TCP runtime that connects them through real sockets with
+// length-prefixed frames. Both preserve the paper's network model —
+// reliable delivery, FIFO per (sender, receiver) pair — and both serialize
+// each node's handlers, preserving the local-mutual-exclusion execution
+// model the protocols are written against.
+package transport
+
+import (
+	"sync"
+
+	"dagmutex/internal/mutex"
+)
+
+// envelope is one in-flight message.
+type envelope struct {
+	from mutex.ID
+	msg  mutex.Message
+}
+
+// mailbox is an unbounded FIFO queue. It must be unbounded: a node's
+// handler may send while its peer's handler is also sending to it, and any
+// bounded channel could deadlock that cycle. Unboundedness is safe here
+// because every protocol in this repository sends O(1) messages per
+// delivered event, so queues stay small in practice.
+type mailbox struct {
+	mu     sync.Mutex
+	nonEmp *sync.Cond
+	queue  []envelope
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.nonEmp = sync.NewCond(&m.mu)
+	return m
+}
+
+// put enqueues e; it never blocks. Puts after close are dropped.
+func (m *mailbox) put(e envelope) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	m.queue = append(m.queue, e)
+	m.nonEmp.Signal()
+}
+
+// get dequeues the oldest envelope, blocking until one is available or the
+// mailbox closes. ok is false after close once the queue drains.
+func (m *mailbox) get() (e envelope, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.queue) == 0 && !m.closed {
+		m.nonEmp.Wait()
+	}
+	if len(m.queue) == 0 {
+		return envelope{}, false
+	}
+	e = m.queue[0]
+	m.queue = m.queue[1:]
+	return e, true
+}
+
+// close wakes all waiters; messages already queued are still delivered.
+func (m *mailbox) close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	m.nonEmp.Broadcast()
+}

@@ -1,0 +1,288 @@
+package transport
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+import "dagmutex/internal/mutex"
+
+// maxFrame bounds incoming frame sizes; all protocol messages here are a
+// few bytes, so anything larger indicates a corrupted stream.
+const maxFrame = 1 << 20
+
+// TCPNode hosts one protocol node behind a loopback (or LAN) TCP listener.
+// Every node runs its own TCPNode — in one process for the tcpcluster
+// example, or one per process in a real deployment. A single TCP
+// connection per (sender, receiver) direction provides exactly the
+// reliable FIFO channel the thesis assumes.
+type TCPNode struct {
+	id    mutex.ID
+	codec Codec
+
+	ln net.Listener
+
+	mu      sync.Mutex // serializes Request/Release/Deliver on node
+	node    mutex.Node
+	granted chan struct{}
+
+	peersMu sync.Mutex
+	addrs   map[mutex.ID]string
+	outs    map[mutex.ID]net.Conn
+
+	insMu sync.Mutex
+	ins   []net.Conn
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	firstErr atomic.Pointer[deliverError]
+	sent     atomic.Int64
+	received atomic.Int64
+}
+
+// NewTCPNode constructs the protocol node via b and starts listening on a
+// fresh loopback port. Peers are supplied afterwards with Connect, once
+// every listener's Addr is known.
+func NewTCPNode(id mutex.ID, b mutex.Builder, cfg mutex.Config, codec Codec) (*TCPNode, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("listen: %w", err)
+	}
+	t := &TCPNode{
+		id:      id,
+		codec:   codec,
+		ln:      ln,
+		granted: make(chan struct{}, 1),
+		outs:    make(map[mutex.ID]net.Conn),
+		stop:    make(chan struct{}),
+	}
+	node, err := b(id, tcpEnv{t: t}, cfg)
+	if err != nil {
+		_ = ln.Close()
+		return nil, fmt.Errorf("build node %d: %w", id, err)
+	}
+	t.node = node
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		t.acceptLoop()
+	}()
+	return t, nil
+}
+
+// Addr returns the node's listen address, to be shared with peers.
+func (t *TCPNode) Addr() string { return t.ln.Addr().String() }
+
+// ID returns the hosted node's identifier.
+func (t *TCPNode) ID() mutex.ID { return t.id }
+
+// Connect supplies the peer address book. It must be called before the
+// first Acquire.
+func (t *TCPNode) Connect(addrs map[mutex.ID]string) {
+	t.peersMu.Lock()
+	defer t.peersMu.Unlock()
+	t.addrs = make(map[mutex.ID]string, len(addrs))
+	for id, a := range addrs {
+		t.addrs[id] = a
+	}
+}
+
+// tcpEnv adapts the TCPNode to mutex.Env.
+type tcpEnv struct{ t *TCPNode }
+
+// Send frames and writes the message on the (lazily dialed) connection to
+// the peer. Writes to one peer are serialized under peersMu, so the
+// per-connection byte stream — and therefore delivery order — matches send
+// order.
+func (e tcpEnv) Send(to mutex.ID, m mutex.Message) {
+	t := e.t
+	payload, err := t.codec.Encode(m)
+	if err != nil {
+		t.fail(fmt.Errorf("encode %s: %w", m.Kind(), err))
+		return
+	}
+	t.peersMu.Lock()
+	defer t.peersMu.Unlock()
+	conn, err := t.connLocked(to)
+	if err != nil {
+		t.fail(fmt.Errorf("connect to node %d: %w", to, err))
+		return
+	}
+	frame := make([]byte, 8+len(payload))
+	binary.BigEndian.PutUint32(frame[0:4], uint32(4+len(payload)))
+	binary.BigEndian.PutUint32(frame[4:8], uint32(t.id))
+	copy(frame[8:], payload)
+	if _, err := conn.Write(frame); err != nil {
+		t.fail(fmt.Errorf("write to node %d: %w", to, err))
+		return
+	}
+	t.sent.Add(1)
+}
+
+// Granted implements mutex.Env.
+func (e tcpEnv) Granted() {
+	select {
+	case e.t.granted <- struct{}{}:
+	default:
+	}
+}
+
+// connLocked returns the outgoing connection to peer, dialing it on first
+// use. Peers may still be starting up, so dialing retries briefly.
+func (t *TCPNode) connLocked(peer mutex.ID) (net.Conn, error) {
+	if c, ok := t.outs[peer]; ok {
+		return c, nil
+	}
+	addr, ok := t.addrs[peer]
+	if !ok {
+		return nil, fmt.Errorf("no address for node %d (Connect not called?)", peer)
+	}
+	var lastErr error
+	for attempt := 0; attempt < 50; attempt++ {
+		c, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			t.outs[peer] = c
+			return c, nil
+		}
+		lastErr = err
+		select {
+		case <-t.stop:
+			return nil, lastErr
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	return nil, lastErr
+}
+
+// acceptLoop owns the listener; one reader goroutine per inbound peer.
+func (t *TCPNode) acceptLoop() {
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed by Close
+		}
+		t.insMu.Lock()
+		t.ins = append(t.ins, conn)
+		t.insMu.Unlock()
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			t.readLoop(conn)
+		}()
+	}
+}
+
+// readLoop parses frames and delivers them under the node lock.
+func (t *TCPNode) readLoop(conn net.Conn) {
+	defer func() { _ = conn.Close() }()
+	header := make([]byte, 4)
+	for {
+		if _, err := io.ReadFull(conn, header); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !isClosedErr(err) {
+				t.fail(fmt.Errorf("read header: %w", err))
+			}
+			return
+		}
+		size := binary.BigEndian.Uint32(header)
+		if size < 4 || size > maxFrame {
+			t.fail(fmt.Errorf("bad frame size %d", size))
+			return
+		}
+		body := make([]byte, size)
+		if _, err := io.ReadFull(conn, body); err != nil {
+			t.fail(fmt.Errorf("read frame: %w", err))
+			return
+		}
+		from := mutex.ID(binary.BigEndian.Uint32(body[0:4]))
+		msg, err := t.codec.Decode(body[4:])
+		if err != nil {
+			t.fail(err)
+			return
+		}
+		t.received.Add(1)
+		t.mu.Lock()
+		err = t.node.Deliver(from, msg)
+		t.mu.Unlock()
+		if err != nil {
+			t.fail(fmt.Errorf("deliver %s from %d: %w", msg.Kind(), from, err))
+		}
+	}
+}
+
+func isClosedErr(err error) bool {
+	var ne *net.OpError
+	return errors.As(err, &ne)
+}
+
+func (t *TCPNode) fail(err error) {
+	t.firstErr.CompareAndSwap(nil, &deliverError{err: err})
+}
+
+// Err returns the first transport or protocol error observed, if any.
+func (t *TCPNode) Err() error {
+	if de := t.firstErr.Load(); de != nil {
+		return de.err
+	}
+	return nil
+}
+
+// Stats returns messages sent and received by this node.
+func (t *TCPNode) Stats() (sent, received int64) {
+	return t.sent.Load(), t.received.Load()
+}
+
+// Acquire requests the critical section and blocks until granted or ctx
+// expires.
+func (t *TCPNode) Acquire(ctx context.Context) error {
+	t.mu.Lock()
+	err := t.node.Request()
+	t.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	select {
+	case <-t.granted:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("acquire node %d: %w", t.id, ctx.Err())
+	}
+}
+
+// Release leaves the critical section.
+func (t *TCPNode) Release() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.node.Release()
+}
+
+// Close shuts the listener and all connections down and waits for the
+// node's goroutines to exit.
+func (t *TCPNode) Close() {
+	t.stopOnce.Do(func() {
+		close(t.stop)
+		_ = t.ln.Close()
+		t.peersMu.Lock()
+		for _, c := range t.outs {
+			_ = c.Close()
+		}
+		t.peersMu.Unlock()
+		// Inbound connections must be closed too: their far ends belong
+		// to peers that may outlive (or never close) this node, and the
+		// readLoops would otherwise block in Read forever.
+		t.insMu.Lock()
+		for _, c := range t.ins {
+			_ = c.Close()
+		}
+		t.insMu.Unlock()
+	})
+	t.wg.Wait()
+}

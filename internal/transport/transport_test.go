@@ -1,0 +1,333 @@
+package transport
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dagmutex/internal/core"
+	"dagmutex/internal/mutex"
+	"dagmutex/internal/topology"
+)
+
+func dagConfig(tree *topology.Tree, holder mutex.ID) mutex.Config {
+	return mutex.Config{IDs: tree.IDs(), Holder: holder, Parent: tree.ParentsToward(holder)}
+}
+
+func TestLocalMutualExclusionUnderConcurrency(t *testing.T) {
+	tree := topology.Star(8)
+	l, err := NewLocal(core.Builder, dagConfig(tree, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	var inCS atomic.Int64
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	const perNode = 20
+	for _, id := range tree.IDs() {
+		h := l.Handle(id)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			for i := 0; i < perNode; i++ {
+				if err := h.Acquire(ctx); err != nil {
+					t.Errorf("node %d acquire: %v", h.ID(), err)
+					return
+				}
+				if got := inCS.Add(1); got != 1 {
+					t.Errorf("mutual exclusion violated: %d nodes in CS", got)
+				}
+				total.Add(1)
+				inCS.Add(-1)
+				if err := h.Release(); err != nil {
+					t.Errorf("node %d release: %v", h.ID(), err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := l.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := total.Load(); got != perNode*8 {
+		t.Fatalf("entries = %d, want %d", got, perNode*8)
+	}
+	if l.Messages() == 0 {
+		t.Fatal("no messages recorded")
+	}
+}
+
+func TestLocalHolderAcquiresWithoutMessages(t *testing.T) {
+	tree := topology.Line(3)
+	l, err := NewLocal(core.Builder, dagConfig(tree, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	h := l.Handle(2)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := h.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Messages(); got != 0 {
+		t.Fatalf("messages = %d, want 0", got)
+	}
+}
+
+func TestLocalDoubleAcquireFails(t *testing.T) {
+	tree := topology.Line(2)
+	l, err := NewLocal(core.Builder, dagConfig(tree, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	h := l.Handle(1)
+	ctx := context.Background()
+	if err := h.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Acquire(ctx); err == nil {
+		t.Fatal("second acquire while holding must fail")
+	}
+	if err := h.Release(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocalUnknownHandle(t *testing.T) {
+	tree := topology.Line(2)
+	l, err := NewLocal(core.Builder, dagConfig(tree, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if h := l.Handle(42); h != nil {
+		t.Fatal("handle for unknown node must be nil")
+	}
+}
+
+func TestMailboxOrderAndClose(t *testing.T) {
+	m := newMailbox()
+	for i := 0; i < 10; i++ {
+		m.put(envelope{from: mutex.ID(i + 1)})
+	}
+	m.close()
+	for i := 0; i < 10; i++ {
+		e, ok := m.get()
+		if !ok || e.from != mutex.ID(i+1) {
+			t.Fatalf("get %d = (%v, %v)", i, e.from, ok)
+		}
+	}
+	if _, ok := m.get(); ok {
+		t.Fatal("get after drain on closed mailbox must fail")
+	}
+	m.put(envelope{from: 99}) // dropped silently after close
+	if _, ok := m.get(); ok {
+		t.Fatal("put after close must be dropped")
+	}
+}
+
+func TestDAGCodecRoundTrip(t *testing.T) {
+	c := DAGCodec{}
+	msgs := []mutex.Message{
+		core.Request{From: 3, Origin: 7},
+		core.Privilege{},
+	}
+	for _, m := range msgs {
+		b, err := c.Encode(m)
+		if err != nil {
+			t.Fatalf("encode %T: %v", m, err)
+		}
+		got, err := c.Decode(b)
+		if err != nil {
+			t.Fatalf("decode %T: %v", m, err)
+		}
+		if got != m {
+			t.Fatalf("round trip %#v -> %#v", m, got)
+		}
+	}
+}
+
+func TestDAGCodecRejectsGarbage(t *testing.T) {
+	c := DAGCodec{}
+	cases := [][]byte{
+		nil,
+		{},
+		{99},                           // unknown tag
+		{1, 0, 0},                      // short REQUEST
+		{2, 0},                         // oversized PRIVILEGE
+		{1, 0, 0, 0, 0, 0, 0, 0, 0, 0}, // oversized REQUEST
+	}
+	for _, b := range cases {
+		if _, err := c.Decode(b); err == nil {
+			t.Fatalf("Decode(%v) accepted garbage", b)
+		}
+	}
+	if _, err := c.Encode(fakeMsg{}); err == nil {
+		t.Fatal("Encode accepted a foreign message type")
+	}
+}
+
+type fakeMsg struct{}
+
+func (fakeMsg) Kind() string { return "FAKE" }
+func (fakeMsg) Size() int    { return 0 }
+
+func TestTCPClusterMutualExclusion(t *testing.T) {
+	tree := topology.Star(5)
+	cfg := dagConfig(tree, 1)
+	nodes := make(map[mutex.ID]*TCPNode, tree.N())
+	addrs := make(map[mutex.ID]string, tree.N())
+	for _, id := range tree.IDs() {
+		n, err := NewTCPNode(id, core.Builder, cfg, DAGCodec{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer n.Close()
+		nodes[id] = n
+		addrs[id] = n.Addr()
+	}
+	for _, n := range nodes {
+		n.Connect(addrs)
+	}
+
+	var inCS atomic.Int64
+	var wg sync.WaitGroup
+	const perNode = 10
+	for _, n := range nodes {
+		n := n
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			for i := 0; i < perNode; i++ {
+				if err := n.Acquire(ctx); err != nil {
+					t.Errorf("node %d acquire: %v", n.ID(), err)
+					return
+				}
+				if got := inCS.Add(1); got != 1 {
+					t.Errorf("mutual exclusion violated over TCP: %d in CS", got)
+				}
+				inCS.Add(-1)
+				if err := n.Release(); err != nil {
+					t.Errorf("node %d release: %v", n.ID(), err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for id, n := range nodes {
+		if err := n.Err(); err != nil {
+			t.Fatalf("node %d: %v", id, err)
+		}
+	}
+	sent, received := int64(0), int64(0)
+	for _, n := range nodes {
+		s, r := n.Stats()
+		sent += s
+		received += r
+	}
+	if sent == 0 || sent != received {
+		t.Fatalf("sent %d received %d; want equal and nonzero", sent, received)
+	}
+}
+
+func TestTCPAcquireTimesOutWithoutPeers(t *testing.T) {
+	tree := topology.Line(2)
+	cfg := dagConfig(tree, 2)
+	// Node 1 needs node 2 to get the token, but node 2 never exists.
+	n, err := NewTCPNode(1, core.Builder, cfg, DAGCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	n.Connect(map[mutex.ID]string{1: n.Addr()}) // no address for node 2
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	if err := n.Acquire(ctx); err == nil {
+		t.Fatal("acquire must fail with the token holder unreachable")
+	}
+	if n.Err() == nil {
+		t.Fatal("missing peer address must surface via Err")
+	}
+}
+
+func TestLocalCloseIsIdempotentAndDrains(t *testing.T) {
+	tree := topology.Line(4)
+	l, err := NewLocal(core.Builder, dagConfig(tree, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := l.Handle(1)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := h.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Release(); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l.Close() // second close must be a no-op, not a panic or deadlock
+	if err := l.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPCloseIsIdempotent(t *testing.T) {
+	tree := topology.Line(2)
+	n, err := NewTCPNode(1, core.Builder, dagConfig(tree, 1), DAGCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Close()
+	n.Close()
+}
+
+func TestLocalWithNode(t *testing.T) {
+	tree := topology.Line(3)
+	l, err := NewLocal(core.Builder, dagConfig(tree, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var snap core.Snapshot
+	err = l.WithNode(1, func(n mutex.Node) error {
+		snap = n.(*core.Node).Snapshot()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Holding {
+		t.Fatalf("holder snapshot = %+v", snap)
+	}
+	if err := l.WithNode(99, func(mutex.Node) error { return nil }); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+}
+
+func TestHandleStorage(t *testing.T) {
+	tree := topology.Line(2)
+	l, err := NewLocal(core.Builder, dagConfig(tree, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if s := l.Handle(1).Storage(); s.Scalars != 3 {
+		t.Fatalf("storage = %+v, want 3 scalars", s)
+	}
+}

@@ -1,0 +1,137 @@
+// Package workload generates critical-section request patterns for the
+// experiments. All generators respect the paper's model constraint that a
+// node has at most one outstanding request at a time: closed-loop
+// generators only schedule a node's next request after its previous
+// critical section has been released.
+package workload
+
+import (
+	"math/rand"
+
+	"dagmutex/internal/cluster"
+	"dagmutex/internal/mutex"
+	"dagmutex/internal/sim"
+)
+
+// ThinkTime is a distribution of per-node idle time between leaving the
+// critical section and issuing the next request.
+type ThinkTime func(rng *rand.Rand) sim.Time
+
+// Fixed returns a constant think time.
+func Fixed(d sim.Time) ThinkTime {
+	return func(*rand.Rand) sim.Time { return d }
+}
+
+// Exponential returns exponentially distributed think times with the given
+// mean — a Poisson request process per node.
+func Exponential(mean sim.Time) ThinkTime {
+	return func(rng *rand.Rand) sim.Time {
+		return sim.Time(rng.ExpFloat64() * float64(mean))
+	}
+}
+
+// UniformBetween returns think times uniform on [min, max].
+func UniformBetween(min, max sim.Time) ThinkTime {
+	return func(rng *rand.Rand) sim.Time {
+		if max <= min {
+			return min
+		}
+		return min + sim.Time(rng.Int63n(int64(max-min+1)))
+	}
+}
+
+// Heavy is the heavy-demand regime of thesis §6.2: a node re-requests the
+// moment it leaves its critical section, so the implicit queue is always
+// saturated.
+func Heavy() ThinkTime { return Fixed(0) }
+
+// Closed is a closed-loop workload: each participating node performs
+// Requests critical-section entries, thinking between them.
+type Closed struct {
+	// Nodes lists the participating nodes; nil means every cluster node.
+	Nodes []mutex.ID
+	// Requests is the number of entries each participant performs.
+	Requests int
+	// Think is the idle-time distribution (default: Heavy).
+	Think ThinkTime
+	// Rng drives the think-time draws; required when Think is random.
+	Rng *rand.Rand
+	// Stagger spaces the initial requests Stagger ticks apart instead of
+	// issuing them all at t=0, avoiding an artificial thundering herd.
+	Stagger sim.Time
+}
+
+// Install arms the workload on c. It must be called before c.Run.
+func (w Closed) Install(c *cluster.Cluster) {
+	nodes := w.Nodes
+	if nodes == nil {
+		nodes = c.IDs()
+	}
+	think := w.Think
+	if think == nil {
+		think = Heavy()
+	}
+	rng := w.Rng
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	remaining := make(map[mutex.ID]int, len(nodes))
+	for i, id := range nodes {
+		if w.Requests <= 0 {
+			break
+		}
+		remaining[id] = w.Requests - 1
+		c.RequestAt(sim.Time(i)*w.Stagger+think(rng), id)
+	}
+	c.OnRelease(func(id mutex.ID, at sim.Time) {
+		left, participating := remaining[id]
+		if !participating || left == 0 {
+			return
+		}
+		remaining[id] = left - 1
+		c.RequestAt(at+think(rng), id)
+	})
+}
+
+// Hotspot is a closed-loop workload where a fraction of "hot" nodes issues
+// most of the traffic, modeling a skewed resource.
+type Hotspot struct {
+	// Hot lists the hot nodes, which each perform HotRequests entries with
+	// zero think time.
+	Hot         []mutex.ID
+	HotRequests int
+	// Cold lists background nodes performing ColdRequests entries each
+	// with think time ColdThink.
+	Cold         []mutex.ID
+	ColdRequests int
+	ColdThink    ThinkTime
+	Rng          *rand.Rand
+}
+
+// Install arms the workload on c.
+func (w Hotspot) Install(c *cluster.Cluster) {
+	Closed{Nodes: w.Hot, Requests: w.HotRequests, Think: Heavy(), Rng: w.Rng}.Install(c)
+	think := w.ColdThink
+	if think == nil {
+		think = Exponential(100 * sim.Hop)
+	}
+	Closed{Nodes: w.Cold, Requests: w.ColdRequests, Think: think, Rng: w.Rng}.Install(c)
+}
+
+// SingleShots schedules one request per (time, node) pair; the caller is
+// responsible for respecting the one-outstanding-request rule. It is the
+// primitive the adversarial upper-bound scenarios use.
+type SingleShots []Shot
+
+// Shot is one scheduled request.
+type Shot struct {
+	At   sim.Time
+	Node mutex.ID
+}
+
+// Install arms the shots on c.
+func (w SingleShots) Install(c *cluster.Cluster) {
+	for _, s := range w {
+		c.RequestAt(s.At, s.Node)
+	}
+}

@@ -1,0 +1,135 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"dagmutex/internal/cluster"
+	"dagmutex/internal/core"
+	"dagmutex/internal/mutex"
+	"dagmutex/internal/sim"
+	"dagmutex/internal/topology"
+)
+
+func newStarCluster(t *testing.T, n int, opts ...cluster.Option) *cluster.Cluster {
+	t.Helper()
+	tree := topology.Star(n)
+	cfg := mutex.Config{IDs: tree.IDs(), Holder: 1, Parent: tree.ParentsToward(1)}
+	c, err := cluster.New(core.Builder, cfg, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestClosedDeliversExactRequestCounts(t *testing.T) {
+	c := newStarCluster(t, 6)
+	Closed{Requests: 4, Think: Fixed(2 * sim.Hop)}.Install(c)
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	perNode := make(map[mutex.ID]int)
+	for _, g := range c.Grants() {
+		perNode[g.Node]++
+	}
+	for _, id := range c.IDs() {
+		if perNode[id] != 4 {
+			t.Fatalf("node %d got %d entries, want 4", id, perNode[id])
+		}
+	}
+}
+
+func TestClosedSubsetOnly(t *testing.T) {
+	c := newStarCluster(t, 6)
+	Closed{Nodes: []mutex.ID{2, 3}, Requests: 3}.Install(c)
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	perNode := make(map[mutex.ID]int)
+	for _, g := range c.Grants() {
+		perNode[g.Node]++
+	}
+	if perNode[2] != 3 || perNode[3] != 3 {
+		t.Fatalf("per-node entries = %v", perNode)
+	}
+	if perNode[1] != 0 || perNode[4] != 0 {
+		t.Fatalf("non-participants entered the CS: %v", perNode)
+	}
+}
+
+func TestClosedZeroRequestsIsNoop(t *testing.T) {
+	c := newStarCluster(t, 3)
+	Closed{Requests: 0}.Install(c)
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Entries() != 0 {
+		t.Fatalf("entries = %d, want 0", c.Entries())
+	}
+}
+
+func TestHeavyLoadNeverViolatesOneOutstanding(t *testing.T) {
+	// Heavy() re-requests instantly at release time; the cluster would
+	// fail the run if a duplicate outstanding request ever appeared.
+	c := newStarCluster(t, 8, cluster.WithCSTime(sim.Hop/4))
+	Closed{Requests: 25, Think: Heavy()}.Install(c)
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := c.Entries(), 25*8; got != want {
+		t.Fatalf("entries = %d, want %d", got, want)
+	}
+}
+
+func TestHotspotSkew(t *testing.T) {
+	c := newStarCluster(t, 6)
+	Hotspot{
+		Hot: []mutex.ID{2}, HotRequests: 10,
+		Cold: []mutex.ID{3, 4}, ColdRequests: 2,
+		ColdThink: Fixed(5 * sim.Hop),
+		Rng:       rand.New(rand.NewSource(5)),
+	}.Install(c)
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	perNode := make(map[mutex.ID]int)
+	for _, g := range c.Grants() {
+		perNode[g.Node]++
+	}
+	if perNode[2] != 10 || perNode[3] != 2 || perNode[4] != 2 {
+		t.Fatalf("per-node entries = %v", perNode)
+	}
+}
+
+func TestSingleShots(t *testing.T) {
+	c := newStarCluster(t, 4)
+	SingleShots{{At: 0, Node: 3}, {At: 100 * sim.Hop, Node: 2}}.Install(c)
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	order := c.GrantOrder()
+	if len(order) != 2 || order[0] != 3 || order[1] != 2 {
+		t.Fatalf("grant order = %v", order)
+	}
+}
+
+func TestThinkTimeDistributions(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if d := Fixed(7)(rng); d != 7 {
+		t.Fatalf("Fixed = %d", d)
+	}
+	if d := Heavy()(rng); d != 0 {
+		t.Fatalf("Heavy = %d", d)
+	}
+	for i := 0; i < 100; i++ {
+		if d := UniformBetween(10, 20)(rng); d < 10 || d > 20 {
+			t.Fatalf("UniformBetween out of range: %d", d)
+		}
+		if d := Exponential(50)(rng); d < 0 {
+			t.Fatalf("Exponential negative: %d", d)
+		}
+	}
+	if d := UniformBetween(9, 9)(rng); d != 9 {
+		t.Fatalf("degenerate UniformBetween = %d", d)
+	}
+}
