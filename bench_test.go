@@ -17,7 +17,17 @@ import (
 	"dagmutex/internal/mutex"
 	"dagmutex/internal/sim"
 	"dagmutex/internal/topology"
+	"dagmutex/internal/workload"
 )
+
+// skipIfShort keeps the -short lane fast: the experiment-scale benchmarks
+// run whole simulated tables (or live clusters) per iteration.
+func skipIfShort(b *testing.B) {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("experiment-scale benchmark; skipped in -short mode")
+	}
+}
 
 // --- EXP-6.1: upper bounds (thesis §6.1) --------------------------------
 
@@ -99,6 +109,7 @@ func BenchmarkExp61UpperBoundMaekawaSaturation(b *testing.B) {
 // --- EXP-6.2: average bound (thesis §6.2) -------------------------------
 
 func BenchmarkExp62AverageBound(b *testing.B) {
+	skipIfShort(b)
 	var tbl *harness.Table
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -114,6 +125,7 @@ func BenchmarkExp62AverageBound(b *testing.B) {
 }
 
 func BenchmarkExp62HeavyDemandDAG(b *testing.B) {
+	skipIfShort(b)
 	var v float64
 	for i := 0; i < b.N; i++ {
 		got, err := harness.HeavyDemandCost(harness.DAG, topology.Star(25), 1, 10)
@@ -126,6 +138,7 @@ func BenchmarkExp62HeavyDemandDAG(b *testing.B) {
 }
 
 func BenchmarkExp62HeavyDemandCentral(b *testing.B) {
+	skipIfShort(b)
 	var v float64
 	for i := 0; i < b.N; i++ {
 		got, err := harness.HeavyDemandCost(harness.Centralized, topology.Star(25), 1, 10)
@@ -175,6 +188,7 @@ func BenchmarkExp63SyncDelaySuzukiKasami(b *testing.B) {
 // --- EXP-6.4: storage overhead (thesis §6.4) -----------------------------
 
 func BenchmarkExp64Storage(b *testing.B) {
+	skipIfShort(b)
 	var tbl *harness.Table
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -194,6 +208,7 @@ func BenchmarkExp64Storage(b *testing.B) {
 // --- FIG-1/8: topology sweep ---------------------------------------------
 
 func BenchmarkFig18TopologySweep(b *testing.B) {
+	skipIfShort(b)
 	var tbl *harness.Table
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -208,6 +223,7 @@ func BenchmarkFig18TopologySweep(b *testing.B) {
 // --- EXT-load: load-sweep ablation ---------------------------------------
 
 func BenchmarkExtLoadSweep(b *testing.B) {
+	skipIfShort(b)
 	thinks := []sim.Time{0, 10 * sim.Hop, 100 * sim.Hop}
 	var tbl *harness.Table
 	for i := 0; i < b.N; i++ {
@@ -223,6 +239,7 @@ func BenchmarkExtLoadSweep(b *testing.B) {
 // --- live-runtime throughput (engineering, not a thesis table) -----------
 
 func BenchmarkLiveClusterEntries(b *testing.B) {
+	skipIfShort(b)
 	tree := dagmutex.Star(8)
 	c, err := dagmutex.NewCluster(tree, 1)
 	if err != nil {
@@ -263,9 +280,47 @@ func BenchmarkLiveClusterEntries(b *testing.B) {
 	}
 }
 
+// BenchmarkLockServiceSharded measures the sharded multi-resource lock
+// service: acquire/release cycles per second over 64 Zipf-skewed keys on
+// 8 shards, workers spread across 4 member nodes.
+func BenchmarkLockServiceSharded(b *testing.B) {
+	skipIfShort(b)
+	svc, err := dagmutex.NewLockService(dagmutex.LockServiceConfig{Shards: 8, Nodes: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Close()
+	clients := make([]workload.Locker, svc.Nodes())
+	for n := range clients {
+		c, err := svc.On(mutex.ID(n + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		clients[n] = c
+	}
+	const workers = 16
+	w := workload.MultiResource{
+		Workers:   workers,
+		Ops:       b.N/workers + 1,
+		Resources: 64,
+		Clients:   clients,
+	}
+	b.ResetTimer()
+	res, err := w.Run(context.Background(), svc)
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := svc.Err(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(res.Throughput(), "locks/sec")
+}
+
 // BenchmarkSimulatorEventRate measures raw DES throughput: how many
 // simulated protocol events per wall-clock second the substrate sustains.
 func BenchmarkSimulatorEventRate(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		res, err := dagmutex.Simulate(dagmutex.Star(50), 1, dagmutex.SimOptions{
 			RequestsPerNode: 20,

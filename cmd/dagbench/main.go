@@ -2,39 +2,78 @@
 // Chapter 6 performance analysis, printing paper-style tables (or CSV)
 // for: the §6.1 upper bounds, the §6.2 average and heavy-demand bounds,
 // the §6.3 synchronization delays, the §6.4 storage overheads, the
-// topology sweep behind Figures 1/8, and the load-sweep ablation.
+// topology sweep behind Figures 1/8, and the load-sweep ablation. Beyond
+// the thesis, the lock experiment benchmarks the sharded multi-resource
+// lock service live on goroutines, showing aggregate grant throughput
+// scaling with shard count.
 //
 // Usage:
 //
-//	dagbench                 # run every experiment
-//	dagbench -exp 6.2        # one experiment (6.1, 6.2, 6.2-heavy, 6.3, 6.4, topo, load)
-//	dagbench -csv            # machine-readable output
+//	dagbench                          # run every simulator experiment
+//	dagbench -exp 6.2                 # one experiment (6.1, 6.2, 6.2-heavy, 6.3, 6.4, topo, load)
+//	dagbench -exp lock -shards 1,2,4,8 -resources 64
+//	                                  # live sharded lock-service benchmark
+//	dagbench -csv                     # machine-readable output
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"dagmutex/internal/harness"
+	"dagmutex/internal/lockservice"
+	"dagmutex/internal/mutex"
 	"dagmutex/internal/sim"
+	"dagmutex/internal/workload"
 )
 
+// lockOptions parameterizes the live lock-service benchmark.
+type lockOptions struct {
+	shards    string
+	nodes     int
+	resources int
+	workers   int
+	ops       int
+	skew      float64
+	hold      time.Duration
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: 6.1, 6.2, 6.2-placement, 6.2-heavy, 6.3, 6.4, topo, load, all")
+	exp := flag.String("exp", "all", "experiment to run: 6.1, 6.2, 6.2-placement, 6.2-heavy, 6.3, 6.4, topo, load, all, or lock (live benchmark, not part of all)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	seed := flag.Int64("seed", 1, "random seed for randomized scenarios")
+	var lo lockOptions
+	flag.StringVar(&lo.shards, "shards", "1,2,4,8", "lock: comma-separated shard counts to sweep")
+	flag.IntVar(&lo.nodes, "nodes", 4, "lock: member nodes per shard cluster")
+	flag.IntVar(&lo.resources, "resources", 64, "lock: number of distinct resource keys")
+	flag.IntVar(&lo.workers, "workers", 32, "lock: concurrent closed-loop workers")
+	flag.IntVar(&lo.ops, "ops", 100, "lock: lock cycles per worker")
+	flag.Float64Var(&lo.skew, "skew", 1.1, "lock: Zipf skew of key popularity (<=1 means uniform)")
+	flag.DurationVar(&lo.hold, "hold", 200*time.Microsecond, "lock: critical-section hold time")
 	flag.Parse()
 
-	if err := run(os.Stdout, *exp, *csv, *seed); err != nil {
+	if err := run(os.Stdout, *exp, *csv, *seed, lo); err != nil {
 		fmt.Fprintln(os.Stderr, "dagbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, exp string, csv bool, seed int64) error {
+func run(w io.Writer, exp string, csv bool, seed int64, lo lockOptions) error {
+	if strings.EqualFold(exp, "lock") {
+		tbl, err := lockTable(lo, seed)
+		if err != nil {
+			return fmt.Errorf("experiment lock: %w", err)
+		}
+		emit(w, tbl, csv)
+		return nil
+	}
+
 	type experiment struct {
 		key string
 		gen func() (*harness.Table, error)
@@ -63,14 +102,116 @@ func run(w io.Writer, exp string, csv bool, seed int64) error {
 		if err != nil {
 			return fmt.Errorf("experiment %s: %w", e.key, err)
 		}
-		if csv {
-			fmt.Fprintf(w, "# %s: %s\n%s\n", tbl.ID, tbl.Title, tbl.CSV())
-		} else {
-			fmt.Fprintf(w, "%s\n", tbl.Format())
-		}
+		emit(w, tbl, csv)
 	}
 	if !matched {
-		return fmt.Errorf("unknown experiment %q (want 6.1, 6.2, 6.2-placement, 6.2-heavy, 6.3, 6.4, topo, load, all)", exp)
+		return fmt.Errorf("unknown experiment %q (want 6.1, 6.2, 6.2-placement, 6.2-heavy, 6.3, 6.4, topo, load, lock, all)", exp)
 	}
 	return nil
+}
+
+func emit(w io.Writer, tbl *harness.Table, csv bool) {
+	if csv {
+		fmt.Fprintf(w, "# %s: %s\n%s\n", tbl.ID, tbl.Title, tbl.CSV())
+	} else {
+		fmt.Fprintf(w, "%s\n", tbl.Format())
+	}
+}
+
+// lockTable sweeps shard counts over the live lock service, driving the
+// same multi-resource Zipf workload at each point.
+func lockTable(lo lockOptions, seed int64) (*harness.Table, error) {
+	counts, err := parseShardList(lo.shards)
+	if err != nil {
+		return nil, err
+	}
+	tbl := &harness.Table{
+		ID: "EXP-lock",
+		Title: fmt.Sprintf("sharded lock service: %d resources, zipf %.2f, %d workers x %d ops, hold %v",
+			lo.resources, lo.skew, lo.workers, lo.ops, lo.hold),
+		Columns: []string{"shards", "grants", "msgs", "msgs/grant", "ops/sec", "speedup", "wait-mean-ms", "wait-p99-ms"},
+		Notes: []string{
+			"one token DAG per shard; resources hash to shards, so throughput scales until the hottest shard saturates",
+			"live goroutine runtime: ops/sec is wall-clock and varies run to run; speedup is relative to the first row",
+		},
+	}
+	base := 0.0
+	for _, m := range counts {
+		tput, st, err := runLockOnce(lo, m, seed)
+		if err != nil {
+			return nil, fmt.Errorf("shards=%d: %w", m, err)
+		}
+		if base == 0 {
+			base = tput
+		}
+		msgsPerGrant := 0.0
+		if st.Grants > 0 {
+			msgsPerGrant = float64(st.Messages) / float64(st.Grants)
+		}
+		tbl.AddRow(
+			fmt.Sprintf("%d", m),
+			fmt.Sprintf("%d", st.Grants),
+			fmt.Sprintf("%d", st.Messages),
+			fmt.Sprintf("%.2f", msgsPerGrant),
+			fmt.Sprintf("%.0f", tput),
+			fmt.Sprintf("%.2fx", tput/base),
+			fmt.Sprintf("%.3f", st.Wait.Mean),
+			fmt.Sprintf("%.3f", st.Wait.P99),
+		)
+	}
+	return tbl, nil
+}
+
+func runLockOnce(lo lockOptions, shards int, seed int64) (float64, lockservice.Stats, error) {
+	svc, err := lockservice.New(lockservice.Config{Shards: shards, Nodes: lo.nodes})
+	if err != nil {
+		return 0, lockservice.Stats{}, err
+	}
+	defer svc.Close()
+	// Spread workers across member nodes so the token actually travels
+	// between cluster members instead of idling at each shard's home.
+	clients := make([]workload.Locker, svc.Nodes())
+	for n := range clients {
+		c, err := svc.On(mutex.ID(n + 1))
+		if err != nil {
+			return 0, lockservice.Stats{}, err
+		}
+		clients[n] = c
+	}
+	w := workload.MultiResource{
+		Workers:   lo.workers,
+		Ops:       lo.ops,
+		Resources: lo.resources,
+		Keys:      workload.ZipfKeys(lo.skew, lo.resources),
+		Hold:      lo.hold,
+		Seed:      seed,
+		Clients:   clients,
+	}
+	res, err := w.Run(context.Background(), svc)
+	if err != nil {
+		return 0, lockservice.Stats{}, err
+	}
+	if err := svc.Err(); err != nil {
+		return 0, lockservice.Stats{}, err
+	}
+	return res.Throughput(), svc.Stats(), nil
+}
+
+func parseShardList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad shard count %q (want positive integers, e.g. 1,2,4,8)", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -shards list")
+	}
+	return out, nil
 }

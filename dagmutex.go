@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"dagmutex/internal/core"
+	"dagmutex/internal/lockservice"
 	"dagmutex/internal/mutex"
 	"dagmutex/internal/topology"
 	"dagmutex/internal/transport"
@@ -166,6 +167,32 @@ func (c *Cluster) awaitInitialized() error {
 		}
 		time.Sleep(time.Millisecond)
 	}
+}
+
+// LockService is a sharded multi-resource lock manager over the DAG-token
+// core: M independent token DAGs (one per shard), with resource keys
+// mapped to shards by a stable hash. Acquire(ctx, resource) and
+// Release(resource) lock and unlock named resources; resources in
+// different shards are held fully concurrently. See internal/lockservice
+// for the design notes.
+type LockService = lockservice.Service
+
+// LockServiceConfig sizes a LockService: shard count, member nodes per
+// shard, and the per-shard tree topology.
+type LockServiceConfig = lockservice.Config
+
+// LockClient is the lock-service view of one member node; obtain one with
+// LockService.On.
+type LockClient = lockservice.Client
+
+// LockStats aggregates a LockService's per-shard grant, message and
+// wait-time counters.
+type LockStats = lockservice.Stats
+
+// NewLockService starts a sharded lock service. Callers must Close it to
+// stop the shard clusters' goroutines.
+func NewLockService(cfg LockServiceConfig) (*LockService, error) {
+	return lockservice.New(cfg)
 }
 
 // TCPPeer hosts one DAG protocol node behind a real TCP listener; a set

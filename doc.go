@@ -35,4 +35,33 @@
 // For nodes communicating over real TCP sockets, see NewTCPPeer. For the
 // deterministic simulator used by the experiments, see the Simulate
 // function and the cmd/dagbench tool.
+//
+// # The sharded lock service
+//
+// The paper's algorithm arbitrates one critical section; NewLockService
+// scales it to many named resources by running M independent token DAGs
+// (one per shard) and hashing each resource key to a shard. Resources in
+// different shards are locked fully concurrently:
+//
+//	svc, err := dagmutex.NewLockService(dagmutex.LockServiceConfig{Shards: 8, Nodes: 4})
+//	if err != nil { ... }
+//	defer svc.Close()
+//
+//	if err := svc.Acquire(ctx, "account:alice"); err != nil { ... }
+//	// ... critical section for account:alice ...
+//	if err := svc.Release("account:alice"); err != nil { ... }
+//
+// Distributed members lock through per-node clients (svc.On(id)), and
+// svc.Stats() aggregates per-shard grant, message and wait-time counters.
+// The lock experiment in cmd/dagbench (-exp lock) benchmarks throughput
+// scaling with shard count; see examples/lockservice for a demo.
+//
+// Two usage rules follow from the paper's model. A request cannot be
+// cancelled: when Acquire fails on its context, the service recovers in
+// the background (the token is released when it eventually arrives), but
+// that member's slot on the resource's shard stays busy until then. And a
+// goroutine holding one resource must not acquire a second through the
+// same member node if the two keys may share a shard — the nested Acquire
+// would wait on the slot its caller already holds. Release first, or
+// acquire through different member nodes.
 package dagmutex

@@ -1,0 +1,3 @@
+module dagmutex
+
+go 1.24

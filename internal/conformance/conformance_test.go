@@ -1,0 +1,67 @@
+package conformance
+
+import (
+	"testing"
+
+	"dagmutex/internal/central"
+	"dagmutex/internal/mutex"
+)
+
+func TestSizesDefault(t *testing.T) {
+	f := Factory{}
+	got := f.sizes()
+	want := []int{2, 3, 5, 9}
+	if len(got) != len(want) {
+		t.Fatalf("sizes() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sizes() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSizesOverride(t *testing.T) {
+	f := Factory{Sizes: []int{4, 7}}
+	got := f.sizes()
+	if len(got) != 2 || got[0] != 4 || got[1] != 7 {
+		t.Fatalf("sizes() = %v, want [4 7]", got)
+	}
+}
+
+func TestLargest(t *testing.T) {
+	if got := (Factory{}).largest(); got != 9 {
+		t.Fatalf("default largest() = %d, want 9", got)
+	}
+	if got := (Factory{Sizes: []int{3, 12, 5}}).largest(); got != 12 {
+		t.Fatalf("largest() = %d, want 12", got)
+	}
+}
+
+func TestBypassBound(t *testing.T) {
+	if got := (Factory{}).bypassBound(5); got != 15 {
+		t.Fatalf("default bypassBound(5) = %d, want 15 (3N)", got)
+	}
+	if got := (Factory{BypassBound: 7}).bypassBound(2); got != 14 {
+		t.Fatalf("bypassBound(2) with mult 7 = %d, want 14", got)
+	}
+}
+
+// TestBatteryPassesReferenceProtocol runs the full battery in-package
+// against the centralized coordinator, the simplest correct protocol, so
+// every scenario's own plumbing (workload install, grant accounting,
+// bypass checking) is exercised by this package's tests.
+func TestBatteryPassesReferenceProtocol(t *testing.T) {
+	Run(t, Factory{
+		Name:    "central-reference",
+		Builder: central.Builder,
+		Config: func(n int, holder mutex.ID) mutex.Config {
+			ids := make([]mutex.ID, n)
+			for i := range ids {
+				ids[i] = mutex.ID(i + 1)
+			}
+			return mutex.Config{IDs: ids, Holder: holder}
+		},
+		Sizes: []int{2, 5},
+	})
+}

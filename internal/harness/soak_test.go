@@ -16,6 +16,9 @@ import (
 // The §6.2 bound (at most ~3 messages per entry) and the §6.3 delay
 // (1 hop) must hold at scale, with bypass bounded (starvation freedom).
 func TestSoakDAGLargeStar(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test; skipped in -short mode")
+	}
 	const n = 100
 	star := topology.Star(n)
 	cfg, err := DAG.Configure(star, 1)
@@ -50,6 +53,9 @@ func TestSoakDAGLargeStar(t *testing.T) {
 // saturation as a uniform robustness sweep; the cluster monitors enforce
 // safety, deadlock- and starvation-freedom for each.
 func TestSoakAllAlgorithmsMidSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test; skipped in -short mode")
+	}
 	star := topology.Star(30)
 	for _, a := range Algorithms() {
 		a := a

@@ -1,0 +1,423 @@
+// Package lockservice layers a sharded, multi-resource lock manager over
+// the DAG-token core. The thesis's algorithm arbitrates one critical
+// section per run; a lock service has to arbitrate many named resources at
+// once. Token-based schemes shard naturally — one token DAG per shard, no
+// shared state between shards — so the service runs M independent DAG
+// instances over the live mailbox transport and maps each resource key to
+// a shard with a stable hash. Resources in different shards are locked
+// fully concurrently; resources that collide in one shard share that
+// shard's token (the classic coarse-sharding trade-off, tunable via
+// Config.Shards).
+//
+// Each shard is an N-node cluster on its own tree, modeling N application
+// servers that all participate in every shard. The initial token holder
+// rotates across shards so no single node starts out owning every token.
+// Within one node and one shard the paper's one-outstanding-request rule
+// applies, so the service serializes local acquirers per (node, shard)
+// slot; cross-shard acquires never contend.
+package lockservice
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dagmutex/internal/core"
+	"dagmutex/internal/metrics"
+	"dagmutex/internal/mutex"
+	"dagmutex/internal/topology"
+	"dagmutex/internal/transport"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Shards is the number of independent DAG-token instances. More shards
+	// mean more resources can be held concurrently. Default 8.
+	Shards int
+	// Nodes is the number of member nodes participating in every shard
+	// cluster, modeling the application servers of a deployment. Default 4.
+	Nodes int
+	// Tree builds the per-shard topology over n nodes. Default Star, the
+	// thesis's best shape (at most three messages per entry).
+	Tree func(n int) *topology.Tree
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	if c.Nodes <= 0 {
+		c.Nodes = 4
+	}
+	if c.Tree == nil {
+		c.Tree = topology.Star
+	}
+	return c
+}
+
+// Service is a sharded multi-resource lock manager. All methods are safe
+// for concurrent use.
+//
+// Two usage rules follow from the paper's model. First, a request cannot
+// be cancelled: when an Acquire fails on its context, the token still
+// arrives eventually, and the service releases it in the background and
+// recovers the slot — but until then, that (node, shard) slot is busy.
+// Second, one goroutine must not acquire a second resource through the
+// same (node, shard) slot while holding the first: if two keys collide in
+// one shard, the nested Acquire waits on the slot its caller already
+// holds. Release the first key before acquiring a possibly-colliding
+// second, or acquire them from different member nodes.
+type Service struct {
+	cfg    Config
+	shards []*shard
+
+	closeOnce sync.Once
+	done      chan struct{} // closed by Close; stops recovery reapers
+}
+
+// shard is one DAG-token instance: a live cluster plus per-node acquire
+// slots and counters.
+type shard struct {
+	index int
+	home  mutex.ID // initial token holder; target of service-level routing
+	local *transport.Local
+	slots []*slot
+	done  <-chan struct{} // service-wide close signal
+
+	grants atomic.Int64
+
+	mu        sync.Mutex
+	waits     []float64 // reservoir of per-grant waits, milliseconds
+	waitsSeen int       // total grants observed, for reservoir replacement
+}
+
+// maxWaitSamples bounds the per-shard wait reservoir so a long-lived
+// service does not grow memory with grant count; beyond it, samples are
+// replaced uniformly at random (an unbiased reservoir).
+const maxWaitSamples = 8192
+
+// slot serializes one node's acquires on one shard (the paper's
+// one-outstanding-request rule) and remembers which resource it holds.
+type slot struct {
+	handle *transport.Handle
+	sem    chan struct{} // capacity 1: held while the node owns the shard token
+
+	mu   sync.Mutex
+	held string // resource name currently locked through this slot
+}
+
+// New starts the service: cfg.Shards live clusters of cfg.Nodes nodes
+// each. Callers must Close it to stop the shard goroutines.
+func New(cfg Config) (*Service, error) {
+	cfg = cfg.withDefaults()
+	s := &Service{cfg: cfg, shards: make([]*shard, 0, cfg.Shards), done: make(chan struct{})}
+	for i := 0; i < cfg.Shards; i++ {
+		tree := cfg.Tree(cfg.Nodes)
+		if tree.N() != cfg.Nodes {
+			s.Close()
+			return nil, fmt.Errorf("lockservice: Tree(%d) built %d nodes", cfg.Nodes, tree.N())
+		}
+		// Rotate initial token ownership so one node does not start out
+		// holding every shard's token.
+		home := mutex.ID(1 + i%cfg.Nodes)
+		mcfg := mutex.Config{IDs: tree.IDs(), Holder: home, Parent: tree.ParentsToward(home)}
+		local, err := transport.NewLocal(core.Builder, mcfg)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("lockservice: shard %d: %w", i, err)
+		}
+		sh := &shard{index: i, home: home, local: local, slots: make([]*slot, cfg.Nodes), done: s.done}
+		for n := 0; n < cfg.Nodes; n++ {
+			sh.slots[n] = &slot{
+				handle: local.Handle(mutex.ID(n + 1)),
+				sem:    make(chan struct{}, 1),
+			}
+		}
+		s.shards = append(s.shards, sh)
+	}
+	return s, nil
+}
+
+// KeyShard returns the shard index resource maps to among shards shards:
+// FNV-1a mod shards, a stable assignment across runs and processes.
+func KeyShard(resource string, shards int) int {
+	h := fnv.New32a()
+	h.Write([]byte(resource))
+	return int(h.Sum32() % uint32(shards))
+}
+
+// ShardFor returns the shard index resource maps to in this service.
+func (s *Service) ShardFor(resource string) int {
+	return KeyShard(resource, len(s.shards))
+}
+
+// Shards returns the configured shard count.
+func (s *Service) Shards() int { return len(s.shards) }
+
+// Nodes returns the number of member nodes per shard.
+func (s *Service) Nodes() int { return s.cfg.Nodes }
+
+// Acquire locks resource on behalf of the shard's home node, blocking
+// until the shard token arrives or ctx is done. It is the single-process
+// convenience entry point; distributed members use On(id).Acquire.
+func (s *Service) Acquire(ctx context.Context, resource string) error {
+	sh, err := s.shardOf(resource)
+	if err != nil {
+		return err
+	}
+	return sh.acquire(ctx, sh.home, resource)
+}
+
+// Release unlocks resource previously locked with Acquire.
+func (s *Service) Release(resource string) error {
+	sh, err := s.shardOf(resource)
+	if err != nil {
+		return err
+	}
+	return sh.release(sh.home, resource)
+}
+
+// Client is the lock-service view of one member node.
+type Client struct {
+	svc *Service
+	id  mutex.ID
+}
+
+// On returns the client for member node id (1..Nodes).
+func (s *Service) On(id mutex.ID) (*Client, error) {
+	if id <= mutex.Nil || int(id) > s.cfg.Nodes {
+		return nil, fmt.Errorf("lockservice: no member node %d (have 1..%d)", id, s.cfg.Nodes)
+	}
+	return &Client{svc: s, id: id}, nil
+}
+
+// ID returns the member node this client acts as.
+func (c *Client) ID() mutex.ID { return c.id }
+
+// Acquire locks resource on behalf of this member node.
+func (c *Client) Acquire(ctx context.Context, resource string) error {
+	sh, err := c.svc.shardOf(resource)
+	if err != nil {
+		return err
+	}
+	return sh.acquire(ctx, c.id, resource)
+}
+
+// Release unlocks resource previously locked by this member node.
+func (c *Client) Release(resource string) error {
+	sh, err := c.svc.shardOf(resource)
+	if err != nil {
+		return err
+	}
+	return sh.release(c.id, resource)
+}
+
+func (s *Service) shardOf(resource string) (*shard, error) {
+	if resource == "" {
+		return nil, errors.New("lockservice: empty resource name")
+	}
+	return s.shards[s.ShardFor(resource)], nil
+}
+
+func (sh *shard) slot(id mutex.ID) *slot { return sh.slots[id-1] }
+
+// acquire takes the (node, shard) slot, then the shard token.
+func (sh *shard) acquire(ctx context.Context, id mutex.ID, resource string) error {
+	sl := sh.slot(id)
+	start := time.Now() // wait includes local slot queueing, not just token travel
+	select {
+	case sl.sem <- struct{}{}:
+	case <-ctx.Done():
+		return fmt.Errorf("lockservice: acquire %q (shard %d, node %d): %w",
+			resource, sh.index, id, ctx.Err())
+	}
+	if err := sl.handle.Acquire(ctx); err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// The protocol request stays outstanding (the paper's model has
+			// no cancellation), so the token still arrives eventually. A
+			// reaper keeps the slot busy until then, releases the orphaned
+			// grant, and recovers the slot — without it the token would park
+			// here forever and wedge the whole shard.
+			go sh.reap(sl)
+		} else {
+			// No request is pending; the slot is safe to free immediately.
+			<-sl.sem
+		}
+		return fmt.Errorf("lockservice: acquire %q (shard %d, node %d): %w",
+			resource, sh.index, id, err)
+	}
+	sl.mu.Lock()
+	sl.held = resource
+	sl.mu.Unlock()
+	sh.grants.Add(1)
+	sh.recordWait(time.Since(start))
+	return nil
+}
+
+// release validates ownership, passes the shard token on, frees the slot.
+func (sh *shard) release(id mutex.ID, resource string) error {
+	sl := sh.slot(id)
+	sl.mu.Lock()
+	if sl.held != resource {
+		held := sl.held
+		sl.mu.Unlock()
+		if held == "" {
+			return fmt.Errorf("lockservice: node %d does not hold %q (shard %d)", id, resource, sh.index)
+		}
+		return fmt.Errorf("lockservice: node %d holds %q, not %q (shard %d)", id, held, resource, sh.index)
+	}
+	sl.held = ""
+	sl.mu.Unlock()
+	if err := sl.handle.Release(); err != nil {
+		return fmt.Errorf("lockservice: release %q (shard %d, node %d): %w", resource, sh.index, id, err)
+	}
+	<-sl.sem
+	return nil
+}
+
+// reap waits out an abandoned request's grant, releases it, and frees the
+// slot the failed Acquire left held.
+func (sh *shard) reap(sl *slot) {
+	select {
+	case <-sl.handle.Granted():
+		if err := sl.handle.Release(); err == nil {
+			<-sl.sem
+		}
+	case <-sh.done:
+		// Service closing; the slot stays held, which is moot now.
+	}
+}
+
+func (sh *shard) recordWait(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	sh.mu.Lock()
+	sh.waitsSeen++
+	if len(sh.waits) < maxWaitSamples {
+		sh.waits = append(sh.waits, ms)
+	} else if i := rand.Intn(sh.waitsSeen); i < maxWaitSamples {
+		sh.waits[i] = ms
+	}
+	sh.mu.Unlock()
+}
+
+// ShardStats is one shard's counters.
+type ShardStats struct {
+	Shard int
+	// Home is the shard's initial token holder and service-level routing
+	// target.
+	Home mutex.ID
+	// Grants counts successful Acquires.
+	Grants int64
+	// Messages counts protocol messages the shard cluster exchanged.
+	Messages int64
+	// Wait summarizes acquire latency in milliseconds, over a bounded
+	// uniform reservoir of at most maxWaitSamples recent-and-past grants.
+	Wait metrics.Summary
+}
+
+// Stats aggregates the per-shard counters.
+type Stats struct {
+	PerShard []ShardStats
+	// Grants and Messages are the service-wide totals.
+	Grants   int64
+	Messages int64
+	// Wait summarizes acquire latency in milliseconds across all shards.
+	Wait metrics.Summary
+}
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() Stats {
+	var st Stats
+	samples := make([][]float64, 0, len(s.shards))
+	seen := make([]int, 0, len(s.shards))
+	totalSeen := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		waits := make([]float64, len(sh.waits))
+		copy(waits, sh.waits)
+		n := sh.waitsSeen
+		sh.mu.Unlock()
+		ss := ShardStats{
+			Shard:    sh.index,
+			Home:     sh.home,
+			Grants:   sh.grants.Load(),
+			Messages: sh.local.Messages(),
+			Wait:     metrics.Summarize(waits),
+		}
+		st.PerShard = append(st.PerShard, ss)
+		st.Grants += ss.Grants
+		st.Messages += ss.Messages
+		samples = append(samples, waits)
+		seen = append(seen, n)
+		totalSeen += n
+	}
+	st.Wait = metrics.Summarize(mergeWeighted(samples, seen, totalSeen))
+	return st
+}
+
+// mergeWeighted combines per-shard wait reservoirs into one sample for
+// the service-wide summary. While no reservoir has capped the samples are
+// complete and plain concatenation is exact; once capped, each shard
+// contributes in proportion to the grants it actually saw, so a cold
+// shard's full reservoir cannot outweigh a hot shard's truncated one.
+func mergeWeighted(samples [][]float64, seen []int, totalSeen int) []float64 {
+	if totalSeen <= maxWaitSamples {
+		var all []float64
+		for _, xs := range samples {
+			all = append(all, xs...)
+		}
+		return all
+	}
+	var all []float64
+	for i, xs := range samples {
+		k := int(float64(maxWaitSamples) * float64(seen[i]) / float64(totalSeen))
+		if k >= len(xs) {
+			all = append(all, xs...)
+			continue
+		}
+		// Partial Fisher–Yates: k distinct uniform picks from xs.
+		idx := rand.Perm(len(xs))[:k]
+		for _, j := range idx {
+			all = append(all, xs[j])
+		}
+	}
+	return all
+}
+
+// Messages returns the total protocol messages across all shards.
+func (s *Service) Messages() int64 {
+	var n int64
+	for _, sh := range s.shards {
+		n += sh.local.Messages()
+	}
+	return n
+}
+
+// Err returns the first protocol error observed on any shard, if any.
+func (s *Service) Err() error {
+	for _, sh := range s.shards {
+		if err := sh.local.Err(); err != nil {
+			return fmt.Errorf("lockservice: shard %d: %w", sh.index, err)
+		}
+	}
+	return nil
+}
+
+// Close stops every shard cluster and waits for their goroutines.
+func (s *Service) Close() {
+	s.closeOnce.Do(func() {
+		if s.done != nil {
+			close(s.done)
+		}
+		for _, sh := range s.shards {
+			if sh != nil {
+				sh.local.Close()
+			}
+		}
+	})
+}

@@ -1,0 +1,415 @@
+package lockservice
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"dagmutex/internal/cluster"
+	"dagmutex/internal/core"
+	"dagmutex/internal/mutex"
+	"dagmutex/internal/sim"
+	"dagmutex/internal/topology"
+)
+
+func newService(t *testing.T, cfg Config) *Service {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		s.Close()
+		if err := s.Err(); err != nil {
+			t.Errorf("protocol error after run: %v", err)
+		}
+	})
+	return s
+}
+
+func TestAcquireReleaseSingleResource(t *testing.T) {
+	s := newService(t, Config{Shards: 4, Nodes: 3})
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if err := s.Acquire(ctx, "orders"); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Release("orders"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Grants != 5 {
+		t.Fatalf("grants = %d, want 5", st.Grants)
+	}
+}
+
+func TestKeyShardStableAndInRange(t *testing.T) {
+	for _, shards := range []int{1, 2, 8, 13} {
+		for i := 0; i < 200; i++ {
+			key := fmt.Sprintf("res-%d", i)
+			got := KeyShard(key, shards)
+			if got < 0 || got >= shards {
+				t.Fatalf("KeyShard(%q, %d) = %d, out of range", key, shards, got)
+			}
+			if again := KeyShard(key, shards); again != got {
+				t.Fatalf("KeyShard(%q, %d) unstable: %d then %d", key, shards, got, again)
+			}
+		}
+	}
+	// Golden values pin the hash function: a silent change would reshuffle
+	// every deployed key→shard assignment.
+	if got := KeyShard("orders", 8); got != 4 {
+		t.Fatalf("KeyShard(orders, 8) = %d, want 4", got)
+	}
+	if got := KeyShard("users", 8); got != 3 {
+		t.Fatalf("KeyShard(users, 8) = %d, want 3", got)
+	}
+}
+
+func TestServiceRoutesEachShardToItsHome(t *testing.T) {
+	s := newService(t, Config{Shards: 6, Nodes: 4})
+	for i, sh := range s.shards {
+		want := mutex.ID(1 + i%4)
+		if sh.home != want {
+			t.Fatalf("shard %d home = %d, want %d", i, sh.home, want)
+		}
+	}
+}
+
+// TestMutualExclusionAcrossNodes has every member node hammer a shared,
+// unsynchronized counter per resource; only the lock service makes the
+// increments safe. Run under -race this is the core safety test.
+func TestMutualExclusionAcrossNodes(t *testing.T) {
+	const (
+		nodes     = 4
+		resources = 16
+		perWorker = 30
+	)
+	s := newService(t, Config{Shards: 8, Nodes: nodes})
+	counters := make([]int, resources)
+	var wg sync.WaitGroup
+	errs := make(chan error, nodes)
+	for n := 1; n <= nodes; n++ {
+		c, err := s.On(mutex.ID(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			rng := rand.New(rand.NewSource(int64(c.ID())))
+			for i := 0; i < perWorker; i++ {
+				k := rng.Intn(resources)
+				key := fmt.Sprintf("res-%d", k)
+				if err := c.Acquire(ctx, key); err != nil {
+					errs <- err
+					return
+				}
+				counters[k]++ // critical section: unsynchronized Go state
+				if err := c.Release(key); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range counters {
+		total += c
+	}
+	if want := nodes * perWorker; total != want {
+		t.Fatalf("counter total = %d, want %d", total, want)
+	}
+	if st := s.Stats(); st.Grants != int64(nodes*perWorker) {
+		t.Fatalf("grants = %d, want %d", st.Grants, nodes*perWorker)
+	}
+}
+
+// TestCrossShardAcquiresDoNotBlock holds a resource on one shard and
+// verifies a resource on a different shard is still acquirable.
+func TestCrossShardAcquiresDoNotBlock(t *testing.T) {
+	s := newService(t, Config{Shards: 8, Nodes: 2})
+	// Find two keys on different shards.
+	a := "res-0"
+	b := ""
+	for i := 1; ; i++ {
+		b = fmt.Sprintf("res-%d", i)
+		if s.ShardFor(b) != s.ShardFor(a) {
+			break
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Acquire(ctx, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Acquire(ctx, b); err != nil {
+		t.Fatalf("cross-shard acquire blocked: %v", err)
+	}
+	if err := s.Release(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Release(a); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSameShardSerializes verifies two resources that collide in one
+// shard share that shard's token: the second acquire waits for the first
+// release.
+func TestSameShardSerializes(t *testing.T) {
+	s := newService(t, Config{Shards: 1, Nodes: 2})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Acquire(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+	acquired := make(chan struct{})
+	go func() {
+		c, err := s.On(2)
+		if err != nil {
+			t.Error(err)
+			close(acquired)
+			return
+		}
+		if err := c.Acquire(ctx, "b"); err != nil {
+			t.Error(err)
+			close(acquired)
+			return
+		}
+		close(acquired)
+		_ = c.Release("b")
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("same-shard acquire succeeded while token was held")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if err := s.Release("a"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-acquired:
+	case <-time.After(10 * time.Second):
+		t.Fatal("same-shard acquire never completed after release")
+	}
+}
+
+// TestTimedOutAcquireRecovers checks the no-cancellation recovery path:
+// an Acquire that fails on its deadline leaves an outstanding request,
+// and when the token eventually arrives the service must release it in
+// the background so the shard (and the slot) become usable again.
+func TestTimedOutAcquireRecovers(t *testing.T) {
+	s := newService(t, Config{Shards: 1, Nodes: 2})
+	ctx := context.Background()
+	c2, err := s.On(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 2 holds the single shard's token...
+	if err := c2.Acquire(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+	// ...so a service-level acquire (node 1) times out waiting for it.
+	tctx, cancel := context.WithTimeout(ctx, 20*time.Millisecond)
+	defer cancel()
+	if err := s.Acquire(tctx, "b"); err == nil {
+		t.Fatal("acquire succeeded while token was held")
+	}
+	// Once node 2 releases, the orphaned grant lands at node 1, the
+	// reaper passes the token back, and both nodes can lock again.
+	if err := c2.Release("a"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		rctx, rcancel := context.WithTimeout(ctx, 100*time.Millisecond)
+		err := s.Acquire(rctx, "b")
+		rcancel()
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slot never recovered after timed-out acquire: %v", err)
+		}
+	}
+	if err := s.Release("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Acquire(ctx, "a"); err != nil {
+		t.Fatalf("shard wedged for other nodes after recovery: %v", err)
+	}
+	if err := c2.Release("a"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReleaseErrors(t *testing.T) {
+	s := newService(t, Config{Shards: 2, Nodes: 2})
+	ctx := context.Background()
+	if err := s.Release("never-held"); err == nil {
+		t.Fatal("release of unheld resource succeeded")
+	}
+	if err := s.Acquire(ctx, ""); err == nil {
+		t.Fatal("acquire of empty resource name succeeded")
+	}
+	if err := s.Acquire(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+	// Find a key on the same shard with the same home node as "a".
+	other := ""
+	for i := 0; ; i++ {
+		other = fmt.Sprintf("k-%d", i)
+		if s.ShardFor(other) == s.ShardFor("a") {
+			break
+		}
+	}
+	if err := s.Release(other); err == nil {
+		t.Fatal("release of wrong resource on held slot succeeded")
+	}
+	if err := s.Release("a"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnRejectsUnknownNode(t *testing.T) {
+	s := newService(t, Config{Shards: 2, Nodes: 3})
+	for _, id := range []mutex.ID{0, -1, 4} {
+		if _, err := s.On(id); err == nil {
+			t.Fatalf("On(%d) accepted", id)
+		}
+	}
+}
+
+func TestStatsAggregates(t *testing.T) {
+	s := newService(t, Config{Shards: 4, Nodes: 2})
+	ctx := context.Background()
+	const ops = 40
+	for i := 0; i < ops; i++ {
+		key := fmt.Sprintf("res-%d", i%10)
+		if err := s.Acquire(ctx, key); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Release(key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Grants != ops {
+		t.Fatalf("grants = %d, want %d", st.Grants, ops)
+	}
+	if len(st.PerShard) != 4 {
+		t.Fatalf("per-shard stats = %d entries, want 4", len(st.PerShard))
+	}
+	var sum int64
+	for _, ss := range st.PerShard {
+		sum += ss.Grants
+	}
+	if sum != st.Grants {
+		t.Fatalf("per-shard grants sum %d != total %d", sum, st.Grants)
+	}
+	if st.Wait.Count != ops {
+		t.Fatalf("wait samples = %d, want %d", st.Wait.Count, ops)
+	}
+	if st.Messages != s.Messages() {
+		t.Fatalf("stats messages %d != service messages %d", st.Messages, s.Messages())
+	}
+}
+
+// TestMergeWeightedFavorsGrantCount checks the capped-reservoir merge: a
+// hot shard with a million grants must dominate the service-wide wait
+// sample even though its reservoir is truncated to the same size as a
+// cold shard's.
+func TestMergeWeightedFavorsGrantCount(t *testing.T) {
+	hot := make([]float64, maxWaitSamples)
+	cold := make([]float64, maxWaitSamples)
+	for i := range hot {
+		hot[i] = 100.0 // slow shard
+		cold[i] = 1.0  // fast shard
+	}
+	hotSeen, coldSeen := 1_000_000, maxWaitSamples
+	merged := mergeWeighted([][]float64{hot, cold}, []int{hotSeen, coldSeen}, hotSeen+coldSeen)
+	if len(merged) == 0 || len(merged) > maxWaitSamples {
+		t.Fatalf("merged sample size = %d, want (0, %d]", len(merged), maxWaitSamples)
+	}
+	sum := 0.0
+	for _, x := range merged {
+		sum += x
+	}
+	mean := sum / float64(len(merged))
+	// Grant-weighted truth: (1e6*100 + 8192*1) / 1008192 ≈ 99.2.
+	if mean < 90 {
+		t.Fatalf("merged mean = %.1f, want ≈99 (hot shard must dominate by grant count)", mean)
+	}
+	// Uncapped path stays exact concatenation.
+	exact := mergeWeighted([][]float64{{1, 2}, {3}}, []int{2, 1}, 3)
+	if len(exact) != 3 {
+		t.Fatalf("uncapped merge = %v, want all 3 samples", exact)
+	}
+}
+
+// TestShardingDeterministicOnSimulator replays a multi-resource trace on
+// the deterministic simulator: keys are partitioned by KeyShard exactly as
+// the live service partitions them, each shard's requests run on its own
+// sim cluster, and the per-shard entry counts must match the partition —
+// the reproducible counterpart of the live goroutine path.
+func TestShardingDeterministicOnSimulator(t *testing.T) {
+	const (
+		shards    = 4
+		nodes     = 3
+		resources = 24
+		ops       = 96
+	)
+	// Partition a deterministic key sequence the way the service would.
+	perShard := make([][]mutex.ID, shards) // requesting node per op, in order
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < ops; i++ {
+		key := fmt.Sprintf("res-%d", rng.Intn(resources))
+		sh := KeyShard(key, shards)
+		node := mutex.ID(1 + rng.Intn(nodes))
+		perShard[sh] = append(perShard[sh], node)
+	}
+	for sh, reqs := range perShard {
+		tree := topology.Star(nodes)
+		home := mutex.ID(1 + sh%nodes)
+		cfg := mutex.Config{IDs: tree.IDs(), Holder: home, Parent: tree.ParentsToward(home)}
+		c, err := cluster.New(core.Builder, cfg, cluster.WithCSTime(sim.Hop/2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Closed-loop replay: each op issues once its node's previous op
+		// released (one outstanding request per node, per the paper).
+		next := make(map[mutex.ID]int)
+		pending := make(map[mutex.ID][]int)
+		for i, node := range reqs {
+			pending[node] = append(pending[node], i)
+		}
+		for node := range pending {
+			c.RequestAt(0, node)
+			next[node] = 1
+		}
+		c.OnRelease(func(id mutex.ID, at sim.Time) {
+			if next[id] < len(pending[id]) {
+				next[id]++
+				c.RequestAt(at+sim.Hop, id)
+			}
+		})
+		if err := c.Run(); err != nil {
+			t.Fatalf("shard %d: %v", sh, err)
+		}
+		if got, want := c.Entries(), len(reqs); got != want {
+			t.Fatalf("shard %d entries = %d, want %d", sh, got, want)
+		}
+	}
+}

@@ -185,6 +185,13 @@ func (h *Handle) Acquire(ctx context.Context) error {
 	}
 }
 
+// Granted exposes the grant signal for recovery after a failed Acquire:
+// the request stays outstanding (the paper's model has no cancellation),
+// so the grant still arrives eventually and a caller that owns the handle
+// can drain it and Release. The channel never closes and receives at most
+// one value per outstanding request.
+func (h *Handle) Granted() <-chan struct{} { return h.ln.granted }
+
 // Release leaves the critical section.
 func (h *Handle) Release() error {
 	h.ln.mu.Lock()

@@ -1,0 +1,175 @@
+package workload
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// tableLocker is an in-memory per-key lock table that fails the test on
+// any mutual-exclusion violation, standing in for the real lock service.
+type tableLocker struct {
+	mu   sync.Mutex
+	held map[string]bool
+	cond *sync.Cond
+
+	acquires int
+}
+
+func newTableLocker() *tableLocker {
+	l := &tableLocker{held: make(map[string]bool)}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+func (l *tableLocker) Acquire(ctx context.Context, resource string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.held[resource] {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		l.cond.Wait()
+	}
+	l.held[resource] = true
+	l.acquires++
+	return nil
+}
+
+func (l *tableLocker) Release(resource string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.held[resource] {
+		return errors.New("release of unheld resource " + resource)
+	}
+	delete(l.held, resource)
+	l.cond.Broadcast()
+	return nil
+}
+
+func TestMultiResourceRunCompletesAllOps(t *testing.T) {
+	l := newTableLocker()
+	w := MultiResource{Workers: 6, Ops: 50, Resources: 16, Seed: 3}
+	res, err := w.Run(context.Background(), l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 6 * 50; res.Ops != want {
+		t.Fatalf("ops = %d, want %d", res.Ops, want)
+	}
+	if l.acquires != res.Ops {
+		t.Fatalf("locker saw %d acquires, result says %d", l.acquires, res.Ops)
+	}
+	if res.Elapsed <= 0 {
+		t.Fatalf("elapsed = %v, want > 0", res.Elapsed)
+	}
+	if res.Throughput() <= 0 {
+		t.Fatalf("throughput = %f, want > 0", res.Throughput())
+	}
+}
+
+type failingLocker struct{ err error }
+
+func (f failingLocker) Acquire(context.Context, string) error { return f.err }
+func (f failingLocker) Release(string) error                  { return nil }
+
+func TestMultiResourceRunPropagatesFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	w := MultiResource{Workers: 4, Ops: 10, Resources: 4}
+	_, err := w.Run(context.Background(), failingLocker{err: boom})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}
+
+func TestMultiResourceRunHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	l := newTableLocker()
+	res, err := w0().Run(ctx, l)
+	if err == nil {
+		t.Fatal("cancelled run reported no error")
+	}
+	if res.Ops != 0 {
+		t.Fatalf("cancelled run completed %d ops", res.Ops)
+	}
+}
+
+func w0() MultiResource { return MultiResource{Workers: 2, Ops: 5, Resources: 2} }
+
+func TestZipfKeysSkewsTowardLowRanks(t *testing.T) {
+	const n = 64
+	keys := ZipfKeys(1.2, n)
+	rng := rand.New(rand.NewSource(42))
+	counts := make([]int, n)
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		k := keys(rng)
+		if k < 0 || k >= n {
+			t.Fatalf("key %d out of range [0,%d)", k, n)
+		}
+		counts[k]++
+	}
+	if counts[0] <= counts[n-1] {
+		t.Fatalf("rank 0 drawn %d times, rank %d drawn %d: no skew", counts[0], n-1, counts[n-1])
+	}
+	if counts[0] < draws/10 {
+		t.Fatalf("hottest key drew only %d of %d: skew too weak for a hotspot workload", counts[0], draws)
+	}
+}
+
+func TestZipfKeysFallsBackToUniform(t *testing.T) {
+	keys := ZipfKeys(0.5, 8) // s <= 1: rand.Zipf cannot represent it
+	rng := rand.New(rand.NewSource(1))
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		k := keys(rng)
+		if k < 0 || k >= 8 {
+			t.Fatalf("key %d out of range", k)
+		}
+		seen[k] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("uniform fallback hit %d of 8 keys", len(seen))
+	}
+}
+
+func TestZipfKeysIndependentPerRng(t *testing.T) {
+	keys := ZipfKeys(1.5, 32)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				if k := keys(rng); k < 0 || k >= 32 {
+					t.Errorf("key %d out of range", k)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestResourceKeyStable(t *testing.T) {
+	if got := ResourceKey(7); got != "res-7" {
+		t.Fatalf("ResourceKey(7) = %q", got)
+	}
+}
+
+func TestMultiResourceHoldSlowsRun(t *testing.T) {
+	l := newTableLocker()
+	w := MultiResource{Workers: 1, Ops: 5, Resources: 2, Hold: 2 * time.Millisecond}
+	res, err := w.Run(context.Background(), l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed < 10*time.Millisecond {
+		t.Fatalf("elapsed = %v, want >= 10ms of hold time", res.Elapsed)
+	}
+}
