@@ -1,19 +1,21 @@
 // Command dagbench regenerates every table and figure of the thesis's
-// Chapter 6 performance analysis, printing paper-style tables (or CSV)
-// for: the §6.1 upper bounds, the §6.2 average and heavy-demand bounds,
-// the §6.3 synchronization delays, the §6.4 storage overheads, the
-// topology sweep behind Figures 1/8, and the load-sweep ablation. Beyond
-// the thesis, the lock experiment benchmarks the sharded multi-resource
-// lock service live on goroutines, showing aggregate grant throughput
-// scaling with shard count.
+// Chapter 6 performance analysis, printing paper-style tables (or CSV,
+// or JSON for machine consumption) for: the §6.1 upper bounds, the §6.2
+// average and heavy-demand bounds, the §6.3 synchronization delays, the
+// §6.4 storage overheads, the topology sweep behind Figures 1/8, and the
+// load-sweep ablation. Beyond the thesis, the lock experiment benchmarks
+// the sharded multi-resource lock service live — over the in-process
+// link layer and over real loopback TCP — showing aggregate grant
+// throughput scaling with shard count on both substrates.
 //
 // Usage:
 //
 //	dagbench                          # run every simulator experiment
 //	dagbench -exp 6.2                 # one experiment (6.1, 6.2, 6.2-heavy, 6.3, 6.4, topo, load)
-//	dagbench -exp lock -shards 1,2,4,8 -resources 64
+//	dagbench -exp lock -shards 1,2,4,8 -resources 64 -transports local,tcp
 //	                                  # live sharded lock-service benchmark
-//	dagbench -csv                     # machine-readable output
+//	dagbench -csv                     # machine-readable CSV output
+//	dagbench -json                    # machine-readable JSON output (CI artifact shape)
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -35,21 +38,24 @@ import (
 
 // lockOptions parameterizes the live lock-service benchmark.
 type lockOptions struct {
-	shards    string
-	nodes     int
-	resources int
-	workers   int
-	ops       int
-	skew      float64
-	hold      time.Duration
+	shards     string
+	transports string
+	nodes      int
+	resources  int
+	workers    int
+	ops        int
+	skew       float64
+	hold       time.Duration
 }
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: 6.1, 6.2, 6.2-placement, 6.2-heavy, 6.3, 6.4, topo, load, all, or lock (live benchmark, not part of all)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	jsonOut := flag.Bool("json", false, "emit one JSON array of result tables (overrides -csv)")
 	seed := flag.Int64("seed", 1, "random seed for randomized scenarios")
 	var lo lockOptions
 	flag.StringVar(&lo.shards, "shards", "1,2,4,8", "lock: comma-separated shard counts to sweep")
+	flag.StringVar(&lo.transports, "transports", "local,tcp", "lock: comma-separated substrates to sweep (local, tcp)")
 	flag.IntVar(&lo.nodes, "nodes", 4, "lock: member nodes per shard cluster")
 	flag.IntVar(&lo.resources, "resources", 64, "lock: number of distinct resource keys")
 	flag.IntVar(&lo.workers, "workers", 32, "lock: concurrent closed-loop workers")
@@ -58,20 +64,46 @@ func main() {
 	flag.DurationVar(&lo.hold, "hold", 200*time.Microsecond, "lock: critical-section hold time")
 	flag.Parse()
 
-	if err := run(os.Stdout, *exp, *csv, *seed, lo); err != nil {
+	if err := run(os.Stdout, *exp, *csv, *jsonOut, *seed, lo); err != nil {
 		fmt.Fprintln(os.Stderr, "dagbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, exp string, csv bool, seed int64, lo lockOptions) error {
+func run(w io.Writer, exp string, csv, jsonOut bool, seed int64, lo lockOptions) error {
+	// JSON is one array, so tables accumulate and emit at the end; the
+	// table/CSV modes stream each experiment as it completes.
+	var tables []*harness.Table
+	emitOne := func(tbl *harness.Table) {
+		if jsonOut {
+			tables = append(tables, tbl)
+			return
+		}
+		if csv {
+			fmt.Fprintf(w, "# %s: %s\n%s\n", tbl.ID, tbl.Title, tbl.CSV())
+		} else {
+			fmt.Fprintf(w, "%s\n", tbl.Format())
+		}
+	}
+	emitJSON := func() error {
+		if !jsonOut {
+			return nil
+		}
+		b, err := harness.TablesJSON(tables)
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(w, "%s\n", b)
+		return err
+	}
+
 	if strings.EqualFold(exp, "lock") {
 		tbl, err := lockTable(lo, seed)
 		if err != nil {
 			return fmt.Errorf("experiment lock: %w", err)
 		}
-		emit(w, tbl, csv)
-		return nil
+		emitOne(tbl)
+		return emitJSON()
 	}
 
 	type experiment struct {
@@ -102,26 +134,33 @@ func run(w io.Writer, exp string, csv bool, seed int64, lo lockOptions) error {
 		if err != nil {
 			return fmt.Errorf("experiment %s: %w", e.key, err)
 		}
-		emit(w, tbl, csv)
+		emitOne(tbl)
 	}
 	if !matched {
 		return fmt.Errorf("unknown experiment %q (want 6.1, 6.2, 6.2-placement, 6.2-heavy, 6.3, 6.4, topo, load, lock, all)", exp)
 	}
-	return nil
+	return emitJSON()
 }
 
-func emit(w io.Writer, tbl *harness.Table, csv bool) {
-	if csv {
-		fmt.Fprintf(w, "# %s: %s\n%s\n", tbl.ID, tbl.Title, tbl.CSV())
-	} else {
-		fmt.Fprintf(w, "%s\n", tbl.Format())
-	}
+// lockResult is one benchmark point of the lock sweep.
+type lockResult struct {
+	grants   int64
+	messages int64
+	tput     float64
+	waitMean float64
+	waitP99  float64
 }
 
-// lockTable sweeps shard counts over the live lock service, driving the
-// same multi-resource Zipf workload at each point.
+// lockTable sweeps substrate × shard count over the live lock service,
+// driving the same multi-resource Zipf workload at each point. Speedup
+// is relative to each substrate's first row, so the two substrates'
+// scaling curves are directly comparable.
 func lockTable(lo lockOptions, seed int64) (*harness.Table, error) {
 	counts, err := parseShardList(lo.shards)
+	if err != nil {
+		return nil, err
+	}
+	transports, err := parseTransportList(lo.transports)
 	if err != nil {
 		return nil, err
 	}
@@ -129,56 +168,54 @@ func lockTable(lo lockOptions, seed int64) (*harness.Table, error) {
 		ID: "EXP-lock",
 		Title: fmt.Sprintf("sharded lock service: %d resources, zipf %.2f, %d workers x %d ops, hold %v",
 			lo.resources, lo.skew, lo.workers, lo.ops, lo.hold),
-		Columns: []string{"shards", "grants", "msgs", "msgs/grant", "ops/sec", "speedup", "wait-mean-ms", "wait-p99-ms"},
+		Columns: []string{"transport", "shards", "grants", "msgs", "msgs/grant", "ops/sec", "speedup", "wait-mean-ms", "wait-p99-ms"},
 		Notes: []string{
 			"one token DAG per shard; resources hash to shards, so throughput scales until the hottest shard saturates",
-			"live goroutine runtime: ops/sec is wall-clock and varies run to run; speedup is relative to the first row",
+			"live runtime: ops/sec is wall-clock and varies run to run; speedup is relative to each transport's first row",
+			"tcp rows run one member process-equivalent per node over loopback sockets with batched framed writes",
 		},
 	}
-	base := 0.0
-	for _, m := range counts {
-		tput, st, err := runLockOnce(lo, m, seed)
-		if err != nil {
-			return nil, fmt.Errorf("shards=%d: %w", m, err)
+	for _, tr := range transports {
+		base := 0.0
+		for _, m := range counts {
+			var res lockResult
+			var err error
+			switch tr {
+			case "local":
+				res, err = runLockLocal(lo, m, seed)
+			case "tcp":
+				res, err = runLockTCP(lo, m, seed)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("transport=%s shards=%d: %w", tr, m, err)
+			}
+			if base == 0 {
+				base = res.tput
+			}
+			msgsPerGrant := 0.0
+			if res.grants > 0 {
+				msgsPerGrant = float64(res.messages) / float64(res.grants)
+			}
+			tbl.AddRow(
+				tr,
+				fmt.Sprintf("%d", m),
+				fmt.Sprintf("%d", res.grants),
+				fmt.Sprintf("%d", res.messages),
+				fmt.Sprintf("%.2f", msgsPerGrant),
+				fmt.Sprintf("%.0f", res.tput),
+				fmt.Sprintf("%.2fx", res.tput/base),
+				fmt.Sprintf("%.3f", res.waitMean),
+				fmt.Sprintf("%.3f", res.waitP99),
+			)
 		}
-		if base == 0 {
-			base = tput
-		}
-		msgsPerGrant := 0.0
-		if st.Grants > 0 {
-			msgsPerGrant = float64(st.Messages) / float64(st.Grants)
-		}
-		tbl.AddRow(
-			fmt.Sprintf("%d", m),
-			fmt.Sprintf("%d", st.Grants),
-			fmt.Sprintf("%d", st.Messages),
-			fmt.Sprintf("%.2f", msgsPerGrant),
-			fmt.Sprintf("%.0f", tput),
-			fmt.Sprintf("%.2fx", tput/base),
-			fmt.Sprintf("%.3f", st.Wait.Mean),
-			fmt.Sprintf("%.3f", st.Wait.P99),
-		)
 	}
 	return tbl, nil
 }
 
-func runLockOnce(lo lockOptions, shards int, seed int64) (float64, lockservice.Stats, error) {
-	svc, err := lockservice.New(lockservice.Config{Shards: shards, Nodes: lo.nodes})
-	if err != nil {
-		return 0, lockservice.Stats{}, err
-	}
-	defer svc.Close()
-	// Spread workers across member nodes so the token actually travels
-	// between cluster members instead of idling at each shard's home.
-	clients := make([]workload.Locker, svc.Nodes())
-	for n := range clients {
-		c, err := svc.On(mutex.ID(n + 1))
-		if err != nil {
-			return 0, lockservice.Stats{}, err
-		}
-		clients[n] = c
-	}
-	w := workload.MultiResource{
+// lockWorkload builds the sweep's shared workload over the given member
+// clients.
+func lockWorkload(lo lockOptions, seed int64, clients []workload.Locker) workload.MultiResource {
+	return workload.MultiResource{
 		Workers:   lo.workers,
 		Ops:       lo.ops,
 		Resources: lo.resources,
@@ -187,14 +224,88 @@ func runLockOnce(lo lockOptions, shards int, seed int64) (float64, lockservice.S
 		Seed:      seed,
 		Clients:   clients,
 	}
-	res, err := w.Run(context.Background(), svc)
+}
+
+// runLockLocal benchmarks one shard count on the in-process substrate.
+func runLockLocal(lo lockOptions, shards int, seed int64) (lockResult, error) {
+	svc, err := lockservice.New(lockservice.Config{Shards: shards, Nodes: lo.nodes})
 	if err != nil {
-		return 0, lockservice.Stats{}, err
+		return lockResult{}, err
+	}
+	defer svc.Close()
+	// Spread workers across member nodes so the token actually travels
+	// between cluster members instead of idling at each shard's home.
+	clients := make([]workload.Locker, svc.Nodes())
+	for n := range clients {
+		c, err := svc.On(mutex.ID(n + 1))
+		if err != nil {
+			return lockResult{}, err
+		}
+		clients[n] = c
+	}
+	res, err := lockWorkload(lo, seed, clients).Run(context.Background(), svc)
+	if err != nil {
+		return lockResult{}, err
 	}
 	if err := svc.Err(); err != nil {
-		return 0, lockservice.Stats{}, err
+		return lockResult{}, err
 	}
-	return res.Throughput(), svc.Stats(), nil
+	st := svc.Stats()
+	return lockResult{
+		grants:   st.Grants,
+		messages: st.Messages,
+		tput:     res.Throughput(),
+		waitMean: st.Wait.Mean,
+		waitP99:  st.Wait.P99,
+	}, nil
+}
+
+// runLockTCP benchmarks one shard count on the TCP substrate: one
+// Service per member (each with its own listener, as separate processes
+// would run), wired over loopback, with workers spread across members.
+func runLockTCP(lo lockOptions, shards int, seed int64) (lockResult, error) {
+	members := lo.nodes
+	services, err := lockservice.NewTCPCluster(lockservice.Config{Shards: shards}, members)
+	if err != nil {
+		return lockResult{}, err
+	}
+	defer func() {
+		for _, svc := range services {
+			svc.Close()
+		}
+	}()
+	clients := make([]workload.Locker, members)
+	for m, svc := range services {
+		c, err := svc.On(mutex.ID(m + 1))
+		if err != nil {
+			return lockResult{}, err
+		}
+		clients[m] = c
+	}
+	res, err := lockWorkload(lo, seed, clients).Run(context.Background(), services[0])
+	if err != nil {
+		return lockResult{}, err
+	}
+	out := lockResult{tput: res.Throughput()}
+	var weightedMean float64
+	for m, svc := range services {
+		if err := svc.Err(); err != nil {
+			return lockResult{}, fmt.Errorf("member %d: %w", m+1, err)
+		}
+		st := svc.Stats()
+		out.grants += st.Grants
+		out.messages += st.Messages
+		if st.Grants > 0 && !math.IsNaN(st.Wait.Mean) {
+			weightedMean += st.Wait.Mean * float64(st.Grants)
+			if st.Wait.P99 > out.waitP99 {
+				out.waitP99 = st.Wait.P99
+			}
+		}
+	}
+	if out.grants > 0 {
+		out.waitMean = weightedMean / float64(out.grants)
+	}
+	return out, nil
 }
 
 func parseShardList(s string) ([]int, error) {
@@ -212,6 +323,24 @@ func parseShardList(s string) ([]int, error) {
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("empty -shards list")
+	}
+	return out, nil
+}
+
+func parseTransportList(s string) ([]string, error) {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.ToLower(strings.TrimSpace(part))
+		if part == "" {
+			continue
+		}
+		if part != "local" && part != "tcp" {
+			return nil, fmt.Errorf("bad transport %q (want local and/or tcp)", part)
+		}
+		out = append(out, part)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -transports list")
 	}
 	return out, nil
 }

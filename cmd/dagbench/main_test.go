@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 	"time"
@@ -9,19 +10,20 @@ import (
 // tinyLock keeps the live benchmark small enough for unit tests.
 func tinyLock() lockOptions {
 	return lockOptions{
-		shards:    "1,2",
-		nodes:     2,
-		resources: 8,
-		workers:   4,
-		ops:       10,
-		skew:      1.1,
-		hold:      0,
+		shards:     "1,2",
+		transports: "local,tcp",
+		nodes:      2,
+		resources:  8,
+		workers:    4,
+		ops:        10,
+		skew:       1.1,
+		hold:       0,
 	}
 }
 
 func TestRunSingleExperiment(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "6.3", false, 1, tinyLock()); err != nil {
+	if err := run(&b, "6.3", false, false, 1, tinyLock()); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -34,7 +36,7 @@ func TestRunSingleExperiment(t *testing.T) {
 
 func TestRunCSVOutput(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "6.3", true, 1, tinyLock()); err != nil {
+	if err := run(&b, "6.3", true, false, 1, tinyLock()); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -48,14 +50,14 @@ func TestRunCSVOutput(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "99", false, 1, tinyLock()); err == nil {
+	if err := run(&b, "99", false, false, 1, tinyLock()); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
 
 func TestRunTopoExperiment(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "topo", false, 1, tinyLock()); err != nil {
+	if err := run(&b, "topo", false, false, 1, tinyLock()); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "radiating-star") {
@@ -65,7 +67,7 @@ func TestRunTopoExperiment(t *testing.T) {
 
 func TestRunLockExperiment(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "lock", false, 1, tinyLock()); err != nil {
+	if err := run(&b, "lock", false, false, 1, tinyLock()); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -78,11 +80,11 @@ func TestRunLockExperiment(t *testing.T) {
 
 func TestRunLockExperimentCSV(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "lock", true, 1, tinyLock()); err != nil {
+	if err := run(&b, "lock", true, false, 1, tinyLock()); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
-	if !strings.Contains(out, "shards,grants,msgs,msgs/grant,ops/sec,speedup,wait-mean-ms,wait-p99-ms") {
+	if !strings.Contains(out, "transport,shards,grants,msgs,msgs/grant,ops/sec,speedup,wait-mean-ms,wait-p99-ms") {
 		t.Fatalf("lock CSV header missing:\n%s", out)
 	}
 }
@@ -91,11 +93,11 @@ func TestRunLockRejectsBadShardList(t *testing.T) {
 	lo := tinyLock()
 	lo.shards = "1,zero"
 	var b strings.Builder
-	if err := run(&b, "lock", false, 1, lo); err == nil {
+	if err := run(&b, "lock", false, false, 1, lo); err == nil {
 		t.Fatal("bad shard list accepted")
 	}
 	lo.shards = ""
-	if err := run(&b, "lock", false, 1, lo); err == nil {
+	if err := run(&b, "lock", false, false, 1, lo); err == nil {
 		t.Fatal("empty shard list accepted")
 	}
 }
@@ -134,15 +136,16 @@ func TestLockThroughputScalesWithShards(t *testing.T) {
 	// scaling (wall-clock ratios on co-tenant machines are jittery).
 	var one, eight float64
 	for attempt := 1; ; attempt++ {
-		var err error
-		one, _, err = runLockOnce(lo, 1, int64(attempt))
+		oneRes, err := runLockLocal(lo, 1, int64(attempt))
 		if err != nil {
 			t.Fatal(err)
 		}
-		eight, _, err = runLockOnce(lo, 8, int64(attempt))
+		one = oneRes.tput
+		eightRes, err := runLockLocal(lo, 8, int64(attempt))
 		if err != nil {
 			t.Fatal(err)
 		}
+		eight = eightRes.tput
 		if eight >= 2*one {
 			return
 		}
@@ -151,5 +154,67 @@ func TestLockThroughputScalesWithShards(t *testing.T) {
 				eight, one, attempt)
 		}
 		t.Logf("attempt %d: 8 shards = %.0f ops/sec vs 1 shard = %.0f ops/sec; retrying", attempt, eight, one)
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "6.3", false, true, 1, tinyLock()); err != nil {
+		t.Fatal(err)
+	}
+	var tables []struct {
+		ID      string     `json:"id"`
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &tables); err != nil {
+		t.Fatalf("-json output is not a JSON table array: %v\n%s", err, b.String())
+	}
+	if len(tables) != 1 || tables[0].ID != "EXP-6.3-delay" {
+		t.Fatalf("unexpected JSON tables: %+v", tables)
+	}
+	if len(tables[0].Rows) == 0 || len(tables[0].Columns) == 0 {
+		t.Fatalf("JSON table has no data: %+v", tables[0])
+	}
+}
+
+// TestRunLockExperimentJSONSweepsBothTransports is the CI-artifact
+// shape: the lock sweep emits JSON rows for both the local and TCP
+// substrates.
+func TestRunLockExperimentJSONSweepsBothTransports(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "lock", false, true, 1, tinyLock()); err != nil {
+		t.Fatal(err)
+	}
+	var tables []struct {
+		ID   string     `json:"id"`
+		Rows [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &tables); err != nil {
+		t.Fatalf("lock -json output invalid: %v\n%s", err, b.String())
+	}
+	if len(tables) != 1 || tables[0].ID != "EXP-lock" {
+		t.Fatalf("unexpected tables: %+v", tables)
+	}
+	seen := map[string]int{}
+	for _, row := range tables[0].Rows {
+		seen[row[0]]++
+	}
+	if seen["local"] != 2 || seen["tcp"] != 2 {
+		t.Fatalf("transport sweep rows = %v, want 2 local + 2 tcp", seen)
+	}
+}
+
+func TestRunLockRejectsBadTransportList(t *testing.T) {
+	lo := tinyLock()
+	lo.transports = "local,udp"
+	var b strings.Builder
+	if err := run(&b, "lock", false, false, 1, lo); err == nil {
+		t.Fatal("bad transport list accepted")
+	}
+	lo.transports = ""
+	if err := run(&b, "lock", false, false, 1, lo); err == nil {
+		t.Fatal("empty transport list accepted")
 	}
 }

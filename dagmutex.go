@@ -189,10 +189,41 @@ type LockClient = lockservice.Client
 // wait-time counters.
 type LockStats = lockservice.Stats
 
+// LockTransport is the messaging substrate a LockService runs its shards
+// over: in-process mailboxes by default, or real TCP between member
+// processes. See LockServiceConfig.Transport.
+type LockTransport = lockservice.Transport
+
+// TCPLockTransport runs this process's member of every lock-service
+// shard behind one TCP listener; construct one per member process with
+// NewLockServiceTCP (or lockservice.NewTCPTransport for manual wiring).
+type TCPLockTransport = lockservice.TCPTransport
+
 // NewLockService starts a sharded lock service. Callers must Close it to
 // stop the shard clusters' goroutines.
 func NewLockService(cfg LockServiceConfig) (*LockService, error) {
 	return lockservice.New(cfg)
+}
+
+// NewLockServiceTCP starts this process's member of a distributed lock
+// service over real TCP. Every participating process calls it with its
+// own member id (1..cfg.Nodes) and an identical cfg. listen is the
+// address to bind ("" means a fresh loopback port); the returned
+// transport exposes the bound address (Addr) to exchange out of band,
+// and Connect must be called with the full member address book before
+// the first Acquire. Closing the service closes the transport.
+func NewLockServiceTCP(member ID, listen string, cfg LockServiceConfig) (*LockService, *TCPLockTransport, error) {
+	tr, err := lockservice.NewTCPTransport(member, listen)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg.Transport = tr
+	svc, err := lockservice.New(cfg)
+	if err != nil {
+		tr.Close()
+		return nil, nil, err
+	}
+	return svc, tr, nil
 }
 
 // TCPPeer hosts one DAG protocol node behind a real TCP listener; a set
@@ -208,4 +239,19 @@ func NewTCPPeer(id ID, tree *Tree, holder ID) (*TCPPeer, error) {
 		return nil, err
 	}
 	return transport.NewTCPNode(id, core.Builder, cfg, transport.DAGCodec{})
+}
+
+// TCPCluster wires one TCPPeer per tree vertex over loopback inside a
+// single process: the TCP analogue of Cluster, for demos and tests. Real
+// deployments run one TCPPeer per process via NewTCPPeer instead.
+type TCPCluster = transport.TCPCluster
+
+// NewTCPCluster starts a full DAG cluster over loopback TCP with the
+// token at holder. Callers must Close it.
+func NewTCPCluster(tree *Tree, holder ID) (*TCPCluster, error) {
+	cfg, err := TreeConfig(tree, holder)
+	if err != nil {
+		return nil, err
+	}
+	return transport.NewTCPCluster(core.Builder, cfg, transport.DAGCodec{})
 }

@@ -18,6 +18,24 @@
 // at most three messages (like a centralized lock server) with a
 // synchronization delay of a single message (better than one).
 //
+// # Architecture
+//
+// The live system is layered: protocol state machines (internal/core and
+// the baseline algorithms) are pure event-driven code that never blocks;
+// one shared actor runtime (internal/runtime) runs each node — consuming
+// its envelopes one at a time under a per-node lock, signaling grants,
+// capturing the cluster's first error, and exposing the blocking Handle
+// API — over a small Link interface; two link layers implement that
+// interface, in-process mailboxes (transport.Local, used by NewCluster)
+// and framed TCP sockets with batched writes (transport.TCPHost, used by
+// NewTCPPeer and NewLockServiceTCP); and the sharded lock service runs
+// its per-shard clusters over either substrate through a Transport
+// abstraction. Because the runtime is shared, application behavior —
+// including fail-fast Acquire errors and the timed-out-Acquire recovery
+// path via Handle.Granted — is identical in process and over the
+// network; pick Local for single-binary embedding, tests and
+// benchmarks, and TCP when members are separate processes or machines.
+//
 // # Using the library
 //
 // For an in-process cluster connected by goroutines and channels:
@@ -51,10 +69,15 @@
 //	// ... critical section for account:alice ...
 //	if err := svc.Release("account:alice"); err != nil { ... }
 //
-// Distributed members lock through per-node clients (svc.On(id)), and
-// svc.Stats() aggregates per-shard grant, message and wait-time counters.
-// The lock experiment in cmd/dagbench (-exp lock) benchmarks throughput
-// scaling with shard count; see examples/lockservice for a demo.
+// Members lock through per-node clients (svc.On(id)), and svc.Stats()
+// aggregates per-shard grant, message and wait-time counters. The same
+// shard code runs distributed across real processes over TCP: each
+// member process calls NewLockServiceTCP with its own member id and an
+// identical configuration, exchanges listener addresses out of band,
+// and Connects the full book — see examples/lockservicetcp. The lock
+// experiment in cmd/dagbench (-exp lock) benchmarks throughput scaling
+// with shard count over both substrates; see examples/lockservice for
+// an in-process demo.
 //
 // Two usage rules follow from the paper's model. A request cannot be
 // cancelled: when Acquire fails on its context, the service recovers in

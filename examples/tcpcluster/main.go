@@ -1,8 +1,13 @@
 // tcpcluster runs a DAG-mutex cluster over real loopback TCP sockets: one
-// listener per node, length-prefixed frames, one connection per link
-// direction (which is exactly the reliable FIFO channel the thesis
-// assumes). The same code works across machines by exchanging listener
-// addresses instead of loopback ones.
+// listener per node, length-prefixed frames with batched flush-on-idle
+// writes, one connection per link direction (which is exactly the
+// reliable FIFO channel the thesis assumes). Each peer is the same actor
+// runtime the in-process Cluster uses — only the link layer differs —
+// so the same code works across machines by exchanging listener
+// addresses instead of loopback ones. (For a one-liner that wires all
+// peers inside one process, see dagmutex.NewTCPCluster; this example
+// keeps the explicit start/exchange/connect dance a real deployment
+// performs.)
 //
 //	go run ./examples/tcpcluster -n 7 -entries 5
 package main

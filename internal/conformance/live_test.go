@@ -1,0 +1,30 @@
+package conformance
+
+import (
+	"testing"
+
+	"dagmutex/internal/core"
+	"dagmutex/internal/mutex"
+	"dagmutex/internal/topology"
+	"dagmutex/internal/transport"
+)
+
+// dagFactory configures the DAG algorithm for the live battery the same
+// way internal/core's simulator conformance does.
+func dagFactory() Factory {
+	return Factory{
+		Name:    "dag",
+		Builder: core.Builder,
+		Config: func(n int, holder mutex.ID) mutex.Config {
+			tree := topology.Star(n)
+			return mutex.Config{IDs: tree.IDs(), Holder: holder, Parent: tree.ParentsToward(holder)}
+		},
+	}
+}
+
+// TestDAGLiveOverBothLinkLayers runs the identical live battery over the
+// in-process and TCP link layers: same runtime, same subtests, only the
+// Link differs.
+func TestDAGLiveOverBothLinkLayers(t *testing.T) {
+	RunLive(t, dagFactory(), Substrates(transport.DAGCodec{}))
+}

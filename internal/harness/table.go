@@ -1,17 +1,19 @@
 package harness
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 )
 
-// Table is one experiment's output, renderable as aligned text or CSV.
+// Table is one experiment's output, renderable as aligned text, CSV or
+// JSON.
 type Table struct {
-	ID      string
-	Title   string
-	Columns []string
-	Rows    [][]string
-	Notes   []string
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
 }
 
 // AddRow appends a row; cells beyond the column count are rejected.
@@ -74,6 +76,12 @@ func (t *Table) CSV() string {
 		b.WriteString("\n")
 	}
 	return b.String()
+}
+
+// TablesJSON renders a set of tables as one indented JSON array — the
+// shape dagbench -json emits and CI uploads as a BENCH_*.json artifact.
+func TablesJSON(tables []*Table) ([]byte, error) {
+	return json.MarshalIndent(tables, "", "  ")
 }
 
 func f2(v float64) string { return fmt.Sprintf("%.2f", v) }

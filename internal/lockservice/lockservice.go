@@ -15,6 +15,12 @@
 // Within one node and one shard the paper's one-outstanding-request rule
 // applies, so the service serializes local acquirers per (node, shard)
 // slot; cross-shard acquires never contend.
+//
+// The service is substrate-agnostic: shards run over any Transport. The
+// default LocalTransport hosts every member in one process; TCPTransport
+// hosts this process's member of every shard behind one TCP listener, so
+// a set of processes (one Service each, same Config, distinct members)
+// forms one distributed lock service.
 package lockservice
 
 import (
@@ -30,8 +36,8 @@ import (
 	"dagmutex/internal/core"
 	"dagmutex/internal/metrics"
 	"dagmutex/internal/mutex"
+	"dagmutex/internal/runtime"
 	"dagmutex/internal/topology"
-	"dagmutex/internal/transport"
 )
 
 // Config sizes the service.
@@ -43,8 +49,14 @@ type Config struct {
 	// cluster, modeling the application servers of a deployment. Default 4.
 	Nodes int
 	// Tree builds the per-shard topology over n nodes. Default Star, the
-	// thesis's best shape (at most three messages per entry).
+	// thesis's best shape (at most three messages per entry). Every
+	// participating process must use the same deterministic Tree.
 	Tree func(n int) *topology.Tree
+	// Transport is the messaging substrate shards run over. Default
+	// LocalTransport (every member in this process). Distributed members
+	// pass a TCPTransport instead; the service takes ownership and closes
+	// it on Close.
+	Transport Transport
 }
 
 func (c Config) withDefaults() Config {
@@ -56,6 +68,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Tree == nil {
 		c.Tree = topology.Star
+	}
+	if c.Transport == nil {
+		c.Transport = LocalTransport{}
 	}
 	return c
 }
@@ -81,13 +96,15 @@ type Service struct {
 }
 
 // shard is one DAG-token instance: a live cluster plus per-node acquire
-// slots and counters.
+// slots and counters. Over a distributed substrate only the locally
+// hosted members have slots; the rest are nil.
 type shard struct {
-	index int
-	home  mutex.ID // initial token holder; target of service-level routing
-	local *transport.Local
-	slots []*slot
-	done  <-chan struct{} // service-wide close signal
+	index   int
+	home    mutex.ID // initial token holder
+	route   mutex.ID // default member for service-level Acquire: home if hosted, else lowest hosted
+	cluster Cluster
+	slots   []*slot
+	done    <-chan struct{} // service-wide close signal
 
 	grants atomic.Int64
 
@@ -104,15 +121,18 @@ const maxWaitSamples = 8192
 // slot serializes one node's acquires on one shard (the paper's
 // one-outstanding-request rule) and remembers which resource it holds.
 type slot struct {
-	handle *transport.Handle
+	handle *runtime.Handle
 	sem    chan struct{} // capacity 1: held while the node owns the shard token
 
 	mu   sync.Mutex
 	held string // resource name currently locked through this slot
 }
 
-// New starts the service: cfg.Shards live clusters of cfg.Nodes nodes
-// each. Callers must Close it to stop the shard goroutines.
+// New starts the service: cfg.Shards shard clusters of cfg.Nodes members
+// each over cfg.Transport. Callers must Close it to stop the shard
+// goroutines (and the transport). Over a distributed transport, every
+// participating process calls New with the same Shards/Nodes/Tree so all
+// members derive identical shard configurations.
 func New(cfg Config) (*Service, error) {
 	cfg = cfg.withDefaults()
 	s := &Service{cfg: cfg, shards: make([]*shard, 0, cfg.Shards), done: make(chan struct{})}
@@ -126,17 +146,28 @@ func New(cfg Config) (*Service, error) {
 		// holding every shard's token.
 		home := mutex.ID(1 + i%cfg.Nodes)
 		mcfg := mutex.Config{IDs: tree.IDs(), Holder: home, Parent: tree.ParentsToward(home)}
-		local, err := transport.NewLocal(core.Builder, mcfg)
+		cluster, err := cfg.Transport.StartShard(i, core.Builder, mcfg)
 		if err != nil {
 			s.Close()
 			return nil, fmt.Errorf("lockservice: shard %d: %w", i, err)
 		}
-		sh := &shard{index: i, home: home, local: local, slots: make([]*slot, cfg.Nodes), done: s.done}
+		sh := &shard{index: i, home: home, route: mutex.Nil, cluster: cluster, slots: make([]*slot, cfg.Nodes), done: s.done}
 		for n := 0; n < cfg.Nodes; n++ {
-			sh.slots[n] = &slot{
-				handle: local.Handle(mutex.ID(n + 1)),
-				sem:    make(chan struct{}, 1),
+			h := cluster.Handle(mutex.ID(n + 1))
+			if h == nil {
+				continue // member hosted by another process
 			}
+			sh.slots[n] = &slot{handle: h, sem: make(chan struct{}, 1)}
+			if sh.route == mutex.Nil {
+				sh.route = mutex.ID(n + 1)
+			}
+		}
+		if sh.route == mutex.Nil {
+			s.Close()
+			return nil, fmt.Errorf("lockservice: shard %d: transport hosts no members", i)
+		}
+		if sh.slots[home-1] != nil {
+			sh.route = home
 		}
 		s.shards = append(s.shards, sh)
 	}
@@ -162,15 +193,17 @@ func (s *Service) Shards() int { return len(s.shards) }
 // Nodes returns the number of member nodes per shard.
 func (s *Service) Nodes() int { return s.cfg.Nodes }
 
-// Acquire locks resource on behalf of the shard's home node, blocking
-// until the shard token arrives or ctx is done. It is the single-process
-// convenience entry point; distributed members use On(id).Acquire.
+// Acquire locks resource on behalf of the shard's routing member — its
+// home node when hosted here, otherwise this process's own member —
+// blocking until the shard token arrives or ctx is done. It is the
+// plain-Service convenience entry point; explicit members use
+// On(id).Acquire.
 func (s *Service) Acquire(ctx context.Context, resource string) error {
 	sh, err := s.shardOf(resource)
 	if err != nil {
 		return err
 	}
-	return sh.acquire(ctx, sh.home, resource)
+	return sh.acquire(ctx, sh.route, resource)
 }
 
 // Release unlocks resource previously locked with Acquire.
@@ -179,7 +212,7 @@ func (s *Service) Release(resource string) error {
 	if err != nil {
 		return err
 	}
-	return sh.release(sh.home, resource)
+	return sh.release(sh.route, resource)
 }
 
 // Client is the lock-service view of one member node.
@@ -229,20 +262,30 @@ func (sh *shard) slot(id mutex.ID) *slot { return sh.slots[id-1] }
 // acquire takes the (node, shard) slot, then the shard token.
 func (sh *shard) acquire(ctx context.Context, id mutex.ID, resource string) error {
 	sl := sh.slot(id)
+	if sl == nil {
+		return fmt.Errorf("lockservice: member %d is not hosted by this process (shard %d)", id, sh.index)
+	}
 	start := time.Now() // wait includes local slot queueing, not just token travel
 	select {
 	case sl.sem <- struct{}{}:
+	case <-sl.handle.Failed():
+		// The shard's cluster is dead; its slot may be parked forever on
+		// a grant that will never arrive. Fail this caller fast instead
+		// of letting it wait out its whole context on the semaphore.
+		return fmt.Errorf("lockservice: acquire %q (shard %d, node %d): cluster failed: %w",
+			resource, sh.index, id, sl.handle.Err())
 	case <-ctx.Done():
 		return fmt.Errorf("lockservice: acquire %q (shard %d, node %d): %w",
 			resource, sh.index, id, ctx.Err())
 	}
 	if err := sl.handle.Acquire(ctx); err != nil {
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		if errors.Is(err, runtime.ErrGrantPending) {
 			// The protocol request stays outstanding (the paper's model has
-			// no cancellation), so the token still arrives eventually. A
-			// reaper keeps the slot busy until then, releases the orphaned
-			// grant, and recovers the slot — without it the token would park
-			// here forever and wedge the whole shard.
+			// no cancellation) whether the Acquire failed on its context or
+			// on a cluster error, so the token may still arrive. A reaper
+			// keeps the slot busy until then, releases the orphaned grant,
+			// and recovers the slot — without it the token would park here
+			// forever and wedge the whole shard.
 			go sh.reap(sl)
 		} else {
 			// No request is pending; the slot is safe to free immediately.
@@ -262,6 +305,9 @@ func (sh *shard) acquire(ctx context.Context, id mutex.ID, resource string) erro
 // release validates ownership, passes the shard token on, frees the slot.
 func (sh *shard) release(id mutex.ID, resource string) error {
 	sl := sh.slot(id)
+	if sl == nil {
+		return fmt.Errorf("lockservice: member %d is not hosted by this process (shard %d)", id, sh.index)
+	}
 	sl.mu.Lock()
 	if sl.held != resource {
 		held := sl.held
@@ -346,7 +392,7 @@ func (s *Service) Stats() Stats {
 			Shard:    sh.index,
 			Home:     sh.home,
 			Grants:   sh.grants.Load(),
-			Messages: sh.local.Messages(),
+			Messages: sh.cluster.Messages(),
 			Wait:     metrics.Summarize(waits),
 		}
 		st.PerShard = append(st.PerShard, ss)
@@ -389,26 +435,47 @@ func mergeWeighted(samples [][]float64, seen []int, totalSeen int) []float64 {
 	return all
 }
 
-// Messages returns the total protocol messages across all shards.
+// Messages returns the total protocol messages across all shards, as
+// observed by this process (cluster-wide over LocalTransport, this
+// member's sends over a distributed transport).
 func (s *Service) Messages() int64 {
 	var n int64
 	for _, sh := range s.shards {
-		n += sh.local.Messages()
+		n += sh.cluster.Messages()
 	}
 	return n
 }
 
 // Err returns the first protocol error observed on any shard, if any.
+// The shard label is attached only when the error is attributable to one
+// shard: over a shared substrate (one TCP host for every shard) the same
+// host-level error surfaces from every cluster, and pinning it to shard
+// 0 would send debugging to the wrong place.
 func (s *Service) Err() error {
+	var first error
+	firstIdx, shared := -1, false
 	for _, sh := range s.shards {
-		if err := sh.local.Err(); err != nil {
-			return fmt.Errorf("lockservice: shard %d: %w", sh.index, err)
+		err := sh.cluster.Err()
+		if err == nil {
+			continue
+		}
+		if first == nil {
+			first, firstIdx = err, sh.index
+		} else if errors.Is(err, first) {
+			shared = true
 		}
 	}
-	return nil
+	if first == nil {
+		return nil
+	}
+	if shared {
+		return fmt.Errorf("lockservice: %w", first)
+	}
+	return fmt.Errorf("lockservice: shard %d: %w", firstIdx, first)
 }
 
-// Close stops every shard cluster and waits for their goroutines.
+// Close stops every shard cluster and the transport, waiting for their
+// goroutines.
 func (s *Service) Close() {
 	s.closeOnce.Do(func() {
 		if s.done != nil {
@@ -416,8 +483,11 @@ func (s *Service) Close() {
 		}
 		for _, sh := range s.shards {
 			if sh != nil {
-				sh.local.Close()
+				sh.cluster.Close()
 			}
+		}
+		if s.cfg.Transport != nil {
+			s.cfg.Transport.Close()
 		}
 	})
 }

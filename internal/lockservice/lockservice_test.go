@@ -2,8 +2,10 @@ package lockservice
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -11,6 +13,7 @@ import (
 	"dagmutex/internal/cluster"
 	"dagmutex/internal/core"
 	"dagmutex/internal/mutex"
+	"dagmutex/internal/runtime"
 	"dagmutex/internal/sim"
 	"dagmutex/internal/topology"
 )
@@ -411,5 +414,260 @@ func TestShardingDeterministicOnSimulator(t *testing.T) {
 		if got, want := c.Entries(), len(reqs); got != want {
 			t.Fatalf("shard %d entries = %d, want %d", sh, got, want)
 		}
+	}
+}
+
+// newTCPService builds one distributed lock service spread over members
+// TCP "processes" inside this test binary: each member gets its own
+// TCPTransport (own listener, own Service instance), and the address book
+// is exchanged the way real processes would out of band.
+func newTCPService(t *testing.T, shards, members int) []*Service {
+	t.Helper()
+	services, err := NewTCPCluster(Config{Shards: shards}, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		for _, svc := range services {
+			svc.Close()
+		}
+	})
+	return services
+}
+
+// TestTCPServiceDisjointAndContendedKeys is the acceptance test for the
+// distributed lock service: the same shard code runs over TCP, member
+// processes acquire disjoint keys concurrently and contended keys
+// safely, with unsynchronized Go state as the witness.
+func TestTCPServiceDisjointAndContendedKeys(t *testing.T) {
+	const members = 3
+	services := newTCPService(t, 4, members)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// Phase 1: disjoint keys — every member locks its own key space; no
+	// cross-member contention, all proceed concurrently.
+	var wg sync.WaitGroup
+	for m, svc := range services {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 8; j++ {
+				key := fmt.Sprintf("member-%d-key-%d", m, j)
+				if err := svc.Acquire(ctx, key); err != nil {
+					t.Errorf("member %d acquire %q: %v", m+1, key, err)
+					return
+				}
+				if err := svc.Release(key); err != nil {
+					t.Errorf("member %d release %q: %v", m+1, key, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Phase 2: contended keys — all members hammer the same small key
+	// set; the per-key counters are unsynchronized Go maps made safe only
+	// by the distributed lock.
+	counters := make([]int, 4)
+	const perMember = 10
+	for m := range services {
+		svc := services[m]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perMember; j++ {
+				key := fmt.Sprintf("hot-%d", j%len(counters))
+				if err := svc.Acquire(ctx, key); err != nil {
+					t.Errorf("member %d acquire %q: %v", m+1, key, err)
+					return
+				}
+				counters[j%len(counters)]++
+				if err := svc.Release(key); err != nil {
+					t.Errorf("member %d release %q: %v", m+1, key, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	total := 0
+	for _, c := range counters {
+		total += c
+	}
+	if want := members * perMember; total != want {
+		t.Fatalf("contended counter total = %d, want %d", total, want)
+	}
+	for m, svc := range services {
+		if err := svc.Err(); err != nil {
+			t.Fatalf("member %d: %v", m+1, err)
+		}
+		if st := svc.Stats(); st.Grants == 0 {
+			t.Fatalf("member %d recorded no grants", m+1)
+		}
+	}
+	// Token traffic really crossed sockets: someone sent protocol frames.
+	var msgs int64
+	for _, svc := range services {
+		msgs += svc.Messages()
+	}
+	if msgs == 0 {
+		t.Fatal("no TCP protocol messages recorded")
+	}
+}
+
+// TestTCPServiceOnRemoteMemberFails: a member hosted by another process
+// is rejected cleanly, not deadlocked or crashed.
+func TestTCPServiceOnRemoteMemberFails(t *testing.T) {
+	services := newTCPService(t, 2, 2)
+	svc1 := services[0]
+	c, err := svc1.On(2) // valid member id, but hosted by "process" 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := c.Acquire(ctx, "some-key"); err == nil {
+		t.Fatal("acquire through a remotely hosted member must fail")
+	} else if ctx.Err() != nil {
+		t.Fatalf("remote-member acquire hung instead of failing fast: %v", err)
+	}
+}
+
+// TestLocalTransportIsDefault: zero-config service still runs in process.
+func TestLocalTransportIsDefault(t *testing.T) {
+	svc, err := New(Config{Shards: 2, Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := svc.Acquire(ctx, "k"); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Release("k"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fakeLink is a no-op runtime.Link for driving a shard without a real
+// substrate.
+type fakeLink struct {
+	in        chan runtime.Envelope
+	closeOnce sync.Once
+}
+
+func (l *fakeLink) Send(to mutex.ID, m mutex.Message) error { return nil }
+func (l *fakeLink) Recv() (runtime.Envelope, bool)          { e, ok := <-l.in; return e, ok }
+func (l *fakeLink) Close()                                  { l.closeOnce.Do(func() { close(l.in) }) }
+
+// grantNode grants every Request immediately while idle.
+type grantNode struct {
+	id   mutex.ID
+	env  mutex.Env
+	inCS bool
+}
+
+func (n *grantNode) ID() mutex.ID { return n.id }
+func (n *grantNode) Request() error {
+	if n.inCS {
+		return mutex.ErrOutstanding
+	}
+	n.inCS = true
+	n.env.Granted()
+	return nil
+}
+func (n *grantNode) Release() error {
+	if !n.inCS {
+		return mutex.ErrNotInCS
+	}
+	n.inCS = false
+	return nil
+}
+func (n *grantNode) Deliver(mutex.ID, mutex.Message) error { return nil }
+func (n *grantNode) Storage() mutex.Storage                { return mutex.Storage{} }
+
+// fakeTransport hosts every member on fakeLinks, all sharing one sink
+// the test can fire at will.
+type fakeTransport struct{ sink *runtime.ErrorSink }
+
+type fakeCluster struct {
+	nodes map[mutex.ID]*runtime.Node
+	sink  *runtime.ErrorSink
+}
+
+func (t *fakeTransport) StartShard(index int, b mutex.Builder, cfg mutex.Config) (Cluster, error) {
+	c := &fakeCluster{nodes: make(map[mutex.ID]*runtime.Node), sink: t.sink}
+	grant := func(id mutex.ID, env mutex.Env, _ mutex.Config) (mutex.Node, error) {
+		return &grantNode{id: id, env: env}, nil
+	}
+	for _, id := range cfg.IDs {
+		n, err := runtime.Start(id, grant, cfg, &fakeLink{in: make(chan runtime.Envelope)}, t.sink)
+		if err != nil {
+			return nil, err
+		}
+		c.nodes[id] = n
+	}
+	return c, nil
+}
+
+func (t *fakeTransport) Close() {}
+
+func (c *fakeCluster) Handle(id mutex.ID) *runtime.Handle {
+	n, ok := c.nodes[id]
+	if !ok {
+		return nil
+	}
+	return n.Handle()
+}
+func (c *fakeCluster) Messages() int64 { return 0 }
+func (c *fakeCluster) Err() error      { return c.sink.Err() }
+func (c *fakeCluster) Close() {
+	for _, n := range c.nodes {
+		n.Close()
+	}
+}
+
+// TestSlotQueueFailsFastOnClusterError: a caller queued behind a busy
+// (node, shard) slot must fail as soon as the cluster dies, not wait out
+// its entire context on the semaphore.
+func TestSlotQueueFailsFastOnClusterError(t *testing.T) {
+	sink := runtime.NewErrorSink()
+	svc, err := New(Config{Shards: 1, Nodes: 1, Transport: &fakeTransport{sink: sink}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := svc.Acquire(ctx, "k"); err != nil {
+		t.Fatal(err)
+	}
+	// Second acquire through the same slot queues on the semaphore.
+	done := make(chan error, 1)
+	go func() { done <- svc.Acquire(ctx, "k2") }() // k2 hashes to the only shard
+	time.Sleep(20 * time.Millisecond)
+	sink.Fail(errors.New("peer crashed"))
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("queued acquire succeeded on a dead cluster")
+		}
+		if !strings.Contains(err.Error(), "cluster failed") {
+			t.Fatalf("queued acquire error = %v, want cluster-failed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued acquire did not fail fast on cluster error")
+	}
+	if svc.Err() == nil {
+		t.Fatal("service Err did not surface the cluster error")
 	}
 }

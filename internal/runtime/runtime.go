@@ -1,0 +1,274 @@
+// Package runtime is the single live execution engine for protocol
+// nodes: one actor loop per node that consumes incoming envelopes,
+// serializes the node's handlers under a per-node lock (the paper's
+// local-mutual-exclusion execution model), signals grants, captures the
+// first protocol or delivery error, and exposes the blocking Handle API
+// applications call.
+//
+// The runtime is parameterized by a Link — the node's attachment to the
+// messaging substrate. The transport package provides two link layers
+// over it: in-process mailboxes (transport.Local) and framed TCP
+// connections (transport.TCPHost). Protocol code and application code
+// are identical over both; only the Link differs.
+package runtime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"dagmutex/internal/mutex"
+)
+
+// ErrGrantPending marks an Acquire failure that leaves the protocol
+// request outstanding (the paper's model has no cancellation): the grant
+// may still arrive on Handle.Granted and must be drained and released
+// before the handle is reused. Errors returned before the request was
+// issued (e.g. mutex.ErrOutstanding) do not carry it.
+var ErrGrantPending = errors.New("request still outstanding, grant pending")
+
+// Envelope is one in-flight protocol message with its transport-level
+// sender.
+type Envelope struct {
+	From mutex.ID
+	Msg  mutex.Message
+}
+
+// Link is one node's attachment to the messaging substrate. The runtime
+// sends through it from protocol handlers and consumes it from the actor
+// loop. Send must not block on protocol progress (a handler may send to a
+// peer whose handler is concurrently sending back); Recv blocks until an
+// envelope arrives or the link closes.
+type Link interface {
+	// Send transmits m to the node identified by to. Delivery must be
+	// reliable and FIFO per (sender, receiver) pair, per the paper's
+	// system model. A synchronous failure (unknown peer, encoding error)
+	// is returned; asynchronous failures surface through the ErrorSink.
+	Send(to mutex.ID, m mutex.Message) error
+	// Recv blocks for the next incoming envelope. ok is false once the
+	// link is closed and drained.
+	Recv() (e Envelope, ok bool)
+	// Close stops the link. Envelopes already received are still drained
+	// by Recv before it reports ok=false.
+	Close()
+}
+
+// ErrorSink records the first error a cluster observes and signals
+// waiters. One sink is shared by every node of a cluster so that any
+// blocked Acquire fails fast on the first protocol, delivery or transport
+// error anywhere in the cluster, instead of hanging until its context
+// expires while the error waits in an end-of-run poll.
+type ErrorSink struct {
+	fired chan struct{}
+	err   atomic.Pointer[errBox]
+}
+
+type errBox struct{ err error }
+
+// NewErrorSink returns an empty sink.
+func NewErrorSink() *ErrorSink {
+	return &ErrorSink{fired: make(chan struct{})}
+}
+
+// Fail records err if it is the sink's first; later calls are no-ops.
+func (s *ErrorSink) Fail(err error) {
+	if err == nil {
+		return
+	}
+	if s.err.CompareAndSwap(nil, &errBox{err: err}) {
+		close(s.fired)
+	}
+}
+
+// Err returns the recorded error, or nil.
+func (s *ErrorSink) Err() error {
+	if b := s.err.Load(); b != nil {
+		return b.err
+	}
+	return nil
+}
+
+// Fired returns a channel closed when the first error is recorded.
+func (s *ErrorSink) Fired() <-chan struct{} { return s.fired }
+
+// Node is one live protocol instance: the protocol state machine, its
+// link, and the actor goroutine delivering envelopes to it.
+type Node struct {
+	id   mutex.ID
+	link Link
+	sink *ErrorSink
+
+	mu   sync.Mutex // serializes Request/Release/Deliver on the state machine
+	node mutex.Node
+
+	granted chan struct{} // capacity 1: at most one outstanding request
+
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// Start builds the protocol node with b over link and starts its actor
+// loop. sink collects the cluster's first error; passing the same sink to
+// every node of a cluster gives cluster-wide fail-fast Acquire. A nil
+// sink gets a private one.
+func Start(id mutex.ID, b mutex.Builder, cfg mutex.Config, link Link, sink *ErrorSink) (*Node, error) {
+	if sink == nil {
+		sink = NewErrorSink()
+	}
+	n := &Node{
+		id:      id,
+		link:    link,
+		sink:    sink,
+		granted: make(chan struct{}, 1),
+	}
+	pn, err := b(id, env{n: n}, cfg)
+	if err != nil {
+		link.Close()
+		return nil, fmt.Errorf("build node %d: %w", id, err)
+	}
+	n.node = pn
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		n.consume()
+	}()
+	return n, nil
+}
+
+// env is the mutex.Env the runtime hands its protocol instance.
+type env struct{ n *Node }
+
+// Send forwards to the link; a synchronous send failure is captured
+// through the same error path as a delivery error.
+func (e env) Send(to mutex.ID, m mutex.Message) {
+	if err := e.n.link.Send(to, m); err != nil {
+		e.n.sink.Fail(fmt.Errorf("send %s %d->%d: %w", m.Kind(), e.n.id, to, err))
+	}
+}
+
+// Granted signals the waiting Acquire, if any.
+func (e env) Granted() {
+	select {
+	case e.n.granted <- struct{}{}:
+	default:
+		// A grant with no waiter indicates a protocol double-grant; it
+		// will surface as ErrOutstanding on the next request.
+	}
+}
+
+// consume is the actor loop: deliver envelopes one at a time under the
+// node lock, capturing the first failure.
+func (n *Node) consume() {
+	for {
+		e, ok := n.link.Recv()
+		if !ok {
+			return
+		}
+		n.mu.Lock()
+		err := n.node.Deliver(e.From, e.Msg)
+		n.mu.Unlock()
+		if err != nil {
+			n.sink.Fail(fmt.Errorf("deliver %s %d->%d: %w", e.Msg.Kind(), e.From, n.id, err))
+		}
+	}
+}
+
+// ID returns the hosted node's identifier.
+func (n *Node) ID() mutex.ID { return n.id }
+
+// Sink returns the node's error sink.
+func (n *Node) Sink() *ErrorSink { return n.sink }
+
+// Err returns the first error the node's cluster observed, if any.
+func (n *Node) Err() error { return n.sink.Err() }
+
+// With runs fn on the protocol state machine while holding its handler
+// lock, for management operations such as the DAG algorithm's StartInit.
+// fn must not block on protocol progress.
+func (n *Node) With(fn func(mutex.Node) error) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return fn(n.node)
+}
+
+// Handle returns the blocking application API over this node.
+func (n *Node) Handle() *Handle { return &Handle{n: n} }
+
+// Close shuts the link down and waits for the actor loop to exit.
+// Envelopes the link already received are still delivered first.
+func (n *Node) Close() {
+	n.closeOnce.Do(func() { n.link.Close() })
+	n.wg.Wait()
+}
+
+// Handle is the blocking application API over one live node: Acquire
+// waits for the critical section, Release leaves it.
+type Handle struct {
+	n *Node
+}
+
+// ID returns the underlying node's identifier.
+func (h *Handle) ID() mutex.ID { return h.n.id }
+
+// Acquire requests the critical section and blocks until it is granted,
+// the cluster fails, or ctx is done. On ctx expiry the request stays
+// outstanding (the paper's model has no request cancellation), so the
+// handle should not be reused after a timed-out Acquire until the grant
+// is drained via Granted and released. A cluster error observed anywhere
+// (protocol violation, unreachable peer, codec failure) fails the Acquire
+// immediately rather than leaving it to hang until its deadline.
+func (h *Handle) Acquire(ctx context.Context) error {
+	n := h.n
+	n.mu.Lock()
+	err := n.node.Request()
+	n.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	// Prefer a grant that is already in hand over a concurrent failure:
+	// the critical section was genuinely entered.
+	select {
+	case <-n.granted:
+		return nil
+	default:
+	}
+	select {
+	case <-n.granted:
+		return nil
+	case <-n.sink.Fired():
+		return fmt.Errorf("acquire node %d: %w: cluster failed: %w", n.id, ErrGrantPending, n.sink.Err())
+	case <-ctx.Done():
+		return fmt.Errorf("acquire node %d: %w: %w", n.id, ErrGrantPending, ctx.Err())
+	}
+}
+
+// Failed returns a channel closed when the node's cluster records its
+// first error, for callers that queue ahead of Acquire (e.g. the lock
+// service's slot semaphore) and must not keep waiting on a dead cluster.
+func (h *Handle) Failed() <-chan struct{} { return h.n.sink.Fired() }
+
+// Err returns the first error the node's cluster observed, if any.
+func (h *Handle) Err() error { return h.n.sink.Err() }
+
+// Granted exposes the grant signal for recovery after a failed Acquire:
+// the request stays outstanding (the paper's model has no cancellation),
+// so the grant still arrives eventually and a caller that owns the handle
+// can drain it and Release. The channel never closes and receives at most
+// one value per outstanding request.
+func (h *Handle) Granted() <-chan struct{} { return h.n.granted }
+
+// Release leaves the critical section.
+func (h *Handle) Release() error {
+	h.n.mu.Lock()
+	defer h.n.mu.Unlock()
+	return h.n.node.Release()
+}
+
+// Storage snapshots the node's storage footprint.
+func (h *Handle) Storage() mutex.Storage {
+	h.n.mu.Lock()
+	defer h.n.mu.Unlock()
+	return h.n.node.Storage()
+}

@@ -1,207 +1,131 @@
 package transport
 
 import (
-	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
 	"dagmutex/internal/mutex"
+	"dagmutex/internal/runtime"
 )
 
-// Local runs one protocol node per cluster member inside a single process,
-// connected by mailboxes. It is the runtime the quickstart and
-// replicated-log examples use, and the integration tests run real
-// concurrent workloads on it (with -race).
-type Local struct {
-	nodes map[mutex.ID]*liveNode
+// Handle is the blocking application API over one live node, provided by
+// the shared runtime and identical over every link layer.
+type Handle = runtime.Handle
 
-	msgs atomic.Int64
+// Local runs one protocol node per cluster member inside a single
+// process, connected by mailboxes. It is purely a link layer: the actor
+// loops, grant signaling and error capture all live in the shared runtime
+// (internal/runtime), and the integration tests run real concurrent
+// workloads on it (with -race).
+type Local struct {
+	net   *localNet
+	nodes map[mutex.ID]*runtime.Node
+	sink  *runtime.ErrorSink
 
 	stopOnce sync.Once
-	wg       sync.WaitGroup
 }
 
-// liveNode couples a protocol node with its mailbox, lock and grant
-// signal.
-type liveNode struct {
-	id      mutex.ID
-	runtime *Local
-
-	mu   sync.Mutex // serializes Request/Release/Deliver on node
-	node mutex.Node
-
-	inbox   *mailbox
-	granted chan struct{} // capacity 1: at most one outstanding request
-
-	deliverErr atomic.Pointer[deliverError]
+// localNet is the in-process substrate: one mailbox per member plus the
+// cluster-wide message counter.
+type localNet struct {
+	boxes map[mutex.ID]*mailbox[runtime.Envelope]
+	msgs  atomic.Int64
 }
 
-type deliverError struct{ err error }
-
-// env is the mutex.Env a live node hands its protocol instance.
-type env struct{ ln *liveNode }
+// localLink is one member's attachment to the substrate.
+type localLink struct {
+	id  mutex.ID
+	net *localNet
+}
 
 // Send enqueues into the destination mailbox. A single mailbox per
-// receiver, filled in program order per sender, yields per-link FIFO.
-func (e env) Send(to mutex.ID, m mutex.Message) {
-	dst, ok := e.ln.runtime.nodes[to]
+// receiver, filled in program order per sender, yields per-link FIFO. A
+// send to an unknown node is an error captured through the runtime's
+// deliver-error path (it fails the cluster, not the process).
+func (l localLink) Send(to mutex.ID, m mutex.Message) error {
+	dst, ok := l.net.boxes[to]
 	if !ok {
-		panic(fmt.Sprintf("transport: send to unknown node %d", to))
+		return fmt.Errorf("unknown node %d", to)
 	}
-	e.ln.runtime.msgs.Add(1)
-	dst.inbox.put(envelope{from: e.ln.id, msg: m})
+	if dst.put(runtime.Envelope{From: l.id, Msg: m}) {
+		l.net.msgs.Add(1)
+	}
+	return nil
 }
 
-// Granted signals the waiting Acquire, if any.
-func (e env) Granted() {
-	select {
-	case e.ln.granted <- struct{}{}:
-	default:
-		// A grant with no waiter indicates a protocol double-grant; it
-		// will surface as ErrOutstanding on the next request.
-	}
+// Recv blocks on the member's own mailbox.
+func (l localLink) Recv() (runtime.Envelope, bool) {
+	return l.net.boxes[l.id].get()
 }
+
+// Close closes the member's mailbox; queued envelopes still drain.
+func (l localLink) Close() { l.net.boxes[l.id].close() }
 
 // NewLocal builds and starts one node per cfg.IDs entry. Callers must
 // Close the runtime to stop its goroutines.
 func NewLocal(b mutex.Builder, cfg mutex.Config) (*Local, error) {
-	l := &Local{nodes: make(map[mutex.ID]*liveNode, len(cfg.IDs))}
+	l := &Local{
+		net:   &localNet{boxes: make(map[mutex.ID]*mailbox[runtime.Envelope], len(cfg.IDs))},
+		nodes: make(map[mutex.ID]*runtime.Node, len(cfg.IDs)),
+		sink:  runtime.NewErrorSink(),
+	}
+	// All mailboxes exist before any node starts, so builders and early
+	// handlers can send to members whose actor loop is not yet running.
 	for _, id := range cfg.IDs {
-		ln := &liveNode{
-			id:      id,
-			runtime: l,
-			inbox:   newMailbox(),
-			granted: make(chan struct{}, 1),
-		}
-		node, err := b(id, env{ln: ln}, cfg)
+		l.net.boxes[id] = newMailbox[runtime.Envelope]()
+	}
+	for _, id := range cfg.IDs {
+		n, err := runtime.Start(id, b, cfg, localLink{id: id, net: l.net}, l.sink)
 		if err != nil {
 			l.Close()
-			return nil, fmt.Errorf("build node %d: %w", id, err)
+			return nil, err
 		}
-		ln.node = node
-		l.nodes[id] = ln
-	}
-	for _, ln := range l.nodes {
-		ln := ln
-		l.wg.Add(1)
-		go func() {
-			defer l.wg.Done()
-			ln.consume()
-		}()
+		l.nodes[id] = n
 	}
 	return l, nil
-}
-
-// consume delivers mailbox messages one at a time under the node lock.
-func (ln *liveNode) consume() {
-	for {
-		e, ok := ln.inbox.get()
-		if !ok {
-			return
-		}
-		ln.mu.Lock()
-		err := ln.node.Deliver(e.from, e.msg)
-		ln.mu.Unlock()
-		if err != nil {
-			ln.deliverErr.CompareAndSwap(nil, &deliverError{err: fmt.Errorf(
-				"deliver %s %d->%d: %w", e.msg.Kind(), e.from, ln.id, err)})
-		}
-	}
 }
 
 // WithNode runs fn on the protocol node with the given id while holding
 // its handler lock, for management operations such as the DAG algorithm's
 // StartInit. fn must not block on protocol progress.
 func (l *Local) WithNode(id mutex.ID, fn func(mutex.Node) error) error {
-	ln, ok := l.nodes[id]
+	n, ok := l.nodes[id]
 	if !ok {
 		return fmt.Errorf("transport: unknown node %d", id)
 	}
-	ln.mu.Lock()
-	defer ln.mu.Unlock()
-	return fn(ln.node)
+	return n.With(fn)
 }
 
 // Handle returns the application-facing handle for node id, or nil if the
 // id is unknown.
 func (l *Local) Handle(id mutex.ID) *Handle {
-	ln, ok := l.nodes[id]
+	n, ok := l.nodes[id]
 	if !ok {
 		return nil
 	}
-	return &Handle{ln: ln}
+	return n.Handle()
 }
 
 // Messages returns the total number of messages sent so far.
-func (l *Local) Messages() int64 { return l.msgs.Load() }
+func (l *Local) Messages() int64 { return l.net.msgs.Load() }
 
 // Err returns the first protocol-level delivery error, if any occurred.
-func (l *Local) Err() error {
-	for _, ln := range l.nodes {
-		if de := ln.deliverErr.Load(); de != nil {
-			return de.err
-		}
-	}
-	return nil
-}
+func (l *Local) Err() error { return l.sink.Err() }
 
-// Close stops all consumer goroutines and waits for them to exit. Pending
-// mailbox messages are still delivered first.
+// Close stops all actor loops and waits for them to exit. Pending mailbox
+// messages are still delivered first.
 func (l *Local) Close() {
 	l.stopOnce.Do(func() {
-		for _, ln := range l.nodes {
-			ln.inbox.close()
+		// Deterministic order keeps shutdown reproducible under -race.
+		ids := make([]mutex.ID, 0, len(l.nodes))
+		for id := range l.nodes {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			l.nodes[id].Close()
 		}
 	})
-	l.wg.Wait()
-}
-
-// Handle is the blocking application API over one live node: Acquire waits
-// for the critical section, Release leaves it.
-type Handle struct {
-	ln *liveNode
-}
-
-// ID returns the underlying node's identifier.
-func (h *Handle) ID() mutex.ID { return h.ln.id }
-
-// Acquire requests the critical section and blocks until it is granted or
-// ctx is done. On ctx expiry the request stays outstanding (the paper's
-// model has no request cancellation), so the handle should not be reused
-// after a failed Acquire.
-func (h *Handle) Acquire(ctx context.Context) error {
-	h.ln.mu.Lock()
-	err := h.ln.node.Request()
-	h.ln.mu.Unlock()
-	if err != nil {
-		return err
-	}
-	select {
-	case <-h.ln.granted:
-		return nil
-	case <-ctx.Done():
-		return fmt.Errorf("acquire node %d: %w", h.ln.id, ctx.Err())
-	}
-}
-
-// Granted exposes the grant signal for recovery after a failed Acquire:
-// the request stays outstanding (the paper's model has no cancellation),
-// so the grant still arrives eventually and a caller that owns the handle
-// can drain it and Release. The channel never closes and receives at most
-// one value per outstanding request.
-func (h *Handle) Granted() <-chan struct{} { return h.ln.granted }
-
-// Release leaves the critical section.
-func (h *Handle) Release() error {
-	h.ln.mu.Lock()
-	defer h.ln.mu.Unlock()
-	return h.ln.node.Release()
-}
-
-// Storage snapshots the node's storage footprint.
-func (h *Handle) Storage() mutex.Storage {
-	h.ln.mu.Lock()
-	defer h.ln.mu.Unlock()
-	return h.ln.node.Storage()
 }

@@ -1,71 +1,82 @@
-// Package transport runs protocol nodes live, outside the simulator: an
-// in-process runtime that connects nodes through goroutines and mailboxes,
-// and a loopback TCP runtime that connects them through real sockets with
-// length-prefixed frames. Both preserve the paper's network model —
-// reliable delivery, FIFO per (sender, receiver) pair — and both serialize
-// each node's handlers, preserving the local-mutual-exclusion execution
-// model the protocols are written against.
+// Package transport provides the link layers that run protocol nodes
+// live, outside the simulator, over the shared actor runtime in
+// internal/runtime: an in-process layer that connects nodes through
+// goroutines and mailboxes (Local), and a TCP layer that connects them
+// through real sockets with length-prefixed frames and batched writes
+// (TCPHost / TCPNode). Both preserve the paper's network model —
+// reliable delivery, FIFO per (sender, receiver) pair — and both hand
+// handler serialization, grant signaling and error capture to the one
+// runtime, so the execution model is identical across substrates.
 package transport
 
-import (
-	"sync"
-
-	"dagmutex/internal/mutex"
-)
-
-// envelope is one in-flight message.
-type envelope struct {
-	from mutex.ID
-	msg  mutex.Message
-}
+import "sync"
 
 // mailbox is an unbounded FIFO queue. It must be unbounded: a node's
 // handler may send while its peer's handler is also sending to it, and any
 // bounded channel could deadlock that cycle. Unboundedness is safe here
 // because every protocol in this repository sends O(1) messages per
-// delivered event, so queues stay small in practice.
-type mailbox struct {
+// delivered event, so queues stay small in practice. The TCP layer reuses
+// it as the per-peer frame queue feeding each batched writer.
+type mailbox[T any] struct {
 	mu     sync.Mutex
 	nonEmp *sync.Cond
-	queue  []envelope
+	queue  []T
 	closed bool
 }
 
-func newMailbox() *mailbox {
-	m := &mailbox{}
+func newMailbox[T any]() *mailbox[T] {
+	m := &mailbox[T]{}
 	m.nonEmp = sync.NewCond(&m.mu)
 	return m
 }
 
-// put enqueues e; it never blocks. Puts after close are dropped.
-func (m *mailbox) put(e envelope) {
+// put enqueues v; it never blocks. Puts after close are dropped, and
+// put reports whether v was accepted so callers can keep delivery
+// counters honest.
+func (m *mailbox[T]) put(v T) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
-		return
+		return false
 	}
-	m.queue = append(m.queue, e)
+	m.queue = append(m.queue, v)
 	m.nonEmp.Signal()
+	return true
 }
 
-// get dequeues the oldest envelope, blocking until one is available or the
+// get dequeues the oldest element, blocking until one is available or the
 // mailbox closes. ok is false after close once the queue drains.
-func (m *mailbox) get() (e envelope, ok bool) {
+func (m *mailbox[T]) get() (v T, ok bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for len(m.queue) == 0 && !m.closed {
 		m.nonEmp.Wait()
 	}
 	if len(m.queue) == 0 {
-		return envelope{}, false
+		var zero T
+		return zero, false
 	}
-	e = m.queue[0]
+	v = m.queue[0]
 	m.queue = m.queue[1:]
-	return e, true
+	return v, true
 }
 
-// close wakes all waiters; messages already queued are still delivered.
-func (m *mailbox) close() {
+// tryGet dequeues without blocking; ok is false when the queue is empty
+// (whether or not the mailbox is closed).
+func (m *mailbox[T]) tryGet() (v T, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.queue) == 0 {
+		var zero T
+		return zero, false
+	}
+	v = m.queue[0]
+	m.queue = m.queue[1:]
+	return v, true
+}
+
+// close wakes all waiters; elements already queued are still delivered.
+func (m *mailbox[T]) close() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.closed = true

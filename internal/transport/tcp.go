@@ -1,161 +1,360 @@
 package transport
 
 import (
+	"bufio"
 	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
-)
 
-import "dagmutex/internal/mutex"
+	"dagmutex/internal/mutex"
+	"dagmutex/internal/runtime"
+)
 
 // maxFrame bounds incoming frame sizes; all protocol messages here are a
 // few bytes, so anything larger indicates a corrupted stream.
 const maxFrame = 1 << 20
 
-// TCPNode hosts one protocol node behind a loopback (or LAN) TCP listener.
-// Every node runs its own TCPNode — in one process for the tcpcluster
-// example, or one per process in a real deployment. A single TCP
-// connection per (sender, receiver) direction provides exactly the
-// reliable FIFO channel the thesis assumes.
-type TCPNode struct {
+// maxPending bounds frames buffered for instances that have not been
+// registered yet (a peer racing ahead of this host's StartInstance
+// calls); beyond it the stream is treated as corrupted.
+const maxPending = 1 << 16
+
+// TCPHost runs this process's end of a cluster over real TCP: one
+// listener, one framed connection per peer direction (exactly the
+// reliable FIFO channel the thesis assumes), and any number of protocol
+// node instances multiplexed over those connections by a 32-bit instance
+// tag. A sharded lock service registers one instance per shard; the
+// plain TCPNode is a host with a single instance 0.
+//
+// All instances on one host share the host's member identity: instance k
+// here talks to instance k on the peer hosts. Outgoing frames from every
+// instance to one peer share a connection and a single writer goroutine
+// with a buffered, flush-on-idle write path, so bursts of small protocol
+// messages coalesce into few syscalls on the hot path.
+type TCPHost struct {
 	id    mutex.ID
 	codec Codec
+	ln    net.Listener
+	sink  *runtime.ErrorSink
 
-	ln net.Listener
+	mu        sync.RWMutex // guards links, pending, addrs, peers, stopped
+	links     map[uint32]*tcpLink
+	nodes     map[uint32]*runtime.Node
+	pending   map[uint32][]runtime.Envelope
+	nPending  int
+	addrs     map[mutex.ID]string
+	connected bool
+	peers     map[mutex.ID]*peerConn
+	stopped   bool
 
-	mu      sync.Mutex // serializes Request/Release/Deliver on node
-	node    mutex.Node
-	granted chan struct{}
-
-	peersMu sync.Mutex
-	addrs   map[mutex.ID]string
-	outs    map[mutex.ID]net.Conn
-
-	insMu sync.Mutex
-	ins   []net.Conn
+	insMu     sync.Mutex
+	ins       []net.Conn
+	insClosed bool // set by Close; late-accepted conns are closed on sight
 
 	stop     chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
 
-	firstErr atomic.Pointer[deliverError]
 	sent     atomic.Int64
 	received atomic.Int64
 }
 
-// NewTCPNode constructs the protocol node via b and starts listening on a
-// fresh loopback port. Peers are supplied afterwards with Connect, once
-// every listener's Addr is known.
-func NewTCPNode(id mutex.ID, b mutex.Builder, cfg mutex.Config, codec Codec) (*TCPNode, error) {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+// NewTCPHost starts a listener for member id on a fresh loopback port.
+// Register protocol instances with StartInstance, exchange Addr values
+// out of band, then Connect with the full peer address book.
+func NewTCPHost(id mutex.ID, codec Codec) (*TCPHost, error) {
+	return NewTCPHostOn(id, "127.0.0.1:0", codec)
+}
+
+// NewTCPHostOn is NewTCPHost with an explicit listen address, for real
+// multi-process deployments whose address book is agreed in advance
+// (e.g. "0.0.0.0:7001" or "127.0.0.1:7001").
+func NewTCPHostOn(id mutex.ID, listen string, codec Codec) (*TCPHost, error) {
+	ln, err := net.Listen("tcp", listen)
 	if err != nil {
-		return nil, fmt.Errorf("listen: %w", err)
+		return nil, fmt.Errorf("listen %s: %w", listen, err)
 	}
-	t := &TCPNode{
+	h := &TCPHost{
 		id:      id,
 		codec:   codec,
 		ln:      ln,
-		granted: make(chan struct{}, 1),
-		outs:    make(map[mutex.ID]net.Conn),
+		sink:    runtime.NewErrorSink(),
+		links:   make(map[uint32]*tcpLink),
+		nodes:   make(map[uint32]*runtime.Node),
+		pending: make(map[uint32][]runtime.Envelope),
+		peers:   make(map[mutex.ID]*peerConn),
 		stop:    make(chan struct{}),
 	}
-	node, err := b(id, tcpEnv{t: t}, cfg)
-	if err != nil {
-		_ = ln.Close()
-		return nil, fmt.Errorf("build node %d: %w", id, err)
-	}
-	t.node = node
-	t.wg.Add(1)
+	h.wg.Add(1)
 	go func() {
-		defer t.wg.Done()
-		t.acceptLoop()
+		defer h.wg.Done()
+		h.acceptLoop()
 	}()
-	return t, nil
+	return h, nil
 }
 
-// Addr returns the node's listen address, to be shared with peers.
-func (t *TCPNode) Addr() string { return t.ln.Addr().String() }
+// Addr returns the host's listen address, to be shared with peers.
+func (h *TCPHost) Addr() string { return h.ln.Addr().String() }
 
-// ID returns the hosted node's identifier.
-func (t *TCPNode) ID() mutex.ID { return t.id }
+// ID returns the member identity every instance on this host runs as.
+func (h *TCPHost) ID() mutex.ID { return h.id }
 
-// Connect supplies the peer address book. It must be called before the
-// first Acquire.
-func (t *TCPNode) Connect(addrs map[mutex.ID]string) {
-	t.peersMu.Lock()
-	defer t.peersMu.Unlock()
-	t.addrs = make(map[mutex.ID]string, len(addrs))
-	for id, a := range addrs {
-		t.addrs[id] = a
-	}
+// Sink returns the host's cluster-wide error sink.
+func (h *TCPHost) Sink() *runtime.ErrorSink { return h.sink }
+
+// Err returns the first transport or protocol error observed, if any.
+func (h *TCPHost) Err() error { return h.sink.Err() }
+
+// Stats returns frames sent and received by this host (all instances).
+func (h *TCPHost) Stats() (sent, received int64) {
+	return h.sent.Load(), h.received.Load()
 }
 
-// tcpEnv adapts the TCPNode to mutex.Env.
-type tcpEnv struct{ t *TCPNode }
-
-// Send frames and writes the message on the (lazily dialed) connection to
-// the peer. Writes to one peer are serialized under peersMu, so the
-// per-connection byte stream — and therefore delivery order — matches send
-// order.
-func (e tcpEnv) Send(to mutex.ID, m mutex.Message) {
-	t := e.t
-	payload, err := t.codec.Encode(m)
-	if err != nil {
-		t.fail(fmt.Errorf("encode %s: %w", m.Kind(), err))
-		return
-	}
-	t.peersMu.Lock()
-	defer t.peersMu.Unlock()
-	conn, err := t.connLocked(to)
-	if err != nil {
-		t.fail(fmt.Errorf("connect to node %d: %w", to, err))
-		return
-	}
-	frame := make([]byte, 8+len(payload))
-	binary.BigEndian.PutUint32(frame[0:4], uint32(4+len(payload)))
-	binary.BigEndian.PutUint32(frame[4:8], uint32(t.id))
-	copy(frame[8:], payload)
-	if _, err := conn.Write(frame); err != nil {
-		t.fail(fmt.Errorf("write to node %d: %w", to, err))
-		return
-	}
-	t.sent.Add(1)
-}
-
-// Granted implements mutex.Env.
-func (e tcpEnv) Granted() {
-	select {
-	case e.t.granted <- struct{}{}:
-	default:
-	}
-}
-
-// connLocked returns the outgoing connection to peer, dialing it on first
-// use. Peers may still be starting up, so dialing retries briefly.
-func (t *TCPNode) connLocked(peer mutex.ID) (net.Conn, error) {
-	if c, ok := t.outs[peer]; ok {
-		return c, nil
-	}
-	addr, ok := t.addrs[peer]
+// InstanceSent returns frames sent by one instance, or 0 for an unknown
+// instance. A remote cluster member only observes its own sends, so this
+// is a per-process view, not a cluster-wide total.
+func (h *TCPHost) InstanceSent(instance uint32) int64 {
+	h.mu.RLock()
+	link, ok := h.links[instance]
+	h.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("no address for node %d (Connect not called?)", peer)
+		return 0
 	}
+	return link.sent.Load()
+}
+
+// Connect supplies the peer address book (member id -> listen address).
+// It must be called before the first Acquire; outgoing connections are
+// dialed lazily on first send.
+func (h *TCPHost) Connect(addrs map[mutex.ID]string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.addrs = make(map[mutex.ID]string, len(addrs))
+	for id, a := range addrs {
+		h.addrs[id] = a
+	}
+	h.connected = true
+}
+
+// StartInstance builds and starts protocol instance (running as member
+// h.ID()) on this host. Frames that arrived for the instance before it
+// was registered are delivered first, in arrival order.
+func (h *TCPHost) StartInstance(instance uint32, b mutex.Builder, cfg mutex.Config) (*runtime.Node, error) {
+	link := &tcpLink{host: h, instance: instance, inbox: newMailbox[runtime.Envelope]()}
+	h.mu.Lock()
+	if h.stopped {
+		h.mu.Unlock()
+		return nil, fmt.Errorf("transport: host %d is closed", h.id)
+	}
+	if _, dup := h.links[instance]; dup {
+		h.mu.Unlock()
+		return nil, fmt.Errorf("transport: instance %d already registered on host %d", instance, h.id)
+	}
+	h.links[instance] = link
+	early := h.pending[instance]
+	for _, e := range early {
+		link.inbox.put(e)
+	}
+	h.nPending -= len(early)
+	delete(h.pending, instance)
+	h.mu.Unlock()
+
+	n, err := runtime.Start(h.id, b, cfg, link, h.sink)
+	if err != nil {
+		// Salvage the inbox (the early frames plus anything routed since
+		// registration) back into pending, so a retried StartInstance
+		// still sees the peer's traffic in arrival order.
+		h.mu.Lock()
+		delete(h.links, instance)
+		var salvage []runtime.Envelope
+		for {
+			e, ok := link.inbox.tryGet()
+			if !ok {
+				break
+			}
+			salvage = append(salvage, e)
+		}
+		h.pending[instance] = append(salvage, h.pending[instance]...)
+		h.nPending += len(salvage)
+		h.mu.Unlock()
+		return nil, err
+	}
+	h.mu.Lock()
+	if h.stopped {
+		// Close ran between registration and here; its node sweep missed
+		// this instance, so it must be torn down now or its consume
+		// goroutine leaks on a dead host.
+		delete(h.links, instance)
+		h.mu.Unlock()
+		n.Close()
+		return nil, fmt.Errorf("transport: host %d closed during StartInstance", h.id)
+	}
+	h.nodes[instance] = n
+	h.mu.Unlock()
+	return n, nil
+}
+
+// tcpLink is one instance's attachment to the host.
+type tcpLink struct {
+	host     *TCPHost
+	instance uint32
+	inbox    *mailbox[runtime.Envelope]
+	sent     atomic.Int64
+}
+
+// Send frames the message and enqueues it on the batched writer for the
+// destination member. It never blocks on the network.
+func (l *tcpLink) Send(to mutex.ID, m mutex.Message) error {
+	payload, err := l.host.codec.Encode(m)
+	if err != nil {
+		return fmt.Errorf("encode %s: %w", m.Kind(), err)
+	}
+	frame := make([]byte, 12+len(payload))
+	binary.BigEndian.PutUint32(frame[0:4], uint32(8+len(payload)))
+	binary.BigEndian.PutUint32(frame[4:8], l.instance)
+	binary.BigEndian.PutUint32(frame[8:12], uint32(l.host.id))
+	copy(frame[12:], payload)
+	if l.host.enqueue(to, frame) {
+		l.sent.Add(1)
+	}
+	return nil
+}
+
+// Recv blocks on the instance's inbox.
+func (l *tcpLink) Recv() (runtime.Envelope, bool) { return l.inbox.get() }
+
+// Close closes the instance's inbox; queued envelopes still drain.
+func (l *tcpLink) Close() { l.inbox.close() }
+
+// peerConn is the outgoing side of one peer link: an unbounded frame
+// queue drained by a single writer goroutine. conn is set (under the
+// host mutex) once the writer has dialed, so Close can sever it and
+// unblock a writer stuck in a full-send-buffer write.
+type peerConn struct {
+	q    *mailbox[[]byte]
+	conn net.Conn
+}
+
+// enqueue hands the frame to the peer's writer, starting it on first
+// use. It reports whether the frame was accepted — a dead writer (dial
+// failed, write failed, host closing) closes its queue, so frames to it
+// are dropped instead of accumulating unsent forever.
+func (h *TCPHost) enqueue(to mutex.ID, frame []byte) bool {
+	// Read-locked fast path: peers is append-only until Close, and the
+	// send hot path must not serialize against concurrent receives.
+	h.mu.RLock()
+	pc, ok := h.peers[to]
+	h.mu.RUnlock()
+	if !ok {
+		h.mu.Lock()
+		pc, ok = h.peers[to]
+		if !ok {
+			if h.stopped {
+				h.mu.Unlock()
+				return false
+			}
+			pc = &peerConn{q: newMailbox[[]byte]()}
+			h.peers[to] = pc
+			h.wg.Add(1)
+			go func() {
+				defer h.wg.Done()
+				h.writeLoop(to, pc)
+			}()
+		}
+		h.mu.Unlock()
+	}
+	if !pc.q.put(frame) {
+		return false
+	}
+	h.sent.Add(1)
+	return true
+}
+
+// writeLoop dials the peer, then drains the frame queue through a
+// buffered writer: while frames keep coming it only writes, and the
+// moment the queue runs dry it flushes before blocking — batching bursts
+// without adding latency to a lone message.
+func (h *TCPHost) writeLoop(to mutex.ID, pc *peerConn) {
+	defer pc.q.close() // a dead writer must not keep accepting frames
+	conn, err := h.dial(to)
+	if err != nil {
+		h.fail(fmt.Errorf("connect to node %d: %w", to, err))
+		return
+	}
+	h.mu.Lock()
+	if h.stopped {
+		h.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	pc.conn = conn
+	h.mu.Unlock()
+	defer func() { _ = conn.Close() }()
+	bw := bufio.NewWriter(conn)
+	write := func(f []byte) bool {
+		if _, err := bw.Write(f); err != nil {
+			h.fail(fmt.Errorf("write to node %d: %w", to, err))
+			return false
+		}
+		return true
+	}
+	for {
+		f, ok := pc.q.get()
+		if !ok {
+			_ = bw.Flush()
+			return
+		}
+		if !write(f) {
+			return
+		}
+		for {
+			f, ok := pc.q.tryGet()
+			if !ok {
+				break
+			}
+			if !write(f) {
+				return
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			h.fail(fmt.Errorf("flush to node %d: %w", to, err))
+			return
+		}
+	}
+}
+
+// dial resolves the peer's address and connects, retrying briefly: peers
+// may still be starting their listeners, and the address book may arrive
+// a moment after the first inbound traffic does. A book that is present
+// but lacks the peer is a configuration error and fails immediately.
+func (h *TCPHost) dial(to mutex.ID) (net.Conn, error) {
 	var lastErr error
 	for attempt := 0; attempt < 50; attempt++ {
-		c, err := net.DialTimeout("tcp", addr, time.Second)
-		if err == nil {
-			t.outs[peer] = c
-			return c, nil
+		h.mu.RLock()
+		addr, ok := h.addrs[to]
+		connected := h.connected
+		h.mu.RUnlock()
+		switch {
+		case ok:
+			c, err := net.DialTimeout("tcp", addr, time.Second)
+			if err == nil {
+				return c, nil
+			}
+			lastErr = err
+		case connected:
+			return nil, fmt.Errorf("no address for node %d in the Connect address book", to)
+		default:
+			lastErr = fmt.Errorf("no address for node %d (Connect not called?)", to)
 		}
-		lastErr = err
 		select {
-		case <-t.stop:
+		case <-h.stop:
 			return nil, lastErr
 		case <-time.After(20 * time.Millisecond):
 		}
@@ -164,125 +363,282 @@ func (t *TCPNode) connLocked(peer mutex.ID) (net.Conn, error) {
 }
 
 // acceptLoop owns the listener; one reader goroutine per inbound peer.
-func (t *TCPNode) acceptLoop() {
+func (h *TCPHost) acceptLoop() {
 	for {
-		conn, err := t.ln.Accept()
+		conn, err := h.ln.Accept()
 		if err != nil {
 			return // listener closed by Close
 		}
-		t.insMu.Lock()
-		t.ins = append(t.ins, conn)
-		t.insMu.Unlock()
-		t.wg.Add(1)
+		h.insMu.Lock()
+		if h.insClosed {
+			// Close already swept h.ins; a conn registered now would
+			// never be severed and its readLoop would block Close's
+			// wg.Wait forever.
+			h.insMu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		h.ins = append(h.ins, conn)
+		h.insMu.Unlock()
+		h.wg.Add(1)
 		go func() {
-			defer t.wg.Done()
-			t.readLoop(conn)
+			defer h.wg.Done()
+			h.readLoop(conn)
 		}()
 	}
 }
 
-// readLoop parses frames and delivers them under the node lock.
-func (t *TCPNode) readLoop(conn net.Conn) {
+// readLoop parses frames and routes them to the tagged instance's inbox.
+func (h *TCPHost) readLoop(conn net.Conn) {
 	defer func() { _ = conn.Close() }()
 	header := make([]byte, 4)
 	for {
 		if _, err := io.ReadFull(conn, header); err != nil {
-			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !isClosedErr(err) {
-				t.fail(fmt.Errorf("read header: %w", err))
+			if !errors.Is(err, io.EOF) && !isClosedErr(err) {
+				h.fail(fmt.Errorf("read header: %w", err))
 			}
 			return
 		}
 		size := binary.BigEndian.Uint32(header)
-		if size < 4 || size > maxFrame {
-			t.fail(fmt.Errorf("bad frame size %d", size))
+		if size < 8 || size > maxFrame {
+			h.fail(fmt.Errorf("bad frame size %d", size))
 			return
 		}
 		body := make([]byte, size)
 		if _, err := io.ReadFull(conn, body); err != nil {
-			t.fail(fmt.Errorf("read frame: %w", err))
+			if !isClosedErr(err) {
+				h.fail(fmt.Errorf("read frame: %w", err))
+			}
 			return
 		}
-		from := mutex.ID(binary.BigEndian.Uint32(body[0:4]))
-		msg, err := t.codec.Decode(body[4:])
+		instance := binary.BigEndian.Uint32(body[0:4])
+		from := mutex.ID(binary.BigEndian.Uint32(body[4:8]))
+		msg, err := h.codec.Decode(body[8:])
 		if err != nil {
-			t.fail(err)
+			h.fail(err)
 			return
 		}
-		t.received.Add(1)
-		t.mu.Lock()
-		err = t.node.Deliver(from, msg)
-		t.mu.Unlock()
-		if err != nil {
-			t.fail(fmt.Errorf("deliver %s from %d: %w", msg.Kind(), from, err))
+		h.received.Add(1)
+		if !h.route(instance, runtime.Envelope{From: from, Msg: msg}) {
+			return
 		}
 	}
 }
 
-func isClosedErr(err error) bool {
-	var ne *net.OpError
-	return errors.As(err, &ne)
+// route delivers e to the instance's inbox, buffering it if the instance
+// has not been registered yet. The registered case takes only the read
+// lock, so inbound delivery does not serialize against sends.
+func (h *TCPHost) route(instance uint32, e runtime.Envelope) bool {
+	h.mu.RLock()
+	link, ok := h.links[instance]
+	h.mu.RUnlock()
+	if ok {
+		link.inbox.put(e)
+		return true
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if link, ok := h.links[instance]; ok {
+		link.inbox.put(e)
+		return true
+	}
+	if h.nPending >= maxPending {
+		h.fail(fmt.Errorf("over %d frames buffered for unregistered instance %d", maxPending, instance))
+		return false
+	}
+	h.pending[instance] = append(h.pending[instance], e)
+	h.nPending++
+	return true
 }
 
-func (t *TCPNode) fail(err error) {
-	t.firstErr.CompareAndSwap(nil, &deliverError{err: err})
+// isClosedErr reports whether err is this side's own shutdown closing
+// the connection. It deliberately does NOT match every *net.OpError: a
+// peer crash surfaces as a connection reset, which must reach the sink
+// so blocked Acquires fail fast instead of waiting out their deadlines.
+func isClosedErr(err error) bool {
+	return errors.Is(err, net.ErrClosed)
 }
+
+// fail records the first transport error unless the host is shutting
+// down, in which case connection teardown noise is expected.
+func (h *TCPHost) fail(err error) {
+	select {
+	case <-h.stop:
+		return
+	default:
+	}
+	h.sink.Fail(err)
+}
+
+// Close shuts the listener, writers and connections down, then stops
+// every instance's actor loop. Frames already received are delivered to
+// their instances first; queued outgoing frames may be dropped (the
+// protocol has no shutdown handshake to wait for).
+func (h *TCPHost) Close() {
+	h.stopOnce.Do(func() {
+		close(h.stop)
+		h.mu.Lock()
+		h.stopped = true
+		peers := h.peers
+		h.mu.Unlock()
+		// Idle writers wake on the queue close, flush and hang up; a
+		// writer stuck mid-write (peer stopped reading) is unblocked by
+		// the connection close.
+		for _, pc := range peers {
+			pc.q.close()
+		}
+		h.mu.Lock()
+		for _, pc := range peers {
+			if pc.conn != nil {
+				_ = pc.conn.Close()
+			}
+		}
+		h.mu.Unlock()
+		_ = h.ln.Close()
+		// Inbound connections must be closed too: their far ends belong
+		// to peers that may outlive (or never close) this host, and the
+		// readLoops would otherwise block in Read forever.
+		h.insMu.Lock()
+		h.insClosed = true
+		for _, c := range h.ins {
+			_ = c.Close()
+		}
+		h.insMu.Unlock()
+	})
+	h.wg.Wait()
+	h.mu.Lock()
+	instances := make([]uint32, 0, len(h.nodes))
+	for i := range h.nodes {
+		instances = append(instances, i)
+	}
+	sort.Slice(instances, func(i, j int) bool { return instances[i] < instances[j] })
+	nodes := make([]*runtime.Node, 0, len(instances))
+	for _, i := range instances {
+		nodes = append(nodes, h.nodes[i])
+	}
+	h.mu.Unlock()
+	for _, n := range nodes {
+		n.Close()
+	}
+}
+
+// TCPNode hosts one protocol node behind a loopback (or LAN) TCP
+// listener: a TCPHost with the single instance 0. Every node runs its own
+// TCPNode — in one process for the tcpcluster example, or one per process
+// in a real deployment.
+type TCPNode struct {
+	host   *TCPHost
+	node   *runtime.Node
+	handle *Handle
+}
+
+// NewTCPNode constructs the protocol node via b and starts listening on a
+// fresh loopback port. Peers are supplied afterwards with Connect, once
+// every listener's Addr is known.
+func NewTCPNode(id mutex.ID, b mutex.Builder, cfg mutex.Config, codec Codec) (*TCPNode, error) {
+	host, err := NewTCPHost(id, codec)
+	if err != nil {
+		return nil, err
+	}
+	node, err := host.StartInstance(0, b, cfg)
+	if err != nil {
+		host.Close()
+		return nil, err
+	}
+	return &TCPNode{host: host, node: node, handle: node.Handle()}, nil
+}
+
+// Addr returns the node's listen address, to be shared with peers.
+func (t *TCPNode) Addr() string { return t.host.Addr() }
+
+// ID returns the hosted node's identifier.
+func (t *TCPNode) ID() mutex.ID { return t.host.ID() }
+
+// Connect supplies the peer address book. It must be called before the
+// first Acquire.
+func (t *TCPNode) Connect(addrs map[mutex.ID]string) { t.host.Connect(addrs) }
+
+// Handle returns the blocking application API over the hosted node.
+func (t *TCPNode) Handle() *Handle { return t.handle }
+
+// Acquire requests the critical section and blocks until granted, the
+// cluster fails, or ctx expires.
+func (t *TCPNode) Acquire(ctx context.Context) error { return t.handle.Acquire(ctx) }
+
+// Release leaves the critical section.
+func (t *TCPNode) Release() error { return t.handle.Release() }
 
 // Err returns the first transport or protocol error observed, if any.
-func (t *TCPNode) Err() error {
-	if de := t.firstErr.Load(); de != nil {
-		return de.err
+func (t *TCPNode) Err() error { return t.host.Err() }
+
+// Stats returns messages sent and received by this node.
+func (t *TCPNode) Stats() (sent, received int64) { return t.host.Stats() }
+
+// Close shuts the listener and all connections down and waits for the
+// node's goroutines to exit.
+func (t *TCPNode) Close() { t.host.Close() }
+
+// TCPCluster wires one TCPNode per cluster member over loopback inside a
+// single process: the TCP analogue of Local, used by tests, the
+// conformance battery and the tcpcluster example. Real deployments run
+// one TCPNode (or TCPHost) per process instead and exchange addresses out
+// of band.
+type TCPCluster struct {
+	nodes map[mutex.ID]*TCPNode
+}
+
+// NewTCPCluster starts one TCP-backed node per cfg.IDs entry and
+// distributes the address book. Callers must Close it.
+func NewTCPCluster(b mutex.Builder, cfg mutex.Config, codec Codec) (*TCPCluster, error) {
+	c := &TCPCluster{nodes: make(map[mutex.ID]*TCPNode, len(cfg.IDs))}
+	addrs := make(map[mutex.ID]string, len(cfg.IDs))
+	for _, id := range cfg.IDs {
+		n, err := NewTCPNode(id, b, cfg, codec)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.nodes[id] = n
+		addrs[id] = n.Addr()
+	}
+	for _, n := range c.nodes {
+		n.Connect(addrs)
+	}
+	return c, nil
+}
+
+// Handle returns the handle for member id, or nil if the id is unknown.
+func (c *TCPCluster) Handle(id mutex.ID) *Handle {
+	n, ok := c.nodes[id]
+	if !ok {
+		return nil
+	}
+	return n.Handle()
+}
+
+// Messages returns the total frames sent across all members.
+func (c *TCPCluster) Messages() int64 {
+	var n int64
+	for _, node := range c.nodes {
+		s, _ := node.Stats()
+		n += s
+	}
+	return n
+}
+
+// Err returns the first error observed by any member, if any.
+func (c *TCPCluster) Err() error {
+	for _, n := range c.nodes {
+		if err := n.Err(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
-// Stats returns messages sent and received by this node.
-func (t *TCPNode) Stats() (sent, received int64) {
-	return t.sent.Load(), t.received.Load()
-}
-
-// Acquire requests the critical section and blocks until granted or ctx
-// expires.
-func (t *TCPNode) Acquire(ctx context.Context) error {
-	t.mu.Lock()
-	err := t.node.Request()
-	t.mu.Unlock()
-	if err != nil {
-		return err
+// Close stops every member node.
+func (c *TCPCluster) Close() {
+	for _, n := range c.nodes {
+		n.Close()
 	}
-	select {
-	case <-t.granted:
-		return nil
-	case <-ctx.Done():
-		return fmt.Errorf("acquire node %d: %w", t.id, ctx.Err())
-	}
-}
-
-// Release leaves the critical section.
-func (t *TCPNode) Release() error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.node.Release()
-}
-
-// Close shuts the listener and all connections down and waits for the
-// node's goroutines to exit.
-func (t *TCPNode) Close() {
-	t.stopOnce.Do(func() {
-		close(t.stop)
-		_ = t.ln.Close()
-		t.peersMu.Lock()
-		for _, c := range t.outs {
-			_ = c.Close()
-		}
-		t.peersMu.Unlock()
-		// Inbound connections must be closed too: their far ends belong
-		// to peers that may outlive (or never close) this node, and the
-		// readLoops would otherwise block in Read forever.
-		t.insMu.Lock()
-		for _, c := range t.ins {
-			_ = c.Close()
-		}
-		t.insMu.Unlock()
-	})
-	t.wg.Wait()
 }

@@ -2,6 +2,8 @@ package transport
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -118,22 +120,25 @@ func TestLocalUnknownHandle(t *testing.T) {
 }
 
 func TestMailboxOrderAndClose(t *testing.T) {
-	m := newMailbox()
+	m := newMailbox[int]()
+	if _, ok := m.tryGet(); ok {
+		t.Fatal("tryGet on empty mailbox must fail")
+	}
 	for i := 0; i < 10; i++ {
-		m.put(envelope{from: mutex.ID(i + 1)})
+		m.put(i + 1)
 	}
 	m.close()
 	for i := 0; i < 10; i++ {
-		e, ok := m.get()
-		if !ok || e.from != mutex.ID(i+1) {
-			t.Fatalf("get %d = (%v, %v)", i, e.from, ok)
+		v, ok := m.get()
+		if !ok || v != i+1 {
+			t.Fatalf("get %d = (%v, %v)", i, v, ok)
 		}
 	}
 	if _, ok := m.get(); ok {
 		t.Fatal("get after drain on closed mailbox must fail")
 	}
-	m.put(envelope{from: 99}) // dropped silently after close
-	if _, ok := m.get(); ok {
+	m.put(99) // dropped silently after close
+	if _, ok := m.tryGet(); ok {
 		t.Fatal("put after close must be dropped")
 	}
 }
@@ -329,5 +334,275 @@ func TestHandleStorage(t *testing.T) {
 	defer l.Close()
 	if s := l.Handle(1).Storage(); s.Scalars != 3 {
 		t.Fatalf("storage = %+v, want 3 scalars", s)
+	}
+}
+
+// strayBuilder builds a node whose Request sends to a node id outside the
+// cluster — the regression scenario for env.Send on an unknown node,
+// which used to panic the whole process.
+type strayNode struct {
+	id  mutex.ID
+	env mutex.Env
+}
+
+func (n *strayNode) ID() mutex.ID { return n.id }
+func (n *strayNode) Request() error {
+	n.env.Send(99, core.Request{From: n.id, Origin: n.id})
+	return nil
+}
+func (n *strayNode) Release() error                        { return nil }
+func (n *strayNode) Deliver(mutex.ID, mutex.Message) error { return nil }
+func (n *strayNode) Storage() mutex.Storage                { return mutex.Storage{} }
+
+func strayBuilder(id mutex.ID, env mutex.Env, cfg mutex.Config) (mutex.Node, error) {
+	return &strayNode{id: id, env: env}, nil
+}
+
+// TestLocalSendToUnknownNodeFailsClusterNotProcess: an unknown
+// destination surfaces through Err() and fails the pending Acquire fast,
+// instead of panicking.
+func TestLocalSendToUnknownNodeFailsClusterNotProcess(t *testing.T) {
+	tree := topology.Line(2)
+	l, err := NewLocal(strayBuilder, dagConfig(tree, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err = l.Handle(1).Acquire(ctx)
+	if err == nil {
+		t.Fatal("acquire must fail when the protocol sends to an unknown node")
+	}
+	if ctx.Err() != nil {
+		t.Fatalf("acquire waited for its deadline instead of failing fast: %v", err)
+	}
+	if l.Err() == nil {
+		t.Fatal("unknown-node send not recorded via Err")
+	}
+}
+
+// failingDeliver is a node whose Deliver always errors, used to poison a
+// live cluster from a peer's handler.
+type failingDeliver struct{ id mutex.ID }
+
+func (n *failingDeliver) ID() mutex.ID   { return n.id }
+func (n *failingDeliver) Request() error { return nil }
+func (n *failingDeliver) Release() error { return nil }
+func (n *failingDeliver) Deliver(from mutex.ID, m mutex.Message) error {
+	return fmt.Errorf("%w: poisoned node", mutex.ErrUnexpectedMessage)
+}
+func (n *failingDeliver) Storage() mutex.Storage { return mutex.Storage{} }
+
+// TestLocalAcquireFailsFastOnClusterError: node 2's Acquire sends a
+// REQUEST to the holder (node 1), whose Deliver errors; the blocked
+// Acquire must fail immediately rather than waiting out its deadline.
+func TestLocalAcquireFailsFastOnClusterError(t *testing.T) {
+	tree := topology.Line(2)
+	mixed := func(id mutex.ID, env mutex.Env, cfg mutex.Config) (mutex.Node, error) {
+		if id == 1 {
+			return &failingDeliver{id: id}, nil
+		}
+		return core.Builder(id, env, cfg)
+	}
+	l, err := NewLocal(mixed, dagConfig(tree, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	start := time.Now()
+	err = l.Handle(2).Acquire(ctx)
+	if err == nil {
+		t.Fatal("acquire must fail once the holder's deliver errors")
+	}
+	if !errors.Is(err, mutex.ErrUnexpectedMessage) {
+		t.Fatalf("acquire error = %v, want the delivery error", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("acquire took %v; fail-fast path not taken", elapsed)
+	}
+	if l.Err() == nil {
+		t.Fatal("delivery error not recorded via Err")
+	}
+}
+
+// TestTCPHostMultiInstance runs two independent DAG clusters (instances
+// 0 and 1) between the same pair of hosts over one listener each,
+// checking the instance demux keeps the token flows separate.
+func TestTCPHostMultiInstance(t *testing.T) {
+	tree := topology.Line(2)
+	hosts := make(map[mutex.ID]*TCPHost, 2)
+	addrs := make(map[mutex.ID]string, 2)
+	for _, id := range tree.IDs() {
+		h, err := NewTCPHost(id, DAGCodec{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer h.Close()
+		hosts[id] = h
+		addrs[id] = h.Addr()
+	}
+	// Instance 0: token starts at node 1; instance 1: at node 2.
+	handles := make(map[uint32]map[mutex.ID]*Handle)
+	for inst := uint32(0); inst < 2; inst++ {
+		handles[inst] = make(map[mutex.ID]*Handle)
+		cfg := dagConfig(tree, mutex.ID(inst+1))
+		for id, h := range hosts {
+			n, err := h.StartInstance(inst, core.Builder, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			handles[inst][id] = n.Handle()
+		}
+	}
+	for _, h := range hosts {
+		h.Connect(addrs)
+	}
+
+	var wg sync.WaitGroup
+	for inst := uint32(0); inst < 2; inst++ {
+		var inCS atomic.Int64
+		for _, id := range tree.IDs() {
+			h := handles[inst][id]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				defer cancel()
+				for i := 0; i < 10; i++ {
+					if err := h.Acquire(ctx); err != nil {
+						t.Errorf("node %d: %v", h.ID(), err)
+						return
+					}
+					if got := inCS.Add(1); got != 1 {
+						t.Errorf("instance mutual exclusion violated: %d in CS", got)
+					}
+					inCS.Add(-1)
+					if err := h.Release(); err != nil {
+						t.Errorf("node %d: %v", h.ID(), err)
+						return
+					}
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	for id, h := range hosts {
+		if err := h.Err(); err != nil {
+			t.Fatalf("host %d: %v", id, err)
+		}
+	}
+}
+
+// TestTCPHostBuffersFramesForUnregisteredInstance: traffic that arrives
+// before StartInstance is held and delivered in order once the instance
+// registers — the startup race of a multi-process deployment.
+func TestTCPHostBuffersFramesForUnregisteredInstance(t *testing.T) {
+	tree := topology.Line(2)
+	cfg := dagConfig(tree, 2) // token starts at node 2
+	h1, err := NewTCPHost(1, DAGCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h1.Close()
+	h2, err := NewTCPHost(2, DAGCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Close()
+	addrs := map[mutex.ID]string{1: h1.Addr(), 2: h2.Addr()}
+	h1.Connect(addrs)
+	h2.Connect(addrs)
+
+	n1, err := h1.StartInstance(0, core.Builder, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 1 requests the token; host 2 has no instance yet, so the
+	// REQUEST parks in the pending buffer.
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		done <- n1.Handle().Acquire(ctx)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	if _, err := h2.StartInstance(0, core.Builder, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("acquire across late-registered instance: %v", err)
+	}
+	if err := n1.Handle().Release(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h1.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h2.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPHostRejectsDuplicateInstance(t *testing.T) {
+	h, err := NewTCPHost(1, DAGCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	cfg := dagConfig(topology.Line(2), 1)
+	if _, err := h.StartInstance(3, core.Builder, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.StartInstance(3, core.Builder, cfg); err == nil {
+		t.Fatal("duplicate instance accepted")
+	}
+}
+
+// TestTCPClusterMutualExclusionViaCluster drives the TCPCluster
+// convenience wrapper the way tests and examples use it.
+func TestTCPClusterMutualExclusionViaCluster(t *testing.T) {
+	tree := topology.Star(4)
+	c, err := NewTCPCluster(core.Builder, dagConfig(tree, 1), DAGCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var inCS atomic.Int64
+	var wg sync.WaitGroup
+	for _, id := range tree.IDs() {
+		h := c.Handle(id)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			for i := 0; i < 5; i++ {
+				if err := h.Acquire(ctx); err != nil {
+					t.Errorf("node %d: %v", h.ID(), err)
+					return
+				}
+				if got := inCS.Add(1); got != 1 {
+					t.Errorf("mutual exclusion violated: %d in CS", got)
+				}
+				inCS.Add(-1)
+				if err := h.Release(); err != nil {
+					t.Errorf("node %d: %v", h.ID(), err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Messages() == 0 {
+		t.Fatal("no messages recorded")
+	}
+	if c.Handle(99) != nil {
+		t.Fatal("handle for unknown member must be nil")
 	}
 }
