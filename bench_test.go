@@ -262,7 +262,7 @@ func BenchmarkLiveClusterEntries(b *testing.B) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < per; i++ {
-				if err := h.Acquire(ctx); err != nil {
+				if _, err := h.Acquire(ctx); err != nil {
 					b.Errorf("acquire: %v", err)
 					return
 				}

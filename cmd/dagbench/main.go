@@ -36,32 +36,40 @@ import (
 	"dagmutex/internal/workload"
 )
 
-// lockOptions parameterizes the live lock-service benchmark.
+// lockOptions parameterizes the live lock-service benchmarks (the lock
+// throughput sweep and the lease-churn workload).
 type lockOptions struct {
-	shards     string
-	transports string
-	nodes      int
-	resources  int
-	workers    int
-	ops        int
-	skew       float64
-	hold       time.Duration
+	shards        string
+	transports    string
+	nodes         int
+	resources     int
+	workers       int
+	ops           int
+	skew          float64
+	hold          time.Duration
+	lease         time.Duration
+	overholdEvery int
+	churn         bool // set by the lease experiment: enable stuck-client overholding
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: 6.1, 6.2, 6.2-placement, 6.2-heavy, 6.3, 6.4, topo, load, all, or lock (live benchmark, not part of all)")
+	exp := flag.String("exp", "all",
+		"experiment(s) to run, comma-separated: 6.1, 6.2, 6.2-placement, 6.2-heavy, 6.3, 6.4, topo, load, all, "+
+			"or the live benchmarks lock and lease (not part of all)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	jsonOut := flag.Bool("json", false, "emit one JSON array of result tables (overrides -csv)")
 	seed := flag.Int64("seed", 1, "random seed for randomized scenarios")
 	var lo lockOptions
-	flag.StringVar(&lo.shards, "shards", "1,2,4,8", "lock: comma-separated shard counts to sweep")
-	flag.StringVar(&lo.transports, "transports", "local,tcp", "lock: comma-separated substrates to sweep (local, tcp)")
-	flag.IntVar(&lo.nodes, "nodes", 4, "lock: member nodes per shard cluster")
-	flag.IntVar(&lo.resources, "resources", 64, "lock: number of distinct resource keys")
-	flag.IntVar(&lo.workers, "workers", 32, "lock: concurrent closed-loop workers")
-	flag.IntVar(&lo.ops, "ops", 100, "lock: lock cycles per worker")
-	flag.Float64Var(&lo.skew, "skew", 1.1, "lock: Zipf skew of key popularity (<=1 means uniform)")
-	flag.DurationVar(&lo.hold, "hold", 200*time.Microsecond, "lock: critical-section hold time")
+	flag.StringVar(&lo.shards, "shards", "1,2,4,8", "lock/lease: comma-separated shard counts to sweep")
+	flag.StringVar(&lo.transports, "transports", "local,tcp", "lock/lease: comma-separated substrates to sweep (local, tcp)")
+	flag.IntVar(&lo.nodes, "nodes", 4, "lock/lease: member nodes per shard cluster")
+	flag.IntVar(&lo.resources, "resources", 64, "lock/lease: number of distinct resource keys")
+	flag.IntVar(&lo.workers, "workers", 32, "lock/lease: concurrent closed-loop workers")
+	flag.IntVar(&lo.ops, "ops", 100, "lock/lease: lock cycles per worker")
+	flag.Float64Var(&lo.skew, "skew", 1.1, "lock/lease: Zipf skew of key popularity (<=1 means uniform)")
+	flag.DurationVar(&lo.hold, "hold", 200*time.Microsecond, "lock/lease: critical-section hold time")
+	flag.DurationVar(&lo.lease, "lease", 0, "hold lease; 0 keeps the service default for lock and 40ms for lease")
+	flag.IntVar(&lo.overholdEvery, "overhold-every", 4, "lease: every Nth cycle overholds past the lease (stuck-client churn)")
 	flag.Parse()
 
 	if err := run(os.Stdout, *exp, *csv, *jsonOut, *seed, lo); err != nil {
@@ -97,47 +105,67 @@ func run(w io.Writer, exp string, csv, jsonOut bool, seed int64, lo lockOptions)
 		return err
 	}
 
-	if strings.EqualFold(exp, "lock") {
-		tbl, err := lockTable(lo, seed)
-		if err != nil {
-			return fmt.Errorf("experiment lock: %w", err)
-		}
-		emitOne(tbl)
-		return emitJSON()
-	}
-
 	type experiment struct {
-		key string
-		gen func() (*harness.Table, error)
+		key  string
+		live bool // live wall-clock benchmark, excluded from "all"
+		gen  func() (*harness.Table, error)
 	}
 	experiments := []experiment{
-		{"6.1", func() (*harness.Table, error) { return harness.UpperBound([]int{9, 16, 25}) }},
-		{"6.2", func() (*harness.Table, error) { return harness.AverageBound([]int{5, 10, 20, 50, 100, 200}) }},
-		{"6.2-placement", func() (*harness.Table, error) { return harness.TokenPlacement([]int{5, 10, 20, 50, 100}) }},
-		{"6.2-heavy", func() (*harness.Table, error) { return harness.HeavyDemand([]int{5, 10, 20, 40}) }},
-		{"6.3", harness.SyncDelay},
-		{"6.4", func() (*harness.Table, error) { return harness.Storage(25) }},
-		{"topo", func() (*harness.Table, error) { return harness.TopologySweep(13, seed) }},
-		{"load", func() (*harness.Table, error) {
+		{"6.1", false, func() (*harness.Table, error) { return harness.UpperBound([]int{9, 16, 25}) }},
+		{"6.2", false, func() (*harness.Table, error) { return harness.AverageBound([]int{5, 10, 20, 50, 100, 200}) }},
+		{"6.2-placement", false, func() (*harness.Table, error) { return harness.TokenPlacement([]int{5, 10, 20, 50, 100}) }},
+		{"6.2-heavy", false, func() (*harness.Table, error) { return harness.HeavyDemand([]int{5, 10, 20, 40}) }},
+		{"6.3", false, harness.SyncDelay},
+		{"6.4", false, func() (*harness.Table, error) { return harness.Storage(25) }},
+		{"topo", false, func() (*harness.Table, error) { return harness.TopologySweep(13, seed) }},
+		{"load", false, func() (*harness.Table, error) {
 			thinks := []sim.Time{0, sim.Hop, 5 * sim.Hop, 20 * sim.Hop, 100 * sim.Hop, 500 * sim.Hop}
 			return harness.LoadSweep(15, thinks, seed)
 		}},
+		{"lock", true, func() (*harness.Table, error) { return lockTable(lo, seed) }},
+		{"lease", true, func() (*harness.Table, error) { return leaseTable(lo, seed) }},
 	}
 
-	matched := false
+	// Validate the whole -exp list up front, so "6.2,bogus" fails with a
+	// clear one-line error instead of running half the list first.
+	keys := make([]string, 0, len(experiments)+1)
 	for _, e := range experiments {
-		if exp != "all" && !strings.EqualFold(exp, e.key) {
+		keys = append(keys, e.key)
+	}
+	keys = append(keys, "all")
+	valid := strings.Join(keys, ", ")
+	known := func(key string) bool {
+		for _, e := range experiments {
+			if strings.EqualFold(key, e.key) {
+				return true
+			}
+		}
+		return false
+	}
+	selected := map[string]bool{}
+	for _, part := range strings.Split(exp, ",") {
+		part = strings.ToLower(strings.TrimSpace(part))
+		if part == "" {
 			continue
 		}
-		matched = true
+		if part != "all" && !known(part) {
+			return fmt.Errorf("unknown experiment %q (want %s)", part, valid)
+		}
+		selected[part] = true
+	}
+	if len(selected) == 0 {
+		return fmt.Errorf("empty -exp list (want %s)", valid)
+	}
+
+	for _, e := range experiments {
+		if !selected[e.key] && !(selected["all"] && !e.live) {
+			continue
+		}
 		tbl, err := e.gen()
 		if err != nil {
 			return fmt.Errorf("experiment %s: %w", e.key, err)
 		}
 		emitOne(tbl)
-	}
-	if !matched {
-		return fmt.Errorf("unknown experiment %q (want 6.1, 6.2, 6.2-placement, 6.2-heavy, 6.3, 6.4, topo, load, lock, all)", exp)
 	}
 	return emitJSON()
 }
@@ -145,6 +173,8 @@ func run(w io.Writer, exp string, csv, jsonOut bool, seed int64, lo lockOptions)
 // lockResult is one benchmark point of the lock sweep.
 type lockResult struct {
 	grants   int64
+	forced   int64 // holds the sweeper force-released after lease expiry
+	late     int   // releases that observed ErrLeaseExpired (stuck clients)
 	messages int64
 	tput     float64
 	waitMean float64
@@ -212,10 +242,74 @@ func lockTable(lo lockOptions, seed int64) (*harness.Table, error) {
 	return tbl, nil
 }
 
+// leaseTable is the lease-churn benchmark: the same closed-loop Zipf
+// workload as the lock sweep, but with a short lease and a fraction of
+// deliberately stuck clients (every overhold-every'th cycle dwells twice
+// the lease). It reports how many holds the sweeper force-released, how
+// many late releases observed ErrLeaseExpired, and what the churn costs
+// in throughput — the deployability story the bare paper algorithm lacks
+// (one stuck client would otherwise wedge its shard forever).
+func leaseTable(lo lockOptions, seed int64) (*harness.Table, error) {
+	lo.churn = true
+	if lo.lease <= 0 {
+		lo.lease = 40 * time.Millisecond
+	}
+	if lo.overholdEvery <= 0 {
+		lo.overholdEvery = 4
+	}
+	counts, err := parseShardList(lo.shards)
+	if err != nil {
+		return nil, err
+	}
+	transports, err := parseTransportList(lo.transports)
+	if err != nil {
+		return nil, err
+	}
+	tbl := &harness.Table{
+		ID: "EXP-lease",
+		Title: fmt.Sprintf("lease churn: %d resources, lease %v, every %dth hold stuck at %v, %d workers x %d ops",
+			lo.resources, lo.lease, lo.overholdEvery, 2*lo.lease, lo.workers, lo.ops),
+		Columns: []string{"transport", "shards", "grants", "forced", "late-rel", "ops/sec"},
+		Notes: []string{
+			"forced: holds the per-shard sweeper released after their lease deadline passed",
+			"late-rel: releases that came back after expiry and observed ErrLeaseExpired",
+			"a stuck client costs its shard one lease interval, instead of wedging it forever",
+		},
+	}
+	for _, tr := range transports {
+		for _, m := range counts {
+			var res lockResult
+			var err error
+			switch tr {
+			case "local":
+				res, err = runLockLocal(lo, m, seed)
+			case "tcp":
+				res, err = runLockTCP(lo, m, seed)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("transport=%s shards=%d: %w", tr, m, err)
+			}
+			tbl.AddRow(
+				tr,
+				fmt.Sprintf("%d", m),
+				fmt.Sprintf("%d", res.grants),
+				fmt.Sprintf("%d", res.forced),
+				fmt.Sprintf("%d", res.late),
+				fmt.Sprintf("%.0f", res.tput),
+			)
+		}
+	}
+	return tbl, nil
+}
+
 // lockWorkload builds the sweep's shared workload over the given member
-// clients.
+// clients. Only the lease experiment churns (every overholdEvery-th
+// cycle overholds to twice the lease, so the sweeper's expiry path runs
+// under load); -lease with the plain lock sweep just configures the
+// service's lease without injecting stuck clients, keeping its
+// throughput numbers meaningful.
 func lockWorkload(lo lockOptions, seed int64, clients []workload.Locker) workload.MultiResource {
-	return workload.MultiResource{
+	w := workload.MultiResource{
 		Workers:   lo.workers,
 		Ops:       lo.ops,
 		Resources: lo.resources,
@@ -224,11 +318,27 @@ func lockWorkload(lo lockOptions, seed int64, clients []workload.Locker) workloa
 		Seed:      seed,
 		Clients:   clients,
 	}
+	if lo.churn && lo.lease > 0 && lo.overholdEvery > 0 {
+		w.OverholdEvery = lo.overholdEvery
+		w.Overhold = 2 * lo.lease
+	}
+	return w
+}
+
+// lockConfig derives the service configuration for one sweep point. A
+// negative -lease disables expiry (the paper's fail-free model), exactly
+// as lockservice.Config.Lease does; 0 keeps the service default.
+func lockConfig(lo lockOptions, shards int) lockservice.Config {
+	cfg := lockservice.Config{Shards: shards, Nodes: lo.nodes, Lease: lo.lease}
+	if lo.lease > 0 {
+		cfg.SweepInterval = lo.lease / 8
+	}
+	return cfg
 }
 
 // runLockLocal benchmarks one shard count on the in-process substrate.
 func runLockLocal(lo lockOptions, shards int, seed int64) (lockResult, error) {
-	svc, err := lockservice.New(lockservice.Config{Shards: shards, Nodes: lo.nodes})
+	svc, err := lockservice.New(lockConfig(lo, shards))
 	if err != nil {
 		return lockResult{}, err
 	}
@@ -253,6 +363,8 @@ func runLockLocal(lo lockOptions, shards int, seed int64) (lockResult, error) {
 	st := svc.Stats()
 	return lockResult{
 		grants:   st.Grants,
+		forced:   st.Expired,
+		late:     res.Expired,
 		messages: st.Messages,
 		tput:     res.Throughput(),
 		waitMean: st.Wait.Mean,
@@ -265,7 +377,7 @@ func runLockLocal(lo lockOptions, shards int, seed int64) (lockResult, error) {
 // would run), wired over loopback, with workers spread across members.
 func runLockTCP(lo lockOptions, shards int, seed int64) (lockResult, error) {
 	members := lo.nodes
-	services, err := lockservice.NewTCPCluster(lockservice.Config{Shards: shards}, members)
+	services, err := lockservice.NewTCPCluster(lockConfig(lo, shards), members)
 	if err != nil {
 		return lockResult{}, err
 	}
@@ -286,7 +398,7 @@ func runLockTCP(lo lockOptions, shards int, seed int64) (lockResult, error) {
 	if err != nil {
 		return lockResult{}, err
 	}
-	out := lockResult{tput: res.Throughput()}
+	out := lockResult{tput: res.Throughput(), late: res.Expired}
 	var weightedMean float64
 	for m, svc := range services {
 		if err := svc.Err(); err != nil {
@@ -294,6 +406,7 @@ func runLockTCP(lo lockOptions, shards int, seed int64) (lockResult, error) {
 		}
 		st := svc.Stats()
 		out.grants += st.Grants
+		out.forced += st.Expired
 		out.messages += st.Messages
 		if st.Grants > 0 && !math.IsNaN(st.Wait.Mean) {
 			weightedMean += st.Wait.Mean * float64(st.Grants)

@@ -218,3 +218,110 @@ func TestRunLockRejectsBadTransportList(t *testing.T) {
 		t.Fatal("empty transport list accepted")
 	}
 }
+
+// TestRunExpCommaList: a comma-separated -exp list runs every named
+// experiment, in registry order.
+func TestRunExpCommaList(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "6.3, 6.4", false, false, 1, tinyLock()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"EXP-6.3-delay", "EXP-6.4-storage"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunRejectsUnknownExpInList: one bad token fails the whole run with
+// a clear one-line error before anything executes.
+func TestRunRejectsUnknownExpInList(t *testing.T) {
+	var b strings.Builder
+	err := run(&b, "6.3,bogus", false, false, 1, tinyLock())
+	if err == nil {
+		t.Fatal("unknown experiment in list accepted")
+	}
+	if !strings.Contains(err.Error(), `"bogus"`) || !strings.Contains(err.Error(), "lease") {
+		t.Fatalf("error %q does not name the bad token and the valid set", err)
+	}
+	if strings.Contains(err.Error(), "\n") {
+		t.Fatalf("error spans multiple lines: %q", err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("output produced despite validation error:\n%s", b.String())
+	}
+}
+
+func TestRunRejectsEmptyExpList(t *testing.T) {
+	var b strings.Builder
+	for _, exp := range []string{"", " , "} {
+		if err := run(&b, exp, false, false, 1, tinyLock()); err == nil {
+			t.Fatalf("empty -exp %q accepted", exp)
+		}
+	}
+}
+
+// TestRunLeaseExperiment drives the lease-churn workload end to end:
+// overheld holds must actually be force-released, and the stuck clients
+// must observe their expiry on the late Release.
+func TestRunLeaseExperiment(t *testing.T) {
+	lo := tinyLock()
+	lo.transports = "local"
+	lo.workers = 4
+	lo.ops = 8
+	lo.shards = "1"
+	lo.lease = 30 * time.Millisecond
+	lo.overholdEvery = 2
+	var b strings.Builder
+	if err := run(&b, "lease", false, true, 1, lo); err != nil {
+		t.Fatal(err)
+	}
+	var tables []struct {
+		ID      string     `json:"id"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &tables); err != nil {
+		t.Fatalf("lease -json output invalid: %v\n%s", err, b.String())
+	}
+	if len(tables) != 1 || tables[0].ID != "EXP-lease" {
+		t.Fatalf("unexpected tables: %+v", tables)
+	}
+	forcedCol, lateCol := -1, -1
+	for i, c := range tables[0].Columns {
+		switch c {
+		case "forced":
+			forcedCol = i
+		case "late-rel":
+			lateCol = i
+		}
+	}
+	if forcedCol < 0 || lateCol < 0 {
+		t.Fatalf("lease table missing forced/late-rel columns: %v", tables[0].Columns)
+	}
+	row := tables[0].Rows[0]
+	if row[forcedCol] == "0" {
+		t.Fatalf("no holds were force-released under churn: %v", row)
+	}
+	if row[lateCol] == "0" {
+		t.Fatalf("no late release observed ErrLeaseExpired under churn: %v", row)
+	}
+}
+
+// TestLockSweepDoesNotChurnWithLease: -lease on the plain lock sweep
+// only configures the service's lease; stuck-client overholding is
+// exclusive to the lease experiment, so the throughput table stays
+// meaningful.
+func TestLockSweepDoesNotChurnWithLease(t *testing.T) {
+	lo := tinyLock()
+	lo.lease = time.Hour
+	lo.overholdEvery = 4
+	if w := lockWorkload(lo, 1, nil); w.OverholdEvery != 0 || w.Overhold != 0 {
+		t.Fatalf("lock sweep workload churns: %+v", w)
+	}
+	lo.churn = true
+	if w := lockWorkload(lo, 1, nil); w.OverholdEvery != 4 || w.Overhold != 2*time.Hour {
+		t.Fatalf("lease experiment workload does not churn: %+v", w)
+	}
+}

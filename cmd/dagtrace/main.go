@@ -53,7 +53,7 @@ func (e env) Send(to mutex.ID, m mutex.Message) {
 	e.r.pending = append(e.r.pending, flight{from: e.id, to: to, msg: m})
 }
 
-func (e env) Granted() {}
+func (e env) Granted(uint64) {}
 
 func newReplayer(w io.Writer, tree *topology.Tree, holder mutex.ID) (*replayer, error) {
 	r := &replayer{w: w, nodes: make(map[mutex.ID]*core.Node, tree.N())}

@@ -7,6 +7,7 @@ import (
 	"dagmutex/internal/core"
 	"dagmutex/internal/lockservice"
 	"dagmutex/internal/mutex"
+	"dagmutex/internal/runtime"
 	"dagmutex/internal/topology"
 	"dagmutex/internal/transport"
 )
@@ -77,8 +78,19 @@ type Cluster struct {
 	tree  *Tree
 }
 
-// Handle is the blocking application API over one node.
-type Handle = transport.Handle
+// Session is the blocking application API over one node: Acquire waits
+// for the critical section and returns the Grant (fencing generation plus
+// grant time), TryAcquire enters only when no messages are needed, and
+// Release leaves the section.
+type Session = transport.Session
+
+// Handle is Session's deprecated former name.
+type Handle = transport.Session
+
+// Grant is one critical-section entry: the fencing generation the
+// extended PRIVILEGE token carried (strictly monotonic across the
+// cluster) and the local wall-clock grant time.
+type Grant = runtime.Grant
 
 // NewCluster starts a live in-process cluster on tree with the token at
 // holder. Callers must Close it to stop its goroutines.
@@ -171,11 +183,26 @@ func (c *Cluster) awaitInitialized() error {
 
 // LockService is a sharded multi-resource lock manager over the DAG-token
 // core: M independent token DAGs (one per shard), with resource keys
-// mapped to shards by a stable hash. Acquire(ctx, resource) and
-// Release(resource) lock and unlock named resources; resources in
-// different shards are held fully concurrently. See internal/lockservice
-// for the design notes.
+// mapped to shards by a stable hash. Acquire(ctx, resource) returns a
+// LockHold carrying the resource's fencing token and lease deadline;
+// Release(resource) unlocks it. Resources in different shards are held
+// fully concurrently, every hold is bounded by the configured lease (the
+// service force-releases expired holds), and fencing tokens are strictly
+// monotonic per shard. See internal/lockservice for the design notes.
 type LockService = lockservice.Service
+
+// LockHold is one live grant of a resource: its fencing token (pass it to
+// downstream stores; reject writes fenced lower) and lease deadline.
+type LockHold = lockservice.Hold
+
+// Lock-hold lifecycle errors.
+var (
+	// ErrNotHeld reports a Release of a resource the member does not hold.
+	ErrNotHeld = lockservice.ErrNotHeld
+	// ErrLeaseExpired reports a Release that arrived after the hold's
+	// lease ran out and the service already reclaimed the resource.
+	ErrLeaseExpired = lockservice.ErrLeaseExpired
+)
 
 // LockServiceConfig sizes a LockService: shard count, member nodes per
 // shard, and the per-shard tree topology.

@@ -35,7 +35,7 @@ func TestClusterLifecycle(t *testing.T) {
 			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 			defer cancel()
 			for i := 0; i < 5; i++ {
-				if err := h.Acquire(ctx); err != nil {
+				if _, err := h.Acquire(ctx); err != nil {
 					t.Errorf("acquire %d: %v", h.ID(), err)
 					return
 				}
@@ -149,7 +149,7 @@ func TestTCPPeerSmoke(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	for _, p := range peers {
-		if err := p.Acquire(ctx); err != nil {
+		if _, err := p.Acquire(ctx); err != nil {
 			t.Fatalf("node %d acquire: %v", p.ID(), err)
 		}
 		if err := p.Release(); err != nil {
@@ -183,7 +183,7 @@ func TestClusterWithINITServesWorkload(t *testing.T) {
 			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 			defer cancel()
 			for i := 0; i < 3; i++ {
-				if err := h.Acquire(ctx); err != nil {
+				if _, err := h.Acquire(ctx); err != nil {
 					t.Errorf("acquire %d: %v", h.ID(), err)
 					return
 				}

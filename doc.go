@@ -11,8 +11,10 @@
 // NEXT pointers, reversing every edge it crosses; the requester becomes
 // the new sink. Each sink remembers at most one successor in FOLLOW, so
 // the global waiting queue exists only implicitly, distributed across the
-// FOLLOW chain. The token (PRIVILEGE) carries no data, and each node
-// keeps exactly three variables: HOLDING, NEXT and FOLLOW.
+// FOLLOW chain. The thesis's token (PRIVILEGE) carries no data and each
+// node keeps exactly three variables — HOLDING, NEXT and FOLLOW; this
+// implementation adds one integer to each: the fencing generation the
+// token transports and the node remembers (see below).
 //
 // On the best topology — a star — any entry to the critical section costs
 // at most three messages (like a centralized lock server) with a
@@ -24,7 +26,7 @@
 // the baseline algorithms) are pure event-driven code that never blocks;
 // one shared actor runtime (internal/runtime) runs each node — consuming
 // its envelopes one at a time under a per-node lock, signaling grants,
-// capturing the cluster's first error, and exposing the blocking Handle
+// capturing the cluster's first error, and exposing the blocking Session
 // API — over a small Link interface; two link layers implement that
 // interface, in-process mailboxes (transport.Local, used by NewCluster)
 // and framed TCP sockets with batched writes (transport.TCPHost, used by
@@ -32,9 +34,40 @@
 // its per-shard clusters over either substrate through a Transport
 // abstraction. Because the runtime is shared, application behavior —
 // including fail-fast Acquire errors and the timed-out-Acquire recovery
-// path via Handle.Granted — is identical in process and over the
+// path via Session.Granted — is identical in process and over the
 // network; pick Local for single-binary embedding, tests and
 // benchmarks, and TCP when members are separate processes or machines.
+//
+// # Fencing tokens and leases
+//
+// The thesis's PRIVILEGE message carries no data — correct under its
+// fail-free model, but a production lock service needs two more things:
+// a way for downstream systems to reject a superseded holder, and a
+// bound on how long one holder can wedge everyone else. The token
+// therefore carries a generation number, incremented on every grant, so
+// generations are strictly monotonic across the whole cluster (the
+// token serializes all grants; the counter rides along for free, over
+// both link layers). Session.Acquire returns it as Grant.Generation,
+// and the lock service exposes it per resource as LockHold.Fence:
+//
+//	hold, err := svc.Acquire(ctx, "account:alice")
+//	if err != nil { ... }
+//	defer svc.Release("account:alice")
+//	// Pass the fence to every store touched under the lock; the store
+//	// keeps the highest fence it has seen and refuses anything lower,
+//	// so a paused-then-resumed holder cannot clobber its successor.
+//	if err := store.Write(hold.Fence, value); err != nil { ... }
+//
+// Every hold is also a lease: LockServiceConfig.Lease (default 30s)
+// bounds it, a per-shard sweeper forcibly releases holds that outlive
+// their deadline, and the late Release observes ErrLeaseExpired — the
+// signal to abandon, not commit, work done since the deadline.
+// ReleaseHold releases an exact hold by its fence, the precise path for
+// lease-aware code; a Release of something never held returns
+// ErrNotHeld. The same sweeper recovers slots abandoned by timed-out
+// Acquires, so one stuck or vanished client costs its shard one lease
+// interval instead of wedging it forever. See examples/leases for the
+// full pattern.
 //
 // # Using the library
 //
@@ -45,10 +78,11 @@
 //	if err != nil { ... }
 //	defer cluster.Close()
 //
-//	h := cluster.Handle(3)
-//	if err := h.Acquire(ctx); err != nil { ... }
-//	// ... critical section ...
-//	if err := h.Release(); err != nil { ... }
+//	s := cluster.Handle(3) // a *Session
+//	grant, err := s.Acquire(ctx)
+//	if err != nil { ... }
+//	// ... critical section, fenced by grant.Generation ...
+//	if err := s.Release(); err != nil { ... }
 //
 // For nodes communicating over real TCP sockets, see NewTCPPeer. For the
 // deterministic simulator used by the experiments, see the Simulate
@@ -65,8 +99,9 @@
 //	if err != nil { ... }
 //	defer svc.Close()
 //
-//	if err := svc.Acquire(ctx, "account:alice"); err != nil { ... }
-//	// ... critical section for account:alice ...
+//	hold, err := svc.Acquire(ctx, "account:alice")
+//	if err != nil { ... }
+//	// ... critical section for account:alice, fenced by hold.Fence ...
 //	if err := svc.Release("account:alice"); err != nil { ... }
 //
 // Members lock through per-node clients (svc.On(id)), and svc.Stats()
@@ -83,8 +118,12 @@
 // cancelled: when Acquire fails on its context, the service recovers in
 // the background (the token is released when it eventually arrives), but
 // that member's slot on the resource's shard stays busy until then. And a
-// goroutine holding one resource must not acquire a second through the
+// goroutine holding one resource should not acquire a second through the
 // same member node if the two keys may share a shard — the nested Acquire
-// would wait on the slot its caller already holds. Release first, or
-// acquire through different member nodes.
+// waits on the slot its caller already holds. With leases enabled (the
+// default) this self-deadlock is bounded, not permanent: the outer
+// hold's lease expires, the service reclaims the slot, and the nested
+// Acquire proceeds — but the outer hold is then invalid (its Release
+// reports ErrLeaseExpired), so it is still a bug, just a recoverable
+// one. Release first, or acquire through different member nodes.
 package dagmutex

@@ -1,0 +1,130 @@
+// Command leases demonstrates the lock service's two hardening layers
+// over the DAG-token core: fencing tokens and lease-based auto-release.
+//
+// A "database" accepts writes only when they carry a fence at least as
+// high as the highest it has seen — the standard defense against a
+// paused-then-resumed lock holder. Worker A locks a resource and stalls
+// past its lease; the service reclaims the hold, worker B locks the same
+// resource under a strictly higher fence and writes; when A wakes up its
+// Release reports ErrLeaseExpired and its stale-fenced write is refused.
+//
+// Run it:
+//
+//	go run ./examples/leases
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"dagmutex"
+)
+
+// fencedStore is the downstream system: it refuses writes whose fence is
+// below the highest already applied, exactly how a store should consume
+// the Hold.Fence the service returns.
+type fencedStore struct {
+	mu       sync.Mutex
+	value    string
+	maxFence uint64
+}
+
+func (s *fencedStore) Write(fence uint64, value string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if fence < s.maxFence {
+		return fmt.Errorf("store: write fenced at %d rejected (already saw %d)", fence, s.maxFence)
+	}
+	s.maxFence = fence
+	s.value = value
+	return nil
+}
+
+func main() {
+	if err := demo(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func demo() error {
+	const resource = "inventory:widget-42"
+	svc, err := dagmutex.NewLockService(dagmutex.LockServiceConfig{
+		Shards: 4,
+		Nodes:  2,
+		Lease:  200 * time.Millisecond, // short, so the demo is quick
+	})
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+
+	store := &fencedStore{}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	workerA, err := svc.On(1)
+	if err != nil {
+		return err
+	}
+	workerB, err := svc.On(2)
+	if err != nil {
+		return err
+	}
+
+	// Worker A takes the lock... and stalls (a GC pause, a network blip,
+	// a crashed goroutine — from the service's view, all the same).
+	holdA, err := workerA.Acquire(ctx, resource)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("A holds %q  fence=%d  lease until %s\n",
+		holdA.Resource, holdA.Fence, holdA.Expires.Format("15:04:05.000"))
+	fmt.Println("A stalls past its lease...")
+
+	// Worker B wants the same resource. Without leases this would block
+	// forever; with them, the shard sweeper reclaims A's hold at the
+	// deadline and B proceeds.
+	start := time.Now()
+	holdB, err := workerB.Acquire(ctx, resource)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("B acquired %q after %v  fence=%d (> A's %d)\n",
+		resource, time.Since(start).Round(time.Millisecond), holdB.Fence, holdA.Fence)
+	if holdB.Fence <= holdA.Fence {
+		return fmt.Errorf("fencing violated: B's fence %d not above A's %d", holdB.Fence, holdA.Fence)
+	}
+
+	// B writes under its (current) fence.
+	if err := store.Write(holdB.Fence, "owned by B"); err != nil {
+		return err
+	}
+	fmt.Printf("store accepted B's write under fence %d\n", holdB.Fence)
+	if err := workerB.Release(resource); err != nil {
+		return err
+	}
+
+	// A wakes up. Its release is told the lease ran out...
+	if err := workerA.Release(resource); errors.Is(err, dagmutex.ErrLeaseExpired) {
+		fmt.Printf("A's late release: %v\n", err)
+	} else {
+		return fmt.Errorf("late release = %v, want ErrLeaseExpired", err)
+	}
+	// ...and its stale-fenced write bounces off the store.
+	if err := store.Write(holdA.Fence, "owned by A"); err != nil {
+		fmt.Printf("A's stale write:  %v\n", err)
+	} else {
+		return errors.New("store accepted a stale-fenced write")
+	}
+
+	fmt.Printf("store value: %q (fence %d) — exactly one winner, despite the stuck holder\n",
+		store.value, store.maxFence)
+
+	st := svc.Stats()
+	fmt.Printf("service: %d grants, %d lease expirations\n", st.Grants, st.Expired)
+	return svc.Err()
+}

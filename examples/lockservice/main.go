@@ -55,7 +55,7 @@ func run() error {
 			for i := 0; i < transfers; i++ {
 				acct := rng.Intn(accounts)
 				key := fmt.Sprintf("account:%d", acct)
-				if err := client.Acquire(ctx, key); err != nil {
+				if _, err := client.Acquire(ctx, key); err != nil {
 					log.Printf("node %d: %v", client.ID(), err)
 					return
 				}

@@ -178,7 +178,7 @@ func drive(svc *dagmutex.LockService, member, ops int) error {
 		if i%2 == 1 {
 			key = fmt.Sprintf("hot:%d", i%3) // contended across members
 		}
-		if err := svc.Acquire(ctx, key); err != nil {
+		if _, err := svc.Acquire(ctx, key); err != nil {
 			return err
 		}
 		// Critical section: the named resource is exclusively held

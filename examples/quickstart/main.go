@@ -43,7 +43,7 @@ func run() error {
 			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 			defer cancel()
 			for i := 0; i < 10; i++ {
-				if err := h.Acquire(ctx); err != nil {
+				if _, err := h.Acquire(ctx); err != nil {
 					log.Printf("node %d: %v", h.ID(), err)
 					return
 				}

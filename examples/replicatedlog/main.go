@@ -67,7 +67,7 @@ func run(n, appends int) error {
 			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 			defer cancel()
 			for i := 0; i < appends; i++ {
-				if err := h.Acquire(ctx); err != nil {
+				if _, err := h.Acquire(ctx); err != nil {
 					log.Printf("node %d: %v", h.ID(), err)
 					return
 				}

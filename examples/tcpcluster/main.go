@@ -66,7 +66,7 @@ func run(n, entries int) error {
 			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 			defer cancel()
 			for i := 0; i < entries; i++ {
-				if err := p.Acquire(ctx); err != nil {
+				if _, err := p.Acquire(ctx); err != nil {
 					log.Printf("node %d: %v", p.ID(), err)
 					return
 				}

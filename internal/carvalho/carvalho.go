@@ -178,7 +178,7 @@ func (n *Node) Deliver(from mutex.ID, m mutex.Message) error {
 func (n *Node) enter() {
 	n.requesting = false
 	n.inCS = true
-	n.env.Granted()
+	n.env.Granted(0)
 }
 
 // Storage implements mutex.Node: the N−1 entry permission vector is the

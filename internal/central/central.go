@@ -138,7 +138,7 @@ func (n *Node) Deliver(from mutex.ID, m mutex.Message) error {
 		}
 		n.requesting = false
 		n.inCS = true
-		n.env.Granted()
+		n.env.Granted(0)
 		return nil
 	default:
 		return fmt.Errorf("%w: %T", mutex.ErrUnexpectedMessage, m)
@@ -170,7 +170,7 @@ func (n *Node) grantTo(who mutex.ID) {
 	if who == n.id {
 		n.requesting = false
 		n.inCS = true
-		n.env.Granted()
+		n.env.Granted(0)
 		return
 	}
 	n.env.Send(who, grant{})

@@ -32,6 +32,10 @@ type Grant struct {
 	// first. Synchronization delay = GrantAt - PrevExitAt when the request
 	// was already waiting (ReqAt < PrevExitAt).
 	PrevExitAt sim.Time
+	// Generation is the grant's fencing token, or 0 for protocols that
+	// provide none. When non-zero it is strictly increasing in grant order
+	// (the cluster fails the run otherwise).
+	Generation uint64
 }
 
 // Waited reports whether the request was already pending when the previous
@@ -92,6 +96,7 @@ type Cluster struct {
 	outstanding map[mutex.ID]sim.Time
 	grants      []Grant
 	lastExit    sim.Time
+	lastGen     uint64 // highest fencing generation granted so far
 	failure     error
 
 	maxStorage map[mutex.ID]mutex.Storage
@@ -143,7 +148,7 @@ type env struct {
 }
 
 func (e env) Send(to mutex.ID, m mutex.Message) { e.c.net.Send(e.id, to, m) }
-func (e env) Granted()                          { e.c.granted(e.id) }
+func (e env) Granted(gen uint64)                { e.c.granted(e.id, gen) }
 
 // New builds one node per cfg.IDs entry using b and wires them together.
 func New(b mutex.Builder, cfg mutex.Config, opts ...Option) (*Cluster, error) {
@@ -229,7 +234,7 @@ func (c *Cluster) requestNow(id mutex.ID) {
 	}
 }
 
-func (c *Cluster) granted(id mutex.ID) {
+func (c *Cluster) granted(id mutex.ID, gen uint64) {
 	reqAt, ok := c.outstanding[id]
 	if !ok {
 		c.fail(fmt.Errorf("node %d granted without an outstanding request", id))
@@ -240,6 +245,18 @@ func (c *Cluster) granted(id mutex.ID) {
 		c.fail(&MutualExclusionError{Holder: c.curHolder, Intruder: id, At: c.sched.Now()})
 		return
 	}
+	if gen > 0 {
+		// Fencing generations, when a protocol provides them, must be
+		// strictly monotonic across the whole run: grants are totally
+		// ordered by mutual exclusion, so a repeated or decreasing token
+		// number would defeat the point of fencing.
+		if gen <= c.lastGen {
+			c.fail(fmt.Errorf("node %d granted fencing generation %d, not above previous %d",
+				id, gen, c.lastGen))
+			return
+		}
+		c.lastGen = gen
+	}
 	g := Grant{
 		Seq:        len(c.grants),
 		Node:       id,
@@ -247,6 +264,7 @@ func (c *Cluster) granted(id mutex.ID) {
 		GrantAt:    c.sched.Now(),
 		ExitAt:     -1,
 		PrevExitAt: c.lastExit,
+		Generation: gen,
 	}
 	c.curHolder = id
 	c.curGrant = g.Seq

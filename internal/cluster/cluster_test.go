@@ -172,7 +172,7 @@ type alwaysYes struct {
 func (a *alwaysYes) ID() mutex.ID { return a.id }
 func (a *alwaysYes) Request() error {
 	a.inCS = true
-	a.env.Granted()
+	a.env.Granted(0)
 	return nil
 }
 func (a *alwaysYes) Release() error {
@@ -252,8 +252,8 @@ func TestMaxStorageSampling(t *testing.T) {
 		t.Fatalf("storage samples for %d nodes, want 5", len(ms))
 	}
 	for id, s := range ms {
-		if s.Scalars != 3 {
-			t.Fatalf("node %d max scalars = %d, want 3", id, s.Scalars)
+		if s.Scalars != 4 {
+			t.Fatalf("node %d max scalars = %d, want 4 (HOLDING, NEXT, FOLLOW + generation)", id, s.Scalars)
 		}
 	}
 }

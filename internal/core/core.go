@@ -12,8 +12,10 @@
 // reversing every edge they cross; the requester becomes the new sink. A
 // sink stores at most one pending successor in FOLLOW, so the system-wide
 // waiting queue exists only implicitly, as the FOLLOW chain rooted at the
-// token holder (see ImplicitQueue). The PRIVILEGE message — the token —
-// carries no data at all.
+// token holder (see ImplicitQueue). The thesis's PRIVILEGE message — the
+// token — carries no data at all; this implementation extends it with a
+// fencing generation, one integer incremented on every grant (see
+// Privilege).
 //
 // The implementation follows Figure 3 of the thesis (procedures P1 and P2)
 // exactly, restated as an event-driven state machine so that it runs on
@@ -44,14 +46,28 @@ func (Request) Kind() string { return "REQUEST" }
 // Size implements mutex.Message: two integers, per thesis §6.4.
 func (Request) Size() int { return 2 * mutex.IntSize }
 
-// Privilege is the token. It carries no data structure (thesis §6.4).
-type Privilege struct{}
+// Privilege is the token. The thesis's PRIVILEGE carries no data at all
+// (§6.4); this implementation extends it with one integer, the fencing
+// generation, so every grant can hand the application a token number that
+// is strictly monotonic across the whole cluster. Generation counts the
+// grants issued under the token so far; the receiver's own grant is
+// Generation+1. Because the token serializes all grants, the counter
+// needs no coordination beyond riding along with the token itself — the
+// hardening step the token-algorithm surveys identify as what separates
+// the paper algorithm from a deployable lock service.
+type Privilege struct {
+	Generation uint64
+}
 
 // Kind implements mutex.Message.
 func (Privilege) Kind() string { return "PRIVILEGE" }
 
-// Size implements mutex.Message: the token is empty.
-func (Privilege) Size() int { return 0 }
+// Size implements mutex.Message: one 8-byte generation counter (the
+// thesis's token is empty; the fencing extension costs one integer).
+func (Privilege) Size() int { return GenSize }
+
+// GenSize is the wire size, in bytes, of the fencing generation counter.
+const GenSize = 8
 
 // State names the six node states of the thesis's Figure 4.
 type State uint8
@@ -138,6 +154,11 @@ type Snapshot struct {
 	Follow     mutex.ID
 	Requesting bool
 	InCS       bool
+	// Generation is the fencing counter as last seen at this node: the
+	// number of grants issued under the token's whole history. It is
+	// meaningful only while the node has the token (elsewhere it is the
+	// stale value from the node's last possession).
+	Generation uint64
 }
 
 // State classifies the snapshot into one of Figure 4's six states.
@@ -172,6 +193,7 @@ type Node struct {
 	follow     mutex.ID
 	requesting bool
 	inCS       bool
+	gen        uint64 // fencing counter; travels with the token (see Privilege)
 
 	// Figure 5 INIT support (see init.go). Nodes built with New are
 	// initialized statically and never touch these fields.
@@ -244,6 +266,7 @@ func (n *Node) Snapshot() Snapshot {
 		Follow:     n.follow,
 		Requesting: n.requesting,
 		InCS:       n.inCS,
+		Generation: n.gen,
 	}
 }
 
@@ -265,7 +288,7 @@ func (n *Node) Request() error {
 		n.holding = false
 		n.inCS = true
 		n.transition(TransEnterHolding)
-		n.env.Granted()
+		n.grant()
 		return nil
 	}
 	n.requesting = true
@@ -273,6 +296,36 @@ func (n *Node) Request() error {
 	n.next = mutex.Nil
 	n.transition(TransRequest)
 	return nil
+}
+
+// TryRequest implements mutex.TryRequester: an idle holder enters its
+// critical section immediately (transition 6, exactly as Request would);
+// any other node reports false without sending a REQUEST, since an issued
+// request cannot be cancelled under the paper's model.
+func (n *Node) TryRequest() (bool, error) {
+	if n.uninitialized {
+		return false, fmt.Errorf("%w: node %d not initialized (run Figure 5 INIT first)", mutex.ErrBadConfig, n.id)
+	}
+	if n.requesting || n.inCS {
+		return false, mutex.ErrOutstanding
+	}
+	if !n.holding {
+		return false, nil
+	}
+	n.holding = false
+	n.inCS = true
+	n.transition(TransEnterHolding)
+	n.grant()
+	return true, nil
+}
+
+// grant issues the next fencing generation and reports the grant. Every
+// critical-section entry goes through here, so generations are strictly
+// monotonic across the cluster: the counter travels with the token and
+// the token serializes all grants.
+func (n *Node) grant() {
+	n.gen++
+	n.env.Granted(n.gen)
 }
 
 // Release implements procedure P1's exit half (Figure 3). If a successor
@@ -286,7 +339,7 @@ func (n *Node) Release() error {
 	if n.follow != mutex.Nil {
 		to := n.follow
 		n.follow = mutex.Nil
-		n.env.Send(to, Privilege{})
+		n.env.Send(to, Privilege{Generation: n.gen})
 		n.transition(TransPassToken)
 		return nil
 	}
@@ -309,7 +362,7 @@ func (n *Node) Deliver(from mutex.ID, m mutex.Message) error {
 	case Request:
 		return n.deliverRequest(from, msg)
 	case Privilege:
-		return n.deliverPrivilege()
+		return n.deliverPrivilege(msg)
 	default:
 		return fmt.Errorf("%w: node %d got %T from %d", mutex.ErrUnexpectedMessage, n.id, m, from)
 	}
@@ -329,7 +382,7 @@ func (n *Node) deliverRequest(from mutex.ID, msg Request) error {
 	}
 	if n.next == mutex.Nil { // sink
 		if n.holding {
-			n.env.Send(msg.Origin, Privilege{})
+			n.env.Send(msg.Origin, Privilege{Generation: n.gen})
 			n.holding = false
 			n.next = msg.From
 			n.transition(TransGrantFromHolding)
@@ -356,7 +409,7 @@ func (n *Node) deliverRequest(from mutex.ID, msg Request) error {
 
 // deliverPrivilege is the "wait until PRIVILEGE message is received" point
 // of P1: the pending request is granted and the node enters its CS.
-func (n *Node) deliverPrivilege() error {
+func (n *Node) deliverPrivilege(msg Privilege) error {
 	if !n.requesting {
 		return fmt.Errorf("%w: node %d received PRIVILEGE without requesting", mutex.ErrUnexpectedMessage, n.id)
 	}
@@ -364,19 +417,27 @@ func (n *Node) deliverPrivilege() error {
 		return fmt.Errorf("%w: node %d received PRIVILEGE while already holding the token",
 			mutex.ErrUnexpectedMessage, n.id)
 	}
+	if msg.Generation < n.gen {
+		// The token's counter can only grow; going backwards means a stale
+		// or duplicated token, which the paper's fail-free model excludes.
+		return fmt.Errorf("%w: node %d received PRIVILEGE generation %d below local %d",
+			mutex.ErrUnexpectedMessage, n.id, msg.Generation, n.gen)
+	}
+	n.gen = msg.Generation
 	n.requesting = false
 	n.inCS = true
 	n.transition(TransReceiveToken)
-	n.env.Granted()
+	n.grant()
 	return nil
 }
 
-// Storage implements mutex.Node: exactly three scalar control variables
-// (thesis §6.4), independent of N and of load.
+// Storage implements mutex.Node: the thesis's three scalar control
+// variables (§6.4) plus the fencing-generation extension — still constant,
+// independent of N and of load.
 func (n *Node) Storage() mutex.Storage {
 	return mutex.Storage{
-		Scalars: 3, // HOLDING, NEXT, FOLLOW
-		Bytes:   1 + 2*mutex.IntSize,
+		Scalars: 4, // HOLDING, NEXT, FOLLOW + fencing generation
+		Bytes:   1 + 2*mutex.IntSize + GenSize,
 	}
 }
 

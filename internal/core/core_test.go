@@ -110,25 +110,27 @@ func TestIdleHolderGrantsRemoteRequestImmediately(t *testing.T) {
 }
 
 func TestMessageSizesMatchThesisSection64(t *testing.T) {
-	// §6.4: a REQUEST carries two integers; a PRIVILEGE carries nothing.
+	// §6.4: a REQUEST carries two integers. The thesis's PRIVILEGE carries
+	// nothing; ours carries exactly the 8-byte fencing generation.
 	if got := (Request{}).Size(); got != 2*mutex.IntSize {
 		t.Fatalf("REQUEST size = %d, want %d", got, 2*mutex.IntSize)
 	}
-	if got := (Privilege{}).Size(); got != 0 {
-		t.Fatalf("PRIVILEGE size = %d, want 0", got)
+	if got := (Privilege{}).Size(); got != GenSize {
+		t.Fatalf("PRIVILEGE size = %d, want %d (the fencing generation)", got, GenSize)
 	}
 }
 
-func TestStorageIsThreeScalarsAlways(t *testing.T) {
+func TestStorageIsConstantScalarsAlways(t *testing.T) {
 	// §6.4: each node maintains three simple variables, regardless of
-	// cluster size or load.
+	// cluster size or load; the fencing extension adds exactly one more,
+	// still constant in N and load.
 	w := newWorld(t, topology.Star(50), 1)
 	w.request(7)
 	w.drain()
 	for id, n := range w.nodes {
 		s := n.Storage()
-		if s.Scalars != 3 || s.ArrayEntries != 0 || s.QueueEntries != 0 {
-			t.Fatalf("node %d storage = %+v, want 3 scalars only", id, s)
+		if s.Scalars != 4 || s.ArrayEntries != 0 || s.QueueEntries != 0 {
+			t.Fatalf("node %d storage = %+v, want 4 scalars only", id, s)
 		}
 	}
 }

@@ -167,4 +167,4 @@ func TestUninitializedRejectsBadConfig(t *testing.T) {
 type nopEnv struct{}
 
 func (nopEnv) Send(mutex.ID, mutex.Message) {}
-func (nopEnv) Granted()                     {}
+func (nopEnv) Granted(uint64)               {}

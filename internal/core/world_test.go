@@ -9,16 +9,20 @@ import (
 
 // recEnv records everything a node asks of its environment.
 type recEnv struct {
-	world *world
-	id    mutex.ID
-	grant int
+	world   *world
+	id      mutex.ID
+	grant   int
+	lastGen uint64 // generation of the most recent grant
 }
 
 func (e *recEnv) Send(to mutex.ID, m mutex.Message) {
 	e.world.pending = append(e.world.pending, flight{from: e.id, to: to, msg: m})
 }
 
-func (e *recEnv) Granted() { e.grant++ }
+func (e *recEnv) Granted(gen uint64) {
+	e.grant++
+	e.lastGen = gen
+}
 
 type flight struct {
 	from, to mutex.ID

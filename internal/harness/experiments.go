@@ -387,7 +387,7 @@ func Storage(n int) (*Table, error) {
 		Columns: []string{"algorithm", "scalars", "array entries", "queue entries",
 			"bytes/node", "largest msg (B)"},
 		Notes: []string{
-			"dag: three scalars per node, 8-byte REQUEST, empty PRIVILEGE — independent of N and load",
+			"dag: four scalars per node (the thesis's three + the fencing generation), 8-byte REQUEST and PRIVILEGE — independent of N and load",
 			"array/queue entries are the per-node maxima observed at any grant or release",
 		},
 	}

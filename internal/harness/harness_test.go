@@ -164,8 +164,8 @@ func TestStorageTableShowsDAGConstant(t *testing.T) {
 	if dagRow == nil || skRow == nil {
 		t.Fatalf("missing rows:\n%s", tbl.Format())
 	}
-	if dagRow[1] != "3" || dagRow[2] != "0" || dagRow[3] != "0" {
-		t.Fatalf("dag row %v, want 3 scalars and nothing else", dagRow)
+	if dagRow[1] != "4" || dagRow[2] != "0" || dagRow[3] != "0" {
+		t.Fatalf("dag row %v, want 4 scalars (thesis's 3 + fencing generation) and nothing else", dagRow)
 	}
 	if dagRow[5] != "8" {
 		t.Fatalf("dag largest message = %s bytes, want 8 (two integers)", dagRow[5])

@@ -194,7 +194,7 @@ func (n *Node) tryEnter() {
 	}
 	n.requesting = false
 	n.inCS = true
-	n.env.Granted()
+	n.env.Granted(0)
 }
 
 // Storage implements mutex.Node: the replicated queue (up to N entries)

@@ -132,7 +132,7 @@ func TestProtocolErrors(t *testing.T) {
 type nopEnv struct{}
 
 func (nopEnv) Send(mutex.ID, mutex.Message) {}
-func (nopEnv) Granted()                     {}
+func (nopEnv) Granted(uint64)               {}
 
 type bogus struct{}
 

@@ -21,6 +21,17 @@
 // hosts this process's member of every shard behind one TCP listener, so
 // a set of processes (one Service each, same Config, distinct members)
 // forms one distributed lock service.
+//
+// Two hardening layers separate the service from the bare paper
+// algorithm. Every Acquire returns a Hold carrying a fencing token — the
+// generation number the extended PRIVILEGE message transports, strictly
+// monotonic per shard — which callers pass to downstream stores so writes
+// from a superseded holder can be rejected. And every hold is a lease: it
+// carries a deadline, a per-shard sweeper forcibly releases holds that
+// outlive it (so one stuck client cannot wedge a shard forever), and a
+// late Release of an expired hold is rejected with ErrLeaseExpired. The
+// same sweeper recovers slots abandoned by timed-out Acquires, replacing
+// the previous per-abandon reaper goroutine with one unified path.
 package lockservice
 
 import (
@@ -40,6 +51,44 @@ import (
 	"dagmutex/internal/topology"
 )
 
+// Sentinel errors for the hold lifecycle.
+var (
+	// ErrNotHeld reports a Release of a resource the member node does not
+	// currently hold through that slot (never acquired, already released,
+	// or the slot holds a different resource).
+	ErrNotHeld = errors.New("lockservice: resource not held")
+	// ErrLeaseExpired reports a Release that arrived after the hold's
+	// lease deadline passed and the sweeper force-released it. The caller
+	// no longer owns the resource — another member may hold it under a
+	// higher fencing token — so any work done since the deadline must not
+	// be committed.
+	ErrLeaseExpired = errors.New("lockservice: lease expired")
+)
+
+// DefaultLease is the hold deadline applied when Config.Lease is zero.
+const DefaultLease = 30 * time.Second
+
+// Hold is one live grant of a resource: the fencing token to pass to
+// downstream systems and the lease deadline after which the service
+// reclaims the resource.
+type Hold struct {
+	// Resource is the locked resource name.
+	Resource string
+	// Shard is the shard the resource hashes to.
+	Shard int
+	// Node is the member node the resource is held through.
+	Node mutex.ID
+	// Fence is the fencing token: the grant's generation number, strictly
+	// monotonic across all grants of the shard's token (over Local and TCP
+	// alike). Hand it to every downstream store touched under the lock and
+	// have the store reject writes fenced with a lower number.
+	Fence uint64
+	// Expires is the lease deadline; past it the service force-releases
+	// the hold and a late Release returns ErrLeaseExpired. Zero when the
+	// service runs with leases disabled (Config.Lease < 0).
+	Expires time.Time
+}
+
 // Config sizes the service.
 type Config struct {
 	// Shards is the number of independent DAG-token instances. More shards
@@ -57,6 +106,15 @@ type Config struct {
 	// pass a TCPTransport instead; the service takes ownership and closes
 	// it on Close.
 	Transport Transport
+	// Lease bounds how long one Acquire may hold a resource before the
+	// per-shard sweeper forcibly releases it. 0 means DefaultLease; a
+	// negative value disables expiry (holds last until Release, as in the
+	// paper's fail-free model).
+	Lease time.Duration
+	// SweepInterval is how often each shard's sweeper checks for expired
+	// leases and abandoned grants. 0 derives it from the lease (a quarter
+	// of it, clamped to [1ms, 1s]).
+	SweepInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -72,6 +130,21 @@ func (c Config) withDefaults() Config {
 	if c.Transport == nil {
 		c.Transport = LocalTransport{}
 	}
+	if c.Lease == 0 {
+		c.Lease = DefaultLease
+	}
+	if c.SweepInterval <= 0 {
+		c.SweepInterval = c.Lease / 4
+		if c.Lease < 0 {
+			c.SweepInterval = time.Second
+		}
+		if c.SweepInterval < time.Millisecond {
+			c.SweepInterval = time.Millisecond
+		}
+		if c.SweepInterval > time.Second {
+			c.SweepInterval = time.Second
+		}
+	}
 	return c
 }
 
@@ -80,19 +153,23 @@ func (c Config) withDefaults() Config {
 //
 // Two usage rules follow from the paper's model. First, a request cannot
 // be cancelled: when an Acquire fails on its context, the token still
-// arrives eventually, and the service releases it in the background and
-// recovers the slot — but until then, that (node, shard) slot is busy.
-// Second, one goroutine must not acquire a second resource through the
-// same (node, shard) slot while holding the first: if two keys collide in
-// one shard, the nested Acquire waits on the slot its caller already
-// holds. Release the first key before acquiring a possibly-colliding
-// second, or acquire them from different member nodes.
+// arrives eventually, and the shard sweeper releases it and recovers the
+// slot — but until then, that (node, shard) slot is busy. Second, one
+// goroutine should not acquire a second resource through the same
+// (node, shard) slot while holding the first: if two keys collide in one
+// shard, the nested Acquire waits on the slot its caller already holds.
+// With leases enabled this self-deadlock is bounded rather than permanent
+// — the outer hold's lease expires, the sweeper reclaims the slot, and
+// the nested Acquire proceeds — but the outer hold is then invalid (its
+// Release returns ErrLeaseExpired), so it is still a bug, just a
+// recoverable one. Release the first key before acquiring a
+// possibly-colliding second, or acquire them from different member nodes.
 type Service struct {
 	cfg    Config
 	shards []*shard
 
 	closeOnce sync.Once
-	done      chan struct{} // closed by Close; stops recovery reapers
+	done      chan struct{} // closed by Close; stops the shard sweepers
 }
 
 // shard is one DAG-token instance: a live cluster plus per-node acquire
@@ -103,10 +180,13 @@ type shard struct {
 	home    mutex.ID // initial token holder
 	route   mutex.ID // default member for service-level Acquire: home if hosted, else lowest hosted
 	cluster Cluster
+	lease   time.Duration // <= 0: holds never expire
 	slots   []*slot
 	done    <-chan struct{} // service-wide close signal
 
-	grants atomic.Int64
+	grants  atomic.Int64
+	expired atomic.Int64  // holds force-released by the sweeper
+	fence   atomic.Uint64 // highest fencing token granted through this process
 
 	mu        sync.Mutex
 	waits     []float64 // reservoir of per-grant waits, milliseconds
@@ -119,14 +199,30 @@ type shard struct {
 const maxWaitSamples = 8192
 
 // slot serializes one node's acquires on one shard (the paper's
-// one-outstanding-request rule) and remembers which resource it holds.
+// one-outstanding-request rule) and remembers which resource it holds,
+// under which fencing token, and until when.
 type slot struct {
-	handle *runtime.Handle
-	sem    chan struct{} // capacity 1: held while the node owns the shard token
+	session *runtime.Session
+	sem     chan struct{} // capacity 1: held while the node owns the shard token
 
-	mu   sync.Mutex
-	held string // resource name currently locked through this slot
+	mu        sync.Mutex
+	held      string    // resource name currently locked through this slot
+	fence     uint64    // fencing token of the current hold
+	expires   time.Time // lease deadline; zero when leases are disabled
+	abandoned bool      // a failed Acquire left its request outstanding
+	// expired remembers holds the sweeper reclaimed from this slot
+	// (resource -> fencing token), so each late Release can be told apart
+	// from a Release of something never held — even after the slot has
+	// moved on to other resources. A marker is one-shot: reporting it
+	// removes it. Bounded by maxExpiredMarkers.
+	expired map[string]uint64
 }
+
+// maxExpiredMarkers bounds the per-slot memory of unreported expiries: a
+// client that never comes back to Release leaves its marker behind, so
+// beyond this many an arbitrary old marker is dropped (its very late
+// Release then reports ErrNotHeld instead of ErrLeaseExpired).
+const maxExpiredMarkers = 1024
 
 // New starts the service: cfg.Shards shard clusters of cfg.Nodes members
 // each over cfg.Transport. Callers must Close it to stop the shard
@@ -151,13 +247,14 @@ func New(cfg Config) (*Service, error) {
 			s.Close()
 			return nil, fmt.Errorf("lockservice: shard %d: %w", i, err)
 		}
-		sh := &shard{index: i, home: home, route: mutex.Nil, cluster: cluster, slots: make([]*slot, cfg.Nodes), done: s.done}
+		sh := &shard{index: i, home: home, route: mutex.Nil, cluster: cluster, lease: cfg.Lease,
+			slots: make([]*slot, cfg.Nodes), done: s.done}
 		for n := 0; n < cfg.Nodes; n++ {
 			h := cluster.Handle(mutex.ID(n + 1))
 			if h == nil {
 				continue // member hosted by another process
 			}
-			sh.slots[n] = &slot{handle: h, sem: make(chan struct{}, 1)}
+			sh.slots[n] = &slot{session: h, sem: make(chan struct{}, 1)}
 			if sh.route == mutex.Nil {
 				sh.route = mutex.ID(n + 1)
 			}
@@ -170,6 +267,7 @@ func New(cfg Config) (*Service, error) {
 			sh.route = home
 		}
 		s.shards = append(s.shards, sh)
+		go sh.sweep(cfg.SweepInterval)
 	}
 	return s, nil
 }
@@ -195,24 +293,47 @@ func (s *Service) Nodes() int { return s.cfg.Nodes }
 
 // Acquire locks resource on behalf of the shard's routing member — its
 // home node when hosted here, otherwise this process's own member —
-// blocking until the shard token arrives or ctx is done. It is the
-// plain-Service convenience entry point; explicit members use
-// On(id).Acquire.
-func (s *Service) Acquire(ctx context.Context, resource string) error {
+// blocking until the shard token arrives or ctx is done. The returned
+// Hold carries the fencing token to pass downstream and the lease
+// deadline. It is the plain-Service convenience entry point; explicit
+// members use On(id).Acquire.
+func (s *Service) Acquire(ctx context.Context, resource string) (Hold, error) {
 	sh, err := s.shardOf(resource)
 	if err != nil {
-		return err
+		return Hold{}, err
 	}
 	return sh.acquire(ctx, sh.route, resource)
 }
 
-// Release unlocks resource previously locked with Acquire.
+// Release unlocks resource previously locked with Acquire, by name: it
+// releases whatever hold the routing member currently has on resource.
+// It returns ErrNotHeld if the member does not hold resource, and
+// ErrLeaseExpired if it did but the lease ran out and the sweeper
+// already reclaimed it. Lease-aware callers should prefer ReleaseHold,
+// which identifies the exact hold by its fencing token.
 func (s *Service) Release(resource string) error {
 	sh, err := s.shardOf(resource)
 	if err != nil {
 		return err
 	}
-	return sh.release(sh.route, resource)
+	return sh.release(sh.route, resource, 0)
+}
+
+// ReleaseHold unlocks the exact hold h, matched by resource, member
+// node and fencing token. A hold whose lease ran out is reported with
+// ErrLeaseExpired even if the member has since re-held the same
+// resource under a newer fence; a hold that is not current (already
+// released, or superseded) is ErrNotHeld.
+func (s *Service) ReleaseHold(h Hold) error {
+	sh, err := s.shardOf(h.Resource)
+	if err != nil {
+		return err
+	}
+	id := h.Node
+	if id == mutex.Nil {
+		id = sh.route
+	}
+	return sh.release(id, h.Resource, h.Fence)
 }
 
 // Client is the lock-service view of one member node.
@@ -232,22 +353,40 @@ func (s *Service) On(id mutex.ID) (*Client, error) {
 // ID returns the member node this client acts as.
 func (c *Client) ID() mutex.ID { return c.id }
 
-// Acquire locks resource on behalf of this member node.
-func (c *Client) Acquire(ctx context.Context, resource string) error {
+// Acquire locks resource on behalf of this member node, returning the
+// hold's fencing token and lease deadline.
+func (c *Client) Acquire(ctx context.Context, resource string) (Hold, error) {
 	sh, err := c.svc.shardOf(resource)
 	if err != nil {
-		return err
+		return Hold{}, err
 	}
 	return sh.acquire(ctx, c.id, resource)
 }
 
-// Release unlocks resource previously locked by this member node.
+// Release unlocks resource previously locked by this member node, by
+// name. It returns ErrNotHeld if this member does not hold resource, and
+// ErrLeaseExpired if it did but the sweeper already reclaimed the hold.
+// Lease-aware callers should prefer ReleaseHold.
 func (c *Client) Release(resource string) error {
 	sh, err := c.svc.shardOf(resource)
 	if err != nil {
 		return err
 	}
-	return sh.release(c.id, resource)
+	return sh.release(c.id, resource, 0)
+}
+
+// ReleaseHold unlocks the exact hold h through this member node; see
+// Service.ReleaseHold for the error contract.
+func (c *Client) ReleaseHold(h Hold) error {
+	sh, err := c.svc.shardOf(h.Resource)
+	if err != nil {
+		return err
+	}
+	id := h.Node
+	if id == mutex.Nil {
+		id = c.id
+	}
+	return sh.release(id, h.Resource, h.Fence)
 }
 
 func (s *Service) shardOf(resource string) (*shard, error) {
@@ -259,83 +398,191 @@ func (s *Service) shardOf(resource string) (*shard, error) {
 
 func (sh *shard) slot(id mutex.ID) *slot { return sh.slots[id-1] }
 
-// acquire takes the (node, shard) slot, then the shard token.
-func (sh *shard) acquire(ctx context.Context, id mutex.ID, resource string) error {
+// acquire takes the (node, shard) slot, then the shard token, and stamps
+// the hold with its fencing token and lease deadline.
+func (sh *shard) acquire(ctx context.Context, id mutex.ID, resource string) (Hold, error) {
 	sl := sh.slot(id)
 	if sl == nil {
-		return fmt.Errorf("lockservice: member %d is not hosted by this process (shard %d)", id, sh.index)
+		return Hold{}, fmt.Errorf("lockservice: member %d is not hosted by this process (shard %d)", id, sh.index)
 	}
 	start := time.Now() // wait includes local slot queueing, not just token travel
 	select {
 	case sl.sem <- struct{}{}:
-	case <-sl.handle.Failed():
+	case <-sl.session.Failed():
 		// The shard's cluster is dead; its slot may be parked forever on
 		// a grant that will never arrive. Fail this caller fast instead
 		// of letting it wait out its whole context on the semaphore.
-		return fmt.Errorf("lockservice: acquire %q (shard %d, node %d): cluster failed: %w",
-			resource, sh.index, id, sl.handle.Err())
+		return Hold{}, fmt.Errorf("lockservice: acquire %q (shard %d, node %d): cluster failed: %w",
+			resource, sh.index, id, sl.session.Err())
 	case <-ctx.Done():
-		return fmt.Errorf("lockservice: acquire %q (shard %d, node %d): %w",
+		return Hold{}, fmt.Errorf("lockservice: acquire %q (shard %d, node %d): %w",
 			resource, sh.index, id, ctx.Err())
 	}
-	if err := sl.handle.Acquire(ctx); err != nil {
+	grant, err := sl.session.Acquire(ctx)
+	if err != nil {
 		if errors.Is(err, runtime.ErrGrantPending) {
 			// The protocol request stays outstanding (the paper's model has
 			// no cancellation) whether the Acquire failed on its context or
-			// on a cluster error, so the token may still arrive. A reaper
-			// keeps the slot busy until then, releases the orphaned grant,
-			// and recovers the slot — without it the token would park here
-			// forever and wedge the whole shard.
-			go sh.reap(sl)
+			// on a cluster error, so the token may still arrive. The shard
+			// sweeper keeps the slot busy until then, releases the orphaned
+			// grant, and recovers the slot — without it the token would
+			// park here forever and wedge the whole shard.
+			sl.mu.Lock()
+			sl.abandoned = true
+			sl.mu.Unlock()
 		} else {
 			// No request is pending; the slot is safe to free immediately.
 			<-sl.sem
 		}
-		return fmt.Errorf("lockservice: acquire %q (shard %d, node %d): %w",
+		return Hold{}, fmt.Errorf("lockservice: acquire %q (shard %d, node %d): %w",
 			resource, sh.index, id, err)
+	}
+	hold := Hold{Resource: resource, Shard: sh.index, Node: id, Fence: grant.Generation}
+	if sh.lease > 0 {
+		hold.Expires = grant.At.Add(sh.lease)
 	}
 	sl.mu.Lock()
 	sl.held = resource
+	sl.fence = grant.Generation
+	sl.expires = hold.Expires
 	sl.mu.Unlock()
 	sh.grants.Add(1)
+	sh.storeFence(grant.Generation)
 	sh.recordWait(time.Since(start))
-	return nil
+	return hold, nil
 }
 
-// release validates ownership, passes the shard token on, frees the slot.
-func (sh *shard) release(id mutex.ID, resource string) error {
+// release validates ownership, passes the shard token on, frees the
+// slot. fence identifies the exact hold being released (Hold.Fence);
+// fence 0 is the by-name convenience path, which releases whatever the
+// slot holds under that name. The protocol-level release happens under
+// the slot lock so it cannot race the sweeper force-releasing the same
+// hold.
+//
+// The fence makes the lifecycle errors precise: a by-name Release of a
+// slot that moved on cannot tell "my old hold expired" apart from "I
+// already released this", so the by-name path clears a resource's expiry
+// marker on its clean release and reports whichever case the marker
+// still witnesses. ReleaseHold matches markers by fence, so a stale
+// generation is always rejected with ErrLeaseExpired and someone else's
+// newer hold is never released by accident.
+func (sh *shard) release(id mutex.ID, resource string, fence uint64) error {
 	sl := sh.slot(id)
 	if sl == nil {
 		return fmt.Errorf("lockservice: member %d is not hosted by this process (shard %d)", id, sh.index)
 	}
 	sl.mu.Lock()
-	if sl.held != resource {
-		held := sl.held
-		sl.mu.Unlock()
-		if held == "" {
-			return fmt.Errorf("lockservice: node %d does not hold %q (shard %d)", id, resource, sh.index)
+	if sl.held != resource || (fence != 0 && sl.fence != fence) {
+		held, heldFence := sl.held, sl.fence
+		if expFence, wasExpired := sl.expired[resource]; wasExpired && (fence == 0 || expFence == fence) {
+			// One-shot report: the stuck client learns its hold was
+			// reclaimed; a further Release of the same hold is ErrNotHeld.
+			delete(sl.expired, resource)
+			sl.mu.Unlock()
+			return fmt.Errorf("lockservice: node %d released %q after its lease ran out (shard %d, fence %d): %w",
+				id, resource, sh.index, expFence, ErrLeaseExpired)
 		}
-		return fmt.Errorf("lockservice: node %d holds %q, not %q (shard %d)", id, held, resource, sh.index)
+		sl.mu.Unlock()
+		if held == resource {
+			return fmt.Errorf("lockservice: node %d holds %q under fence %d, not %d (shard %d): %w",
+				id, resource, heldFence, fence, sh.index, ErrNotHeld)
+		}
+		if held == "" {
+			return fmt.Errorf("lockservice: node %d does not hold %q (shard %d): %w",
+				id, resource, sh.index, ErrNotHeld)
+		}
+		return fmt.Errorf("lockservice: node %d holds %q, not %q (shard %d): %w",
+			id, held, resource, sh.index, ErrNotHeld)
 	}
-	sl.held = ""
+	sl.held, sl.fence, sl.expires = "", 0, time.Time{}
+	if fence == 0 {
+		// By-name releases cannot be matched to markers later, so a clean
+		// release retires any unreported marker for the same name rather
+		// than letting it misreport a future double release as expired.
+		delete(sl.expired, resource)
+	}
+	err := sl.session.Release()
 	sl.mu.Unlock()
-	if err := sl.handle.Release(); err != nil {
+	if err != nil {
 		return fmt.Errorf("lockservice: release %q (shard %d, node %d): %w", resource, sh.index, id, err)
 	}
 	<-sl.sem
 	return nil
 }
 
-// reap waits out an abandoned request's grant, releases it, and frees the
-// slot the failed Acquire left held.
-func (sh *shard) reap(sl *slot) {
-	select {
-	case <-sl.handle.Granted():
-		if err := sl.handle.Release(); err == nil {
-			<-sl.sem
+// sweep is the shard's lease enforcer and slot recoverer: on every tick
+// it force-releases holds whose lease deadline passed and drains grants
+// that arrived for abandoned (timed-out) Acquires. One sweeper per shard
+// replaces the previous goroutine-per-abandon reaper.
+func (sh *shard) sweep(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-sh.done:
+			return
+		case <-t.C:
+			sh.sweepOnce(time.Now())
 		}
-	case <-sh.done:
-		// Service closing; the slot stays held, which is moot now.
+	}
+}
+
+// sweepOnce performs one pass over the shard's hosted slots.
+func (sh *shard) sweepOnce(now time.Time) {
+	for _, sl := range sh.slots {
+		if sl == nil {
+			continue
+		}
+		sl.mu.Lock()
+		switch {
+		case sl.abandoned:
+			// A timed-out Acquire left its request outstanding. If the
+			// grant has since arrived, release the orphaned token and
+			// recover the slot; otherwise keep waiting.
+			select {
+			case <-sl.session.Granted():
+				if err := sl.session.Release(); err == nil {
+					sl.abandoned = false
+					sl.mu.Unlock()
+					<-sl.sem
+					continue
+				}
+				// Release failed: the shard cluster is broken; leave the
+				// slot busy (its Failed signal fails future acquirers).
+			default:
+			}
+		case sl.held != "" && !sl.expires.IsZero() && now.After(sl.expires):
+			// The hold outlived its lease: reclaim it. The late Release
+			// will observe ErrLeaseExpired via the expiry marker.
+			if sl.expired == nil {
+				sl.expired = make(map[string]uint64)
+			}
+			if len(sl.expired) >= maxExpiredMarkers {
+				for k := range sl.expired { // drop an arbitrary stale marker
+					delete(sl.expired, k)
+					break
+				}
+			}
+			sl.expired[sl.held] = sl.fence
+			sl.held, sl.fence, sl.expires = "", 0, time.Time{}
+			if err := sl.session.Release(); err == nil {
+				sh.expired.Add(1)
+				sl.mu.Unlock()
+				<-sl.sem
+				continue
+			}
+		}
+		sl.mu.Unlock()
+	}
+}
+
+// storeFence records the highest fencing token granted via this process.
+func (sh *shard) storeFence(f uint64) {
+	for {
+		cur := sh.fence.Load()
+		if f <= cur || sh.fence.CompareAndSwap(cur, f) {
+			return
+		}
 	}
 }
 
@@ -359,6 +606,12 @@ type ShardStats struct {
 	Home mutex.ID
 	// Grants counts successful Acquires.
 	Grants int64
+	// Expired counts holds the sweeper force-released after their lease
+	// deadline passed.
+	Expired int64
+	// Fence is the highest fencing token granted through this process on
+	// this shard.
+	Fence uint64
 	// Messages counts protocol messages the shard cluster exchanged.
 	Messages int64
 	// Wait summarizes acquire latency in milliseconds, over a bounded
@@ -369,8 +622,9 @@ type ShardStats struct {
 // Stats aggregates the per-shard counters.
 type Stats struct {
 	PerShard []ShardStats
-	// Grants and Messages are the service-wide totals.
+	// Grants, Expired and Messages are the service-wide totals.
 	Grants   int64
+	Expired  int64
 	Messages int64
 	// Wait summarizes acquire latency in milliseconds across all shards.
 	Wait metrics.Summary
@@ -392,11 +646,14 @@ func (s *Service) Stats() Stats {
 			Shard:    sh.index,
 			Home:     sh.home,
 			Grants:   sh.grants.Load(),
+			Expired:  sh.expired.Load(),
+			Fence:    sh.fence.Load(),
 			Messages: sh.cluster.Messages(),
 			Wait:     metrics.Summarize(waits),
 		}
 		st.PerShard = append(st.PerShard, ss)
 		st.Grants += ss.Grants
+		st.Expired += ss.Expired
 		st.Messages += ss.Messages
 		samples = append(samples, waits)
 		seen = append(seen, n)

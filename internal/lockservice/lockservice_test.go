@@ -37,7 +37,7 @@ func TestAcquireReleaseSingleResource(t *testing.T) {
 	s := newService(t, Config{Shards: 4, Nodes: 3})
 	ctx := context.Background()
 	for i := 0; i < 5; i++ {
-		if err := s.Acquire(ctx, "orders"); err != nil {
+		if _, err := s.Acquire(ctx, "orders"); err != nil {
 			t.Fatal(err)
 		}
 		if err := s.Release("orders"); err != nil {
@@ -110,7 +110,7 @@ func TestMutualExclusionAcrossNodes(t *testing.T) {
 			for i := 0; i < perWorker; i++ {
 				k := rng.Intn(resources)
 				key := fmt.Sprintf("res-%d", k)
-				if err := c.Acquire(ctx, key); err != nil {
+				if _, err := c.Acquire(ctx, key); err != nil {
 					errs <- err
 					return
 				}
@@ -154,10 +154,10 @@ func TestCrossShardAcquiresDoNotBlock(t *testing.T) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	if err := s.Acquire(ctx, a); err != nil {
+	if _, err := s.Acquire(ctx, a); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Acquire(ctx, b); err != nil {
+	if _, err := s.Acquire(ctx, b); err != nil {
 		t.Fatalf("cross-shard acquire blocked: %v", err)
 	}
 	if err := s.Release(b); err != nil {
@@ -175,7 +175,7 @@ func TestSameShardSerializes(t *testing.T) {
 	s := newService(t, Config{Shards: 1, Nodes: 2})
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	if err := s.Acquire(ctx, "a"); err != nil {
+	if _, err := s.Acquire(ctx, "a"); err != nil {
 		t.Fatal(err)
 	}
 	acquired := make(chan struct{})
@@ -186,7 +186,7 @@ func TestSameShardSerializes(t *testing.T) {
 			close(acquired)
 			return
 		}
-		if err := c.Acquire(ctx, "b"); err != nil {
+		if _, err := c.Acquire(ctx, "b"); err != nil {
 			t.Error(err)
 			close(acquired)
 			return
@@ -221,13 +221,13 @@ func TestTimedOutAcquireRecovers(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Node 2 holds the single shard's token...
-	if err := c2.Acquire(ctx, "a"); err != nil {
+	if _, err := c2.Acquire(ctx, "a"); err != nil {
 		t.Fatal(err)
 	}
 	// ...so a service-level acquire (node 1) times out waiting for it.
 	tctx, cancel := context.WithTimeout(ctx, 20*time.Millisecond)
 	defer cancel()
-	if err := s.Acquire(tctx, "b"); err == nil {
+	if _, err := s.Acquire(tctx, "b"); err == nil {
 		t.Fatal("acquire succeeded while token was held")
 	}
 	// Once node 2 releases, the orphaned grant lands at node 1, the
@@ -238,7 +238,7 @@ func TestTimedOutAcquireRecovers(t *testing.T) {
 	deadline := time.Now().Add(10 * time.Second)
 	for {
 		rctx, rcancel := context.WithTimeout(ctx, 100*time.Millisecond)
-		err := s.Acquire(rctx, "b")
+		_, err := s.Acquire(rctx, "b")
 		rcancel()
 		if err == nil {
 			break
@@ -250,7 +250,7 @@ func TestTimedOutAcquireRecovers(t *testing.T) {
 	if err := s.Release("b"); err != nil {
 		t.Fatal(err)
 	}
-	if err := c2.Acquire(ctx, "a"); err != nil {
+	if _, err := c2.Acquire(ctx, "a"); err != nil {
 		t.Fatalf("shard wedged for other nodes after recovery: %v", err)
 	}
 	if err := c2.Release("a"); err != nil {
@@ -264,10 +264,10 @@ func TestReleaseErrors(t *testing.T) {
 	if err := s.Release("never-held"); err == nil {
 		t.Fatal("release of unheld resource succeeded")
 	}
-	if err := s.Acquire(ctx, ""); err == nil {
+	if _, err := s.Acquire(ctx, ""); err == nil {
 		t.Fatal("acquire of empty resource name succeeded")
 	}
-	if err := s.Acquire(ctx, "a"); err != nil {
+	if _, err := s.Acquire(ctx, "a"); err != nil {
 		t.Fatal(err)
 	}
 	// Find a key on the same shard with the same home node as "a".
@@ -301,7 +301,7 @@ func TestStatsAggregates(t *testing.T) {
 	const ops = 40
 	for i := 0; i < ops; i++ {
 		key := fmt.Sprintf("res-%d", i%10)
-		if err := s.Acquire(ctx, key); err != nil {
+		if _, err := s.Acquire(ctx, key); err != nil {
 			t.Fatal(err)
 		}
 		if err := s.Release(key); err != nil {
@@ -454,7 +454,7 @@ func TestTCPServiceDisjointAndContendedKeys(t *testing.T) {
 			defer wg.Done()
 			for j := 0; j < 8; j++ {
 				key := fmt.Sprintf("member-%d-key-%d", m, j)
-				if err := svc.Acquire(ctx, key); err != nil {
+				if _, err := svc.Acquire(ctx, key); err != nil {
 					t.Errorf("member %d acquire %q: %v", m+1, key, err)
 					return
 				}
@@ -482,7 +482,7 @@ func TestTCPServiceDisjointAndContendedKeys(t *testing.T) {
 			defer wg.Done()
 			for j := 0; j < perMember; j++ {
 				key := fmt.Sprintf("hot-%d", j%len(counters))
-				if err := svc.Acquire(ctx, key); err != nil {
+				if _, err := svc.Acquire(ctx, key); err != nil {
 					t.Errorf("member %d acquire %q: %v", m+1, key, err)
 					return
 				}
@@ -534,7 +534,7 @@ func TestTCPServiceOnRemoteMemberFails(t *testing.T) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	if err := c.Acquire(ctx, "some-key"); err == nil {
+	if _, err := c.Acquire(ctx, "some-key"); err == nil {
 		t.Fatal("acquire through a remotely hosted member must fail")
 	} else if ctx.Err() != nil {
 		t.Fatalf("remote-member acquire hung instead of failing fast: %v", err)
@@ -550,7 +550,7 @@ func TestLocalTransportIsDefault(t *testing.T) {
 	defer svc.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	if err := svc.Acquire(ctx, "k"); err != nil {
+	if _, err := svc.Acquire(ctx, "k"); err != nil {
 		t.Fatal(err)
 	}
 	if err := svc.Release("k"); err != nil {
@@ -582,7 +582,7 @@ func (n *grantNode) Request() error {
 		return mutex.ErrOutstanding
 	}
 	n.inCS = true
-	n.env.Granted()
+	n.env.Granted(0)
 	return nil
 }
 func (n *grantNode) Release() error {
@@ -648,12 +648,12 @@ func TestSlotQueueFailsFastOnClusterError(t *testing.T) {
 	defer svc.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
-	if err := svc.Acquire(ctx, "k"); err != nil {
+	if _, err := svc.Acquire(ctx, "k"); err != nil {
 		t.Fatal(err)
 	}
 	// Second acquire through the same slot queues on the semaphore.
 	done := make(chan error, 1)
-	go func() { done <- svc.Acquire(ctx, "k2") }() // k2 hashes to the only shard
+	go func() { _, err := svc.Acquire(ctx, "k2"); done <- err }() // k2 hashes to the only shard
 	time.Sleep(20 * time.Millisecond)
 	sink.Fail(errors.New("peer crashed"))
 	select {

@@ -322,7 +322,7 @@ func (n *Node) onLocked(from mutex.ID, stamp lclock.Stamp) error {
 		n.requesting = false
 		n.inCS = true
 		n.deferInq = n.deferInq[:0]
-		n.env.Granted()
+		n.env.Granted(0)
 	}
 	return nil
 }

@@ -180,4 +180,4 @@ func TestProtocolErrors(t *testing.T) {
 type nopEnv struct{}
 
 func (nopEnv) Send(mutex.ID, mutex.Message) {}
-func (nopEnv) Granted()                     {}
+func (nopEnv) Granted(uint64)               {}

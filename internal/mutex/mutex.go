@@ -46,7 +46,30 @@ type Env interface {
 	// Granted reports that the node's pending Request has been granted and
 	// the application now holds the critical section. The application must
 	// eventually call Release on the node.
-	Granted()
+	//
+	// gen is the grant's fencing generation: a number that strictly
+	// increases across successive grants of one critical section, so
+	// downstream systems can reject writes from a holder whose grant has
+	// since been superseded. Token-based protocols carry the counter with
+	// the token (the DAG algorithm's extended PRIVILEGE); protocols that
+	// provide no fencing pass 0, which consumers must treat as "no token".
+	Granted(gen uint64)
+}
+
+// TryRequester is an optional capability of protocol nodes that can
+// report, without sending any message, whether a request would be granted
+// immediately. Under the paper's model a request cannot be cancelled once
+// issued, so a non-blocking TryAcquire is only possible for protocols
+// that can answer locally — e.g. a token holder sitting on an idle token.
+// TryRequest either performs the immediate grant (calling Env.Granted
+// before returning true) or leaves the node's state completely untouched
+// and returns false.
+type TryRequester interface {
+	// TryRequest grants the critical section if that is possible without
+	// network traffic, reporting whether it did. It returns
+	// ErrOutstanding if a request is already pending or the node is in
+	// its critical section.
+	TryRequest() (granted bool, err error)
 }
 
 // Node is a protocol instance running at one site.

@@ -141,7 +141,7 @@ func (n *Node) assignPrivilege() {
 	if head == n.id {
 		n.using = true
 		n.requesting = false
-		n.env.Granted()
+		n.env.Granted(0)
 		return
 	}
 	n.holder = head

@@ -139,7 +139,7 @@ func TestRejectsBadConfig(t *testing.T) {
 type nopEnv struct{}
 
 func (nopEnv) Send(mutex.ID, mutex.Message) {}
-func (nopEnv) Granted()                     {}
+func (nopEnv) Granted(uint64)               {}
 
 func TestProtocolErrors(t *testing.T) {
 	env := nopEnv{}

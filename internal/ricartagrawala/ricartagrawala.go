@@ -138,7 +138,7 @@ func (n *Node) Deliver(from mutex.ID, m mutex.Message) error {
 func (n *Node) enter() {
 	n.requesting = false
 	n.inCS = true
-	n.env.Granted()
+	n.env.Granted(0)
 }
 
 // Storage implements mutex.Node: a clock, a stamp, a reply counter and

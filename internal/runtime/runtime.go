@@ -1,9 +1,9 @@
 // Package runtime is the single live execution engine for protocol
 // nodes: one actor loop per node that consumes incoming envelopes,
 // serializes the node's handlers under a per-node lock (the paper's
-// local-mutual-exclusion execution model), signals grants, captures the
-// first protocol or delivery error, and exposes the blocking Handle API
-// applications call.
+// local-mutual-exclusion execution model), signals grants (with their
+// fencing generation), captures the first protocol or delivery error,
+// and exposes the blocking Session API applications call.
 //
 // The runtime is parameterized by a Link — the node's attachment to the
 // messaging substrate. The transport package provides two link layers
@@ -18,16 +18,37 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dagmutex/internal/mutex"
 )
 
 // ErrGrantPending marks an Acquire failure that leaves the protocol
 // request outstanding (the paper's model has no cancellation): the grant
-// may still arrive on Handle.Granted and must be drained and released
-// before the handle is reused. Errors returned before the request was
+// may still arrive on Session.Granted and must be drained and released
+// before the session is reused. Errors returned before the request was
 // issued (e.g. mutex.ErrOutstanding) do not carry it.
 var ErrGrantPending = errors.New("request still outstanding, grant pending")
+
+// ErrTryUnsupported reports a TryAcquire on a protocol that cannot answer
+// "would this request be granted immediately?" without sending messages
+// (it does not implement mutex.TryRequester).
+var ErrTryUnsupported = errors.New("protocol does not support TryAcquire")
+
+// Grant is one critical-section entry as the application sees it: the
+// fencing generation the protocol attached to the grant and the local
+// wall-clock time the section was entered.
+type Grant struct {
+	// Generation is the grant's fencing token: strictly increasing across
+	// successive grants of one critical section for protocols that carry a
+	// fencing counter (the DAG algorithm's extended PRIVILEGE), 0 for
+	// protocols that provide none. Pass it to downstream stores so writes
+	// from a superseded holder can be rejected.
+	Generation uint64
+	// At is the local wall-clock time the grant was observed, the anchor
+	// for lease deadlines layered above.
+	At time.Time
+}
 
 // Envelope is one in-flight protocol message with its transport-level
 // sender.
@@ -103,7 +124,7 @@ type Node struct {
 	mu   sync.Mutex // serializes Request/Release/Deliver on the state machine
 	node mutex.Node
 
-	granted chan struct{} // capacity 1: at most one outstanding request
+	granted chan Grant // capacity 1: at most one outstanding request
 
 	closeOnce sync.Once
 	wg        sync.WaitGroup
@@ -121,7 +142,7 @@ func Start(id mutex.ID, b mutex.Builder, cfg mutex.Config, link Link, sink *Erro
 		id:      id,
 		link:    link,
 		sink:    sink,
-		granted: make(chan struct{}, 1),
+		granted: make(chan Grant, 1),
 	}
 	pn, err := b(id, env{n: n}, cfg)
 	if err != nil {
@@ -148,10 +169,11 @@ func (e env) Send(to mutex.ID, m mutex.Message) {
 	}
 }
 
-// Granted signals the waiting Acquire, if any.
-func (e env) Granted() {
+// Granted signals the waiting Acquire, if any, carrying the protocol's
+// fencing generation and the local grant time.
+func (e env) Granted(gen uint64) {
 	select {
-	case e.n.granted <- struct{}{}:
+	case e.n.granted <- Grant{Generation: gen, At: time.Now()}:
 	default:
 		// A grant with no waiter indicates a protocol double-grant; it
 		// will surface as ErrOutstanding on the next request.
@@ -193,8 +215,12 @@ func (n *Node) With(fn func(mutex.Node) error) error {
 	return fn(n.node)
 }
 
-// Handle returns the blocking application API over this node.
-func (n *Node) Handle() *Handle { return &Handle{n: n} }
+// Session returns the blocking application API over this node.
+func (n *Node) Session() *Session { return &Session{n: n} }
+
+// Handle is Session's former name, kept so embedders migrating to the
+// Session API keep compiling.
+func (n *Node) Handle() *Session { return n.Session() }
 
 // Close shuts the link down and waits for the actor loop to exit.
 // Envelopes the link already received are still delivered first.
@@ -203,72 +229,102 @@ func (n *Node) Close() {
 	n.wg.Wait()
 }
 
-// Handle is the blocking application API over one live node: Acquire
-// waits for the critical section, Release leaves it.
-type Handle struct {
+// Session is the blocking application API over one live node: Acquire
+// waits for the critical section and returns the grant's fencing
+// generation, TryAcquire takes it only if no messages are needed, Release
+// leaves it.
+type Session struct {
 	n *Node
 }
 
+// Handle is the deprecated former name of Session.
+type Handle = Session
+
 // ID returns the underlying node's identifier.
-func (h *Handle) ID() mutex.ID { return h.n.id }
+func (s *Session) ID() mutex.ID { return s.n.id }
 
 // Acquire requests the critical section and blocks until it is granted,
-// the cluster fails, or ctx is done. On ctx expiry the request stays
-// outstanding (the paper's model has no request cancellation), so the
-// handle should not be reused after a timed-out Acquire until the grant
-// is drained via Granted and released. A cluster error observed anywhere
-// (protocol violation, unreachable peer, codec failure) fails the Acquire
-// immediately rather than leaving it to hang until its deadline.
-func (h *Handle) Acquire(ctx context.Context) error {
-	n := h.n
+// the cluster fails, or ctx is done. On success it returns the Grant —
+// fencing generation plus local grant time. On ctx expiry the request
+// stays outstanding (the paper's model has no request cancellation), so
+// the session should not be reused after a timed-out Acquire until the
+// grant is drained via Granted and released. A cluster error observed
+// anywhere (protocol violation, unreachable peer, codec failure) fails
+// the Acquire immediately rather than leaving it to hang until its
+// deadline.
+func (s *Session) Acquire(ctx context.Context) (Grant, error) {
+	n := s.n
 	n.mu.Lock()
 	err := n.node.Request()
 	n.mu.Unlock()
 	if err != nil {
-		return err
+		return Grant{}, err
 	}
 	// Prefer a grant that is already in hand over a concurrent failure:
 	// the critical section was genuinely entered.
 	select {
-	case <-n.granted:
-		return nil
+	case g := <-n.granted:
+		return g, nil
 	default:
 	}
 	select {
-	case <-n.granted:
-		return nil
+	case g := <-n.granted:
+		return g, nil
 	case <-n.sink.Fired():
-		return fmt.Errorf("acquire node %d: %w: cluster failed: %w", n.id, ErrGrantPending, n.sink.Err())
+		return Grant{}, fmt.Errorf("acquire node %d: %w: cluster failed: %w", n.id, ErrGrantPending, n.sink.Err())
 	case <-ctx.Done():
-		return fmt.Errorf("acquire node %d: %w: %w", n.id, ErrGrantPending, ctx.Err())
+		return Grant{}, fmt.Errorf("acquire node %d: %w: %w", n.id, ErrGrantPending, ctx.Err())
 	}
+}
+
+// TryAcquire enters the critical section only if the protocol can grant
+// it without any network traffic — for the DAG algorithm, when this node
+// is sitting on an idle token. It reports false (with no error) when the
+// section would have to be waited for; no request is issued in that case,
+// so the session stays immediately reusable. Protocols that cannot answer
+// locally return ErrTryUnsupported.
+func (s *Session) TryAcquire() (Grant, bool, error) {
+	n := s.n
+	n.mu.Lock()
+	tr, ok := n.node.(mutex.TryRequester)
+	if !ok {
+		n.mu.Unlock()
+		return Grant{}, false, fmt.Errorf("try-acquire node %d: %w", n.id, ErrTryUnsupported)
+	}
+	granted, err := tr.TryRequest()
+	n.mu.Unlock()
+	if err != nil || !granted {
+		return Grant{}, false, err
+	}
+	// TryRequest grants synchronously, so the Grant is already deposited.
+	return <-n.granted, true, nil
 }
 
 // Failed returns a channel closed when the node's cluster records its
 // first error, for callers that queue ahead of Acquire (e.g. the lock
 // service's slot semaphore) and must not keep waiting on a dead cluster.
-func (h *Handle) Failed() <-chan struct{} { return h.n.sink.Fired() }
+func (s *Session) Failed() <-chan struct{} { return s.n.sink.Fired() }
 
 // Err returns the first error the node's cluster observed, if any.
-func (h *Handle) Err() error { return h.n.sink.Err() }
+func (s *Session) Err() error { return s.n.sink.Err() }
 
 // Granted exposes the grant signal for recovery after a failed Acquire:
 // the request stays outstanding (the paper's model has no cancellation),
-// so the grant still arrives eventually and a caller that owns the handle
-// can drain it and Release. The channel never closes and receives at most
-// one value per outstanding request.
-func (h *Handle) Granted() <-chan struct{} { return h.n.granted }
+// so the grant still arrives eventually and a caller that owns the
+// session can drain it and Release. The channel never closes and receives
+// at most one value per outstanding request.
+func (s *Session) Granted() <-chan Grant { return s.n.granted }
 
 // Release leaves the critical section.
-func (h *Handle) Release() error {
-	h.n.mu.Lock()
-	defer h.n.mu.Unlock()
-	return h.n.node.Release()
+func (s *Session) Release() error {
+	s.n.mu.Lock()
+	defer s.n.mu.Unlock()
+	return s.n.node.Release()
 }
 
 // Storage snapshots the node's storage footprint.
-func (h *Handle) Storage() mutex.Storage {
-	h.n.mu.Lock()
-	defer h.n.mu.Unlock()
-	return h.n.node.Storage()
+func (s *Session) Storage() mutex.Storage {
+	s.n.mu.Lock()
+	defer s.n.mu.Unlock()
+	return s.n.node.Storage()
 }

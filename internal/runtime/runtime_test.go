@@ -68,7 +68,7 @@ func (n *echoNode) Request() error {
 		return nil // grant arrives later, via Deliver
 	}
 	n.inCS = true
-	n.env.Granted()
+	n.env.Granted(0)
 	return nil
 }
 
@@ -92,7 +92,7 @@ func (n *echoNode) Deliver(from mutex.ID, m mutex.Message) error {
 	if n.grantOn && n.requested && !n.inCS {
 		n.requested = false
 		n.inCS = true
-		n.env.Granted()
+		n.env.Granted(0)
 	}
 	return nil
 }
@@ -143,10 +143,10 @@ func TestAcquireGrantsImmediately(t *testing.T) {
 	}
 	defer n.Close()
 	h := n.Handle()
-	if err := h.Acquire(context.Background()); err != nil {
+	if _, err := h.Acquire(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if err := h.Acquire(context.Background()); !errors.Is(err, mutex.ErrOutstanding) {
+	if _, err := h.Acquire(context.Background()); !errors.Is(err, mutex.ErrOutstanding) {
 		t.Fatalf("double acquire = %v, want ErrOutstanding", err)
 	}
 	if err := h.Release(); err != nil {
@@ -174,7 +174,7 @@ func TestAcquireFailsFastOnClusterError(t *testing.T) {
 	go func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
-		done <- h.Acquire(ctx)
+		done <- acquireErr(h, ctx)
 	}()
 	// Let the Acquire issue its Request and block, then poison the loop.
 	time.Sleep(10 * time.Millisecond)
@@ -210,7 +210,7 @@ func TestAcquirePrefersGrantOverStaleError(t *testing.T) {
 	}
 	defer n.Close()
 	h := n.Handle()
-	if err := h.Acquire(context.Background()); err != nil {
+	if _, err := h.Acquire(context.Background()); err != nil {
 		t.Fatalf("acquire with grant in hand = %v, want success", err)
 	}
 	if err := h.Release(); err != nil {
@@ -239,7 +239,7 @@ func TestSendErrorCapturedViaSink(t *testing.T) {
 	// And a subsequent Acquire fails fast on it.
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	if err := n.Handle().Acquire(ctx); err == nil {
+	if _, err := n.Handle().Acquire(ctx); err == nil {
 		t.Fatal("acquire succeeded despite send failure")
 	} else if errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("acquire waited out its deadline instead of failing fast: %v", err)
@@ -261,7 +261,7 @@ func TestGrantedRecoveryAfterTimedOutAcquire(t *testing.T) {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
 	defer cancel()
-	if err := h.Acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+	if _, err := h.Acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("acquire = %v, want deadline exceeded", err)
 	}
 	// The "token" arrives late.
@@ -279,7 +279,7 @@ func TestGrantedRecoveryAfterTimedOutAcquire(t *testing.T) {
 		pn.(*echoNode).grantOn = false
 		return nil
 	})
-	if err := h.Acquire(context.Background()); err != nil {
+	if _, err := h.Acquire(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if err := h.Release(); err != nil {
@@ -325,7 +325,7 @@ func TestAcquireErrorsCarryGrantPending(t *testing.T) {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
 	defer cancel()
-	err = h.Acquire(ctx)
+	_, err = h.Acquire(ctx)
 	if !errors.Is(err, ErrGrantPending) || !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("timed-out acquire = %v, want ErrGrantPending wrapping deadline", err)
 	}
@@ -338,7 +338,7 @@ func TestAcquireErrorsCarryGrantPending(t *testing.T) {
 
 	// Cluster-failure path: request issued, then the sink fires.
 	done := make(chan error, 1)
-	go func() { done <- h.Acquire(context.Background()) }()
+	go func() { done <- acquireErr(h, context.Background()) }()
 	time.Sleep(10 * time.Millisecond)
 	n.Sink().Fail(errors.New("boom"))
 	err = <-done
@@ -347,7 +347,14 @@ func TestAcquireErrorsCarryGrantPending(t *testing.T) {
 	}
 
 	// Pre-request failure (request already outstanding): no sentinel.
-	if err := h.Acquire(context.Background()); errors.Is(err, ErrGrantPending) {
+	if _, err := h.Acquire(context.Background()); errors.Is(err, ErrGrantPending) {
 		t.Fatalf("pre-request failure %v must not carry ErrGrantPending", err)
 	}
+}
+
+// acquireErr adapts Session.Acquire to an error-only result for tests
+// that only care about the failure mode.
+func acquireErr(s *Session, ctx context.Context) error {
+	_, err := s.Acquire(ctx)
+	return err
 }

@@ -170,7 +170,7 @@ func (n *Node) Request() error {
 	if n.hasToken {
 		n.sv[n.id] = stateE
 		n.inCS = true
-		n.env.Granted()
+		n.env.Granted(0)
 		return nil
 	}
 	n.requesting = true
@@ -297,7 +297,7 @@ func (n *Node) deliverToken(msg privilege) error {
 	n.requesting = false
 	n.sv[n.id] = stateE
 	n.inCS = true
-	n.env.Granted()
+	n.env.Granted(0)
 	return nil
 }
 

@@ -160,7 +160,7 @@ func (e *captureEnv) Send(_ mutex.ID, m mutex.Message) {
 		e.tokens++
 	}
 }
-func (e *captureEnv) Granted() {}
+func (e *captureEnv) Granted(uint64) {}
 
 func TestProtocolErrors(t *testing.T) {
 	env := nopEnv{}
@@ -182,7 +182,7 @@ func TestProtocolErrors(t *testing.T) {
 type nopEnv struct{}
 
 func (nopEnv) Send(mutex.ID, mutex.Message) {}
-func (nopEnv) Granted()                     {}
+func (nopEnv) Granted(uint64)               {}
 
 func TestStateStrings(t *testing.T) {
 	if stateR.String() != "R" || stateH.String() != "H" || stateN.String() != "N" || stateE.String() != "E" {

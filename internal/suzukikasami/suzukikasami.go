@@ -101,7 +101,7 @@ func (n *Node) Request() error {
 	}
 	if n.hasToken {
 		n.inCS = true
-		n.env.Granted()
+		n.env.Granted(0)
 		return nil
 	}
 	n.requesting = true
@@ -164,7 +164,7 @@ func (n *Node) Deliver(from mutex.ID, m mutex.Message) error {
 		n.queue = msg.Queue
 		n.requesting = false
 		n.inCS = true
-		n.env.Granted()
+		n.env.Granted(0)
 		return nil
 	default:
 		return fmt.Errorf("%w: %T", mutex.ErrUnexpectedMessage, m)

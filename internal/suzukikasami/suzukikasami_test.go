@@ -111,7 +111,7 @@ func (e *captureEnv) Send(_ mutex.ID, m mutex.Message) {
 		e.tokens++
 	}
 }
-func (e *captureEnv) Granted() {}
+func (e *captureEnv) Granted(uint64) {}
 
 func TestTokenQueueServesAllWaiters(t *testing.T) {
 	c, err := cluster.New(Builder, config(5, 1), cluster.WithCSTime(30*sim.Hop))

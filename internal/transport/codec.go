@@ -24,8 +24,9 @@ const (
 )
 
 // DAGCodec encodes the two messages of the thesis's algorithm. A REQUEST
-// is nine bytes on the wire (tag + two 32-bit identifiers); a PRIVILEGE is
-// a single tag byte, faithfully reflecting that the token carries no data.
+// is nine bytes on the wire (tag + two 32-bit identifiers); a PRIVILEGE
+// is a tag byte plus the 64-bit fencing generation the token carries (the
+// thesis's token is empty; the generation is the fencing extension).
 type DAGCodec struct{}
 
 var _ Codec = DAGCodec{}
@@ -40,7 +41,10 @@ func (DAGCodec) Encode(m mutex.Message) ([]byte, error) {
 		binary.BigEndian.PutUint32(buf[5:9], uint32(msg.Origin))
 		return buf, nil
 	case core.Privilege:
-		return []byte{wirePrivilege}, nil
+		buf := make([]byte, 9)
+		buf[0] = wirePrivilege
+		binary.BigEndian.PutUint64(buf[1:9], msg.Generation)
+		return buf, nil
 	default:
 		return nil, fmt.Errorf("dag codec: cannot encode %T", m)
 	}
@@ -61,10 +65,10 @@ func (DAGCodec) Decode(data []byte) (mutex.Message, error) {
 			Origin: mutex.ID(binary.BigEndian.Uint32(data[5:9])),
 		}, nil
 	case wirePrivilege:
-		if len(data) != 1 {
-			return nil, fmt.Errorf("dag codec: PRIVILEGE frame has %d bytes, want 1", len(data))
+		if len(data) != 9 {
+			return nil, fmt.Errorf("dag codec: PRIVILEGE frame has %d bytes, want 9", len(data))
 		}
-		return core.Privilege{}, nil
+		return core.Privilege{Generation: binary.BigEndian.Uint64(data[1:9])}, nil
 	default:
 		return nil, fmt.Errorf("dag codec: unknown kind tag %d", data[0])
 	}

@@ -10,9 +10,12 @@ import (
 	"dagmutex/internal/runtime"
 )
 
-// Handle is the blocking application API over one live node, provided by
-// the shared runtime and identical over every link layer.
-type Handle = runtime.Handle
+// Session is the blocking application API over one live node, provided
+// by the shared runtime and identical over every link layer.
+type Session = runtime.Session
+
+// Handle is Session's deprecated former name.
+type Handle = runtime.Session
 
 // Local runs one protocol node per cluster member inside a single
 // process, connected by mailboxes. It is purely a link layer: the actor

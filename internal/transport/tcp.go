@@ -562,8 +562,9 @@ func (t *TCPNode) Connect(addrs map[mutex.ID]string) { t.host.Connect(addrs) }
 func (t *TCPNode) Handle() *Handle { return t.handle }
 
 // Acquire requests the critical section and blocks until granted, the
-// cluster fails, or ctx expires.
-func (t *TCPNode) Acquire(ctx context.Context) error { return t.handle.Acquire(ctx) }
+// cluster fails, or ctx expires. It returns the grant's fencing
+// generation and local grant time.
+func (t *TCPNode) Acquire(ctx context.Context) (runtime.Grant, error) { return t.handle.Acquire(ctx) }
 
 // Release leaves the critical section.
 func (t *TCPNode) Release() error { return t.handle.Release() }

@@ -38,7 +38,7 @@ func TestLocalMutualExclusionUnderConcurrency(t *testing.T) {
 			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 			defer cancel()
 			for i := 0; i < perNode; i++ {
-				if err := h.Acquire(ctx); err != nil {
+				if _, err := h.Acquire(ctx); err != nil {
 					t.Errorf("node %d acquire: %v", h.ID(), err)
 					return
 				}
@@ -76,7 +76,7 @@ func TestLocalHolderAcquiresWithoutMessages(t *testing.T) {
 	h := l.Handle(2)
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	if err := h.Acquire(ctx); err != nil {
+	if _, err := h.Acquire(ctx); err != nil {
 		t.Fatal(err)
 	}
 	if err := h.Release(); err != nil {
@@ -96,10 +96,10 @@ func TestLocalDoubleAcquireFails(t *testing.T) {
 	defer l.Close()
 	h := l.Handle(1)
 	ctx := context.Background()
-	if err := h.Acquire(ctx); err != nil {
+	if _, err := h.Acquire(ctx); err != nil {
 		t.Fatal(err)
 	}
-	if err := h.Acquire(ctx); err == nil {
+	if _, err := h.Acquire(ctx); err == nil {
 		t.Fatal("second acquire while holding must fail")
 	}
 	if err := h.Release(); err != nil {
@@ -148,6 +148,7 @@ func TestDAGCodecRoundTrip(t *testing.T) {
 	msgs := []mutex.Message{
 		core.Request{From: 3, Origin: 7},
 		core.Privilege{},
+		core.Privilege{Generation: 42},
 	}
 	for _, m := range msgs {
 		b, err := c.Encode(m)
@@ -171,7 +172,8 @@ func TestDAGCodecRejectsGarbage(t *testing.T) {
 		{},
 		{99},                           // unknown tag
 		{1, 0, 0},                      // short REQUEST
-		{2, 0},                         // oversized PRIVILEGE
+		{2, 0},                         // short PRIVILEGE (missing generation)
+		{2, 0, 0, 0, 0, 0, 0, 0, 0, 0}, // oversized PRIVILEGE
 		{1, 0, 0, 0, 0, 0, 0, 0, 0, 0}, // oversized REQUEST
 	}
 	for _, b := range cases {
@@ -218,7 +220,7 @@ func TestTCPClusterMutualExclusion(t *testing.T) {
 			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 			defer cancel()
 			for i := 0; i < perNode; i++ {
-				if err := n.Acquire(ctx); err != nil {
+				if _, err := n.Acquire(ctx); err != nil {
 					t.Errorf("node %d acquire: %v", n.ID(), err)
 					return
 				}
@@ -262,7 +264,7 @@ func TestTCPAcquireTimesOutWithoutPeers(t *testing.T) {
 	n.Connect(map[mutex.ID]string{1: n.Addr()}) // no address for node 2
 	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
 	defer cancel()
-	if err := n.Acquire(ctx); err == nil {
+	if _, err := n.Acquire(ctx); err == nil {
 		t.Fatal("acquire must fail with the token holder unreachable")
 	}
 	if n.Err() == nil {
@@ -279,7 +281,7 @@ func TestLocalCloseIsIdempotentAndDrains(t *testing.T) {
 	h := l.Handle(1)
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	if err := h.Acquire(ctx); err != nil {
+	if _, err := h.Acquire(ctx); err != nil {
 		t.Fatal(err)
 	}
 	if err := h.Release(); err != nil {
@@ -332,8 +334,8 @@ func TestHandleStorage(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer l.Close()
-	if s := l.Handle(1).Storage(); s.Scalars != 3 {
-		t.Fatalf("storage = %+v, want 3 scalars", s)
+	if s := l.Handle(1).Storage(); s.Scalars != 4 {
+		t.Fatalf("storage = %+v, want 4 scalars", s)
 	}
 }
 
@@ -370,7 +372,7 @@ func TestLocalSendToUnknownNodeFailsClusterNotProcess(t *testing.T) {
 	defer l.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	err = l.Handle(1).Acquire(ctx)
+	_, err = l.Handle(1).Acquire(ctx)
 	if err == nil {
 		t.Fatal("acquire must fail when the protocol sends to an unknown node")
 	}
@@ -413,7 +415,7 @@ func TestLocalAcquireFailsFastOnClusterError(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	start := time.Now()
-	err = l.Handle(2).Acquire(ctx)
+	_, err = l.Handle(2).Acquire(ctx)
 	if err == nil {
 		t.Fatal("acquire must fail once the holder's deliver errors")
 	}
@@ -472,7 +474,7 @@ func TestTCPHostMultiInstance(t *testing.T) {
 				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 				defer cancel()
 				for i := 0; i < 10; i++ {
-					if err := h.Acquire(ctx); err != nil {
+					if _, err := h.Acquire(ctx); err != nil {
 						t.Errorf("node %d: %v", h.ID(), err)
 						return
 					}
@@ -526,7 +528,7 @@ func TestTCPHostBuffersFramesForUnregisteredInstance(t *testing.T) {
 	go func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
-		done <- n1.Handle().Acquire(ctx)
+		done <- acquireErr(n1.Handle(), ctx)
 	}()
 	time.Sleep(50 * time.Millisecond)
 	if _, err := h2.StartInstance(0, core.Builder, cfg); err != nil {
@@ -580,7 +582,7 @@ func TestTCPClusterMutualExclusionViaCluster(t *testing.T) {
 			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 			defer cancel()
 			for i := 0; i < 5; i++ {
-				if err := h.Acquire(ctx); err != nil {
+				if _, err := h.Acquire(ctx); err != nil {
 					t.Errorf("node %d: %v", h.ID(), err)
 					return
 				}
@@ -604,5 +606,88 @@ func TestTCPClusterMutualExclusionViaCluster(t *testing.T) {
 	}
 	if c.Handle(99) != nil {
 		t.Fatal("handle for unknown member must be nil")
+	}
+}
+
+// acquireErr adapts Session.Acquire to an error-only result for tests
+// that only care about the failure mode.
+func acquireErr(s *Session, ctx context.Context) error {
+	_, err := s.Acquire(ctx)
+	return err
+}
+
+// TestTryAcquireOnlyAtIdleHolder drives the Session's non-blocking entry
+// point over a live cluster: the idle holder gets the section (with a
+// fencing generation) without any protocol traffic, everyone else is
+// refused without issuing a request, so their sessions stay immediately
+// reusable.
+func TestTryAcquireOnlyAtIdleHolder(t *testing.T) {
+	tree := topology.Star(3)
+	l, err := NewLocal(core.Builder, dagConfig(tree, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// A non-holder is refused, without messages and without a pending
+	// request wedging the session.
+	if _, ok, err := l.Handle(2).TryAcquire(); err != nil || ok {
+		t.Fatalf("non-holder TryAcquire = (ok=%v, %v), want (false, nil)", ok, err)
+	}
+	if got := l.Messages(); got != 0 {
+		t.Fatalf("TryAcquire sent %d messages, want 0", got)
+	}
+
+	g, ok, err := l.Handle(1).TryAcquire()
+	if err != nil || !ok {
+		t.Fatalf("holder TryAcquire = (ok=%v, %v), want (true, nil)", ok, err)
+	}
+	if g.Generation != 1 {
+		t.Fatalf("TryAcquire generation = %d, want 1", g.Generation)
+	}
+	// Refused while the section is held.
+	if _, ok, _ := l.Handle(2).TryAcquire(); ok {
+		t.Fatal("TryAcquire succeeded at a non-holder while the section is held")
+	}
+	if err := l.Handle(1).Release(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The refused node's session is unharmed: a blocking Acquire works
+	// and continues the generation sequence.
+	g2, err := l.Handle(2).Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Generation != 2 {
+		t.Fatalf("post-TryAcquire Acquire generation = %d, want 2", g2.Generation)
+	}
+	if err := l.Handle(2).Release(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPrivilegeGenerationSurvivesTCPCodec: the fencing generation must
+// round-trip the framed wire format, not just the in-process path.
+func TestPrivilegeGenerationSurvivesTCPCodec(t *testing.T) {
+	gens := []uint64{0, 1, 1 << 40}
+	for _, gen := range gens {
+		b, err := DAGCodec{}.Encode(core.Privilege{Generation: gen})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := DAGCodec{}.Decode(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, ok := m.(core.Privilege)
+		if !ok || p.Generation != gen {
+			t.Fatalf("PRIVILEGE round-trip = %#v, want generation %d", m, gen)
+		}
 	}
 }

@@ -2,19 +2,25 @@ package workload
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"dagmutex/internal/lockservice"
 )
 
 // Locker is the surface a multi-resource workload drives: the sharded
 // lock service implements it, and tests can substitute an in-memory lock
-// table.
+// table. Acquire returns the hold's fencing token and lease deadline;
+// ReleaseHold releases that exact hold, so an expired lease is reported
+// precisely (ErrLeaseExpired) even when the slot has moved on to other
+// resources in the meantime.
 type Locker interface {
-	Acquire(ctx context.Context, resource string) error
-	Release(resource string) error
+	Acquire(ctx context.Context, resource string) (lockservice.Hold, error)
+	ReleaseHold(h lockservice.Hold) error
 }
 
 // KeyChooser picks the next resource index in [0, n).
@@ -78,6 +84,17 @@ type MultiResource struct {
 	// actually travel; when empty, every worker drives the Locker passed
 	// to Run.
 	Clients []Locker
+	// OverholdEvery, when positive, makes every OverholdEvery-th cycle of
+	// each worker a "stuck client": it dwells Overhold inside the section
+	// instead of Hold, modeling a holder that outlives its lease. The
+	// late Release is then expected to observe ErrLeaseExpired (counted
+	// in the result, not treated as a failure) — the lease-churn workload
+	// the lock service's expiry path is benchmarked with.
+	OverholdEvery int
+	// Overhold is the stuck-client dwell time; it should comfortably
+	// exceed the service's lease. Default 0 (no overholding even when
+	// OverholdEvery is set).
+	Overhold time.Duration
 }
 
 func (w MultiResource) withDefaults() MultiResource {
@@ -103,6 +120,12 @@ func (w MultiResource) withDefaults() MultiResource {
 type MultiResourceResult struct {
 	// Ops is the number of completed acquire→release cycles.
 	Ops int
+	// Expired is the number of cycles whose Release observed
+	// ErrLeaseExpired — the hold outlived its lease and the service
+	// reclaimed it before the worker let go.
+	Expired int
+	// MaxFence is the highest fencing token any worker was granted.
+	MaxFence uint64
 	// Elapsed is the wall-clock duration of the run.
 	Elapsed time.Duration
 }
@@ -124,6 +147,8 @@ func (w MultiResource) Run(ctx context.Context, l Locker) (MultiResourceResult, 
 	var (
 		wg       sync.WaitGroup
 		done     atomic.Int64
+		expired  atomic.Int64
+		maxFence atomic.Uint64
 		errOnce  sync.Once
 		firstErr error
 	)
@@ -146,16 +171,35 @@ func (w MultiResource) Run(ctx context.Context, l Locker) (MultiResourceResult, 
 					return
 				}
 				key := ResourceKey(w.Keys(rng))
-				if err := worker.Acquire(ctx, key); err != nil {
+				hold, err := worker.Acquire(ctx, key)
+				if err != nil {
 					if ctx.Err() == nil {
 						fail(err)
 					}
 					return
 				}
-				if w.Hold > 0 {
-					time.Sleep(w.Hold)
+				for {
+					cur := maxFence.Load()
+					if hold.Fence <= cur || maxFence.CompareAndSwap(cur, hold.Fence) {
+						break
+					}
 				}
-				if err := worker.Release(key); err != nil {
+				dwell := w.Hold
+				if w.OverholdEvery > 0 && w.Overhold > 0 && (op+1)%w.OverholdEvery == 0 {
+					dwell = w.Overhold
+				}
+				if dwell > 0 {
+					time.Sleep(dwell)
+				}
+				if err := worker.ReleaseHold(hold); err != nil {
+					if errors.Is(err, lockservice.ErrLeaseExpired) {
+						// The service reclaimed the hold mid-dwell: the
+						// expected outcome of an overheld lease, not a
+						// workload failure.
+						expired.Add(1)
+						done.Add(1)
+						continue
+					}
 					fail(err)
 					return
 				}
@@ -164,7 +208,12 @@ func (w MultiResource) Run(ctx context.Context, l Locker) (MultiResourceResult, 
 		}()
 	}
 	wg.Wait()
-	res := MultiResourceResult{Ops: int(done.Load()), Elapsed: time.Since(start)}
+	res := MultiResourceResult{
+		Ops:      int(done.Load()),
+		Expired:  int(expired.Load()),
+		MaxFence: maxFence.Load(),
+		Elapsed:  time.Since(start),
+	}
 	if firstErr != nil {
 		return res, firstErr
 	}

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"dagmutex/internal/lockservice"
 )
 
 // tableLocker is an in-memory per-key lock table that fails the test on
@@ -25,27 +27,27 @@ func newTableLocker() *tableLocker {
 	return l
 }
 
-func (l *tableLocker) Acquire(ctx context.Context, resource string) error {
+func (l *tableLocker) Acquire(ctx context.Context, resource string) (lockservice.Hold, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	for l.held[resource] {
 		if ctx.Err() != nil {
-			return ctx.Err()
+			return lockservice.Hold{}, ctx.Err()
 		}
 		l.cond.Wait()
 	}
 	l.held[resource] = true
 	l.acquires++
-	return nil
+	return lockservice.Hold{Resource: resource, Fence: uint64(l.acquires)}, nil
 }
 
-func (l *tableLocker) Release(resource string) error {
+func (l *tableLocker) ReleaseHold(h lockservice.Hold) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if !l.held[resource] {
-		return errors.New("release of unheld resource " + resource)
+	if !l.held[h.Resource] {
+		return errors.New("release of unheld resource " + h.Resource)
 	}
-	delete(l.held, resource)
+	delete(l.held, h.Resource)
 	l.cond.Broadcast()
 	return nil
 }
@@ -73,8 +75,10 @@ func TestMultiResourceRunCompletesAllOps(t *testing.T) {
 
 type failingLocker struct{ err error }
 
-func (f failingLocker) Acquire(context.Context, string) error { return f.err }
-func (f failingLocker) Release(string) error                  { return nil }
+func (f failingLocker) Acquire(context.Context, string) (lockservice.Hold, error) {
+	return lockservice.Hold{}, f.err
+}
+func (f failingLocker) ReleaseHold(lockservice.Hold) error { return nil }
 
 func TestMultiResourceRunPropagatesFirstError(t *testing.T) {
 	boom := errors.New("boom")

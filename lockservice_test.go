@@ -30,7 +30,7 @@ func TestLockServiceQuickstart(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for j := 0; j < 25; j++ {
-				if err := svc.Acquire(ctx, "account:alice"); err != nil {
+				if _, err := svc.Acquire(ctx, "account:alice"); err != nil {
 					t.Error(err)
 					return
 				}
@@ -107,7 +107,7 @@ func TestLockServiceClientsOnDistinctNodes(t *testing.T) {
 			defer wg.Done()
 			for j := 0; j < 10; j++ {
 				key := fmt.Sprintf("row-%d", j)
-				if err := c.Acquire(ctx, key); err != nil {
+				if _, err := c.Acquire(ctx, key); err != nil {
 					t.Error(err)
 					return
 				}
