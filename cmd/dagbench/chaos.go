@@ -1,0 +1,195 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dagmutex/internal/core"
+	"dagmutex/internal/failure"
+	"dagmutex/internal/harness"
+	"dagmutex/internal/mutex"
+	"dagmutex/internal/topology"
+	"dagmutex/internal/transport"
+)
+
+// chaosOptions parameterizes the live chaos benchmark: a closed-loop
+// cluster under a seeded kill schedule, measuring how fast the failure
+// subsystem (detection, DAG repair, token regeneration) restores grant
+// flow and what the disruption costs in throughput.
+type chaosOptions struct {
+	nodes     int
+	kills     int
+	heartbeat time.Duration
+	suspect   time.Duration
+	settle    time.Duration
+	hold      time.Duration
+}
+
+// chaosGrant is one observed critical-section entry.
+type chaosGrant struct {
+	at   time.Time
+	node mutex.ID
+	gen  uint64
+}
+
+// chaosTable runs the chaos experiment: every node hammers the cluster
+// in a closed loop; on the seeded schedule the most recent grantee (the
+// likeliest token holder) is killed; the table reports, per kill, the
+// recovery latency (kill to first surviving grant) and the throughput
+// dip around the outage.
+func chaosTable(co chaosOptions, seed int64) (*harness.Table, error) {
+	if co.kills >= co.nodes || 2*(co.nodes-co.kills) <= co.nodes {
+		return nil, fmt.Errorf("%d kills of %d nodes would lose the quorum recovery needs (keep kills < nodes/2)",
+			co.kills, co.nodes)
+	}
+	tree := topology.Star(co.nodes)
+	cfg := mutex.Config{IDs: tree.IDs(), Holder: 1, Parent: tree.ParentsToward(1)}
+	cl, err := transport.NewLocal(core.Builder, cfg,
+		transport.WithFailureDetection(failure.Config{Heartbeat: co.heartbeat, SuspectAfter: co.suspect}))
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+
+	var mu sync.Mutex
+	var grants []chaosGrant
+	var lastNode atomic.Int32
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	for _, id := range cfg.IDs {
+		h := cl.Handle(id)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				g, err := h.Acquire(ctx)
+				if err != nil {
+					return // killed node or shutdown
+				}
+				now := time.Now()
+				mu.Lock()
+				grants = append(grants, chaosGrant{at: now, node: h.ID(), gen: g.Generation})
+				mu.Unlock()
+				lastNode.Store(int32(h.ID()))
+				if co.hold > 0 {
+					time.Sleep(co.hold)
+				}
+				if err := h.Release(); err != nil {
+					return
+				}
+			}
+		}()
+	}
+
+	type killRec struct {
+		victim    mutex.ID
+		at        time.Time
+		recovered time.Time
+	}
+	rng := rand.New(rand.NewSource(seed))
+	dead := make(map[mutex.ID]bool)
+	var kills []killRec
+	time.Sleep(co.settle) // warm-up window, also the "before" sample
+	for k := 0; k < co.kills; k++ {
+		victim := mutex.ID(lastNode.Load())
+		for victim == mutex.Nil || dead[victim] {
+			victim = cfg.IDs[rng.Intn(len(cfg.IDs))]
+		}
+		mu.Lock()
+		mark := len(grants)
+		mu.Unlock()
+		at := time.Now()
+		if err := cl.Kill(victim); err != nil {
+			return nil, err
+		}
+		dead[victim] = true
+		rec := killRec{victim: victim, at: at}
+		for time.Since(at) < 30*time.Second {
+			mu.Lock()
+			for _, g := range grants[mark:] {
+				if !dead[g.node] && !g.at.Before(at) {
+					rec.recovered = g.at
+					break
+				}
+				mark++
+			}
+			mu.Unlock()
+			if !rec.recovered.IsZero() {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		if rec.recovered.IsZero() {
+			cancel()
+			wg.Wait()
+			return nil, fmt.Errorf("no surviving grant within 30s of killing node %d", victim)
+		}
+		kills = append(kills, rec)
+		time.Sleep(co.settle) // post-recovery sample window
+	}
+	cancel()
+	wg.Wait()
+	if err := cl.Err(); err != nil {
+		return nil, fmt.Errorf("cluster error under chaos: %w", err)
+	}
+
+	tbl := &harness.Table{
+		ID: "EXP-chaos",
+		Title: fmt.Sprintf("chaos: %d nodes, %d seeded kills of the active holder, heartbeat %v, suspect after %v",
+			co.nodes, co.kills, co.heartbeat, co.suspect),
+		Columns: []string{"kill", "victim", "recover-ms", "tput-before/s", "tput-after/s", "dip-%"},
+		Notes: []string{
+			"recover-ms: wall clock from SIGKILL-equivalent to the first grant on a surviving node (suspicion + probe + reorient/regenerate)",
+			"tput windows are the settle interval before the kill and after the recovery; dip is their relative drop",
+			"every kill of a token holder forces a full token regeneration with a fencing-generation jump",
+		},
+	}
+	window := co.settle
+	mu.Lock()
+	defer mu.Unlock()
+	rate := func(from, to time.Time) float64 {
+		if !to.After(from) {
+			return 0
+		}
+		n := 0
+		for _, g := range grants {
+			if !g.at.Before(from) && g.at.Before(to) {
+				n++
+			}
+		}
+		return float64(n) / to.Sub(from).Seconds()
+	}
+	var sumRec, sumDip float64
+	for i, kr := range kills {
+		before := rate(kr.at.Add(-window), kr.at)
+		after := rate(kr.recovered, kr.recovered.Add(window))
+		dip := 0.0
+		if before > 0 {
+			dip = 100 * (before - after) / before
+		}
+		recMS := float64(kr.recovered.Sub(kr.at)) / float64(time.Millisecond)
+		sumRec += recMS
+		sumDip += dip
+		tbl.AddRow(
+			fmt.Sprintf("%d", i+1),
+			fmt.Sprintf("%d", kr.victim),
+			fmt.Sprintf("%.1f", recMS),
+			fmt.Sprintf("%.0f", before),
+			fmt.Sprintf("%.0f", after),
+			fmt.Sprintf("%.1f", dip),
+		)
+	}
+	if len(kills) > 0 {
+		tbl.AddRow("mean", "-",
+			fmt.Sprintf("%.1f", sumRec/float64(len(kills))),
+			"-", "-",
+			fmt.Sprintf("%.1f", sumDip/float64(len(kills))),
+		)
+	}
+	return tbl, nil
+}

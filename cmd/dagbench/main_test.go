@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -21,9 +22,21 @@ func tinyLock() lockOptions {
 	}
 }
 
+// tinyChaos keeps the chaos benchmark small enough for unit tests.
+func tinyChaos() chaosOptions {
+	return chaosOptions{
+		nodes:     5,
+		kills:     1,
+		heartbeat: 5 * time.Millisecond,
+		suspect:   40 * time.Millisecond,
+		settle:    80 * time.Millisecond,
+		hold:      20 * time.Millisecond,
+	}
+}
+
 func TestRunSingleExperiment(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "6.3", false, false, 1, tinyLock()); err != nil {
+	if err := run(&b, "6.3", false, false, 1, tinyLock(), tinyChaos()); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -36,7 +49,7 @@ func TestRunSingleExperiment(t *testing.T) {
 
 func TestRunCSVOutput(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "6.3", true, false, 1, tinyLock()); err != nil {
+	if err := run(&b, "6.3", true, false, 1, tinyLock(), tinyChaos()); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -50,14 +63,14 @@ func TestRunCSVOutput(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "99", false, false, 1, tinyLock()); err == nil {
+	if err := run(&b, "99", false, false, 1, tinyLock(), tinyChaos()); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
 
 func TestRunTopoExperiment(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "topo", false, false, 1, tinyLock()); err != nil {
+	if err := run(&b, "topo", false, false, 1, tinyLock(), tinyChaos()); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "radiating-star") {
@@ -67,7 +80,7 @@ func TestRunTopoExperiment(t *testing.T) {
 
 func TestRunLockExperiment(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "lock", false, false, 1, tinyLock()); err != nil {
+	if err := run(&b, "lock", false, false, 1, tinyLock(), tinyChaos()); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -80,7 +93,7 @@ func TestRunLockExperiment(t *testing.T) {
 
 func TestRunLockExperimentCSV(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "lock", true, false, 1, tinyLock()); err != nil {
+	if err := run(&b, "lock", true, false, 1, tinyLock(), tinyChaos()); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -93,11 +106,11 @@ func TestRunLockRejectsBadShardList(t *testing.T) {
 	lo := tinyLock()
 	lo.shards = "1,zero"
 	var b strings.Builder
-	if err := run(&b, "lock", false, false, 1, lo); err == nil {
+	if err := run(&b, "lock", false, false, 1, lo, tinyChaos()); err == nil {
 		t.Fatal("bad shard list accepted")
 	}
 	lo.shards = ""
-	if err := run(&b, "lock", false, false, 1, lo); err == nil {
+	if err := run(&b, "lock", false, false, 1, lo, tinyChaos()); err == nil {
 		t.Fatal("empty shard list accepted")
 	}
 }
@@ -159,7 +172,7 @@ func TestLockThroughputScalesWithShards(t *testing.T) {
 
 func TestRunJSONOutput(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "6.3", false, true, 1, tinyLock()); err != nil {
+	if err := run(&b, "6.3", false, true, 1, tinyLock(), tinyChaos()); err != nil {
 		t.Fatal(err)
 	}
 	var tables []struct {
@@ -184,7 +197,7 @@ func TestRunJSONOutput(t *testing.T) {
 // substrates.
 func TestRunLockExperimentJSONSweepsBothTransports(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "lock", false, true, 1, tinyLock()); err != nil {
+	if err := run(&b, "lock", false, true, 1, tinyLock(), tinyChaos()); err != nil {
 		t.Fatal(err)
 	}
 	var tables []struct {
@@ -210,11 +223,11 @@ func TestRunLockRejectsBadTransportList(t *testing.T) {
 	lo := tinyLock()
 	lo.transports = "local,udp"
 	var b strings.Builder
-	if err := run(&b, "lock", false, false, 1, lo); err == nil {
+	if err := run(&b, "lock", false, false, 1, lo, tinyChaos()); err == nil {
 		t.Fatal("bad transport list accepted")
 	}
 	lo.transports = ""
-	if err := run(&b, "lock", false, false, 1, lo); err == nil {
+	if err := run(&b, "lock", false, false, 1, lo, tinyChaos()); err == nil {
 		t.Fatal("empty transport list accepted")
 	}
 }
@@ -223,7 +236,7 @@ func TestRunLockRejectsBadTransportList(t *testing.T) {
 // experiment, in registry order.
 func TestRunExpCommaList(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "6.3, 6.4", false, false, 1, tinyLock()); err != nil {
+	if err := run(&b, "6.3, 6.4", false, false, 1, tinyLock(), tinyChaos()); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -238,7 +251,7 @@ func TestRunExpCommaList(t *testing.T) {
 // a clear one-line error before anything executes.
 func TestRunRejectsUnknownExpInList(t *testing.T) {
 	var b strings.Builder
-	err := run(&b, "6.3,bogus", false, false, 1, tinyLock())
+	err := run(&b, "6.3,bogus", false, false, 1, tinyLock(), tinyChaos())
 	if err == nil {
 		t.Fatal("unknown experiment in list accepted")
 	}
@@ -256,7 +269,7 @@ func TestRunRejectsUnknownExpInList(t *testing.T) {
 func TestRunRejectsEmptyExpList(t *testing.T) {
 	var b strings.Builder
 	for _, exp := range []string{"", " , "} {
-		if err := run(&b, exp, false, false, 1, tinyLock()); err == nil {
+		if err := run(&b, exp, false, false, 1, tinyLock(), tinyChaos()); err == nil {
 			t.Fatalf("empty -exp %q accepted", exp)
 		}
 	}
@@ -274,7 +287,7 @@ func TestRunLeaseExperiment(t *testing.T) {
 	lo.lease = 30 * time.Millisecond
 	lo.overholdEvery = 2
 	var b strings.Builder
-	if err := run(&b, "lease", false, true, 1, lo); err != nil {
+	if err := run(&b, "lease", false, true, 1, lo, tinyChaos()); err != nil {
 		t.Fatal(err)
 	}
 	var tables []struct {
@@ -323,5 +336,57 @@ func TestLockSweepDoesNotChurnWithLease(t *testing.T) {
 	lo.churn = true
 	if w := lockWorkload(lo, 1, nil); w.OverholdEvery != 4 || w.Overhold != 2*time.Hour {
 		t.Fatalf("lease experiment workload does not churn: %+v", w)
+	}
+}
+
+// TestRunChaosExperiment drives the chaos benchmark end to end: the
+// seeded kill of the active holder must be recovered from, and the table
+// must report a positive recovery latency. Skipped in -short: it burns
+// real wall-clock on detection timeouts.
+func TestRunChaosExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live wall-clock chaos benchmark; skipped in -short mode")
+	}
+	var b strings.Builder
+	if err := run(&b, "chaos", false, true, 1, tinyLock(), tinyChaos()); err != nil {
+		t.Fatal(err)
+	}
+	var tables []struct {
+		ID      string     `json:"id"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &tables); err != nil {
+		t.Fatalf("chaos -json output invalid: %v\n%s", err, b.String())
+	}
+	if len(tables) != 1 || tables[0].ID != "EXP-chaos" {
+		t.Fatalf("unexpected tables: %+v", tables)
+	}
+	recCol := -1
+	for i, c := range tables[0].Columns {
+		if c == "recover-ms" {
+			recCol = i
+		}
+	}
+	if recCol < 0 {
+		t.Fatalf("chaos table missing recover-ms column: %v", tables[0].Columns)
+	}
+	if len(tables[0].Rows) != 2 { // one kill + the mean row
+		t.Fatalf("chaos rows = %v, want one kill row and a mean row", tables[0].Rows)
+	}
+	var ms float64
+	if _, err := fmt.Sscanf(tables[0].Rows[0][recCol], "%f", &ms); err != nil || ms <= 0 {
+		t.Fatalf("recovery latency %q not a positive number", tables[0].Rows[0][recCol])
+	}
+}
+
+// TestChaosRejectsQuorumLoss: a kill schedule that would destroy the
+// majority is refused up front with a clear error.
+func TestChaosRejectsQuorumLoss(t *testing.T) {
+	co := tinyChaos()
+	co.nodes = 4
+	co.kills = 2
+	if _, err := chaosTable(co, 1); err == nil {
+		t.Fatal("kill schedule losing the quorum accepted")
 	}
 }

@@ -2,11 +2,17 @@
 // §3.3 simple example) and Figure 6 (the §4.2 complete example) — through
 // the real protocol implementation, printing the same step-by-step
 // HOLDING / NEXT / FOLLOW tables the thesis prints, plus the implicit
-// waiting queue deduced from the FOLLOW chain.
+// waiting queue deduced from the FOLLOW chain. With -chaos it instead
+// replays a crash scenario the thesis's fail-free model excludes: the
+// token holder dies mid-critical-section, and the trace renders every
+// failure-subsystem event — suspicion, probe, regeneration,
+// reorientation — alongside the state tables, so a recovery is as
+// readable as the paper's own examples.
 //
 // Usage:
 //
 //	dagtrace -fig 6
+//	dagtrace -chaos
 package main
 
 import (
@@ -23,8 +29,15 @@ import (
 
 func main() {
 	fig := flag.Int("fig", 6, "figure to replay: 2 or 6")
+	chaos := flag.Bool("chaos", false, "replay the crash-recovery scenario instead of a thesis figure")
 	flag.Parse()
-	if err := run(os.Stdout, *fig); err != nil {
+	var err error
+	if *chaos {
+		err = chaosDemo(os.Stdout)
+	} else {
+		err = run(os.Stdout, *fig)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "dagtrace:", err)
 		os.Exit(1)
 	}

@@ -48,3 +48,32 @@ func TestUnknownFigure(t *testing.T) {
 		t.Fatal("unknown figure accepted")
 	}
 }
+
+// TestChaosDemoRendersRecovery: the -chaos replay must narrate the whole
+// failure lifecycle — crash, suspicion, probe, regeneration with its
+// fencing jump, reorientation — and end with the cluster serving grants
+// again.
+func TestChaosDemoRendersRecovery(t *testing.T) {
+	var b strings.Builder
+	if err := chaosDemo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"CRASHED",
+		"PEER-DOWN",
+		"PROBE",
+		"FREEZE",
+		"REGENERATE",
+		"REORIENT",
+		"gen=1048576",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chaos trace missing %q:\n%s", want, out)
+		}
+	}
+	// The waiter's grant must show the regeneration jump.
+	if !strings.Contains(out, "fencing generation 1048577") {
+		t.Fatalf("chaos trace missing the regenerated grant generation:\n%s", out)
+	}
+}

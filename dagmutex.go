@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"dagmutex/internal/core"
+	"dagmutex/internal/failure"
 	"dagmutex/internal/lockservice"
 	"dagmutex/internal/mutex"
 	"dagmutex/internal/runtime"
@@ -122,6 +123,34 @@ func (c *Cluster) Err() error { return c.local.Err() }
 
 // Close stops the cluster's goroutines and waits for them to exit.
 func (c *Cluster) Close() { c.local.Close() }
+
+// NewChaosCluster starts a live in-process cluster with the failure
+// subsystem armed: every member runs a heartbeat failure detector tuned
+// by fcfg, a crashed member (Kill, or Injector().Crash) is excised by
+// the surviving majority — regenerating the token if it died with the
+// victim — and the cluster's FaultInjector can sever links, partition
+// and heal. See the "Failure model" section of the package docs.
+func NewChaosCluster(tree *Tree, holder ID, fcfg FailureConfig) (*Cluster, error) {
+	cfg, err := TreeConfig(tree, holder)
+	if err != nil {
+		return nil, err
+	}
+	l, err := transport.NewLocal(core.Builder, cfg, transport.WithFailureDetection(fcfg))
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{local: l, tree: tree}, nil
+}
+
+// Kill crashes member id: it falls silent mid-whatever-it-was-doing, its
+// own Session fails fast with ErrNodeDown, and the survivors detect and
+// recover. Only meaningful on a NewChaosCluster (without detection the
+// survivors cannot notice).
+func (c *Cluster) Kill(id ID) error { return c.local.Kill(id) }
+
+// Injector returns the cluster's fault plan, for severing links and
+// partitioning deterministically.
+func (c *Cluster) Injector() *FaultInjector { return c.local.Injector() }
 
 // NewClusterWithINIT starts a live cluster whose nodes derive their edge
 // orientation at runtime by executing the thesis's Figure 5 INIT flood,
@@ -282,3 +311,31 @@ func NewTCPCluster(tree *Tree, holder ID) (*TCPCluster, error) {
 	}
 	return transport.NewTCPCluster(core.Builder, cfg, transport.DAGCodec{})
 }
+
+// FailureConfig tunes the heartbeat failure detector: how often members
+// heartbeat each other and how long silence lasts before a peer is
+// suspected dead. See the "Failure model" section of the package
+// documentation.
+type FailureConfig = failure.Config
+
+// FaultInjector is the deterministic fault plan chaos tests drive:
+// crash nodes, sever links, partition and heal. Install it on a
+// LocalLockTransport or a chaos cluster.
+type FaultInjector = failure.Injector
+
+// NewFaultInjector returns an empty fault plan.
+func NewFaultInjector() *FaultInjector { return failure.NewInjector() }
+
+// ErrNodeDown marks per-node death: session operations on a crashed
+// member return it (wrapped), while the surviving members recover and
+// keep serving.
+var ErrNodeDown = runtime.ErrNodeDown
+
+// MemberEvent is one membership observation (peer down or up) exposed
+// on Session.Membership.
+type MemberEvent = runtime.MemberEvent
+
+// LocalLockTransport runs every lock-service member in this process;
+// arm its Failure field to give every shard heartbeat failure detection
+// and per-shard crash failover.
+type LocalLockTransport = lockservice.LocalTransport

@@ -69,6 +69,40 @@
 // interval instead of wedging it forever. See examples/leases for the
 // full pattern.
 //
+// # Failure model
+//
+// The thesis assumes fail-free nodes; this reproduction does not. A
+// heartbeat failure detector (internal/failure) runs over the same
+// links as the protocol and turns silence — or transport evidence such
+// as a TCP connection reset when a peer process dies — into per-peer
+// down verdicts, delivered to the protocol as membership events rather
+// than cluster-fatal errors. On a verdict the highest surviving node
+// coordinates an epoch-numbered recovery: a probe round freezes the
+// survivors and collects token/request state, then a reorientation
+// round rebuilds the DAG, re-queues the waiters the dead node stranded,
+// and — if the token died with the crashed node or in flight from it —
+// regenerates it with a generation jumped 2^20 above the highest any
+// survivor observed — headroom covering up to a million grants the dead
+// holder issued locally without messages (a bound, not an absolute; see
+// the README's failure-model section). Messages carry the epoch, and
+// stale-epoch messages are annihilated on delivery, so exactly one live
+// token exists per epoch and fencing generations stay strictly
+// monotonic across crashes within that bound.
+//
+// What recovery cannot close: a falsely-suspected live holder coexists
+// with the regenerated token until it is re-admitted (it rejoins the
+// first time it hears newer-epoch traffic, discarding its stale token).
+// During that window mutual exclusion is violated and the fencing
+// generation is the defense — the stale side's fences sit a full
+// regeneration jump below the new world's, so fenced stores reject its
+// writes. Regeneration is quorum-gated: a minority partition never
+// mints a second token. Crashed members' sessions fail fast with
+// ErrNodeDown; survivors' blocked Acquires are served by the rebuilt
+// chain. The chaos battery (internal/conformance) drives all of this
+// identically over both link layers, `dagtrace -chaos` renders a
+// recovery step by step, and `dagbench -exp chaos` measures recovery
+// latency and the throughput dip under a seeded kill schedule.
+//
 // # Using the library
 //
 // For an in-process cluster connected by goroutines and channels:

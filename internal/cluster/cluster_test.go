@@ -252,8 +252,8 @@ func TestMaxStorageSampling(t *testing.T) {
 		t.Fatalf("storage samples for %d nodes, want 5", len(ms))
 	}
 	for id, s := range ms {
-		if s.Scalars != 4 {
-			t.Fatalf("node %d max scalars = %d, want 4 (HOLDING, NEXT, FOLLOW + generation)", id, s.Scalars)
+		if s.Scalars != 5 {
+			t.Fatalf("node %d max scalars = %d, want 5 (HOLDING, NEXT, FOLLOW, generation, epoch)", id, s.Scalars)
 		}
 	}
 }

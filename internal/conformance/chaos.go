@@ -1,0 +1,329 @@
+package conformance
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"dagmutex/internal/failure"
+	"dagmutex/internal/mutex"
+	"dagmutex/internal/runtime"
+	"dagmutex/internal/transport"
+)
+
+// ChaosCluster is the surface the chaos battery drives: blocking
+// sessions plus the fault controls every chaos-capable link layer
+// provides — kill a member, partition the cluster, heal it.
+type ChaosCluster interface {
+	Handle(id mutex.ID) *runtime.Session
+	Kill(id mutex.ID) error
+	Partition(groups ...[]mutex.ID)
+	Heal()
+	Err() error
+	Close()
+}
+
+// ChaosSubstrate describes one chaos-capable link layer to the battery.
+type ChaosSubstrate struct {
+	// Name labels subtests ("local", "tcp").
+	Name string
+	// New starts a cluster with failure detection armed (fcfg) and a
+	// fault plan installed.
+	New func(b mutex.Builder, cfg mutex.Config, fcfg failure.Config) (ChaosCluster, error)
+}
+
+// chaosLocal adapts transport.Local.
+type chaosLocal struct{ l *transport.Local }
+
+func (c chaosLocal) Handle(id mutex.ID) *runtime.Session { return c.l.Handle(id) }
+func (c chaosLocal) Kill(id mutex.ID) error              { return c.l.Kill(id) }
+func (c chaosLocal) Partition(groups ...[]mutex.ID)      { c.l.Injector().Partition(groups...) }
+func (c chaosLocal) Heal()                               { c.l.Injector().Heal() }
+func (c chaosLocal) Err() error                          { return c.l.Err() }
+func (c chaosLocal) Close()                              { c.l.Close() }
+
+// chaosTCP adapts transport.TCPCluster in chaos mode.
+type chaosTCP struct{ c *transport.TCPCluster }
+
+func (c chaosTCP) Handle(id mutex.ID) *runtime.Session { return c.c.Handle(id) }
+func (c chaosTCP) Kill(id mutex.ID) error              { return c.c.Kill(id) }
+func (c chaosTCP) Partition(groups ...[]mutex.ID)      { c.c.Injector().Partition(groups...) }
+func (c chaosTCP) Heal()                               { c.c.Injector().Heal() }
+func (c chaosTCP) Err() error                          { return c.c.Err() }
+func (c chaosTCP) Close()                              { c.c.Close() }
+
+// ChaosSubstrates returns the chaos-capable link layers the battery runs
+// identically over: in-process mailboxes with the fault injector, and
+// loopback TCP where a kill tears real sockets down (peers see the same
+// connection resets a dead OS process produces).
+func ChaosSubstrates(codec transport.Codec) []ChaosSubstrate {
+	return []ChaosSubstrate{
+		{
+			Name: "local",
+			New: func(b mutex.Builder, cfg mutex.Config, fcfg failure.Config) (ChaosCluster, error) {
+				l, err := transport.NewLocal(b, cfg, transport.WithFailureDetection(fcfg))
+				if err != nil {
+					return nil, err
+				}
+				return chaosLocal{l: l}, nil
+			},
+		},
+		{
+			Name: "tcp",
+			New: func(b mutex.Builder, cfg mutex.Config, fcfg failure.Config) (ChaosCluster, error) {
+				c, err := transport.NewTCPClusterChaos(b, cfg, codec, fcfg, failure.NewInjector())
+				if err != nil {
+					return nil, err
+				}
+				return chaosTCP{c: c}, nil
+			},
+		},
+	}
+}
+
+// chaosDetection is the battery's detector tuning: fast enough that a
+// whole scenario (suspect, probe, reorient, re-grant) completes in well
+// under a second, slow enough that loaded CI schedulers do not produce
+// false suspicion.
+func chaosDetection() failure.Config {
+	return failure.Config{Heartbeat: 10 * time.Millisecond, SuspectAfter: 120 * time.Millisecond}
+}
+
+// RunChaos executes the crash battery for protocol f over every chaos
+// substrate: kill the token holder mid-critical-section, kill a queued
+// waiter, partition and heal. It requires a protocol that implements
+// mutex.MembershipHandler (the DAG algorithm); like the soak lanes it is
+// skipped under -short.
+func RunChaos(t *testing.T, f Factory, subs []ChaosSubstrate) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("chaos battery skipped in -short (timing-dependent fault injection)")
+	}
+	for _, sub := range subs {
+		sub := sub
+		t.Run(sub.Name, func(t *testing.T) {
+			t.Run("KillHolderMidCS", func(t *testing.T) { chaosKillHolder(t, f, sub) })
+			t.Run("KillWaiter", func(t *testing.T) { chaosKillWaiter(t, f, sub) })
+			t.Run("PartitionHeal", func(t *testing.T) { chaosPartitionHeal(t, f, sub) })
+		})
+	}
+}
+
+func (f Factory) chaosCluster(t *testing.T, sub ChaosSubstrate, n int, holder mutex.ID) (ChaosCluster, mutex.Config) {
+	t.Helper()
+	cfg := f.Config(n, holder)
+	c, err := sub.New(f.Builder, cfg, chaosDetection())
+	if err != nil {
+		t.Fatalf("start %s chaos cluster (n=%d): %v", sub.Name, n, err)
+	}
+	t.Cleanup(c.Close)
+	return c, cfg
+}
+
+// chaosKillHolder is the acceptance scenario: the token holder dies
+// inside its critical section with a waiter queued. The failure
+// subsystem must detect the death, regenerate the token, and serve the
+// waiter — under a fencing generation strictly above the dead holder's.
+func chaosKillHolder(t *testing.T, f Factory, sub ChaosSubstrate) {
+	c, _ := f.chaosCluster(t, sub, 5, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	holder := c.Handle(1)
+	g1, err := holder.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	waiter := c.Handle(3)
+	type res struct {
+		g   runtime.Grant
+		err error
+	}
+	done := make(chan res, 1)
+	go func() {
+		g, err := waiter.Acquire(ctx)
+		done <- res{g, err}
+	}()
+	time.Sleep(50 * time.Millisecond) // let the REQUEST queue behind the doomed holder
+
+	killedAt := time.Now()
+	if err := c.Kill(1); err != nil {
+		t.Fatal(err)
+	}
+	r := <-done
+	if r.err != nil {
+		t.Fatalf("waiter acquire after holder kill: %v", r.err)
+	}
+	t.Logf("recovered in %v (generation %d -> %d)", time.Since(killedAt), g1.Generation, r.g.Generation)
+	if r.g.Generation <= g1.Generation {
+		t.Fatalf("post-kill generation %d not above dead holder's %d", r.g.Generation, g1.Generation)
+	}
+	if err := waiter.Release(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The survivors keep making progress with monotonic fences.
+	last := r.g.Generation
+	for _, id := range []mutex.ID{2, 4, 5} {
+		h := c.Handle(id)
+		g, err := h.Acquire(ctx)
+		if err != nil {
+			t.Fatalf("survivor %d acquire: %v", id, err)
+		}
+		if g.Generation <= last {
+			t.Fatalf("survivor %d generation %d not above %d", id, g.Generation, last)
+		}
+		last = g.Generation
+		if err := h.Release(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Err(); err != nil {
+		t.Fatalf("cluster error after recovery: %v (a crash must not be cluster-fatal)", err)
+	}
+}
+
+// chaosKillWaiter kills a queued waiter: the rebuild must excise it from
+// the FOLLOW chain so the holder's release does not strand the token on
+// a dead node.
+func chaosKillWaiter(t *testing.T, f Factory, sub ChaosSubstrate) {
+	c, _ := f.chaosCluster(t, sub, 5, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	holder := c.Handle(1)
+	g1, err := holder.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 3 queues behind the holder, then dies waiting.
+	go func() { _, _ = c.Handle(3).Acquire(ctx) }()
+	time.Sleep(50 * time.Millisecond)
+	if err := c.Kill(3); err != nil {
+		t.Fatal(err)
+	}
+	// Whether the release races the recovery or follows it, the token
+	// must end up serving live nodes: either the rebuild already excised
+	// the dead waiter, or the token is briefly lost to it and the next
+	// recovery regenerates it.
+	time.Sleep(20 * time.Millisecond)
+	if err := holder.Release(); err != nil {
+		t.Fatal(err)
+	}
+	h4 := c.Handle(4)
+	g4, err := h4.Acquire(ctx)
+	if err != nil {
+		t.Fatalf("acquire after waiter death: %v", err)
+	}
+	if g4.Generation <= g1.Generation {
+		t.Fatalf("generation %d not above pre-death %d", g4.Generation, g1.Generation)
+	}
+	if err := h4.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Err(); err != nil {
+		t.Fatalf("cluster error after waiter death: %v", err)
+	}
+}
+
+// chaosPartitionHeal isolates one member behind a partition: its acquire
+// blocks (its REQUEST is lost in the cut), the majority keeps granting,
+// and on heal the isolated member is re-admitted — its outstanding
+// request is re-issued and served, and it stays a full participant.
+func chaosPartitionHeal(t *testing.T, f Factory, sub ChaosSubstrate) {
+	c, _ := f.chaosCluster(t, sub, 5, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// Baseline entry so generations have a pre-partition high-water mark.
+	h1 := c.Handle(1)
+	g1, err := h1.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h1.Release(); err != nil {
+		t.Fatal(err)
+	}
+
+	c.Partition([]mutex.ID{1, 3, 4, 5}, []mutex.ID{2})
+
+	// The isolated member's acquire blocks: its REQUEST dies in the cut.
+	type res struct {
+		g   runtime.Grant
+		err error
+	}
+	blocked := make(chan res, 1)
+	go func() {
+		g, err := c.Handle(2).Acquire(ctx)
+		blocked <- res{g, err}
+	}()
+
+	// Wait until the majority's coordinator (the highest ID) observes the
+	// isolation — that is what arms the re-admission path (a recovery
+	// bumps the epoch; the heal's Welcome carries it).
+	select {
+	case ev := <-c.Handle(5).Membership():
+		if !ev.Down || ev.Peer != 2 {
+			t.Logf("first membership observation: %+v", ev)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("coordinator never observed the isolated member going down")
+	}
+
+	// The majority keeps working through the partition (the token is on
+	// its side; the recovery merely excises the unreachable member).
+	last := g1.Generation
+	for i := 0; i < 3; i++ {
+		g, err := c.Handle(4).Acquire(ctx)
+		if err != nil {
+			t.Fatalf("majority acquire during partition: %v", err)
+		}
+		if g.Generation <= last {
+			t.Fatalf("majority generation %d not above %d", g.Generation, last)
+		}
+		last = g.Generation
+		if err := c.Handle(4).Release(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case r := <-blocked:
+		t.Fatalf("isolated member's acquire completed during the partition: %+v", r)
+	default:
+	}
+
+	c.Heal()
+
+	// Re-admission: the isolated member's outstanding request is
+	// re-issued into the healed cluster and served.
+	select {
+	case r := <-blocked:
+		if r.err != nil {
+			t.Fatalf("isolated member's acquire after heal: %v", r.err)
+		}
+		if r.g.Generation <= last {
+			t.Fatalf("post-heal generation %d not above majority's %d", r.g.Generation, last)
+		}
+		last = r.g.Generation
+	case <-time.After(30 * time.Second):
+		t.Fatal("isolated member's acquire never completed after heal")
+	}
+	if err := c.Handle(2).Release(); err != nil {
+		t.Fatal(err)
+	}
+	// And it stays a full participant.
+	g2, err := c.Handle(2).Acquire(ctx)
+	if err != nil {
+		t.Fatalf("re-acquire after heal: %v", err)
+	}
+	if g2.Generation <= last {
+		t.Fatalf("re-acquire generation %d not above %d", g2.Generation, last)
+	}
+	if err := c.Handle(2).Release(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Err(); err != nil {
+		t.Fatalf("cluster error after partition-and-heal: %v", err)
+	}
+}

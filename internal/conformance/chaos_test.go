@@ -1,0 +1,15 @@
+package conformance
+
+import (
+	"testing"
+
+	"dagmutex/internal/transport"
+)
+
+// TestDAGChaosOverBothLinkLayers runs the crash battery — kill the
+// holder mid-CS, kill a waiter, partition and heal — identically over
+// the in-process and TCP link layers. Gated like the soak lanes: skipped
+// under -short.
+func TestDAGChaosOverBothLinkLayers(t *testing.T) {
+	RunChaos(t, dagFactory(), ChaosSubstrates(transport.DAGCodec{}))
+}

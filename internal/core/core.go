@@ -34,17 +34,23 @@ import (
 // node that forwarded it; Origin is Y, the node that initiated it. From
 // always equals the transport-level sender; it is kept in the message body
 // because the paper defines the message to carry both integers, and the
-// storage analysis (§6.4) counts them.
+// storage analysis (§6.4) counts them. Epoch is the failure-recovery
+// extension: requests from a superseded configuration (sent before a
+// crash recovery the sender had not yet seen) are dropped on delivery, so
+// a recovered cluster cannot double-serve a request that the recovery
+// already re-queued.
 type Request struct {
 	From   mutex.ID
 	Origin mutex.ID
+	Epoch  uint32
 }
 
 // Kind implements mutex.Message.
 func (Request) Kind() string { return "REQUEST" }
 
-// Size implements mutex.Message: two integers, per thesis §6.4.
-func (Request) Size() int { return 2 * mutex.IntSize }
+// Size implements mutex.Message: two integers, per thesis §6.4, plus the
+// recovery epoch.
+func (Request) Size() int { return 2*mutex.IntSize + EpochSize }
 
 // Privilege is the token. The thesis's PRIVILEGE carries no data at all
 // (§6.4); this implementation extends it with one integer, the fencing
@@ -55,19 +61,30 @@ func (Request) Size() int { return 2 * mutex.IntSize }
 // needs no coordination beyond riding along with the token itself — the
 // hardening step the token-algorithm surveys identify as what separates
 // the paper algorithm from a deployable lock service.
+//
+// Epoch stamps the token with the recovery epoch it was issued under. A
+// token from an older epoch is annihilated on delivery: either the
+// recovery regenerated it (so the old instance must not resurface) or its
+// holder was excised, and in both cases exactly one live token per epoch
+// survives.
 type Privilege struct {
 	Generation uint64
+	Epoch      uint32
 }
 
 // Kind implements mutex.Message.
 func (Privilege) Kind() string { return "PRIVILEGE" }
 
 // Size implements mutex.Message: one 8-byte generation counter (the
-// thesis's token is empty; the fencing extension costs one integer).
-func (Privilege) Size() int { return GenSize }
+// thesis's token is empty; the fencing extension costs one integer) plus
+// the recovery epoch.
+func (Privilege) Size() int { return GenSize + EpochSize }
 
 // GenSize is the wire size, in bytes, of the fencing generation counter.
 const GenSize = 8
+
+// EpochSize is the wire size, in bytes, of the recovery epoch counter.
+const EpochSize = 4
 
 // State names the six node states of the thesis's Figure 4.
 type State uint8
@@ -159,6 +176,13 @@ type Snapshot struct {
 	// meaningful only while the node has the token (elsewhere it is the
 	// stale value from the node's last possession).
 	Generation uint64
+	// Epoch is the recovery epoch the node operates in: 0 until the first
+	// crash recovery, bumped by every one.
+	Epoch uint32
+	// Frozen reports that the node is mid-recovery: it has acknowledged a
+	// probe (or is coordinating one) and withholds token movement until
+	// the coordinator's reorientation arrives.
+	Frozen bool
 }
 
 // State classifies the snapshot into one of Figure 4's six states.
@@ -195,6 +219,31 @@ type Node struct {
 	inCS       bool
 	gen        uint64 // fencing counter; travels with the token (see Privilege)
 
+	// Failure-recovery state (see recover.go). Epoch counts completed
+	// recoveries; dead is the local membership suspicion set; frozen spans
+	// the window between acknowledging a probe and applying the
+	// coordinator's reorientation, during which the token must not move.
+	epoch   uint32
+	coord   mutex.ID // coordinator that set the current epoch (tie-break)
+	ids     []mutex.ID
+	dead    map[mutex.ID]bool
+	frozen  bool
+	staleCS bool // in CS under a token a recovery has since invalidated
+	// ackedRequesting remembers what the node told the coordinator, so
+	// requests issued during the freeze (which the coordinator cannot
+	// know about) are re-sent after reorientation while acknowledged ones
+	// wait for the rebuilt chain.
+	ackedRequesting bool
+	deferred        []deferredMsg // same-epoch traffic buffered while frozen
+	joinAsked       uint32        // highest epoch we already sent a Join for
+
+	// Coordinator-side recovery state.
+	collecting bool
+	awaiting   map[mutex.ID]bool
+	ackHolder  mutex.ID
+	ackWaiters []mutex.ID
+	ackMaxGen  uint64
+
 	// Figure 5 INIT support (see init.go). Nodes built with New are
 	// initialized statically and never touch these fields.
 	uninitialized bool
@@ -204,9 +253,17 @@ type Node struct {
 	// onTransition, when set, observes every Figure 4 transition together
 	// with the state the node ends up in. Used by the automaton checker.
 	onTransition func(tr Transition, to State)
+	// onEvent, when set, observes failure-recovery events (see Event).
+	onEvent func(Event)
+}
+
+type deferredMsg struct {
+	from mutex.ID
+	msg  mutex.Message
 }
 
 var _ mutex.Node = (*Node)(nil)
+var _ mutex.MembershipHandler = (*Node)(nil)
 
 // Option configures a Node at construction time.
 type Option func(*Node)
@@ -215,6 +272,14 @@ type Option func(*Node)
 // transition, with the Figure 4 transition number and resulting state.
 func WithTransitionObserver(fn func(tr Transition, to State)) Option {
 	return func(n *Node) { n.onTransition = fn }
+}
+
+// WithEventObserver registers fn to be invoked on every failure-recovery
+// event (peer suspected, probe, regeneration, reorientation, ...), for
+// traces and telemetry. fn runs inside the node's handlers and must not
+// block.
+func WithEventObserver(fn func(Event)) Option {
+	return func(n *Node) { n.onEvent = fn }
 }
 
 // New constructs the node with the given identifier. cfg.Holder designates
@@ -228,7 +293,8 @@ func New(id mutex.ID, env mutex.Env, cfg mutex.Config, opts ...Option) (*Node, e
 	if cfg.Holder == mutex.Nil {
 		return nil, fmt.Errorf("%w: no initial token holder designated", mutex.ErrBadConfig)
 	}
-	n := &Node{id: id, env: env}
+	n := &Node{id: id, env: env,
+		ids: append([]mutex.ID(nil), cfg.IDs...), dead: make(map[mutex.ID]bool)}
 	if cfg.Holder == id {
 		n.holding = true
 		n.next = mutex.Nil
@@ -267,6 +333,8 @@ func (n *Node) Snapshot() Snapshot {
 		Requesting: n.requesting,
 		InCS:       n.inCS,
 		Generation: n.gen,
+		Epoch:      n.epoch,
+		Frozen:     n.frozen,
 	}
 }
 
@@ -292,7 +360,13 @@ func (n *Node) Request() error {
 		return nil
 	}
 	n.requesting = true
-	n.env.Send(n.next, Request{From: n.id, Origin: n.id})
+	if n.frozen {
+		// Mid-recovery: the DAG is being rebuilt, so there is nowhere
+		// sound to route the request yet. It is issued once the
+		// coordinator's reorientation lands (see deliverReorient).
+		return nil
+	}
+	n.env.Send(n.next, Request{From: n.id, Origin: n.id, Epoch: n.epoch})
 	n.next = mutex.Nil
 	n.transition(TransRequest)
 	return nil
@@ -336,10 +410,27 @@ func (n *Node) Release() error {
 		return mutex.ErrNotInCS
 	}
 	n.inCS = false
+	if n.staleCS {
+		// The critical section was entered under a token that a recovery
+		// has since invalidated (the node was excised and re-admitted).
+		// There is nothing to keep or pass; the regenerated token lives
+		// elsewhere and the fencing generation protects downstream state.
+		n.staleCS = false
+		return nil
+	}
+	if n.frozen {
+		// Mid-recovery the token must not move: the coordinator's view of
+		// who holds it (this node) must stay true until the reorientation
+		// lands. Waiters are re-queued by the rebuilt FOLLOW chain, so the
+		// local successor pointer is dropped, not served.
+		n.holding = true
+		n.follow = mutex.Nil
+		return nil
+	}
 	if n.follow != mutex.Nil {
 		to := n.follow
 		n.follow = mutex.Nil
-		n.env.Send(to, Privilege{Generation: n.gen})
+		n.env.Send(to, Privilege{Generation: n.gen, Epoch: n.epoch})
 		n.transition(TransPassToken)
 		return nil
 	}
@@ -360,12 +451,57 @@ func (n *Node) Deliver(from mutex.ID, m mutex.Message) error {
 	}
 	switch msg := m.(type) {
 	case Request:
+		if !n.gateEpoch(from, msg.Epoch) {
+			return nil
+		}
+		if n.frozen {
+			n.deferred = append(n.deferred, deferredMsg{from: from, msg: msg})
+			return nil
+		}
 		return n.deliverRequest(from, msg)
 	case Privilege:
+		if !n.gateEpoch(from, msg.Epoch) {
+			return nil
+		}
+		if n.frozen {
+			n.deferred = append(n.deferred, deferredMsg{from: from, msg: msg})
+			return nil
+		}
 		return n.deliverPrivilege(msg)
+	case Probe:
+		return n.deliverProbe(from, msg)
+	case ProbeAck:
+		return n.deliverProbeAck(from, msg)
+	case Reorient:
+		return n.deliverReorient(from, msg)
+	case Join:
+		return n.deliverJoin(from)
+	case Welcome:
+		return n.deliverWelcome(from, msg)
 	default:
 		return fmt.Errorf("%w: node %d got %T from %d", mutex.ErrUnexpectedMessage, n.id, m, from)
 	}
+}
+
+// gateEpoch admits same-epoch traffic, silently annihilates messages from
+// superseded epochs (their senders' requests and tokens were re-queued or
+// regenerated by the recovery that bumped the epoch), and reacts to
+// newer-epoch traffic — proof this node was excised by a recovery it
+// never saw — by asking the sender for re-admission.
+func (n *Node) gateEpoch(from mutex.ID, e uint32) bool {
+	if e == n.epoch {
+		return true
+	}
+	if e < n.epoch {
+		n.event(EventStaleDrop, from, 0)
+		return false
+	}
+	if e > n.joinAsked {
+		n.joinAsked = e
+		n.env.Send(from, Join{})
+		n.event(EventJoinSent, from, 0)
+	}
+	return false
 }
 
 // deliverRequest is procedure P2 of Figure 3, verbatim:
@@ -382,7 +518,7 @@ func (n *Node) deliverRequest(from mutex.ID, msg Request) error {
 	}
 	if n.next == mutex.Nil { // sink
 		if n.holding {
-			n.env.Send(msg.Origin, Privilege{Generation: n.gen})
+			n.env.Send(msg.Origin, Privilege{Generation: n.gen, Epoch: n.epoch})
 			n.holding = false
 			n.next = msg.From
 			n.transition(TransGrantFromHolding)
@@ -401,7 +537,7 @@ func (n *Node) deliverRequest(from mutex.ID, msg Request) error {
 		n.transition(TransSaveFollow)
 		return nil
 	}
-	n.env.Send(n.next, Request{From: n.id, Origin: msg.Origin})
+	n.env.Send(n.next, Request{From: n.id, Origin: msg.Origin, Epoch: n.epoch})
 	n.next = msg.From
 	n.transition(TransForward)
 	return nil
@@ -432,12 +568,20 @@ func (n *Node) deliverPrivilege(msg Privilege) error {
 }
 
 // Storage implements mutex.Node: the thesis's three scalar control
-// variables (§6.4) plus the fencing-generation extension — still constant,
-// independent of N and of load.
+// variables (§6.4), the fencing-generation and recovery-epoch extensions
+// (still constant), and the membership view the failure extension keeps —
+// one liveness entry per cluster member, the first load-independent O(N)
+// cost this hardening adds. Transient recovery state (deferred messages,
+// pending probe acks) is reported as queue entries; it is empty outside a
+// recovery window.
 func (n *Node) Storage() mutex.Storage {
 	return mutex.Storage{
-		Scalars: 4, // HOLDING, NEXT, FOLLOW + fencing generation
-		Bytes:   1 + 2*mutex.IntSize + GenSize,
+		Scalars:      5, // HOLDING, NEXT, FOLLOW, fencing generation, epoch
+		ArrayEntries: len(n.ids),
+		QueueEntries: len(n.deferred) + len(n.awaiting),
+		Bytes: 1 + 2*mutex.IntSize + GenSize + EpochSize +
+			len(n.ids)*(mutex.IntSize+1) +
+			len(n.deferred)*2*mutex.IntSize + len(n.awaiting)*mutex.IntSize,
 	}
 }
 

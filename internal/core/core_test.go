@@ -111,26 +111,30 @@ func TestIdleHolderGrantsRemoteRequestImmediately(t *testing.T) {
 
 func TestMessageSizesMatchThesisSection64(t *testing.T) {
 	// §6.4: a REQUEST carries two integers. The thesis's PRIVILEGE carries
-	// nothing; ours carries exactly the 8-byte fencing generation.
-	if got := (Request{}).Size(); got != 2*mutex.IntSize {
-		t.Fatalf("REQUEST size = %d, want %d", got, 2*mutex.IntSize)
+	// nothing; ours carries the 8-byte fencing generation, and both carry
+	// the 4-byte recovery epoch the failure extension stamps on them.
+	if got := (Request{}).Size(); got != 2*mutex.IntSize+EpochSize {
+		t.Fatalf("REQUEST size = %d, want %d", got, 2*mutex.IntSize+EpochSize)
 	}
-	if got := (Privilege{}).Size(); got != GenSize {
-		t.Fatalf("PRIVILEGE size = %d, want %d (the fencing generation)", got, GenSize)
+	if got := (Privilege{}).Size(); got != GenSize+EpochSize {
+		t.Fatalf("PRIVILEGE size = %d, want %d (fencing generation + epoch)", got, GenSize+EpochSize)
 	}
 }
 
 func TestStorageIsConstantScalarsAlways(t *testing.T) {
 	// §6.4: each node maintains three simple variables, regardless of
-	// cluster size or load; the fencing extension adds exactly one more,
-	// still constant in N and load.
-	w := newWorld(t, topology.Star(50), 1)
+	// cluster size or load; the fencing and epoch extensions add two
+	// more, still constant. The failure extension's membership view is
+	// the first O(N) cost — one liveness entry per member — and the
+	// transient recovery queues are empty outside a recovery window.
+	const n = 50
+	w := newWorld(t, topology.Star(n), 1)
 	w.request(7)
 	w.drain()
-	for id, n := range w.nodes {
-		s := n.Storage()
-		if s.Scalars != 4 || s.ArrayEntries != 0 || s.QueueEntries != 0 {
-			t.Fatalf("node %d storage = %+v, want 4 scalars only", id, s)
+	for id, node := range w.nodes {
+		s := node.Storage()
+		if s.Scalars != 5 || s.ArrayEntries != n || s.QueueEntries != 0 {
+			t.Fatalf("node %d storage = %+v, want 5 scalars + %d membership entries", id, s, n)
 		}
 	}
 }

@@ -38,6 +38,8 @@ func NewUninitialized(id mutex.ID, env mutex.Env, cfg mutex.Config, opts ...Opti
 	n := &Node{
 		id:            id,
 		env:           env,
+		ids:           append([]mutex.ID(nil), cfg.IDs...),
+		dead:          make(map[mutex.ID]bool),
 		uninitialized: true,
 		isInitHolder:  cfg.Holder == id,
 		neighbors:     append([]mutex.ID(nil), neighbors...),

@@ -1,0 +1,220 @@
+package failure
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"dagmutex/internal/mutex"
+)
+
+// collect accumulates verdicts thread-safely.
+type collect struct {
+	mu   sync.Mutex
+	down []mutex.ID
+	up   []mutex.ID
+}
+
+func (c *collect) onDown(p mutex.ID) { c.mu.Lock(); c.down = append(c.down, p); c.mu.Unlock() }
+func (c *collect) onUp(p mutex.ID)   { c.mu.Lock(); c.up = append(c.up, p); c.mu.Unlock() }
+func (c *collect) snapshot() (down, up []mutex.ID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]mutex.ID(nil), c.down...), append([]mutex.ID(nil), c.up...)
+}
+
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestDetectorSuspectsSilentPeer: a peer that never speaks is declared
+// down after the suspicion window; a chatty one is not.
+func TestDetectorSuspectsSilentPeer(t *testing.T) {
+	var c collect
+	d := NewDetector(1, []mutex.ID{2, 3}, func(mutex.ID, mutex.Message) error { return nil },
+		Config{Heartbeat: 5 * time.Millisecond, SuspectAfter: 25 * time.Millisecond})
+	d.OnDown(c.onDown)
+	d.Start()
+	defer d.Stop()
+
+	// Node 2 keeps talking; node 3 is silent.
+	stopFeeding := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stopFeeding:
+				return
+			case <-time.After(5 * time.Millisecond):
+				d.Inbound(2, Heartbeat{})
+			}
+		}
+	}()
+
+	waitFor(t, func() bool { down, _ := c.snapshot(); return len(down) > 0 }, "down verdict")
+	close(stopFeeding)
+	wg.Wait()
+	down, _ := c.snapshot()
+	for _, p := range down {
+		if p != 3 {
+			t.Fatalf("suspected node %d, only 3 was silent", p)
+		}
+	}
+	if got := d.Down(); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("Down() = %v, want [3]", got)
+	}
+}
+
+// TestDetectorRevivesOnTraffic: a down peer that speaks again gets an up
+// verdict and leaves the down set.
+func TestDetectorRevivesOnTraffic(t *testing.T) {
+	var c collect
+	d := NewDetector(1, []mutex.ID{2}, func(mutex.ID, mutex.Message) error { return nil },
+		Config{Heartbeat: 5 * time.Millisecond, SuspectAfter: 20 * time.Millisecond})
+	d.OnDown(c.onDown)
+	d.OnUp(c.onUp)
+	d.Start()
+	defer d.Stop()
+
+	waitFor(t, func() bool { down, _ := c.snapshot(); return len(down) == 1 }, "down verdict")
+	d.Inbound(2, Heartbeat{})
+	waitFor(t, func() bool { _, up := c.snapshot(); return len(up) == 1 }, "up verdict")
+	if got := d.Down(); len(got) != 0 {
+		t.Fatalf("Down() = %v after revival, want empty", got)
+	}
+}
+
+// TestDetectorMarkDownIsImmediate: out-of-band evidence fires without
+// waiting out the window.
+func TestDetectorMarkDownIsImmediate(t *testing.T) {
+	var c collect
+	d := NewDetector(1, []mutex.ID{2}, func(mutex.ID, mutex.Message) error { return nil },
+		Config{Heartbeat: time.Hour, SuspectAfter: time.Hour})
+	d.OnDown(c.onDown)
+	d.Start()
+	defer d.Stop()
+	d.MarkDown(2)
+	down, _ := c.snapshot()
+	if len(down) != 1 || down[0] != 2 {
+		t.Fatalf("down verdicts = %v, want [2]", down)
+	}
+	d.MarkDown(2) // idempotent
+	down, _ = c.snapshot()
+	if len(down) != 1 {
+		t.Fatalf("duplicate MarkDown fired again: %v", down)
+	}
+}
+
+// TestDetectorConsumesOnlyHeartbeats: protocol traffic counts as liveness
+// but is not consumed.
+func TestDetectorConsumesOnlyHeartbeats(t *testing.T) {
+	d := NewDetector(1, []mutex.ID{2}, func(mutex.ID, mutex.Message) error { return nil }, Config{})
+	if !d.Inbound(2, Heartbeat{}) {
+		t.Fatal("heartbeat not consumed")
+	}
+	if d.Inbound(2, fakeMsg{}) {
+		t.Fatal("protocol message consumed by the detector")
+	}
+}
+
+type fakeMsg struct{}
+
+func (fakeMsg) Kind() string { return "FAKE" }
+func (fakeMsg) Size() int    { return 0 }
+
+// TestDetectorHeartbeatsAllPeers: heartbeats keep flowing to down peers,
+// so a healed peer is noticed.
+func TestDetectorHeartbeatsAllPeers(t *testing.T) {
+	var mu sync.Mutex
+	sent := make(map[mutex.ID]int)
+	d := NewDetector(1, []mutex.ID{2, 3}, func(to mutex.ID, m mutex.Message) error {
+		mu.Lock()
+		sent[to]++
+		mu.Unlock()
+		return nil
+	}, Config{Heartbeat: 2 * time.Millisecond, SuspectAfter: 6 * time.Millisecond})
+	d.Start()
+	defer d.Stop()
+	waitFor(t, func() bool { return len(d.Down()) == 2 }, "both peers down")
+	mu.Lock()
+	before := sent[2]
+	mu.Unlock()
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return sent[2] > before+2
+	}, "heartbeats to a down peer")
+}
+
+// TestInjectorVerdicts covers the fault plan's decision table.
+func TestInjectorVerdicts(t *testing.T) {
+	inj := NewInjector()
+	if !inj.Allow(1, 2) {
+		t.Fatal("empty plan vetoed traffic")
+	}
+	var nilInj *Injector
+	if !nilInj.Allow(1, 2) {
+		t.Fatal("nil injector vetoed traffic")
+	}
+
+	inj.Crash(2)
+	if inj.Allow(1, 2) || inj.Allow(2, 1) {
+		t.Fatal("crashed node still reachable")
+	}
+	if got := inj.Crashed(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("Crashed() = %v, want [2]", got)
+	}
+	inj.Revive(2)
+	if !inj.Allow(1, 2) {
+		t.Fatal("revived node unreachable")
+	}
+
+	inj.Sever(1, 3)
+	if inj.Allow(1, 3) {
+		t.Fatal("severed direction delivered")
+	}
+	if !inj.Allow(3, 1) {
+		t.Fatal("one-way severance cut the reverse direction too")
+	}
+	inj.Restore(1, 3)
+	if !inj.Allow(1, 3) {
+		t.Fatal("restored link still cut")
+	}
+
+	inj.Partition([]mutex.ID{1, 2}, []mutex.ID{3, 4})
+	if !inj.Allow(1, 2) || !inj.Allow(3, 4) {
+		t.Fatal("intra-group traffic vetoed")
+	}
+	if inj.Allow(1, 3) || inj.Allow(4, 2) {
+		t.Fatal("cross-group traffic delivered")
+	}
+	if inj.Allow(1, 5) {
+		t.Fatal("traffic to an unlisted node delivered under a partition")
+	}
+	inj.Heal()
+	if !inj.Allow(1, 3) || !inj.Allow(1, 5) {
+		t.Fatal("healed partition still cutting")
+	}
+
+	inj.SetDelay(1, 2, 5*time.Millisecond)
+	if got := inj.Delay(1, 2); got != 5*time.Millisecond {
+		t.Fatalf("Delay = %v, want 5ms", got)
+	}
+	if got := inj.Delay(2, 1); got != 0 {
+		t.Fatalf("reverse Delay = %v, want 0", got)
+	}
+	inj.SetDelay(1, 2, 0)
+	if got := inj.Delay(1, 2); got != 0 {
+		t.Fatalf("cleared Delay = %v, want 0", got)
+	}
+}

@@ -1,0 +1,161 @@
+package failure
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"dagmutex/internal/mutex"
+)
+
+// Injector is a deterministic fault plan that link layers consult on
+// every message: crashed nodes, severed (possibly one-way) links, and a
+// partition. The zero value injects nothing; faults are toggled at
+// runtime by tests, the chaos battery and dagbench's chaos experiment.
+//
+// The injector only decides; transports enforce. transport.Local and
+// transport.TCPHost drop traffic the injector vetoes (and Local applies
+// per-link delays); the simulator's Network carries its own equivalent
+// helpers for deterministic runs.
+type Injector struct {
+	mu        sync.Mutex
+	crashed   map[mutex.ID]bool
+	severed   map[link]bool
+	delay     map[link]time.Duration
+	partition map[mutex.ID]int // node -> group; absent means group -1 (isolated) while a partition is active
+	parted    bool
+}
+
+type link struct{ from, to mutex.ID }
+
+// NewInjector returns an empty fault plan.
+func NewInjector() *Injector {
+	return &Injector{
+		crashed: make(map[mutex.ID]bool),
+		severed: make(map[link]bool),
+		delay:   make(map[link]time.Duration),
+	}
+}
+
+// Allow reports whether a message from -> to may be delivered under the
+// current plan. Transports consult it on the send path (and the TCP host
+// additionally on receive, so a one-sided injector still cuts both
+// directions of a partition).
+func (i *Injector) Allow(from, to mutex.ID) bool {
+	if i == nil {
+		return true
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.crashed[from] || i.crashed[to] {
+		return false
+	}
+	if i.severed[link{from, to}] {
+		return false
+	}
+	if i.parted {
+		gf, okf := i.partition[from]
+		gt, okt := i.partition[to]
+		if !okf || !okt || gf != gt {
+			return false
+		}
+	}
+	return true
+}
+
+// Delay returns the extra latency injected on the link from -> to (0 for
+// none). Only the in-process transports honor it.
+func (i *Injector) Delay(from, to mutex.ID) time.Duration {
+	if i == nil {
+		return 0
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.delay[link{from, to}]
+}
+
+// Crash marks id crashed: all traffic to and from it is dropped until
+// Revive. The transport layers additionally stop the node's runtime; the
+// injector's share is making it fall silent.
+func (i *Injector) Crash(id mutex.ID) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.crashed[id] = true
+}
+
+// Revive clears a crash mark (a restarted process).
+func (i *Injector) Revive(id mutex.ID) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	delete(i.crashed, id)
+}
+
+// Crashed returns the currently crashed nodes, ascending.
+func (i *Injector) Crashed() []mutex.ID {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	out := make([]mutex.ID, 0, len(i.crashed))
+	for id := range i.crashed {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// Sever cuts the link a -> b in that direction only. Call twice (both
+// orders) for a full cut, or use SeverBoth.
+func (i *Injector) Sever(a, b mutex.ID) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.severed[link{a, b}] = true
+}
+
+// SeverBoth cuts the link between a and b in both directions.
+func (i *Injector) SeverBoth(a, b mutex.ID) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.severed[link{a, b}] = true
+	i.severed[link{b, a}] = true
+}
+
+// Restore repairs the link between a and b in both directions.
+func (i *Injector) Restore(a, b mutex.ID) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	delete(i.severed, link{a, b})
+	delete(i.severed, link{b, a})
+}
+
+// SetDelay injects extra latency on the link a -> b (0 removes it).
+func (i *Injector) SetDelay(a, b mutex.ID, d time.Duration) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if d <= 0 {
+		delete(i.delay, link{a, b})
+		return
+	}
+	i.delay[link{a, b}] = d
+}
+
+// Partition splits the cluster into the given groups: traffic within a
+// group flows, traffic across groups (or to a node in no group) is
+// dropped. A new call replaces the previous partition.
+func (i *Injector) Partition(groups ...[]mutex.ID) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.partition = make(map[mutex.ID]int)
+	for g, ids := range groups {
+		for _, id := range ids {
+			i.partition[id] = g
+		}
+	}
+	i.parted = true
+}
+
+// Heal removes the partition (severed links and crashes are untouched).
+func (i *Injector) Heal() {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.partition = nil
+	i.parted = false
+}

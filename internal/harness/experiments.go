@@ -387,7 +387,7 @@ func Storage(n int) (*Table, error) {
 		Columns: []string{"algorithm", "scalars", "array entries", "queue entries",
 			"bytes/node", "largest msg (B)"},
 		Notes: []string{
-			"dag: four scalars per node (the thesis's three + the fencing generation), 8-byte REQUEST and PRIVILEGE — independent of N and load",
+			"dag: five scalars (the thesis's three + fencing generation + recovery epoch), 12-byte REQUEST and PRIVILEGE, plus one membership entry per member — the failure extension's only O(N) cost, load-independent",
 			"array/queue entries are the per-node maxima observed at any grant or release",
 		},
 	}

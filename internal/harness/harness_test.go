@@ -164,11 +164,11 @@ func TestStorageTableShowsDAGConstant(t *testing.T) {
 	if dagRow == nil || skRow == nil {
 		t.Fatalf("missing rows:\n%s", tbl.Format())
 	}
-	if dagRow[1] != "4" || dagRow[2] != "0" || dagRow[3] != "0" {
-		t.Fatalf("dag row %v, want 4 scalars (thesis's 3 + fencing generation) and nothing else", dagRow)
+	if dagRow[1] != "5" || dagRow[2] != "12" || dagRow[3] != "0" {
+		t.Fatalf("dag row %v, want 5 scalars + N=12 membership entries (the failure extension's liveness view)", dagRow)
 	}
-	if dagRow[5] != "8" {
-		t.Fatalf("dag largest message = %s bytes, want 8 (two integers)", dagRow[5])
+	if dagRow[5] != "12" {
+		t.Fatalf("dag largest message = %s bytes, want 12 (two integers + generation-or-epoch extensions)", dagRow[5])
 	}
 	skArrays, _ := strconv.Atoi(skRow[2])
 	if skArrays < 12 {

@@ -306,3 +306,73 @@ func TestFencingMonotonicPerShardUnderContention(t *testing.T) {
 		}
 	}
 }
+
+// TestSuccessiveExpiriesEachReported: when the same resource expires
+// twice in a row through the same slot (two stuck holders back to
+// back), each late ReleaseHold must observe ErrLeaseExpired — the older
+// marker must not be lost when the newer expiry lands.
+func TestSuccessiveExpiriesEachReported(t *testing.T) {
+	svc, err := New(Config{
+		Shards:        1,
+		Nodes:         2,
+		Lease:         60 * time.Millisecond,
+		SweepInterval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	c, err := svc.On(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const resource = "twice-stuck"
+	first, err := c.Acquire(ctx, resource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitReclaimed(t, svc, resource, first)
+	second, err := c.Acquire(ctx, resource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitReclaimed(t, svc, resource, second)
+
+	// Both stuck holders come back late; each must learn its lease ran
+	// out, in either order.
+	if err := c.ReleaseHold(second); !errors.Is(err, ErrLeaseExpired) {
+		t.Fatalf("second stuck holder's release = %v, want ErrLeaseExpired", err)
+	}
+	if err := c.ReleaseHold(first); !errors.Is(err, ErrLeaseExpired) {
+		t.Fatalf("first stuck holder's release = %v, want ErrLeaseExpired", err)
+	}
+	// Markers are one-shot: a re-release is ErrNotHeld.
+	if err := c.ReleaseHold(first); !errors.Is(err, ErrNotHeld) {
+		t.Fatalf("re-release of a reported expiry = %v, want ErrNotHeld", err)
+	}
+}
+
+// waitReclaimed blocks until the sweeper has force-released h (another
+// member can acquire the resource and release it cleanly again).
+func waitReclaimed(t *testing.T, svc *Service, resource string, h Hold) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		sh, err := svc.shardOf(resource)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sl := sh.slot(h.Node)
+		sl.mu.Lock()
+		reclaimed := sl.held != resource || sl.fence != h.Fence
+		sl.mu.Unlock()
+		if reclaimed {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("hold %v never reclaimed by the sweeper", h)
+}

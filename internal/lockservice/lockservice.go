@@ -210,12 +210,20 @@ type slot struct {
 	fence     uint64    // fencing token of the current hold
 	expires   time.Time // lease deadline; zero when leases are disabled
 	abandoned bool      // a failed Acquire left its request outstanding
-	// expired remembers holds the sweeper reclaimed from this slot
-	// (resource -> fencing token), so each late Release can be told apart
-	// from a Release of something never held — even after the slot has
-	// moved on to other resources. A marker is one-shot: reporting it
-	// removes it. Bounded by maxExpiredMarkers.
-	expired map[string]uint64
+	// expired remembers holds the sweeper reclaimed from this slot, keyed
+	// by (resource, fence), so each late Release can be told apart from a
+	// Release of something never held — even after the slot has moved on,
+	// and even when the same resource expired several times in a row
+	// through this slot (each stuck holder gets its own marker). A marker
+	// is one-shot: reporting it removes it. Bounded by maxExpiredMarkers.
+	expired map[expiredHold]bool
+}
+
+// expiredHold identifies one reclaimed hold: the resource and the fence
+// it was held under.
+type expiredHold struct {
+	resource string
+	fence    uint64
 }
 
 // maxExpiredMarkers bounds the per-slot memory of unreported expiries: a
@@ -474,10 +482,9 @@ func (sh *shard) release(id mutex.ID, resource string, fence uint64) error {
 	sl.mu.Lock()
 	if sl.held != resource || (fence != 0 && sl.fence != fence) {
 		held, heldFence := sl.held, sl.fence
-		if expFence, wasExpired := sl.expired[resource]; wasExpired && (fence == 0 || expFence == fence) {
+		if expFence, ok := sl.takeExpired(resource, fence); ok {
 			// One-shot report: the stuck client learns its hold was
 			// reclaimed; a further Release of the same hold is ErrNotHeld.
-			delete(sl.expired, resource)
 			sl.mu.Unlock()
 			return fmt.Errorf("lockservice: node %d released %q after its lease ran out (shard %d, fence %d): %w",
 				id, resource, sh.index, expFence, ErrLeaseExpired)
@@ -497,9 +504,13 @@ func (sh *shard) release(id mutex.ID, resource string, fence uint64) error {
 	sl.held, sl.fence, sl.expires = "", 0, time.Time{}
 	if fence == 0 {
 		// By-name releases cannot be matched to markers later, so a clean
-		// release retires any unreported marker for the same name rather
-		// than letting it misreport a future double release as expired.
-		delete(sl.expired, resource)
+		// release retires any unreported markers for the same name rather
+		// than letting them misreport a future double release as expired.
+		for k := range sl.expired {
+			if k.resource == resource {
+				delete(sl.expired, k)
+			}
+		}
 	}
 	err := sl.session.Release()
 	sl.mu.Unlock()
@@ -508,6 +519,28 @@ func (sh *shard) release(id mutex.ID, resource string, fence uint64) error {
 	}
 	<-sl.sem
 	return nil
+}
+
+// takeExpired consumes the expiry marker matching a late release: the
+// exact (resource, fence) marker on the fence-precise path, or any
+// marker for the resource on the by-name path (fence 0). Callers hold
+// sl.mu.
+func (sl *slot) takeExpired(resource string, fence uint64) (uint64, bool) {
+	if fence != 0 {
+		k := expiredHold{resource: resource, fence: fence}
+		if sl.expired[k] {
+			delete(sl.expired, k)
+			return fence, true
+		}
+		return 0, false
+	}
+	for k := range sl.expired {
+		if k.resource == resource {
+			delete(sl.expired, k)
+			return k.fence, true
+		}
+	}
+	return 0, false
 }
 
 // sweep is the shard's lease enforcer and slot recoverer: on every tick
@@ -555,7 +588,7 @@ func (sh *shard) sweepOnce(now time.Time) {
 			// The hold outlived its lease: reclaim it. The late Release
 			// will observe ErrLeaseExpired via the expiry marker.
 			if sl.expired == nil {
-				sl.expired = make(map[string]uint64)
+				sl.expired = make(map[expiredHold]bool)
 			}
 			if len(sl.expired) >= maxExpiredMarkers {
 				for k := range sl.expired { // drop an arbitrary stale marker
@@ -563,7 +596,7 @@ func (sh *shard) sweepOnce(now time.Time) {
 					break
 				}
 			}
-			sl.expired[sl.held] = sl.fence
+			sl.expired[expiredHold{resource: sl.held, fence: sl.fence}] = true
 			sl.held, sl.fence, sl.expires = "", 0, time.Time{}
 			if err := sl.session.Release(); err == nil {
 				sh.expired.Add(1)

@@ -3,6 +3,7 @@ package lockservice
 import (
 	"fmt"
 
+	"dagmutex/internal/failure"
 	"dagmutex/internal/mutex"
 	"dagmutex/internal/runtime"
 	"dagmutex/internal/transport"
@@ -44,12 +45,30 @@ type Transport interface {
 
 // LocalTransport runs every member of every shard inside this process,
 // connected by mailboxes — the single-process substrate the quickstart,
-// tests and benchmarks use.
-type LocalTransport struct{}
+// tests and benchmarks use. The zero value is the fail-free default;
+// arming Failure gives every shard cluster heartbeat failure detection
+// (per-shard failover: a crashed member is excised and its shard tokens
+// regenerate), and Injector installs a shared fault plan so tests can
+// crash members and partition shards deterministically.
+type LocalTransport struct {
+	// Failure, when set, arms heartbeat failure detection on every shard
+	// cluster with this tuning.
+	Failure *failure.Config
+	// Injector, when set, is the fault plan every shard cluster consults
+	// (crashing a member silences it in all shards at once).
+	Injector *failure.Injector
+}
 
 // StartShard implements Transport.
-func (LocalTransport) StartShard(index int, b mutex.Builder, cfg mutex.Config) (Cluster, error) {
-	return transport.NewLocal(b, cfg)
+func (t LocalTransport) StartShard(index int, b mutex.Builder, cfg mutex.Config) (Cluster, error) {
+	var opts []transport.LocalOption
+	if t.Injector != nil {
+		opts = append(opts, transport.WithInjector(t.Injector))
+	}
+	if t.Failure != nil {
+		opts = append(opts, transport.WithFailureDetection(*t.Failure))
+	}
+	return transport.NewLocal(b, cfg, opts...)
 }
 
 // Close implements Transport; the per-shard clusters own all resources.
@@ -91,6 +110,15 @@ func (t *TCPTransport) Addr() string { return t.host.Addr() }
 // Connect supplies the peer address book (member id -> listen address).
 // It must be called before the first Acquire.
 func (t *TCPTransport) Connect(addrs map[mutex.ID]string) { t.host.Connect(addrs) }
+
+// EnableFailureDetection arms one host-level heartbeat failure detector
+// against the given member set: peer-process death (connection resets,
+// silence) becomes a per-peer down verdict delivered to every shard
+// instance this process hosts — the per-shard failover path. Call before
+// locking begins.
+func (t *TCPTransport) EnableFailureDetection(cfg failure.Config, peers []mutex.ID) {
+	t.host.EnableFailureDetection(cfg, peers)
+}
 
 // StartShard implements Transport: shard index becomes instance index on
 // the shared host.

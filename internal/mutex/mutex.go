@@ -72,6 +72,23 @@ type TryRequester interface {
 	TryRequest() (granted bool, err error)
 }
 
+// MembershipHandler is an optional capability of protocol nodes that can
+// survive membership changes: a failure detector (or an operator) reports
+// a peer as crashed with PeerDown, and as returned with PeerUp. Both are
+// invoked under the same local mutual exclusion as the other handlers.
+// Protocols without this capability treat a dead peer as fatal: the
+// runtime surfaces the death as a cluster error instead.
+type MembershipHandler interface {
+	// PeerDown reports that dead is believed to have crashed. The protocol
+	// repairs itself so the surviving nodes keep making progress (for the
+	// DAG algorithm: excise the peer, reorient the DAG, and regenerate the
+	// token if it was lost with the peer).
+	PeerDown(dead ID) error
+	// PeerUp reports that a previously-down peer is heard from again, so
+	// the protocol can re-admit it.
+	PeerUp(peer ID) error
+}
+
 // Node is a protocol instance running at one site.
 //
 // The contract follows the paper's model: at most one outstanding request

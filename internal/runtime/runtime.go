@@ -35,6 +35,29 @@ var ErrGrantPending = errors.New("request still outstanding, grant pending")
 // (it does not implement mutex.TryRequester).
 var ErrTryUnsupported = errors.New("protocol does not support TryAcquire")
 
+// ErrNodeDown marks a node-down condition: a session operation on a node
+// the fault layer has crashed returns it, and membership errors wrap it.
+// Unlike an ErrorSink failure it is per-node, not cluster-fatal — the
+// surviving nodes' sessions keep working through the protocol's recovery.
+var ErrNodeDown = errors.New("node down")
+
+// Monitor observes every inbound envelope before protocol delivery — the
+// failure detector's hook. Inbound reports whether the envelope was the
+// monitor's own traffic (a heartbeat) and is therefore consumed instead
+// of delivered to the protocol. Implementations must be safe for
+// concurrent use and must not block.
+type Monitor interface {
+	Inbound(from mutex.ID, m mutex.Message) (consumed bool)
+}
+
+// MemberEvent is one membership observation delivered to the node's
+// Membership channel: a peer went down, or a down peer was heard again.
+type MemberEvent struct {
+	Peer mutex.ID
+	Down bool
+	At   time.Time
+}
+
 // Grant is one critical-section entry as the application sees it: the
 // fencing generation the protocol attached to the grant and the local
 // wall-clock time the section was entered.
@@ -126,9 +149,17 @@ type Node struct {
 
 	granted chan Grant // capacity 1: at most one outstanding request
 
+	monitor  atomic.Pointer[monitorBox]
+	selfDown atomic.Bool
+	downCh   chan struct{} // closed by MarkSelfDown; wakes blocked Acquires
+	downOnce sync.Once
+	events   chan MemberEvent // best-effort membership observations
+
 	closeOnce sync.Once
 	wg        sync.WaitGroup
 }
+
+type monitorBox struct{ m Monitor }
 
 // Start builds the protocol node with b over link and starts its actor
 // loop. sink collects the cluster's first error; passing the same sink to
@@ -143,6 +174,8 @@ func Start(id mutex.ID, b mutex.Builder, cfg mutex.Config, link Link, sink *Erro
 		link:    link,
 		sink:    sink,
 		granted: make(chan Grant, 1),
+		downCh:  make(chan struct{}),
+		events:  make(chan MemberEvent, 64),
 	}
 	pn, err := b(id, env{n: n}, cfg)
 	if err != nil {
@@ -181,12 +214,17 @@ func (e env) Granted(gen uint64) {
 }
 
 // consume is the actor loop: deliver envelopes one at a time under the
-// node lock, capturing the first failure.
+// node lock, capturing the first failure. The registered monitor (the
+// failure detector) sees every envelope first, as liveness evidence, and
+// consumes its own (heartbeats never reach the protocol).
 func (n *Node) consume() {
 	for {
 		e, ok := n.link.Recv()
 		if !ok {
 			return
+		}
+		if box := n.monitor.Load(); box != nil && box.m.Inbound(e.From, e.Msg) {
+			continue
 		}
 		n.mu.Lock()
 		err := n.node.Deliver(e.From, e.Msg)
@@ -195,6 +233,78 @@ func (n *Node) consume() {
 			n.sink.Fail(fmt.Errorf("deliver %s %d->%d: %w", e.Msg.Kind(), e.From, n.id, err))
 		}
 	}
+}
+
+// SetMonitor installs m as the inbound observer (the failure detector's
+// hook). Pass nil to remove it.
+func (n *Node) SetMonitor(m Monitor) {
+	if m == nil {
+		n.monitor.Store(nil)
+		return
+	}
+	n.monitor.Store(&monitorBox{m: m})
+}
+
+// Send transmits m to peer through the node's link — the out-of-band
+// path the failure detector uses for heartbeats.
+func (n *Node) Send(to mutex.ID, m mutex.Message) error { return n.link.Send(to, m) }
+
+// PeerDown reports peer as crashed to the hosted protocol (under its
+// handler lock) and publishes a membership event. Protocols that
+// implement mutex.MembershipHandler repair themselves; for the rest a
+// dead peer is unrecoverable and the error (wrapping ErrNodeDown) is
+// returned for the caller to escalate.
+func (n *Node) PeerDown(peer mutex.ID) error {
+	n.publish(MemberEvent{Peer: peer, Down: true, At: time.Now()})
+	return n.With(func(pn mutex.Node) error {
+		mh, ok := pn.(mutex.MembershipHandler)
+		if !ok {
+			return fmt.Errorf("peer %d of node %d: %w and the protocol cannot recover", peer, n.id, ErrNodeDown)
+		}
+		return mh.PeerDown(peer)
+	})
+}
+
+// PeerUp reports a previously-down peer as alive again.
+func (n *Node) PeerUp(peer mutex.ID) error {
+	n.publish(MemberEvent{Peer: peer, Down: false, At: time.Now()})
+	return n.With(func(pn mutex.Node) error {
+		if mh, ok := pn.(mutex.MembershipHandler); ok {
+			return mh.PeerUp(peer)
+		}
+		return nil
+	})
+}
+
+// publish delivers a membership event without ever blocking: the channel
+// is a bounded observation window, and a reader that falls behind loses
+// the oldest observations first.
+func (n *Node) publish(e MemberEvent) {
+	for {
+		select {
+		case n.events <- e:
+			return
+		default:
+		}
+		select {
+		case <-n.events: // drop the oldest
+		default:
+		}
+	}
+}
+
+// Membership exposes the node's membership observations (peer down/up).
+// Best-effort: bounded, oldest dropped on overflow.
+func (n *Node) Membership() <-chan MemberEvent { return n.events }
+
+// MarkSelfDown marks this node itself as crashed by the fault layer:
+// subsequent session operations fail with ErrNodeDown instead of
+// touching the protocol, and Acquires already blocked are woken with
+// the same error (their grant may never come — the token regenerates
+// among the survivors).
+func (n *Node) MarkSelfDown() {
+	n.selfDown.Store(true)
+	n.downOnce.Do(func() { close(n.downCh) })
 }
 
 // ID returns the hosted node's identifier.
@@ -254,6 +364,9 @@ func (s *Session) ID() mutex.ID { return s.n.id }
 // deadline.
 func (s *Session) Acquire(ctx context.Context) (Grant, error) {
 	n := s.n
+	if n.selfDown.Load() {
+		return Grant{}, fmt.Errorf("acquire node %d: %w", n.id, ErrNodeDown)
+	}
 	n.mu.Lock()
 	err := n.node.Request()
 	n.mu.Unlock()
@@ -270,6 +383,8 @@ func (s *Session) Acquire(ctx context.Context) (Grant, error) {
 	select {
 	case g := <-n.granted:
 		return g, nil
+	case <-n.downCh:
+		return Grant{}, fmt.Errorf("acquire node %d: %w: %w", n.id, ErrGrantPending, ErrNodeDown)
 	case <-n.sink.Fired():
 		return Grant{}, fmt.Errorf("acquire node %d: %w: cluster failed: %w", n.id, ErrGrantPending, n.sink.Err())
 	case <-ctx.Done():
@@ -285,6 +400,9 @@ func (s *Session) Acquire(ctx context.Context) (Grant, error) {
 // locally return ErrTryUnsupported.
 func (s *Session) TryAcquire() (Grant, bool, error) {
 	n := s.n
+	if n.selfDown.Load() {
+		return Grant{}, false, fmt.Errorf("try-acquire node %d: %w", n.id, ErrNodeDown)
+	}
 	n.mu.Lock()
 	tr, ok := n.node.(mutex.TryRequester)
 	if !ok {
@@ -317,10 +435,18 @@ func (s *Session) Granted() <-chan Grant { return s.n.granted }
 
 // Release leaves the critical section.
 func (s *Session) Release() error {
+	if s.n.selfDown.Load() {
+		return fmt.Errorf("release node %d: %w", s.n.id, ErrNodeDown)
+	}
 	s.n.mu.Lock()
 	defer s.n.mu.Unlock()
 	return s.n.node.Release()
 }
+
+// Membership exposes the node's membership observations (peer down/up
+// verdicts from the failure layer), for applications that re-acquire or
+// shed load on churn. Best-effort: bounded, oldest dropped on overflow.
+func (s *Session) Membership() <-chan MemberEvent { return s.n.Membership() }
 
 // Storage snapshots the node's storage footprint.
 func (s *Session) Storage() mutex.Storage {

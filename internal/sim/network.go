@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"dagmutex/internal/failure"
 	"dagmutex/internal/mutex"
 )
 
@@ -27,6 +28,14 @@ type Network struct {
 	counts  Counts
 	observe func(Delivery)
 	drop    func(from, to mutex.ID, m mutex.Message) bool
+
+	// inj is the fault plan consulted on every send — the same
+	// failure.Injector type the live transports consult, so one plan
+	// object can drive simulator and live runs identically. Always
+	// non-nil: the Crash/Sever/Partition/Heal helpers below delegate to
+	// it, and WithInjector substitutes a shared instance. Its per-link
+	// delays are added on top of the latency model.
+	inj *failure.Injector
 
 	deliverErrs []error
 }
@@ -115,6 +124,19 @@ func WithDropRule(fn func(from, to mutex.ID, m mutex.Message) bool) NetworkOptio
 	return func(n *Network) { n.drop = fn }
 }
 
+// WithInjector substitutes a shared fault plan (failure.Injector) for
+// the network's own: sends it vetoes are dropped and its per-link
+// delays are added on top of the latency model — the same plan object
+// the live transports consult, so one chaos scenario drives simulator
+// and live runs alike.
+func WithInjector(inj *failure.Injector) NetworkOption {
+	return func(n *Network) {
+		if inj != nil {
+			n.inj = inj
+		}
+	}
+}
+
 // NewNetwork creates a network over sched, with randomness drawn from rng.
 func NewNetwork(sched *Scheduler, rng *rand.Rand, opts ...NetworkOption) *Network {
 	n := &Network{
@@ -124,6 +146,7 @@ func NewNetwork(sched *Scheduler, rng *rand.Rand, opts ...NetworkOption) *Networ
 		nodes:       make(map[mutex.ID]mutex.Node),
 		lastArrival: make(map[linkKey]Time),
 		fifo:        true,
+		inj:         failure.NewInjector(),
 		counts:      Counts{ByKind: make(map[string]int64), MaxSizeByKind: make(map[string]int)},
 	}
 	for _, o := range opts {
@@ -154,12 +177,24 @@ func (n *Network) Send(from, to mutex.ID, m mutex.Message) {
 		n.counts.MaxSizeByKind[m.Kind()] = sz
 	}
 
+	if !n.inj.Allow(from, to) {
+		return
+	}
 	if n.drop != nil && n.drop(from, to, m) {
 		return
 	}
 
 	sentAt := n.sched.Now()
 	arrival := sentAt + n.lat.Delay(from, to, n.rng)
+	if d := n.inj.Delay(from, to); d > 0 {
+		// Injected latency is expressed in hops: one Hop per
+		// millisecond of configured delay, minimum one.
+		extra := Time(d.Milliseconds()) * Hop
+		if extra <= 0 {
+			extra = Hop
+		}
+		arrival += extra
+	}
 	if n.fifo {
 		key := linkKey{from, to}
 		if last, ok := n.lastArrival[key]; ok && arrival <= last {
@@ -182,6 +217,43 @@ func (n *Network) Send(from, to mutex.ID, m mutex.Message) {
 		}
 	})
 }
+
+// The fault helpers delegate to the network's failure.Injector — one
+// fault model shared verbatim with the live transports. All of them
+// take effect at send time: messages already scheduled for delivery
+// still arrive (they were on the wire), so delivery order around a
+// fault transition stays exactly the scheduler's order.
+
+// Injector returns the network's fault plan, for scenarios that toggle
+// it directly or share it with a live transport.
+func (n *Network) Injector() *failure.Injector { return n.inj }
+
+// Crash silences node id: everything sent to or from it from now on is
+// dropped, exactly as a dead process drops its traffic.
+func (n *Network) Crash(id mutex.ID) { n.inj.Crash(id) }
+
+// Revive clears a crash mark.
+func (n *Network) Revive(id mutex.ID) { n.inj.Revive(id) }
+
+// Sever cuts the directed link a -> b: sends in that direction are
+// dropped until Restore. The reverse direction is untouched — the
+// one-way severance the FIFO-assumption ablations and asymmetric-fault
+// tests need.
+func (n *Network) Sever(a, b mutex.ID) { n.inj.Sever(a, b) }
+
+// SeverBoth cuts the link between a and b in both directions.
+func (n *Network) SeverBoth(a, b mutex.ID) { n.inj.SeverBoth(a, b) }
+
+// Restore repairs the link between a and b in both directions.
+func (n *Network) Restore(a, b mutex.ID) { n.inj.Restore(a, b) }
+
+// Partition splits the cluster into the given groups: traffic inside a
+// group flows, traffic across groups — or touching a node in no group —
+// is dropped. A new call replaces the previous partition.
+func (n *Network) Partition(groups ...[]mutex.ID) { n.inj.Partition(groups...) }
+
+// Heal removes the partition. Severed links and crashes are untouched.
+func (n *Network) Heal() { n.inj.Heal() }
 
 // Counts returns a snapshot of the traffic statistics so far.
 func (n *Network) Counts() Counts { return n.counts.clone() }

@@ -3,7 +3,9 @@ package sim
 import (
 	"math/rand"
 	"testing"
+	"time"
 
+	"dagmutex/internal/failure"
 	"dagmutex/internal/mutex"
 )
 
@@ -176,5 +178,122 @@ func TestCountsSub(t *testing.T) {
 	d := a.Sub(b)
 	if d.Messages != 3 || d.Bytes != 30 || d.ByKind["X"] != 1 || d.ByKind["Y"] != 2 {
 		t.Fatalf("Sub = %+v", d)
+	}
+}
+
+// TestNetworkCrashDropsTraffic: a crashed node's traffic — both
+// directions — is dropped, while already-scheduled deliveries still
+// arrive (they were on the wire when the crash happened).
+func TestNetworkCrashDropsTraffic(t *testing.T) {
+	sched, net, a, b := newTestNet(t)
+	net.Send(1, 2, testMsg{tag: 1}) // on the wire before the crash
+	net.Crash(2)
+	net.Send(1, 2, testMsg{tag: 2}) // dropped: receiver dead
+	net.Send(2, 1, testMsg{tag: 3}) // dropped: sender dead
+	sched.Run()
+	if len(b.got) != 1 || b.got[0].tag != 1 {
+		t.Fatalf("crashed receiver got %+v, want only the pre-crash tag 1", b.got)
+	}
+	if len(a.got) != 0 {
+		t.Fatalf("messages from a crashed node delivered: %+v", a.got)
+	}
+	net.Revive(2)
+	net.Send(1, 2, testMsg{tag: 4})
+	sched.Run()
+	if len(b.got) != 2 || b.got[1].tag != 4 {
+		t.Fatalf("post-revive delivery = %+v, want tags [1 4]", b.got)
+	}
+}
+
+// TestNetworkOneWaySeverance: Sever cuts exactly one direction.
+func TestNetworkOneWaySeverance(t *testing.T) {
+	sched, net, a, b := newTestNet(t)
+	net.Sever(1, 2)
+	net.Send(1, 2, testMsg{tag: 1}) // severed direction: dropped
+	net.Send(2, 1, testMsg{tag: 2}) // reverse direction: flows
+	sched.Run()
+	if len(b.got) != 0 {
+		t.Fatalf("severed direction delivered %+v", b.got)
+	}
+	if len(a.got) != 1 || a.got[0].tag != 2 {
+		t.Fatalf("reverse direction = %+v, want tag 2", a.got)
+	}
+	net.Restore(1, 2)
+	net.Send(1, 2, testMsg{tag: 3})
+	sched.Run()
+	if len(b.got) != 1 || b.got[0].tag != 3 {
+		t.Fatalf("restored link delivered %+v, want tag 3", b.got)
+	}
+}
+
+// TestNetworkPartitionAndHealOrdering: cross-group sends during the
+// partition vanish (they are not queued for later), intra-group traffic
+// flows, and after Heal the per-link FIFO clamp still orders post-heal
+// sends after every pre-partition delivery on the same link.
+func TestNetworkPartitionAndHealOrdering(t *testing.T) {
+	sched := NewScheduler()
+	net := NewNetwork(sched, rand.New(rand.NewSource(1)))
+	nodes := make([]*sink, 4)
+	for i := range nodes {
+		nodes[i] = &sink{id: mutex.ID(i + 1)}
+		net.Attach(nodes[i])
+	}
+	net.Send(1, 3, testMsg{tag: 1}) // pre-partition, crosses the future cut
+	net.Partition([]mutex.ID{1, 2}, []mutex.ID{3, 4})
+	net.Send(1, 3, testMsg{tag: 2}) // cross-group: dropped forever
+	net.Send(1, 2, testMsg{tag: 3}) // intra-group: flows
+	net.Send(4, 3, testMsg{tag: 4}) // intra-group: flows
+	sched.Run()
+	if got := nodes[2].got; len(got) != 2 || got[0].tag != 1 || got[1].tag != 4 {
+		t.Fatalf("node 3 got %+v, want the pre-partition tag 1 and intra-group tag 4 (dropped tag 2 gone)", got)
+	}
+	if len(nodes[1].got) != 1 || nodes[1].got[0].tag != 3 {
+		t.Fatalf("node 2 got %+v, want tag 3", nodes[1].got)
+	}
+
+	net.Heal()
+	net.Send(1, 3, testMsg{tag: 5})
+	net.Send(1, 3, testMsg{tag: 6})
+	sched.Run()
+	got := nodes[2].got
+	if len(got) != 4 || got[2].tag != 5 || got[3].tag != 6 {
+		t.Fatalf("post-heal deliveries at node 3 = %+v, want [1 4 5 6] in order (no resurrected tag 2)", got)
+	}
+
+	// A node in no group is isolated while the partition is up.
+	net.Partition([]mutex.ID{1, 2, 3})
+	net.Send(1, 4, testMsg{tag: 7})
+	sched.Run()
+	if len(nodes[3].got) != 0 {
+		t.Fatalf("unlisted node got %+v under a partition, want nothing", nodes[3].got)
+	}
+}
+
+// TestNetworkSharedInjector: the same failure.Injector object the live
+// transports consult drives the simulator — vetoed sends drop, injected
+// delays stretch arrival times.
+func TestNetworkSharedInjector(t *testing.T) {
+	inj := failure.NewInjector()
+	sched := NewScheduler()
+	net := NewNetwork(sched, rand.New(rand.NewSource(1)), WithInjector(inj))
+	a, b := &sink{id: 1}, &sink{id: 2}
+	net.Attach(a)
+	net.Attach(b)
+
+	inj.Sever(1, 2)
+	net.Send(1, 2, testMsg{tag: 1})
+	sched.Run()
+	if len(b.got) != 0 {
+		t.Fatalf("injector-severed send delivered: %+v", b.got)
+	}
+	inj.Restore(1, 2)
+	inj.SetDelay(1, 2, 3*time.Millisecond)
+	net.Send(1, 2, testMsg{tag: 2})
+	sched.Run()
+	if len(b.got) != 1 || b.got[0].tag != 2 {
+		t.Fatalf("delayed send = %+v, want tag 2", b.got)
+	}
+	if sched.Now() != Hop+3*Hop {
+		t.Fatalf("delayed arrival at t=%d, want %d (latency + 3 injected hops)", sched.Now(), Hop+3*Hop)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"dagmutex/internal/core"
+	"dagmutex/internal/failure"
 	"dagmutex/internal/mutex"
 )
 
@@ -17,16 +18,25 @@ type Codec interface {
 	Decode(data []byte) (mutex.Message, error)
 }
 
-// Wire kind tags for the DAG protocol.
+// Wire kind tags for the DAG protocol and its failure extension.
 const (
 	wireRequest   byte = 1
 	wirePrivilege byte = 2
+	wireHeartbeat byte = 3
+	wireProbe     byte = 4
+	wireProbeAck  byte = 5
+	wireReorient  byte = 6
+	wireJoin      byte = 7
+	wireWelcome   byte = 8
 )
 
-// DAGCodec encodes the two messages of the thesis's algorithm. A REQUEST
-// is nine bytes on the wire (tag + two 32-bit identifiers); a PRIVILEGE
-// is a tag byte plus the 64-bit fencing generation the token carries (the
-// thesis's token is empty; the generation is the fencing extension).
+// DAGCodec encodes the messages of the thesis's algorithm plus the
+// failure extension. A REQUEST is thirteen bytes on the wire (tag + two
+// 32-bit identifiers + the 32-bit recovery epoch); a PRIVILEGE is a tag
+// byte plus the 64-bit fencing generation and the epoch. The recovery
+// messages (PROBE, PROBEACK, REORIENT, JOIN, WELCOME) and the failure
+// detector's HEARTBEAT are encoded alongside, so one framed connection
+// carries protocol, recovery and liveness traffic alike.
 type DAGCodec struct{}
 
 var _ Codec = DAGCodec{}
@@ -35,15 +45,48 @@ var _ Codec = DAGCodec{}
 func (DAGCodec) Encode(m mutex.Message) ([]byte, error) {
 	switch msg := m.(type) {
 	case core.Request:
-		buf := make([]byte, 9)
+		buf := make([]byte, 13)
 		buf[0] = wireRequest
 		binary.BigEndian.PutUint32(buf[1:5], uint32(msg.From))
 		binary.BigEndian.PutUint32(buf[5:9], uint32(msg.Origin))
+		binary.BigEndian.PutUint32(buf[9:13], msg.Epoch)
 		return buf, nil
 	case core.Privilege:
-		buf := make([]byte, 9)
+		buf := make([]byte, 13)
 		buf[0] = wirePrivilege
 		binary.BigEndian.PutUint64(buf[1:9], msg.Generation)
+		binary.BigEndian.PutUint32(buf[9:13], msg.Epoch)
+		return buf, nil
+	case failure.Heartbeat:
+		return []byte{wireHeartbeat}, nil
+	case core.Probe:
+		buf := make([]byte, 9)
+		buf[0] = wireProbe
+		binary.BigEndian.PutUint32(buf[1:5], msg.Epoch)
+		binary.BigEndian.PutUint32(buf[5:9], uint32(msg.Dead))
+		return buf, nil
+	case core.ProbeAck:
+		buf := make([]byte, 15)
+		buf[0] = wireProbeAck
+		binary.BigEndian.PutUint32(buf[1:5], msg.Epoch)
+		buf[5] = boolByte(msg.HasToken)
+		buf[6] = boolByte(msg.Requesting)
+		binary.BigEndian.PutUint64(buf[7:15], msg.Generation)
+		return buf, nil
+	case core.Reorient:
+		buf := make([]byte, 14)
+		buf[0] = wireReorient
+		binary.BigEndian.PutUint32(buf[1:5], msg.Epoch)
+		binary.BigEndian.PutUint32(buf[5:9], uint32(msg.Next))
+		binary.BigEndian.PutUint32(buf[9:13], uint32(msg.Follow))
+		buf[13] = boolByte(msg.Token)
+		return buf, nil
+	case core.Join:
+		return []byte{wireJoin}, nil
+	case core.Welcome:
+		buf := make([]byte, 5)
+		buf[0] = wireWelcome
+		binary.BigEndian.PutUint32(buf[1:5], msg.Epoch)
 		return buf, nil
 	default:
 		return nil, fmt.Errorf("dag codec: cannot encode %T", m)
@@ -57,19 +100,73 @@ func (DAGCodec) Decode(data []byte) (mutex.Message, error) {
 	}
 	switch data[0] {
 	case wireRequest:
-		if len(data) != 9 {
-			return nil, fmt.Errorf("dag codec: REQUEST frame has %d bytes, want 9", len(data))
+		if len(data) != 13 {
+			return nil, fmt.Errorf("dag codec: REQUEST frame has %d bytes, want 13", len(data))
 		}
 		return core.Request{
 			From:   mutex.ID(binary.BigEndian.Uint32(data[1:5])),
 			Origin: mutex.ID(binary.BigEndian.Uint32(data[5:9])),
+			Epoch:  binary.BigEndian.Uint32(data[9:13]),
 		}, nil
 	case wirePrivilege:
-		if len(data) != 9 {
-			return nil, fmt.Errorf("dag codec: PRIVILEGE frame has %d bytes, want 9", len(data))
+		if len(data) != 13 {
+			return nil, fmt.Errorf("dag codec: PRIVILEGE frame has %d bytes, want 13", len(data))
 		}
-		return core.Privilege{Generation: binary.BigEndian.Uint64(data[1:9])}, nil
+		return core.Privilege{
+			Generation: binary.BigEndian.Uint64(data[1:9]),
+			Epoch:      binary.BigEndian.Uint32(data[9:13]),
+		}, nil
+	case wireHeartbeat:
+		if len(data) != 1 {
+			return nil, fmt.Errorf("dag codec: HEARTBEAT frame has %d bytes, want 1", len(data))
+		}
+		return failure.Heartbeat{}, nil
+	case wireProbe:
+		if len(data) != 9 {
+			return nil, fmt.Errorf("dag codec: PROBE frame has %d bytes, want 9", len(data))
+		}
+		return core.Probe{
+			Epoch: binary.BigEndian.Uint32(data[1:5]),
+			Dead:  mutex.ID(binary.BigEndian.Uint32(data[5:9])),
+		}, nil
+	case wireProbeAck:
+		if len(data) != 15 {
+			return nil, fmt.Errorf("dag codec: PROBEACK frame has %d bytes, want 15", len(data))
+		}
+		return core.ProbeAck{
+			Epoch:      binary.BigEndian.Uint32(data[1:5]),
+			HasToken:   data[5] != 0,
+			Requesting: data[6] != 0,
+			Generation: binary.BigEndian.Uint64(data[7:15]),
+		}, nil
+	case wireReorient:
+		if len(data) != 14 {
+			return nil, fmt.Errorf("dag codec: REORIENT frame has %d bytes, want 14", len(data))
+		}
+		return core.Reorient{
+			Epoch:  binary.BigEndian.Uint32(data[1:5]),
+			Next:   mutex.ID(binary.BigEndian.Uint32(data[5:9])),
+			Follow: mutex.ID(binary.BigEndian.Uint32(data[9:13])),
+			Token:  data[13] != 0,
+		}, nil
+	case wireJoin:
+		if len(data) != 1 {
+			return nil, fmt.Errorf("dag codec: JOIN frame has %d bytes, want 1", len(data))
+		}
+		return core.Join{}, nil
+	case wireWelcome:
+		if len(data) != 5 {
+			return nil, fmt.Errorf("dag codec: WELCOME frame has %d bytes, want 5", len(data))
+		}
+		return core.Welcome{Epoch: binary.BigEndian.Uint32(data[1:5])}, nil
 	default:
 		return nil, fmt.Errorf("dag codec: unknown kind tag %d", data[0])
 	}
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
 }

@@ -1,0 +1,191 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+
+	"dagmutex/internal/core"
+	"dagmutex/internal/failure"
+	"dagmutex/internal/mutex"
+)
+
+// The OS-process crash regression (the satellite fix for tcp.go's
+// fail-fast reset handling): three real processes form a cluster, the
+// token holder is killed with SIGKILL, and the survivors must keep
+// making progress instead of failing the whole cluster through the
+// ErrorSink. The child process re-executes this test binary; TestMain
+// diverts it before any test runs.
+
+const tcpChildEnv = "DAGMUTEX_TCP_CHILD"
+
+func TestMain(m *testing.M) {
+	if os.Getenv(tcpChildEnv) == "1" {
+		runTCPChild()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+func crashClusterConfig() mutex.Config {
+	// The line 1-2-3 with the token at 3: both survivors' paths to the
+	// token run toward the node that dies.
+	return mutex.Config{
+		IDs:    []mutex.ID{1, 2, 3},
+		Holder: 3,
+		Parent: map[mutex.ID]mutex.ID{1: 2, 2: 3},
+	}
+}
+
+// runTCPChild is member 3: it listens, reports its address, receives the
+// address book on stdin, takes the token into its critical section,
+// reports the grant, and blocks until killed.
+func runTCPChild() {
+	n, err := NewTCPNode(3, core.Builder, crashClusterConfig(), DAGCodec{})
+	if err != nil {
+		fmt.Println("ERR", err)
+		os.Exit(1)
+	}
+	fmt.Println("ADDR", n.Addr())
+	sc := bufio.NewScanner(os.Stdin)
+	addrs := make(map[mutex.ID]string)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "BOOK ") {
+			continue
+		}
+		for _, ent := range strings.Split(strings.TrimPrefix(line, "BOOK "), ",") {
+			var id int
+			var addr string
+			if _, err := fmt.Sscanf(ent, "%d=%s", &id, &addr); err == nil {
+				addrs[mutex.ID(id)] = addr
+			}
+		}
+		break
+	}
+	n.Connect(addrs)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	g, err := n.Acquire(ctx)
+	if err != nil {
+		fmt.Println("ERR", err)
+		os.Exit(1)
+	}
+	fmt.Println("HELD", g.Generation)
+	select {} // hold the critical section until SIGKILL
+}
+
+// TestTCPKillOneOfThreeProcessesSurvivorsProgress kills the token-holding
+// OS process mid-critical-section. The two surviving processes'
+// connection resets must classify as a per-peer down event (not a
+// cluster-wide ErrorSink failure), their failure detectors must trigger
+// the DAG recovery, and both must keep acquiring — under fencing
+// generations strictly above anything the dead holder granted.
+func TestTCPKillOneOfThreeProcessesSurvivorsProgress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes; skipped in -short")
+	}
+	cfg := crashClusterConfig()
+	n1, err := NewTCPNode(1, core.Builder, cfg, DAGCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n1.Close()
+	n2, err := NewTCPNode(2, core.Builder, cfg, DAGCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n2.Close()
+
+	child := exec.Command(os.Args[0], "-test.run=^$")
+	child.Env = append(os.Environ(), tcpChildEnv+"=1")
+	stdin, err := child.StdinPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stdout, err := child.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	child.Stderr = os.Stderr
+	if err := child.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = child.Process.Kill()
+		_ = child.Wait()
+	}()
+
+	out := bufio.NewScanner(stdout)
+	readLine := func(prefix string) string {
+		t.Helper()
+		for out.Scan() {
+			line := strings.TrimSpace(out.Text())
+			if strings.HasPrefix(line, "ERR") {
+				t.Fatalf("child: %s", line)
+			}
+			if strings.HasPrefix(line, prefix+" ") {
+				return strings.TrimPrefix(line, prefix+" ")
+			}
+		}
+		t.Fatalf("child exited before printing %s (scan err: %v)", prefix, out.Err())
+		return ""
+	}
+	childAddr := readLine("ADDR")
+
+	addrs := map[mutex.ID]string{1: n1.Addr(), 2: n2.Addr(), 3: childAddr}
+	n1.Connect(addrs)
+	n2.Connect(addrs)
+	book := fmt.Sprintf("BOOK 1=%s,2=%s,3=%s\n", addrs[1], addrs[2], addrs[3])
+	if _, err := stdin.Write([]byte(book)); err != nil {
+		t.Fatal(err)
+	}
+	heldGen := readLine("HELD")
+	var childGen uint64
+	if _, err := fmt.Sscanf(heldGen, "%d", &childGen); err != nil {
+		t.Fatalf("bad HELD line %q: %v", heldGen, err)
+	}
+
+	// Arm the survivors' failure detectors only now that the cluster is
+	// fully assembled, then kill the holder mid-critical-section.
+	fcfg := failure.Config{Heartbeat: 20 * time.Millisecond, SuspectAfter: 200 * time.Millisecond}
+	n1.Host().EnableFailureDetection(fcfg, cfg.IDs)
+	n2.Host().EnableFailureDetection(fcfg, cfg.IDs)
+	time.Sleep(50 * time.Millisecond) // a beat of armed steady state
+	if err := child.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	last := childGen
+	for round := 0; round < 3; round++ {
+		for _, n := range []*TCPNode{n1, n2} {
+			g, err := n.Acquire(ctx)
+			if err != nil {
+				t.Fatalf("round %d: survivor %d acquire after kill: %v", round, n.ID(), err)
+			}
+			if g.Generation <= last {
+				t.Fatalf("survivor %d granted generation %d, not above %d", n.ID(), g.Generation, last)
+			}
+			last = g.Generation
+			if err := n.Release(); err != nil {
+				t.Fatalf("survivor %d release: %v", n.ID(), err)
+			}
+		}
+	}
+	if last <= childGen+core.RegenerationJump-1 {
+		t.Fatalf("post-kill generations (%d) do not show the regeneration jump above the dead holder's %d", last, childGen)
+	}
+	if err := n1.Err(); err != nil {
+		t.Fatalf("survivor 1 cluster error: %v (peer death must be a membership event, not a sink failure)", err)
+	}
+	if err := n2.Err(); err != nil {
+		t.Fatalf("survivor 2 cluster error: %v", err)
+	}
+}

@@ -5,7 +5,9 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"dagmutex/internal/failure"
 	"dagmutex/internal/mutex"
 	"dagmutex/internal/runtime"
 )
@@ -22,19 +24,150 @@ type Handle = runtime.Session
 // loops, grant signaling and error capture all live in the shared runtime
 // (internal/runtime), and the integration tests run real concurrent
 // workloads on it (with -race).
+//
+// With WithFailureDetection the cluster also runs one failure detector
+// per member (heartbeats over the same mailboxes), feeding per-peer down
+// and up verdicts into the protocol's membership handler; with
+// WithInjector (or by default, via Kill) a fault plan decides which
+// messages are dropped or delayed, emulating crashes, severed links and
+// partitions inside one process.
 type Local struct {
 	net   *localNet
 	nodes map[mutex.ID]*runtime.Node
 	sink  *runtime.ErrorSink
+	dets  map[mutex.ID]*failure.Detector
 
 	stopOnce sync.Once
 }
 
-// localNet is the in-process substrate: one mailbox per member plus the
-// cluster-wide message counter.
+// localNet is the in-process substrate: one mailbox per member, the
+// cluster-wide message counter, the fault plan, and the per-link delay
+// lines that keep injected latency FIFO.
 type localNet struct {
 	boxes map[mutex.ID]*mailbox[runtime.Envelope]
 	msgs  atomic.Int64
+	inj   *failure.Injector
+
+	delayMu   sync.Mutex
+	delays    map[linkPair]*mailbox[delayedEnvelope]
+	anyDelays atomic.Bool // fast-path guard: true once any delay line exists
+	wg        sync.WaitGroup
+	closed    atomic.Bool
+	stop      chan struct{} // closed on shutdown; wakes drainers mid-wait
+}
+
+type linkPair struct{ from, to mutex.ID }
+
+type delayedEnvelope struct {
+	e runtime.Envelope
+	// deliverAt is the absolute deadline (enqueue time + injected
+	// delay): each message waits its own delay, concurrent with the
+	// others on the link, instead of serializing sleeps.
+	deliverAt time.Time
+}
+
+// send routes one message through the fault plan into the destination
+// mailbox. count separates protocol traffic (tallied in Messages) from
+// detector heartbeats (not tallied, so fail-free accounting is unchanged
+// by enabling detection).
+func (net *localNet) send(from, to mutex.ID, m mutex.Message, count bool) error {
+	dst, ok := net.boxes[to]
+	if !ok {
+		return fmt.Errorf("unknown node %d", to)
+	}
+	if !net.inj.Allow(from, to) {
+		return nil // injected loss: the message vanishes, like the link it models
+	}
+	e := runtime.Envelope{From: from, Msg: m}
+	// A link with a delay line keeps routing through it even after the
+	// delay is cleared (deadline = now): a direct send bypassing queued
+	// delayed messages would break the per-link FIFO the protocol needs.
+	if d := net.inj.Delay(from, to); d > 0 || net.hasDelayLine(from, to) {
+		net.delayLine(from, to).put(delayedEnvelope{e: e, deliverAt: time.Now().Add(d)})
+		if count {
+			net.msgs.Add(1)
+		}
+		return nil
+	}
+	if dst.put(e) && count {
+		net.msgs.Add(1)
+	}
+	return nil
+}
+
+// hasDelayLine reports whether a delay line already exists for the
+// link. The atomic guard keeps the fail-free hot path lock-free.
+func (net *localNet) hasDelayLine(from, to mutex.ID) bool {
+	if !net.anyDelays.Load() {
+		return false
+	}
+	net.delayMu.Lock()
+	defer net.delayMu.Unlock()
+	_, ok := net.delays[linkPair{from, to}]
+	return ok
+}
+
+// delayLine returns the FIFO delay queue for one link, starting its
+// drainer on first use. A single drainer waiting on each message's own
+// deadline keeps delayed delivery FIFO per link (deadlines on one link
+// are non-decreasing while the configured delay is stable, and a
+// mid-flight delay change is clamped below) without serializing the
+// delays themselves: a burst of k messages all arrive ~d after their
+// sends, not at k*d.
+func (net *localNet) delayLine(from, to mutex.ID) *mailbox[delayedEnvelope] {
+	net.delayMu.Lock()
+	defer net.delayMu.Unlock()
+	key := linkPair{from, to}
+	if q, ok := net.delays[key]; ok {
+		return q
+	}
+	q := newMailbox[delayedEnvelope]()
+	if net.delays == nil {
+		net.delays = make(map[linkPair]*mailbox[delayedEnvelope])
+	}
+	net.delays[key] = q
+	net.anyDelays.Store(true)
+	net.wg.Add(1)
+	go func() {
+		defer net.wg.Done()
+		var lastDeadline time.Time
+		timer := time.NewTimer(0)
+		defer timer.Stop()
+		for {
+			de, ok := q.get()
+			if !ok {
+				return
+			}
+			if de.deliverAt.Before(lastDeadline) {
+				de.deliverAt = lastDeadline // a shrunk delay must not reorder the link
+			}
+			lastDeadline = de.deliverAt
+			if wait := time.Until(de.deliverAt); wait > 0 {
+				timer.Reset(wait)
+				select {
+				case <-net.stop:
+					return // closing: drop undelivered delayed traffic
+				case <-timer.C:
+				}
+			}
+			if net.closed.Load() || !net.inj.Allow(from, to) {
+				continue
+			}
+			net.boxes[to].put(de.e)
+		}
+	}()
+	return q
+}
+
+func (net *localNet) close() {
+	net.closed.Store(true)
+	close(net.stop)
+	net.delayMu.Lock()
+	for _, q := range net.delays {
+		q.close()
+	}
+	net.delayMu.Unlock()
+	net.wg.Wait()
 }
 
 // localLink is one member's attachment to the substrate.
@@ -48,14 +181,7 @@ type localLink struct {
 // send to an unknown node is an error captured through the runtime's
 // deliver-error path (it fails the cluster, not the process).
 func (l localLink) Send(to mutex.ID, m mutex.Message) error {
-	dst, ok := l.net.boxes[to]
-	if !ok {
-		return fmt.Errorf("unknown node %d", to)
-	}
-	if dst.put(runtime.Envelope{From: l.id, Msg: m}) {
-		l.net.msgs.Add(1)
-	}
-	return nil
+	return l.net.send(l.id, to, m, true)
 }
 
 // Recv blocks on the member's own mailbox.
@@ -66,12 +192,50 @@ func (l localLink) Recv() (runtime.Envelope, bool) {
 // Close closes the member's mailbox; queued envelopes still drain.
 func (l localLink) Close() { l.net.boxes[l.id].close() }
 
+// LocalOption configures a Local cluster.
+type LocalOption func(*localOptions)
+
+type localOptions struct {
+	inj  *failure.Injector
+	fcfg *failure.Config
+}
+
+// WithInjector installs a shared fault plan: every send consults it, so
+// tests and the chaos battery can crash nodes, sever links, partition
+// and delay deterministically. Without it, Kill lazily installs a
+// private injector.
+func WithInjector(inj *failure.Injector) LocalOption {
+	return func(o *localOptions) { o.inj = inj }
+}
+
+// WithFailureDetection runs one heartbeat failure detector per member:
+// silence (or injected loss) beyond cfg.SuspectAfter becomes a per-peer
+// down verdict delivered to the protocol's membership handler — for the
+// DAG algorithm, the trigger for DAG repair and token regeneration.
+// Protocols without a membership handler escalate the verdict to the
+// cluster's error sink instead (a dead peer is unrecoverable for them).
+func WithFailureDetection(cfg failure.Config) LocalOption {
+	return func(o *localOptions) { o.fcfg = &cfg }
+}
+
 // NewLocal builds and starts one node per cfg.IDs entry. Callers must
 // Close the runtime to stop its goroutines.
-func NewLocal(b mutex.Builder, cfg mutex.Config) (*Local, error) {
+func NewLocal(b mutex.Builder, cfg mutex.Config, opts ...LocalOption) (*Local, error) {
+	var o localOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.inj == nil {
+		o.inj = failure.NewInjector()
+	}
 	l := &Local{
-		net:   &localNet{boxes: make(map[mutex.ID]*mailbox[runtime.Envelope], len(cfg.IDs))},
+		net: &localNet{
+			boxes: make(map[mutex.ID]*mailbox[runtime.Envelope], len(cfg.IDs)),
+			inj:   o.inj,
+			stop:  make(chan struct{}),
+		},
 		nodes: make(map[mutex.ID]*runtime.Node, len(cfg.IDs)),
+		dets:  make(map[mutex.ID]*failure.Detector),
 		sink:  runtime.NewErrorSink(),
 	}
 	// All mailboxes exist before any node starts, so builders and early
@@ -87,7 +251,54 @@ func NewLocal(b mutex.Builder, cfg mutex.Config) (*Local, error) {
 		}
 		l.nodes[id] = n
 	}
+	if o.fcfg != nil {
+		for id, n := range l.nodes {
+			node := n
+			hbSend := func(to mutex.ID, m mutex.Message) error {
+				return l.net.send(id, to, m, false)
+			}
+			det := failure.NewDetector(id, cfg.IDs, hbSend, *o.fcfg)
+			det.OnDown(func(p mutex.ID) {
+				if err := node.PeerDown(p); err != nil {
+					l.sink.Fail(err)
+				}
+			})
+			det.OnUp(func(p mutex.ID) {
+				if err := node.PeerUp(p); err != nil {
+					l.sink.Fail(err)
+				}
+			})
+			node.SetMonitor(det)
+			l.dets[id] = det
+		}
+		for _, det := range l.dets {
+			det.Start()
+		}
+	}
 	return l, nil
+}
+
+// Injector returns the cluster's fault plan, for tests and batteries to
+// crash, sever, partition and heal.
+func (l *Local) Injector() *failure.Injector { return l.net.inj }
+
+// Kill crashes member id: its traffic is dropped from now on (the fault
+// plan marks it crashed), its detector stops heartbeating, its mailbox
+// closes, and its own session fails fast with runtime.ErrNodeDown. Peers
+// notice through their failure detectors — there is no goodbye message,
+// exactly like a killed process.
+func (l *Local) Kill(id mutex.ID) error {
+	n, ok := l.nodes[id]
+	if !ok {
+		return fmt.Errorf("transport: unknown node %d", id)
+	}
+	l.net.inj.Crash(id)
+	n.MarkSelfDown()
+	if det := l.dets[id]; det != nil {
+		det.Stop()
+	}
+	l.net.boxes[id].close()
+	return nil
 }
 
 // WithNode runs fn on the protocol node with the given id while holding
@@ -111,7 +322,8 @@ func (l *Local) Handle(id mutex.ID) *Handle {
 	return n.Handle()
 }
 
-// Messages returns the total number of messages sent so far.
+// Messages returns the total number of protocol messages sent so far
+// (detector heartbeats are not counted).
 func (l *Local) Messages() int64 { return l.net.msgs.Load() }
 
 // Err returns the first protocol-level delivery error, if any occurred.
@@ -121,6 +333,11 @@ func (l *Local) Err() error { return l.sink.Err() }
 // messages are still delivered first.
 func (l *Local) Close() {
 	l.stopOnce.Do(func() {
+		// Detectors first: no verdicts may fire into closing nodes.
+		for _, det := range l.dets {
+			det.Stop()
+		}
+		l.net.close()
 		// Deterministic order keeps shutdown reproducible under -race.
 		ids := make([]mutex.ID, 0, len(l.nodes))
 		for id := range l.nodes {

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dagmutex/internal/failure"
 	"dagmutex/internal/mutex"
 	"dagmutex/internal/runtime"
 )
@@ -20,6 +21,11 @@ import (
 // maxFrame bounds incoming frame sizes; all protocol messages here are a
 // few bytes, so anything larger indicates a corrupted stream.
 const maxFrame = 1 << 20
+
+// controlInstance tags host-level control frames (failure-detector
+// heartbeats). They are fed straight to the detector on arrival and are
+// never buffered for, or routed to, a protocol instance.
+const controlInstance = ^uint32(0)
 
 // maxPending bounds frames buffered for instances that have not been
 // registered yet (a peer racing ahead of this host's StartInstance
@@ -57,6 +63,13 @@ type TCPHost struct {
 	insMu     sync.Mutex
 	ins       []net.Conn
 	insClosed bool // set by Close; late-accepted conns are closed on sight
+
+	// det, when set, turns transport-level peer faults (connection reset,
+	// dial failure) into per-peer down evidence instead of cluster-fatal
+	// sink errors, and consumes heartbeat traffic. inj, when set, is the
+	// fault plan consulted on both send and receive.
+	det atomic.Pointer[failure.Detector]
+	inj atomic.Pointer[failure.Injector]
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -130,6 +143,92 @@ func (h *TCPHost) InstanceSent(instance uint32) int64 {
 	return link.sent.Load()
 }
 
+// SetInjector installs a fault plan: frames the plan vetoes are dropped
+// on send and on receive, emulating crashes, severed links and
+// partitions over live sockets (the connections stay up, so a healed
+// partition resumes without redialing). Install before Connect.
+func (h *TCPHost) SetInjector(inj *failure.Injector) { h.inj.Store(inj) }
+
+// EnableFailureDetection runs a host-level heartbeat failure detector
+// against peers: heartbeats ride the same framed connections as protocol
+// traffic (tagged as control frames), every inbound frame counts as
+// liveness, and transport-level faults — a connection reset when a peer
+// process dies, a failed dial — become immediate per-peer down evidence
+// instead of cluster-fatal errors. Down and up verdicts are delivered to
+// every protocol instance on this host (its membership handler, for the
+// DAG algorithm's recovery); instances whose protocol cannot recover
+// escalate to the host's error sink. Call before Connect; detection
+// stops with Close.
+func (h *TCPHost) EnableFailureDetection(cfg failure.Config, peers []mutex.ID) {
+	det := failure.NewDetector(h.id, peers, func(to mutex.ID, m mutex.Message) error {
+		return h.sendControl(to, m)
+	}, cfg)
+	det.OnDown(func(p mutex.ID) { h.broadcastPeer(p, true) })
+	det.OnUp(func(p mutex.ID) { h.broadcastPeer(p, false) })
+	h.det.Store(det)
+	det.Start()
+}
+
+// Detector returns the host's failure detector, or nil if detection is
+// not enabled.
+func (h *TCPHost) Detector() *failure.Detector { return h.det.Load() }
+
+// broadcastPeer delivers one membership verdict to every instance.
+func (h *TCPHost) broadcastPeer(peer mutex.ID, down bool) {
+	h.mu.RLock()
+	nodes := make([]*runtime.Node, 0, len(h.nodes))
+	for _, n := range h.nodes {
+		nodes = append(nodes, n)
+	}
+	h.mu.RUnlock()
+	for _, n := range nodes {
+		var err error
+		if down {
+			err = n.PeerDown(peer)
+		} else {
+			err = n.PeerUp(peer)
+		}
+		if err != nil {
+			h.sink.Fail(err)
+		}
+	}
+}
+
+// sendControl frames a host-level control message (a heartbeat) for the
+// peer's batched writer.
+func (h *TCPHost) sendControl(to mutex.ID, m mutex.Message) error {
+	payload, err := h.codec.Encode(m)
+	if err != nil {
+		return fmt.Errorf("encode %s: %w", m.Kind(), err)
+	}
+	frame := make([]byte, 12+len(payload))
+	binary.BigEndian.PutUint32(frame[0:4], uint32(8+len(payload)))
+	binary.BigEndian.PutUint32(frame[4:8], controlInstance)
+	binary.BigEndian.PutUint32(frame[8:12], uint32(h.id))
+	copy(frame[12:], payload)
+	h.enqueue(to, frame)
+	return nil
+}
+
+// peerFault classifies a transport-level fault on the link to/from peer.
+// With failure detection enabled it is per-peer down evidence — the
+// detector (and through it the protocol's recovery) absorbs it, and the
+// cluster keeps running. Without detection it keeps the original
+// fail-fast contract: the first fault fails the cluster through the
+// sink, so blocked Acquires do not hang. Protocol violations (bad
+// frames, codec errors) never come here; they stay fail-fast always.
+func (h *TCPHost) peerFault(peer mutex.ID, err error) {
+	if det := h.det.Load(); det != nil {
+		if peer != mutex.Nil {
+			det.MarkDown(peer)
+		}
+		return
+	}
+	if err != nil {
+		h.fail(err)
+	}
+}
+
 // Connect supplies the peer address book (member id -> listen address).
 // It must be called before the first Acquire; outgoing connections are
 // dialed lazily on first send.
@@ -198,6 +297,17 @@ func (h *TCPHost) StartInstance(instance uint32, b mutex.Builder, cfg mutex.Conf
 	}
 	h.nodes[instance] = n
 	h.mu.Unlock()
+	// A peer may already be down (its process died before this instance
+	// registered; the detector's verdict fired into the then-current
+	// instance set). Replay the standing verdicts so a late-started
+	// instance recovers instead of waiting forever on a dead holder.
+	if det := h.det.Load(); det != nil {
+		for _, p := range det.Down() {
+			if err := n.PeerDown(p); err != nil {
+				h.sink.Fail(err)
+			}
+		}
+	}
 	return n, nil
 }
 
@@ -247,6 +357,9 @@ type peerConn struct {
 // failed, write failed, host closing) closes its queue, so frames to it
 // are dropped instead of accumulating unsent forever.
 func (h *TCPHost) enqueue(to mutex.ID, frame []byte) bool {
+	if !h.inj.Load().Allow(h.id, to) {
+		return false // injected loss: dropped before the writer, so the link heals cleanly
+	}
 	// Read-locked fast path: peers is append-only until Close, and the
 	// send hot path must not serialize against concurrent receives.
 	h.mu.RLock()
@@ -285,7 +398,7 @@ func (h *TCPHost) writeLoop(to mutex.ID, pc *peerConn) {
 	defer pc.q.close() // a dead writer must not keep accepting frames
 	conn, err := h.dial(to)
 	if err != nil {
-		h.fail(fmt.Errorf("connect to node %d: %w", to, err))
+		h.peerFault(to, fmt.Errorf("connect to node %d: %w", to, err))
 		return
 	}
 	h.mu.Lock()
@@ -300,7 +413,7 @@ func (h *TCPHost) writeLoop(to mutex.ID, pc *peerConn) {
 	bw := bufio.NewWriter(conn)
 	write := func(f []byte) bool {
 		if _, err := bw.Write(f); err != nil {
-			h.fail(fmt.Errorf("write to node %d: %w", to, err))
+			h.peerFault(to, fmt.Errorf("write to node %d: %w", to, err))
 			return false
 		}
 		return true
@@ -324,7 +437,7 @@ func (h *TCPHost) writeLoop(to mutex.ID, pc *peerConn) {
 			}
 		}
 		if err := bw.Flush(); err != nil {
-			h.fail(fmt.Errorf("flush to node %d: %w", to, err))
+			h.peerFault(to, fmt.Errorf("flush to node %d: %w", to, err))
 			return
 		}
 	}
@@ -389,13 +502,23 @@ func (h *TCPHost) acceptLoop() {
 }
 
 // readLoop parses frames and routes them to the tagged instance's inbox.
+// Each inbound connection carries exactly one peer's frames (the peer's
+// writer dialed it), so once the first frame names the sender, a broken
+// connection is attributable: with failure detection enabled, a reset or
+// EOF is that peer's death evidence rather than a cluster-fatal error.
+// Frame and codec violations stay fail-fast regardless — they mean a
+// corrupted stream, not a dead peer.
 func (h *TCPHost) readLoop(conn net.Conn) {
 	defer func() { _ = conn.Close() }()
+	peer := mutex.Nil
 	header := make([]byte, 4)
 	for {
 		if _, err := io.ReadFull(conn, header); err != nil {
-			if !errors.Is(err, io.EOF) && !isClosedErr(err) {
-				h.fail(fmt.Errorf("read header: %w", err))
+			switch {
+			case errors.Is(err, io.EOF), isClosedErr(err):
+				h.peerFault(peer, nil)
+			default:
+				h.peerFault(peer, fmt.Errorf("read header: %w", err))
 			}
 			return
 		}
@@ -407,18 +530,28 @@ func (h *TCPHost) readLoop(conn net.Conn) {
 		body := make([]byte, size)
 		if _, err := io.ReadFull(conn, body); err != nil {
 			if !isClosedErr(err) {
-				h.fail(fmt.Errorf("read frame: %w", err))
+				h.peerFault(peer, fmt.Errorf("read frame: %w", err))
 			}
 			return
 		}
 		instance := binary.BigEndian.Uint32(body[0:4])
 		from := mutex.ID(binary.BigEndian.Uint32(body[4:8]))
+		peer = from
 		msg, err := h.codec.Decode(body[8:])
 		if err != nil {
 			h.fail(err)
 			return
 		}
 		h.received.Add(1)
+		if !h.inj.Load().Allow(from, h.id) {
+			continue // injected loss on the receive side
+		}
+		if det := h.det.Load(); det != nil && det.Inbound(from, msg) {
+			continue // heartbeat: liveness evidence only
+		}
+		if instance == controlInstance {
+			continue // control frame with no detector attached
+		}
 		if !h.route(instance, runtime.Envelope{From: from, Msg: msg}) {
 			return
 		}
@@ -477,6 +610,10 @@ func (h *TCPHost) fail(err error) {
 func (h *TCPHost) Close() {
 	h.stopOnce.Do(func() {
 		close(h.stop)
+		// Detector first: no verdicts may fire into closing instances.
+		if det := h.det.Load(); det != nil {
+			det.Stop()
+		}
 		h.mu.Lock()
 		h.stopped = true
 		peers := h.peers
@@ -579,25 +716,62 @@ func (t *TCPNode) Stats() (sent, received int64) { return t.host.Stats() }
 // node's goroutines to exit.
 func (t *TCPNode) Close() { t.host.Close() }
 
+// Host exposes the underlying TCPHost, for chaos wiring (injector,
+// failure detection) before Connect.
+func (t *TCPNode) Host() *TCPHost { return t.host }
+
+// Kill crashes the node: its own session fails fast with
+// runtime.ErrNodeDown and the host — listener, connections, writers —
+// is torn down, so peers observe exactly what a killed process produces:
+// connection resets and silence.
+func (t *TCPNode) Kill() {
+	t.node.MarkSelfDown()
+	t.host.Close()
+}
+
 // TCPCluster wires one TCPNode per cluster member over loopback inside a
 // single process: the TCP analogue of Local, used by tests, the
 // conformance battery and the tcpcluster example. Real deployments run
 // one TCPNode (or TCPHost) per process instead and exchange addresses out
 // of band.
 type TCPCluster struct {
-	nodes map[mutex.ID]*TCPNode
+	nodes  map[mutex.ID]*TCPNode
+	inj    *failure.Injector
+	killed map[mutex.ID]bool
+	mu     sync.Mutex
 }
 
 // NewTCPCluster starts one TCP-backed node per cfg.IDs entry and
 // distributes the address book. Callers must Close it.
 func NewTCPCluster(b mutex.Builder, cfg mutex.Config, codec Codec) (*TCPCluster, error) {
-	c := &TCPCluster{nodes: make(map[mutex.ID]*TCPNode, len(cfg.IDs))}
+	return newTCPCluster(b, cfg, codec, nil, nil)
+}
+
+// NewTCPClusterChaos is NewTCPCluster with the failure subsystem armed:
+// every member host runs failure detection with fcfg, and the shared
+// fault plan inj (which the caller keeps, to partition and heal) is
+// consulted on every frame. Kill crashes individual members.
+func NewTCPClusterChaos(b mutex.Builder, cfg mutex.Config, codec Codec, fcfg failure.Config, inj *failure.Injector) (*TCPCluster, error) {
+	if inj == nil {
+		inj = failure.NewInjector()
+	}
+	return newTCPCluster(b, cfg, codec, &fcfg, inj)
+}
+
+func newTCPCluster(b mutex.Builder, cfg mutex.Config, codec Codec, fcfg *failure.Config, inj *failure.Injector) (*TCPCluster, error) {
+	c := &TCPCluster{nodes: make(map[mutex.ID]*TCPNode, len(cfg.IDs)), inj: inj, killed: make(map[mutex.ID]bool)}
 	addrs := make(map[mutex.ID]string, len(cfg.IDs))
 	for _, id := range cfg.IDs {
 		n, err := NewTCPNode(id, b, cfg, codec)
 		if err != nil {
 			c.Close()
 			return nil, err
+		}
+		if inj != nil {
+			n.Host().SetInjector(inj)
+		}
+		if fcfg != nil {
+			n.Host().EnableFailureDetection(*fcfg, cfg.IDs)
 		}
 		c.nodes[id] = n
 		addrs[id] = n.Addr()
@@ -606,6 +780,28 @@ func NewTCPCluster(b mutex.Builder, cfg mutex.Config, codec Codec) (*TCPCluster,
 		n.Connect(addrs)
 	}
 	return c, nil
+}
+
+// Injector returns the cluster's shared fault plan (nil unless built
+// with NewTCPClusterChaos).
+func (c *TCPCluster) Injector() *failure.Injector { return c.inj }
+
+// Kill crashes member id: the fault plan silences it, then its host is
+// torn down, so peers see connection resets — the same evidence a killed
+// OS process produces — and their detectors mark it down immediately.
+func (c *TCPCluster) Kill(id mutex.ID) error {
+	n, ok := c.nodes[id]
+	if !ok {
+		return fmt.Errorf("transport: unknown node %d", id)
+	}
+	c.mu.Lock()
+	c.killed[id] = true
+	c.mu.Unlock()
+	if c.inj != nil {
+		c.inj.Crash(id)
+	}
+	n.Kill()
+	return nil
 }
 
 // Handle returns the handle for member id, or nil if the id is unknown.
@@ -627,9 +823,16 @@ func (c *TCPCluster) Messages() int64 {
 	return n
 }
 
-// Err returns the first error observed by any member, if any.
+// Err returns the first error observed by any live member, if any
+// (killed members' teardown noise is theirs to keep).
 func (c *TCPCluster) Err() error {
-	for _, n := range c.nodes {
+	for id, n := range c.nodes {
+		c.mu.Lock()
+		dead := c.killed[id]
+		c.mu.Unlock()
+		if dead {
+			continue
+		}
 		if err := n.Err(); err != nil {
 			return err
 		}

@@ -10,7 +10,9 @@ import (
 	"time"
 
 	"dagmutex/internal/core"
+	"dagmutex/internal/failure"
 	"dagmutex/internal/mutex"
+	"dagmutex/internal/runtime"
 	"dagmutex/internal/topology"
 )
 
@@ -147,8 +149,18 @@ func TestDAGCodecRoundTrip(t *testing.T) {
 	c := DAGCodec{}
 	msgs := []mutex.Message{
 		core.Request{From: 3, Origin: 7},
+		core.Request{From: 3, Origin: 7, Epoch: 9},
 		core.Privilege{},
 		core.Privilege{Generation: 42},
+		core.Privilege{Generation: 42, Epoch: 3},
+		failure.Heartbeat{},
+		core.Probe{Epoch: 5, Dead: 2},
+		core.ProbeAck{Epoch: 5, HasToken: true, Requesting: true, Generation: 77},
+		core.ProbeAck{Epoch: 5},
+		core.Reorient{Epoch: 5, Next: 4, Follow: 2, Token: true},
+		core.Reorient{Epoch: 5},
+		core.Join{},
+		core.Welcome{Epoch: 6},
 	}
 	for _, m := range msgs {
 		b, err := c.Encode(m)
@@ -334,8 +346,8 @@ func TestHandleStorage(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer l.Close()
-	if s := l.Handle(1).Storage(); s.Scalars != 4 {
-		t.Fatalf("storage = %+v, want 4 scalars", s)
+	if s := l.Handle(1).Storage(); s.Scalars != 5 {
+		t.Fatalf("storage = %+v, want 5 scalars", s)
 	}
 }
 
@@ -689,5 +701,39 @@ func TestPrivilegeGenerationSurvivesTCPCodec(t *testing.T) {
 		if !ok || p.Generation != gen {
 			t.Fatalf("PRIVILEGE round-trip = %#v, want generation %d", m, gen)
 		}
+	}
+}
+
+// TestKillWakesBlockedAcquire: an Acquire already blocked when its own
+// node is killed must fail fast with ErrNodeDown instead of hanging
+// forever on a grant that regenerates elsewhere.
+func TestKillWakesBlockedAcquire(t *testing.T) {
+	tree := topology.Star(3)
+	l, err := NewLocal(core.Builder, dagConfig(tree, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := l.Handle(1).Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := l.Handle(3).Acquire(context.Background()) // deliberately uncancellable
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let it block behind the holder
+	if err := l.Kill(3); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, runtime.ErrNodeDown) {
+			t.Fatalf("blocked acquire after Kill = %v, want ErrNodeDown", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("blocked acquire never woke after its node was killed")
 	}
 }
