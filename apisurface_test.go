@@ -1,0 +1,214 @@
+package dagmutex_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/doc"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"io/fs"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// The API-surface golden: every exported symbol of package dagmutex,
+// rendered one per line and compared against the committed api.txt. A
+// PR that changes the public surface must regenerate the golden with
+//
+//	go test -run TestAPISurfaceGolden -update-api
+//
+// and commit the diff — so the surface can evolve, but never silently.
+var updateAPI = flag.Bool("update-api", false, "rewrite api.txt from the current public surface")
+
+func TestAPISurfaceGolden(t *testing.T) {
+	got := renderAPISurface(t)
+	if *updateAPI {
+		if err := os.WriteFile("api.txt", []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile("api.txt")
+	if err != nil {
+		t.Fatalf("missing api.txt golden (run with -update-api to create it): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("public API surface drifted from api.txt.\n"+
+			"If the change is intentional, regenerate with:\n"+
+			"  go test -run TestAPISurfaceGolden -update-api\n\n%s",
+			surfaceDiff(string(want), got))
+	}
+}
+
+// renderAPISurface parses the package syntactically (no type checking,
+// so the test needs nothing beyond the standard library) and renders
+// every exported constant, variable, function, type, exported field and
+// method as one sorted line each.
+func renderAPISurface(t *testing.T) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["dagmutex"]
+	if !ok {
+		t.Fatalf("package dagmutex not found (have %v)", pkgs)
+	}
+	d := doc.New(pkg, "dagmutex", 0)
+
+	var lines []string
+	add := func(format string, args ...any) {
+		lines = append(lines, fmt.Sprintf(format, args...))
+	}
+	exprStr := func(e ast.Expr) string {
+		var buf bytes.Buffer
+		if err := printer.Fprint(&buf, fset, e); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	funcLine := func(f *doc.Func, recv string) {
+		params := fieldListTypes(exprStr, f.Decl.Type.Params)
+		results := fieldListTypes(exprStr, f.Decl.Type.Results)
+		sig := fmt.Sprintf("func %s%s(%s)", recv, f.Name, params)
+		if results != "" {
+			sig += " (" + results + ")"
+		}
+		add("%s", sig)
+	}
+
+	for _, c := range d.Consts {
+		for _, name := range c.Names {
+			if ast.IsExported(name) {
+				add("const %s", name)
+			}
+		}
+	}
+	for _, v := range d.Vars {
+		for _, name := range v.Names {
+			if ast.IsExported(name) {
+				add("var %s", name)
+			}
+		}
+	}
+	for _, f := range d.Funcs {
+		if ast.IsExported(f.Name) {
+			funcLine(f, "")
+		}
+	}
+	for _, typ := range d.Types {
+		if !ast.IsExported(typ.Name) {
+			continue
+		}
+		spec := typ.Decl.Specs[0].(*ast.TypeSpec)
+		switch u := spec.Type.(type) {
+		case *ast.StructType:
+			add("type %s struct", typ.Name)
+			for _, f := range u.Fields.List {
+				for _, n := range f.Names {
+					if ast.IsExported(n.Name) {
+						add("type %s struct, field %s %s", typ.Name, n.Name, exprStr(f.Type))
+					}
+				}
+			}
+		case *ast.InterfaceType:
+			add("type %s interface", typ.Name)
+			for _, m := range u.Methods.List {
+				for _, n := range m.Names {
+					if ast.IsExported(n.Name) {
+						add("type %s interface, method %s", typ.Name, n.Name)
+					}
+				}
+			}
+		default:
+			if spec.Assign.IsValid() {
+				add("type %s = %s", typ.Name, exprStr(spec.Type))
+			} else {
+				add("type %s %s", typ.Name, exprStr(spec.Type))
+			}
+		}
+		// Package-level consts/vars/funcs doc.New grouped under the type.
+		for _, c := range typ.Consts {
+			for _, name := range c.Names {
+				if ast.IsExported(name) {
+					add("const %s", name)
+				}
+			}
+		}
+		for _, v := range typ.Vars {
+			for _, name := range v.Names {
+				if ast.IsExported(name) {
+					add("var %s", name)
+				}
+			}
+		}
+		for _, f := range typ.Funcs {
+			if ast.IsExported(f.Name) {
+				funcLine(f, "")
+			}
+		}
+		for _, m := range typ.Methods {
+			if ast.IsExported(m.Name) {
+				funcLine(m, "("+typ.Name+") ")
+			}
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// fieldListTypes renders a parameter or result list as comma-separated
+// types (names dropped, so renaming a parameter is not an API change).
+func fieldListTypes(exprStr func(ast.Expr) string, fl *ast.FieldList) string {
+	if fl == nil {
+		return ""
+	}
+	var parts []string
+	for _, f := range fl.List {
+		typ := exprStr(f.Type)
+		n := len(f.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			parts = append(parts, typ)
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+// surfaceDiff renders the line-level additions and removals between the
+// golden and the current surface.
+func surfaceDiff(want, got string) string {
+	wantSet := map[string]bool{}
+	for _, l := range strings.Split(strings.TrimSpace(want), "\n") {
+		wantSet[l] = true
+	}
+	gotSet := map[string]bool{}
+	for _, l := range strings.Split(strings.TrimSpace(got), "\n") {
+		gotSet[l] = true
+	}
+	var b strings.Builder
+	for _, l := range strings.Split(strings.TrimSpace(got), "\n") {
+		if !wantSet[l] {
+			fmt.Fprintf(&b, "+ %s\n", l)
+		}
+	}
+	for _, l := range strings.Split(strings.TrimSpace(want), "\n") {
+		if !gotSet[l] {
+			fmt.Fprintf(&b, "- %s\n", l)
+		}
+	}
+	if b.Len() == 0 {
+		return "(lines reordered only)"
+	}
+	return b.String()
+}

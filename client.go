@@ -1,0 +1,176 @@
+package dagmutex
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"dagmutex/internal/client"
+)
+
+// This file is the dialing side of the v2 member/client split: processes
+// that are NOT vertices of the token DAG attach to a member over TCP and
+// acquire through it. The member queues its clients, arbitrates through
+// the token protocol, bounds every remote hold with a lease, and cleans
+// up after a vanished client — so a small DAG of members can serve a
+// client population far larger than the tree. See the client wire frame
+// notes in internal/transport (next to the DAG codec) for the protocol.
+
+// ErrClientBusy reports a request the member shed because the
+// connection already has its maximum number of requests queued — the
+// backpressure signal. Drain or retry.
+var ErrClientBusy = client.ErrBusy
+
+// RemoteSession is the client-side session over one dialed DAG member:
+// the same Acquire/TryAcquire/Release surface as a member's own Session,
+// arbitrating the member cluster's single critical section, but held
+// through the member's client proxy — queued behind the member's other
+// clients and bounded by the proxy's lease.
+type RemoteSession struct {
+	c *client.Conn
+
+	mu    sync.Mutex
+	fence uint64 // fencing token of the current hold, 0 when free
+}
+
+// Dial attaches to a DAG member's listener (Cluster.Addr, Peer.Addr) as
+// a non-member client. Close the session to hang up; the member then
+// releases anything it still holds and aborts its queued acquires,
+// exactly as if the client process had crashed.
+//
+// The member serializes its dialed clients against each other, but it
+// cannot serialize them against its own direct Session use — the
+// paper's one-outstanding-request rule is per node. A member process
+// that serves clients should not drive its own Session concurrently
+// with them; when it needs the mutex itself, it can Dial its own
+// address and queue like everyone else.
+func Dial(addr string) (*RemoteSession, error) {
+	return DialContext(context.Background(), addr)
+}
+
+// DialContext is Dial with connection establishment bounded by ctx.
+func DialContext(ctx context.Context, addr string) (*RemoteSession, error) {
+	c, err := client.DialContext(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteSession{c: c}, nil
+}
+
+// Acquire requests the critical section and blocks until the member
+// grants it, the connection dies, or ctx is done. The returned Grant
+// carries the fencing generation and the lease deadline the member
+// attached (past it the member reclaims the mutex from this client). On
+// ctx expiry the cancellation is propagated into the member's queue; a
+// grant that races the cancellation on the wire is handed straight
+// back, so no hold leaks.
+func (s *RemoteSession) Acquire(ctx context.Context) (Grant, error) {
+	h, err := s.c.Acquire(ctx, "")
+	if err != nil {
+		return Grant{}, err
+	}
+	s.mu.Lock()
+	s.fence = h.Fence
+	s.mu.Unlock()
+	return Grant{Generation: h.Fence, At: time.Now(), Expires: h.Expires}, nil
+}
+
+// TryAcquire enters the critical section only if the member can grant
+// immediately — its client queue is empty and it sits on an idle token.
+// It reports false (with no error) when the section would have to be
+// waited for.
+func (s *RemoteSession) TryAcquire() (Grant, bool, error) {
+	h, ok, err := s.c.TryAcquire("")
+	if err != nil || !ok {
+		return Grant{}, false, err
+	}
+	s.mu.Lock()
+	s.fence = h.Fence
+	s.mu.Unlock()
+	return Grant{Generation: h.Fence, At: time.Now(), Expires: h.Expires}, true, nil
+}
+
+// Release leaves the critical section. A hold whose lease already ran
+// out reports ErrLeaseExpired (the member reclaimed it; work done since
+// the deadline must not be committed); releasing nothing reports
+// ErrNotHeld.
+func (s *RemoteSession) Release() error {
+	s.mu.Lock()
+	fence := s.fence
+	s.fence = 0
+	s.mu.Unlock()
+	if fence != 0 {
+		return s.c.ReleaseHold(client.Hold{Fence: fence})
+	}
+	return s.c.Release("")
+}
+
+// Err returns the connection's terminal error, if it has one.
+func (s *RemoteSession) Err() error { return s.c.Err() }
+
+// Close hangs up, releasing whatever the member still tracks for this
+// client.
+func (s *RemoteSession) Close() error { return s.c.Close() }
+
+// RemoteLockClient is the client-side view of a dialed lock-service
+// member: Acquire/TryAcquire/Release of named resources, with fencing
+// tokens and lease deadlines, held through the member's own slots. It
+// satisfies the same Locker surface as an in-process LockClient, so
+// workloads drive both identically.
+type RemoteLockClient struct {
+	c *client.Conn
+}
+
+// DialLockService attaches to a lock-service member's listener
+// (LockService.Addr on a TCP member) as a non-member client.
+func DialLockService(addr string) (*RemoteLockClient, error) {
+	return DialLockServiceContext(context.Background(), addr)
+}
+
+// DialLockServiceContext is DialLockService with connection
+// establishment bounded by ctx.
+func DialLockServiceContext(ctx context.Context, addr string) (*RemoteLockClient, error) {
+	c, err := client.DialContext(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteLockClient{c: c}, nil
+}
+
+// Acquire locks resource through the member, returning the hold's
+// fencing token and lease deadline. Cancelling ctx propagates into the
+// member's queue; no hold leaks on the race.
+func (r *RemoteLockClient) Acquire(ctx context.Context, resource string) (LockHold, error) {
+	h, err := r.c.Acquire(ctx, resource)
+	if err != nil {
+		return LockHold{}, err
+	}
+	return LockHold{Resource: resource, Fence: h.Fence, Expires: h.Expires}, nil
+}
+
+// TryAcquire locks resource only if the member can grant it without
+// waiting; false (with no error) otherwise.
+func (r *RemoteLockClient) TryAcquire(resource string) (LockHold, bool, error) {
+	h, ok, err := r.c.TryAcquire(resource)
+	if err != nil || !ok {
+		return LockHold{}, false, err
+	}
+	return LockHold{Resource: resource, Fence: h.Fence, Expires: h.Expires}, true, nil
+}
+
+// Release unlocks resource by name. ErrNotHeld and ErrLeaseExpired
+// arrive exactly as they do in process.
+func (r *RemoteLockClient) Release(resource string) error { return r.c.Release(resource) }
+
+// ReleaseHold unlocks the exact hold h, matched by its fencing token —
+// the precise path for lease-aware code.
+func (r *RemoteLockClient) ReleaseHold(h LockHold) error {
+	return r.c.ReleaseHold(client.Hold{Resource: h.Resource, Fence: h.Fence})
+}
+
+// Err returns the connection's terminal error, if it has one.
+func (r *RemoteLockClient) Err() error { return r.c.Err() }
+
+// Close hangs up, releasing every hold the member still tracks for this
+// client.
+func (r *RemoteLockClient) Close() error { return r.c.Close() }

@@ -62,7 +62,7 @@ func chaosTable(co chaosOptions, seed int64) (*harness.Table, error) {
 	defer cancel()
 	var wg sync.WaitGroup
 	for _, id := range cfg.IDs {
-		h := cl.Handle(id)
+		h := cl.Session(id)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"context"
+	"fmt"
+
+	"dagmutex"
+	"dagmutex/internal/harness"
+	"dagmutex/internal/lockservice"
+	"dagmutex/internal/mutex"
+	"dagmutex/internal/workload"
+)
+
+// The clients experiment measures the member/client split: a fixed,
+// small DAG of member nodes arbitrates while a much larger population
+// of dialed non-member clients drives the load through the CLIENT wire
+// protocol. The claim under test is the survey's member/client framing
+// (and the ROADMAP's north star): client count can scale far past the
+// tree without re-sizing the DAG, at throughput comparable to the
+// all-member configuration — because clients cost a connection and a
+// queue slot, not a vertex in the token topology.
+
+// clientsTable runs, per shard count: the all-member baseline (workers
+// driving member slots directly, as -exp lock does over TCP) and the
+// dialed-clients configuration (the same workers spread over -clients
+// remote connections). The vs-members column is the throughput ratio.
+func clientsTable(lo lockOptions, clients int, seed int64) (*harness.Table, error) {
+	if clients <= 0 {
+		return nil, fmt.Errorf("need -clients > 0, got %d", clients)
+	}
+	counts, err := parseShardList(lo.shards)
+	if err != nil {
+		return nil, err
+	}
+	tbl := &harness.Table{
+		ID: "EXP-clients",
+		Title: fmt.Sprintf("member/client split: %d DAG members vs %d dialed clients, %d resources, %d workers x %d ops",
+			lo.nodes, clients, lo.resources, lo.workers, lo.ops),
+		Columns: []string{"mode", "shards", "members", "clients", "grants", "ops/sec", "vs-members"},
+		Notes: []string{
+			"members: workers drive member slots directly (the -exp lock tcp configuration)",
+			"clients: the same workers drive dialed non-member connections (dagmutex.DialLockService)",
+			"clients attach over the CLIENT wire protocol; the DAG itself keeps its member count",
+			"live runtime: ops/sec is wall-clock; vs-members compares within each shard count",
+		},
+	}
+	for _, m := range counts {
+		base, err := runLockTCP(lo, m, seed)
+		if err != nil {
+			return nil, fmt.Errorf("members shards=%d: %w", m, err)
+		}
+		cl, err := runLockClients(lo, m, clients, seed)
+		if err != nil {
+			return nil, fmt.Errorf("clients shards=%d: %w", m, err)
+		}
+		tbl.AddRow("members", fmt.Sprintf("%d", m), fmt.Sprintf("%d", lo.nodes), "0",
+			fmt.Sprintf("%d", base.grants), fmt.Sprintf("%.0f", base.tput), "1.00x")
+		tbl.AddRow("clients", fmt.Sprintf("%d", m), fmt.Sprintf("%d", lo.nodes), fmt.Sprintf("%d", clients),
+			fmt.Sprintf("%d", cl.grants), fmt.Sprintf("%.0f", cl.tput),
+			fmt.Sprintf("%.2fx", cl.tput/base.tput))
+	}
+	return tbl, nil
+}
+
+// runLockClients benchmarks one shard count with the load arriving
+// through dialed non-member clients: the member cluster runs over TCP
+// exactly as in runLockTCP, every member serves the client protocol,
+// and `clients` connections are dialed round-robin across the members.
+func runLockClients(lo lockOptions, shards, clients int, seed int64) (lockResult, error) {
+	members := lo.nodes
+	services, err := lockservice.NewTCPCluster(lockConfig(lo, shards), members)
+	if err != nil {
+		return lockResult{}, err
+	}
+	defer func() {
+		for _, svc := range services {
+			svc.Close()
+		}
+	}()
+	for m, svc := range services {
+		if err := svc.ServeClients(mutex.ID(m + 1)); err != nil {
+			return lockResult{}, err
+		}
+	}
+	lockers := make([]workload.Locker, clients)
+	conns := make([]*dagmutex.RemoteLockClient, clients)
+	defer func() {
+		for _, c := range conns {
+			if c != nil {
+				_ = c.Close()
+			}
+		}
+	}()
+	for i := 0; i < clients; i++ {
+		c, err := dagmutex.DialLockService(services[i%members].Addr())
+		if err != nil {
+			return lockResult{}, fmt.Errorf("dial client %d: %w", i, err)
+		}
+		conns[i] = c
+		lockers[i] = c
+	}
+	res, err := lockWorkload(lo, seed, lockers).Run(context.Background(), services[0])
+	if err != nil {
+		return lockResult{}, err
+	}
+	out := lockResult{tput: res.Throughput(), late: res.Expired}
+	for m, svc := range services {
+		if err := svc.Err(); err != nil {
+			return lockResult{}, fmt.Errorf("member %d: %w", m+1, err)
+		}
+		st := svc.Stats()
+		out.grants += st.Grants
+		out.forced += st.Expired
+		out.messages += st.Messages
+	}
+	return out, nil
+}

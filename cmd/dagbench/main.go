@@ -55,7 +55,7 @@ type lockOptions struct {
 func main() {
 	exp := flag.String("exp", "all",
 		"experiment(s) to run, comma-separated: 6.1, 6.2, 6.2-placement, 6.2-heavy, 6.3, 6.4, topo, load, all, "+
-			"or the live benchmarks lock, lease and chaos (not part of all)")
+			"or the live benchmarks lock, lease, clients and chaos (not part of all)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	jsonOut := flag.Bool("json", false, "emit one JSON array of result tables (overrides -csv)")
 	seed := flag.Int64("seed", 1, "random seed for randomized scenarios")
@@ -70,6 +70,8 @@ func main() {
 	flag.DurationVar(&lo.hold, "hold", 200*time.Microsecond, "lock/lease: critical-section hold time")
 	flag.DurationVar(&lo.lease, "lease", 0, "hold lease; 0 keeps the service default for lock and 40ms for lease")
 	flag.IntVar(&lo.overholdEvery, "overhold-every", 4, "lease: every Nth cycle overholds past the lease (stuck-client churn)")
+	clients := flag.Int("clients", 16,
+		"clients: dialed non-member connections driving the load (vs -nodes DAG members)")
 	var co chaosOptions
 	flag.IntVar(&co.nodes, "chaos-nodes", 5, "chaos: cluster size")
 	flag.IntVar(&co.kills, "chaos-kills", 2, "chaos: seeded kills of the active holder (must leave a majority)")
@@ -80,13 +82,13 @@ func main() {
 		"chaos: critical-section dwell; long enough that kills land on a node mid-CS")
 	flag.Parse()
 
-	if err := run(os.Stdout, *exp, *csv, *jsonOut, *seed, lo, co); err != nil {
+	if err := run(os.Stdout, *exp, *csv, *jsonOut, *seed, lo, co, *clients); err != nil {
 		fmt.Fprintln(os.Stderr, "dagbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, exp string, csv, jsonOut bool, seed int64, lo lockOptions, co chaosOptions) error {
+func run(w io.Writer, exp string, csv, jsonOut bool, seed int64, lo lockOptions, co chaosOptions, clients int) error {
 	// JSON is one array, so tables accumulate and emit at the end; the
 	// table/CSV modes stream each experiment as it completes.
 	var tables []*harness.Table
@@ -132,6 +134,7 @@ func run(w io.Writer, exp string, csv, jsonOut bool, seed int64, lo lockOptions,
 		}},
 		{"lock", true, func() (*harness.Table, error) { return lockTable(lo, seed) }},
 		{"lease", true, func() (*harness.Table, error) { return leaseTable(lo, seed) }},
+		{"clients", true, func() (*harness.Table, error) { return clientsTable(lo, clients, seed) }},
 		{"chaos", true, func() (*harness.Table, error) { return chaosTable(co, seed) }},
 	}
 

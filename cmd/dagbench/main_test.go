@@ -36,7 +36,7 @@ func tinyChaos() chaosOptions {
 
 func TestRunSingleExperiment(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "6.3", false, false, 1, tinyLock(), tinyChaos()); err != nil {
+	if err := run(&b, "6.3", false, false, 1, tinyLock(), tinyChaos(), 8); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -49,7 +49,7 @@ func TestRunSingleExperiment(t *testing.T) {
 
 func TestRunCSVOutput(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "6.3", true, false, 1, tinyLock(), tinyChaos()); err != nil {
+	if err := run(&b, "6.3", true, false, 1, tinyLock(), tinyChaos(), 8); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -63,14 +63,14 @@ func TestRunCSVOutput(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "99", false, false, 1, tinyLock(), tinyChaos()); err == nil {
+	if err := run(&b, "99", false, false, 1, tinyLock(), tinyChaos(), 8); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
 
 func TestRunTopoExperiment(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "topo", false, false, 1, tinyLock(), tinyChaos()); err != nil {
+	if err := run(&b, "topo", false, false, 1, tinyLock(), tinyChaos(), 8); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "radiating-star") {
@@ -80,7 +80,7 @@ func TestRunTopoExperiment(t *testing.T) {
 
 func TestRunLockExperiment(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "lock", false, false, 1, tinyLock(), tinyChaos()); err != nil {
+	if err := run(&b, "lock", false, false, 1, tinyLock(), tinyChaos(), 8); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -93,7 +93,7 @@ func TestRunLockExperiment(t *testing.T) {
 
 func TestRunLockExperimentCSV(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "lock", true, false, 1, tinyLock(), tinyChaos()); err != nil {
+	if err := run(&b, "lock", true, false, 1, tinyLock(), tinyChaos(), 8); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -102,15 +102,37 @@ func TestRunLockExperimentCSV(t *testing.T) {
 	}
 }
 
+func TestRunClientsExperiment(t *testing.T) {
+	lo := tinyLock()
+	lo.shards = "2"
+	var b strings.Builder
+	if err := run(&b, "clients", false, false, 1, lo, tinyChaos(), 8); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"EXP-clients", "members", "clients", "vs-members", "1.00x"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("clients output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunClientsRejectsBadCount(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "clients", false, false, 1, tinyLock(), tinyChaos(), 0); err == nil {
+		t.Fatal("clients=0 accepted")
+	}
+}
+
 func TestRunLockRejectsBadShardList(t *testing.T) {
 	lo := tinyLock()
 	lo.shards = "1,zero"
 	var b strings.Builder
-	if err := run(&b, "lock", false, false, 1, lo, tinyChaos()); err == nil {
+	if err := run(&b, "lock", false, false, 1, lo, tinyChaos(), 8); err == nil {
 		t.Fatal("bad shard list accepted")
 	}
 	lo.shards = ""
-	if err := run(&b, "lock", false, false, 1, lo, tinyChaos()); err == nil {
+	if err := run(&b, "lock", false, false, 1, lo, tinyChaos(), 8); err == nil {
 		t.Fatal("empty shard list accepted")
 	}
 }
@@ -172,7 +194,7 @@ func TestLockThroughputScalesWithShards(t *testing.T) {
 
 func TestRunJSONOutput(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "6.3", false, true, 1, tinyLock(), tinyChaos()); err != nil {
+	if err := run(&b, "6.3", false, true, 1, tinyLock(), tinyChaos(), 8); err != nil {
 		t.Fatal(err)
 	}
 	var tables []struct {
@@ -197,7 +219,7 @@ func TestRunJSONOutput(t *testing.T) {
 // substrates.
 func TestRunLockExperimentJSONSweepsBothTransports(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "lock", false, true, 1, tinyLock(), tinyChaos()); err != nil {
+	if err := run(&b, "lock", false, true, 1, tinyLock(), tinyChaos(), 8); err != nil {
 		t.Fatal(err)
 	}
 	var tables []struct {
@@ -223,11 +245,11 @@ func TestRunLockRejectsBadTransportList(t *testing.T) {
 	lo := tinyLock()
 	lo.transports = "local,udp"
 	var b strings.Builder
-	if err := run(&b, "lock", false, false, 1, lo, tinyChaos()); err == nil {
+	if err := run(&b, "lock", false, false, 1, lo, tinyChaos(), 8); err == nil {
 		t.Fatal("bad transport list accepted")
 	}
 	lo.transports = ""
-	if err := run(&b, "lock", false, false, 1, lo, tinyChaos()); err == nil {
+	if err := run(&b, "lock", false, false, 1, lo, tinyChaos(), 8); err == nil {
 		t.Fatal("empty transport list accepted")
 	}
 }
@@ -236,7 +258,7 @@ func TestRunLockRejectsBadTransportList(t *testing.T) {
 // experiment, in registry order.
 func TestRunExpCommaList(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "6.3, 6.4", false, false, 1, tinyLock(), tinyChaos()); err != nil {
+	if err := run(&b, "6.3, 6.4", false, false, 1, tinyLock(), tinyChaos(), 8); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -251,7 +273,7 @@ func TestRunExpCommaList(t *testing.T) {
 // a clear one-line error before anything executes.
 func TestRunRejectsUnknownExpInList(t *testing.T) {
 	var b strings.Builder
-	err := run(&b, "6.3,bogus", false, false, 1, tinyLock(), tinyChaos())
+	err := run(&b, "6.3,bogus", false, false, 1, tinyLock(), tinyChaos(), 8)
 	if err == nil {
 		t.Fatal("unknown experiment in list accepted")
 	}
@@ -269,7 +291,7 @@ func TestRunRejectsUnknownExpInList(t *testing.T) {
 func TestRunRejectsEmptyExpList(t *testing.T) {
 	var b strings.Builder
 	for _, exp := range []string{"", " , "} {
-		if err := run(&b, exp, false, false, 1, tinyLock(), tinyChaos()); err == nil {
+		if err := run(&b, exp, false, false, 1, tinyLock(), tinyChaos(), 8); err == nil {
 			t.Fatalf("empty -exp %q accepted", exp)
 		}
 	}
@@ -287,7 +309,7 @@ func TestRunLeaseExperiment(t *testing.T) {
 	lo.lease = 30 * time.Millisecond
 	lo.overholdEvery = 2
 	var b strings.Builder
-	if err := run(&b, "lease", false, true, 1, lo, tinyChaos()); err != nil {
+	if err := run(&b, "lease", false, true, 1, lo, tinyChaos(), 8); err != nil {
 		t.Fatal(err)
 	}
 	var tables []struct {
@@ -348,7 +370,7 @@ func TestRunChaosExperiment(t *testing.T) {
 		t.Skip("live wall-clock chaos benchmark; skipped in -short mode")
 	}
 	var b strings.Builder
-	if err := run(&b, "chaos", false, true, 1, tinyLock(), tinyChaos()); err != nil {
+	if err := run(&b, "chaos", false, true, 1, tinyLock(), tinyChaos(), 8); err != nil {
 		t.Fatal(err)
 	}
 	var tables []struct {

@@ -2,7 +2,6 @@ package dagmutex
 
 import (
 	"fmt"
-	"time"
 
 	"dagmutex/internal/core"
 	"dagmutex/internal/failure"
@@ -56,7 +55,7 @@ type Node = core.Node
 type Env = mutex.Env
 
 // NewNode constructs a raw protocol node. Most applications should use
-// NewCluster or NewTCPPeer instead.
+// Open (or OpenPeer) instead.
 func NewNode(id ID, env Env, cfg Config) (*Node, error) {
 	return core.New(id, env, cfg)
 }
@@ -71,143 +70,46 @@ func TreeConfig(tree *Tree, holder ID) (Config, error) {
 	return Config{IDs: tree.IDs(), Holder: holder, Parent: tree.ParentsToward(holder)}, nil
 }
 
-// Cluster is an in-process live cluster: one DAG protocol node per tree
-// vertex, connected by goroutines and mailboxes that preserve the paper's
-// reliable per-pair FIFO network model.
-type Cluster struct {
-	local *transport.Local
-	tree  *Tree
-}
-
-// Session is the blocking application API over one node: Acquire waits
-// for the critical section and returns the Grant (fencing generation plus
-// grant time), TryAcquire enters only when no messages are needed, and
-// Release leaves the section.
+// Session is the blocking application API over one member node: Acquire
+// waits for the critical section and returns the Grant (fencing
+// generation plus grant time), TryAcquire enters only when no messages
+// are needed, and Release leaves the section.
 type Session = transport.Session
 
-// Handle is Session's deprecated former name.
+// Handle is Session's pre-v2 name.
+//
+// Deprecated: use Session.
 type Handle = transport.Session
 
 // Grant is one critical-section entry: the fencing generation the
 // extended PRIVILEGE token carried (strictly monotonic across the
-// cluster) and the local wall-clock grant time.
+// cluster), the local wall-clock grant time, and — for remote client
+// grants — the lease deadline the member attached.
 type Grant = runtime.Grant
 
 // NewCluster starts a live in-process cluster on tree with the token at
-// holder. Callers must Close it to stop its goroutines.
+// holder.
+//
+// Deprecated: use Open(tree, holder). NewCluster is Open with no
+// options.
 func NewCluster(tree *Tree, holder ID) (*Cluster, error) {
-	cfg, err := TreeConfig(tree, holder)
-	if err != nil {
-		return nil, err
-	}
-	l, err := transport.NewLocal(core.Builder, cfg)
-	if err != nil {
-		return nil, err
-	}
-	return &Cluster{local: l, tree: tree}, nil
+	return Open(tree, holder)
 }
-
-// Handle returns the acquire/release handle for node id, or nil for an
-// unknown id.
-func (c *Cluster) Handle(id ID) *Handle { return c.local.Handle(id) }
-
-// Tree returns the cluster's logical topology.
-func (c *Cluster) Tree() *Tree { return c.tree }
-
-// Messages returns the number of protocol messages exchanged so far.
-func (c *Cluster) Messages() int64 { return c.local.Messages() }
-
-// Err returns the first protocol error observed, if any. A nil result
-// after a workload is evidence the run respected the protocol contract.
-func (c *Cluster) Err() error { return c.local.Err() }
-
-// Close stops the cluster's goroutines and waits for them to exit.
-func (c *Cluster) Close() { c.local.Close() }
 
 // NewChaosCluster starts a live in-process cluster with the failure
-// subsystem armed: every member runs a heartbeat failure detector tuned
-// by fcfg, a crashed member (Kill, or Injector().Crash) is excised by
-// the surviving majority — regenerating the token if it died with the
-// victim — and the cluster's FaultInjector can sever links, partition
-// and heal. See the "Failure model" section of the package docs.
+// subsystem armed; see WithFailureDetection.
+//
+// Deprecated: use Open(tree, holder, WithFailureDetection(fcfg)).
 func NewChaosCluster(tree *Tree, holder ID, fcfg FailureConfig) (*Cluster, error) {
-	cfg, err := TreeConfig(tree, holder)
-	if err != nil {
-		return nil, err
-	}
-	l, err := transport.NewLocal(core.Builder, cfg, transport.WithFailureDetection(fcfg))
-	if err != nil {
-		return nil, err
-	}
-	return &Cluster{local: l, tree: tree}, nil
+	return Open(tree, holder, WithFailureDetection(fcfg))
 }
-
-// Kill crashes member id: it falls silent mid-whatever-it-was-doing, its
-// own Session fails fast with ErrNodeDown, and the survivors detect and
-// recover. Only meaningful on a NewChaosCluster (without detection the
-// survivors cannot notice).
-func (c *Cluster) Kill(id ID) error { return c.local.Kill(id) }
-
-// Injector returns the cluster's fault plan, for severing links and
-// partitioning deterministically.
-func (c *Cluster) Injector() *FaultInjector { return c.local.Injector() }
 
 // NewClusterWithINIT starts a live cluster whose nodes derive their edge
-// orientation at runtime by executing the thesis's Figure 5 INIT flood,
-// instead of being configured statically. It blocks until every node has
-// initialized (at most the tree's depth in message hops).
+// orientation at runtime by executing the thesis's Figure 5 INIT flood.
+//
+// Deprecated: use Open(tree, holder, WithINIT()).
 func NewClusterWithINIT(tree *Tree, holder ID) (*Cluster, error) {
-	if holder == Nil || int(holder) > tree.N() {
-		return nil, fmt.Errorf("dagmutex: holder %d not in tree of %d nodes", holder, tree.N())
-	}
-	neighbors := make(map[ID][]ID, tree.N())
-	for _, id := range tree.IDs() {
-		neighbors[id] = tree.Neighbors(id)
-	}
-	cfg := Config{IDs: tree.IDs(), Holder: holder, Neighbors: neighbors}
-	l, err := transport.NewLocal(core.UninitializedBuilder, cfg)
-	if err != nil {
-		return nil, err
-	}
-	c := &Cluster{local: l, tree: tree}
-	err = l.WithNode(holder, func(n mutex.Node) error {
-		return n.(*core.Node).StartInit()
-	})
-	if err != nil {
-		c.Close()
-		return nil, err
-	}
-	if err := c.awaitInitialized(); err != nil {
-		c.Close()
-		return nil, err
-	}
-	return c, nil
-}
-
-// awaitInitialized polls until the INIT flood has reached every node.
-func (c *Cluster) awaitInitialized() error {
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		ready := true
-		for _, id := range c.tree.IDs() {
-			err := c.local.WithNode(id, func(n mutex.Node) error {
-				if !n.(*core.Node).Initialized() {
-					ready = false
-				}
-				return nil
-			})
-			if err != nil {
-				return err
-			}
-		}
-		if ready {
-			return nil
-		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("dagmutex: INIT flood did not complete within 10s")
-		}
-		time.Sleep(time.Millisecond)
-	}
+	return Open(tree, holder, WithINIT())
 }
 
 // LockService is a sharded multi-resource lock manager over the DAG-token
@@ -238,7 +140,8 @@ var (
 type LockServiceConfig = lockservice.Config
 
 // LockClient is the lock-service view of one member node; obtain one with
-// LockService.On.
+// LockService.On. Non-member processes get the same surface by dialing a
+// TCP member: see DialLockService.
 type LockClient = lockservice.Client
 
 // LockStats aggregates a LockService's per-shard grant, message and
@@ -251,23 +154,28 @@ type LockStats = lockservice.Stats
 type LockTransport = lockservice.Transport
 
 // TCPLockTransport runs this process's member of every lock-service
-// shard behind one TCP listener; construct one per member process with
-// NewLockServiceTCP (or lockservice.NewTCPTransport for manual wiring).
+// shard behind one TCP listener; OpenLockService with
+// WithTransport(TCP(listen)) constructs one per member process (or use
+// lockservice.NewTCPTransport for manual wiring).
 type TCPLockTransport = lockservice.TCPTransport
 
-// NewLockService starts a sharded lock service. Callers must Close it to
-// stop the shard clusters' goroutines.
+// NewLockService starts a sharded lock service over the in-process
+// substrate.
+//
+// Deprecated: use OpenLockService(cfg). NewLockService is
+// OpenLockService with no options.
 func NewLockService(cfg LockServiceConfig) (*LockService, error) {
-	return lockservice.New(cfg)
+	return OpenLockService(cfg)
 }
 
 // NewLockServiceTCP starts this process's member of a distributed lock
-// service over real TCP. Every participating process calls it with its
-// own member id (1..cfg.Nodes) and an identical cfg. listen is the
-// address to bind ("" means a fresh loopback port); the returned
-// transport exposes the bound address (Addr) to exchange out of band,
-// and Connect must be called with the full member address book before
-// the first Acquire. Closing the service closes the transport.
+// service over real TCP; the returned transport exposes the bound
+// address (Addr) and Connect.
+//
+// Deprecated: use OpenLockService(cfg, WithTransport(TCP(listen)),
+// WithMember(member)) — the service itself now exposes Addr and
+// Connect, and TCP members additionally serve dialed non-member clients
+// (DialLockService), which this pre-v2 constructor does not.
 func NewLockServiceTCP(member ID, listen string, cfg LockServiceConfig) (*LockService, *TCPLockTransport, error) {
 	tr, err := lockservice.NewTCPTransport(member, listen)
 	if err != nil {
@@ -282,28 +190,34 @@ func NewLockServiceTCP(member ID, listen string, cfg LockServiceConfig) (*LockSe
 	return svc, tr, nil
 }
 
-// TCPPeer hosts one DAG protocol node behind a real TCP listener; a set
-// of TCPPeers (in one process or many) forms a cluster. See NewTCPPeer.
+// TCPPeer is Peer's pre-v2 name.
+//
+// Deprecated: use Peer.
 type TCPPeer = transport.TCPNode
 
 // NewTCPPeer starts the node with the given id listening on a fresh
-// loopback TCP port. Exchange Addr values out of band, then call Connect
-// on every peer with the full address book before the first Acquire.
+// loopback TCP port.
+//
+// Deprecated: use OpenPeer(tree, holder, id), which also accepts
+// WithTransport(TCP(listen)) for a fixed address and the failure
+// options.
 func NewTCPPeer(id ID, tree *Tree, holder ID) (*TCPPeer, error) {
-	cfg, err := TreeConfig(tree, holder)
-	if err != nil {
-		return nil, err
-	}
-	return transport.NewTCPNode(id, core.Builder, cfg, transport.DAGCodec{})
+	return OpenPeer(tree, holder, id)
 }
 
-// TCPCluster wires one TCPPeer per tree vertex over loopback inside a
-// single process: the TCP analogue of Cluster, for demos and tests. Real
-// deployments run one TCPPeer per process via NewTCPPeer instead.
+// TCPCluster wires one Peer per tree vertex over loopback inside a
+// single process: the TCP analogue of Cluster, for demos and tests.
+//
+// Deprecated: Open with WithTransport(TCP("")) returns the same wiring
+// behind the unified Cluster type. Real deployments run one Peer per
+// process via OpenPeer.
 type TCPCluster = transport.TCPCluster
 
 // NewTCPCluster starts a full DAG cluster over loopback TCP with the
-// token at holder. Callers must Close it.
+// token at holder.
+//
+// Deprecated: use Open(tree, holder, WithTransport(TCP(""))), which
+// returns the unified Cluster type (member addresses via Cluster.Addr).
 func NewTCPCluster(tree *Tree, holder ID) (*TCPCluster, error) {
 	cfg, err := TreeConfig(tree, holder)
 	if err != nil {
@@ -319,8 +233,8 @@ func NewTCPCluster(tree *Tree, holder ID) (*TCPCluster, error) {
 type FailureConfig = failure.Config
 
 // FaultInjector is the deterministic fault plan chaos tests drive:
-// crash nodes, sever links, partition and heal. Install it on a
-// LocalLockTransport or a chaos cluster.
+// crash nodes, sever links, partition and heal. Install it with
+// WithInjector (or on a LocalLockTransport).
 type FaultInjector = failure.Injector
 
 // NewFaultInjector returns an empty fault plan.

@@ -1,3 +1,4 @@
+//lint:file-ignore SA1019 these tests pin the behavior of the deprecated pre-v2 constructors, which must keep working until removal
 package dagmutex_test
 
 import (

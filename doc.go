@@ -28,15 +28,16 @@
 // its envelopes one at a time under a per-node lock, signaling grants,
 // capturing the cluster's first error, and exposing the blocking Session
 // API — over a small Link interface; two link layers implement that
-// interface, in-process mailboxes (transport.Local, used by NewCluster)
-// and framed TCP sockets with batched writes (transport.TCPHost, used by
-// NewTCPPeer and NewLockServiceTCP); and the sharded lock service runs
-// its per-shard clusters over either substrate through a Transport
-// abstraction. Because the runtime is shared, application behavior —
-// including fail-fast Acquire errors and the timed-out-Acquire recovery
-// path via Session.Granted — is identical in process and over the
-// network; pick Local for single-binary embedding, tests and
-// benchmarks, and TCP when members are separate processes or machines.
+// interface, in-process mailboxes (transport.Local, the default Open
+// substrate) and framed TCP sockets with batched writes
+// (transport.TCPHost, selected with WithTransport(TCP(...))); and the
+// sharded lock service runs its per-shard clusters over either substrate
+// through a Transport abstraction. Because the runtime is shared,
+// application behavior — including fail-fast Acquire errors and the
+// timed-out-Acquire recovery path via Session.Granted — is identical in
+// process and over the network; pick Local for single-binary embedding,
+// tests and benchmarks, and TCP when members are separate processes or
+// machines.
 //
 // # Fencing tokens and leases
 //
@@ -105,31 +106,65 @@
 //
 // # Using the library
 //
-// For an in-process cluster connected by goroutines and channels:
+// The v2 API is options-first: Open is the single cluster entrypoint,
+// and functional options select the substrate and the subsystems.
 //
 //	tree := dagmutex.Star(8)
-//	cluster, err := dagmutex.NewCluster(tree, 1) // token starts at node 1
+//	cluster, err := dagmutex.Open(tree, 1) // token starts at node 1
 //	if err != nil { ... }
 //	defer cluster.Close()
 //
-//	s := cluster.Handle(3) // a *Session
+//	s := cluster.Session(3) // a *Session
 //	grant, err := s.Acquire(ctx)
 //	if err != nil { ... }
 //	// ... critical section, fenced by grant.Generation ...
 //	if err := s.Release(); err != nil { ... }
 //
-// For nodes communicating over real TCP sockets, see NewTCPPeer. For the
-// deterministic simulator used by the experiments, see the Simulate
-// function and the cmd/dagbench tool.
+// The same call composes every subsystem the pre-v2 constructors
+// hard-wired one combination of: WithTransport(Local or TCP(listen))
+// selects the substrate, WithFailureDetection arms the failure
+// subsystem, WithINIT derives the orientation at runtime via the
+// Figure 5 flood (event-driven, bounded by WithStartupContext),
+// WithInjector installs a deterministic fault plan, and WithObserver
+// taps the recovery events. One member of a deployed cluster is
+// OpenPeer(tree, holder, id, ...); the deprecated constructors
+// (NewCluster, NewChaosCluster, NewClusterWithINIT, NewTCPCluster,
+// NewTCPPeer, NewLockService, NewLockServiceTCP) remain as thin
+// wrappers and compile unchanged.
+//
+// For the deterministic simulator used by the experiments, see the
+// Simulate function and the cmd/dagbench tool.
+//
+// # Clients that are not DAG members
+//
+// Every Session above belongs to a vertex of the token DAG. The client
+// surface removes that cap: a process that is not a member can Dial a
+// TCP member's address and acquire through it —
+//
+//	s, err := dagmutex.Dial(cluster.Addr(2))
+//	if err != nil { ... }
+//	defer s.Close()
+//	grant, err := s.Acquire(ctx) // fence + lease deadline, over the wire
+//	if err != nil { ... }
+//	if err := s.Release(); err != nil { ... }
+//
+// and DialLockService gives the same split for the lock service. The
+// member queues its clients (bounded per connection, shedding with
+// ErrClientBusy), propagates context cancellation into the queue (a
+// grant that races a cancel is handed straight back, so nothing
+// leaks), bounds every remote hold with a lease, and releases whatever
+// a disconnected client still held — so a small DAG of members serves
+// a client population far larger than the tree. The wire protocol is
+// documented in internal/transport, next to the DAG codec.
 //
 // # The sharded lock service
 //
-// The paper's algorithm arbitrates one critical section; NewLockService
+// The paper's algorithm arbitrates one critical section; OpenLockService
 // scales it to many named resources by running M independent token DAGs
 // (one per shard) and hashing each resource key to a shard. Resources in
 // different shards are locked fully concurrently:
 //
-//	svc, err := dagmutex.NewLockService(dagmutex.LockServiceConfig{Shards: 8, Nodes: 4})
+//	svc, err := dagmutex.OpenLockService(dagmutex.LockServiceConfig{Shards: 8, Nodes: 4})
 //	if err != nil { ... }
 //	defer svc.Close()
 //
@@ -141,12 +176,14 @@
 // Members lock through per-node clients (svc.On(id)), and svc.Stats()
 // aggregates per-shard grant, message and wait-time counters. The same
 // shard code runs distributed across real processes over TCP: each
-// member process calls NewLockServiceTCP with its own member id and an
-// identical configuration, exchanges listener addresses out of band,
-// and Connects the full book — see examples/lockservicetcp. The lock
-// experiment in cmd/dagbench (-exp lock) benchmarks throughput scaling
-// with shard count over both substrates; see examples/lockservice for
-// an in-process demo.
+// member process calls OpenLockService with WithTransport(TCP(listen))
+// and its own WithMember id, exchanges svc.Addr() values out of band,
+// and svc.Connect()s the full book — see examples/lockservicetcp. TCP
+// members additionally serve dialed non-member clients
+// (DialLockService) on the same listener. The lock experiment in
+// cmd/dagbench (-exp lock) benchmarks throughput scaling with shard
+// count over both substrates, and -exp clients measures the
+// member/client split; see examples/lockservice and examples/clients.
 //
 // Two usage rules follow from the paper's model. A request cannot be
 // cancelled: when Acquire fails on its context, the service recovers in

@@ -11,6 +11,7 @@ package main
 import (
 	"context"
 	"errors"
+	"flag"
 	"fmt"
 	"log"
 	"time"
@@ -19,16 +20,18 @@ import (
 )
 
 func main() {
+	flag.Bool("short", false, "smoke mode (the demo is already short)")
+	flag.Parse()
 	if err := run(); err != nil {
 		log.Fatal(err)
 	}
 }
 
 func run() error {
-	cluster, err := dagmutex.NewChaosCluster(dagmutex.Star(5), 1, dagmutex.FailureConfig{
+	cluster, err := dagmutex.Open(dagmutex.Star(5), 1, dagmutex.WithFailureDetection(dagmutex.FailureConfig{
 		Heartbeat:    10 * time.Millisecond,
 		SuspectAfter: 100 * time.Millisecond,
-	})
+	}))
 	if err != nil {
 		return err
 	}
@@ -37,7 +40,7 @@ func run() error {
 	defer cancel()
 
 	// Node 1 takes the token into its critical section...
-	holder := cluster.Handle(1)
+	holder := cluster.Session(1)
 	g1, err := holder.Acquire(ctx)
 	if err != nil {
 		return err
@@ -51,7 +54,7 @@ func run() error {
 	}
 	waiting := make(chan grantOrErr, 1)
 	go func() {
-		g, err := cluster.Handle(3).Acquire(ctx)
+		g, err := cluster.Session(3).Acquire(ctx)
 		waiting <- grantOrErr{g, err}
 	}()
 	time.Sleep(50 * time.Millisecond)
@@ -73,7 +76,7 @@ func run() error {
 	fmt.Printf("the generation jumped by %d: every post-recovery fence is strictly above\n",
 		r.g.Generation-g1.Generation)
 	fmt.Println("anything the dead holder granted, so fenced stores reject its writes.")
-	if err := cluster.Handle(3).Release(); err != nil {
+	if err := cluster.Session(3).Release(); err != nil {
 		return err
 	}
 
@@ -85,7 +88,7 @@ func run() error {
 
 	// ...and the survivors keep taking turns as if nothing happened.
 	for _, id := range []dagmutex.ID{2, 4, 5} {
-		s := cluster.Handle(id)
+		s := cluster.Session(id)
 		g, err := s.Acquire(ctx)
 		if err != nil {
 			return err

@@ -21,7 +21,11 @@ func main() {
 	n := flag.Int("n", 25, "number of nodes")
 	requests := flag.Int("requests", 10, "entries per node")
 	think := flag.Float64("think", 5, "mean think time in hops")
+	short := flag.Bool("short", false, "smoke mode: fewer nodes and entries")
 	flag.Parse()
+	if *short {
+		*n, *requests = 9, 3
+	}
 	if err := run(*n, *requests, *think); err != nil {
 		log.Fatal(err)
 	}

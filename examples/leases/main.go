@@ -16,6 +16,7 @@ package main
 import (
 	"context"
 	"errors"
+	"flag"
 	"fmt"
 	"log"
 	"sync"
@@ -45,6 +46,8 @@ func (s *fencedStore) Write(fence uint64, value string) error {
 }
 
 func main() {
+	flag.Bool("short", false, "smoke mode (the demo is already short)")
+	flag.Parse()
 	if err := demo(); err != nil {
 		log.Fatal(err)
 	}
@@ -52,7 +55,7 @@ func main() {
 
 func demo() error {
 	const resource = "inventory:widget-42"
-	svc, err := dagmutex.NewLockService(dagmutex.LockServiceConfig{
+	svc, err := dagmutex.OpenLockService(dagmutex.LockServiceConfig{
 		Shards: 4,
 		Nodes:  2,
 		Lease:  200 * time.Millisecond, // short, so the demo is quick

@@ -8,6 +8,7 @@ package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
@@ -18,19 +19,24 @@ import (
 )
 
 const (
-	accounts  = 16
-	members   = 4
-	transfers = 50 // per member
+	accounts = 16
+	members  = 4
 )
 
 func main() {
-	if err := run(); err != nil {
+	short := flag.Bool("short", false, "smoke mode: fewer transfers per member")
+	flag.Parse()
+	transfers := 50
+	if *short {
+		transfers = 5
+	}
+	if err := run(transfers); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
-	svc, err := dagmutex.NewLockService(dagmutex.LockServiceConfig{Shards: 8, Nodes: members})
+func run(transfers int) error {
+	svc, err := dagmutex.OpenLockService(dagmutex.LockServiceConfig{Shards: 8, Nodes: members})
 	if err != nil {
 		return err
 	}

@@ -35,8 +35,12 @@ func main() {
 	shards := flag.Int("shards", 4, "independent token DAGs (shards)")
 	members := flag.Int("members", 3, "member count for the in-binary demo")
 	ops := flag.Int("ops", 20, "lock cycles per member")
+	short := flag.Bool("short", false, "smoke mode: fewer members, shards and ops")
 	linger := flag.Duration("linger", 5*time.Second, "member mode: keep serving token traffic this long after finishing (the paper's model has no member departure, so a member that exits while peers still lock shared keys strands their tokens)")
 	flag.Parse()
+	if *short {
+		*members, *shards, *ops = 2, 2, 5
+	}
 
 	var err error
 	if *member > 0 {
@@ -95,14 +99,17 @@ func runMember(member int, peers string, shards, ops int, linger time.Duration) 
 	if !ok {
 		return fmt.Errorf("member %d is not in the -peers book", member)
 	}
-	svc, tr, err := dagmutex.NewLockServiceTCP(dagmutex.ID(member), listen,
-		dagmutex.LockServiceConfig{Shards: shards, Nodes: len(book)})
+	svc, err := dagmutex.OpenLockService(
+		dagmutex.LockServiceConfig{Shards: shards, Nodes: len(book)},
+		dagmutex.WithTransport(dagmutex.TCP(listen)), dagmutex.WithMember(dagmutex.ID(member)))
 	if err != nil {
 		return err
 	}
 	defer svc.Close()
-	tr.Connect(book)
-	fmt.Printf("member %d listening on %s; locking...\n", member, tr.Addr())
+	if err := svc.Connect(book); err != nil {
+		return err
+	}
+	fmt.Printf("member %d listening on %s; locking...\n", member, svc.Addr())
 	if err := drive(svc, member, ops); err != nil {
 		return err
 	}
@@ -117,22 +124,24 @@ func runMember(member int, peers string, shards, ops int, linger time.Duration) 
 // transport, one listener each, wired over loopback exactly as separate
 // processes would be.
 func runDemo(members, shards, ops int) error {
-	transports := make([]*dagmutex.TCPLockTransport, members)
 	services := make([]*dagmutex.LockService, members)
 	book := make(map[dagmutex.ID]string, members)
 	for m := 1; m <= members; m++ {
-		svc, tr, err := dagmutex.NewLockServiceTCP(dagmutex.ID(m), "",
-			dagmutex.LockServiceConfig{Shards: shards, Nodes: members})
+		svc, err := dagmutex.OpenLockService(
+			dagmutex.LockServiceConfig{Shards: shards, Nodes: members},
+			dagmutex.WithTransport(dagmutex.TCP("")), dagmutex.WithMember(dagmutex.ID(m)))
 		if err != nil {
 			return err
 		}
 		defer svc.Close()
-		services[m-1], transports[m-1] = svc, tr
-		book[dagmutex.ID(m)] = tr.Addr()
-		fmt.Printf("member %d listening on %s\n", m, tr.Addr())
+		services[m-1] = svc
+		book[dagmutex.ID(m)] = svc.Addr()
+		fmt.Printf("member %d listening on %s\n", m, svc.Addr())
 	}
-	for _, tr := range transports {
-		tr.Connect(book)
+	for _, svc := range services {
+		if err := svc.Connect(book); err != nil {
+			return err
+		}
 	}
 
 	start := time.Now()

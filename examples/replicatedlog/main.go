@@ -26,7 +26,11 @@ import (
 func main() {
 	n := flag.Int("n", 6, "number of replicas")
 	appends := flag.Int("appends", 8, "ledger appends per node")
+	short := flag.Bool("short", false, "smoke mode: fewer appends")
 	flag.Parse()
+	if *short {
+		*appends = 2
+	}
 	if err := run(*n, *appends); err != nil {
 		log.Fatal(err)
 	}
@@ -47,7 +51,7 @@ type ledger struct {
 
 func run(n, appends int) error {
 	tree := dagmutex.Star(n)
-	cluster, err := dagmutex.NewCluster(tree, 1)
+	cluster, err := dagmutex.Open(tree, 1)
 	if err != nil {
 		return err
 	}
@@ -60,7 +64,7 @@ func run(n, appends int) error {
 
 	var wg sync.WaitGroup
 	for _, id := range tree.IDs() {
-		h := cluster.Handle(id)
+		h := cluster.Session(id)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()

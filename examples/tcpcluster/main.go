@@ -5,7 +5,7 @@
 // runtime the in-process Cluster uses — only the link layer differs —
 // so the same code works across machines by exchanging listener
 // addresses instead of loopback ones. (For a one-liner that wires all
-// peers inside one process, see dagmutex.NewTCPCluster; this example
+// peers inside one process, see dagmutex.Open with WithTransport(TCP("")); this example
 // keeps the explicit start/exchange/connect dance a real deployment
 // performs.)
 //
@@ -26,7 +26,11 @@ import (
 func main() {
 	n := flag.Int("n", 7, "number of nodes")
 	entries := flag.Int("entries", 5, "critical-section entries per node")
+	short := flag.Bool("short", false, "smoke mode: fewer nodes and entries")
 	flag.Parse()
+	if *short {
+		*n, *entries = 3, 2
+	}
 	if err := run(*n, *entries); err != nil {
 		log.Fatal(err)
 	}
@@ -37,10 +41,10 @@ func run(n, entries int) error {
 	const holder = dagmutex.ID(1)
 
 	// Phase 1: start every peer's listener and collect the address book.
-	peers := make(map[dagmutex.ID]*dagmutex.TCPPeer, n)
+	peers := make(map[dagmutex.ID]*dagmutex.Peer, n)
 	addrs := make(map[dagmutex.ID]string, n)
 	for _, id := range tree.IDs() {
-		p, err := dagmutex.NewTCPPeer(id, tree, holder)
+		p, err := dagmutex.OpenPeer(tree, holder, id)
 		if err != nil {
 			return fmt.Errorf("start peer %d: %w", id, err)
 		}

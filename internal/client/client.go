@@ -1,0 +1,373 @@
+// Package client is the dialing side of the CLIENT wire protocol: a
+// lightweight connection to one DAG member (or lock-service member) that
+// acquires and releases through it without being a vertex of the token
+// DAG. This is the member/client split that lets a small arbitration
+// cluster serve a client population far larger than the tree — requests
+// ride one framed TCP connection to the member, which queues them,
+// arbitrates through the token protocol, and answers with the grant's
+// fencing token and lease deadline.
+//
+// The frame layout is defined once, in internal/transport (see the
+// client wire frame notes there, next to the DAG codec); this package
+// implements correlation (many concurrent requests over one connection,
+// matched by request id), context cancellation (a CANCEL frame
+// propagates the client's context into the member's queue, and a grant
+// that races the cancel is handed straight back), and the mapping of
+// wire error codes onto the same sentinel errors in-process callers see,
+// so errors.Is works identically on both sides of the wire.
+package client
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dagmutex/internal/lockservice"
+	"dagmutex/internal/runtime"
+	"dagmutex/internal/transport"
+)
+
+// ErrClosed reports an operation on a closed (or failed) connection.
+var ErrClosed = errors.New("client: connection closed")
+
+// ErrBusy reports a request the member shed because this connection
+// already has transport.MaxClientInflight requests queued — the
+// backpressure signal. Drain or retry.
+var ErrBusy = errors.New("client: member request queue full")
+
+// Hold is one live remote grant: the fencing token to pass downstream
+// and the lease deadline after which the member reclaims the resource.
+type Hold struct {
+	// Resource is the acquired resource name ("" for a member's single
+	// mutex).
+	Resource string
+	// Fence is the grant's fencing token, strictly monotonic per
+	// arbitrated resource.
+	Fence uint64
+	// Expires is the lease deadline (zero when the member runs without
+	// leases).
+	Expires time.Time
+}
+
+// resp is one decoded response frame.
+type resp struct {
+	op      byte
+	payload []byte
+}
+
+// pending is one in-flight request's client-side state.
+type pending struct {
+	ch chan resp
+	// resource is remembered so an abandoned acquire's racing grant can be
+	// handed straight back with a release.
+	resource string
+	// abandoned is set when the caller gave up (context done) and no
+	// longer listens on ch; the reader then disposes of the response.
+	abandoned atomic.Bool
+	// isAcquire marks requests whose racing success must be released.
+	isAcquire bool
+}
+
+// Conn is one client connection to a member. All methods are safe for
+// concurrent use; many requests may be in flight at once (bounded by the
+// member's per-connection queue).
+type Conn struct {
+	conn net.Conn
+
+	wmu sync.Mutex // serializes writes of whole frames
+
+	mu     sync.Mutex
+	reqs   map[uint64]*pending
+	closed bool
+	err    error
+	nextID atomic.Uint64
+
+	done chan struct{} // closed when the reader exits
+}
+
+// Dial connects to a member's client port (a TCPHost listener or a
+// ClientGateway) and performs the protocol handshake.
+func Dial(addr string) (*Conn, error) {
+	return DialContext(context.Background(), addr)
+}
+
+// DialContext is Dial with connection-establishment bounded by ctx.
+func DialContext(ctx context.Context, addr string) (*Conn, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	hs := make([]byte, 0, 8)
+	hs = append(hs, transport.ClientMagic...)
+	hs = binary.BigEndian.AppendUint32(hs, transport.ClientVersion)
+	if _, err := conn.Write(hs); err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("client: handshake with %s: %w", addr, err)
+	}
+	c := &Conn{conn: conn, reqs: make(map[uint64]*pending), done: make(chan struct{})}
+	go c.readLoop()
+	return c, nil
+}
+
+// readLoop correlates response frames with their pending requests. An
+// abandoned acquire whose grant arrives anyway is released immediately —
+// the member must not think this client still holds it. The abandoned
+// check and the channel delivery happen under c.mu, pairing with the
+// abandon path in Acquire (which drains the channel under the same
+// lock), so a grant can never slip between "caller gave up" and
+// "response delivered" unobserved.
+func (c *Conn) readLoop() {
+	defer close(c.done)
+	for {
+		op, reqID, payload, err := transport.ReadClientFrame(c.conn)
+		if err != nil {
+			c.fail(fmt.Errorf("%w: %v", ErrClosed, err))
+			return
+		}
+		c.mu.Lock()
+		p, ok := c.reqs[reqID]
+		if ok {
+			delete(c.reqs, reqID)
+		}
+		abandoned := ok && p.abandoned.Load()
+		if ok && !abandoned {
+			p.ch <- resp{op: op, payload: payload} // cap 1: never blocks
+		}
+		c.mu.Unlock()
+		if abandoned && p.isAcquire && op == transport.RespGrant && len(payload) >= 8 {
+			// The grant raced our cancel: hand it straight back.
+			fence := binary.BigEndian.Uint64(payload[0:8])
+			go func() { _ = c.sendRelease(p.resource, fence) }()
+		}
+	}
+}
+
+// fail marks the connection dead and wakes every pending request.
+func (c *Conn) fail(err error) {
+	c.mu.Lock()
+	if c.closed {
+		err = ErrClosed
+	}
+	if c.err == nil {
+		c.err = err
+	}
+	reqs := c.reqs
+	c.reqs = map[uint64]*pending{}
+	c.mu.Unlock()
+	for _, p := range reqs {
+		if !p.abandoned.Load() {
+			p.ch <- resp{op: transport.RespErr, payload: append([]byte{transport.CodeGeneric}, err.Error()...)}
+		}
+	}
+}
+
+// Err returns the connection's terminal error, if it has one.
+func (c *Conn) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	return c.err
+}
+
+// Close hangs up. The member releases every hold this connection still
+// owns and aborts its queued acquires — same as a client crash.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.conn.Close()
+	<-c.done
+	return err
+}
+
+// send registers a pending request and writes its frame.
+func (c *Conn) send(op byte, resource string, payload []byte, isAcquire bool) (uint64, *pending, error) {
+	id := c.nextID.Add(1)
+	p := &pending{ch: make(chan resp, 1), resource: resource, isAcquire: isAcquire}
+	c.mu.Lock()
+	if c.closed || c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return 0, nil, err
+	}
+	c.reqs[id] = p
+	c.mu.Unlock()
+	frame := transport.AppendClientFrame(nil, op, id, payload)
+	c.wmu.Lock()
+	_, err := c.conn.Write(frame)
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.reqs, id)
+		c.mu.Unlock()
+		return 0, nil, fmt.Errorf("%w: %v", ErrClosed, err)
+	}
+	return id, p, nil
+}
+
+// sendCancel propagates a context cancellation to the member; best
+// effort (a broken connection tears everything down anyway).
+func (c *Conn) sendCancel(reqID uint64) {
+	frame := transport.AppendClientFrame(nil, transport.OpCancel, reqID, nil)
+	c.wmu.Lock()
+	_, _ = c.conn.Write(frame)
+	c.wmu.Unlock()
+}
+
+// sendRelease is the fire-and-forget release used to hand back a grant
+// that raced a cancellation.
+func (c *Conn) sendRelease(resource string, fence uint64) error {
+	payload := binary.BigEndian.AppendUint64(nil, fence)
+	payload = append(payload, resource...)
+	_, p, err := c.send(transport.OpRelease, resource, payload, false)
+	if err != nil {
+		return err
+	}
+	select {
+	case <-p.ch:
+	case <-c.done:
+	}
+	return nil
+}
+
+// Acquire locks resource through the member, blocking until the grant
+// arrives, the connection dies, or ctx is done. On ctx expiry the
+// cancellation is propagated to the member's queue and Acquire returns
+// immediately; if the grant nonetheless wins the race on the wire it is
+// handed straight back, so no hold is leaked.
+func (c *Conn) Acquire(ctx context.Context, resource string) (Hold, error) {
+	id, p, err := c.send(transport.OpAcquire, resource, []byte(resource), true)
+	if err != nil {
+		return Hold{}, err
+	}
+	select {
+	case r := <-p.ch:
+		return decodeGrant(resource, r)
+	case <-ctx.Done():
+		// Mark the request abandoned and drain any response that was
+		// delivered concurrently, under the same lock the reader holds
+		// while delivering: afterwards either we own the response (drained
+		// here) or the reader will observe abandoned and hand a racing
+		// grant straight back. Either way no hold leaks.
+		c.mu.Lock()
+		p.abandoned.Store(true)
+		var orphan *resp
+		select {
+		case r := <-p.ch:
+			orphan = &r
+		default:
+		}
+		c.mu.Unlock()
+		if orphan != nil && orphan.op == transport.RespGrant && len(orphan.payload) >= 8 {
+			fence := binary.BigEndian.Uint64(orphan.payload[0:8])
+			go func() { _ = c.sendRelease(resource, fence) }()
+		}
+		c.sendCancel(id)
+		return Hold{}, fmt.Errorf("client: acquire %q: %w", resource, ctx.Err())
+	}
+}
+
+// TryAcquire locks resource only if the member can grant it immediately
+// — no queueing behind other clients and no token messages. It reports
+// false (with no error) when the resource would have to be waited for.
+func (c *Conn) TryAcquire(resource string) (Hold, bool, error) {
+	_, p, err := c.send(transport.OpTry, resource, []byte(resource), true)
+	if err != nil {
+		return Hold{}, false, err
+	}
+	r := <-p.ch
+	if r.op == transport.RespTry && len(r.payload) == 17 {
+		if r.payload[0] == 0 {
+			return Hold{}, false, nil
+		}
+		h := Hold{
+			Resource: resource,
+			Fence:    binary.BigEndian.Uint64(r.payload[1:9]),
+			Expires:  nanosTime(binary.BigEndian.Uint64(r.payload[9:17])),
+		}
+		return h, true, nil
+	}
+	_, err = decodeGrant(resource, r)
+	return Hold{}, false, err
+}
+
+// Release unlocks resource by name (whatever hold the member currently
+// tracks for it on this connection's backend).
+func (c *Conn) Release(resource string) error { return c.release(resource, 0) }
+
+// ReleaseHold unlocks the exact hold h, matched by its fencing token; a
+// hold whose lease already ran out reports lockservice.ErrLeaseExpired.
+func (c *Conn) ReleaseHold(h Hold) error { return c.release(h.Resource, h.Fence) }
+
+func (c *Conn) release(resource string, fence uint64) error {
+	payload := binary.BigEndian.AppendUint64(nil, fence)
+	payload = append(payload, resource...)
+	_, p, err := c.send(transport.OpRelease, resource, payload, false)
+	if err != nil {
+		return err
+	}
+	r := <-p.ch
+	if r.op == transport.RespOK {
+		return nil
+	}
+	return decodeErr(r)
+}
+
+func decodeGrant(resource string, r resp) (Hold, error) {
+	if r.op == transport.RespGrant && len(r.payload) == 16 {
+		return Hold{
+			Resource: resource,
+			Fence:    binary.BigEndian.Uint64(r.payload[0:8]),
+			Expires:  nanosTime(binary.BigEndian.Uint64(r.payload[8:16])),
+		}, nil
+	}
+	return Hold{}, decodeErr(r)
+}
+
+// decodeErr maps a respErr frame back onto the canonical sentinels.
+func decodeErr(r resp) error {
+	if r.op != transport.RespErr || len(r.payload) < 1 {
+		return fmt.Errorf("client: malformed response op %d", r.op)
+	}
+	msg := string(r.payload[1:])
+	var sentinel error
+	switch r.payload[0] {
+	case transport.CodeNotHeld:
+		sentinel = lockservice.ErrNotHeld
+	case transport.CodeLeaseExpired:
+		sentinel = lockservice.ErrLeaseExpired
+	case transport.CodeTryUnsupported:
+		sentinel = runtime.ErrTryUnsupported
+	case transport.CodeCanceled:
+		sentinel = context.Canceled
+	case transport.CodeBusy:
+		sentinel = ErrBusy
+	case transport.CodeNodeDown:
+		sentinel = runtime.ErrNodeDown
+	default:
+		return fmt.Errorf("client: member error: %s", msg)
+	}
+	return fmt.Errorf("client: member error: %s: %w", msg, sentinel)
+}
+
+func nanosTime(n uint64) time.Time {
+	if n == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, int64(n))
+}

@@ -15,7 +15,7 @@ import (
 // sessions plus the fault controls every chaos-capable link layer
 // provides — kill a member, partition the cluster, heal it.
 type ChaosCluster interface {
-	Handle(id mutex.ID) *runtime.Session
+	Session(id mutex.ID) *runtime.Session
 	Kill(id mutex.ID) error
 	Partition(groups ...[]mutex.ID)
 	Heal()
@@ -35,22 +35,22 @@ type ChaosSubstrate struct {
 // chaosLocal adapts transport.Local.
 type chaosLocal struct{ l *transport.Local }
 
-func (c chaosLocal) Handle(id mutex.ID) *runtime.Session { return c.l.Handle(id) }
-func (c chaosLocal) Kill(id mutex.ID) error              { return c.l.Kill(id) }
-func (c chaosLocal) Partition(groups ...[]mutex.ID)      { c.l.Injector().Partition(groups...) }
-func (c chaosLocal) Heal()                               { c.l.Injector().Heal() }
-func (c chaosLocal) Err() error                          { return c.l.Err() }
-func (c chaosLocal) Close()                              { c.l.Close() }
+func (c chaosLocal) Session(id mutex.ID) *runtime.Session { return c.l.Session(id) }
+func (c chaosLocal) Kill(id mutex.ID) error               { return c.l.Kill(id) }
+func (c chaosLocal) Partition(groups ...[]mutex.ID)       { c.l.Injector().Partition(groups...) }
+func (c chaosLocal) Heal()                                { c.l.Injector().Heal() }
+func (c chaosLocal) Err() error                           { return c.l.Err() }
+func (c chaosLocal) Close()                               { c.l.Close() }
 
 // chaosTCP adapts transport.TCPCluster in chaos mode.
 type chaosTCP struct{ c *transport.TCPCluster }
 
-func (c chaosTCP) Handle(id mutex.ID) *runtime.Session { return c.c.Handle(id) }
-func (c chaosTCP) Kill(id mutex.ID) error              { return c.c.Kill(id) }
-func (c chaosTCP) Partition(groups ...[]mutex.ID)      { c.c.Injector().Partition(groups...) }
-func (c chaosTCP) Heal()                               { c.c.Injector().Heal() }
-func (c chaosTCP) Err() error                          { return c.c.Err() }
-func (c chaosTCP) Close()                              { c.c.Close() }
+func (c chaosTCP) Session(id mutex.ID) *runtime.Session { return c.c.Session(id) }
+func (c chaosTCP) Kill(id mutex.ID) error               { return c.c.Kill(id) }
+func (c chaosTCP) Partition(groups ...[]mutex.ID)       { c.c.Injector().Partition(groups...) }
+func (c chaosTCP) Heal()                                { c.c.Injector().Heal() }
+func (c chaosTCP) Err() error                           { return c.c.Err() }
+func (c chaosTCP) Close()                               { c.c.Close() }
 
 // ChaosSubstrates returns the chaos-capable link layers the battery runs
 // identically over: in-process mailboxes with the fault injector, and
@@ -129,13 +129,13 @@ func chaosKillHolder(t *testing.T, f Factory, sub ChaosSubstrate) {
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
 
-	holder := c.Handle(1)
+	holder := c.Session(1)
 	g1, err := holder.Acquire(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	waiter := c.Handle(3)
+	waiter := c.Session(3)
 	type res struct {
 		g   runtime.Grant
 		err error
@@ -166,7 +166,7 @@ func chaosKillHolder(t *testing.T, f Factory, sub ChaosSubstrate) {
 	// The survivors keep making progress with monotonic fences.
 	last := r.g.Generation
 	for _, id := range []mutex.ID{2, 4, 5} {
-		h := c.Handle(id)
+		h := c.Session(id)
 		g, err := h.Acquire(ctx)
 		if err != nil {
 			t.Fatalf("survivor %d acquire: %v", id, err)
@@ -192,13 +192,13 @@ func chaosKillWaiter(t *testing.T, f Factory, sub ChaosSubstrate) {
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
 
-	holder := c.Handle(1)
+	holder := c.Session(1)
 	g1, err := holder.Acquire(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Node 3 queues behind the holder, then dies waiting.
-	go func() { _, _ = c.Handle(3).Acquire(ctx) }()
+	go func() { _, _ = c.Session(3).Acquire(ctx) }()
 	time.Sleep(50 * time.Millisecond)
 	if err := c.Kill(3); err != nil {
 		t.Fatal(err)
@@ -211,7 +211,7 @@ func chaosKillWaiter(t *testing.T, f Factory, sub ChaosSubstrate) {
 	if err := holder.Release(); err != nil {
 		t.Fatal(err)
 	}
-	h4 := c.Handle(4)
+	h4 := c.Session(4)
 	g4, err := h4.Acquire(ctx)
 	if err != nil {
 		t.Fatalf("acquire after waiter death: %v", err)
@@ -237,7 +237,7 @@ func chaosPartitionHeal(t *testing.T, f Factory, sub ChaosSubstrate) {
 	defer cancel()
 
 	// Baseline entry so generations have a pre-partition high-water mark.
-	h1 := c.Handle(1)
+	h1 := c.Session(1)
 	g1, err := h1.Acquire(ctx)
 	if err != nil {
 		t.Fatal(err)
@@ -255,7 +255,7 @@ func chaosPartitionHeal(t *testing.T, f Factory, sub ChaosSubstrate) {
 	}
 	blocked := make(chan res, 1)
 	go func() {
-		g, err := c.Handle(2).Acquire(ctx)
+		g, err := c.Session(2).Acquire(ctx)
 		blocked <- res{g, err}
 	}()
 
@@ -263,7 +263,7 @@ func chaosPartitionHeal(t *testing.T, f Factory, sub ChaosSubstrate) {
 	// isolation — that is what arms the re-admission path (a recovery
 	// bumps the epoch; the heal's Welcome carries it).
 	select {
-	case ev := <-c.Handle(5).Membership():
+	case ev := <-c.Session(5).Membership():
 		if !ev.Down || ev.Peer != 2 {
 			t.Logf("first membership observation: %+v", ev)
 		}
@@ -275,7 +275,7 @@ func chaosPartitionHeal(t *testing.T, f Factory, sub ChaosSubstrate) {
 	// its side; the recovery merely excises the unreachable member).
 	last := g1.Generation
 	for i := 0; i < 3; i++ {
-		g, err := c.Handle(4).Acquire(ctx)
+		g, err := c.Session(4).Acquire(ctx)
 		if err != nil {
 			t.Fatalf("majority acquire during partition: %v", err)
 		}
@@ -283,7 +283,7 @@ func chaosPartitionHeal(t *testing.T, f Factory, sub ChaosSubstrate) {
 			t.Fatalf("majority generation %d not above %d", g.Generation, last)
 		}
 		last = g.Generation
-		if err := c.Handle(4).Release(); err != nil {
+		if err := c.Session(4).Release(); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -309,18 +309,18 @@ func chaosPartitionHeal(t *testing.T, f Factory, sub ChaosSubstrate) {
 	case <-time.After(30 * time.Second):
 		t.Fatal("isolated member's acquire never completed after heal")
 	}
-	if err := c.Handle(2).Release(); err != nil {
+	if err := c.Session(2).Release(); err != nil {
 		t.Fatal(err)
 	}
 	// And it stays a full participant.
-	g2, err := c.Handle(2).Acquire(ctx)
+	g2, err := c.Session(2).Acquire(ctx)
 	if err != nil {
 		t.Fatalf("re-acquire after heal: %v", err)
 	}
 	if g2.Generation <= last {
 		t.Fatalf("re-acquire generation %d not above %d", g2.Generation, last)
 	}
-	if err := c.Handle(2).Release(); err != nil {
+	if err := c.Session(2).Release(); err != nil {
 		t.Fatal(err)
 	}
 	if err := c.Err(); err != nil {

@@ -1,0 +1,346 @@
+package conformance
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dagmutex/internal/client"
+	"dagmutex/internal/lockservice"
+	"dagmutex/internal/transport"
+)
+
+// This file is the client battery: the conformance checks for the
+// member/client split. A dialed client — a process that is NOT a vertex
+// of the token DAG — must see exactly the semantics an in-process
+// member client sees: blocking acquire with fencing tokens, lease
+// expiry with ErrLeaseExpired, ErrNotHeld on bogus releases, context
+// cancellation that never leaks a hold, and disconnect cleanup. The
+// same battery runs over both member substrates: members on in-process
+// mailboxes fronted by a client gateway, and members over TCP serving
+// clients on their own listeners.
+
+// ClientSubstrate describes one way dialed clients reach a member.
+type ClientSubstrate struct {
+	// Name labels subtests ("local-gateway", "tcp").
+	Name string
+	// Start launches a lock cluster with the given configuration and
+	// members member nodes, serving clients through member 1, and returns
+	// the address clients dial plus a teardown.
+	Start func(cfg lockservice.Config, members int) (addr string, close func(), err error)
+}
+
+// ClientSubstrates returns the standard client access paths: a
+// standalone gateway fronting an in-process member cluster, and a TCP
+// member cluster whose own listeners demultiplex client connections.
+func ClientSubstrates() []ClientSubstrate {
+	return []ClientSubstrate{
+		{
+			Name: "local-gateway",
+			Start: func(cfg lockservice.Config, members int) (string, func(), error) {
+				cfg.Nodes = members
+				cfg.Transport = lockservice.LocalTransport{}
+				svc, err := lockservice.New(cfg)
+				if err != nil {
+					return "", nil, err
+				}
+				backend, err := svc.ClientBackend(1)
+				if err != nil {
+					svc.Close()
+					return "", nil, err
+				}
+				gw, err := transport.NewClientGateway("", backend)
+				if err != nil {
+					svc.Close()
+					return "", nil, err
+				}
+				return gw.Addr(), func() { gw.Close(); svc.Close() }, nil
+			},
+		},
+		{
+			Name: "tcp",
+			Start: func(cfg lockservice.Config, members int) (string, func(), error) {
+				services, err := lockservice.NewTCPCluster(cfg, members)
+				if err != nil {
+					return "", nil, err
+				}
+				closeAll := func() {
+					for _, svc := range services {
+						svc.Close()
+					}
+				}
+				if err := services[0].ServeClients(1); err != nil {
+					closeAll()
+					return "", nil, err
+				}
+				return services[0].Addr(), closeAll, nil
+			},
+		},
+	}
+}
+
+// RunClients executes the client battery over every substrate.
+func RunClients(t *testing.T, subs []ClientSubstrate) {
+	t.Helper()
+	for _, sub := range subs {
+		sub := sub
+		t.Run(sub.Name, func(t *testing.T) {
+			t.Run("AcquireFenceRelease", func(t *testing.T) { clientAcquireFenceRelease(t, sub) })
+			t.Run("TryAcquire", func(t *testing.T) { clientTryAcquire(t, sub) })
+			t.Run("NotHeld", func(t *testing.T) { clientNotHeld(t, sub) })
+			t.Run("LeaseExpiry", func(t *testing.T) { clientLeaseExpiry(t, sub) })
+			t.Run("CancelPropagation", func(t *testing.T) { clientCancelPropagation(t, sub) })
+			t.Run("DisconnectCleanup", func(t *testing.T) { clientDisconnectCleanup(t, sub) })
+			t.Run("Backpressure", func(t *testing.T) { clientBackpressure(t, sub) })
+		})
+	}
+}
+
+// start launches a cluster and n dialed clients.
+func (sub ClientSubstrate) start(t *testing.T, cfg lockservice.Config, members, n int) []*client.Conn {
+	t.Helper()
+	addr, closeAll, err := sub.Start(cfg, members)
+	if err != nil {
+		t.Fatalf("start %s client cluster: %v", sub.Name, err)
+	}
+	t.Cleanup(closeAll)
+	conns := make([]*client.Conn, n)
+	for i := range conns {
+		c, err := client.Dial(addr)
+		if err != nil {
+			t.Fatalf("dial client %d: %v", i, err)
+		}
+		t.Cleanup(func() { _ = c.Close() })
+		conns[i] = c
+	}
+	return conns
+}
+
+// clientAcquireFenceRelease hammers one resource from several dialed
+// clients at once: mutual exclusion is witnessed by an unsynchronized
+// counter, and every grant's fence must strictly exceed the previous
+// one — over the wire, exactly as in process.
+func clientAcquireFenceRelease(t *testing.T, sub ClientSubstrate) {
+	const clients, perClient = 4, 6
+	conns := sub.start(t, lockservice.Config{Shards: 2}, 2, clients)
+	var inCS, total atomic.Int64
+	var lastFence atomic.Uint64 // written only inside the CS
+	var wg sync.WaitGroup
+	for i, c := range conns {
+		wg.Add(1)
+		go func(i int, c *client.Conn) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			for j := 0; j < perClient; j++ {
+				h, err := c.Acquire(ctx, "contended")
+				if err != nil {
+					t.Errorf("client %d acquire: %v", i, err)
+					return
+				}
+				if got := inCS.Add(1); got != 1 {
+					t.Errorf("mutual exclusion violated: %d clients in CS", got)
+				}
+				if h.Fence == 0 {
+					t.Errorf("client %d hold carries no fence", i)
+				}
+				if prev := lastFence.Load(); h.Fence <= prev {
+					t.Errorf("client %d fence %d not above previous %d", i, h.Fence, prev)
+				}
+				lastFence.Store(h.Fence)
+				total.Add(1)
+				inCS.Add(-1)
+				if err := c.ReleaseHold(h); err != nil {
+					t.Errorf("client %d release: %v", i, err)
+					return
+				}
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	if got := total.Load(); got != clients*perClient {
+		t.Fatalf("entries = %d, want %d", got, clients*perClient)
+	}
+}
+
+// clientTryAcquire checks the no-wait path end to end: a held resource
+// reports false without queueing, a free one grants immediately.
+func clientTryAcquire(t *testing.T, sub ClientSubstrate) {
+	conns := sub.start(t, lockservice.Config{Shards: 1}, 2, 2)
+	a, b := conns[0], conns[1]
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	hold, err := a.Acquire(ctx, "try-me")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := b.TryAcquire("try-me"); err != nil || ok {
+		t.Fatalf("try of a held resource = (%v, %v), want (false, nil)", ok, err)
+	}
+	if err := a.ReleaseHold(hold); err != nil {
+		t.Fatal(err)
+	}
+	h2, ok, err := b.TryAcquire("try-me")
+	if err != nil || !ok {
+		t.Fatalf("try of a free resource = (%v, %v), want (true, nil)", ok, err)
+	}
+	if h2.Fence <= hold.Fence {
+		t.Fatalf("try fence %d not above previous %d", h2.Fence, hold.Fence)
+	}
+	if err := b.ReleaseHold(h2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// clientNotHeld checks that the lifecycle sentinels survive the wire.
+func clientNotHeld(t *testing.T, sub ClientSubstrate) {
+	conns := sub.start(t, lockservice.Config{Shards: 1}, 2, 1)
+	if err := conns[0].Release("never-held"); !errors.Is(err, lockservice.ErrNotHeld) {
+		t.Fatalf("release of never-held resource = %v, want ErrNotHeld", err)
+	}
+}
+
+// clientLeaseExpiry is the lease battery over the wire: a stuck dialed
+// client's hold is reclaimed, the next client gets a higher fence, and
+// the late release observes ErrLeaseExpired.
+func clientLeaseExpiry(t *testing.T, sub ClientSubstrate) {
+	conns := sub.start(t, lockservice.Config{
+		Shards:        1,
+		Lease:         150 * time.Millisecond,
+		SweepInterval: 10 * time.Millisecond,
+	}, 2, 2)
+	a, b := conns[0], conns[1]
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	hold, err := a.Acquire(ctx, "leased")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hold.Expires.IsZero() {
+		t.Fatal("hold carries no lease deadline")
+	}
+	// A goes silent past its lease; B's acquire succeeds without any
+	// release from A.
+	second, err := b.Acquire(ctx, "leased")
+	if err != nil {
+		t.Fatalf("acquire after lease expiry: %v", err)
+	}
+	if second.Fence <= hold.Fence {
+		t.Fatalf("post-expiry fence %d not above expired hold's %d", second.Fence, hold.Fence)
+	}
+	if err := a.ReleaseHold(hold); !errors.Is(err, lockservice.ErrLeaseExpired) {
+		t.Fatalf("late release = %v, want ErrLeaseExpired", err)
+	}
+	if err := b.ReleaseHold(second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// clientCancelPropagation checks that a canceled Acquire propagates into
+// the member's queue and leaks nothing: the canceled client can come
+// back and acquire normally once the holder releases.
+func clientCancelPropagation(t *testing.T, sub ClientSubstrate) {
+	conns := sub.start(t, lockservice.Config{Shards: 1}, 2, 2)
+	a, b := conns[0], conns[1]
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	hold, err := a.Acquire(ctx, "queued")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shortCtx, shortCancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer shortCancel()
+	if _, err := b.Acquire(shortCtx, "queued"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("acquire under held resource = %v, want deadline exceeded", err)
+	}
+	if err := a.ReleaseHold(hold); err != nil {
+		t.Fatal(err)
+	}
+	// The canceled acquire must not have wedged the member: B acquires
+	// and releases cleanly.
+	h2, err := b.Acquire(ctx, "queued")
+	if err != nil {
+		t.Fatalf("reacquire after canceled acquire: %v", err)
+	}
+	if err := b.ReleaseHold(h2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// clientDisconnectCleanup checks the crash path: a client that vanishes
+// while holding must not park the resource — the member releases the
+// holds of a dropped connection.
+func clientDisconnectCleanup(t *testing.T, sub ClientSubstrate) {
+	conns := sub.start(t, lockservice.Config{Shards: 1}, 2, 2)
+	a, b := conns[0], conns[1]
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	if _, err := a.Acquire(ctx, "abandoned"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Well before any lease could expire (default 30s), the hold is gone.
+	h, err := b.Acquire(ctx, "abandoned")
+	if err != nil {
+		t.Fatalf("acquire after holder disconnect: %v", err)
+	}
+	if err := b.ReleaseHold(h); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// clientBackpressure checks the per-connection queue bound: beyond
+// MaxClientInflight outstanding requests the member sheds the excess
+// with the busy sentinel instead of queueing without bound.
+func clientBackpressure(t *testing.T, sub ClientSubstrate) {
+	conns := sub.start(t, lockservice.Config{Shards: 1}, 2, 2)
+	a, b := conns[0], conns[1]
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	hold, err := a.Acquire(ctx, "full")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const extra = 8
+	waitCtx, waitCancel := context.WithCancel(context.Background())
+	var busy, canceled atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < transport.MaxClientInflight+extra; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := b.Acquire(waitCtx, "full")
+			switch {
+			case errors.Is(err, client.ErrBusy):
+				busy.Add(1)
+			case errors.Is(err, context.Canceled):
+				canceled.Add(1)
+			case err != nil:
+				t.Errorf("queued acquire: %v", err)
+			}
+		}()
+	}
+	// Shed responses arrive quickly; queued ones block until canceled.
+	deadline := time.Now().Add(10 * time.Second)
+	for busy.Load() < extra && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	waitCancel()
+	wg.Wait()
+	if got := busy.Load(); got != extra {
+		t.Fatalf("busy rejections = %d, want %d", got, extra)
+	}
+	if err := a.ReleaseHold(hold); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,11 @@
+package conformance
+
+import "testing"
+
+// TestClientBatteryOverBothAccessPaths runs the member/client split's
+// conformance battery: dialed non-member clients must see identical
+// semantics whether the members run on in-process mailboxes behind a
+// client gateway or over TCP serving clients on their own listeners.
+func TestClientBatteryOverBothAccessPaths(t *testing.T) {
+	RunClients(t, ClientSubstrates())
+}

@@ -19,7 +19,7 @@ import (
 // layers — transport.Local and transport.TCPCluster — satisfy it
 // directly, because both run nodes over the one shared actor runtime.
 type LiveCluster interface {
-	Handle(id mutex.ID) *runtime.Session
+	Session(id mutex.ID) *runtime.Session
 	Err() error
 	Close()
 }
@@ -146,7 +146,7 @@ func liveMutualExclusion(t *testing.T, f Factory, sub Substrate) {
 	var inCS, total atomic.Int64
 	var wg sync.WaitGroup
 	for _, id := range cfg.IDs {
-		h := c.Handle(id)
+		h := c.Session(id)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -191,7 +191,7 @@ func liveFencingMonotonic(t *testing.T, f Factory, sub Substrate) {
 	var fenced atomic.Int64
 	var wg sync.WaitGroup
 	for _, id := range cfg.IDs {
-		h := c.Handle(id)
+		h := c.Session(id)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -238,7 +238,7 @@ func liveSequentialEntries(t *testing.T, f Factory, sub Substrate) {
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
 	for _, id := range cfg.IDs {
-		h := c.Handle(id)
+		h := c.Session(id)
 		if _, err := h.Acquire(ctx); err != nil {
 			t.Fatalf("node %d: %v", id, err)
 		}
@@ -259,7 +259,7 @@ func liveSequentialEntries(t *testing.T, f Factory, sub Substrate) {
 // again.
 func liveTimedOutRecovery(t *testing.T, f Factory, sub Substrate) {
 	c, _ := f.liveCluster(t, sub, 3, 1)
-	holder, waiter := c.Handle(1), c.Handle(3)
+	holder, waiter := c.Session(1), c.Session(3)
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
 

@@ -255,6 +255,10 @@ type Node struct {
 	onTransition func(tr Transition, to State)
 	// onEvent, when set, observes failure-recovery events (see Event).
 	onEvent func(Event)
+	// onInit, when set, fires once when the node completes INIT (for
+	// nodes built with NewUninitialized; nodes built initialized never
+	// fire it).
+	onInit func(id mutex.ID)
 }
 
 type deferredMsg struct {
@@ -280,6 +284,14 @@ func WithTransitionObserver(fn func(tr Transition, to State)) Option {
 // block.
 func WithEventObserver(fn func(Event)) Option {
 	return func(n *Node) { n.onEvent = fn }
+}
+
+// WithInitObserver registers fn to be invoked once, with the node's id,
+// when a node built with NewUninitialized completes the Figure 5 INIT
+// flood — the event-driven alternative to polling Initialized. fn runs
+// inside the node's handlers and must not block.
+func WithInitObserver(fn func(id mutex.ID)) Option {
+	return func(n *Node) { n.onInit = fn }
 }
 
 // New constructs the node with the given identifier. cfg.Holder designates

@@ -72,6 +72,9 @@ func (n *Node) StartInit() error {
 	for _, j := range n.neighbors {
 		n.env.Send(j, Initialize{})
 	}
+	if n.onInit != nil {
+		n.onInit(n.id)
+	}
 	return nil
 }
 
@@ -93,6 +96,9 @@ func (n *Node) deliverInitialize(from mutex.ID) error {
 		if j != from {
 			n.env.Send(j, Initialize{})
 		}
+	}
+	if n.onInit != nil {
+		n.onInit(n.id)
 	}
 	return nil
 }

@@ -1,0 +1,121 @@
+package lockservice
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"dagmutex/internal/mutex"
+	"dagmutex/internal/transport"
+)
+
+// This file is the lock service's side of the member/client split: an
+// adapter that lets processes which are not DAG members dial a member
+// and acquire/release named resources through it (the CLIENT wire
+// protocol defined in internal/transport, dialed by internal/client).
+// Remote clients ride the member's own slots, so the per-(node, shard)
+// one-outstanding-request rule, the lease sweeper and the fencing tokens
+// all apply to them exactly as to local callers.
+
+// clientBackend adapts one member's lock-service view to the transport
+// layer's ClientBackend surface.
+type clientBackend struct {
+	c *Client
+}
+
+// Acquire implements transport.ClientBackend.
+func (b clientBackend) Acquire(ctx context.Context, resource string) (uint64, time.Time, error) {
+	h, err := b.c.Acquire(ctx, resource)
+	if err != nil {
+		return 0, time.Time{}, codeError(err)
+	}
+	return h.Fence, h.Expires, nil
+}
+
+// TryAcquire implements transport.ClientBackend.
+func (b clientBackend) TryAcquire(resource string) (uint64, time.Time, bool, error) {
+	h, ok, err := b.c.TryAcquire(resource)
+	if err != nil || !ok {
+		return 0, time.Time{}, false, codeError(err)
+	}
+	return h.Fence, h.Expires, true, nil
+}
+
+// Release implements transport.ClientBackend: fence 0 releases by name,
+// anything else releases the exact hold.
+func (b clientBackend) Release(resource string, fence uint64) error {
+	var err error
+	if fence == 0 {
+		err = b.c.Release(resource)
+	} else {
+		err = b.c.ReleaseHold(Hold{Resource: resource, Node: b.c.id, Fence: fence})
+	}
+	return codeError(err)
+}
+
+// codeError tags the lock service's sentinels with their wire codes, so
+// the transport demux (which cannot import this package) encodes them
+// and the dialing side maps them back onto the same sentinels.
+func codeError(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, ErrNotHeld):
+		return &transport.CodedError{Code: transport.CodeNotHeld, Err: err}
+	case errors.Is(err, ErrLeaseExpired):
+		return &transport.CodedError{Code: transport.CodeLeaseExpired, Err: err}
+	default:
+		return err
+	}
+}
+
+// ClientBackend returns the surface that serves dialed non-member
+// clients through member's slots: hand it to a transport.ClientGateway
+// (members over the in-process substrate) or TCPHost.ServeClients
+// (members over TCP — or use Service.ServeClients, which wires it).
+func (s *Service) ClientBackend(member mutex.ID) (transport.ClientBackend, error) {
+	c, err := s.On(member)
+	if err != nil {
+		return nil, err
+	}
+	return clientBackend{c: c}, nil
+}
+
+// ServeClients opens this process's TCP listener to dialed non-member
+// clients, proxied through member's slots (normally the process's own
+// member id). It requires the service to run over a TCPTransport.
+func (s *Service) ServeClients(member mutex.ID) error {
+	tcp, ok := s.cfg.Transport.(*TCPTransport)
+	if !ok {
+		return fmt.Errorf("lockservice: ServeClients needs a TCP transport (got %T); front a local service with a transport.ClientGateway instead", s.cfg.Transport)
+	}
+	b, err := s.ClientBackend(member)
+	if err != nil {
+		return err
+	}
+	tcp.host.ServeClients(b)
+	return nil
+}
+
+// Addr returns this process's listen address when the service runs over
+// a TCPTransport ("" otherwise) — what dialed clients and peer members
+// connect to.
+func (s *Service) Addr() string {
+	if tcp, ok := s.cfg.Transport.(*TCPTransport); ok {
+		return tcp.Addr()
+	}
+	return ""
+}
+
+// Connect supplies the member address book when the service runs over a
+// TCPTransport; it must be called before the first Acquire. Over other
+// transports it is a no-op error.
+func (s *Service) Connect(addrs map[mutex.ID]string) error {
+	tcp, ok := s.cfg.Transport.(*TCPTransport)
+	if !ok {
+		return fmt.Errorf("lockservice: Connect needs a TCP transport (got %T)", s.cfg.Transport)
+	}
+	tcp.Connect(addrs)
+	return nil
+}

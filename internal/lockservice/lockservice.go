@@ -68,6 +68,14 @@ var (
 // DefaultLease is the hold deadline applied when Config.Lease is zero.
 const DefaultLease = 30 * time.Second
 
+// Defaults applied by Config validation when the sizing fields are zero.
+const (
+	// DefaultShards is the shard count applied when Config.Shards is 0.
+	DefaultShards = 8
+	// DefaultNodes is the member count applied when Config.Nodes is 0.
+	DefaultNodes = 4
+)
+
 // Hold is one live grant of a resource: the fencing token to pass to
 // downstream systems and the lease deadline after which the service
 // reclaims the resource.
@@ -119,10 +127,10 @@ type Config struct {
 
 func (c Config) withDefaults() Config {
 	if c.Shards <= 0 {
-		c.Shards = 8
+		c.Shards = DefaultShards
 	}
 	if c.Nodes <= 0 {
-		c.Nodes = 4
+		c.Nodes = DefaultNodes
 	}
 	if c.Tree == nil {
 		c.Tree = topology.Star
@@ -258,7 +266,7 @@ func New(cfg Config) (*Service, error) {
 		sh := &shard{index: i, home: home, route: mutex.Nil, cluster: cluster, lease: cfg.Lease,
 			slots: make([]*slot, cfg.Nodes), done: s.done}
 		for n := 0; n < cfg.Nodes; n++ {
-			h := cluster.Handle(mutex.ID(n + 1))
+			h := cluster.Session(mutex.ID(n + 1))
 			if h == nil {
 				continue // member hosted by another process
 			}
@@ -371,6 +379,18 @@ func (c *Client) Acquire(ctx context.Context, resource string) (Hold, error) {
 	return sh.acquire(ctx, c.id, resource)
 }
 
+// TryAcquire locks resource only if this member's slot on the
+// resource's shard is free and the shard token can be taken without any
+// network traffic (the member is sitting on an idle token). It reports
+// false (with no error) when the resource would have to be waited for.
+func (c *Client) TryAcquire(resource string) (Hold, bool, error) {
+	sh, err := c.svc.shardOf(resource)
+	if err != nil {
+		return Hold{}, false, err
+	}
+	return sh.tryAcquire(c.id, resource)
+}
+
 // Release unlocks resource previously locked by this member node, by
 // name. It returns ErrNotHeld if this member does not hold resource, and
 // ErrLeaseExpired if it did but the sweeper already reclaimed the hold.
@@ -458,6 +478,43 @@ func (sh *shard) acquire(ctx context.Context, id mutex.ID, resource string) (Hol
 	sh.storeFence(grant.Generation)
 	sh.recordWait(time.Since(start))
 	return hold, nil
+}
+
+// tryAcquire is acquire's no-wait variant: the slot and the shard token
+// are taken only if both are immediately available.
+func (sh *shard) tryAcquire(id mutex.ID, resource string) (Hold, bool, error) {
+	sl := sh.slot(id)
+	if sl == nil {
+		return Hold{}, false, fmt.Errorf("lockservice: member %d is not hosted by this process (shard %d)", id, sh.index)
+	}
+	select {
+	case sl.sem <- struct{}{}:
+	default:
+		return Hold{}, false, nil // slot busy: another local acquire owns it
+	}
+	grant, ok, err := sl.session.TryAcquire()
+	if err != nil || !ok {
+		// TryAcquire never leaves a request outstanding, so the slot is
+		// immediately reusable.
+		<-sl.sem
+		if err != nil {
+			err = fmt.Errorf("lockservice: try-acquire %q (shard %d, node %d): %w", resource, sh.index, id, err)
+		}
+		return Hold{}, false, err
+	}
+	hold := Hold{Resource: resource, Shard: sh.index, Node: id, Fence: grant.Generation}
+	if sh.lease > 0 {
+		hold.Expires = grant.At.Add(sh.lease)
+	}
+	sl.mu.Lock()
+	sl.held = resource
+	sl.fence = grant.Generation
+	sl.expires = hold.Expires
+	sl.mu.Unlock()
+	sh.grants.Add(1)
+	sh.storeFence(grant.Generation)
+	sh.recordWait(0)
+	return hold, true, nil
 }
 
 // release validates ownership, passes the shard token on, frees the

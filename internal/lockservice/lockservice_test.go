@@ -621,12 +621,12 @@ func (t *fakeTransport) StartShard(index int, b mutex.Builder, cfg mutex.Config)
 
 func (t *fakeTransport) Close() {}
 
-func (c *fakeCluster) Handle(id mutex.ID) *runtime.Handle {
+func (c *fakeCluster) Session(id mutex.ID) *runtime.Session {
 	n, ok := c.nodes[id]
 	if !ok {
 		return nil
 	}
-	return n.Handle()
+	return n.Session()
 }
 func (c *fakeCluster) Messages() int64 { return 0 }
 func (c *fakeCluster) Err() error      { return c.sink.Err() }

@@ -15,9 +15,9 @@ import (
 // process); the TCP substrate hosts exactly one member per process and
 // returns nil handles for the rest.
 type Cluster interface {
-	// Handle returns the acquire/release handle for member id, or nil if
-	// that member is not hosted by this process.
-	Handle(id mutex.ID) *runtime.Handle
+	// Session returns the acquire/release session for member id, or nil
+	// if that member is not hosted by this process.
+	Session(id mutex.ID) *runtime.Session
 	// Messages counts protocol messages this process observed for the
 	// shard (cluster-wide in process, per-member over TCP).
 	Messages() int64
@@ -190,11 +190,11 @@ type tcpShard struct {
 	node     *runtime.Node
 }
 
-func (s *tcpShard) Handle(id mutex.ID) *runtime.Handle {
+func (s *tcpShard) Session(id mutex.ID) *runtime.Session {
 	if id != s.host.ID() {
 		return nil
 	}
-	return s.node.Handle()
+	return s.node.Session()
 }
 
 func (s *tcpShard) Messages() int64 { return s.host.InstanceSent(s.instance) }

@@ -1,0 +1,227 @@
+package runtime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// DefaultProxyLease bounds a remote client's hold of the proxied mutex
+// when the proxy is constructed with lease 0. It matches the lock
+// service's default lease, so the two client surfaces behave alike.
+const DefaultProxyLease = 30 * time.Second
+
+// maxProxyExpired bounds the proxy's memory of force-released holds; a
+// client that never comes back to Release leaves its marker behind, so
+// beyond this many an arbitrary old marker is dropped (its very late
+// Release then reports ErrNotHeld instead of ErrLeaseExpired).
+const maxProxyExpired = 1024
+
+// Proxy serves many remote clients through one member Session: it
+// serializes their acquires (the member node allows one outstanding
+// request, per the paper), bounds every hold by a lease so a vanished
+// client cannot wedge the cluster, and recovers from context-canceled
+// acquires via the runtime's Granted drain — the same machinery the lock
+// service uses, packaged for a single mutex.
+//
+// It implements the transport layer's ClientBackend surface, keyed by
+// the empty resource name (a member arbitrates exactly one critical
+// section; named resources are the lock service's job).
+//
+// The proxy owns the session it wraps: it serializes its clients
+// against each other, but nothing can serialize them against the
+// member's own direct use of the same Session. A member process that
+// serves remote clients must therefore not drive that Session
+// concurrently — acquire through a dialed client of your own member
+// instead, exactly as the lock service's slot rule requires one
+// acquirer per (node, shard) slot.
+type Proxy struct {
+	s     *Session
+	lease time.Duration // <= 0: holds never expire
+	sem   chan struct{} // capacity 1: held while a client owns the mutex
+
+	mu      sync.Mutex
+	fence   uint64    // fencing token of the current hold, 0 when free
+	expires time.Time // lease deadline of the current hold
+	timer   *time.Timer
+	// expired remembers force-released fences so each late Release can be
+	// told apart from a Release of something never held. One-shot,
+	// bounded by maxProxyExpired.
+	expired map[uint64]bool
+}
+
+// NewProxy wraps s for remote clients. lease bounds each hold (0 means
+// DefaultProxyLease, negative disables expiry).
+func NewProxy(s *Session, lease time.Duration) *Proxy {
+	if lease == 0 {
+		lease = DefaultProxyLease
+	}
+	return &Proxy{s: s, lease: lease, sem: make(chan struct{}, 1)}
+}
+
+// Acquire locks the proxied mutex on behalf of one remote client,
+// queueing behind other clients of this member, and returns the grant's
+// fencing token plus the hold's lease deadline. Cancelling ctx while
+// queued frees the queue slot immediately; cancelling while the protocol
+// request is in flight leaves the request outstanding (the paper's model
+// has no cancellation) and the proxy drains and releases the eventual
+// grant in the background, exactly like the lock service's sweeper.
+func (p *Proxy) Acquire(ctx context.Context, resource string) (uint64, time.Time, error) {
+	if resource != "" {
+		return 0, time.Time{}, fmt.Errorf("runtime: member node %d serves a single mutex, not resource %q (dial a lock service for named resources)", p.s.ID(), resource)
+	}
+	select {
+	case p.sem <- struct{}{}:
+	case <-p.s.Failed():
+		return 0, time.Time{}, fmt.Errorf("proxy acquire node %d: cluster failed: %w", p.s.ID(), p.s.Err())
+	case <-ctx.Done():
+		return 0, time.Time{}, fmt.Errorf("proxy acquire node %d: %w", p.s.ID(), ctx.Err())
+	}
+	g, err := p.s.Acquire(ctx)
+	if err != nil {
+		if errors.Is(err, ErrGrantPending) {
+			// The request stays outstanding; free the slot only once the
+			// orphaned grant arrives and is released. sem stays held until
+			// then, so later clients queue instead of double-requesting.
+			go p.drainAbandoned()
+		} else {
+			<-p.sem
+		}
+		return 0, time.Time{}, err
+	}
+	return p.admit(g), p.holdExpiry(), nil
+}
+
+// TryAcquire locks the proxied mutex only if no other client holds it
+// through this proxy and the protocol can grant without messages.
+func (p *Proxy) TryAcquire(resource string) (uint64, time.Time, bool, error) {
+	if resource != "" {
+		return 0, time.Time{}, false, fmt.Errorf("runtime: member node %d serves a single mutex, not resource %q", p.s.ID(), resource)
+	}
+	select {
+	case p.sem <- struct{}{}:
+	default:
+		return 0, time.Time{}, false, nil // another client holds or waits
+	}
+	g, ok, err := p.s.TryAcquire()
+	if err != nil || !ok {
+		<-p.sem
+		return 0, time.Time{}, false, err
+	}
+	return p.admit(g), p.holdExpiry(), true, nil
+}
+
+// admit records the new hold and arms its lease timer. The semaphore is
+// already held.
+func (p *Proxy) admit(g Grant) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.fence = g.Generation
+	if p.lease > 0 {
+		p.expires = g.At.Add(p.lease)
+		fence := g.Generation
+		p.timer = time.AfterFunc(p.lease, func() { p.forceExpire(fence) })
+	}
+	return p.fence
+}
+
+func (p *Proxy) holdExpiry() time.Time {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.expires
+}
+
+// Release unlocks the proxied mutex. fence identifies the exact hold
+// (Grant.Generation); fence 0 releases whatever hold is current. A hold
+// the lease sweeper already reclaimed reports ErrLeaseExpired once; a
+// release of nothing, or of a stale fence, reports ErrNotHeld.
+func (p *Proxy) Release(resource string, fence uint64) error {
+	if resource != "" {
+		return fmt.Errorf("runtime: member node %d serves a single mutex, not resource %q", p.s.ID(), resource)
+	}
+	p.mu.Lock()
+	if p.fence == 0 || (fence != 0 && fence != p.fence) {
+		if fence != 0 && p.expired[fence] {
+			delete(p.expired, fence)
+			p.mu.Unlock()
+			return fmt.Errorf("proxy release node %d: hold %d force-released after its lease: %w", p.s.ID(), fence, ErrLeaseExpired)
+		}
+		// A by-fence release that matches no live hold and no marker, or a
+		// by-name release of a free proxy that has an unreported expiry:
+		// the by-name path gets the expiry report (it cannot name a fence).
+		if fence == 0 {
+			for f := range p.expired {
+				delete(p.expired, f)
+				p.mu.Unlock()
+				return fmt.Errorf("proxy release node %d: hold %d force-released after its lease: %w", p.s.ID(), f, ErrLeaseExpired)
+			}
+		}
+		p.mu.Unlock()
+		return fmt.Errorf("proxy release node %d: %w", p.s.ID(), ErrNotHeld)
+	}
+	p.clearHoldLocked()
+	err := p.s.Release()
+	p.mu.Unlock()
+	<-p.sem
+	if err != nil {
+		return fmt.Errorf("proxy release node %d: %w", p.s.ID(), err)
+	}
+	return nil
+}
+
+// clearHoldLocked forgets the current hold and stops its lease timer.
+// Callers hold p.mu.
+func (p *Proxy) clearHoldLocked() {
+	p.fence = 0
+	p.expires = time.Time{}
+	if p.timer != nil {
+		p.timer.Stop()
+		p.timer = nil
+	}
+}
+
+// forceExpire is the lease enforcer: if the hold admitted under fence is
+// still current when its lease runs out, release it so other clients
+// (and other members) can proceed, and leave a marker so the stuck
+// client's late Release learns what happened.
+func (p *Proxy) forceExpire(fence uint64) {
+	p.mu.Lock()
+	if p.fence != fence {
+		p.mu.Unlock()
+		return // already released, or superseded
+	}
+	if p.expired == nil {
+		p.expired = make(map[uint64]bool)
+	}
+	if len(p.expired) >= maxProxyExpired {
+		for f := range p.expired { // drop an arbitrary stale marker
+			delete(p.expired, f)
+			break
+		}
+	}
+	p.expired[fence] = true
+	p.clearHoldLocked()
+	err := p.s.Release()
+	p.mu.Unlock()
+	if err == nil {
+		<-p.sem
+	}
+	// On error the cluster is broken; the sem stays held and the session's
+	// Failed signal fails future acquirers fast.
+}
+
+// drainAbandoned waits out a context-canceled acquire whose protocol
+// request stayed outstanding: the grant still arrives eventually, gets
+// released, and the queue slot recovers.
+func (p *Proxy) drainAbandoned() {
+	select {
+	case <-p.s.Granted():
+		if err := p.s.Release(); err == nil {
+			<-p.sem
+		}
+	case <-p.s.Failed():
+		// Cluster dead: leave sem held; Failed fails future acquirers.
+	}
+}

@@ -41,6 +41,19 @@ var ErrTryUnsupported = errors.New("protocol does not support TryAcquire")
 // surviving nodes' sessions keep working through the protocol's recovery.
 var ErrNodeDown = errors.New("node down")
 
+// Proxy-hold lifecycle errors, the runtime-level counterparts of the
+// lock service's sentinels. The client wire protocol maps both layers'
+// sentinels onto the same wire codes, so a remote client sees one
+// canonical pair regardless of which layer it dialed.
+var (
+	// ErrNotHeld reports a Release of a proxy hold the caller does not
+	// own (never acquired, already released, or a stale fence).
+	ErrNotHeld = errors.New("runtime: not held")
+	// ErrLeaseExpired reports a Release that arrived after the proxy
+	// hold's lease ran out and the proxy already force-released it.
+	ErrLeaseExpired = errors.New("runtime: lease expired")
+)
+
 // Monitor observes every inbound envelope before protocol delivery — the
 // failure detector's hook. Inbound reports whether the envelope was the
 // monitor's own traffic (a heartbeat) and is therefore consumed instead
@@ -71,6 +84,12 @@ type Grant struct {
 	// At is the local wall-clock time the grant was observed, the anchor
 	// for lease deadlines layered above.
 	At time.Time
+	// Expires is the lease deadline attached to the grant, when one
+	// exists: remote client sessions (dagmutex.Dial) hold through a
+	// member-side proxy that bounds every hold by a lease. Zero for
+	// direct member grants, which are lease-free at this layer (the lock
+	// service layers its own leases above).
+	Expires time.Time
 }
 
 // Envelope is one in-flight protocol message with its transport-level
@@ -330,6 +349,8 @@ func (n *Node) Session() *Session { return &Session{n: n} }
 
 // Handle is Session's former name, kept so embedders migrating to the
 // Session API keep compiling.
+//
+// Deprecated: use Session.
 func (n *Node) Handle() *Session { return n.Session() }
 
 // Close shuts the link down and waits for the actor loop to exit.
@@ -348,6 +369,8 @@ type Session struct {
 }
 
 // Handle is the deprecated former name of Session.
+//
+// Deprecated: use Session.
 type Handle = Session
 
 // ID returns the underlying node's identifier.

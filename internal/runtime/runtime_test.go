@@ -142,7 +142,7 @@ func TestAcquireGrantsImmediately(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer n.Close()
-	h := n.Handle()
+	h := n.Session()
 	if _, err := h.Acquire(context.Background()); err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +168,7 @@ func TestAcquireFailsFastOnClusterError(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer n.Close()
-	h := n.Handle()
+	h := n.Session()
 
 	done := make(chan error, 1)
 	go func() {
@@ -209,7 +209,7 @@ func TestAcquirePrefersGrantOverStaleError(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer n.Close()
-	h := n.Handle()
+	h := n.Session()
 	if _, err := h.Acquire(context.Background()); err != nil {
 		t.Fatalf("acquire with grant in hand = %v, want success", err)
 	}
@@ -239,7 +239,7 @@ func TestSendErrorCapturedViaSink(t *testing.T) {
 	// And a subsequent Acquire fails fast on it.
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	if _, err := n.Handle().Acquire(ctx); err == nil {
+	if _, err := n.Session().Acquire(ctx); err == nil {
 		t.Fatal("acquire succeeded despite send failure")
 	} else if errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("acquire waited out its deadline instead of failing fast: %v", err)
@@ -257,7 +257,7 @@ func TestGrantedRecoveryAfterTimedOutAcquire(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer n.Close()
-	h := n.Handle()
+	h := n.Session()
 
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
 	defer cancel()
@@ -321,7 +321,7 @@ func TestAcquireErrorsCarryGrantPending(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer n.Close()
-	h := n.Handle()
+	h := n.Session()
 
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
 	defer cancel()

@@ -1,0 +1,502 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"dagmutex/internal/runtime"
+)
+
+// This file is the member side of the CLIENT wire protocol: the framing
+// that lets a process which is NOT a DAG vertex attach to a member over
+// TCP and acquire/release through it. The client side lives in
+// internal/client; the two share the frame layout defined here.
+//
+// # Client wire frames
+//
+// A client connection opens with an 8-byte handshake — the 4-byte magic
+// "DAGC" followed by a big-endian uint32 protocol version (currently 1).
+// The magic doubles as the demultiplexer: member-to-member connections
+// start with a frame-size header, and sizes are bounded by maxFrame
+// (1 MiB), so the magic (0x44414743) can never be a valid size. One
+// listener therefore serves both populations (TCPHost), and a
+// standalone ClientGateway serves only clients.
+//
+// After the handshake, both directions speak length-prefixed frames:
+//
+//	[4B size] [1B op] [8B request id] [payload]     size = 9 + len(payload)
+//
+// Client → member ops:
+//
+//	opAcquire    payload = resource name ("" = the member's single mutex)
+//	opTry        payload = resource name
+//	opRelease    payload = [8B fence] ++ resource name (fence 0 = by name)
+//	opCancel     request id names the acquire to cancel; empty payload
+//
+// Member → client ops (the request id echoes the request):
+//
+//	respGrant    payload = [8B fence][8B lease expiry, unix nanos, 0 = none]
+//	respTry      payload = [1B granted][8B fence][8B expiry]
+//	respOK       empty (release succeeded)
+//	respErr      payload = [1B code] ++ message
+//
+// Error codes carry the sentinel across the wire so errors.Is works on
+// the client side exactly as it does in process: not-held, lease-expired,
+// try-unsupported, canceled, busy (per-client queue full), node-down;
+// code 0 is a generic error delivered by message only.
+
+// Client protocol constants, shared with internal/client.
+const (
+	// ClientMagic opens every client connection. As a big-endian uint32 it
+	// exceeds maxFrame, so it is unambiguous against member frame sizes.
+	ClientMagic = "DAGC"
+	// ClientVersion is the protocol version sent after the magic.
+	ClientVersion uint32 = 1
+	// MaxClientFrame bounds client frames; resource names plus headers fit
+	// comfortably.
+	MaxClientFrame = 1 << 16
+	// MaxClientInflight is the per-connection queue bound: a client may
+	// have this many acquires outstanding before the member sheds new
+	// ones with ErrClientBusy. Cancels and releases are exempt — a client
+	// can always trim its own queue and always give back what it holds
+	// (shedding a release would increase contention, the opposite of
+	// backpressure's goal).
+	MaxClientInflight = 64
+)
+
+// Client frame ops.
+const (
+	OpAcquire byte = 1
+	OpTry     byte = 2
+	OpRelease byte = 3
+	OpCancel  byte = 4
+
+	RespGrant byte = 16
+	RespTry   byte = 17
+	RespOK    byte = 18
+	RespErr   byte = 19
+)
+
+// Wire error codes for respErr frames.
+const (
+	CodeGeneric        byte = 0
+	CodeNotHeld        byte = 1
+	CodeLeaseExpired   byte = 2
+	CodeTryUnsupported byte = 3
+	CodeCanceled       byte = 4
+	CodeBusy           byte = 5
+	CodeNodeDown       byte = 6
+)
+
+// ErrClientBusy reports a request shed because the client already has
+// MaxClientInflight requests queued on the member — the backpressure
+// signal. The member stays healthy; the client should drain or retry.
+var ErrClientBusy = errors.New("transport: client request queue full")
+
+// ClientBackend is what a member offers its dialed clients: blocking
+// acquire/release of named resources, fences and lease deadlines
+// included. Two implementations exist — runtime.Proxy serves a plain
+// cluster member's single mutex (resource ""), and the lock service's
+// adapter serves its whole keyed resource space. Implementations must be
+// safe for concurrent use; Acquire must honor ctx.
+type ClientBackend interface {
+	Acquire(ctx context.Context, resource string) (fence uint64, expires time.Time, err error)
+	TryAcquire(resource string) (fence uint64, expires time.Time, ok bool, err error)
+	Release(resource string, fence uint64) error
+}
+
+// CodedError attaches a wire error code to err, for backends whose
+// sentinels the transport layer cannot know (the lock service's). The
+// demux unwraps it when encoding respErr frames; errorCode handles the
+// runtime-level sentinels directly.
+type CodedError struct {
+	Code byte
+	Err  error
+}
+
+func (e *CodedError) Error() string { return e.Err.Error() }
+func (e *CodedError) Unwrap() error { return e.Err }
+
+// errorCode picks the wire code for err: an explicit CodedError wins,
+// then the runtime and context sentinels the transport layer knows.
+func errorCode(err error) byte {
+	var ce *CodedError
+	switch {
+	case errors.As(err, &ce):
+		return ce.Code
+	case errors.Is(err, runtime.ErrNotHeld):
+		return CodeNotHeld
+	case errors.Is(err, runtime.ErrLeaseExpired):
+		return CodeLeaseExpired
+	case errors.Is(err, runtime.ErrTryUnsupported):
+		return CodeTryUnsupported
+	case errors.Is(err, runtime.ErrNodeDown):
+		return CodeNodeDown
+	case errors.Is(err, ErrClientBusy):
+		return CodeBusy
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return CodeCanceled
+	default:
+		return CodeGeneric
+	}
+}
+
+// AppendClientFrame appends one client-protocol frame to buf and returns
+// the extended slice. Both ends of the protocol use it, so the layout is
+// defined exactly once.
+func AppendClientFrame(buf []byte, op byte, reqID uint64, payload []byte) []byte {
+	var hdr [13]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(9+len(payload)))
+	hdr[4] = op
+	binary.BigEndian.PutUint64(hdr[5:13], reqID)
+	return append(append(buf, hdr[:]...), payload...)
+}
+
+// ReadClientFrame reads one client-protocol frame from r.
+func ReadClientFrame(r io.Reader) (op byte, reqID uint64, payload []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	size := binary.BigEndian.Uint32(hdr[:])
+	if size < 9 || size > MaxClientFrame {
+		return 0, 0, nil, fmt.Errorf("transport: bad client frame size %d", size)
+	}
+	body := make([]byte, size)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, 0, nil, err
+	}
+	return body[0], binary.BigEndian.Uint64(body[1:9]), body[9:], nil
+}
+
+// clientConn is one dialed client's server-side state: a write lock over
+// the shared connection, the in-flight request table (for cancels), the
+// holds table (for disconnect cleanup), and the inflight semaphore
+// (backpressure).
+type clientConn struct {
+	conn net.Conn
+	bw   *bufio.Writer
+	wmu  sync.Mutex
+
+	backend ClientBackend
+	sem     chan struct{}
+
+	mu     sync.Mutex
+	reqs   map[uint64]*clientReq
+	holds  map[string]uint64 // resource -> fence, holds this connection owns
+	closed bool
+}
+
+// clientReq is one in-flight acquire.
+type clientReq struct {
+	cancel   context.CancelFunc
+	canceled bool
+}
+
+// respond writes one frame back to the client. Write failures just end
+// the connection (the reader will notice); they are never cluster-fatal.
+func (cc *clientConn) respond(op byte, reqID uint64, payload []byte) {
+	cc.wmu.Lock()
+	defer cc.wmu.Unlock()
+	frame := AppendClientFrame(nil, op, reqID, payload)
+	if _, err := cc.bw.Write(frame); err != nil {
+		return
+	}
+	_ = cc.bw.Flush()
+}
+
+func (cc *clientConn) respondErr(reqID uint64, err error) {
+	cc.respond(RespErr, reqID, append([]byte{errorCode(err)}, err.Error()...))
+}
+
+// ServeClientConn speaks the member side of the client protocol on conn,
+// with the handshake already consumed, until the client hangs up or stop
+// closes. On exit every in-flight acquire is canceled and every hold the
+// connection still owns is released — a vanished client never parks a
+// token.
+func ServeClientConn(conn net.Conn, backend ClientBackend, stop <-chan struct{}) {
+	cc := &clientConn{
+		conn:    conn,
+		bw:      bufio.NewWriter(conn),
+		backend: backend,
+		sem:     make(chan struct{}, MaxClientInflight),
+		reqs:    make(map[uint64]*clientReq),
+		holds:   make(map[string]uint64),
+	}
+	var wg sync.WaitGroup
+	defer func() {
+		cc.teardown()
+		wg.Wait()
+		_ = conn.Close()
+	}()
+	// stop (host shutdown) severs the connection, unblocking the read.
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-stop:
+			_ = conn.Close()
+		case <-done:
+		}
+	}()
+	for {
+		op, reqID, payload, err := ReadClientFrame(conn)
+		if err != nil {
+			return
+		}
+		switch op {
+		case OpAcquire:
+			cc.startAcquire(&wg, reqID, string(payload))
+		case OpTry:
+			cc.startTry(&wg, reqID, string(payload))
+		case OpRelease:
+			if len(payload) < 8 {
+				return // corrupted stream
+			}
+			fence := binary.BigEndian.Uint64(payload[:8])
+			cc.startRelease(&wg, reqID, string(payload[8:]), fence)
+		case OpCancel:
+			cc.cancelRequest(reqID)
+		default:
+			return // unknown op: corrupted stream
+		}
+	}
+}
+
+// admit reserves an inflight slot, shedding the request with CodeBusy
+// when the per-client queue is full.
+func (cc *clientConn) admit(reqID uint64) bool {
+	select {
+	case cc.sem <- struct{}{}:
+		return true
+	default:
+		cc.respondErr(reqID, ErrClientBusy)
+		return false
+	}
+}
+
+// startAcquire runs one acquire in its own goroutine: acquires may block
+// for a long time, and one client's queued acquire must not stop its own
+// releases (or cancels) from being read.
+func (cc *clientConn) startAcquire(wg *sync.WaitGroup, reqID uint64, resource string) {
+	if !cc.admit(reqID) {
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	req := &clientReq{cancel: cancel}
+	cc.mu.Lock()
+	if cc.closed {
+		cc.mu.Unlock()
+		cancel()
+		<-cc.sem
+		return
+	}
+	cc.reqs[reqID] = req
+	cc.mu.Unlock()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer cancel()
+		defer func() { <-cc.sem }()
+		fence, expires, err := cc.backend.Acquire(ctx, resource)
+		cc.mu.Lock()
+		delete(cc.reqs, reqID)
+		canceled := req.canceled || cc.closed
+		if err == nil && !canceled {
+			cc.holds[resource] = fence
+		}
+		cc.mu.Unlock()
+		switch {
+		case err == nil && canceled:
+			// The grant raced the cancel (or the disconnect): the client is
+			// not listening for it anymore, so hand it straight back.
+			_ = cc.backend.Release(resource, fence)
+			cc.respondErr(reqID, context.Canceled)
+		case err != nil:
+			cc.respondErr(reqID, err)
+		default:
+			var buf [16]byte
+			binary.BigEndian.PutUint64(buf[0:8], fence)
+			binary.BigEndian.PutUint64(buf[8:16], expiryNanos(expires))
+			cc.respond(RespGrant, reqID, buf[:])
+		}
+	}()
+}
+
+func (cc *clientConn) startTry(wg *sync.WaitGroup, reqID uint64, resource string) {
+	if !cc.admit(reqID) {
+		return
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() { <-cc.sem }()
+		fence, expires, ok, err := cc.backend.TryAcquire(resource)
+		if err != nil {
+			cc.respondErr(reqID, err)
+			return
+		}
+		if ok {
+			cc.mu.Lock()
+			if cc.closed {
+				// Disconnected while the try was in flight: undo.
+				cc.mu.Unlock()
+				_ = cc.backend.Release(resource, fence)
+				return
+			}
+			cc.holds[resource] = fence
+			cc.mu.Unlock()
+		}
+		var buf [17]byte
+		if ok {
+			buf[0] = 1
+		}
+		binary.BigEndian.PutUint64(buf[1:9], fence)
+		binary.BigEndian.PutUint64(buf[9:17], expiryNanos(expires))
+		cc.respond(RespTry, reqID, buf[:])
+	}()
+}
+
+// startRelease is exempt from the inflight bound: releases complete
+// quickly, always shrink member state, and must stay available to a
+// client whose acquire queue is full.
+func (cc *clientConn) startRelease(wg *sync.WaitGroup, reqID uint64, resource string, fence uint64) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		err := cc.backend.Release(resource, fence)
+		cc.mu.Lock()
+		if held, ok := cc.holds[resource]; ok && (fence == 0 || held == fence) {
+			// Whatever the backend said, this connection no longer owns the
+			// hold (released, expired, or already gone): stop tracking it.
+			delete(cc.holds, resource)
+		}
+		cc.mu.Unlock()
+		if err != nil {
+			cc.respondErr(reqID, err)
+			return
+		}
+		cc.respond(RespOK, reqID, nil)
+	}()
+}
+
+// cancelRequest propagates a client's context cancellation into the
+// member's queue: a queued acquire aborts, an already-granted one will
+// be handed back by its own goroutine (the canceled flag).
+func (cc *clientConn) cancelRequest(reqID uint64) {
+	cc.mu.Lock()
+	req, ok := cc.reqs[reqID]
+	if ok {
+		req.canceled = true
+	}
+	cc.mu.Unlock()
+	if ok {
+		req.cancel()
+	}
+}
+
+// teardown cancels every in-flight acquire and releases every hold the
+// connection still owns.
+func (cc *clientConn) teardown() {
+	cc.mu.Lock()
+	cc.closed = true
+	reqs := make([]*clientReq, 0, len(cc.reqs))
+	for _, r := range cc.reqs {
+		r.canceled = true
+		reqs = append(reqs, r)
+	}
+	cc.reqs = map[uint64]*clientReq{}
+	holds := cc.holds
+	cc.holds = map[string]uint64{}
+	cc.mu.Unlock()
+	for _, r := range reqs {
+		r.cancel()
+	}
+	for resource, fence := range holds {
+		_ = cc.backend.Release(resource, fence)
+	}
+}
+
+func expiryNanos(t time.Time) uint64 {
+	if t.IsZero() {
+		return 0
+	}
+	return uint64(t.UnixNano())
+}
+
+// ClientGateway is a standalone listener speaking only the client
+// protocol — the front door for clusters whose members communicate over
+// a non-TCP substrate (transport.Local). A TCPHost needs no gateway: its
+// member listener demultiplexes client connections by the handshake
+// magic.
+type ClientGateway struct {
+	ln      net.Listener
+	backend ClientBackend
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewClientGateway listens on listen ("" for a fresh loopback port) and
+// serves dialed clients through backend.
+func NewClientGateway(listen string, backend ClientBackend) (*ClientGateway, error) {
+	if listen == "" {
+		listen = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, fmt.Errorf("transport: client gateway: %w", err)
+	}
+	g := &ClientGateway{ln: ln, backend: backend, stop: make(chan struct{})}
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			g.wg.Add(1)
+			go func() {
+				defer g.wg.Done()
+				if !readClientHandshake(conn) {
+					_ = conn.Close()
+					return
+				}
+				ServeClientConn(conn, g.backend, g.stop)
+			}()
+		}
+	}()
+	return g, nil
+}
+
+// Addr returns the gateway's listen address, for clients to Dial.
+func (g *ClientGateway) Addr() string { return g.ln.Addr().String() }
+
+// Close stops the listener and severs every client connection, releasing
+// the holds they owned.
+func (g *ClientGateway) Close() {
+	g.stopOnce.Do(func() {
+		close(g.stop)
+		_ = g.ln.Close()
+	})
+	g.wg.Wait()
+}
+
+// readClientHandshake consumes and validates the 8-byte client handshake
+// (the caller has not read any bytes yet).
+func readClientHandshake(conn net.Conn) bool {
+	var hs [8]byte
+	if _, err := io.ReadFull(conn, hs[:]); err != nil {
+		return false
+	}
+	return string(hs[0:4]) == ClientMagic && binary.BigEndian.Uint32(hs[4:8]) == ClientVersion
+}

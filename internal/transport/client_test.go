@@ -1,0 +1,92 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"testing"
+	"time"
+
+	"dagmutex/internal/runtime"
+)
+
+// TestClientFrameRoundTrip pins the client wire layout both ends share.
+func TestClientFrameRoundTrip(t *testing.T) {
+	payload := append(binary.BigEndian.AppendUint64(nil, 42), "res-7"...)
+	frame := AppendClientFrame(nil, OpRelease, 9001, payload)
+	if got := binary.BigEndian.Uint32(frame[0:4]); got != uint32(9+len(payload)) {
+		t.Fatalf("frame size = %d, want %d", got, 9+len(payload))
+	}
+	op, reqID, body, err := ReadClientFrame(bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op != OpRelease || reqID != 9001 || !bytes.Equal(body, payload) {
+		t.Fatalf("decoded (%d, %d, %q)", op, reqID, body)
+	}
+}
+
+// TestClientFrameRejectsBadSizes pins the bounds: undersized and
+// oversized frames are stream corruption, not requests.
+func TestClientFrameRejectsBadSizes(t *testing.T) {
+	for _, size := range []uint32{0, 8, MaxClientFrame + 1} {
+		buf := binary.BigEndian.AppendUint32(nil, size)
+		buf = append(buf, make([]byte, 16)...)
+		if _, _, _, err := ReadClientFrame(bytes.NewReader(buf)); err == nil {
+			t.Fatalf("size %d accepted", size)
+		}
+	}
+}
+
+// TestClientMagicIsNotAValidFrameSize pins the demux invariant: the
+// handshake magic, read as a member frame-size header, must always be
+// rejected by the member path, or a client connection could be
+// misparsed as member traffic.
+func TestClientMagicIsNotAValidFrameSize(t *testing.T) {
+	asSize := binary.BigEndian.Uint32([]byte(ClientMagic))
+	if asSize <= maxFrame {
+		t.Fatalf("client magic %#x is within the member frame bound %#x", asSize, maxFrame)
+	}
+}
+
+// staticBackend is a canned ClientBackend for demux-level tests.
+type staticBackend struct {
+	fence   uint64
+	release error
+}
+
+func (b *staticBackend) Acquire(ctx context.Context, resource string) (uint64, time.Time, error) {
+	return b.fence, time.Time{}, nil
+}
+
+func (b *staticBackend) TryAcquire(resource string) (uint64, time.Time, bool, error) {
+	return 0, time.Time{}, false, runtime.ErrTryUnsupported
+}
+
+func (b *staticBackend) Release(resource string, fence uint64) error { return b.release }
+
+// TestErrorCodeMapping pins the sentinel -> wire-code table, including
+// the CodedError escape hatch backends use for sentinels this package
+// cannot import.
+func TestErrorCodeMapping(t *testing.T) {
+	cases := []struct {
+		err  error
+		want byte
+	}{
+		{runtime.ErrNotHeld, CodeNotHeld},
+		{runtime.ErrLeaseExpired, CodeLeaseExpired},
+		{runtime.ErrTryUnsupported, CodeTryUnsupported},
+		{runtime.ErrNodeDown, CodeNodeDown},
+		{ErrClientBusy, CodeBusy},
+		{context.Canceled, CodeCanceled},
+		{context.DeadlineExceeded, CodeCanceled},
+		{&CodedError{Code: CodeLeaseExpired, Err: errors.New("wrapped")}, CodeLeaseExpired},
+		{errors.New("anything else"), CodeGeneric},
+	}
+	for _, c := range cases {
+		if got := errorCode(c.err); got != c.want {
+			t.Errorf("errorCode(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}

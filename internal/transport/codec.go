@@ -28,6 +28,7 @@ const (
 	wireReorient  byte = 6
 	wireJoin      byte = 7
 	wireWelcome   byte = 8
+	wireInit      byte = 9
 )
 
 // DAGCodec encodes the messages of the thesis's algorithm plus the
@@ -83,6 +84,8 @@ func (DAGCodec) Encode(m mutex.Message) ([]byte, error) {
 		return buf, nil
 	case core.Join:
 		return []byte{wireJoin}, nil
+	case core.Initialize:
+		return []byte{wireInit}, nil
 	case core.Welcome:
 		buf := make([]byte, 5)
 		buf[0] = wireWelcome
@@ -154,6 +157,11 @@ func (DAGCodec) Decode(data []byte) (mutex.Message, error) {
 			return nil, fmt.Errorf("dag codec: JOIN frame has %d bytes, want 1", len(data))
 		}
 		return core.Join{}, nil
+	case wireInit:
+		if len(data) != 1 {
+			return nil, fmt.Errorf("dag codec: INITIALIZE frame has %d bytes, want 1", len(data))
+		}
+		return core.Initialize{}, nil
 	case wireWelcome:
 		if len(data) != 5 {
 			return nil, fmt.Errorf("dag codec: WELCOME frame has %d bytes, want 5", len(data))

@@ -17,6 +17,8 @@ import (
 type Session = runtime.Session
 
 // Handle is Session's deprecated former name.
+//
+// Deprecated: use Session.
 type Handle = runtime.Session
 
 // Local runs one protocol node per cluster member inside a single
@@ -312,15 +314,20 @@ func (l *Local) WithNode(id mutex.ID, fn func(mutex.Node) error) error {
 	return n.With(fn)
 }
 
-// Handle returns the application-facing handle for node id, or nil if the
-// id is unknown.
-func (l *Local) Handle(id mutex.ID) *Handle {
+// Session returns the application-facing session for node id, or nil if
+// the id is unknown.
+func (l *Local) Session(id mutex.ID) *Session {
 	n, ok := l.nodes[id]
 	if !ok {
 		return nil
 	}
-	return n.Handle()
+	return n.Session()
 }
+
+// Handle returns the session for node id.
+//
+// Deprecated: use Session.
+func (l *Local) Handle(id mutex.ID) *Session { return l.Session(id) }
 
 // Messages returns the total number of protocol messages sent so far
 // (detector heartbeats are not counted).

@@ -71,6 +71,11 @@ type TCPHost struct {
 	det atomic.Pointer[failure.Detector]
 	inj atomic.Pointer[failure.Injector]
 
+	// clients, when set, serves dialed non-member clients: inbound
+	// connections opening with the client handshake magic are routed to
+	// the client-protocol demux instead of the member frame reader.
+	clients atomic.Pointer[clientBackendBox]
+
 	stop     chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
@@ -141,6 +146,19 @@ func (h *TCPHost) InstanceSent(instance uint32) int64 {
 		return 0
 	}
 	return link.sent.Load()
+}
+
+type clientBackendBox struct{ b ClientBackend }
+
+// ServeClients opens this host's listener to dialed non-member clients:
+// a connection that starts with the client handshake magic (instead of a
+// member frame) is served through backend — acquire, try-acquire and
+// release of the resources the backend arbitrates, with per-connection
+// queueing, backpressure (MaxClientInflight), cancellation propagation
+// and disconnect cleanup. Member traffic on the same listener is
+// unaffected. Without a backend, client connections are refused.
+func (h *TCPHost) ServeClients(backend ClientBackend) {
+	h.clients.Store(&clientBackendBox{b: backend})
 }
 
 // SetInjector installs a fault plan: frames the plan vetoes are dropped
@@ -496,9 +514,37 @@ func (h *TCPHost) acceptLoop() {
 		h.wg.Add(1)
 		go func() {
 			defer h.wg.Done()
-			h.readLoop(conn)
+			h.dispatch(conn)
 		}()
 	}
+}
+
+// dispatch reads the first four inbound bytes to tell the two wire
+// populations apart: member connections open with a frame-size header
+// (bounded by maxFrame), dialed clients with the handshake magic (which
+// exceeds any valid size). Members continue into readLoop; clients are
+// served by the client-protocol demux if a backend is registered.
+func (h *TCPHost) dispatch(conn net.Conn) {
+	var first [4]byte
+	if _, err := io.ReadFull(conn, first[:]); err != nil {
+		_ = conn.Close()
+		return
+	}
+	if string(first[:]) == ClientMagic {
+		var ver [4]byte
+		if _, err := io.ReadFull(conn, ver[:]); err != nil {
+			_ = conn.Close()
+			return
+		}
+		box := h.clients.Load()
+		if box == nil || binary.BigEndian.Uint32(ver[:]) != ClientVersion {
+			_ = conn.Close()
+			return
+		}
+		ServeClientConn(conn, box.b, h.stop)
+		return
+	}
+	h.readLoop(conn, first)
 }
 
 // readLoop parses frames and routes them to the tagged instance's inbox.
@@ -508,20 +554,25 @@ func (h *TCPHost) acceptLoop() {
 // EOF is that peer's death evidence rather than a cluster-fatal error.
 // Frame and codec violations stay fail-fast regardless — they mean a
 // corrupted stream, not a dead peer.
-func (h *TCPHost) readLoop(conn net.Conn) {
+func (h *TCPHost) readLoop(conn net.Conn, first [4]byte) {
 	defer func() { _ = conn.Close() }()
 	peer := mutex.Nil
 	header := make([]byte, 4)
+	copy(header, first[:])
+	pending := true // the dispatch peek already read the first header
 	for {
-		if _, err := io.ReadFull(conn, header); err != nil {
-			switch {
-			case errors.Is(err, io.EOF), isClosedErr(err):
-				h.peerFault(peer, nil)
-			default:
-				h.peerFault(peer, fmt.Errorf("read header: %w", err))
+		if !pending {
+			if _, err := io.ReadFull(conn, header); err != nil {
+				switch {
+				case errors.Is(err, io.EOF), isClosedErr(err):
+					h.peerFault(peer, nil)
+				default:
+					h.peerFault(peer, fmt.Errorf("read header: %w", err))
+				}
+				return
 			}
-			return
 		}
+		pending = false
 		size := binary.BigEndian.Uint32(header)
 		if size < 8 || size > maxFrame {
 			h.fail(fmt.Errorf("bad frame size %d", size))
@@ -666,14 +717,25 @@ func (h *TCPHost) Close() {
 type TCPNode struct {
 	host   *TCPHost
 	node   *runtime.Node
-	handle *Handle
+	handle *Session
 }
 
 // NewTCPNode constructs the protocol node via b and starts listening on a
 // fresh loopback port. Peers are supplied afterwards with Connect, once
 // every listener's Addr is known.
 func NewTCPNode(id mutex.ID, b mutex.Builder, cfg mutex.Config, codec Codec) (*TCPNode, error) {
-	host, err := NewTCPHost(id, codec)
+	return NewTCPNodeOn(id, "127.0.0.1:0", b, cfg, codec)
+}
+
+// NewTCPNodeOn is NewTCPNode with an explicit listen address, for real
+// deployments whose address book is agreed in advance.
+//
+// Every TCPNode also serves dialed non-member clients (dagmutex.Dial):
+// connections opening with the client handshake are proxied through the
+// node's own session, serialized and lease-bounded by a runtime.Proxy
+// with the default lease.
+func NewTCPNodeOn(id mutex.ID, listen string, b mutex.Builder, cfg mutex.Config, codec Codec) (*TCPNode, error) {
+	host, err := NewTCPHostOn(id, listen, codec)
 	if err != nil {
 		return nil, err
 	}
@@ -682,7 +744,8 @@ func NewTCPNode(id mutex.ID, b mutex.Builder, cfg mutex.Config, codec Codec) (*T
 		host.Close()
 		return nil, err
 	}
-	return &TCPNode{host: host, node: node, handle: node.Handle()}, nil
+	host.ServeClients(runtime.NewProxy(node.Session(), 0))
+	return &TCPNode{host: host, node: node, handle: node.Session()}, nil
 }
 
 // Addr returns the node's listen address, to be shared with peers.
@@ -695,8 +758,21 @@ func (t *TCPNode) ID() mutex.ID { return t.host.ID() }
 // first Acquire.
 func (t *TCPNode) Connect(addrs map[mutex.ID]string) { t.host.Connect(addrs) }
 
-// Handle returns the blocking application API over the hosted node.
-func (t *TCPNode) Handle() *Handle { return t.handle }
+// Session returns the blocking application API over the hosted node.
+func (t *TCPNode) Session() *Session { return t.handle }
+
+// Handle returns the session for the hosted node.
+//
+// Deprecated: use Session.
+func (t *TCPNode) Handle() *Session { return t.handle }
+
+// Node exposes the hosted runtime node, for management operations.
+func (t *TCPNode) Node() *runtime.Node { return t.node }
+
+// WithNode runs fn on the protocol state machine while holding its
+// handler lock (e.g. the DAG algorithm's StartInit). fn must not block
+// on protocol progress.
+func (t *TCPNode) WithNode(fn func(mutex.Node) error) error { return t.node.With(fn) }
 
 // Acquire requests the critical section and blocks until granted, the
 // cluster fails, or ctx expires. It returns the grant's fencing
@@ -758,6 +834,16 @@ func NewTCPClusterChaos(b mutex.Builder, cfg mutex.Config, codec Codec, fcfg fai
 	return newTCPCluster(b, cfg, codec, &fcfg, inj)
 }
 
+// NewTCPClusterWith is the options-first construction the dagmutex.Open
+// facade uses: failure detection (nil = off) and the fault plan (nil =
+// none) are independent, matching transport.Local's option set.
+func NewTCPClusterWith(b mutex.Builder, cfg mutex.Config, codec Codec, fcfg *failure.Config, inj *failure.Injector) (*TCPCluster, error) {
+	if fcfg != nil && inj == nil {
+		inj = failure.NewInjector() // Kill needs a plan to silence the victim
+	}
+	return newTCPCluster(b, cfg, codec, fcfg, inj)
+}
+
 func newTCPCluster(b mutex.Builder, cfg mutex.Config, codec Codec, fcfg *failure.Config, inj *failure.Injector) (*TCPCluster, error) {
 	c := &TCPCluster{nodes: make(map[mutex.ID]*TCPNode, len(cfg.IDs)), inj: inj, killed: make(map[mutex.ID]bool)}
 	addrs := make(map[mutex.ID]string, len(cfg.IDs))
@@ -804,13 +890,40 @@ func (c *TCPCluster) Kill(id mutex.ID) error {
 	return nil
 }
 
-// Handle returns the handle for member id, or nil if the id is unknown.
-func (c *TCPCluster) Handle(id mutex.ID) *Handle {
+// Session returns the session for member id, or nil if the id is
+// unknown.
+func (c *TCPCluster) Session(id mutex.ID) *Session {
 	n, ok := c.nodes[id]
 	if !ok {
 		return nil
 	}
-	return n.Handle()
+	return n.Session()
+}
+
+// Handle returns the session for member id.
+//
+// Deprecated: use Session.
+func (c *TCPCluster) Handle(id mutex.ID) *Session { return c.Session(id) }
+
+// Addr returns member id's listen address (for dagmutex.Dial), or "" for
+// an unknown id.
+func (c *TCPCluster) Addr(id mutex.ID) string {
+	n, ok := c.nodes[id]
+	if !ok {
+		return ""
+	}
+	return n.Addr()
+}
+
+// WithNode runs fn on member id's protocol state machine while holding
+// its handler lock, for management operations such as the DAG
+// algorithm's StartInit. fn must not block on protocol progress.
+func (c *TCPCluster) WithNode(id mutex.ID, fn func(mutex.Node) error) error {
+	n, ok := c.nodes[id]
+	if !ok {
+		return fmt.Errorf("transport: unknown node %d", id)
+	}
+	return n.WithNode(fn)
 }
 
 // Messages returns the total frames sent across all members.

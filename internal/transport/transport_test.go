@@ -33,7 +33,7 @@ func TestLocalMutualExclusionUnderConcurrency(t *testing.T) {
 	var wg sync.WaitGroup
 	const perNode = 20
 	for _, id := range tree.IDs() {
-		h := l.Handle(id)
+		h := l.Session(id)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -75,7 +75,7 @@ func TestLocalHolderAcquiresWithoutMessages(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer l.Close()
-	h := l.Handle(2)
+	h := l.Session(2)
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if _, err := h.Acquire(ctx); err != nil {
@@ -96,7 +96,7 @@ func TestLocalDoubleAcquireFails(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer l.Close()
-	h := l.Handle(1)
+	h := l.Session(1)
 	ctx := context.Background()
 	if _, err := h.Acquire(ctx); err != nil {
 		t.Fatal(err)
@@ -116,7 +116,7 @@ func TestLocalUnknownHandle(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer l.Close()
-	if h := l.Handle(42); h != nil {
+	if h := l.Session(42); h != nil {
 		t.Fatal("handle for unknown node must be nil")
 	}
 }
@@ -290,7 +290,7 @@ func TestLocalCloseIsIdempotentAndDrains(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h := l.Handle(1)
+	h := l.Session(1)
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if _, err := h.Acquire(ctx); err != nil {
@@ -346,7 +346,7 @@ func TestHandleStorage(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer l.Close()
-	if s := l.Handle(1).Storage(); s.Scalars != 5 {
+	if s := l.Session(1).Storage(); s.Scalars != 5 {
 		t.Fatalf("storage = %+v, want 5 scalars", s)
 	}
 }
@@ -384,7 +384,7 @@ func TestLocalSendToUnknownNodeFailsClusterNotProcess(t *testing.T) {
 	defer l.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	_, err = l.Handle(1).Acquire(ctx)
+	_, err = l.Session(1).Acquire(ctx)
 	if err == nil {
 		t.Fatal("acquire must fail when the protocol sends to an unknown node")
 	}
@@ -427,7 +427,7 @@ func TestLocalAcquireFailsFastOnClusterError(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	start := time.Now()
-	_, err = l.Handle(2).Acquire(ctx)
+	_, err = l.Session(2).Acquire(ctx)
 	if err == nil {
 		t.Fatal("acquire must fail once the holder's deliver errors")
 	}
@@ -468,7 +468,7 @@ func TestTCPHostMultiInstance(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			handles[inst][id] = n.Handle()
+			handles[inst][id] = n.Session()
 		}
 	}
 	for _, h := range hosts {
@@ -540,7 +540,7 @@ func TestTCPHostBuffersFramesForUnregisteredInstance(t *testing.T) {
 	go func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
-		done <- acquireErr(n1.Handle(), ctx)
+		done <- acquireErr(n1.Session(), ctx)
 	}()
 	time.Sleep(50 * time.Millisecond)
 	if _, err := h2.StartInstance(0, core.Builder, cfg); err != nil {
@@ -549,7 +549,7 @@ func TestTCPHostBuffersFramesForUnregisteredInstance(t *testing.T) {
 	if err := <-done; err != nil {
 		t.Fatalf("acquire across late-registered instance: %v", err)
 	}
-	if err := n1.Handle().Release(); err != nil {
+	if err := n1.Session().Release(); err != nil {
 		t.Fatal(err)
 	}
 	if err := h1.Err(); err != nil {
@@ -587,7 +587,7 @@ func TestTCPClusterMutualExclusionViaCluster(t *testing.T) {
 	var inCS atomic.Int64
 	var wg sync.WaitGroup
 	for _, id := range tree.IDs() {
-		h := c.Handle(id)
+		h := c.Session(id)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -616,7 +616,7 @@ func TestTCPClusterMutualExclusionViaCluster(t *testing.T) {
 	if c.Messages() == 0 {
 		t.Fatal("no messages recorded")
 	}
-	if c.Handle(99) != nil {
+	if c.Session(99) != nil {
 		t.Fatal("handle for unknown member must be nil")
 	}
 }
@@ -645,14 +645,14 @@ func TestTryAcquireOnlyAtIdleHolder(t *testing.T) {
 
 	// A non-holder is refused, without messages and without a pending
 	// request wedging the session.
-	if _, ok, err := l.Handle(2).TryAcquire(); err != nil || ok {
+	if _, ok, err := l.Session(2).TryAcquire(); err != nil || ok {
 		t.Fatalf("non-holder TryAcquire = (ok=%v, %v), want (false, nil)", ok, err)
 	}
 	if got := l.Messages(); got != 0 {
 		t.Fatalf("TryAcquire sent %d messages, want 0", got)
 	}
 
-	g, ok, err := l.Handle(1).TryAcquire()
+	g, ok, err := l.Session(1).TryAcquire()
 	if err != nil || !ok {
 		t.Fatalf("holder TryAcquire = (ok=%v, %v), want (true, nil)", ok, err)
 	}
@@ -660,23 +660,23 @@ func TestTryAcquireOnlyAtIdleHolder(t *testing.T) {
 		t.Fatalf("TryAcquire generation = %d, want 1", g.Generation)
 	}
 	// Refused while the section is held.
-	if _, ok, _ := l.Handle(2).TryAcquire(); ok {
+	if _, ok, _ := l.Session(2).TryAcquire(); ok {
 		t.Fatal("TryAcquire succeeded at a non-holder while the section is held")
 	}
-	if err := l.Handle(1).Release(); err != nil {
+	if err := l.Session(1).Release(); err != nil {
 		t.Fatal(err)
 	}
 
 	// The refused node's session is unharmed: a blocking Acquire works
 	// and continues the generation sequence.
-	g2, err := l.Handle(2).Acquire(ctx)
+	g2, err := l.Session(2).Acquire(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if g2.Generation != 2 {
 		t.Fatalf("post-TryAcquire Acquire generation = %d, want 2", g2.Generation)
 	}
-	if err := l.Handle(2).Release(); err != nil {
+	if err := l.Session(2).Release(); err != nil {
 		t.Fatal(err)
 	}
 	if err := l.Err(); err != nil {
@@ -716,12 +716,12 @@ func TestKillWakesBlockedAcquire(t *testing.T) {
 	defer l.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
-	if _, err := l.Handle(1).Acquire(ctx); err != nil {
+	if _, err := l.Session(1).Acquire(ctx); err != nil {
 		t.Fatal(err)
 	}
 	done := make(chan error, 1)
 	go func() {
-		_, err := l.Handle(3).Acquire(context.Background()) // deliberately uncancellable
+		_, err := l.Session(3).Acquire(context.Background()) // deliberately uncancellable
 		done <- err
 	}()
 	time.Sleep(20 * time.Millisecond) // let it block behind the holder

@@ -1,0 +1,103 @@
+package dagmutex
+
+import (
+	"context"
+
+	"dagmutex/internal/core"
+	"dagmutex/internal/failure"
+)
+
+// Event is one failure-recovery observation (peer suspected, probe,
+// token regeneration, reorientation, ...), delivered to the callback
+// registered with WithObserver.
+type Event = core.Event
+
+// EventKind labels an Event.
+type EventKind = core.EventKind
+
+// TransportSpec selects the messaging substrate Open runs a cluster on.
+// Use the Local value or the TCP constructor.
+type TransportSpec struct {
+	tcp    bool
+	listen string
+}
+
+// Local is the in-process substrate: every member runs in this process,
+// connected by mailboxes — the default, and the right choice for
+// single-binary embedding, tests and benchmarks.
+var Local = TransportSpec{}
+
+// TCP is the socket substrate: members talk over framed TCP connections
+// with batched writes, and every member's listener also accepts dialed
+// non-member clients (see Dial). For Open (whole cluster in this
+// process) listen is ignored and every member binds a fresh loopback
+// port; for OpenPeer and OpenLockService it is this member's listen
+// address ("" means a fresh loopback port).
+func TCP(listen string) TransportSpec { return TransportSpec{tcp: true, listen: listen} }
+
+// Option configures Open, OpenPeer and OpenLockService. The zero
+// configuration — no options — is a fail-free in-process cluster, the
+// paper's model.
+type Option func(*openOptions)
+
+type openOptions struct {
+	transport TransportSpec
+	fcfg      *failure.Config
+	inj       *failure.Injector
+	init      bool
+	observer  func(Event)
+	member    ID
+	startCtx  context.Context
+}
+
+// WithTransport selects the substrate: Local (default) or TCP(listen).
+func WithTransport(t TransportSpec) Option {
+	return func(o *openOptions) { o.transport = t }
+}
+
+// WithFailureDetection arms the failure subsystem: every member runs a
+// heartbeat failure detector tuned by cfg, a crashed member is excised
+// by the surviving majority (regenerating the token if it died with the
+// victim), and Cluster.Kill becomes meaningful. See the "Failure model"
+// section of the package documentation.
+func WithFailureDetection(cfg FailureConfig) Option {
+	return func(o *openOptions) { o.fcfg = &cfg }
+}
+
+// WithInjector installs a shared fault plan consulted on every send (and
+// receive, over TCP), so tests and chaos batteries can sever links,
+// partition and heal deterministically. Without it, Kill lazily installs
+// a private plan.
+func WithInjector(inj *FaultInjector) Option {
+	return func(o *openOptions) { o.inj = inj }
+}
+
+// WithINIT makes the cluster derive its edge orientation at runtime by
+// executing the thesis's Figure 5 INIT flood, instead of being
+// configured statically. Open blocks until every node has initialized
+// (at most the tree's depth in message hops), bounded by the startup
+// context (see WithStartupContext).
+func WithINIT() Option {
+	return func(o *openOptions) { o.init = true }
+}
+
+// WithObserver registers fn on every member for failure-recovery events
+// (peer suspected, probe, regeneration, reorientation, ...), for traces
+// and telemetry. fn runs inside protocol handlers and must not block.
+func WithObserver(fn func(Event)) Option {
+	return func(o *openOptions) { o.observer = fn }
+}
+
+// WithMember names the member id this process runs as, for
+// OpenLockService over TCP (each participating process opens the same
+// configuration with its own member id). Open and OpenPeer ignore it.
+func WithMember(id ID) Option {
+	return func(o *openOptions) { o.member = id }
+}
+
+// WithStartupContext bounds Open's startup work — today, the INIT
+// flood's completion wait. Without it startup is bounded by a default
+// 10 s deadline.
+func WithStartupContext(ctx context.Context) Option {
+	return func(o *openOptions) { o.startCtx = ctx }
+}
