@@ -1,0 +1,238 @@
+// Command benchgate compares a fresh dagbench trajectory run against the
+// committed baseline and fails when the hot-path numbers regress.
+//
+// Both inputs are trajectory files — the {meta, tables} shape dagbench
+// emits with -json -gen (see benchmarks/README.md). Rows are joined by
+// their first two columns (transport/shards for EXP-lock, mode/shards
+// for EXP-clients), and three metrics are gated:
+//
+//   - msgs/grant  (lower is better) — always compared; message counts
+//     are a property of the protocol, not the machine.
+//   - allocs/op   (lower is better) — always compared; allocation
+//     counts are deterministic per workload.
+//   - ops/sec     (higher is better) — compared only when the two runs
+//     report the same ncpu, because wall-clock throughput on a
+//     different machine shape means nothing.
+//
+// A metric regresses when it is worse than the baseline by more than
+// the tolerance (default 15%). Improvements beyond tolerance are noted
+// but never fail the gate; a baseline row missing from the current run
+// fails it (coverage must not silently shrink). The delta table goes to
+// stdout and, when $GITHUB_STEP_SUMMARY is set, to the job summary.
+//
+// Usage:
+//
+//	benchgate -baseline benchmarks/baseline.json -current /tmp/run.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type trajectory struct {
+	Meta struct {
+		Generation string `json:"generation"`
+		NumCPU     int    `json:"ncpu"`
+	} `json:"meta"`
+	Tables []table `json:"tables"`
+}
+
+type table struct {
+	ID      string     `json:"id"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+// gated lists the metrics the gate enforces. higherIsBetter flips the
+// direction of "worse"; cpuBound metrics are skipped across machines.
+var gated = []struct {
+	column         string
+	higherIsBetter bool
+	cpuBound       bool
+}{
+	{column: "msgs/grant"},
+	{column: "allocs/op"},
+	{column: "ops/sec", higherIsBetter: true, cpuBound: true},
+}
+
+// delta is one compared metric of one joined row.
+type delta struct {
+	table    string
+	key      string
+	metric   string
+	base     float64
+	current  float64
+	relative float64 // signed change relative to baseline; + is worse
+	status   string  // "ok", "improved", "REGRESSION", "MISSING"
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "benchmarks/baseline.json", "committed baseline trajectory file")
+	currentPath := flag.String("current", "", "freshly produced trajectory file to gate (required)")
+	tolerance := flag.Float64("tolerance", 0.15, "allowed relative regression before the gate fails")
+	flag.Parse()
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -current is required")
+		os.Exit(2)
+	}
+
+	base, err := load(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := load(*currentPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	deltas, err := compare(base, cur, *tolerance)
+	if err != nil {
+		fatal(err)
+	}
+	report := render(base, cur, deltas, *tolerance)
+	fmt.Print(report)
+	if path := os.Getenv("GITHUB_STEP_SUMMARY"); path != "" {
+		f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err == nil {
+			_, _ = f.WriteString(report)
+			_ = f.Close()
+		}
+	}
+	for _, d := range deltas {
+		if d.status == "REGRESSION" || d.status == "MISSING" {
+			fmt.Fprintf(os.Stderr, "benchgate: %s %s %s regressed\n", d.table, d.key, d.metric)
+			os.Exit(1)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(2)
+}
+
+func load(path string) (*trajectory, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var t trajectory
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(t.Tables) == 0 {
+		return nil, fmt.Errorf("%s: no tables (not a trajectory file?)", path)
+	}
+	return &t, nil
+}
+
+// rowKey joins a row on its first two columns — the sweep dimensions in
+// every dagbench table (transport/shards, mode/shards).
+func rowKey(row []string) string {
+	if len(row) < 2 {
+		return strings.Join(row, "/")
+	}
+	return row[0] + "/" + row[1]
+}
+
+// compare joins every baseline row against the current run and measures
+// each gated metric. Metrics absent from a table are skipped; rows
+// absent from the current run produce a MISSING delta.
+func compare(base, cur *trajectory, tolerance float64) ([]delta, error) {
+	sameCPU := base.Meta.NumCPU == cur.Meta.NumCPU
+	curTables := make(map[string]table, len(cur.Tables))
+	for _, t := range cur.Tables {
+		curTables[t.ID] = t
+	}
+
+	var deltas []delta
+	for _, bt := range base.Tables {
+		ct, ok := curTables[bt.ID]
+		if !ok {
+			deltas = append(deltas, delta{table: bt.ID, key: "*", metric: "*", status: "MISSING"})
+			continue
+		}
+		curRows := make(map[string][]string, len(ct.Rows))
+		for _, row := range ct.Rows {
+			curRows[rowKey(row)] = row
+		}
+		for _, brow := range bt.Rows {
+			key := rowKey(brow)
+			crow, ok := curRows[key]
+			if !ok {
+				deltas = append(deltas, delta{table: bt.ID, key: key, metric: "*", status: "MISSING"})
+				continue
+			}
+			for _, g := range gated {
+				if g.cpuBound && !sameCPU {
+					continue
+				}
+				bi, ci := columnIndex(bt.Columns, g.column), columnIndex(ct.Columns, g.column)
+				if bi < 0 || ci < 0 || bi >= len(brow) || ci >= len(crow) {
+					continue
+				}
+				bv, berr := strconv.ParseFloat(brow[bi], 64)
+				cv, cerr := strconv.ParseFloat(crow[ci], 64)
+				if berr != nil || cerr != nil {
+					return nil, fmt.Errorf("table %s row %s: non-numeric %s (%q vs %q)",
+						bt.ID, key, g.column, brow[bi], crow[ci])
+				}
+				d := delta{table: bt.ID, key: key, metric: g.column, base: bv, current: cv}
+				if bv != 0 {
+					d.relative = (cv - bv) / bv
+					if g.higherIsBetter {
+						d.relative = -d.relative
+					}
+				}
+				switch {
+				case d.relative > tolerance:
+					d.status = "REGRESSION"
+				case d.relative < -tolerance:
+					d.status = "improved"
+				default:
+					d.status = "ok"
+				}
+				deltas = append(deltas, d)
+			}
+		}
+	}
+	return deltas, nil
+}
+
+func columnIndex(columns []string, name string) int {
+	for i, c := range columns {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// render formats the delta table as GitHub-flavored markdown, which
+// reads fine on a terminal too.
+func render(base, cur *trajectory, deltas []delta, tolerance float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## bench-gate: %s vs baseline %s (tolerance ±%.0f%%)\n\n",
+		cur.Meta.Generation, base.Meta.Generation, tolerance*100)
+	if base.Meta.NumCPU != cur.Meta.NumCPU {
+		fmt.Fprintf(&b, "_ncpu differs (baseline %d, current %d): throughput not compared._\n\n",
+			base.Meta.NumCPU, cur.Meta.NumCPU)
+	}
+	b.WriteString("| table | row | metric | baseline | current | delta | status |\n")
+	b.WriteString("|---|---|---|---:|---:|---:|---|\n")
+	for _, d := range deltas {
+		if d.status == "MISSING" {
+			fmt.Fprintf(&b, "| %s | %s | %s | — | — | — | MISSING |\n", d.table, d.key, d.metric)
+			continue
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s | %g | %g | %+.1f%% | %s |\n",
+			d.table, d.key, d.metric, d.base, d.current, d.relative*100, d.status)
+	}
+	b.WriteString("\n")
+	return b.String()
+}

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func trajectoryOf(ncpu int, rows ...[]string) *trajectory {
+	t := &trajectory{}
+	t.Meta.Generation = "test"
+	t.Meta.NumCPU = ncpu
+	t.Tables = []table{{
+		ID:      "EXP-lock",
+		Columns: []string{"transport", "shards", "grants", "msgs/grant", "allocs/op", "ops/sec"},
+		Rows:    rows,
+	}}
+	return t
+}
+
+func statuses(t *testing.T, deltas []delta) map[string]string {
+	t.Helper()
+	out := make(map[string]string, len(deltas))
+	for _, d := range deltas {
+		out[d.key+" "+d.metric] = d.status
+	}
+	return out
+}
+
+func TestCompareWithinToleranceIsOK(t *testing.T) {
+	base := trajectoryOf(1, []string{"tcp", "1", "3200", "2.00", "4.0", "50000"})
+	cur := trajectoryOf(1, []string{"tcp", "1", "3200", "2.20", "4.2", "46000"})
+	deltas, err := compare(base, cur, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, s := range statuses(t, deltas) {
+		if s != "ok" {
+			t.Errorf("%s = %s, want ok", k, s)
+		}
+	}
+}
+
+func TestCompareFlagsRegressionsPerDirection(t *testing.T) {
+	base := trajectoryOf(1, []string{"tcp", "1", "3200", "2.00", "4.0", "50000"})
+	// msgs/grant and allocs/op are worse when higher; ops/sec when lower.
+	cur := trajectoryOf(1, []string{"tcp", "1", "3200", "2.50", "5.0", "40000"})
+	deltas, err := compare(base, cur, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := statuses(t, deltas)
+	for _, metric := range []string{"msgs/grant", "allocs/op", "ops/sec"} {
+		if got["tcp/1 "+metric] != "REGRESSION" {
+			t.Errorf("tcp/1 %s = %s, want REGRESSION", metric, got["tcp/1 "+metric])
+		}
+	}
+}
+
+func TestCompareImprovementNeverFails(t *testing.T) {
+	base := trajectoryOf(1, []string{"tcp", "1", "3200", "2.00", "4.0", "50000"})
+	cur := trajectoryOf(1, []string{"tcp", "1", "3200", "0.50", "1.0", "90000"})
+	deltas, err := compare(base, cur, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, s := range statuses(t, deltas) {
+		if s != "improved" {
+			t.Errorf("%s = %s, want improved", k, s)
+		}
+	}
+}
+
+func TestCompareSkipsThroughputAcrossMachines(t *testing.T) {
+	base := trajectoryOf(1, []string{"tcp", "1", "3200", "2.00", "4.0", "50000"})
+	cur := trajectoryOf(8, []string{"tcp", "1", "3200", "2.00", "4.0", "10000"})
+	deltas, err := compare(base, cur, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := statuses(t, deltas)
+	if _, present := got["tcp/1 ops/sec"]; present {
+		t.Error("ops/sec compared across differing ncpu")
+	}
+	if got["tcp/1 msgs/grant"] != "ok" {
+		t.Errorf("msgs/grant = %s, want ok (machine-independent)", got["tcp/1 msgs/grant"])
+	}
+}
+
+func TestCompareMissingRowFailsTheGate(t *testing.T) {
+	base := trajectoryOf(1,
+		[]string{"tcp", "1", "3200", "2.00", "4.0", "50000"},
+		[]string{"tcp", "2", "3200", "1.80", "3.5", "60000"})
+	cur := trajectoryOf(1, []string{"tcp", "1", "3200", "2.00", "4.0", "50000"})
+	deltas, err := compare(base, cur, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var missing bool
+	for _, d := range deltas {
+		if d.key == "tcp/2" && d.status == "MISSING" {
+			missing = true
+		}
+	}
+	if !missing {
+		t.Fatal("baseline row absent from current run did not produce MISSING")
+	}
+}
+
+func TestRenderMentionsEveryDelta(t *testing.T) {
+	base := trajectoryOf(1, []string{"tcp", "1", "3200", "2.00", "4.0", "50000"})
+	cur := trajectoryOf(1, []string{"tcp", "1", "3200", "2.50", "4.0", "50000"})
+	deltas, err := compare(base, cur, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := render(base, cur, deltas, 0.15)
+	for _, want := range []string{"msgs/grant", "allocs/op", "ops/sec", "REGRESSION", "tcp/1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render output missing %q:\n%s", want, out)
+		}
+	}
+}

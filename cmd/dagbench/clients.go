@@ -45,11 +45,12 @@ func clientsTable(lo lockOptions, clients int, seed int64) (*harness.Table, erro
 		},
 	}
 	for _, m := range counts {
-		base, err := runLockTCP(lo, m, seed)
+		m := m
+		base, err := runMedian(lo.repeat, func() (lockResult, error) { return runLockTCP(lo, m, seed) })
 		if err != nil {
 			return nil, fmt.Errorf("members shards=%d: %w", m, err)
 		}
-		cl, err := runLockClients(lo, m, clients, seed)
+		cl, err := runMedian(lo.repeat, func() (lockResult, error) { return runLockClients(lo, m, clients, seed) })
 		if err != nil {
 			return nil, fmt.Errorf("clients shards=%d: %w", m, err)
 		}
@@ -99,11 +100,19 @@ func runLockClients(lo lockOptions, shards, clients int, seed int64) (lockResult
 		conns[i] = c
 		lockers[i] = c
 	}
-	res, err := lockWorkload(lo, seed, lockers).Run(context.Background(), services[0])
+	var res workload.MultiResourceResult
+	mallocs, err := measureAllocs(func() error {
+		var rerr error
+		res, rerr = lockWorkload(lo, seed, lockers).Run(context.Background(), services[0])
+		return rerr
+	})
 	if err != nil {
 		return lockResult{}, err
 	}
-	out := lockResult{tput: res.Throughput(), late: res.Expired}
+	if res.Ops == 0 {
+		return lockResult{}, fmt.Errorf("no operations completed")
+	}
+	out := lockResult{tput: res.Throughput(), late: res.Expired, ops: res.Ops, mallocs: mallocs}
 	for m, svc := range services {
 		if err := svc.Err(); err != nil {
 			return lockResult{}, fmt.Errorf("member %d: %w", m+1, err)

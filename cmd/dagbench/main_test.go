@@ -36,7 +36,7 @@ func tinyChaos() chaosOptions {
 
 func TestRunSingleExperiment(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "6.3", false, false, 1, tinyLock(), tinyChaos(), 8); err != nil {
+	if err := run(&b, "6.3", false, false, "", 1, tinyLock(), tinyChaos(), 8); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -49,7 +49,7 @@ func TestRunSingleExperiment(t *testing.T) {
 
 func TestRunCSVOutput(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "6.3", true, false, 1, tinyLock(), tinyChaos(), 8); err != nil {
+	if err := run(&b, "6.3", true, false, "", 1, tinyLock(), tinyChaos(), 8); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -63,14 +63,14 @@ func TestRunCSVOutput(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "99", false, false, 1, tinyLock(), tinyChaos(), 8); err == nil {
+	if err := run(&b, "99", false, false, "", 1, tinyLock(), tinyChaos(), 8); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
 
 func TestRunTopoExperiment(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "topo", false, false, 1, tinyLock(), tinyChaos(), 8); err != nil {
+	if err := run(&b, "topo", false, false, "", 1, tinyLock(), tinyChaos(), 8); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "radiating-star") {
@@ -80,7 +80,7 @@ func TestRunTopoExperiment(t *testing.T) {
 
 func TestRunLockExperiment(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "lock", false, false, 1, tinyLock(), tinyChaos(), 8); err != nil {
+	if err := run(&b, "lock", false, false, "", 1, tinyLock(), tinyChaos(), 8); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -93,11 +93,11 @@ func TestRunLockExperiment(t *testing.T) {
 
 func TestRunLockExperimentCSV(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "lock", true, false, 1, tinyLock(), tinyChaos(), 8); err != nil {
+	if err := run(&b, "lock", true, false, "", 1, tinyLock(), tinyChaos(), 8); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
-	if !strings.Contains(out, "transport,shards,grants,msgs,msgs/grant,ops/sec,speedup,wait-mean-ms,wait-p99-ms") {
+	if !strings.Contains(out, "transport,shards,grants,msgs,msgs/grant,allocs/op,ops/sec,speedup,wait-mean-ms,wait-p99-ms") {
 		t.Fatalf("lock CSV header missing:\n%s", out)
 	}
 }
@@ -106,7 +106,7 @@ func TestRunClientsExperiment(t *testing.T) {
 	lo := tinyLock()
 	lo.shards = "2"
 	var b strings.Builder
-	if err := run(&b, "clients", false, false, 1, lo, tinyChaos(), 8); err != nil {
+	if err := run(&b, "clients", false, false, "", 1, lo, tinyChaos(), 8); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -119,7 +119,7 @@ func TestRunClientsExperiment(t *testing.T) {
 
 func TestRunClientsRejectsBadCount(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "clients", false, false, 1, tinyLock(), tinyChaos(), 0); err == nil {
+	if err := run(&b, "clients", false, false, "", 1, tinyLock(), tinyChaos(), 0); err == nil {
 		t.Fatal("clients=0 accepted")
 	}
 }
@@ -128,11 +128,11 @@ func TestRunLockRejectsBadShardList(t *testing.T) {
 	lo := tinyLock()
 	lo.shards = "1,zero"
 	var b strings.Builder
-	if err := run(&b, "lock", false, false, 1, lo, tinyChaos(), 8); err == nil {
+	if err := run(&b, "lock", false, false, "", 1, lo, tinyChaos(), 8); err == nil {
 		t.Fatal("bad shard list accepted")
 	}
 	lo.shards = ""
-	if err := run(&b, "lock", false, false, 1, lo, tinyChaos(), 8); err == nil {
+	if err := run(&b, "lock", false, false, "", 1, lo, tinyChaos(), 8); err == nil {
 		t.Fatal("empty shard list accepted")
 	}
 }
@@ -194,7 +194,7 @@ func TestLockThroughputScalesWithShards(t *testing.T) {
 
 func TestRunJSONOutput(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "6.3", false, true, 1, tinyLock(), tinyChaos(), 8); err != nil {
+	if err := run(&b, "6.3", false, true, "", 1, tinyLock(), tinyChaos(), 8); err != nil {
 		t.Fatal(err)
 	}
 	var tables []struct {
@@ -219,7 +219,7 @@ func TestRunJSONOutput(t *testing.T) {
 // substrates.
 func TestRunLockExperimentJSONSweepsBothTransports(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "lock", false, true, 1, tinyLock(), tinyChaos(), 8); err != nil {
+	if err := run(&b, "lock", false, true, "", 1, tinyLock(), tinyChaos(), 8); err != nil {
 		t.Fatal(err)
 	}
 	var tables []struct {
@@ -245,11 +245,11 @@ func TestRunLockRejectsBadTransportList(t *testing.T) {
 	lo := tinyLock()
 	lo.transports = "local,udp"
 	var b strings.Builder
-	if err := run(&b, "lock", false, false, 1, lo, tinyChaos(), 8); err == nil {
+	if err := run(&b, "lock", false, false, "", 1, lo, tinyChaos(), 8); err == nil {
 		t.Fatal("bad transport list accepted")
 	}
 	lo.transports = ""
-	if err := run(&b, "lock", false, false, 1, lo, tinyChaos(), 8); err == nil {
+	if err := run(&b, "lock", false, false, "", 1, lo, tinyChaos(), 8); err == nil {
 		t.Fatal("empty transport list accepted")
 	}
 }
@@ -258,7 +258,7 @@ func TestRunLockRejectsBadTransportList(t *testing.T) {
 // experiment, in registry order.
 func TestRunExpCommaList(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "6.3, 6.4", false, false, 1, tinyLock(), tinyChaos(), 8); err != nil {
+	if err := run(&b, "6.3, 6.4", false, false, "", 1, tinyLock(), tinyChaos(), 8); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -273,7 +273,7 @@ func TestRunExpCommaList(t *testing.T) {
 // a clear one-line error before anything executes.
 func TestRunRejectsUnknownExpInList(t *testing.T) {
 	var b strings.Builder
-	err := run(&b, "6.3,bogus", false, false, 1, tinyLock(), tinyChaos(), 8)
+	err := run(&b, "6.3,bogus", false, false, "", 1, tinyLock(), tinyChaos(), 8)
 	if err == nil {
 		t.Fatal("unknown experiment in list accepted")
 	}
@@ -291,7 +291,7 @@ func TestRunRejectsUnknownExpInList(t *testing.T) {
 func TestRunRejectsEmptyExpList(t *testing.T) {
 	var b strings.Builder
 	for _, exp := range []string{"", " , "} {
-		if err := run(&b, exp, false, false, 1, tinyLock(), tinyChaos(), 8); err == nil {
+		if err := run(&b, exp, false, false, "", 1, tinyLock(), tinyChaos(), 8); err == nil {
 			t.Fatalf("empty -exp %q accepted", exp)
 		}
 	}
@@ -309,7 +309,7 @@ func TestRunLeaseExperiment(t *testing.T) {
 	lo.lease = 30 * time.Millisecond
 	lo.overholdEvery = 2
 	var b strings.Builder
-	if err := run(&b, "lease", false, true, 1, lo, tinyChaos(), 8); err != nil {
+	if err := run(&b, "lease", false, true, "", 1, lo, tinyChaos(), 8); err != nil {
 		t.Fatal(err)
 	}
 	var tables []struct {
@@ -370,7 +370,7 @@ func TestRunChaosExperiment(t *testing.T) {
 		t.Skip("live wall-clock chaos benchmark; skipped in -short mode")
 	}
 	var b strings.Builder
-	if err := run(&b, "chaos", false, true, 1, tinyLock(), tinyChaos(), 8); err != nil {
+	if err := run(&b, "chaos", false, true, "", 1, tinyLock(), tinyChaos(), 8); err != nil {
 		t.Fatal(err)
 	}
 	var tables []struct {
@@ -410,5 +410,35 @@ func TestChaosRejectsQuorumLoss(t *testing.T) {
 	co.kills = 2
 	if _, err := chaosTable(co, 1); err == nil {
 		t.Fatal("kill schedule losing the quorum accepted")
+	}
+}
+
+// TestRunJSONGenWrapsMeta is the trajectory-file shape: with -gen, the
+// JSON output wraps the table array with run metadata, so a committed
+// benchmarks/*.json records which machine produced its numbers.
+func TestRunJSONGenWrapsMeta(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "6.3", false, true, "PR-test", 1, tinyLock(), tinyChaos(), 8); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Meta struct {
+			Generation string `json:"generation"`
+			Go         string `json:"go"`
+			NumCPU     int    `json:"ncpu"`
+		} `json:"meta"`
+		Tables []struct {
+			ID   string     `json:"id"`
+			Rows [][]string `json:"rows"`
+		} `json:"tables"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("-json -gen output is not a wrapped object: %v\n%s", err, b.String())
+	}
+	if doc.Meta.Generation != "PR-test" || doc.Meta.NumCPU < 1 || doc.Meta.Go == "" {
+		t.Fatalf("unexpected meta: %+v", doc.Meta)
+	}
+	if len(doc.Tables) != 1 || doc.Tables[0].ID != "EXP-6.3-delay" || len(doc.Tables[0].Rows) == 0 {
+		t.Fatalf("unexpected tables: %+v", doc.Tables)
 	}
 }

@@ -90,6 +90,31 @@
 // token exists per epoch and fencing generations stay strictly
 // monotonic across crashes within that bound.
 //
+// # Pipelined handoff and the cohort regrant
+//
+// Two hot-path mechanisms relax how a release proceeds without touching
+// what the protocol guarantees. Session.ReleaseRequest fuses a release
+// with the holder's next request under one handler turn: over the DAG
+// protocol the re-request rides the outgoing PRIVILEGE itself as a
+// piggybacked flag, so a contended two-node rotation costs one message
+// per entry instead of two. The release is pipelined — ReleaseRequest
+// returns once the token handoff is locally durable (queued on the
+// link), not when the successor acknowledges it; the caller's next
+// grant arrives later on Session.Granted and is awaited with
+// Session.Await. Session.Regrant goes further for waiters on the same
+// node: the holder hands the section to the next local claimant with no
+// protocol traffic at all — to its peers the node simply held the token
+// a little longer — and only the fencing generation advances, so fences
+// stay strictly monotonic and unique per entry. The lock service uses
+// both automatically: a contended release regrants to a waiting local
+// claimant up to LockServiceConfig.CohortBudget consecutive times
+// (default DefaultCohortBudget; negative disables) before it must take
+// the protocol path, which bounds how long remote requesters already
+// queued in the DAG can be bypassed and so preserves
+// starvation-freedom. Mid-recovery — frozen in a probe round, or
+// holding a stale-epoch token — Regrant refuses (false, nil) and the
+// release falls back to the protocol.
+//
 // What recovery cannot close: a falsely-suspected live holder coexists
 // with the regenerated token until it is re-admitted (it rejoins the
 // first time it hears newer-epoch traffic, discarding its stale token).

@@ -70,15 +70,23 @@ func (Request) Size() int { return 2*mutex.IntSize + EpochSize }
 type Privilege struct {
 	Generation uint64
 	Epoch      uint32
+	// Requesting is the pipelined-handoff extension: the releasing
+	// sender's next request rides the token instead of being a separate
+	// REQUEST message. On delivery the receiver processes the token,
+	// then processes REQUEST(sender, sender) exactly as if it had
+	// arrived immediately behind the PRIVILEGE on the same FIFO channel
+	// — which is precisely what the two-message sequence would have
+	// done, minus one message. See Node.ReleaseRequest.
+	Requesting bool
 }
 
 // Kind implements mutex.Message.
 func (Privilege) Kind() string { return "PRIVILEGE" }
 
 // Size implements mutex.Message: one 8-byte generation counter (the
-// thesis's token is empty; the fencing extension costs one integer) plus
-// the recovery epoch.
-func (Privilege) Size() int { return GenSize + EpochSize }
+// thesis's token is empty; the fencing extension costs one integer),
+// the recovery epoch, and the pipelined-handoff request flag.
+func (Privilege) Size() int { return GenSize + EpochSize + 1 }
 
 // GenSize is the wire size, in bytes, of the fencing generation counter.
 const GenSize = 8
@@ -451,6 +459,63 @@ func (n *Node) Release() error {
 	return nil
 }
 
+// ReleaseRequest is Release immediately followed by Request, fused for
+// the pipelined-handoff hot path. When the token is about to leave to
+// FOLLOW and NEXT already points at the same node, the re-request rides
+// the outgoing PRIVILEGE (Requesting flag) instead of being a separate
+// REQUEST message: the two-message sequence would have travelled the
+// same FIFO channel back to back, so fusing them is observationally
+// identical and halves the handoff's message count. Every grant the
+// receiver processes this way also rewires a direct NEXT edge to the
+// releaser, so clusters whose members contend steadily converge onto
+// one-message handoffs regardless of the initial tree shape. All other
+// cases (token stays local, frozen mid-recovery, NEXT elsewhere) fall
+// back to the unfused pair.
+func (n *Node) ReleaseRequest() error {
+	if !n.inCS {
+		return mutex.ErrNotInCS
+	}
+	if !n.staleCS && !n.frozen && n.follow != mutex.Nil && n.next == n.follow {
+		n.inCS = false
+		to := n.follow
+		n.follow = mutex.Nil
+		n.env.Send(to, Privilege{Generation: n.gen, Epoch: n.epoch, Requesting: true})
+		n.transition(TransPassToken)
+		n.requesting = true
+		n.next = mutex.Nil
+		n.transition(TransRequest)
+		return nil
+	}
+	if err := n.Release(); err != nil {
+		return err
+	}
+	return n.Request()
+}
+
+// Regrant implements mutex.Regranter: it hands the critical section
+// straight to another local claimant with no protocol interaction at
+// all. From every peer's point of view the node simply never left its
+// critical section — no message moves, no pointer changes, no Figure 4
+// transition fires. Only the fencing generation advances (the holder
+// owns the token and with it the counter), so the new hold is
+// distinguishable from — and fences off — the one it replaces.
+//
+// Regrant reports false when the handoff is unavailable and the caller
+// must take the ordinary Release path: mid-recovery (frozen), or when
+// the current occupancy rides a token that recovery has since
+// invalidated (staleCS) and the generation counter is no longer this
+// node's to advance.
+func (n *Node) Regrant() (bool, error) {
+	if !n.inCS {
+		return false, mutex.ErrNotInCS
+	}
+	if n.staleCS || n.frozen {
+		return false, nil
+	}
+	n.grant()
+	return true, nil
+}
+
 // Deliver implements procedure P2 (for REQUEST messages) and the grant
 // path of P1 (for PRIVILEGE).
 func (n *Node) Deliver(from mutex.ID, m mutex.Message) error {
@@ -479,7 +544,7 @@ func (n *Node) Deliver(from mutex.ID, m mutex.Message) error {
 			n.deferred = append(n.deferred, deferredMsg{from: from, msg: msg})
 			return nil
 		}
-		return n.deliverPrivilege(msg)
+		return n.deliverPrivilege(from, msg)
 	case Probe:
 		return n.deliverProbe(from, msg)
 	case ProbeAck:
@@ -556,8 +621,11 @@ func (n *Node) deliverRequest(from mutex.ID, msg Request) error {
 }
 
 // deliverPrivilege is the "wait until PRIVILEGE message is received" point
-// of P1: the pending request is granted and the node enters its CS.
-func (n *Node) deliverPrivilege(msg Privilege) error {
+// of P1: the pending request is granted and the node enters its CS. A
+// token carrying the Requesting flag then feeds the sender's pipelined
+// re-request through procedure P2, exactly as a REQUEST(sender, sender)
+// arriving right behind the token on the same FIFO channel would be.
+func (n *Node) deliverPrivilege(from mutex.ID, msg Privilege) error {
 	if !n.requesting {
 		return fmt.Errorf("%w: node %d received PRIVILEGE without requesting", mutex.ErrUnexpectedMessage, n.id)
 	}
@@ -576,6 +644,9 @@ func (n *Node) deliverPrivilege(msg Privilege) error {
 	n.inCS = true
 	n.transition(TransReceiveToken)
 	n.grant()
+	if msg.Requesting {
+		return n.deliverRequest(from, Request{From: from, Origin: from, Epoch: n.epoch})
+	}
 	return nil
 }
 

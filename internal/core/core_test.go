@@ -116,8 +116,8 @@ func TestMessageSizesMatchThesisSection64(t *testing.T) {
 	if got := (Request{}).Size(); got != 2*mutex.IntSize+EpochSize {
 		t.Fatalf("REQUEST size = %d, want %d", got, 2*mutex.IntSize+EpochSize)
 	}
-	if got := (Privilege{}).Size(); got != GenSize+EpochSize {
-		t.Fatalf("PRIVILEGE size = %d, want %d (fencing generation + epoch)", got, GenSize+EpochSize)
+	if got := (Privilege{}).Size(); got != GenSize+EpochSize+1 {
+		t.Fatalf("PRIVILEGE size = %d, want %d (fencing generation + epoch + pipelined-request flag)", got, GenSize+EpochSize+1)
 	}
 }
 

@@ -1,0 +1,139 @@
+package lockservice
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"dagmutex/internal/mutex"
+)
+
+// TestCohortHandoffIsMessageFree: with every acquirer on one node, each
+// release hands the section to the next local waiter by regrant — the
+// token never moves, so the whole contended run exchanges zero protocol
+// messages while the fencing tokens still advance strictly.
+func TestCohortHandoffIsMessageFree(t *testing.T) {
+	s := newService(t, Config{Shards: 1, Nodes: 1, CohortBudget: 4})
+	ctx := context.Background()
+
+	const workers, ops = 4, 25
+	fences := make(chan uint64, workers*ops)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				h, err := s.Acquire(ctx, "hot")
+				if err != nil {
+					t.Errorf("acquire: %v", err)
+					return
+				}
+				fences <- h.Fence
+				if err := s.ReleaseHold(h); err != nil {
+					t.Errorf("release: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(fences)
+
+	st := s.Stats()
+	if st.Messages != 0 {
+		t.Fatalf("single-node contended run sent %d messages, want 0", st.Messages)
+	}
+	if st.Grants != workers*ops {
+		t.Fatalf("grants = %d, want %d", st.Grants, workers*ops)
+	}
+	seen := make(map[uint64]bool, workers*ops)
+	for f := range fences {
+		if f == 0 || seen[f] {
+			t.Fatalf("fence %d granted twice (or zero): regrant must advance the generation", f)
+		}
+		seen[f] = true
+	}
+}
+
+// TestCohortBudgetKeepsRemoteNodesServed: two nodes contend for one
+// resource with a steady stream of local waiters on each. The cohort
+// budget bounds how long either node may keep regranting, so both sides
+// finish, and the amortization shows up as well under the two messages
+// per grant an unbatched rotation would cost.
+func TestCohortBudgetKeepsRemoteNodesServed(t *testing.T) {
+	s := newService(t, Config{Shards: 1, Nodes: 2, CohortBudget: 4})
+	ctx := context.Background()
+
+	const workersPerNode, ops = 3, 20
+	var wg sync.WaitGroup
+	for n := 1; n <= 2; n++ {
+		c, err := s.On(mutex.ID(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for w := 0; w < workersPerNode; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < ops; i++ {
+					h, err := c.Acquire(ctx, "hot")
+					if err != nil {
+						t.Errorf("node %d acquire: %v", c.ID(), err)
+						return
+					}
+					if err := c.ReleaseHold(h); err != nil {
+						t.Errorf("node %d release: %v", c.ID(), err)
+						return
+					}
+				}
+			}()
+		}
+	}
+	wg.Wait()
+
+	st := s.Stats()
+	want := int64(2 * workersPerNode * ops)
+	if st.Grants != want {
+		t.Fatalf("grants = %d, want %d (both nodes fully served)", st.Grants, want)
+	}
+	if perGrant := float64(st.Messages) / float64(st.Grants); perGrant >= 2 {
+		t.Fatalf("msgs/grant = %.2f, want < 2 (cohort batching should amortize handoffs)", perGrant)
+	}
+}
+
+// TestCohortDisabledTakesProtocolPath: a negative budget turns the
+// optimization off — every contended release goes through the protocol,
+// so a two-node run moves real messages again.
+func TestCohortDisabledTakesProtocolPath(t *testing.T) {
+	s := newService(t, Config{Shards: 1, Nodes: 2, CohortBudget: -1})
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	for n := 1; n <= 2; n++ {
+		c, err := s.On(mutex.ID(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				h, err := c.Acquire(ctx, "hot")
+				if err != nil {
+					t.Errorf("node %d acquire: %v", c.ID(), err)
+					return
+				}
+				if err := c.ReleaseHold(h); err != nil {
+					t.Errorf("node %d release: %v", c.ID(), err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if st := s.Stats(); st.Messages == 0 {
+		t.Fatal("disabled cohort budget still produced a message-free contended run")
+	}
+}

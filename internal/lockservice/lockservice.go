@@ -123,7 +123,21 @@ type Config struct {
 	// leases and abandoned grants. 0 derives it from the lease (a quarter
 	// of it, clamped to [1ms, 1s]).
 	SweepInterval time.Duration
+	// CohortBudget bounds the cohort handoff: when a release finds more
+	// local waiters queued on the same slot, the service may hand the
+	// grant straight to the next one — no token movement, no messages,
+	// just a fresh fencing generation — at most this many times in a row
+	// before the token must take the ordinary protocol path (serving any
+	// remote requesters). 0 means DefaultCohortBudget; negative disables
+	// cohort handoffs entirely.
+	CohortBudget int
 }
+
+// DefaultCohortBudget is the consecutive-local-handoff bound applied
+// when Config.CohortBudget is zero: high enough to amortize a token
+// visit over a node's queued local waiters, low enough that a remote
+// requester waits at most a few extra hold times per visiting node.
+const DefaultCohortBudget = 8
 
 func (c Config) withDefaults() Config {
 	if c.Shards <= 0 {
@@ -140,6 +154,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Lease == 0 {
 		c.Lease = DefaultLease
+	}
+	if c.CohortBudget == 0 {
+		c.CohortBudget = DefaultCohortBudget
 	}
 	if c.SweepInterval <= 0 {
 		c.SweepInterval = c.Lease / 4
@@ -189,6 +206,7 @@ type shard struct {
 	route   mutex.ID // default member for service-level Acquire: home if hosted, else lowest hosted
 	cluster Cluster
 	lease   time.Duration // <= 0: holds never expire
+	cohort  int           // max consecutive local regrants; <= 0 disables
 	slots   []*slot
 	done    <-chan struct{} // service-wide close signal
 
@@ -213,11 +231,26 @@ type slot struct {
 	session *runtime.Session
 	sem     chan struct{} // capacity 1: held while the node owns the shard token
 
+	// waiters counts local acquirers currently queued on sem — the
+	// release path's signal that a pipelined re-request will be claimed.
+	waiters atomic.Int64
+
 	mu        sync.Mutex
 	held      string    // resource name currently locked through this slot
 	fence     uint64    // fencing token of the current hold
 	expires   time.Time // lease deadline; zero when leases are disabled
 	abandoned bool      // a failed Acquire left its request outstanding
+	// pending marks a pipelined handoff: the releaser already re-issued
+	// the slot's next protocol request (ReleaseRequest) or regranted the
+	// section locally (Regrant), so the next waiter to take sem claims
+	// the in-flight grant and just Awaits it instead of issuing a fresh
+	// Acquire. If every waiter gives up before claiming it, the sweeper
+	// drains the orphaned grant.
+	pending bool
+	// streak counts consecutive cohort regrants since the token last
+	// moved through the protocol, enforcing the shard's cohort budget so
+	// remote requesters are bypassed only a bounded number of times.
+	streak int
 	// expired remembers holds the sweeper reclaimed from this slot, keyed
 	// by (resource, fence), so each late Release can be told apart from a
 	// Release of something never held — even after the slot has moved on,
@@ -264,7 +297,7 @@ func New(cfg Config) (*Service, error) {
 			return nil, fmt.Errorf("lockservice: shard %d: %w", i, err)
 		}
 		sh := &shard{index: i, home: home, route: mutex.Nil, cluster: cluster, lease: cfg.Lease,
-			slots: make([]*slot, cfg.Nodes), done: s.done}
+			cohort: cfg.CohortBudget, slots: make([]*slot, cfg.Nodes), done: s.done}
 		for n := 0; n < cfg.Nodes; n++ {
 			h := cluster.Session(mutex.ID(n + 1))
 			if h == nil {
@@ -434,19 +467,36 @@ func (sh *shard) acquire(ctx context.Context, id mutex.ID, resource string) (Hol
 		return Hold{}, fmt.Errorf("lockservice: member %d is not hosted by this process (shard %d)", id, sh.index)
 	}
 	start := time.Now() // wait includes local slot queueing, not just token travel
+	sl.waiters.Add(1)
 	select {
 	case sl.sem <- struct{}{}:
+		sl.waiters.Add(-1)
 	case <-sl.session.Failed():
 		// The shard's cluster is dead; its slot may be parked forever on
 		// a grant that will never arrive. Fail this caller fast instead
 		// of letting it wait out its whole context on the semaphore.
+		sl.waiters.Add(-1)
 		return Hold{}, fmt.Errorf("lockservice: acquire %q (shard %d, node %d): cluster failed: %w",
 			resource, sh.index, id, sl.session.Err())
 	case <-ctx.Done():
+		sl.waiters.Add(-1)
 		return Hold{}, fmt.Errorf("lockservice: acquire %q (shard %d, node %d): %w",
 			resource, sh.index, id, ctx.Err())
 	}
-	grant, err := sl.session.Acquire(ctx)
+	// A pipelined handoff means the releaser already issued this slot's
+	// next protocol request alongside its release — claim it and wait for
+	// its grant instead of requesting again.
+	sl.mu.Lock()
+	pipelined := sl.pending
+	sl.pending = false
+	sl.mu.Unlock()
+	var grant runtime.Grant
+	var err error
+	if pipelined {
+		grant, err = sl.session.Await(ctx)
+	} else {
+		grant, err = sl.session.Acquire(ctx)
+	}
 	if err != nil {
 		if errors.Is(err, runtime.ErrGrantPending) {
 			// The protocol request stays outstanding (the paper's model has
@@ -492,7 +542,30 @@ func (sh *shard) tryAcquire(id mutex.ID, resource string) (Hold, bool, error) {
 	default:
 		return Hold{}, false, nil // slot busy: another local acquire owns it
 	}
-	grant, ok, err := sl.session.TryAcquire()
+	var grant runtime.Grant
+	var ok bool
+	var err error
+	sl.mu.Lock()
+	if sl.pending {
+		// A pipelined re-request is in flight. If its grant is already in
+		// hand, claim it without waiting; otherwise the token is still
+		// traveling, and a no-wait acquire reports not-now (the request
+		// stays pending for the next blocking acquirer or the sweeper).
+		select {
+		case grant = <-sl.session.Granted():
+			sl.pending = false
+			ok = true
+		default:
+		}
+		sl.mu.Unlock()
+		if !ok {
+			<-sl.sem
+			return Hold{}, false, nil
+		}
+	} else {
+		sl.mu.Unlock()
+		grant, ok, err = sl.session.TryAcquire()
+	}
 	if err != nil || !ok {
 		// TryAcquire never leaves a request outstanding, so the slot is
 		// immediately reusable.
@@ -569,7 +642,38 @@ func (sh *shard) release(id mutex.ID, resource string, fence uint64) error {
 			}
 		}
 	}
-	err := sl.session.Release()
+	var err error
+	if sl.waiters.Load() > 0 && !sl.pending && !sl.abandoned {
+		// Cohort handoff first: the next waiter is local, so hand the
+		// section over without moving the token at all — the protocol
+		// node never leaves its critical section, only the fencing
+		// generation advances. Bounded by the shard's cohort budget so
+		// remote requesters queued in the DAG are bypassed at most
+		// streak-many times before the token travels.
+		if sl.streak < sh.cohort {
+			if ok, rerr := sl.session.Regrant(); rerr == nil && ok {
+				sl.streak++
+				sl.pending = true
+				sl.mu.Unlock()
+				<-sl.sem
+				return nil
+			}
+		}
+		// Pipelined protocol handoff: re-issue the slot's next request in
+		// the same handler-lock hold as the release. The re-REQUEST rides
+		// the outgoing PRIVILEGE (or coalesces into the same batched
+		// write), and the successor's request is already racing back
+		// before any waiter even wakes — the released token's ack never
+		// sits on the critical path.
+		sl.streak = 0
+		err = sl.session.ReleaseRequest()
+		if err == nil {
+			sl.pending = true
+		}
+	} else {
+		sl.streak = 0
+		err = sl.session.Release()
+	}
 	sl.mu.Unlock()
 	if err != nil {
 		return fmt.Errorf("lockservice: release %q (shard %d, node %d): %w", resource, sh.index, id, err)
@@ -625,6 +729,34 @@ func (sh *shard) sweepOnce(now time.Time) {
 		}
 		sl.mu.Lock()
 		switch {
+		case sl.pending && sl.waiters.Load() == 0:
+			// A pipelined re-request lost all its waiters (they gave up on
+			// the semaphore before claiming it). If the slot is free, adopt
+			// the request: drain its grant once it arrives and release the
+			// orphaned token. The non-blocking sem take cannot deadlock the
+			// acquire path (which takes sem before mu).
+			select {
+			case sl.sem <- struct{}{}:
+				select {
+				case <-sl.session.Granted():
+					sl.pending = false
+					if err := sl.session.Release(); err == nil {
+						sl.streak = 0
+						sl.mu.Unlock()
+						<-sl.sem
+						continue
+					}
+					// Release failed: the shard cluster is broken; leave the
+					// slot busy (its Failed signal fails future acquirers).
+				default:
+					// Grant still traveling; free the slot and retry later.
+					sl.mu.Unlock()
+					<-sl.sem
+					continue
+				}
+			default:
+				// Slot busy: a new acquirer claimed the pending request.
+			}
 		case sl.abandoned:
 			// A timed-out Acquire left its request outstanding. If the
 			// grant has since arrived, release the orphaned token and
@@ -633,6 +765,7 @@ func (sh *shard) sweepOnce(now time.Time) {
 			case <-sl.session.Granted():
 				if err := sl.session.Release(); err == nil {
 					sl.abandoned = false
+					sl.streak = 0
 					sl.mu.Unlock()
 					<-sl.sem
 					continue
@@ -657,6 +790,7 @@ func (sh *shard) sweepOnce(now time.Time) {
 			sl.held, sl.fence, sl.expires = "", 0, time.Time{}
 			if err := sl.session.Release(); err == nil {
 				sh.expired.Add(1)
+				sl.streak = 0
 				sl.mu.Unlock()
 				<-sl.sem
 				continue

@@ -72,6 +72,37 @@ type TryRequester interface {
 	TryRequest() (granted bool, err error)
 }
 
+// ReleaseRequester is an optional capability of protocol nodes that can
+// fuse a release with an immediate re-request — the pipelined token
+// handoff. A fused implementation may piggyback the re-request on the
+// outgoing token message when the two would travel the same channel
+// back to back, halving the handoff's message count; it must be
+// observationally equivalent to Release followed by Request. Callers
+// fall back to that exact pair when the capability is absent.
+type ReleaseRequester interface {
+	// ReleaseRequest leaves the critical section and re-requests it in
+	// one step. A release error is returned before the request is
+	// issued; a request error leaves the release done.
+	ReleaseRequest() error
+}
+
+// Regranter is an optional capability of protocol nodes that can hand
+// the critical section to another local claimant without leaving it —
+// the cohort handoff. A successful Regrant issues a fresh grant
+// (Env.Granted with the next fencing generation) while the node, as far
+// as any peer can observe, simply remains in its critical section: no
+// message is sent and no protocol state changes. Callers that batch
+// local claimants this way bypass remote requesters already queued, so
+// they must bound consecutive regrants to keep the protocol's
+// starvation-freedom.
+type Regranter interface {
+	// Regrant re-issues the critical section locally, reporting whether
+	// it did. False with a nil error means the handoff is currently
+	// unavailable (for example mid-recovery) and the caller should
+	// release normally; ErrNotInCS reports a Regrant without a hold.
+	Regrant() (granted bool, err error)
+}
+
 // MembershipHandler is an optional capability of protocol nodes that can
 // survive membership changes: a failure detector (or an operator) reports
 // a peer as crashed with PeerDown, and as returned with PeerUp. Both are

@@ -16,6 +16,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	goruntime "runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -118,6 +119,24 @@ type Link interface {
 	Close()
 }
 
+// Flusher is an optional Link extension for transports that batch
+// outgoing messages per handler turn: the runtime buffers nothing
+// itself, but after every section that may have called into protocol
+// code (a delivery, a request, a release) it tells the link the turn is
+// over, so all messages the handler sent can leave together — one
+// writev instead of one wakeup per message.
+//
+// Flush may write from the calling goroutine and may block on the
+// network; the runtime only calls it from application goroutines
+// (Session operations, With). FlushAsync must not block: it hands the
+// batch to the transport's own writer, and is what the runtime calls
+// from delivery context, where blocking on a send could deadlock two
+// nodes delivering to each other.
+type Flusher interface {
+	Flush()
+	FlushAsync()
+}
+
 // ErrorSink records the first error a cluster observes and signals
 // waiters. One sink is shared by every node of a cluster so that any
 // blocked Acquire fails fast on the first protocol, delivery or transport
@@ -166,6 +185,8 @@ type Node struct {
 	mu   sync.Mutex // serializes Request/Release/Deliver on the state machine
 	node mutex.Node
 
+	flush Flusher // non-nil when the link batches sends per handler turn
+
 	granted chan Grant // capacity 1: at most one outstanding request
 
 	monitor  atomic.Pointer[monitorBox]
@@ -195,6 +216,9 @@ func Start(id mutex.ID, b mutex.Builder, cfg mutex.Config, link Link, sink *Erro
 		granted: make(chan Grant, 1),
 		downCh:  make(chan struct{}),
 		events:  make(chan MemberEvent, 64),
+	}
+	if fl, ok := link.(Flusher); ok {
+		n.flush = fl
 	}
 	pn, err := b(id, env{n: n}, cfg)
 	if err != nil {
@@ -242,15 +266,28 @@ func (n *Node) consume() {
 		if !ok {
 			return
 		}
-		if box := n.monitor.Load(); box != nil && box.m.Inbound(e.From, e.Msg) {
-			continue
-		}
-		n.mu.Lock()
-		err := n.node.Deliver(e.From, e.Msg)
-		n.mu.Unlock()
-		if err != nil {
-			n.sink.Fail(fmt.Errorf("deliver %s %d->%d: %w", e.Msg.Kind(), e.From, n.id, err))
-		}
+		n.DeliverEnvelope(e)
+	}
+}
+
+// DeliverEnvelope injects one inbound envelope exactly as the actor loop
+// would: monitor first, then the protocol handler under the node lock,
+// with the first failure captured in the sink. It is the push-mode
+// delivery path — a transport whose reader goroutine already demuxes
+// frames per instance (the TCP host) calls it directly from that reader,
+// skipping the per-instance inbox hop and its goroutine wakeup; the
+// link's Recv side then simply stays empty. Safe for concurrent use; the
+// node lock serializes handlers regardless of how many readers deliver.
+func (n *Node) DeliverEnvelope(e Envelope) {
+	if box := n.monitor.Load(); box != nil && box.m.Inbound(e.From, e.Msg) {
+		return
+	}
+	n.mu.Lock()
+	err := n.node.Deliver(e.From, e.Msg)
+	n.mu.Unlock()
+	n.flushAsync() // delivery context: never block on a send
+	if err != nil {
+		n.sink.Fail(fmt.Errorf("deliver %s %d->%d: %w", e.Msg.Kind(), e.From, n.id, err))
 	}
 }
 
@@ -264,9 +301,32 @@ func (n *Node) SetMonitor(m Monitor) {
 	n.monitor.Store(&monitorBox{m: m})
 }
 
+// flushInline ends a handler turn entered from an application
+// goroutine: batched sends leave now, written inline from this
+// goroutine when the transport's writer is idle.
+func (n *Node) flushInline() {
+	if n.flush != nil {
+		n.flush.Flush()
+	}
+}
+
+// flushAsync ends a handler turn whose goroutine must not block on the
+// network (a transport reader, a detector verdict): batched sends are
+// handed to the transport's own writer.
+func (n *Node) flushAsync() {
+	if n.flush != nil {
+		n.flush.FlushAsync()
+	}
+}
+
 // Send transmits m to peer through the node's link — the out-of-band
-// path the failure detector uses for heartbeats.
-func (n *Node) Send(to mutex.ID, m mutex.Message) error { return n.link.Send(to, m) }
+// path the failure detector uses for heartbeats, which may fire from
+// transport goroutines and so must never block on the write.
+func (n *Node) Send(to mutex.ID, m mutex.Message) error {
+	err := n.link.Send(to, m)
+	n.flushAsync()
+	return err
+}
 
 // PeerDown reports peer as crashed to the hosted protocol (under its
 // handler lock) and publishes a membership event. Protocols that
@@ -340,8 +400,12 @@ func (n *Node) Err() error { return n.sink.Err() }
 // fn must not block on protocol progress.
 func (n *Node) With(fn func(mutex.Node) error) error {
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	return fn(n.node)
+	err := fn(n.node)
+	n.mu.Unlock()
+	// Async: With is also the membership-verdict path (PeerDown from a
+	// detector callback), which can run on a transport reader goroutine.
+	n.flushAsync()
+	return err
 }
 
 // Session returns the blocking application API over this node.
@@ -393,15 +457,45 @@ func (s *Session) Acquire(ctx context.Context) (Grant, error) {
 	n.mu.Lock()
 	err := n.node.Request()
 	n.mu.Unlock()
+	n.flushInline()
 	if err != nil {
 		return Grant{}, err
 	}
+	return s.Await(ctx)
+}
+
+// acquireSpins bounds the spin-then-park fast path: how many times an
+// Await polls the grant channel (yielding the processor between polls)
+// before parking in the blocking select. Zero in practice: the grant is
+// produced by the delivery goroutine, so on a single-processor machine
+// every yield spent polling is a slice stolen from the very goroutine
+// that would satisfy the poll, and measured throughput drops sharply
+// with any spinning at all. The non-blocking probe ahead of the select
+// still catches an already-deposited grant for free.
+const acquireSpins = 0
+
+// Await blocks until the grant for an already-issued request arrives —
+// the wait half of Acquire, exposed for pipelined handoff: a releaser
+// that calls ReleaseRequest has already re-issued the slot's next
+// request, so the next waiter only awaits. Calling Await with no request
+// outstanding blocks until failure or ctx expiry. The failure semantics
+// match Acquire exactly.
+func (s *Session) Await(ctx context.Context) (Grant, error) {
+	n := s.n
 	// Prefer a grant that is already in hand over a concurrent failure:
 	// the critical section was genuinely entered.
 	select {
 	case g := <-n.granted:
 		return g, nil
 	default:
+	}
+	for i := 0; i < acquireSpins; i++ {
+		goruntime.Gosched()
+		select {
+		case g := <-n.granted:
+			return g, nil
+		default:
+		}
 	}
 	select {
 	case g := <-n.granted:
@@ -434,6 +528,7 @@ func (s *Session) TryAcquire() (Grant, bool, error) {
 	}
 	granted, err := tr.TryRequest()
 	n.mu.Unlock()
+	n.flushInline()
 	if err != nil || !granted {
 		return Grant{}, false, err
 	}
@@ -462,8 +557,69 @@ func (s *Session) Release() error {
 		return fmt.Errorf("release node %d: %w", s.n.id, ErrNodeDown)
 	}
 	s.n.mu.Lock()
-	defer s.n.mu.Unlock()
-	return s.n.node.Release()
+	err := s.n.node.Release()
+	s.n.mu.Unlock()
+	s.n.flushInline()
+	return err
+}
+
+// ReleaseRequest leaves the critical section and immediately re-requests
+// it, both under one handler-lock hold — the pipelined token handoff. The
+// outgoing PRIVILEGE (if a successor is waiting) and the re-issued
+// REQUEST leave back to back, so the TCP substrate's batched writer
+// coalesces them into a single writev to the successor, and the caller's
+// next turn is already queued before the released token's ack could ever
+// round-trip. The grant arrives later on Granted; wait for it with Await.
+// A Release error is returned before the request is issued; a Request
+// error (e.g. mutex.ErrOutstanding) leaves the release done.
+func (s *Session) ReleaseRequest() error {
+	n := s.n
+	if n.selfDown.Load() {
+		return fmt.Errorf("release node %d: %w", n.id, ErrNodeDown)
+	}
+	n.mu.Lock()
+	var err error
+	if rr, ok := n.node.(mutex.ReleaseRequester); ok {
+		// Fused protocol path: the re-request may ride the outgoing
+		// token message itself (the DAG algorithm's Requesting flag).
+		err = rr.ReleaseRequest()
+	} else {
+		err = n.node.Release()
+		if err == nil {
+			err = n.node.Request()
+		}
+	}
+	n.mu.Unlock()
+	n.flushInline()
+	return err
+}
+
+// Regrant hands the critical section to the next local claimant without
+// any protocol traffic — the cohort handoff. The protocol node, as far
+// as its peers can observe, never leaves the critical section; only the
+// fencing generation advances. The fresh Grant is deposited on Granted
+// (exactly as a pipelined re-request's grant would be), so the claimant
+// collects it with Await, and the sweeper machinery that adopts
+// orphaned pipelined grants covers an unclaimed regrant unchanged.
+// It reports false (with no error) when the protocol cannot regrant
+// right now — mid-recovery, or a protocol without the capability — and
+// the caller must release normally. Callers are responsible for
+// bounding consecutive regrants: each one bypasses remote requesters
+// already queued in the protocol.
+func (s *Session) Regrant() (bool, error) {
+	n := s.n
+	if n.selfDown.Load() {
+		return false, fmt.Errorf("regrant node %d: %w", n.id, ErrNodeDown)
+	}
+	n.mu.Lock()
+	rg, ok := n.node.(mutex.Regranter)
+	if !ok {
+		n.mu.Unlock()
+		return false, nil
+	}
+	granted, err := rg.Regrant()
+	n.mu.Unlock()
+	return granted, err
 }
 
 // Membership exposes the node's membership observations (peer down/up

@@ -161,6 +161,15 @@ func AppendClientFrame(buf []byte, op byte, reqID uint64, payload []byte) []byte
 
 // ReadClientFrame reads one client-protocol frame from r.
 func ReadClientFrame(r io.Reader) (op byte, reqID uint64, payload []byte, err error) {
+	var body []byte
+	return readClientFrameInto(r, &body)
+}
+
+// readClientFrameInto reads one client-protocol frame into *body,
+// growing it as needed and reusing it across calls — the member-side
+// read path's allocation-free variant. The returned payload aliases
+// *body and is only valid until the next call.
+func readClientFrameInto(r io.Reader, body *[]byte) (op byte, reqID uint64, payload []byte, err error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, 0, nil, err
@@ -169,21 +178,25 @@ func ReadClientFrame(r io.Reader) (op byte, reqID uint64, payload []byte, err er
 	if size < 9 || size > MaxClientFrame {
 		return 0, 0, nil, fmt.Errorf("transport: bad client frame size %d", size)
 	}
-	body := make([]byte, size)
-	if _, err := io.ReadFull(r, body); err != nil {
+	if int(size) > cap(*body) {
+		*body = make([]byte, size)
+	}
+	b := (*body)[:size]
+	*body = b
+	if _, err := io.ReadFull(r, b); err != nil {
 		return 0, 0, nil, err
 	}
-	return body[0], binary.BigEndian.Uint64(body[1:9]), body[9:], nil
+	return b[0], binary.BigEndian.Uint64(b[1:9]), b[9:], nil
 }
 
 // clientConn is one dialed client's server-side state: a write lock over
-// the shared connection, the in-flight request table (for cancels), the
-// holds table (for disconnect cleanup), and the inflight semaphore
-// (backpressure).
+// the shared connection (with a reused frame scratch under it), the
+// in-flight request table (for cancels), the holds table (for disconnect
+// cleanup), and the inflight semaphore (backpressure).
 type clientConn struct {
 	conn net.Conn
-	bw   *bufio.Writer
 	wmu  sync.Mutex
+	wbuf []byte // response frame scratch, guarded by wmu
 
 	backend ClientBackend
 	sem     chan struct{}
@@ -200,16 +213,15 @@ type clientReq struct {
 	canceled bool
 }
 
-// respond writes one frame back to the client. Write failures just end
-// the connection (the reader will notice); they are never cluster-fatal.
+// respond writes one frame back to the client, encoding it into the
+// connection's reused scratch buffer — the steady-state response path
+// allocates nothing. Write failures just end the connection (the reader
+// will notice); they are never cluster-fatal.
 func (cc *clientConn) respond(op byte, reqID uint64, payload []byte) {
 	cc.wmu.Lock()
 	defer cc.wmu.Unlock()
-	frame := AppendClientFrame(nil, op, reqID, payload)
-	if _, err := cc.bw.Write(frame); err != nil {
-		return
-	}
-	_ = cc.bw.Flush()
+	cc.wbuf = AppendClientFrame(cc.wbuf[:0], op, reqID, payload)
+	_, _ = cc.conn.Write(cc.wbuf)
 }
 
 func (cc *clientConn) respondErr(reqID uint64, err error) {
@@ -222,9 +234,16 @@ func (cc *clientConn) respondErr(reqID uint64, err error) {
 // connection still owns is released — a vanished client never parks a
 // token.
 func ServeClientConn(conn net.Conn, backend ClientBackend, stop <-chan struct{}) {
+	serveClientConn(bufio.NewReader(conn), conn, backend, stop)
+}
+
+// serveClientConn is ServeClientConn over an explicit reader, so a
+// caller that already buffered the connection (the TCP host's dispatch)
+// keeps its buffer. Frames are read into a per-connection scratch
+// buffer; only the resource-name string conversions allocate.
+func serveClientConn(r io.Reader, conn net.Conn, backend ClientBackend, stop <-chan struct{}) {
 	cc := &clientConn{
 		conn:    conn,
-		bw:      bufio.NewWriter(conn),
 		backend: backend,
 		sem:     make(chan struct{}, MaxClientInflight),
 		reqs:    make(map[uint64]*clientReq),
@@ -246,8 +265,9 @@ func ServeClientConn(conn net.Conn, backend ClientBackend, stop <-chan struct{})
 		case <-done:
 		}
 	}()
+	body := make([]byte, 64)
 	for {
-		op, reqID, payload, err := ReadClientFrame(conn)
+		op, reqID, payload, err := readClientFrameInto(r, &body)
 		if err != nil {
 			return
 		}

@@ -14,7 +14,13 @@ import (
 type Codec interface {
 	// Encode serializes m.
 	Encode(m mutex.Message) ([]byte, error)
-	// Decode parses bytes produced by Encode.
+	// AppendEncode serializes m into dst (growing it as needed) and
+	// returns the extended slice — the allocation-free path the framed
+	// writers use with pooled buffers. Encode(m) must equal
+	// AppendEncode(nil, m).
+	AppendEncode(dst []byte, m mutex.Message) ([]byte, error)
+	// Decode parses bytes produced by Encode. The returned message must
+	// not retain data: callers reuse the buffer for the next frame.
 	Decode(data []byte) (mutex.Message, error)
 }
 
@@ -34,7 +40,8 @@ const (
 // DAGCodec encodes the messages of the thesis's algorithm plus the
 // failure extension. A REQUEST is thirteen bytes on the wire (tag + two
 // 32-bit identifiers + the 32-bit recovery epoch); a PRIVILEGE is a tag
-// byte plus the 64-bit fencing generation and the epoch. The recovery
+// byte plus the 64-bit fencing generation, the epoch and the
+// pipelined-request flag. The recovery
 // messages (PROBE, PROBEACK, REORIENT, JOIN, WELCOME) and the failure
 // detector's HEARTBEAT are encoded alongside, so one framed connection
 // carries protocol, recovery and liveness traffic alike.
@@ -43,54 +50,49 @@ type DAGCodec struct{}
 var _ Codec = DAGCodec{}
 
 // Encode implements Codec.
-func (DAGCodec) Encode(m mutex.Message) ([]byte, error) {
+func (c DAGCodec) Encode(m mutex.Message) ([]byte, error) {
+	return c.AppendEncode(nil, m)
+}
+
+// AppendEncode implements Codec: it serializes m into dst without
+// allocating (beyond growing dst once to its steady-state capacity),
+// so the TCP writers can encode straight into pooled frame buffers.
+func (DAGCodec) AppendEncode(dst []byte, m mutex.Message) ([]byte, error) {
 	switch msg := m.(type) {
 	case core.Request:
-		buf := make([]byte, 13)
-		buf[0] = wireRequest
-		binary.BigEndian.PutUint32(buf[1:5], uint32(msg.From))
-		binary.BigEndian.PutUint32(buf[5:9], uint32(msg.Origin))
-		binary.BigEndian.PutUint32(buf[9:13], msg.Epoch)
-		return buf, nil
+		dst = append(dst, wireRequest)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(msg.From))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(msg.Origin))
+		return binary.BigEndian.AppendUint32(dst, msg.Epoch), nil
 	case core.Privilege:
-		buf := make([]byte, 13)
-		buf[0] = wirePrivilege
-		binary.BigEndian.PutUint64(buf[1:9], msg.Generation)
-		binary.BigEndian.PutUint32(buf[9:13], msg.Epoch)
-		return buf, nil
+		dst = append(dst, wirePrivilege)
+		dst = binary.BigEndian.AppendUint64(dst, msg.Generation)
+		dst = binary.BigEndian.AppendUint32(dst, msg.Epoch)
+		return append(dst, boolByte(msg.Requesting)), nil
 	case failure.Heartbeat:
-		return []byte{wireHeartbeat}, nil
+		return append(dst, wireHeartbeat), nil
 	case core.Probe:
-		buf := make([]byte, 9)
-		buf[0] = wireProbe
-		binary.BigEndian.PutUint32(buf[1:5], msg.Epoch)
-		binary.BigEndian.PutUint32(buf[5:9], uint32(msg.Dead))
-		return buf, nil
+		dst = append(dst, wireProbe)
+		dst = binary.BigEndian.AppendUint32(dst, msg.Epoch)
+		return binary.BigEndian.AppendUint32(dst, uint32(msg.Dead)), nil
 	case core.ProbeAck:
-		buf := make([]byte, 15)
-		buf[0] = wireProbeAck
-		binary.BigEndian.PutUint32(buf[1:5], msg.Epoch)
-		buf[5] = boolByte(msg.HasToken)
-		buf[6] = boolByte(msg.Requesting)
-		binary.BigEndian.PutUint64(buf[7:15], msg.Generation)
-		return buf, nil
+		dst = append(dst, wireProbeAck)
+		dst = binary.BigEndian.AppendUint32(dst, msg.Epoch)
+		dst = append(dst, boolByte(msg.HasToken), boolByte(msg.Requesting))
+		return binary.BigEndian.AppendUint64(dst, msg.Generation), nil
 	case core.Reorient:
-		buf := make([]byte, 14)
-		buf[0] = wireReorient
-		binary.BigEndian.PutUint32(buf[1:5], msg.Epoch)
-		binary.BigEndian.PutUint32(buf[5:9], uint32(msg.Next))
-		binary.BigEndian.PutUint32(buf[9:13], uint32(msg.Follow))
-		buf[13] = boolByte(msg.Token)
-		return buf, nil
+		dst = append(dst, wireReorient)
+		dst = binary.BigEndian.AppendUint32(dst, msg.Epoch)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(msg.Next))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(msg.Follow))
+		return append(dst, boolByte(msg.Token)), nil
 	case core.Join:
-		return []byte{wireJoin}, nil
+		return append(dst, wireJoin), nil
 	case core.Initialize:
-		return []byte{wireInit}, nil
+		return append(dst, wireInit), nil
 	case core.Welcome:
-		buf := make([]byte, 5)
-		buf[0] = wireWelcome
-		binary.BigEndian.PutUint32(buf[1:5], msg.Epoch)
-		return buf, nil
+		dst = append(dst, wireWelcome)
+		return binary.BigEndian.AppendUint32(dst, msg.Epoch), nil
 	default:
 		return nil, fmt.Errorf("dag codec: cannot encode %T", m)
 	}
@@ -112,12 +114,13 @@ func (DAGCodec) Decode(data []byte) (mutex.Message, error) {
 			Epoch:  binary.BigEndian.Uint32(data[9:13]),
 		}, nil
 	case wirePrivilege:
-		if len(data) != 13 {
-			return nil, fmt.Errorf("dag codec: PRIVILEGE frame has %d bytes, want 13", len(data))
+		if len(data) != 14 {
+			return nil, fmt.Errorf("dag codec: PRIVILEGE frame has %d bytes, want 14", len(data))
 		}
 		return core.Privilege{
 			Generation: binary.BigEndian.Uint64(data[1:9]),
 			Epoch:      binary.BigEndian.Uint32(data[9:13]),
+			Requesting: data[13] != 0,
 		}, nil
 	case wireHeartbeat:
 		if len(data) != 1 {

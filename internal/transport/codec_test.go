@@ -1,0 +1,136 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+
+	"dagmutex/internal/core"
+	"dagmutex/internal/failure"
+	"dagmutex/internal/mutex"
+)
+
+// everyFrame is one value of every wire frame type the DAG codec knows,
+// with every field bit-populated, so a round-trip that drops or reorders
+// a field cannot pass by luck of the zero value.
+func everyFrame() []mutex.Message {
+	return []mutex.Message{
+		core.Request{From: 3, Origin: 7, Epoch: 9},
+		core.Privilege{Generation: 1<<40 + 5, Epoch: 3},
+		core.Privilege{Generation: 42, Epoch: 3, Requesting: true},
+		failure.Heartbeat{},
+		core.Probe{Epoch: 5, Dead: 2},
+		core.ProbeAck{Epoch: 5, HasToken: true, Requesting: true, Generation: 77},
+		core.Reorient{Epoch: 5, Next: 4, Follow: 2, Token: true},
+		core.Join{},
+		core.Initialize{},
+		core.Welcome{Epoch: 6},
+	}
+}
+
+// TestAppendEncodeRoundTripsEveryFrameType drives every frame type
+// through the pooled encode path — AppendEncode into a reused buffer,
+// exactly as the TCP writers encode into pooled frame buffers — and
+// checks the result decodes back to the original, matches the one-shot
+// Encode bytes, and never rewrites the prefix it was appended after.
+func TestAppendEncodeRoundTripsEveryFrameType(t *testing.T) {
+	c := DAGCodec{}
+	buf := make([]byte, 0, 64) // one pooled buffer reused across all frames
+	for _, m := range everyFrame() {
+		prefix := append(buf[:0], 0xAA, 0xBB, 0xCC)
+		out, err := c.AppendEncode(prefix, m)
+		if err != nil {
+			t.Fatalf("AppendEncode %T: %v", m, err)
+		}
+		if !bytes.Equal(out[:3], []byte{0xAA, 0xBB, 0xCC}) {
+			t.Fatalf("AppendEncode %T rewrote the bytes before its dst", m)
+		}
+		oneShot, err := c.Encode(m)
+		if err != nil {
+			t.Fatalf("Encode %T: %v", m, err)
+		}
+		if !bytes.Equal(out[3:], oneShot) {
+			t.Fatalf("AppendEncode %T = %v, Encode = %v", m, out[3:], oneShot)
+		}
+		dec, err := c.Decode(oneShot)
+		if err != nil {
+			t.Fatalf("Decode %T: %v", m, err)
+		}
+		if dec != m {
+			t.Fatalf("round trip %#v -> %#v", m, dec)
+		}
+	}
+}
+
+// TestPrivilegeRequestingFlagSurvivesCodec pins the pipelined-handoff
+// extension's wire bit both ways: a fused PRIVILEGE must come back with
+// Requesting set, and a plain one must not.
+func TestPrivilegeRequestingFlagSurvivesCodec(t *testing.T) {
+	for _, requesting := range []bool{false, true} {
+		in := core.Privilege{Generation: 9, Epoch: 2, Requesting: requesting}
+		b, err := DAGCodec{}.Encode(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := DAGCodec{}.Decode(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m != in {
+			t.Fatalf("PRIVILEGE(requesting=%v) round-trip = %#v", requesting, m)
+		}
+	}
+}
+
+// TestPooledBufferReuseDoesNotAliasFrames encodes two frames into the
+// same pooled buffer back to back, the way a recycled *frame is reused
+// across sends. The first frame's bytes must be fully consumed (decoded
+// into a self-contained message value) before the buffer is truncated
+// and rewritten; if Decode retained the buffer, the second encode would
+// corrupt the first message.
+func TestPooledBufferReuseDoesNotAliasFrames(t *testing.T) {
+	c := DAGCodec{}
+	buf := make([]byte, 0, 64)
+
+	first := core.Privilege{Generation: 7, Epoch: 1, Requesting: true}
+	b1, err := c.AppendEncode(buf, first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got1, err := c.Decode(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reuse the same backing array for an unrelated frame, overwriting
+	// every byte the first encode produced.
+	second := core.Request{From: 0x7F7F7F7F, Origin: 0x7F7F7F7F, Epoch: 0xFFFFFFFF}
+	b2, err := c.AppendEncode(b1[:0], second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &b1[0] != &b2[0] {
+		t.Fatal("test expects both encodes to share one backing array")
+	}
+
+	if got1 != first {
+		t.Fatalf("first frame corrupted by buffer reuse: %#v, want %#v", got1, first)
+	}
+	got2, err := c.Decode(b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2 != second {
+		t.Fatalf("second frame = %#v, want %#v", got2, second)
+	}
+}
+
+// TestCodecRejectsLegacyPrivilegeLength pins the frame-size bump that
+// came with the Requesting flag: the previous 13-byte PRIVILEGE layout
+// must be rejected, not silently mis-decoded.
+func TestCodecRejectsLegacyPrivilegeLength(t *testing.T) {
+	legacy := make([]byte, 13)
+	legacy[0] = 2 // wirePrivilege
+	if _, err := (DAGCodec{}).Decode(legacy); err == nil {
+		t.Fatal("Decode accepted a 13-byte pre-extension PRIVILEGE frame")
+	}
+}

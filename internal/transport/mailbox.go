@@ -17,10 +17,17 @@ import "sync"
 // because every protocol in this repository sends O(1) messages per
 // delivered event, so queues stay small in practice. The TCP layer reuses
 // it as the per-peer frame queue feeding each batched writer.
+//
+// Storage is a power-of-two ring: the steady state recycles the same
+// backing array instead of appending to an ever-sliding slice, so the
+// hot acquire→grant→release paths that flow through mailboxes allocate
+// nothing once the ring has grown to the workload's high-water mark.
 type mailbox[T any] struct {
 	mu     sync.Mutex
 	nonEmp *sync.Cond
-	queue  []T
+	ring   []T // len(ring) is a power of two once allocated
+	head   int // index of the oldest element
+	n      int // number of queued elements
 	closed bool
 }
 
@@ -39,9 +46,40 @@ func (m *mailbox[T]) put(v T) bool {
 	if m.closed {
 		return false
 	}
-	m.queue = append(m.queue, v)
+	if m.n == len(m.ring) {
+		m.grow()
+	}
+	m.ring[(m.head+m.n)&(len(m.ring)-1)] = v
+	m.n++
 	m.nonEmp.Signal()
 	return true
+}
+
+// grow doubles the ring (from a small floor), unwinding the wrap so the
+// queue occupies the front of the new array. Callers hold m.mu.
+func (m *mailbox[T]) grow() {
+	size := len(m.ring) * 2
+	if size == 0 {
+		size = 16
+	}
+	next := make([]T, size)
+	for i := 0; i < m.n; i++ {
+		next[i] = m.ring[(m.head+i)&(len(m.ring)-1)]
+	}
+	m.ring = next
+	m.head = 0
+}
+
+// pop removes and returns the oldest element, zeroing its slot so the
+// ring does not pin dead values for the GC. Callers hold m.mu and have
+// checked n > 0.
+func (m *mailbox[T]) pop() T {
+	var zero T
+	v := m.ring[m.head]
+	m.ring[m.head] = zero
+	m.head = (m.head + 1) & (len(m.ring) - 1)
+	m.n--
+	return v
 }
 
 // get dequeues the oldest element, blocking until one is available or the
@@ -49,16 +87,14 @@ func (m *mailbox[T]) put(v T) bool {
 func (m *mailbox[T]) get() (v T, ok bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for len(m.queue) == 0 && !m.closed {
+	for m.n == 0 && !m.closed {
 		m.nonEmp.Wait()
 	}
-	if len(m.queue) == 0 {
+	if m.n == 0 {
 		var zero T
 		return zero, false
 	}
-	v = m.queue[0]
-	m.queue = m.queue[1:]
-	return v, true
+	return m.pop(), true
 }
 
 // tryGet dequeues without blocking; ok is false when the queue is empty
@@ -66,13 +102,11 @@ func (m *mailbox[T]) get() (v T, ok bool) {
 func (m *mailbox[T]) tryGet() (v T, ok bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if len(m.queue) == 0 {
+	if m.n == 0 {
 		var zero T
 		return zero, false
 	}
-	v = m.queue[0]
-	m.queue = m.queue[1:]
-	return v, true
+	return m.pop(), true
 }
 
 // close wakes all waiters; elements already queued are still delivered.

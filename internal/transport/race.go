@@ -1,0 +1,10 @@
+//go:build race
+
+package transport
+
+// raceEnabled reports that this binary was built with the race
+// detector. The transport consults it in two places: the writev batch
+// path falls back to sequential writes (see peerConn.writev for why),
+// and the allocation-budget tests skip themselves, because race
+// instrumentation allocates on its own.
+const raceEnabled = true

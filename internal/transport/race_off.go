@@ -1,0 +1,7 @@
+//go:build !race
+
+package transport
+
+// raceEnabled reports that this binary was built with the race
+// detector; see race.go.
+const raceEnabled = false

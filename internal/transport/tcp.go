@@ -212,19 +212,48 @@ func (h *TCPHost) broadcastPeer(peer mutex.ID, down bool) {
 	}
 }
 
+// frame is one encoded wire frame on its way to a peer: the 12-byte
+// member header plus the codec payload, in a pooled buffer, tagged with
+// its destination so a handler turn's sends can be grouped per peer at
+// flush time. Send encodes into a recycled frame and whoever performs
+// the write returns it to the pool afterwards, so the steady-state send
+// path allocates nothing.
+type frame struct {
+	b  []byte
+	to mutex.ID
+}
+
+var framePool = sync.Pool{New: func() any { return new(frame) }}
+
+func putFrame(f *frame) { framePool.Put(f) }
+
+// newFrame builds one member wire frame for instance carrying m: size
+// header, instance tag, sender id, payload — encoded into a pooled
+// buffer via the codec's append path.
+func (h *TCPHost) newFrame(instance uint32, m mutex.Message) (*frame, error) {
+	f := framePool.Get().(*frame)
+	var hdr [12]byte
+	b := append(f.b[:0], hdr[:]...)
+	b, err := h.codec.AppendEncode(b, m)
+	f.b = b
+	if err != nil {
+		putFrame(f)
+		return nil, err
+	}
+	binary.BigEndian.PutUint32(b[0:4], uint32(len(b)-4))
+	binary.BigEndian.PutUint32(b[4:8], instance)
+	binary.BigEndian.PutUint32(b[8:12], uint32(h.id))
+	return f, nil
+}
+
 // sendControl frames a host-level control message (a heartbeat) for the
 // peer's batched writer.
 func (h *TCPHost) sendControl(to mutex.ID, m mutex.Message) error {
-	payload, err := h.codec.Encode(m)
+	f, err := h.newFrame(controlInstance, m)
 	if err != nil {
 		return fmt.Errorf("encode %s: %w", m.Kind(), err)
 	}
-	frame := make([]byte, 12+len(payload))
-	binary.BigEndian.PutUint32(frame[0:4], uint32(8+len(payload)))
-	binary.BigEndian.PutUint32(frame[4:8], controlInstance)
-	binary.BigEndian.PutUint32(frame[8:12], uint32(h.id))
-	copy(frame[12:], payload)
-	h.enqueue(to, frame)
+	h.enqueue(to, f)
 	return nil
 }
 
@@ -274,35 +303,35 @@ func (h *TCPHost) StartInstance(instance uint32, b mutex.Builder, cfg mutex.Conf
 		h.mu.Unlock()
 		return nil, fmt.Errorf("transport: instance %d already registered on host %d", instance, h.id)
 	}
-	h.links[instance] = link
-	early := h.pending[instance]
-	for _, e := range early {
-		link.inbox.put(e)
-	}
-	h.nPending -= len(early)
+	// Seed the link's pre-attach buffer with the frames that arrived
+	// before registration, before publishing it: with h.mu held, no
+	// reader can interleave a newer frame ahead of them.
+	link.pend = h.pending[instance]
+	h.nPending -= len(link.pend)
 	delete(h.pending, instance)
+	h.links[instance] = link
 	h.mu.Unlock()
 
 	n, err := runtime.Start(h.id, b, cfg, link, h.sink)
 	if err != nil {
-		// Salvage the inbox (the early frames plus anything routed since
-		// registration) back into pending, so a retried StartInstance
-		// still sees the peer's traffic in arrival order.
+		// Salvage the buffered envelopes (the early frames plus anything
+		// routed since registration) back into pending, so a retried
+		// StartInstance still sees the peer's traffic in arrival order.
 		h.mu.Lock()
 		delete(h.links, instance)
-		var salvage []runtime.Envelope
-		for {
-			e, ok := link.inbox.tryGet()
-			if !ok {
-				break
-			}
-			salvage = append(salvage, e)
-		}
+		link.dmu.Lock()
+		salvage := link.pend
+		link.pend = nil
+		link.dmu.Unlock()
 		h.pending[instance] = append(salvage, h.pending[instance]...)
 		h.nPending += len(salvage)
 		h.mu.Unlock()
 		return nil, err
 	}
+	// Drain the pre-attach backlog into the node, then switch the link to
+	// direct delivery: from here on the reader goroutines push envelopes
+	// straight into the node's handler, with no inbox hop in between.
+	link.attach(n)
 	h.mu.Lock()
 	if h.stopped {
 		// Close ran between registration and here; its node sweep missed
@@ -329,133 +358,431 @@ func (h *TCPHost) StartInstance(instance uint32, b mutex.Builder, cfg mutex.Conf
 	return n, nil
 }
 
-// tcpLink is one instance's attachment to the host.
+// tcpLink is one instance's attachment to the host. Inbound frames are
+// pushed straight into the node's handler from the reader goroutines
+// (runtime.Node.DeliverEnvelope) once attach has run; the inbox exists
+// only to park the runtime's pull-mode actor loop, which sees nothing
+// and exits when the link closes. Frames that arrive between
+// registration and attach wait in pend, so arrival order survives the
+// switch-over.
 type tcpLink struct {
 	host     *TCPHost
 	instance uint32
 	inbox    *mailbox[runtime.Envelope]
 	sent     atomic.Int64
+
+	node atomic.Pointer[runtime.Node] // set by attach; nil while starting
+	dmu  sync.Mutex                   // orders pre-attach buffering against the switch
+	pend []runtime.Envelope           // envelopes buffered before attach, guarded by dmu
+
+	// out collects the frames one handler turn sends; the runtime's
+	// end-of-turn Flush/FlushAsync ships them together — a release's
+	// PRIVILEGE and its pipelined re-REQUEST leave in one writev. spare
+	// recycles the batch's backing array so the turn cycle allocates
+	// nothing.
+	bmu   sync.Mutex
+	out   []*frame
+	spare []*frame
 }
 
-// Send frames the message and enqueues it on the batched writer for the
-// destination member. It never blocks on the network.
+// Send frames the message and parks it on the link's turn batch; the
+// runtime flushes the batch when the handler turn ends. It never blocks
+// on the network.
 func (l *tcpLink) Send(to mutex.ID, m mutex.Message) error {
-	payload, err := l.host.codec.Encode(m)
+	f, err := l.host.newFrame(l.instance, m)
 	if err != nil {
 		return fmt.Errorf("encode %s: %w", m.Kind(), err)
 	}
-	frame := make([]byte, 12+len(payload))
-	binary.BigEndian.PutUint32(frame[0:4], uint32(8+len(payload)))
-	binary.BigEndian.PutUint32(frame[4:8], l.instance)
-	binary.BigEndian.PutUint32(frame[8:12], uint32(l.host.id))
-	copy(frame[12:], payload)
-	if l.host.enqueue(to, frame) {
-		l.sent.Add(1)
-	}
+	f.to = to
+	l.bmu.Lock()
+	l.out = append(l.out, f)
+	l.bmu.Unlock()
 	return nil
 }
 
-// Recv blocks on the instance's inbox.
+// takeBatch claims the current turn batch, leaving a recycled (or
+// empty) one in its place. nil means the turn sent nothing.
+func (l *tcpLink) takeBatch() []*frame {
+	l.bmu.Lock()
+	if len(l.out) == 0 {
+		l.bmu.Unlock()
+		return nil
+	}
+	b := l.out
+	l.out = l.spare[:0]
+	l.spare = nil
+	l.bmu.Unlock()
+	return b
+}
+
+// recycle returns a drained batch's backing array for the next turn.
+func (l *tcpLink) recycle(b []*frame) {
+	l.bmu.Lock()
+	if l.spare == nil {
+		l.spare = b[:0]
+	}
+	l.bmu.Unlock()
+}
+
+// Flush ships the turn's batch from the calling goroutine: consecutive
+// frames to one peer leave as a single inline writev when that peer's
+// writer is idle — the hot handoff path (PRIVILEGE + pipelined
+// re-REQUEST to the successor) costs one syscall and no writer wakeup.
+// Busy or not-yet-dialed peers fall back to the batched writer. Only
+// application goroutines may Flush; it can block on the network.
+func (l *tcpLink) Flush() {
+	b := l.takeBatch()
+	if b == nil {
+		return
+	}
+	for i := 0; i < len(b); {
+		j := i + 1
+		for j < len(b) && b[j].to == b[i].to {
+			j++
+		}
+		l.sent.Add(int64(l.host.sendNow(b[i].to, b[i:j])))
+		i = j
+	}
+	for i := range b {
+		b[i] = nil
+	}
+	l.recycle(b)
+}
+
+// FlushAsync ships the turn's batch through the per-peer writer
+// goroutines without ever blocking the caller — the flush for delivery
+// context (transport readers, detector verdicts), where an inline write
+// could deadlock two nodes writing to each other.
+func (l *tcpLink) FlushAsync() {
+	b := l.takeBatch()
+	if b == nil {
+		return
+	}
+	for i, f := range b {
+		if l.host.enqueue(f.to, f) {
+			l.sent.Add(1)
+		}
+		b[i] = nil
+	}
+	l.recycle(b)
+}
+
+// Recv blocks on the instance's inbox. Direct delivery bypasses the
+// inbox, so in practice Recv only ever observes the close.
 func (l *tcpLink) Recv() (runtime.Envelope, bool) { return l.inbox.get() }
 
 // Close closes the instance's inbox; queued envelopes still drain.
 func (l *tcpLink) Close() { l.inbox.close() }
 
-// peerConn is the outgoing side of one peer link: an unbounded frame
-// queue drained by a single writer goroutine. conn is set (under the
-// host mutex) once the writer has dialed, so Close can sever it and
-// unblock a writer stuck in a full-send-buffer write.
-type peerConn struct {
-	q    *mailbox[[]byte]
-	conn net.Conn
+// deliver hands one inbound envelope to the instance: straight into the
+// node once attached (the allocation- and hop-free path), into the
+// pre-attach buffer before that. The node pointer is only stored after
+// the buffer drained, so a reader that observes it non-nil cannot
+// overtake a buffered envelope from its own connection.
+func (l *tcpLink) deliver(e runtime.Envelope) {
+	if n := l.node.Load(); n != nil {
+		n.DeliverEnvelope(e)
+		return
+	}
+	l.dmu.Lock()
+	if n := l.node.Load(); n != nil {
+		l.dmu.Unlock()
+		n.DeliverEnvelope(e)
+		return
+	}
+	l.pend = append(l.pend, e)
+	l.dmu.Unlock()
 }
 
-// enqueue hands the frame to the peer's writer, starting it on first
-// use. It reports whether the frame was accepted — a dead writer (dial
-// failed, write failed, host closing) closes its queue, so frames to it
-// are dropped instead of accumulating unsent forever.
-func (h *TCPHost) enqueue(to mutex.ID, frame []byte) bool {
-	if !h.inj.Load().Allow(h.id, to) {
-		return false // injected loss: dropped before the writer, so the link heals cleanly
+// attach drains the pre-attach backlog into n in arrival order, then
+// switches the link to direct delivery. Readers delivering concurrently
+// queue behind dmu and land after the backlog.
+func (l *tcpLink) attach(n *runtime.Node) {
+	l.dmu.Lock()
+	defer l.dmu.Unlock()
+	for _, e := range l.pend {
+		n.DeliverEnvelope(e)
 	}
+	l.pend = nil
+	l.node.Store(n)
+}
+
+// maxWriteBatch bounds how many queued frames one writev gathers; a
+// release's PRIVILEGE and the pipelined re-REQUEST behind it fit with
+// lots of room to spare, and a recovering peer draining a long backlog
+// still writes in bounded slabs.
+const maxWriteBatch = 64
+
+// peerConn is the outgoing side of one peer link: an unbounded ring of
+// pooled frames, a writer goroutine draining it in writev batches, and
+// a write turn (writing) that an idle-path sender can claim to writev
+// inline from its own goroutine instead of waking the writer. conn is
+// set once the writer has dialed, so Close can sever it and unblock
+// any write stuck against a full send buffer.
+type peerConn struct {
+	mu      sync.Mutex
+	wake    *sync.Cond // wakes the writer: frames queued, write turn free, closing
+	ring    []*frame   // power-of-two ring, mirrors mailbox
+	head, n int
+	closed  bool
+	writing bool     // a goroutine owns the connection's write side
+	conn    net.Conn // set by the writer after dialing
+
+	// bufArr backs the writev iovec list; owned by whoever holds the
+	// write turn. net.Buffers.WriteTo consumes the slice it is given,
+	// so each write rebuilds its list over this fixed array. bufs is
+	// the persistent slice header over it: WriteTo takes its address,
+	// and keeping it a field (rather than a local) stops that address
+	// from forcing a per-write heap allocation of the header.
+	bufArr [maxWriteBatch][]byte
+	bufs   net.Buffers
+}
+
+func newPeerConn() *peerConn {
+	pc := &peerConn{}
+	pc.wake = sync.NewCond(&pc.mu)
+	return pc
+}
+
+// push appends f to the ring. Callers hold pc.mu.
+func (pc *peerConn) push(f *frame) {
+	if pc.n == len(pc.ring) {
+		size := len(pc.ring) * 2
+		if size == 0 {
+			size = 16
+		}
+		next := make([]*frame, size)
+		for i := 0; i < pc.n; i++ {
+			next[i] = pc.ring[(pc.head+i)&(len(pc.ring)-1)]
+		}
+		pc.ring = next
+		pc.head = 0
+	}
+	pc.ring[(pc.head+pc.n)&(len(pc.ring)-1)] = f
+	pc.n++
+}
+
+// pop removes and returns the oldest frame. Callers hold pc.mu and have
+// checked n > 0.
+func (pc *peerConn) pop() *frame {
+	f := pc.ring[pc.head]
+	pc.ring[pc.head] = nil
+	pc.head = (pc.head + 1) & (len(pc.ring) - 1)
+	pc.n--
+	return f
+}
+
+// shutdown marks the peer link dead — senders drop instead of queueing
+// unsent frames forever — and recycles whatever was still queued.
+func (pc *peerConn) shutdown() {
+	pc.mu.Lock()
+	pc.closed = true
+	for pc.n > 0 {
+		putFrame(pc.pop())
+	}
+	pc.wake.Broadcast()
+	pc.mu.Unlock()
+}
+
+// writev gathers fs into one vectored write and returns the frames to
+// the pool. The caller holds the connection's write turn.
+func (pc *peerConn) writev(conn net.Conn, fs []*frame) error {
+	var err error
+	if raceEnabled {
+		// net.Buffers.WriteTo bottoms out in the writev syscall, which
+		// lacks the race-detector release annotation that syscall.Write
+		// performs on its ioSync point — batched writes would sever the
+		// detector-visible happens-before edge between a token handoff's
+		// sender and receiver, and correctly-lock-protected application
+		// data would be flagged. Race builds write sequentially to keep
+		// the annotation; only they pay the extra syscalls.
+		for _, f := range fs {
+			if _, werr := conn.Write(f.b); werr != nil {
+				err = werr
+				break
+			}
+		}
+	} else {
+		pc.bufs = pc.bufArr[:0]
+		for _, f := range fs {
+			pc.bufs = append(pc.bufs, f.b)
+		}
+		_, err = pc.bufs.WriteTo(conn)
+	}
+	for _, f := range fs {
+		putFrame(f)
+	}
+	return err
+}
+
+// peer returns the peerConn for to, creating it (and starting its
+// writer) on first use. nil once the host is stopping.
+func (h *TCPHost) peer(to mutex.ID) *peerConn {
 	// Read-locked fast path: peers is append-only until Close, and the
 	// send hot path must not serialize against concurrent receives.
 	h.mu.RLock()
 	pc, ok := h.peers[to]
 	h.mu.RUnlock()
-	if !ok {
-		h.mu.Lock()
-		pc, ok = h.peers[to]
-		if !ok {
-			if h.stopped {
-				h.mu.Unlock()
-				return false
-			}
-			pc = &peerConn{q: newMailbox[[]byte]()}
-			h.peers[to] = pc
-			h.wg.Add(1)
-			go func() {
-				defer h.wg.Done()
-				h.writeLoop(to, pc)
-			}()
-		}
-		h.mu.Unlock()
+	if ok {
+		return pc
 	}
-	if !pc.q.put(frame) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if pc, ok := h.peers[to]; ok {
+		return pc
+	}
+	if h.stopped {
+		return nil
+	}
+	pc = newPeerConn()
+	h.peers[to] = pc
+	h.wg.Add(1)
+	go func() {
+		defer h.wg.Done()
+		h.writeLoop(to, pc)
+	}()
+	return pc
+}
+
+// enqueue hands the frame to the peer's writer, starting it on first
+// use. It reports whether the frame was accepted — a dead writer (dial
+// failed, write failed, host closing) is marked closed, so frames to it
+// are dropped instead of accumulating unsent forever. Rejected frames
+// go back to the pool here; accepted ones are returned after writing.
+func (h *TCPHost) enqueue(to mutex.ID, f *frame) bool {
+	if !h.inj.Load().Allow(h.id, to) {
+		putFrame(f)
+		return false // injected loss: dropped before the writer, so the link heals cleanly
+	}
+	pc := h.peer(to)
+	if pc == nil {
+		putFrame(f)
 		return false
 	}
+	pc.mu.Lock()
+	if pc.closed {
+		pc.mu.Unlock()
+		putFrame(f)
+		return false
+	}
+	pc.push(f)
+	pc.wake.Signal()
+	pc.mu.Unlock()
 	h.sent.Add(1)
 	return true
 }
 
-// writeLoop dials the peer, then drains the frame queue through a
-// buffered writer: while frames keep coming it only writes, and the
-// moment the queue runs dry it flushes before blocking — batching bursts
-// without adding latency to a lone message.
+// sendNow ships fs (a handler turn's consecutive frames to one peer)
+// from the calling goroutine: when the peer's connection is up, its
+// queue empty and its write turn free, the whole batch leaves as one
+// inline writev — no writer wakeup on the hot handoff path. Otherwise
+// the frames fall back to the writer queue, preserving per-peer FIFO
+// order. It returns how many frames were accepted (written or queued).
+func (h *TCPHost) sendNow(to mutex.ID, fs []*frame) int {
+	if !h.inj.Load().Allow(h.id, to) {
+		for _, f := range fs {
+			putFrame(f)
+		}
+		return 0
+	}
+	pc := h.peer(to)
+	if pc == nil {
+		for _, f := range fs {
+			putFrame(f)
+		}
+		return 0
+	}
+	pc.mu.Lock()
+	if pc.closed {
+		pc.mu.Unlock()
+		for _, f := range fs {
+			putFrame(f)
+		}
+		return 0
+	}
+	if pc.conn == nil || pc.writing || pc.n > 0 {
+		for _, f := range fs {
+			pc.push(f)
+		}
+		pc.wake.Signal()
+		pc.mu.Unlock()
+		h.sent.Add(int64(len(fs)))
+		return len(fs)
+	}
+	pc.writing = true
+	conn := pc.conn
+	pc.mu.Unlock()
+	h.sent.Add(int64(len(fs)))
+	err := pc.writev(conn, fs)
+	pc.mu.Lock()
+	pc.writing = false
+	if pc.n > 0 || pc.closed {
+		pc.wake.Signal() // frames queued behind the inline write: the writer's turn
+	}
+	pc.mu.Unlock()
+	if err != nil {
+		pc.shutdown()
+		h.peerFault(to, fmt.Errorf("write to node %d: %w", to, err))
+	}
+	return len(fs)
+}
+
+// writeLoop dials the peer, then drains the frame queue in writev
+// batches: whatever frames have accumulated while the previous batch was
+// being written — a REQUEST and the PRIVILEGE chasing it, a release and
+// its pipelined re-request — leave in a single gathered syscall, and the
+// moment the queue runs dry the writer blocks without buffering, so a
+// lone message never waits on a flush timer. Written frames return to
+// the pool, keeping the steady-state send path allocation-free. In the
+// steady state the writer mostly sleeps: handler turns flushed from
+// application goroutines writev inline, and the writer covers dialing,
+// delivery-context sends and overflow behind a busy connection.
 func (h *TCPHost) writeLoop(to mutex.ID, pc *peerConn) {
-	defer pc.q.close() // a dead writer must not keep accepting frames
 	conn, err := h.dial(to)
 	if err != nil {
+		pc.shutdown()
 		h.peerFault(to, fmt.Errorf("connect to node %d: %w", to, err))
 		return
 	}
-	h.mu.Lock()
-	if h.stopped {
-		h.mu.Unlock()
+	pc.mu.Lock()
+	if pc.closed {
+		pc.mu.Unlock()
 		_ = conn.Close()
 		return
 	}
 	pc.conn = conn
-	h.mu.Unlock()
+	pc.mu.Unlock()
 	defer func() { _ = conn.Close() }()
-	bw := bufio.NewWriter(conn)
-	write := func(f []byte) bool {
-		if _, err := bw.Write(f); err != nil {
-			h.peerFault(to, fmt.Errorf("write to node %d: %w", to, err))
-			return false
-		}
-		return true
-	}
+	var batch [maxWriteBatch]*frame
 	for {
-		f, ok := pc.q.get()
-		if !ok {
-			_ = bw.Flush()
+		pc.mu.Lock()
+		for (pc.n == 0 || pc.writing) && !pc.closed {
+			pc.wake.Wait()
+		}
+		if pc.closed {
+			for pc.n > 0 {
+				putFrame(pc.pop())
+			}
+			pc.mu.Unlock()
 			return
 		}
-		if !write(f) {
-			return
+		n := 0
+		for n < maxWriteBatch && pc.n > 0 {
+			batch[n] = pc.pop()
+			n++
 		}
-		for {
-			f, ok := pc.q.tryGet()
-			if !ok {
-				break
-			}
-			if !write(f) {
-				return
-			}
+		pc.writing = true
+		pc.mu.Unlock()
+		err := pc.writev(conn, batch[:n])
+		for i := range batch[:n] {
+			batch[i] = nil
 		}
-		if err := bw.Flush(); err != nil {
-			h.peerFault(to, fmt.Errorf("flush to node %d: %w", to, err))
+		pc.mu.Lock()
+		pc.writing = false
+		pc.mu.Unlock()
+		if err != nil {
+			pc.shutdown()
+			h.peerFault(to, fmt.Errorf("write to node %d: %w", to, err))
 			return
 		}
 	}
@@ -525,14 +852,15 @@ func (h *TCPHost) acceptLoop() {
 // exceeds any valid size). Members continue into readLoop; clients are
 // served by the client-protocol demux if a backend is registered.
 func (h *TCPHost) dispatch(conn net.Conn) {
+	br := bufio.NewReaderSize(conn, 32<<10)
 	var first [4]byte
-	if _, err := io.ReadFull(conn, first[:]); err != nil {
+	if _, err := io.ReadFull(br, first[:]); err != nil {
 		_ = conn.Close()
 		return
 	}
 	if string(first[:]) == ClientMagic {
 		var ver [4]byte
-		if _, err := io.ReadFull(conn, ver[:]); err != nil {
+		if _, err := io.ReadFull(br, ver[:]); err != nil {
 			_ = conn.Close()
 			return
 		}
@@ -541,28 +869,33 @@ func (h *TCPHost) dispatch(conn net.Conn) {
 			_ = conn.Close()
 			return
 		}
-		ServeClientConn(conn, box.b, h.stop)
+		serveClientConn(br, conn, box.b, h.stop)
 		return
 	}
-	h.readLoop(conn, first)
+	h.readLoop(conn, br, first)
 }
 
-// readLoop parses frames and routes them to the tagged instance's inbox.
-// Each inbound connection carries exactly one peer's frames (the peer's
-// writer dialed it), so once the first frame names the sender, a broken
-// connection is attributable: with failure detection enabled, a reset or
-// EOF is that peer's death evidence rather than a cluster-fatal error.
-// Frame and codec violations stay fail-fast regardless — they mean a
-// corrupted stream, not a dead peer.
-func (h *TCPHost) readLoop(conn net.Conn, first [4]byte) {
+// readLoop parses frames and delivers them to the tagged instance. The
+// reader is buffered, so a burst of small frames (a PRIVILEGE with the
+// pipelined re-REQUEST behind it) costs one read syscall, and the frame
+// body lands in a per-connection scratch buffer the codec decodes out
+// of — the steady-state receive path allocates only the decoded
+// message. Each inbound connection carries exactly one peer's frames
+// (the peer's writer dialed it), so once the first frame names the
+// sender, a broken connection is attributable: with failure detection
+// enabled, a reset or EOF is that peer's death evidence rather than a
+// cluster-fatal error. Frame and codec violations stay fail-fast
+// regardless — they mean a corrupted stream, not a dead peer.
+func (h *TCPHost) readLoop(conn net.Conn, br *bufio.Reader, first [4]byte) {
 	defer func() { _ = conn.Close() }()
 	peer := mutex.Nil
-	header := make([]byte, 4)
-	copy(header, first[:])
+	var header [4]byte
+	header = first
+	body := make([]byte, 64)
 	pending := true // the dispatch peek already read the first header
 	for {
 		if !pending {
-			if _, err := io.ReadFull(conn, header); err != nil {
+			if _, err := io.ReadFull(br, header[:]); err != nil {
 				switch {
 				case errors.Is(err, io.EOF), isClosedErr(err):
 					h.peerFault(peer, nil)
@@ -573,13 +906,16 @@ func (h *TCPHost) readLoop(conn net.Conn, first [4]byte) {
 			}
 		}
 		pending = false
-		size := binary.BigEndian.Uint32(header)
+		size := binary.BigEndian.Uint32(header[:])
 		if size < 8 || size > maxFrame {
 			h.fail(fmt.Errorf("bad frame size %d", size))
 			return
 		}
-		body := make([]byte, size)
-		if _, err := io.ReadFull(conn, body); err != nil {
+		if int(size) > cap(body) {
+			body = make([]byte, size)
+		}
+		body = body[:size]
+		if _, err := io.ReadFull(br, body); err != nil {
 			if !isClosedErr(err) {
 				h.peerFault(peer, fmt.Errorf("read frame: %w", err))
 			}
@@ -609,29 +945,33 @@ func (h *TCPHost) readLoop(conn net.Conn, first [4]byte) {
 	}
 }
 
-// route delivers e to the instance's inbox, buffering it if the instance
-// has not been registered yet. The registered case takes only the read
-// lock, so inbound delivery does not serialize against sends.
+// route delivers e to the instance's link — pushed straight into the
+// node's handler once the instance is attached — buffering it if the
+// instance has not been registered yet. The registered case takes only
+// the read lock, and delivery itself runs outside the host mutex (the
+// handler may send, and sends take the host mutex).
 func (h *TCPHost) route(instance uint32, e runtime.Envelope) bool {
 	h.mu.RLock()
 	link, ok := h.links[instance]
 	h.mu.RUnlock()
 	if ok {
-		link.inbox.put(e)
+		link.deliver(e)
 		return true
 	}
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	if link, ok := h.links[instance]; ok {
-		link.inbox.put(e)
+		h.mu.Unlock()
+		link.deliver(e)
 		return true
 	}
 	if h.nPending >= maxPending {
+		h.mu.Unlock()
 		h.fail(fmt.Errorf("over %d frames buffered for unregistered instance %d", maxPending, instance))
 		return false
 	}
 	h.pending[instance] = append(h.pending[instance], e)
 	h.nPending++
+	h.mu.Unlock()
 	return true
 }
 
@@ -669,19 +1009,17 @@ func (h *TCPHost) Close() {
 		h.stopped = true
 		peers := h.peers
 		h.mu.Unlock()
-		// Idle writers wake on the queue close, flush and hang up; a
-		// writer stuck mid-write (peer stopped reading) is unblocked by
+		// Idle writers wake on the shutdown broadcast and hang up; a
+		// write stuck mid-writev (peer stopped reading) is unblocked by
 		// the connection close.
 		for _, pc := range peers {
-			pc.q.close()
-		}
-		h.mu.Lock()
-		for _, pc := range peers {
+			pc.shutdown()
+			pc.mu.Lock()
 			if pc.conn != nil {
 				_ = pc.conn.Close()
 			}
+			pc.mu.Unlock()
 		}
-		h.mu.Unlock()
 		_ = h.ln.Close()
 		// Inbound connections must be closed too: their far ends belong
 		// to peers that may outlive (or never close) this host, and the

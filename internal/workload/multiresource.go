@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -138,6 +139,33 @@ func (r MultiResourceResult) Throughput() float64 {
 	return float64(r.Ops) / r.Elapsed.Seconds()
 }
 
+// Dwell holds the calling goroutine inside the critical section for d,
+// as precisely as the platform allows. time.Sleep rounds short sleeps up
+// to the kernel timer tick — on coarse-tick hosts a 100µs sleep takes
+// over a millisecond — which would make every sub-millisecond hold
+// sleep-bound and mask the very lock path the benchmarks measure. The
+// dwell models a holder doing real protected work, so spending the
+// holder's own time is exactly the model: dwells at or below dwellSpin
+// yield-spin on the monotonic clock, and longer dwells sleep for the
+// bulk and spin only the final stretch.
+func Dwell(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	deadline := time.Now().Add(d)
+	if d > dwellSpin {
+		time.Sleep(d - dwellSpin)
+	}
+	for time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+}
+
+// dwellSpin bounds how much of a dwell is spent yield-spinning rather
+// than sleeping: generous enough to absorb a coarse kernel tick, small
+// enough that long lease-churn overholds still mostly sleep.
+const dwellSpin = 2 * time.Millisecond
+
 // Run drives l until every worker finishes its ops or one fails; the
 // first error cancels the remaining workers at their next acquire.
 func (w MultiResource) Run(ctx context.Context, l Locker) (MultiResourceResult, error) {
@@ -188,9 +216,7 @@ func (w MultiResource) Run(ctx context.Context, l Locker) (MultiResourceResult, 
 				if w.OverholdEvery > 0 && w.Overhold > 0 && (op+1)%w.OverholdEvery == 0 {
 					dwell = w.Overhold
 				}
-				if dwell > 0 {
-					time.Sleep(dwell)
-				}
+				Dwell(dwell)
 				if err := worker.ReleaseHold(hold); err != nil {
 					if errors.Is(err, lockservice.ErrLeaseExpired) {
 						// The service reclaimed the hold mid-dwell: the

@@ -177,3 +177,29 @@ func TestMultiResourceHoldSlowsRun(t *testing.T) {
 		t.Fatalf("elapsed = %v, want >= 10ms of hold time", res.Elapsed)
 	}
 }
+
+// TestDwellPrecision pins the property the benchmarks depend on: a
+// sub-millisecond dwell takes about that long, not a kernel timer tick.
+// On coarse-tick hosts time.Sleep(100µs) takes over a millisecond, which
+// would make every benchmark hold sleep-bound; Dwell must not regress to
+// that. Best-of-three absorbs scheduler hiccups on loaded CI machines.
+func TestDwellPrecision(t *testing.T) {
+	Dwell(0)  // must return immediately
+	Dwell(-1) // negative means no hold
+	for _, d := range []time.Duration{100 * time.Microsecond, 3 * time.Millisecond} {
+		best := time.Duration(1 << 62)
+		for attempt := 0; attempt < 3; attempt++ {
+			start := time.Now()
+			Dwell(d)
+			if got := time.Since(start); got < best {
+				best = got
+			}
+		}
+		if best < d {
+			t.Errorf("Dwell(%v) returned after %v: too early", d, best)
+		}
+		if best > d+time.Millisecond {
+			t.Errorf("Dwell(%v) took %v even on its best of three runs: tick-bound", d, best)
+		}
+	}
+}
