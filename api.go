@@ -89,7 +89,12 @@ func Open(tree *Tree, holder ID, opts ...Option) (*Cluster, error) {
 
 	var backend clusterBackend
 	if o.transport.tcp {
-		backend, err = transport.NewTCPClusterWith(builder, cfg, transport.DAGCodec{}, o.fcfg, o.inj)
+		var tc *transport.TCPCluster
+		tc, err = transport.NewTCPClusterWith(builder, cfg, transport.DAGCodec{}, o.fcfg, o.inj)
+		if err == nil && o.queue != nil {
+			tc.SetClientQueue(*o.queue)
+		}
+		backend = tc
 	} else {
 		var lopts []transport.LocalOption
 		if o.inj != nil {
@@ -255,6 +260,9 @@ func OpenPeer(tree *Tree, holder ID, id ID, opts ...Option) (*Peer, error) {
 	if o.fcfg != nil {
 		p.Host().EnableFailureDetection(*o.fcfg, tree.IDs())
 	}
+	if o.queue != nil {
+		p.Host().SetClientQueue(*o.queue)
+	}
 	return p, nil
 }
 
@@ -313,7 +321,11 @@ func OpenLockService(cfg LockServiceConfig, opts ...Option) (*LockService, error
 		tr.Close()
 		return nil, err
 	}
-	if err := svc.ServeClients(member); err != nil {
+	var q transport.ClientQueue
+	if o.queue != nil {
+		q = *o.queue
+	}
+	if err := svc.ServeClientsWith(member, q); err != nil {
 		svc.Close()
 		return nil, err
 	}

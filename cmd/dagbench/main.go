@@ -77,8 +77,16 @@ func main() {
 	flag.DurationVar(&lo.hold, "hold", 200*time.Microsecond, "lock/lease: critical-section hold time")
 	flag.DurationVar(&lo.lease, "lease", 0, "hold lease; 0 keeps the service default for lock and 40ms for lease")
 	flag.IntVar(&lo.overholdEvery, "overhold-every", 4, "lease: every Nth cycle overholds past the lease (stuck-client churn)")
-	clients := flag.Int("clients", 16,
-		"clients: dialed non-member connections driving the load (vs -nodes DAG members)")
+	var cl clientsOptions
+	flag.StringVar(&cl.list, "clients", "16",
+		"clients: comma-separated dialed-connection counts to sweep (k suffix allowed: 64,256,1k,10k)")
+	flag.IntVar(&cl.ops, "client-ops", 10, "clients: acquire/release cycles per dialed client")
+	flag.IntVar(&cl.resources, "client-resources", 1, "clients: distinct resource keys (1 = single hot key, the coalescing configuration)")
+	flag.StringVar(&cl.modes, "client-modes", "direct,gateway", "clients: comma-separated access paths to sweep (direct, gateway)")
+	flag.IntVar(&cl.maxConns, "client-conns", 4000,
+		"clients: cap on real connections; clients beyond the cap share connections (keeps a 10k sweep inside the fd budget)")
+	flag.Float64Var(&cl.rate, "admit-rate", 0, "clients: admitted requests/second across all connections (0 = unlimited)")
+	flag.IntVar(&cl.burst, "admit-burst", 0, "clients: admission burst size (0 = one second of rate)")
 	var co chaosOptions
 	flag.IntVar(&co.nodes, "chaos-nodes", 5, "chaos: cluster size")
 	flag.IntVar(&co.kills, "chaos-kills", 2, "chaos: seeded kills of the active holder (must leave a majority)")
@@ -105,7 +113,7 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	err := run(os.Stdout, *exp, *csv, *jsonOut, *gen, *seed, lo, co, *clients)
+	err := run(os.Stdout, *exp, *csv, *jsonOut, *gen, *seed, lo, co, cl)
 	if *cpuprofile != "" {
 		pprof.StopCPUProfile() // flush before any exit below; the deferred stop is then a no-op
 	}
@@ -143,7 +151,7 @@ type runMeta struct {
 	NumCPU     int    `json:"ncpu"`
 }
 
-func run(w io.Writer, exp string, csv, jsonOut bool, gen string, seed int64, lo lockOptions, co chaosOptions, clients int) error {
+func run(w io.Writer, exp string, csv, jsonOut bool, gen string, seed int64, lo lockOptions, co chaosOptions, cl clientsOptions) error {
 	// JSON is one array, so tables accumulate and emit at the end; the
 	// table/CSV modes stream each experiment as it completes.
 	var tables []*harness.Table
@@ -212,7 +220,7 @@ func run(w io.Writer, exp string, csv, jsonOut bool, gen string, seed int64, lo 
 		}},
 		{"lock", true, func() (*harness.Table, error) { return lockTable(lo, seed) }},
 		{"lease", true, func() (*harness.Table, error) { return leaseTable(lo, seed) }},
-		{"clients", true, func() (*harness.Table, error) { return clientsTable(lo, clients, seed) }},
+		{"clients", true, func() (*harness.Table, error) { return clientsTable(lo, cl, seed) }},
 		{"chaos", true, func() (*harness.Table, error) { return chaosTable(co, seed) }},
 	}
 

@@ -22,6 +22,17 @@ func tinyLock() lockOptions {
 	}
 }
 
+// tinyClients keeps the dialed-clients sweep small enough for unit tests.
+func tinyClients() clientsOptions {
+	return clientsOptions{
+		list:      "6",
+		ops:       6,
+		resources: 2,
+		modes:     "direct,gateway",
+		maxConns:  16,
+	}
+}
+
 // tinyChaos keeps the chaos benchmark small enough for unit tests.
 func tinyChaos() chaosOptions {
 	return chaosOptions{
@@ -36,7 +47,7 @@ func tinyChaos() chaosOptions {
 
 func TestRunSingleExperiment(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "6.3", false, false, "", 1, tinyLock(), tinyChaos(), 8); err != nil {
+	if err := run(&b, "6.3", false, false, "", 1, tinyLock(), tinyChaos(), tinyClients()); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -49,7 +60,7 @@ func TestRunSingleExperiment(t *testing.T) {
 
 func TestRunCSVOutput(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "6.3", true, false, "", 1, tinyLock(), tinyChaos(), 8); err != nil {
+	if err := run(&b, "6.3", true, false, "", 1, tinyLock(), tinyChaos(), tinyClients()); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -63,14 +74,14 @@ func TestRunCSVOutput(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "99", false, false, "", 1, tinyLock(), tinyChaos(), 8); err == nil {
+	if err := run(&b, "99", false, false, "", 1, tinyLock(), tinyChaos(), tinyClients()); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
 
 func TestRunTopoExperiment(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "topo", false, false, "", 1, tinyLock(), tinyChaos(), 8); err != nil {
+	if err := run(&b, "topo", false, false, "", 1, tinyLock(), tinyChaos(), tinyClients()); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "radiating-star") {
@@ -80,7 +91,7 @@ func TestRunTopoExperiment(t *testing.T) {
 
 func TestRunLockExperiment(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "lock", false, false, "", 1, tinyLock(), tinyChaos(), 8); err != nil {
+	if err := run(&b, "lock", false, false, "", 1, tinyLock(), tinyChaos(), tinyClients()); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -93,7 +104,7 @@ func TestRunLockExperiment(t *testing.T) {
 
 func TestRunLockExperimentCSV(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "lock", true, false, "", 1, tinyLock(), tinyChaos(), 8); err != nil {
+	if err := run(&b, "lock", true, false, "", 1, tinyLock(), tinyChaos(), tinyClients()); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -103,24 +114,99 @@ func TestRunLockExperimentCSV(t *testing.T) {
 }
 
 func TestRunClientsExperiment(t *testing.T) {
-	lo := tinyLock()
-	lo.shards = "2"
 	var b strings.Builder
-	if err := run(&b, "clients", false, false, "", 1, lo, tinyChaos(), 8); err != nil {
+	if err := run(&b, "clients", false, true, "", 1, tinyLock(), tinyChaos(), tinyClients()); err != nil {
 		t.Fatal(err)
 	}
-	out := b.String()
-	for _, want := range []string{"EXP-clients", "members", "clients", "vs-members", "1.00x"} {
-		if !strings.Contains(out, want) {
-			t.Fatalf("clients output missing %q:\n%s", want, out)
+	var tables []struct {
+		ID      string     `json:"id"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &tables); err != nil {
+		t.Fatalf("clients -json output invalid: %v\n%s", err, b.String())
+	}
+	if len(tables) != 1 || tables[0].ID != "EXP-clients" {
+		t.Fatalf("unexpected tables: %+v", tables)
+	}
+	wantCols := "mode,clients,grants,msgs/grant,shed,allocs/op,ops/sec~,wait-p99-ms"
+	if got := strings.Join(tables[0].Columns, ","); got != wantCols {
+		t.Fatalf("clients columns = %s, want %s", got, wantCols)
+	}
+	seen := map[string]int{}
+	for _, row := range tables[0].Rows {
+		seen[row[0]]++
+	}
+	if seen["direct"] != 1 || seen["gateway"] != 1 {
+		t.Fatalf("mode sweep rows = %v, want one direct + one gateway", seen)
+	}
+}
+
+// TestRunClientsShedsOverRate: with a starved admission budget, the
+// sweep still completes (a shed op is dropped after a short backoff and
+// the client offers its next one) and the table reports the shed count.
+func TestRunClientsShedsOverRate(t *testing.T) {
+	cl := tinyClients()
+	cl.modes = "direct"
+	cl.rate = 200
+	cl.burst = 1
+	var b strings.Builder
+	if err := run(&b, "clients", false, true, "", 1, tinyLock(), tinyChaos(), cl); err != nil {
+		t.Fatal(err)
+	}
+	var tables []struct {
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &tables); err != nil {
+		t.Fatalf("clients -json output invalid: %v\n%s", err, b.String())
+	}
+	shedCol := -1
+	for i, c := range tables[0].Columns {
+		if c == "shed" {
+			shedCol = i
 		}
+	}
+	if shedCol < 0 {
+		t.Fatalf("clients table missing shed column: %v", tables[0].Columns)
+	}
+	if tables[0].Rows[0][shedCol] == "0" {
+		t.Fatalf("no acquires shed under a starved admission budget: %v", tables[0].Rows[0])
 	}
 }
 
 func TestRunClientsRejectsBadCount(t *testing.T) {
+	cl := tinyClients()
+	cl.list = "0"
 	var b strings.Builder
-	if err := run(&b, "clients", false, false, "", 1, tinyLock(), tinyChaos(), 0); err == nil {
+	if err := run(&b, "clients", false, false, "", 1, tinyLock(), tinyChaos(), cl); err == nil {
 		t.Fatal("clients=0 accepted")
+	}
+	cl.list = "16"
+	cl.modes = "proxy"
+	if err := run(&b, "clients", false, false, "", 1, tinyLock(), tinyChaos(), cl); err == nil {
+		t.Fatal("bad client mode accepted")
+	}
+}
+
+func TestParseClientList(t *testing.T) {
+	got, err := parseClientList(" 64, 256,1k ,10K")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{64, 256, 1000, 10000}
+	if len(got) != len(want) {
+		t.Fatalf("parseClientList = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parseClientList = %v, want %v", got, want)
+		}
+	}
+	for _, bad := range []string{"", "-3", "k", "1m"} {
+		if _, err := parseClientList(bad); err == nil {
+			t.Fatalf("parseClientList(%q) accepted", bad)
+		}
 	}
 }
 
@@ -128,11 +214,11 @@ func TestRunLockRejectsBadShardList(t *testing.T) {
 	lo := tinyLock()
 	lo.shards = "1,zero"
 	var b strings.Builder
-	if err := run(&b, "lock", false, false, "", 1, lo, tinyChaos(), 8); err == nil {
+	if err := run(&b, "lock", false, false, "", 1, lo, tinyChaos(), tinyClients()); err == nil {
 		t.Fatal("bad shard list accepted")
 	}
 	lo.shards = ""
-	if err := run(&b, "lock", false, false, "", 1, lo, tinyChaos(), 8); err == nil {
+	if err := run(&b, "lock", false, false, "", 1, lo, tinyChaos(), tinyClients()); err == nil {
 		t.Fatal("empty shard list accepted")
 	}
 }
@@ -194,7 +280,7 @@ func TestLockThroughputScalesWithShards(t *testing.T) {
 
 func TestRunJSONOutput(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "6.3", false, true, "", 1, tinyLock(), tinyChaos(), 8); err != nil {
+	if err := run(&b, "6.3", false, true, "", 1, tinyLock(), tinyChaos(), tinyClients()); err != nil {
 		t.Fatal(err)
 	}
 	var tables []struct {
@@ -219,7 +305,7 @@ func TestRunJSONOutput(t *testing.T) {
 // substrates.
 func TestRunLockExperimentJSONSweepsBothTransports(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "lock", false, true, "", 1, tinyLock(), tinyChaos(), 8); err != nil {
+	if err := run(&b, "lock", false, true, "", 1, tinyLock(), tinyChaos(), tinyClients()); err != nil {
 		t.Fatal(err)
 	}
 	var tables []struct {
@@ -245,11 +331,11 @@ func TestRunLockRejectsBadTransportList(t *testing.T) {
 	lo := tinyLock()
 	lo.transports = "local,udp"
 	var b strings.Builder
-	if err := run(&b, "lock", false, false, "", 1, lo, tinyChaos(), 8); err == nil {
+	if err := run(&b, "lock", false, false, "", 1, lo, tinyChaos(), tinyClients()); err == nil {
 		t.Fatal("bad transport list accepted")
 	}
 	lo.transports = ""
-	if err := run(&b, "lock", false, false, "", 1, lo, tinyChaos(), 8); err == nil {
+	if err := run(&b, "lock", false, false, "", 1, lo, tinyChaos(), tinyClients()); err == nil {
 		t.Fatal("empty transport list accepted")
 	}
 }
@@ -258,7 +344,7 @@ func TestRunLockRejectsBadTransportList(t *testing.T) {
 // experiment, in registry order.
 func TestRunExpCommaList(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "6.3, 6.4", false, false, "", 1, tinyLock(), tinyChaos(), 8); err != nil {
+	if err := run(&b, "6.3, 6.4", false, false, "", 1, tinyLock(), tinyChaos(), tinyClients()); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -273,7 +359,7 @@ func TestRunExpCommaList(t *testing.T) {
 // a clear one-line error before anything executes.
 func TestRunRejectsUnknownExpInList(t *testing.T) {
 	var b strings.Builder
-	err := run(&b, "6.3,bogus", false, false, "", 1, tinyLock(), tinyChaos(), 8)
+	err := run(&b, "6.3,bogus", false, false, "", 1, tinyLock(), tinyChaos(), tinyClients())
 	if err == nil {
 		t.Fatal("unknown experiment in list accepted")
 	}
@@ -291,7 +377,7 @@ func TestRunRejectsUnknownExpInList(t *testing.T) {
 func TestRunRejectsEmptyExpList(t *testing.T) {
 	var b strings.Builder
 	for _, exp := range []string{"", " , "} {
-		if err := run(&b, exp, false, false, "", 1, tinyLock(), tinyChaos(), 8); err == nil {
+		if err := run(&b, exp, false, false, "", 1, tinyLock(), tinyChaos(), tinyClients()); err == nil {
 			t.Fatalf("empty -exp %q accepted", exp)
 		}
 	}
@@ -309,7 +395,7 @@ func TestRunLeaseExperiment(t *testing.T) {
 	lo.lease = 30 * time.Millisecond
 	lo.overholdEvery = 2
 	var b strings.Builder
-	if err := run(&b, "lease", false, true, "", 1, lo, tinyChaos(), 8); err != nil {
+	if err := run(&b, "lease", false, true, "", 1, lo, tinyChaos(), tinyClients()); err != nil {
 		t.Fatal(err)
 	}
 	var tables []struct {
@@ -370,7 +456,7 @@ func TestRunChaosExperiment(t *testing.T) {
 		t.Skip("live wall-clock chaos benchmark; skipped in -short mode")
 	}
 	var b strings.Builder
-	if err := run(&b, "chaos", false, true, "", 1, tinyLock(), tinyChaos(), 8); err != nil {
+	if err := run(&b, "chaos", false, true, "", 1, tinyLock(), tinyChaos(), tinyClients()); err != nil {
 		t.Fatal(err)
 	}
 	var tables []struct {
@@ -418,7 +504,7 @@ func TestChaosRejectsQuorumLoss(t *testing.T) {
 // benchmarks/*.json records which machine produced its numbers.
 func TestRunJSONGenWrapsMeta(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "6.3", false, true, "PR-test", 1, tinyLock(), tinyChaos(), 8); err != nil {
+	if err := run(&b, "6.3", false, true, "PR-test", 1, tinyLock(), tinyChaos(), tinyClients()); err != nil {
 		t.Fatal(err)
 	}
 	var doc struct {

@@ -174,13 +174,34 @@
 //	if err := s.Release(); err != nil { ... }
 //
 // and DialLockService gives the same split for the lock service. The
-// member queues its clients (bounded per connection, shedding with
-// ErrClientBusy), propagates context cancellation into the queue (a
+// member admits its clients under configurable bounds — a
+// per-connection in-flight depth and an optional listener-wide
+// token-bucket rate, both set with WithClientQueue(depth, rate,
+// burst); past either, it sheds with ErrClientBusy instead of queueing
+// without bound. It propagates context cancellation into the queue (a
 // grant that races a cancel is handed straight back, so nothing
 // leaks), bounds every remote hold with a lease, and releases whatever
 // a disconnected client still held — so a small DAG of members serves
-// a client population far larger than the tree. The wire protocol is
-// documented in internal/transport, next to the DAG codec.
+// a client population far larger than the tree.
+//
+// Admitted requests coalesce: N client waiters on one resource cost the
+// member a single DAG acquire, and the arriving grant then rotates
+// through the cohort locally (the Regrant path below), each waiter
+// receiving its own strictly-increasing fence. Cancelling one coalesced
+// waiter — or losing its connection — releases only that waiter's
+// claim; the rest of the cohort keeps its place. On a hot key the
+// protocol cost amortizes to well under one message per grant, which
+// is what lets thousands of dialed clients share one key without
+// melting the DAG. The wire protocol is documented in
+// internal/transport, next to the DAG codec.
+//
+// For client populations in the thousands, OpenGateway (or the
+// standalone cmd/daggate process) adds a gateway tier: it serves the
+// same CLIENT protocol, routes each resource to a fixed member (so one
+// member's cohort absorbs the whole key), multiplexes every client
+// over one upstream connection per member, applies its own admission
+// bounds at the edge, and fails over to the next live member if the
+// routed one dies.
 //
 // # The sharded lock service
 //

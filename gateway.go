@@ -1,0 +1,64 @@
+package dagmutex
+
+import (
+	"dagmutex/internal/gateway"
+	"dagmutex/internal/transport"
+)
+
+// This file is the facade over the gateway tier: a standalone
+// client-protocol listener that multiplexes a large dialed-client
+// population over a handful of member connections, with admission
+// control at its edge. See the "Gateway tier" section of the package
+// documentation and cmd/daggate for the standalone binary.
+
+// ClientStats snapshots the client-tier admission counters of a
+// listener serving dialed clients — a Gateway's edge or a TCP cluster's
+// member listeners.
+type ClientStats = transport.ClientStats
+
+// Gateway is a running gateway-tier process: clients Dial it exactly as
+// they would a member (same frames, same sentinels), and it fans their
+// requests in over one upstream connection per member, where each
+// member's proxy coalesces them further into single DAG acquires.
+// Construct with OpenGateway; Close it to hang up every client and
+// upstream connection.
+type Gateway struct {
+	g *gateway.Gateway
+}
+
+// OpenGateway starts a gateway listening on listen ("" for a fresh
+// loopback port), multiplexing over the given member addresses
+// (Cluster.Addr, Peer.Addr or LockService.Addr values). Member
+// connections are dialed lazily and redialed after failures, so the
+// gateway may be started before its members. WithClientQueue sets the
+// admission bounds applied at the gateway's edge; other options do not
+// apply. A named resource always routes to the same member; when that
+// member is unreachable the gateway fails over to the next and routes
+// the eventual release back to whichever member granted.
+func OpenGateway(listen string, members []string, opts ...Option) (*Gateway, error) {
+	var o openOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	var q transport.ClientQueue
+	if o.queue != nil {
+		q = *o.queue
+	}
+	g, err := gateway.New(gateway.Config{Listen: listen, Members: members, Queue: q})
+	if err != nil {
+		return nil, err
+	}
+	return &Gateway{g: g}, nil
+}
+
+// Addr returns the gateway's client-facing listen address, for Dial and
+// DialLockService.
+func (g *Gateway) Addr() string { return g.g.Addr() }
+
+// Stats snapshots the gateway's admission counters: open connections,
+// in-flight requests, admitted and shed totals.
+func (g *Gateway) Stats() ClientStats { return g.g.Stats() }
+
+// Close stops the listener, severs every client connection (releasing
+// the holds they owned), then hangs up the member connections.
+func (g *Gateway) Close() error { return g.g.Close() }

@@ -35,9 +35,10 @@ import (
 // ErrClosed reports an operation on a closed (or failed) connection.
 var ErrClosed = errors.New("client: connection closed")
 
-// ErrBusy reports a request the member shed because this connection
-// already has transport.MaxClientInflight requests queued — the
-// backpressure signal. Drain or retry.
+// ErrBusy reports a request the member shed — either this connection
+// already has its queue depth of requests outstanding (the default is
+// transport.MaxClientInflight), or the member's admission rate limit
+// was exceeded. The backpressure signal: drain, back off, or retry.
 var ErrBusy = errors.New("client: member request queue full")
 
 // Hold is one live remote grant: the fencing token to pass downstream
@@ -79,7 +80,8 @@ type pending struct {
 type Conn struct {
 	conn net.Conn
 
-	wmu sync.Mutex // serializes writes of whole frames
+	wmu  sync.Mutex // serializes writes of whole frames
+	wbuf []byte     // request frame scratch, guarded by wmu
 
 	mu     sync.Mutex
 	reqs   map[uint64]*pending
@@ -192,8 +194,13 @@ func (c *Conn) Close() error {
 	return err
 }
 
-// send registers a pending request and writes its frame.
-func (c *Conn) send(op byte, resource string, payload []byte, isAcquire bool) (uint64, *pending, error) {
+// send registers a pending request and writes its frame. The frame is
+// composed directly into the connection's reused scratch buffer under
+// the write lock — header via AppendClientFrame (which owns the
+// layout), then the optional fence and the resource name appended in
+// place with the size patched — so the steady-state request path
+// allocates only the pending entry.
+func (c *Conn) send(op byte, resource string, fence uint64, withFence, isAcquire bool) (uint64, *pending, error) {
 	id := c.nextID.Add(1)
 	p := &pending{ch: make(chan resp, 1), resource: resource, isAcquire: isAcquire}
 	c.mu.Lock()
@@ -207,9 +214,15 @@ func (c *Conn) send(op byte, resource string, payload []byte, isAcquire bool) (u
 	}
 	c.reqs[id] = p
 	c.mu.Unlock()
-	frame := transport.AppendClientFrame(nil, op, id, payload)
 	c.wmu.Lock()
-	_, err := c.conn.Write(frame)
+	b := transport.AppendClientFrame(c.wbuf[:0], op, id, nil)
+	if withFence {
+		b = binary.BigEndian.AppendUint64(b, fence)
+	}
+	b = append(b, resource...)
+	binary.BigEndian.PutUint32(b[0:4], uint32(len(b)-4))
+	c.wbuf = b
+	_, err := c.conn.Write(b)
 	c.wmu.Unlock()
 	if err != nil {
 		c.mu.Lock()
@@ -223,18 +236,16 @@ func (c *Conn) send(op byte, resource string, payload []byte, isAcquire bool) (u
 // sendCancel propagates a context cancellation to the member; best
 // effort (a broken connection tears everything down anyway).
 func (c *Conn) sendCancel(reqID uint64) {
-	frame := transport.AppendClientFrame(nil, transport.OpCancel, reqID, nil)
 	c.wmu.Lock()
-	_, _ = c.conn.Write(frame)
+	c.wbuf = transport.AppendClientFrame(c.wbuf[:0], transport.OpCancel, reqID, nil)
+	_, _ = c.conn.Write(c.wbuf)
 	c.wmu.Unlock()
 }
 
 // sendRelease is the fire-and-forget release used to hand back a grant
 // that raced a cancellation.
 func (c *Conn) sendRelease(resource string, fence uint64) error {
-	payload := binary.BigEndian.AppendUint64(nil, fence)
-	payload = append(payload, resource...)
-	_, p, err := c.send(transport.OpRelease, resource, payload, false)
+	_, p, err := c.send(transport.OpRelease, resource, fence, true, false)
 	if err != nil {
 		return err
 	}
@@ -251,7 +262,7 @@ func (c *Conn) sendRelease(resource string, fence uint64) error {
 // immediately; if the grant nonetheless wins the race on the wire it is
 // handed straight back, so no hold is leaked.
 func (c *Conn) Acquire(ctx context.Context, resource string) (Hold, error) {
-	id, p, err := c.send(transport.OpAcquire, resource, []byte(resource), true)
+	id, p, err := c.send(transport.OpAcquire, resource, 0, false, true)
 	if err != nil {
 		return Hold{}, err
 	}
@@ -286,7 +297,7 @@ func (c *Conn) Acquire(ctx context.Context, resource string) (Hold, error) {
 // — no queueing behind other clients and no token messages. It reports
 // false (with no error) when the resource would have to be waited for.
 func (c *Conn) TryAcquire(resource string) (Hold, bool, error) {
-	_, p, err := c.send(transport.OpTry, resource, []byte(resource), true)
+	_, p, err := c.send(transport.OpTry, resource, 0, false, true)
 	if err != nil {
 		return Hold{}, false, err
 	}
@@ -315,9 +326,7 @@ func (c *Conn) Release(resource string) error { return c.release(resource, 0) }
 func (c *Conn) ReleaseHold(h Hold) error { return c.release(h.Resource, h.Fence) }
 
 func (c *Conn) release(resource string, fence uint64) error {
-	payload := binary.BigEndian.AppendUint64(nil, fence)
-	payload = append(payload, resource...)
-	_, p, err := c.send(transport.OpRelease, resource, payload, false)
+	_, p, err := c.send(transport.OpRelease, resource, fence, true, false)
 	if err != nil {
 		return err
 	}

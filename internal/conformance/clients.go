@@ -9,7 +9,9 @@ import (
 	"time"
 
 	"dagmutex/internal/client"
+	"dagmutex/internal/gateway"
 	"dagmutex/internal/lockservice"
+	"dagmutex/internal/mutex"
 	"dagmutex/internal/transport"
 )
 
@@ -34,8 +36,10 @@ type ClientSubstrate struct {
 }
 
 // ClientSubstrates returns the standard client access paths: a
-// standalone gateway fronting an in-process member cluster, and a TCP
-// member cluster whose own listeners demultiplex client connections.
+// standalone gateway fronting an in-process member cluster, a TCP
+// member cluster whose own listeners demultiplex client connections,
+// and the gateway tier multiplexing dialed clients over every member
+// of a TCP cluster.
 func ClientSubstrates() []ClientSubstrate {
 	return []ClientSubstrate{
 		{
@@ -79,6 +83,34 @@ func ClientSubstrates() []ClientSubstrate {
 				return services[0].Addr(), closeAll, nil
 			},
 		},
+		{
+			Name: "gateway",
+			Start: func(cfg lockservice.Config, members int) (string, func(), error) {
+				services, err := lockservice.NewTCPCluster(cfg, members)
+				if err != nil {
+					return "", nil, err
+				}
+				closeAll := func() {
+					for _, svc := range services {
+						svc.Close()
+					}
+				}
+				addrs := make([]string, members)
+				for i, svc := range services {
+					if err := svc.ServeClients(mutex.ID(i + 1)); err != nil {
+						closeAll()
+						return "", nil, err
+					}
+					addrs[i] = svc.Addr()
+				}
+				gw, err := gateway.New(gateway.Config{Members: addrs})
+				if err != nil {
+					closeAll()
+					return "", nil, err
+				}
+				return gw.Addr(), func() { _ = gw.Close(); closeAll() }, nil
+			},
+		},
 	}
 }
 
@@ -95,6 +127,9 @@ func RunClients(t *testing.T, subs []ClientSubstrate) {
 			t.Run("CancelPropagation", func(t *testing.T) { clientCancelPropagation(t, sub) })
 			t.Run("DisconnectCleanup", func(t *testing.T) { clientDisconnectCleanup(t, sub) })
 			t.Run("Backpressure", func(t *testing.T) { clientBackpressure(t, sub) })
+			t.Run("CoalescedFences", func(t *testing.T) { clientCoalescedFences(t, sub) })
+			t.Run("CoalescedCancelIsolation", func(t *testing.T) { clientCoalescedCancelIsolation(t, sub) })
+			t.Run("CoalescedDisconnectIsolation", func(t *testing.T) { clientCoalescedDisconnectIsolation(t, sub) })
 		})
 	}
 }
@@ -341,6 +376,179 @@ func clientBackpressure(t *testing.T, sub ClientSubstrate) {
 		t.Fatalf("busy rejections = %d, want %d", got, extra)
 	}
 	if err := a.ReleaseHold(hold); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// clientCoalescedFences is the coalescing battery's core check: a
+// cohort of waiters parked on ONE key is rotated through the member's
+// single slot (the grant regranted locally instead of each waiter
+// issuing its own DAG acquire), and every waiter must still see its
+// own fence — all distinct, and strictly increasing in grant order.
+// Coalescing is an optimization; fencing is the contract it must not
+// bend.
+func clientCoalescedFences(t *testing.T, sub ClientSubstrate) {
+	const waiters, perWaiter = 6, 8
+	conns := sub.start(t, lockservice.Config{Shards: 1}, 2, waiters)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	var mu sync.Mutex
+	fences := make([]uint64, 0, waiters*perWaiter) // appended inside the CS
+	var wg sync.WaitGroup
+	for i, c := range conns {
+		wg.Add(1)
+		go func(i int, c *client.Conn) {
+			defer wg.Done()
+			for j := 0; j < perWaiter; j++ {
+				h, err := c.Acquire(ctx, "coalesced")
+				if err != nil {
+					t.Errorf("waiter %d acquire: %v", i, err)
+					return
+				}
+				mu.Lock()
+				fences = append(fences, h.Fence)
+				mu.Unlock()
+				if err := c.ReleaseHold(h); err != nil {
+					t.Errorf("waiter %d release: %v", i, err)
+					return
+				}
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	if len(fences) != waiters*perWaiter {
+		t.Fatalf("grants = %d, want %d", len(fences), waiters*perWaiter)
+	}
+	seen := make(map[uint64]bool, len(fences))
+	for k, f := range fences {
+		if seen[f] {
+			t.Fatalf("fence %d granted twice", f)
+		}
+		seen[f] = true
+		if k > 0 && f <= fences[k-1] {
+			t.Fatalf("grant %d fence %d not above predecessor's %d", k, f, fences[k-1])
+		}
+	}
+}
+
+// clientCoalescedCancelIsolation checks that cancelling one waiter of a
+// coalesced cohort cancels only that waiter: the others are neither
+// cancelled nor starved, and every survivor still gets a grant.
+func clientCoalescedCancelIsolation(t *testing.T, sub ClientSubstrate) {
+	const waiters = 4
+	conns := sub.start(t, lockservice.Config{Shards: 1}, 2, waiters+1)
+	holder := conns[waiters]
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	hold, err := holder.Acquire(ctx, "cohort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Park the whole cohort behind the holder, one waiter on a doomed
+	// context.
+	doomedCtx, doom := context.WithCancel(ctx)
+	var granted atomic.Int64
+	doomed := make(chan error, 1)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int, c *client.Conn) {
+			defer wg.Done()
+			wctx := ctx
+			if i == 0 {
+				wctx = doomedCtx
+			}
+			h, err := c.Acquire(wctx, "cohort")
+			if i == 0 {
+				doomed <- err
+				if err == nil {
+					_ = c.ReleaseHold(h)
+				}
+				return
+			}
+			if err != nil {
+				t.Errorf("waiter %d acquire: %v", i, err)
+				return
+			}
+			granted.Add(1)
+			if err := c.ReleaseHold(h); err != nil {
+				t.Errorf("waiter %d release: %v", i, err)
+			}
+		}(i, conns[i])
+	}
+	time.Sleep(50 * time.Millisecond) // let the cohort queue up
+	doom()
+	if err := <-doomed; !errors.Is(err, context.Canceled) {
+		t.Fatalf("doomed waiter = %v, want context.Canceled", err)
+	}
+	if err := holder.ReleaseHold(hold); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if got := granted.Load(); got != waiters-1 {
+		t.Fatalf("surviving waiters granted = %d, want %d", got, waiters-1)
+	}
+}
+
+// clientCoalescedDisconnectIsolation checks the crash variant: a waiter
+// whose connection drops mid-coalesce takes only its own claim with it.
+// The cohort's other waiters still acquire, and nothing is parked —
+// after the survivors drain, a fresh client acquires immediately.
+func clientCoalescedDisconnectIsolation(t *testing.T, sub ClientSubstrate) {
+	const survivors = 3
+	conns := sub.start(t, lockservice.Config{Shards: 1}, 2, survivors+2)
+	holder, vanishing := conns[survivors], conns[survivors+1]
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	hold, err := holder.Acquire(ctx, "dropped")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var granted atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < survivors; i++ {
+		wg.Add(1)
+		go func(i int, c *client.Conn) {
+			defer wg.Done()
+			h, err := c.Acquire(ctx, "dropped")
+			if err != nil {
+				t.Errorf("survivor %d acquire: %v", i, err)
+				return
+			}
+			granted.Add(1)
+			if err := c.ReleaseHold(h); err != nil {
+				t.Errorf("survivor %d release: %v", i, err)
+			}
+		}(i, conns[i])
+	}
+	gone := make(chan struct{})
+	go func() {
+		defer close(gone)
+		// This waiter queues with the cohort, then its process "crashes".
+		_, _ = vanishing.Acquire(ctx, "dropped")
+	}()
+	time.Sleep(50 * time.Millisecond) // let the cohort queue up
+	if err := vanishing.Close(); err != nil {
+		t.Fatal(err)
+	}
+	<-gone
+	if err := holder.ReleaseHold(hold); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if got := granted.Load(); got != survivors {
+		t.Fatalf("survivors granted = %d, want %d", got, survivors)
+	}
+	// Nothing may be left parked for the vanished waiter: a fresh
+	// acquire on the same key completes immediately.
+	h, err := holder.Acquire(ctx, "dropped")
+	if err != nil {
+		t.Fatalf("acquire after disconnected waiter: %v", err)
+	}
+	if err := holder.ReleaseHold(h); err != nil {
 		t.Fatal(err)
 	}
 }

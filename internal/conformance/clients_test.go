@@ -5,7 +5,8 @@ import "testing"
 // TestClientBatteryOverBothAccessPaths runs the member/client split's
 // conformance battery: dialed non-member clients must see identical
 // semantics whether the members run on in-process mailboxes behind a
-// client gateway or over TCP serving clients on their own listeners.
+// client gateway, over TCP serving clients on their own listeners, or
+// behind the gateway tier multiplexing them over every member.
 func TestClientBatteryOverBothAccessPaths(t *testing.T) {
 	RunClients(t, ClientSubstrates())
 }

@@ -1,0 +1,310 @@
+// Package gateway is the scale-out tier of the member/client split: a
+// standalone process that speaks the CLIENT wire protocol to a large
+// population of dialed clients on one side and multiplexes all of them
+// over a handful of upstream member connections on the other.
+//
+// A member's own listener already serves dialed clients, but every
+// connection costs the member a goroutine and a socket; at thousands of
+// clients that load lands on the same process that must keep the token
+// protocol responsive. A gateway absorbs the fan-in instead: clients
+// dial the gateway exactly as they would a member (same handshake, same
+// frames, same sentinels), the gateway coalesces their requests onto
+// one upstream connection per member, and the member sees a single
+// well-behaved client whose requests its proxy coalesces further into
+// single DAG acquires. Admission control (transport.ClientQueue) runs
+// at the gateway's edge, so overload is shed before it ever crosses to
+// the members.
+//
+// Routing is by resource: a named resource always lands on the same
+// member (so the lock service's per-member slot coalescing keeps
+// working), and a plain cluster's single mutex ("") always lands on one
+// member (so its proxy coalesces the whole population). When the routed
+// member is unreachable the gateway fails over to the next, and
+// remembers which member granted a hold so the release finds it.
+package gateway
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"dagmutex/internal/client"
+	"dagmutex/internal/lockservice"
+	"dagmutex/internal/runtime"
+	"dagmutex/internal/transport"
+)
+
+// dialTimeout bounds each upstream dial attempt, so failover walks on
+// to the next member instead of hanging on a dead one.
+const dialTimeout = 2 * time.Second
+
+// Config configures a Gateway.
+type Config struct {
+	// Listen is the gateway's client-facing listen address ("" for a
+	// fresh loopback port).
+	Listen string
+	// Members are the member listen addresses to multiplex over (at
+	// least one).
+	Members []string
+	// Queue is the admission control applied at the gateway's edge; the
+	// zero value is the member default (depth 64, no rate limit).
+	Queue transport.ClientQueue
+}
+
+// Gateway is a running gateway: a client-protocol listener whose
+// backend routes over upstream member connections. Construct with New;
+// Close it to hang up every client and upstream.
+type Gateway struct {
+	srv *transport.ClientGateway
+	b   *backend
+}
+
+// New starts a gateway per cfg. The member connections are dialed
+// lazily (on first use, and again after a failure), so New succeeds
+// even while the members are still coming up.
+func New(cfg Config) (*Gateway, error) {
+	if len(cfg.Members) == 0 {
+		return nil, errors.New("gateway: no member addresses")
+	}
+	b := newBackend(cfg.Members)
+	srv, err := transport.NewClientGatewayWith(cfg.Listen, b, cfg.Queue)
+	if err != nil {
+		b.close()
+		return nil, err
+	}
+	return &Gateway{srv: srv, b: b}, nil
+}
+
+// Addr returns the gateway's client-facing listen address.
+func (g *Gateway) Addr() string { return g.srv.Addr() }
+
+// Stats snapshots the gateway's admission counters: connections,
+// in-flight requests, admitted and shed totals.
+func (g *Gateway) Stats() transport.ClientStats { return g.srv.Stats() }
+
+// Close stops the listener, severs every client connection (releasing
+// the holds they owned upstream), then hangs up the member connections.
+func (g *Gateway) Close() error {
+	g.srv.Close()
+	g.b.close()
+	return nil
+}
+
+// upstream is one member connection, dialed lazily and redialed after
+// failures. The mutex serializes dialing, not requests: a healthy
+// connection is handed out immediately and used concurrently.
+type upstream struct {
+	addr string
+
+	mu     sync.Mutex
+	conn   *client.Conn
+	closed bool
+}
+
+// get returns a healthy connection to this member, dialing (bounded by
+// ctx and dialTimeout) if the previous one died.
+func (u *upstream) get(ctx context.Context) (*client.Conn, error) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.closed {
+		return nil, errors.New("gateway: closed")
+	}
+	if u.conn != nil && u.conn.Err() == nil {
+		return u.conn, nil
+	}
+	if u.conn != nil {
+		_ = u.conn.Close()
+		u.conn = nil
+	}
+	dctx, cancel := context.WithTimeout(ctx, dialTimeout)
+	defer cancel()
+	c, err := client.DialContext(dctx, u.addr)
+	if err != nil {
+		return nil, err
+	}
+	u.conn = c
+	return c, nil
+}
+
+// backend implements transport.ClientBackend over the upstream set.
+type backend struct {
+	ups []*upstream
+
+	// holds remembers grants that failover placed on a member other
+	// than the resource's routed one (resource -> fence -> upstream
+	// index), so their release finds the granting member. Grants on the
+	// routed member are not recorded — the hash re-derives them — so
+	// the map stays empty in the steady state.
+	mu    sync.Mutex
+	holds map[string]map[uint64]int
+}
+
+func newBackend(members []string) *backend {
+	b := &backend{ups: make([]*upstream, len(members)), holds: make(map[string]map[uint64]int)}
+	for i, addr := range members {
+		b.ups[i] = &upstream{addr: addr}
+	}
+	return b
+}
+
+func (b *backend) close() {
+	for _, u := range b.ups {
+		u.mu.Lock()
+		u.closed = true
+		if u.conn != nil {
+			_ = u.conn.Close()
+			u.conn = nil
+		}
+		u.mu.Unlock()
+	}
+}
+
+// route picks resource's home member: FNV-1a over the name, mod the
+// member count. Stable, so releases and repeat acquires of the same
+// resource reach the same member and coalesce there.
+func (b *backend) route(resource string) int {
+	const offset32, prime32 = 2166136261, 16777619
+	h := uint32(offset32)
+	for i := 0; i < len(resource); i++ {
+		h = (h ^ uint32(resource[i])) * prime32
+	}
+	return int(h % uint32(len(b.ups)))
+}
+
+// record remembers a grant that landed off its routed member.
+func (b *backend) record(resource string, fence uint64, idx int) {
+	if idx == b.route(resource) {
+		return
+	}
+	b.mu.Lock()
+	m := b.holds[resource]
+	if m == nil {
+		m = make(map[uint64]int)
+		b.holds[resource] = m
+	}
+	m[fence] = idx
+	b.mu.Unlock()
+}
+
+// take looks up (and forgets) where a fence's grant lives, reporting
+// false when it was on the routed member all along.
+func (b *backend) take(resource string, fence uint64) (int, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	m, ok := b.holds[resource]
+	if !ok {
+		return 0, false
+	}
+	idx, ok := m[fence]
+	if ok {
+		delete(m, fence)
+		if len(m) == 0 {
+			delete(b.holds, resource)
+		}
+	}
+	return idx, ok
+}
+
+// failedOver reports whether an upstream error means "try the next
+// member" rather than "answer the client": the connection died under
+// the request, or the member's own session is down.
+func failedOver(conn *client.Conn, err error) bool {
+	return conn.Err() != nil || errors.Is(err, client.ErrClosed) || errors.Is(err, runtime.ErrNodeDown)
+}
+
+// Acquire implements transport.ClientBackend: route, then walk the
+// member ring until one answers.
+func (b *backend) Acquire(ctx context.Context, resource string) (uint64, time.Time, error) {
+	start := b.route(resource)
+	var lastErr error
+	for i := 0; i < len(b.ups); i++ {
+		idx := (start + i) % len(b.ups)
+		conn, err := b.ups[idx].get(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return 0, time.Time{}, recode(err)
+			}
+			lastErr = err
+			continue
+		}
+		h, err := conn.Acquire(ctx, resource)
+		if err != nil {
+			if ctx.Err() == nil && failedOver(conn, err) {
+				lastErr = err
+				continue
+			}
+			return 0, time.Time{}, recode(err)
+		}
+		b.record(resource, h.Fence, idx)
+		return h.Fence, h.Expires, nil
+	}
+	return 0, time.Time{}, recode(fmt.Errorf("gateway: no member reachable for %q: %w", resource, lastErr))
+}
+
+// TryAcquire implements transport.ClientBackend with the same failover
+// walk; "would wait" is answered by the routed member, not retried.
+func (b *backend) TryAcquire(resource string) (uint64, time.Time, bool, error) {
+	start := b.route(resource)
+	var lastErr error
+	for i := 0; i < len(b.ups); i++ {
+		idx := (start + i) % len(b.ups)
+		conn, err := b.ups[idx].get(context.Background())
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		h, ok, err := conn.TryAcquire(resource)
+		if err != nil {
+			if failedOver(conn, err) {
+				lastErr = err
+				continue
+			}
+			return 0, time.Time{}, false, recode(err)
+		}
+		if !ok {
+			return 0, time.Time{}, false, nil
+		}
+		b.record(resource, h.Fence, idx)
+		return h.Fence, h.Expires, true, nil
+	}
+	return 0, time.Time{}, false, recode(fmt.Errorf("gateway: no member reachable for %q: %w", resource, lastErr))
+}
+
+// Release implements transport.ClientBackend: the fence's recorded
+// member if failover moved the grant, the routed member otherwise.
+func (b *backend) Release(resource string, fence uint64) error {
+	idx, ok := b.take(resource, fence)
+	if !ok {
+		idx = b.route(resource)
+	}
+	conn, err := b.ups[idx].get(context.Background())
+	if err != nil {
+		return recode(err)
+	}
+	if fence == 0 {
+		return recode(conn.Release(resource))
+	}
+	return recode(conn.ReleaseHold(client.Hold{Resource: resource, Fence: fence}))
+}
+
+// recode re-tags upstream sentinels with their wire codes for the trip
+// back to the dialed client. The runtime and context sentinels pass
+// through untouched — the transport encoder knows those — but the lock
+// service's sentinels and the upstream's busy signal need explicit
+// codes, exactly as the lock service's own backend tags them.
+func recode(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, lockservice.ErrNotHeld):
+		return &transport.CodedError{Code: transport.CodeNotHeld, Err: err}
+	case errors.Is(err, lockservice.ErrLeaseExpired):
+		return &transport.CodedError{Code: transport.CodeLeaseExpired, Err: err}
+	case errors.Is(err, client.ErrBusy):
+		return &transport.CodedError{Code: transport.CodeBusy, Err: err}
+	default:
+		return err
+	}
+}

@@ -86,6 +86,14 @@ func (s *Service) ClientBackend(member mutex.ID) (transport.ClientBackend, error
 // clients, proxied through member's slots (normally the process's own
 // member id). It requires the service to run over a TCPTransport.
 func (s *Service) ServeClients(member mutex.ID) error {
+	return s.ServeClientsWith(member, transport.ClientQueue{})
+}
+
+// ServeClientsWith is ServeClients with explicit admission control: q
+// bounds each dialed connection's queue depth and, when a rate is set,
+// the listener-wide admitted request rate. The zero ClientQueue is the
+// ServeClients default.
+func (s *Service) ServeClientsWith(member mutex.ID, q transport.ClientQueue) error {
 	tcp, ok := s.cfg.Transport.(*TCPTransport)
 	if !ok {
 		return fmt.Errorf("lockservice: ServeClients needs a TCP transport (got %T); front a local service with a transport.ClientGateway instead", s.cfg.Transport)
@@ -94,7 +102,7 @@ func (s *Service) ServeClients(member mutex.ID) error {
 	if err != nil {
 		return err
 	}
-	tcp.host.ServeClients(b)
+	tcp.host.ServeClientsWith(b, q)
 	return nil
 }
 

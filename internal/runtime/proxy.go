@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -19,12 +20,34 @@ const DefaultProxyLease = 30 * time.Second
 // Release then reports ErrNotHeld instead of ErrLeaseExpired).
 const maxProxyExpired = 1024
 
+// proxyCohortBudget bounds consecutive local handoffs (Regrant) before
+// the proxy takes the protocol path and lets remote members in. It
+// matches the lock service's default CohortBudget: the same
+// starvation-vs-throughput trade, made at the same default.
+const proxyCohortBudget = 8
+
+// proxyAdoptInterval is how often an unclaimed pipelined grant is
+// checked for adoption — the proxy's analogue of the lock service
+// sweeper's cadence. A grant is left pending when a release regrants or
+// release-requests for waiters that then all vanish (canceled,
+// disconnected); the adopt timer releases it so the token moves on.
+const proxyAdoptInterval = 100 * time.Millisecond
+
 // Proxy serves many remote clients through one member Session: it
 // serializes their acquires (the member node allows one outstanding
 // request, per the paper), bounds every hold by a lease so a vanished
 // client cannot wedge the cluster, and recovers from context-canceled
 // acquires via the runtime's Granted drain — the same machinery the lock
 // service uses, packaged for a single mutex.
+//
+// Waiting clients are coalesced: while clients are queued on this proxy,
+// a release hands the grant to the next local waiter — by Regrant (no
+// protocol traffic at all, up to proxyCohortBudget consecutive times) or
+// by ReleaseRequest (the pipelined one-message handoff) — instead of
+// releasing and letting the next waiter issue a fresh DAG request. N
+// waiters on the mutex cost far fewer protocol messages than N
+// request/grant round trips, and each waiter still observes its own
+// strictly-younger fencing generation.
 //
 // It implements the transport layer's ClientBackend surface, keyed by
 // the empty resource name (a member arbitrates exactly one critical
@@ -38,14 +61,28 @@ const maxProxyExpired = 1024
 // instead, exactly as the lock service's slot rule requires one
 // acquirer per (node, shard) slot.
 type Proxy struct {
-	s     *Session
-	lease time.Duration // <= 0: holds never expire
-	sem   chan struct{} // capacity 1: held while a client owns the mutex
+	s       *Session
+	lease   time.Duration // <= 0: holds never expire
+	sem     chan struct{} // capacity 1: held while a client owns the mutex
+	waiters atomic.Int64  // clients inside Acquire (queued or collecting)
 
 	mu      sync.Mutex
 	fence   uint64    // fencing token of the current hold, 0 when free
 	expires time.Time // lease deadline of the current hold
 	timer   *time.Timer
+	// pending is the coalescing flag: the previous release already put the
+	// next grant in flight (Regrant deposited it, ReleaseRequest re-issued
+	// the request), so the next semaphore taker must Await instead of
+	// issuing its own DAG request.
+	pending bool
+	// streak counts consecutive Regrant handoffs, bounded by
+	// proxyCohortBudget so queued remote members are not starved.
+	streak int
+	// abandoned marks a context-canceled acquire whose protocol request
+	// stayed outstanding; drainAbandoned owns the recovery and the
+	// semaphore stays held until it completes.
+	abandoned bool
+	adopt     *time.Timer // checks unclaimed pending grants for adoption
 	// expired remembers force-released fences so each late Release can be
 	// told apart from a Release of something never held. One-shot,
 	// bounded by maxProxyExpired.
@@ -63,15 +100,20 @@ func NewProxy(s *Session, lease time.Duration) *Proxy {
 
 // Acquire locks the proxied mutex on behalf of one remote client,
 // queueing behind other clients of this member, and returns the grant's
-// fencing token plus the hold's lease deadline. Cancelling ctx while
-// queued frees the queue slot immediately; cancelling while the protocol
-// request is in flight leaves the request outstanding (the paper's model
-// has no cancellation) and the proxy drains and releases the eventual
-// grant in the background, exactly like the lock service's sweeper.
+// fencing token plus the hold's lease deadline. When the previous
+// holder's release already pipelined the next grant (the coalescing
+// path), the waiter only awaits it — no new DAG request is issued.
+// Cancelling ctx while queued frees the queue slot immediately;
+// cancelling while the protocol request (or pipelined grant) is in
+// flight leaves it outstanding (the paper's model has no cancellation)
+// and the proxy drains and releases the eventual grant in the
+// background, exactly like the lock service's sweeper.
 func (p *Proxy) Acquire(ctx context.Context, resource string) (uint64, time.Time, error) {
 	if resource != "" {
 		return 0, time.Time{}, fmt.Errorf("runtime: member node %d serves a single mutex, not resource %q (dial a lock service for named resources)", p.s.ID(), resource)
 	}
+	p.waiters.Add(1)
+	defer p.waiters.Add(-1)
 	select {
 	case p.sem <- struct{}{}:
 	case <-p.s.Failed():
@@ -79,12 +121,26 @@ func (p *Proxy) Acquire(ctx context.Context, resource string) (uint64, time.Time
 	case <-ctx.Done():
 		return 0, time.Time{}, fmt.Errorf("proxy acquire node %d: %w", p.s.ID(), ctx.Err())
 	}
-	g, err := p.s.Acquire(ctx)
+	p.mu.Lock()
+	pipelined := p.pending
+	p.pending = false
+	p.mu.Unlock()
+	var g Grant
+	var err error
+	if pipelined {
+		g, err = p.s.Await(ctx)
+	} else {
+		g, err = p.s.Acquire(ctx)
+	}
 	if err != nil {
 		if errors.Is(err, ErrGrantPending) {
-			// The request stays outstanding; free the slot only once the
-			// orphaned grant arrives and is released. sem stays held until
-			// then, so later clients queue instead of double-requesting.
+			// The request (or pipelined grant) stays outstanding; free the
+			// slot only once the orphaned grant arrives and is released. sem
+			// stays held until then, so later clients queue instead of
+			// double-requesting.
+			p.mu.Lock()
+			p.abandoned = true
+			p.mu.Unlock()
 			go p.drainAbandoned()
 		} else {
 			<-p.sem
@@ -95,7 +151,9 @@ func (p *Proxy) Acquire(ctx context.Context, resource string) (uint64, time.Time
 }
 
 // TryAcquire locks the proxied mutex only if no other client holds it
-// through this proxy and the protocol can grant without messages.
+// through this proxy and the grant is available without waiting: an
+// already-landed pipelined grant, or a protocol grant that needs no
+// messages (an idle local token).
 func (p *Proxy) TryAcquire(resource string) (uint64, time.Time, bool, error) {
 	if resource != "" {
 		return 0, time.Time{}, false, fmt.Errorf("runtime: member node %d serves a single mutex, not resource %q", p.s.ID(), resource)
@@ -105,6 +163,23 @@ func (p *Proxy) TryAcquire(resource string) (uint64, time.Time, bool, error) {
 	default:
 		return 0, time.Time{}, false, nil // another client holds or waits
 	}
+	p.mu.Lock()
+	if p.pending {
+		// A previous release pipelined the next grant. Claim it if it has
+		// already landed; Try never waits, so otherwise leave it pending
+		// for the adopt timer or the next Acquire.
+		select {
+		case g := <-p.s.Granted():
+			p.pending = false
+			p.mu.Unlock()
+			return p.admit(g), p.holdExpiry(), true, nil
+		default:
+			p.mu.Unlock()
+			<-p.sem
+			return 0, time.Time{}, false, nil
+		}
+	}
+	p.mu.Unlock()
 	g, ok, err := p.s.TryAcquire()
 	if err != nil || !ok {
 		<-p.sem
@@ -137,6 +212,12 @@ func (p *Proxy) holdExpiry() time.Time {
 // (Grant.Generation); fence 0 releases whatever hold is current. A hold
 // the lease sweeper already reclaimed reports ErrLeaseExpired once; a
 // release of nothing, or of a stale fence, reports ErrNotHeld.
+//
+// When other clients are queued, the release coalesces: the next grant
+// is put in flight as part of this release — locally by Regrant (up to
+// proxyCohortBudget consecutive times, zero protocol traffic) or by the
+// pipelined ReleaseRequest — and the next waiter collects it with Await
+// instead of issuing its own DAG request.
 func (p *Proxy) Release(resource string, fence uint64) error {
 	if resource != "" {
 		return fmt.Errorf("runtime: member node %d serves a single mutex, not resource %q", p.s.ID(), resource)
@@ -162,7 +243,30 @@ func (p *Proxy) Release(resource string, fence uint64) error {
 		return fmt.Errorf("proxy release node %d: %w", p.s.ID(), ErrNotHeld)
 	}
 	p.clearHoldLocked()
-	err := p.s.Release()
+	var err error
+	if p.waiters.Load() > 0 && !p.pending && !p.abandoned {
+		if p.streak < proxyCohortBudget {
+			if ok, rerr := p.s.Regrant(); rerr == nil && ok {
+				p.streak++
+				p.pending = true
+				p.armAdoptLocked()
+				p.mu.Unlock()
+				<-p.sem
+				return nil
+			}
+			// Mid-recovery or no capability: fall through to the protocol
+			// path, which re-queues this node fairly.
+		}
+		p.streak = 0
+		err = p.s.ReleaseRequest()
+		if err == nil {
+			p.pending = true
+			p.armAdoptLocked()
+		}
+	} else {
+		p.streak = 0
+		err = p.s.Release()
+	}
 	p.mu.Unlock()
 	<-p.sem
 	if err != nil {
@@ -179,6 +283,57 @@ func (p *Proxy) clearHoldLocked() {
 	if p.timer != nil {
 		p.timer.Stop()
 		p.timer = nil
+	}
+}
+
+// armAdoptLocked schedules an adoption check for a pending grant.
+// Callers hold p.mu and have just set pending.
+func (p *Proxy) armAdoptLocked() {
+	if p.adopt == nil {
+		p.adopt = time.AfterFunc(proxyAdoptInterval, p.adoptOrphan)
+	} else {
+		p.adopt.Reset(proxyAdoptInterval)
+	}
+}
+
+// adoptOrphan recovers a pipelined grant whose intended waiters all
+// vanished (canceled or disconnected) before claiming it: the grant is
+// drained and released so the token moves on. While waiters remain the
+// check just re-arms — one of them will claim the grant — and a grant
+// still in flight (the ReleaseRequest path) re-arms too. The semaphore
+// is taken non-blocking, exactly as an acquiring client would, so a
+// concurrent Acquire always wins the race.
+func (p *Proxy) adoptOrphan() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.pending {
+		return
+	}
+	if p.waiters.Load() > 0 {
+		p.armAdoptLocked()
+		return
+	}
+	select {
+	case p.sem <- struct{}{}:
+	default:
+		// Someone is mid-acquire after all; they will claim the grant.
+		p.armAdoptLocked()
+		return
+	}
+	select {
+	case <-p.s.Granted():
+		p.pending = false
+		p.streak = 0
+		err := p.s.Release()
+		if err == nil {
+			<-p.sem
+		}
+		// On error the cluster is broken; sem stays held and Failed fails
+		// future acquirers fast.
+	default:
+		// Grant still in flight (ReleaseRequest path): check again later.
+		<-p.sem
+		p.armAdoptLocked()
 	}
 }
 
@@ -203,6 +358,7 @@ func (p *Proxy) forceExpire(fence uint64) {
 	}
 	p.expired[fence] = true
 	p.clearHoldLocked()
+	p.streak = 0
 	err := p.s.Release()
 	p.mu.Unlock()
 	if err == nil {
@@ -213,11 +369,15 @@ func (p *Proxy) forceExpire(fence uint64) {
 }
 
 // drainAbandoned waits out a context-canceled acquire whose protocol
-// request stayed outstanding: the grant still arrives eventually, gets
-// released, and the queue slot recovers.
+// request (or pipelined grant) stayed outstanding: the grant still
+// arrives eventually, gets released, and the queue slot recovers.
 func (p *Proxy) drainAbandoned() {
 	select {
 	case <-p.s.Granted():
+		p.mu.Lock()
+		p.abandoned = false
+		p.streak = 0
+		p.mu.Unlock()
 		if err := p.s.Release(); err == nil {
 			<-p.sem
 		}

@@ -165,6 +165,100 @@ func TestProxyCanceledAcquireRecovers(t *testing.T) {
 	}
 }
 
+// TestProxyCoalescesWaiters pins the coalescing economy: a cohort of
+// waiters contending through one proxy is rotated locally (Regrant) or
+// by pipelined handoff (ReleaseRequest) instead of each waiter issuing
+// its own DAG request, so a burst of N grants costs far fewer than N
+// protocol messages. With the token resident at the proxied member and
+// every handoff local, the steady state sends (almost) nothing.
+func TestProxyCoalescesWaiters(t *testing.T) {
+	p, l := proxyCluster(t, -1)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Pull the token to the proxied member first, so the measured window
+	// holds only steady-state traffic.
+	fence, _, err := p.Acquire(ctx, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Release("", fence); err != nil {
+		t.Fatal(err)
+	}
+
+	const clients, ops = 8, 25
+	before := l.Messages()
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < ops; j++ {
+				fence, _, err := p.Acquire(ctx, "")
+				if err != nil {
+					t.Errorf("acquire: %v", err)
+					return
+				}
+				if err := p.Release("", fence); err != nil {
+					t.Errorf("release: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	grants := int64(clients * ops)
+	msgs := l.Messages() - before
+	if msgs >= grants {
+		t.Fatalf("%d messages for %d grants (%.2f msgs/grant): waiters are not coalesced", msgs, grants, float64(msgs)/float64(grants))
+	}
+}
+
+// TestProxyOrphanedPendingAdopted churns waiters whose contexts cancel
+// around the release's coalescing decision: a pipelined grant whose
+// intended waiter vanished must be adopted (drained and released) so the
+// token is not parked at this member forever. The proof is that another
+// member can still acquire afterwards.
+func TestProxyOrphanedPendingAdopted(t *testing.T) {
+	p, l := proxyCluster(t, -1)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for i := 0; i < 30; i++ {
+		fence, _, err := p.Acquire(ctx, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		wctx, wcancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			if f, _, err := p.Acquire(wctx, ""); err == nil {
+				_ = p.Release("", f)
+			}
+		}()
+		// Cancel the waiter somewhere around the releaser's coalescing
+		// decision: before it queued, while queued, or after it claimed.
+		if i%3 == 0 {
+			wcancel()
+		}
+		time.Sleep(time.Millisecond)
+		if err := p.Release("", fence); err != nil {
+			t.Fatal(err)
+		}
+		wcancel()
+		<-done
+	}
+	// Whatever pending grants the churn orphaned, the adopt timer must
+	// hand the token on: a different member's acquire completes.
+	other := l.Session(2)
+	if _, err := other.Acquire(ctx); err != nil {
+		t.Fatalf("other member starved after orphaned pending grants: %v", err)
+	}
+	if err := other.Release(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestProxyRejectsNamedResources pins the contract: a member proxy
 // arbitrates exactly one mutex.
 func TestProxyRejectsNamedResources(t *testing.T) {

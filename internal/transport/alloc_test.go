@@ -2,6 +2,8 @@ package transport
 
 import (
 	"context"
+	"io"
+	"net"
 	"testing"
 	"time"
 
@@ -41,6 +43,47 @@ func TestAllocBudgetLocalSteadyState(t *testing.T) {
 	if avg := testing.AllocsPerRun(1000, cycle); avg != 0 {
 		t.Fatalf("local steady-state acquire/release = %.2f allocs/op, want 0", avg)
 	}
+}
+
+// TestAllocBudgetClientRespond pins the member→client response path at
+// zero heap allocations: a grant (or a shed) response is encoded into a
+// pooled frame buffer and written — inline when the connection is idle,
+// via the batched drain writer otherwise — without allocating anything
+// in the steady state. This is the path every dialed client's every
+// response takes, so at thousands of clients it must not produce
+// per-response garbage; the shed path in particular is exercised at the
+// full offered rate when admission control is rejecting.
+func TestAllocBudgetClientRespond(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated by race instrumentation")
+	}
+	srv, cli := net.Pipe()
+	defer func() { _ = srv.Close() }()
+	defer func() { _ = cli.Close() }()
+	go func() { _, _ = io.Copy(io.Discard, cli) }()
+	out := newPeerConn()
+	out.conn = srv
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		_ = out.drain(srv)
+	}()
+	cc := &clientConn{conn: srv, out: out, adm: newAdmission(ClientQueue{})}
+
+	var payload [16]byte
+	grant := func() { cc.respond(RespGrant, 7, payload[:]) }
+	shed := func() { cc.respondErr(9, ErrClientBusy) }
+	grant() // warm the frame pool outside the measured window
+	shed()
+
+	if avg := testing.AllocsPerRun(1000, grant); avg != 0 {
+		t.Errorf("grant response encode/write = %.2f allocs/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(1000, shed); avg != 0 {
+		t.Errorf("shed response encode/write = %.2f allocs/op, want 0", avg)
+	}
+	out.shutdown()
+	<-drained
 }
 
 // TestAllocBudgetTCPHandoff bounds the pipelined cross-node handoff

@@ -9,6 +9,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dagmutex/internal/runtime"
@@ -62,14 +63,121 @@ const (
 	// MaxClientFrame bounds client frames; resource names plus headers fit
 	// comfortably.
 	MaxClientFrame = 1 << 16
-	// MaxClientInflight is the per-connection queue bound: a client may
-	// have this many acquires outstanding before the member sheds new
-	// ones with ErrClientBusy. Cancels and releases are exempt — a client
-	// can always trim its own queue and always give back what it holds
-	// (shedding a release would increase contention, the opposite of
-	// backpressure's goal).
+	// MaxClientInflight is the default per-connection queue bound (the
+	// ClientQueue zero value): a client may have this many acquires
+	// outstanding before the member sheds new ones with ErrClientBusy.
+	// Cancels and releases are exempt — a client can always trim its own
+	// queue and always give back what it holds (shedding a release would
+	// increase contention, the opposite of backpressure's goal).
 	MaxClientInflight = 64
 )
+
+// ClientQueue configures admission control for dialed clients: how much
+// work one listener accepts before shedding with ErrClientBusy. The zero
+// value keeps the historical behavior — MaxClientInflight requests per
+// connection, no rate limit.
+type ClientQueue struct {
+	// Depth bounds in-flight acquires/tries per connection. 0 means
+	// MaxClientInflight; negative means 1 (fully serialized clients).
+	Depth int
+	// Rate, when positive, caps admitted acquire/try requests per second
+	// across ALL connections of the listener — a token bucket refilled
+	// continuously. Requests beyond the rate are shed with ErrClientBusy
+	// instead of queueing, which keeps latency for admitted requests
+	// bounded when thousands of clients offer load at once. 0 or
+	// negative disables rate limiting.
+	Rate float64
+	// Burst is the token bucket size — how far above the steady rate a
+	// momentary spike may go. 0 or negative derives it from Rate
+	// (one second's worth, at least 1). Ignored when Rate is disabled.
+	Burst int
+}
+
+// ClientStats is a snapshot of one listener's client-tier counters.
+type ClientStats struct {
+	Conns     int64 // client connections currently open
+	Inflight  int64 // acquires/tries admitted and not yet answered
+	Admitted  int64 // total requests admitted since the listener started
+	ShedDepth int64 // requests shed because the per-connection queue was full
+	ShedRate  int64 // requests shed by the admission rate limit
+}
+
+// Shed returns the total requests shed, on either trigger.
+func (s ClientStats) Shed() int64 { return s.ShedDepth + s.ShedRate }
+
+// admission is the shared gate in front of every client connection of
+// one listener: the per-connection depth (enforced by each connection's
+// semaphore, sized from here) plus a listener-wide token bucket and the
+// counters behind ClientStats.
+type admission struct {
+	depth int
+	rate  float64
+	burst float64
+
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+
+	conns     atomic.Int64
+	inflight  atomic.Int64
+	admitted  atomic.Int64
+	shedDepth atomic.Int64
+	shedRate  atomic.Int64
+}
+
+func newAdmission(q ClientQueue) *admission {
+	a := &admission{depth: q.Depth, rate: q.Rate, burst: float64(q.Burst)}
+	switch {
+	case a.depth == 0:
+		a.depth = MaxClientInflight
+	case a.depth < 0:
+		a.depth = 1
+	}
+	if a.rate <= 0 {
+		a.rate = 0
+	} else if a.burst <= 0 {
+		a.burst = a.rate
+		if a.burst < 1 {
+			a.burst = 1
+		}
+	}
+	a.tokens = a.burst
+	return a
+}
+
+// allow takes one token from the bucket, refilling it lazily from the
+// elapsed wall clock. Unlimited (rate 0) admissions skip the lock.
+func (a *admission) allow(now time.Time) bool {
+	if a.rate <= 0 {
+		return true
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.last.IsZero() {
+		if elapsed := now.Sub(a.last).Seconds(); elapsed > 0 {
+			a.tokens += elapsed * a.rate
+			if a.tokens > a.burst {
+				a.tokens = a.burst
+			}
+		}
+	}
+	a.last = now
+	if a.tokens < 1 {
+		return false
+	}
+	a.tokens--
+	return true
+}
+
+func (a *admission) stats() ClientStats {
+	return ClientStats{
+		Conns:     a.conns.Load(),
+		Inflight:  a.inflight.Load(),
+		Admitted:  a.admitted.Load(),
+		ShedDepth: a.shedDepth.Load(),
+		ShedRate:  a.shedRate.Load(),
+	}
+}
 
 // Client frame ops.
 const (
@@ -127,6 +235,11 @@ func (e *CodedError) Unwrap() error { return e.Err }
 // errorCode picks the wire code for err: an explicit CodedError wins,
 // then the runtime and context sentinels the transport layer knows.
 func errorCode(err error) byte {
+	if err == ErrClientBusy {
+		// The admission shed path runs hot by design; the exact sentinel
+		// needs no unwrapping (and no errors.As allocation).
+		return CodeBusy
+	}
 	var ce *CodedError
 	switch {
 	case errors.As(err, &ce):
@@ -189,17 +302,18 @@ func readClientFrameInto(r io.Reader, body *[]byte) (op byte, reqID uint64, payl
 	return b[0], binary.BigEndian.Uint64(b[1:9]), b[9:], nil
 }
 
-// clientConn is one dialed client's server-side state: a write lock over
-// the shared connection (with a reused frame scratch under it), the
-// in-flight request table (for cancels), the holds table (for disconnect
-// cleanup), and the inflight semaphore (backpressure).
+// clientConn is one dialed client's server-side state: a batched
+// response writer over the shared connection, the in-flight request
+// table (for cancels), the holds table (for disconnect cleanup), the
+// inflight semaphore (per-connection backpressure) and the listener's
+// shared admission gate.
 type clientConn struct {
 	conn net.Conn
-	wmu  sync.Mutex
-	wbuf []byte // response frame scratch, guarded by wmu
+	out  *peerConn // pooled-frame response queue + its drain goroutine
 
 	backend ClientBackend
 	sem     chan struct{}
+	adm     *admission
 
 	mu     sync.Mutex
 	reqs   map[uint64]*clientReq
@@ -213,47 +327,83 @@ type clientReq struct {
 	canceled bool
 }
 
-// respond writes one frame back to the client, encoding it into the
-// connection's reused scratch buffer — the steady-state response path
-// allocates nothing. Write failures just end the connection (the reader
-// will notice); they are never cluster-fatal.
+// respond writes one frame back to the client through the connection's
+// batched writer: the frame is encoded into a pooled buffer and either
+// written inline (idle connection — the common case) or queued for the
+// drain goroutine, which gathers responses piled up behind a busy write
+// into one writev. The steady-state response path allocates nothing and
+// concurrent grants to one client cost one syscall per batch, not per
+// frame. Write failures just end the connection (the reader will
+// notice); they are never cluster-fatal.
 func (cc *clientConn) respond(op byte, reqID uint64, payload []byte) {
-	cc.wmu.Lock()
-	defer cc.wmu.Unlock()
-	cc.wbuf = AppendClientFrame(cc.wbuf[:0], op, reqID, payload)
-	_, _ = cc.conn.Write(cc.wbuf)
+	f := framePool.Get().(*frame)
+	f.b = AppendClientFrame(f.b[:0], op, reqID, payload)
+	cc.out.send(f)
 }
 
+// respondErr builds the respErr frame directly in the pooled buffer —
+// code byte plus message appended after the header, size patched — so
+// the shed path (the whole point of admission control is that it runs
+// hot) allocates nothing either.
 func (cc *clientConn) respondErr(reqID uint64, err error) {
-	cc.respond(RespErr, reqID, append([]byte{errorCode(err)}, err.Error()...))
+	f := framePool.Get().(*frame)
+	b := AppendClientFrame(f.b[:0], RespErr, reqID, nil)
+	b = append(b, errorCode(err))
+	b = append(b, err.Error()...)
+	binary.BigEndian.PutUint32(b[0:4], uint32(len(b)-4))
+	f.b = b
+	cc.out.send(f)
 }
 
 // ServeClientConn speaks the member side of the client protocol on conn,
 // with the handshake already consumed, until the client hangs up or stop
 // closes. On exit every in-flight acquire is canceled and every hold the
 // connection still owns is released — a vanished client never parks a
-// token.
+// token. Admission uses the defaults (ClientQueue zero value); listeners
+// that share a gate across connections (TCPHost, ClientGateway) call the
+// internal variant with their own admission.
 func ServeClientConn(conn net.Conn, backend ClientBackend, stop <-chan struct{}) {
-	serveClientConn(bufio.NewReader(conn), conn, backend, stop)
+	serveClientConn(bufio.NewReader(conn), conn, backend, newAdmission(ClientQueue{}), stop)
 }
+
+// clientBodyPool recycles the per-connection frame read scratch, so a
+// churn of short-lived client connections does not allocate a buffer
+// each.
+var clientBodyPool = sync.Pool{New: func() any { b := make([]byte, 128); return &b }}
 
 // serveClientConn is ServeClientConn over an explicit reader, so a
 // caller that already buffered the connection (the TCP host's dispatch)
-// keeps its buffer. Frames are read into a per-connection scratch
+// keeps its buffer. Frames are read into a pooled per-connection scratch
 // buffer; only the resource-name string conversions allocate.
-func serveClientConn(r io.Reader, conn net.Conn, backend ClientBackend, stop <-chan struct{}) {
+func serveClientConn(r io.Reader, conn net.Conn, backend ClientBackend, adm *admission, stop <-chan struct{}) {
 	cc := &clientConn{
 		conn:    conn,
+		out:     newPeerConn(),
 		backend: backend,
-		sem:     make(chan struct{}, MaxClientInflight),
+		sem:     make(chan struct{}, adm.depth),
+		adm:     adm,
 		reqs:    make(map[uint64]*clientReq),
 		holds:   make(map[string]uint64),
 	}
+	cc.out.conn = conn
+	adm.conns.Add(1)
 	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		// The response drain: gathers queued responses into writev batches
+		// whenever an inline write found the connection busy. A write error
+		// severs the connection so the read loop exits too.
+		defer wg.Done()
+		if err := cc.out.drain(conn); err != nil {
+			_ = conn.Close()
+		}
+	}()
 	defer func() {
 		cc.teardown()
+		cc.out.shutdown()
 		wg.Wait()
 		_ = conn.Close()
+		adm.conns.Add(-1)
 	}()
 	// stop (host shutdown) severs the connection, unblocking the read.
 	done := make(chan struct{})
@@ -265,9 +415,10 @@ func serveClientConn(r io.Reader, conn net.Conn, backend ClientBackend, stop <-c
 		case <-done:
 		}
 	}()
-	body := make([]byte, 64)
+	bodyp := clientBodyPool.Get().(*[]byte)
+	defer clientBodyPool.Put(bodyp)
 	for {
-		op, reqID, payload, err := readClientFrameInto(r, &body)
+		op, reqID, payload, err := readClientFrameInto(r, bodyp)
 		if err != nil {
 			return
 		}
@@ -291,15 +442,32 @@ func serveClientConn(r io.Reader, conn net.Conn, backend ClientBackend, stop <-c
 }
 
 // admit reserves an inflight slot, shedding the request with CodeBusy
-// when the per-client queue is full.
+// when the per-client queue is full or the listener's admission rate is
+// exceeded. The depth check runs first and is undone on a rate reject,
+// so a shed request burns no token and frees no one else's slot.
 func (cc *clientConn) admit(reqID uint64) bool {
 	select {
 	case cc.sem <- struct{}{}:
-		return true
 	default:
+		cc.adm.shedDepth.Add(1)
 		cc.respondErr(reqID, ErrClientBusy)
 		return false
 	}
+	if !cc.adm.allow(time.Now()) {
+		<-cc.sem
+		cc.adm.shedRate.Add(1)
+		cc.respondErr(reqID, ErrClientBusy)
+		return false
+	}
+	cc.adm.admitted.Add(1)
+	cc.adm.inflight.Add(1)
+	return true
+}
+
+// done returns an admitted request's inflight slot.
+func (cc *clientConn) done() {
+	<-cc.sem
+	cc.adm.inflight.Add(-1)
 }
 
 // startAcquire runs one acquire in its own goroutine: acquires may block
@@ -315,7 +483,7 @@ func (cc *clientConn) startAcquire(wg *sync.WaitGroup, reqID uint64, resource st
 	if cc.closed {
 		cc.mu.Unlock()
 		cancel()
-		<-cc.sem
+		cc.done()
 		return
 	}
 	cc.reqs[reqID] = req
@@ -324,7 +492,7 @@ func (cc *clientConn) startAcquire(wg *sync.WaitGroup, reqID uint64, resource st
 	go func() {
 		defer wg.Done()
 		defer cancel()
-		defer func() { <-cc.sem }()
+		defer cc.done()
 		fence, expires, err := cc.backend.Acquire(ctx, resource)
 		cc.mu.Lock()
 		delete(cc.reqs, reqID)
@@ -357,7 +525,7 @@ func (cc *clientConn) startTry(wg *sync.WaitGroup, reqID uint64, resource string
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		defer func() { <-cc.sem }()
+		defer cc.done()
 		fence, expires, ok, err := cc.backend.TryAcquire(resource)
 		if err != nil {
 			cc.respondErr(reqID, err)
@@ -459,6 +627,7 @@ func expiryNanos(t time.Time) uint64 {
 type ClientGateway struct {
 	ln      net.Listener
 	backend ClientBackend
+	adm     *admission
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -466,8 +635,17 @@ type ClientGateway struct {
 }
 
 // NewClientGateway listens on listen ("" for a fresh loopback port) and
-// serves dialed clients through backend.
+// serves dialed clients through backend, with default admission
+// (ClientQueue zero value).
 func NewClientGateway(listen string, backend ClientBackend) (*ClientGateway, error) {
+	return NewClientGatewayWith(listen, backend, ClientQueue{})
+}
+
+// NewClientGatewayWith is NewClientGateway with explicit admission
+// control: q's depth bounds each connection's in-flight requests, and
+// its rate/burst token bucket is shared across every connection the
+// gateway accepts.
+func NewClientGatewayWith(listen string, backend ClientBackend, q ClientQueue) (*ClientGateway, error) {
 	if listen == "" {
 		listen = "127.0.0.1:0"
 	}
@@ -475,7 +653,7 @@ func NewClientGateway(listen string, backend ClientBackend) (*ClientGateway, err
 	if err != nil {
 		return nil, fmt.Errorf("transport: client gateway: %w", err)
 	}
-	g := &ClientGateway{ln: ln, backend: backend, stop: make(chan struct{})}
+	g := &ClientGateway{ln: ln, backend: backend, adm: newAdmission(q), stop: make(chan struct{})}
 	g.wg.Add(1)
 	go func() {
 		defer g.wg.Done()
@@ -491,7 +669,7 @@ func NewClientGateway(listen string, backend ClientBackend) (*ClientGateway, err
 					_ = conn.Close()
 					return
 				}
-				ServeClientConn(conn, g.backend, g.stop)
+				serveClientConn(bufio.NewReader(conn), conn, g.backend, g.adm, g.stop)
 			}()
 		}
 	}()
@@ -500,6 +678,9 @@ func NewClientGateway(listen string, backend ClientBackend) (*ClientGateway, err
 
 // Addr returns the gateway's listen address, for clients to Dial.
 func (g *ClientGateway) Addr() string { return g.ln.Addr().String() }
+
+// Stats snapshots the gateway's client-tier counters.
+func (g *ClientGateway) Stats() ClientStats { return g.adm.stats() }
 
 // Close stops the listener and severs every client connection, releasing
 // the holds they owned.

@@ -148,17 +148,49 @@ func (h *TCPHost) InstanceSent(instance uint32) int64 {
 	return link.sent.Load()
 }
 
-type clientBackendBox struct{ b ClientBackend }
+type clientBackendBox struct {
+	b   ClientBackend
+	adm *admission
+}
 
 // ServeClients opens this host's listener to dialed non-member clients:
 // a connection that starts with the client handshake magic (instead of a
 // member frame) is served through backend — acquire, try-acquire and
 // release of the resources the backend arbitrates, with per-connection
-// queueing, backpressure (MaxClientInflight), cancellation propagation
-// and disconnect cleanup. Member traffic on the same listener is
-// unaffected. Without a backend, client connections are refused.
+// queueing, backpressure, cancellation propagation and disconnect
+// cleanup. Admission uses the defaults (ClientQueue zero value:
+// MaxClientInflight per connection, no rate limit). Member traffic on
+// the same listener is unaffected. Without a backend, client
+// connections are refused.
 func (h *TCPHost) ServeClients(backend ClientBackend) {
-	h.clients.Store(&clientBackendBox{b: backend})
+	h.ServeClientsWith(backend, ClientQueue{})
+}
+
+// ServeClientsWith is ServeClients with explicit admission control: q's
+// depth bounds each connection's in-flight requests, and its rate/burst
+// token bucket is shared across every client connection this host
+// accepts.
+func (h *TCPHost) ServeClientsWith(backend ClientBackend, q ClientQueue) {
+	h.clients.Store(&clientBackendBox{b: backend, adm: newAdmission(q)})
+}
+
+// SetClientQueue replaces the admission configuration for dialed
+// clients. It applies to connections accepted after the call;
+// connections already open keep the gate they were admitted under. A
+// no-op when no client backend is registered.
+func (h *TCPHost) SetClientQueue(q ClientQueue) {
+	if box := h.clients.Load(); box != nil {
+		h.clients.Store(&clientBackendBox{b: box.b, adm: newAdmission(q)})
+	}
+}
+
+// ClientStats snapshots the host's client-tier counters (zero when no
+// client backend is registered).
+func (h *TCPHost) ClientStats() ClientStats {
+	if box := h.clients.Load(); box != nil {
+		return box.adm.stats()
+	}
+	return ClientStats{}
 }
 
 // SetInjector installs a fault plan: frames the plan vetoes are dropped
@@ -584,6 +616,41 @@ func (pc *peerConn) shutdown() {
 	pc.mu.Unlock()
 }
 
+// send writes f inline when the connection is idle (up, queue empty,
+// write turn free) or queues it for the drain goroutine — the client
+// response path's single-frame analogue of sendNow. Rejected or failed
+// frames go back to the pool; a write error severs the connection and
+// marks the link closed.
+func (pc *peerConn) send(f *frame) {
+	pc.mu.Lock()
+	if pc.closed {
+		pc.mu.Unlock()
+		putFrame(f)
+		return
+	}
+	if pc.conn == nil || pc.writing || pc.n > 0 {
+		pc.push(f)
+		pc.wake.Signal()
+		pc.mu.Unlock()
+		return
+	}
+	pc.writing = true
+	conn := pc.conn
+	pc.mu.Unlock()
+	one := [1]*frame{f}
+	err := pc.writev(conn, one[:])
+	pc.mu.Lock()
+	pc.writing = false
+	if pc.n > 0 || pc.closed {
+		pc.wake.Signal()
+	}
+	pc.mu.Unlock()
+	if err != nil {
+		pc.shutdown()
+		_ = conn.Close()
+	}
+}
+
 // writev gathers fs into one vectored write and returns the frames to
 // the pool. The caller holds the connection's write turn.
 func (pc *peerConn) writev(conn net.Conn, fs []*frame) error {
@@ -753,6 +820,16 @@ func (h *TCPHost) writeLoop(to mutex.ID, pc *peerConn) {
 	pc.conn = conn
 	pc.mu.Unlock()
 	defer func() { _ = conn.Close() }()
+	if err := pc.drain(conn); err != nil {
+		h.peerFault(to, fmt.Errorf("write to node %d: %w", to, err))
+	}
+}
+
+// drain ships queued frames in writev batches until the link closes or a
+// write fails (the link is marked closed before returning the error).
+// Shared by the member write loop and the client-connection response
+// writer; the caller owns conn's lifetime.
+func (pc *peerConn) drain(conn net.Conn) error {
 	var batch [maxWriteBatch]*frame
 	for {
 		pc.mu.Lock()
@@ -764,7 +841,7 @@ func (h *TCPHost) writeLoop(to mutex.ID, pc *peerConn) {
 				putFrame(pc.pop())
 			}
 			pc.mu.Unlock()
-			return
+			return nil
 		}
 		n := 0
 		for n < maxWriteBatch && pc.n > 0 {
@@ -782,8 +859,7 @@ func (h *TCPHost) writeLoop(to mutex.ID, pc *peerConn) {
 		pc.mu.Unlock()
 		if err != nil {
 			pc.shutdown()
-			h.peerFault(to, fmt.Errorf("write to node %d: %w", to, err))
-			return
+			return err
 		}
 	}
 }
@@ -869,7 +945,7 @@ func (h *TCPHost) dispatch(conn net.Conn) {
 			_ = conn.Close()
 			return
 		}
-		serveClientConn(br, conn, box.b, h.stop)
+		serveClientConn(br, conn, box.b, box.adm, h.stop)
 		return
 	}
 	h.readLoop(conn, br, first)
@@ -1251,6 +1327,30 @@ func (c *TCPCluster) Addr(id mutex.ID) string {
 		return ""
 	}
 	return n.Addr()
+}
+
+// SetClientQueue installs admission control q for dialed non-member
+// clients on every member's listener. Connections accepted after the
+// call use the new bounds.
+func (c *TCPCluster) SetClientQueue(q ClientQueue) {
+	for _, n := range c.nodes {
+		n.Host().SetClientQueue(q)
+	}
+}
+
+// ClientStats aggregates the dialed-client admission counters across
+// all members.
+func (c *TCPCluster) ClientStats() ClientStats {
+	var total ClientStats
+	for _, n := range c.nodes {
+		s := n.Host().ClientStats()
+		total.Conns += s.Conns
+		total.Inflight += s.Inflight
+		total.Admitted += s.Admitted
+		total.ShedDepth += s.ShedDepth
+		total.ShedRate += s.ShedRate
+	}
+	return total
 }
 
 // WithNode runs fn on member id's protocol state machine while holding

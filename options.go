@@ -5,6 +5,7 @@ import (
 
 	"dagmutex/internal/core"
 	"dagmutex/internal/failure"
+	"dagmutex/internal/transport"
 )
 
 // Event is one failure-recovery observation (peer suspected, probe,
@@ -48,6 +49,7 @@ type openOptions struct {
 	observer  func(Event)
 	member    ID
 	startCtx  context.Context
+	queue     *transport.ClientQueue
 }
 
 // WithTransport selects the substrate: Local (default) or TCP(listen).
@@ -93,6 +95,21 @@ func WithObserver(fn func(Event)) Option {
 // configuration with its own member id). Open and OpenPeer ignore it.
 func WithMember(id ID) Option {
 	return func(o *openOptions) { o.member = id }
+}
+
+// WithClientQueue bounds what each member's listener accepts from
+// dialed non-member clients: depth caps the requests queued per
+// connection (0 means the default, 64), and rate/burst arm a
+// listener-wide token bucket on admitted requests (rate 0 disables it;
+// burst 0 derives a one-second burst from the rate). A request over
+// either bound is shed immediately with ErrClientBusy instead of
+// queueing — the backpressure that keeps thousands of dialed clients
+// from melting a member. Applies to Open and OpenPeer over TCP, to
+// OpenLockService TCP members, and to OpenGateway.
+func WithClientQueue(depth int, rate float64, burst int) Option {
+	return func(o *openOptions) {
+		o.queue = &transport.ClientQueue{Depth: depth, Rate: rate, Burst: burst}
+	}
 }
 
 // WithStartupContext bounds Open's startup work — today, the INIT
