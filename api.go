@@ -124,6 +124,9 @@ func coreOptions(o *openOptions, extra ...core.Option) []core.Option {
 	if o.observer != nil {
 		opts = append(opts, core.WithEventObserver(o.observer))
 	}
+	if o.policy.compress {
+		opts = append(opts, core.WithPathCompression())
+	}
 	return append(opts, extra...)
 }
 
@@ -286,6 +289,9 @@ func OpenLockService(cfg LockServiceConfig, opts ...Option) (*LockService, error
 	}
 	if o.observer != nil {
 		return nil, fmt.Errorf("dagmutex: WithObserver applies to Open, not OpenLockService")
+	}
+	if o.policy.compress || o.policy.every > 0 {
+		cfg.Topology = lockservice.Topology{PathCompression: o.policy.compress, RebalanceEvery: o.policy.every}
 	}
 	if !o.transport.tcp {
 		if o.member != Nil {

@@ -60,7 +60,7 @@ type lockOptions struct {
 func main() {
 	exp := flag.String("exp", "all",
 		"experiment(s) to run, comma-separated: 6.1, 6.2, 6.2-placement, 6.2-heavy, 6.3, 6.4, topo, load, all, "+
-			"or the live benchmarks lock, lease, clients and chaos (not part of all)")
+			"or the live benchmarks lock, topology, lease, clients and chaos (not part of all)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	jsonOut := flag.Bool("json", false, "emit one JSON array of result tables (overrides -csv)")
 	seed := flag.Int64("seed", 1, "random seed for randomized scenarios")
@@ -87,6 +87,13 @@ func main() {
 		"clients: cap on real connections; clients beyond the cap share connections (keeps a 10k sweep inside the fd budget)")
 	flag.Float64Var(&cl.rate, "admit-rate", 0, "clients: admitted requests/second across all connections (0 = unlimited)")
 	flag.IntVar(&cl.burst, "admit-burst", 0, "clients: admission burst size (0 = one second of rate)")
+	var to topoOptions
+	flag.IntVar(&to.nodes, "topo-nodes", 32, "topology: member nodes per shape")
+	flag.Float64Var(&to.zipfS, "zipf-s", 1.2, "topology: Zipf skew exponent of the requester population (> 1)")
+	flag.StringVar(&to.shapes, "topo-shapes", "chain,star,radial", "topology: comma-separated initial shapes to sweep (chain, star, radial)")
+	flag.StringVar(&to.policies, "topo-policies", "static,compress,rebalance", "topology: comma-separated adaptive policies to sweep (static, compress, rebalance)")
+	flag.IntVar(&to.ops, "topo-ops", 2048, "topology: acquire/release cycles per shape x policy cell")
+	flag.IntVar(&to.rebalanceEvery, "rebalance-every", 256, "topology: ops between planned re-root passes under the rebalance policy")
 	var co chaosOptions
 	flag.IntVar(&co.nodes, "chaos-nodes", 5, "chaos: cluster size")
 	flag.IntVar(&co.kills, "chaos-kills", 2, "chaos: seeded kills of the active holder (must leave a majority)")
@@ -113,7 +120,7 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	err := run(os.Stdout, *exp, *csv, *jsonOut, *gen, *seed, lo, co, cl)
+	err := run(os.Stdout, *exp, *csv, *jsonOut, *gen, *seed, lo, co, cl, to)
 	if *cpuprofile != "" {
 		pprof.StopCPUProfile() // flush before any exit below; the deferred stop is then a no-op
 	}
@@ -151,7 +158,7 @@ type runMeta struct {
 	NumCPU     int    `json:"ncpu"`
 }
 
-func run(w io.Writer, exp string, csv, jsonOut bool, gen string, seed int64, lo lockOptions, co chaosOptions, cl clientsOptions) error {
+func run(w io.Writer, exp string, csv, jsonOut bool, gen string, seed int64, lo lockOptions, co chaosOptions, cl clientsOptions, to topoOptions) error {
 	// JSON is one array, so tables accumulate and emit at the end; the
 	// table/CSV modes stream each experiment as it completes.
 	var tables []*harness.Table
@@ -219,6 +226,7 @@ func run(w io.Writer, exp string, csv, jsonOut bool, gen string, seed int64, lo 
 			return harness.LoadSweep(15, thinks, seed)
 		}},
 		{"lock", true, func() (*harness.Table, error) { return lockTable(lo, seed) }},
+		{"topology", true, func() (*harness.Table, error) { return topologyTable(to, seed) }},
 		{"lease", true, func() (*harness.Table, error) { return leaseTable(lo, seed) }},
 		{"clients", true, func() (*harness.Table, error) { return clientsTable(lo, cl, seed) }},
 		{"chaos", true, func() (*harness.Table, error) { return chaosTable(co, seed) }},

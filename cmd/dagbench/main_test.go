@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -33,6 +34,19 @@ func tinyClients() clientsOptions {
 	}
 }
 
+// tinyTopo keeps the adaptive-topology benchmark small enough for unit
+// tests.
+func tinyTopo() topoOptions {
+	return topoOptions{
+		nodes:          8,
+		zipfS:          1.2,
+		shapes:         "chain,star,radial",
+		policies:       "static,compress,rebalance",
+		ops:            64,
+		rebalanceEvery: 16,
+	}
+}
+
 // tinyChaos keeps the chaos benchmark small enough for unit tests.
 func tinyChaos() chaosOptions {
 	return chaosOptions{
@@ -47,7 +61,7 @@ func tinyChaos() chaosOptions {
 
 func TestRunSingleExperiment(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "6.3", false, false, "", 1, tinyLock(), tinyChaos(), tinyClients()); err != nil {
+	if err := run(&b, "6.3", false, false, "", 1, tinyLock(), tinyChaos(), tinyClients(), tinyTopo()); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -60,7 +74,7 @@ func TestRunSingleExperiment(t *testing.T) {
 
 func TestRunCSVOutput(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "6.3", true, false, "", 1, tinyLock(), tinyChaos(), tinyClients()); err != nil {
+	if err := run(&b, "6.3", true, false, "", 1, tinyLock(), tinyChaos(), tinyClients(), tinyTopo()); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -74,14 +88,14 @@ func TestRunCSVOutput(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "99", false, false, "", 1, tinyLock(), tinyChaos(), tinyClients()); err == nil {
+	if err := run(&b, "99", false, false, "", 1, tinyLock(), tinyChaos(), tinyClients(), tinyTopo()); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
 
 func TestRunTopoExperiment(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "topo", false, false, "", 1, tinyLock(), tinyChaos(), tinyClients()); err != nil {
+	if err := run(&b, "topo", false, false, "", 1, tinyLock(), tinyChaos(), tinyClients(), tinyTopo()); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "radiating-star") {
@@ -91,7 +105,7 @@ func TestRunTopoExperiment(t *testing.T) {
 
 func TestRunLockExperiment(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "lock", false, false, "", 1, tinyLock(), tinyChaos(), tinyClients()); err != nil {
+	if err := run(&b, "lock", false, false, "", 1, tinyLock(), tinyChaos(), tinyClients(), tinyTopo()); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -104,7 +118,7 @@ func TestRunLockExperiment(t *testing.T) {
 
 func TestRunLockExperimentCSV(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "lock", true, false, "", 1, tinyLock(), tinyChaos(), tinyClients()); err != nil {
+	if err := run(&b, "lock", true, false, "", 1, tinyLock(), tinyChaos(), tinyClients(), tinyTopo()); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -115,7 +129,7 @@ func TestRunLockExperimentCSV(t *testing.T) {
 
 func TestRunClientsExperiment(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "clients", false, true, "", 1, tinyLock(), tinyChaos(), tinyClients()); err != nil {
+	if err := run(&b, "clients", false, true, "", 1, tinyLock(), tinyChaos(), tinyClients(), tinyTopo()); err != nil {
 		t.Fatal(err)
 	}
 	var tables []struct {
@@ -151,7 +165,7 @@ func TestRunClientsShedsOverRate(t *testing.T) {
 	cl.rate = 200
 	cl.burst = 1
 	var b strings.Builder
-	if err := run(&b, "clients", false, true, "", 1, tinyLock(), tinyChaos(), cl); err != nil {
+	if err := run(&b, "clients", false, true, "", 1, tinyLock(), tinyChaos(), cl, tinyTopo()); err != nil {
 		t.Fatal(err)
 	}
 	var tables []struct {
@@ -179,12 +193,12 @@ func TestRunClientsRejectsBadCount(t *testing.T) {
 	cl := tinyClients()
 	cl.list = "0"
 	var b strings.Builder
-	if err := run(&b, "clients", false, false, "", 1, tinyLock(), tinyChaos(), cl); err == nil {
+	if err := run(&b, "clients", false, false, "", 1, tinyLock(), tinyChaos(), cl, tinyTopo()); err == nil {
 		t.Fatal("clients=0 accepted")
 	}
 	cl.list = "16"
 	cl.modes = "proxy"
-	if err := run(&b, "clients", false, false, "", 1, tinyLock(), tinyChaos(), cl); err == nil {
+	if err := run(&b, "clients", false, false, "", 1, tinyLock(), tinyChaos(), cl, tinyTopo()); err == nil {
 		t.Fatal("bad client mode accepted")
 	}
 }
@@ -210,15 +224,83 @@ func TestParseClientList(t *testing.T) {
 	}
 }
 
+// TestRunTopologyExperiment checks the adaptive-topology sweep's table
+// shape and its headline property at test size: path compression must
+// cut the static chain's per-grant message cost.
+func TestRunTopologyExperiment(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "topology", false, true, "", 1, tinyLock(), tinyChaos(), tinyClients(), tinyTopo()); err != nil {
+		t.Fatal(err)
+	}
+	var tables []struct {
+		ID      string     `json:"id"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &tables); err != nil {
+		t.Fatalf("topology -json output invalid: %v\n%s", err, b.String())
+	}
+	if len(tables) != 1 || tables[0].ID != "EXP-topology" {
+		t.Fatalf("unexpected tables: %+v", tables)
+	}
+	wantCols := "shape,policy,grants,msgs,msgs/grant,hops/grant,reorients"
+	if got := strings.Join(tables[0].Columns, ","); got != wantCols {
+		t.Fatalf("topology columns = %s, want %s", got, wantCols)
+	}
+	if len(tables[0].Rows) != 9 {
+		t.Fatalf("topology rows = %d, want 9 (3 shapes x 3 policies)", len(tables[0].Rows))
+	}
+	cost := map[string]float64{}
+	for _, row := range tables[0].Rows {
+		v, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost[row[0]+"/"+row[1]] = v
+	}
+	if cost["chain/compress"] >= cost["chain/static"] {
+		t.Fatalf("compression did not cut the chain's msgs/grant: %.2f vs %.2f",
+			cost["chain/compress"], cost["chain/static"])
+	}
+}
+
+// TestRunTopologyRejectsBadFlags pins the sweep's one-line flag errors:
+// an unknown policy or shape, a non-skewed Zipf exponent, and degenerate
+// sizing must all fail up front, before any cluster starts.
+func TestRunTopologyRejectsBadFlags(t *testing.T) {
+	cases := []struct {
+		mutate func(*topoOptions)
+		want   string
+	}{
+		{func(to *topoOptions) { to.policies = "static,adaptive" }, `unknown topology policy "adaptive"`},
+		{func(to *topoOptions) { to.policies = " , " }, "empty -topo-policies list"},
+		{func(to *topoOptions) { to.shapes = "ring" }, `bad topology shape "ring"`},
+		{func(to *topoOptions) { to.shapes = "" }, "empty -topo-shapes list"},
+		{func(to *topoOptions) { to.zipfS = 1.0 }, "bad -zipf-s"},
+		{func(to *topoOptions) { to.nodes = 1 }, "bad -topo-nodes"},
+		{func(to *topoOptions) { to.ops = 0 }, "bad -topo-ops"},
+		{func(to *topoOptions) { to.rebalanceEvery = -1 }, "bad -rebalance-every"},
+	}
+	for _, tc := range cases {
+		to := tinyTopo()
+		tc.mutate(&to)
+		var b strings.Builder
+		err := run(&b, "topology", false, false, "", 1, tinyLock(), tinyChaos(), tinyClients(), to)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("error = %v, want one line containing %q", err, tc.want)
+		}
+	}
+}
+
 func TestRunLockRejectsBadShardList(t *testing.T) {
 	lo := tinyLock()
 	lo.shards = "1,zero"
 	var b strings.Builder
-	if err := run(&b, "lock", false, false, "", 1, lo, tinyChaos(), tinyClients()); err == nil {
+	if err := run(&b, "lock", false, false, "", 1, lo, tinyChaos(), tinyClients(), tinyTopo()); err == nil {
 		t.Fatal("bad shard list accepted")
 	}
 	lo.shards = ""
-	if err := run(&b, "lock", false, false, "", 1, lo, tinyChaos(), tinyClients()); err == nil {
+	if err := run(&b, "lock", false, false, "", 1, lo, tinyChaos(), tinyClients(), tinyTopo()); err == nil {
 		t.Fatal("empty shard list accepted")
 	}
 }
@@ -280,7 +362,7 @@ func TestLockThroughputScalesWithShards(t *testing.T) {
 
 func TestRunJSONOutput(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "6.3", false, true, "", 1, tinyLock(), tinyChaos(), tinyClients()); err != nil {
+	if err := run(&b, "6.3", false, true, "", 1, tinyLock(), tinyChaos(), tinyClients(), tinyTopo()); err != nil {
 		t.Fatal(err)
 	}
 	var tables []struct {
@@ -305,7 +387,7 @@ func TestRunJSONOutput(t *testing.T) {
 // substrates.
 func TestRunLockExperimentJSONSweepsBothTransports(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "lock", false, true, "", 1, tinyLock(), tinyChaos(), tinyClients()); err != nil {
+	if err := run(&b, "lock", false, true, "", 1, tinyLock(), tinyChaos(), tinyClients(), tinyTopo()); err != nil {
 		t.Fatal(err)
 	}
 	var tables []struct {
@@ -331,11 +413,11 @@ func TestRunLockRejectsBadTransportList(t *testing.T) {
 	lo := tinyLock()
 	lo.transports = "local,udp"
 	var b strings.Builder
-	if err := run(&b, "lock", false, false, "", 1, lo, tinyChaos(), tinyClients()); err == nil {
+	if err := run(&b, "lock", false, false, "", 1, lo, tinyChaos(), tinyClients(), tinyTopo()); err == nil {
 		t.Fatal("bad transport list accepted")
 	}
 	lo.transports = ""
-	if err := run(&b, "lock", false, false, "", 1, lo, tinyChaos(), tinyClients()); err == nil {
+	if err := run(&b, "lock", false, false, "", 1, lo, tinyChaos(), tinyClients(), tinyTopo()); err == nil {
 		t.Fatal("empty transport list accepted")
 	}
 }
@@ -344,7 +426,7 @@ func TestRunLockRejectsBadTransportList(t *testing.T) {
 // experiment, in registry order.
 func TestRunExpCommaList(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "6.3, 6.4", false, false, "", 1, tinyLock(), tinyChaos(), tinyClients()); err != nil {
+	if err := run(&b, "6.3, 6.4", false, false, "", 1, tinyLock(), tinyChaos(), tinyClients(), tinyTopo()); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -359,7 +441,7 @@ func TestRunExpCommaList(t *testing.T) {
 // a clear one-line error before anything executes.
 func TestRunRejectsUnknownExpInList(t *testing.T) {
 	var b strings.Builder
-	err := run(&b, "6.3,bogus", false, false, "", 1, tinyLock(), tinyChaos(), tinyClients())
+	err := run(&b, "6.3,bogus", false, false, "", 1, tinyLock(), tinyChaos(), tinyClients(), tinyTopo())
 	if err == nil {
 		t.Fatal("unknown experiment in list accepted")
 	}
@@ -377,7 +459,7 @@ func TestRunRejectsUnknownExpInList(t *testing.T) {
 func TestRunRejectsEmptyExpList(t *testing.T) {
 	var b strings.Builder
 	for _, exp := range []string{"", " , "} {
-		if err := run(&b, exp, false, false, "", 1, tinyLock(), tinyChaos(), tinyClients()); err == nil {
+		if err := run(&b, exp, false, false, "", 1, tinyLock(), tinyChaos(), tinyClients(), tinyTopo()); err == nil {
 			t.Fatalf("empty -exp %q accepted", exp)
 		}
 	}
@@ -395,7 +477,7 @@ func TestRunLeaseExperiment(t *testing.T) {
 	lo.lease = 30 * time.Millisecond
 	lo.overholdEvery = 2
 	var b strings.Builder
-	if err := run(&b, "lease", false, true, "", 1, lo, tinyChaos(), tinyClients()); err != nil {
+	if err := run(&b, "lease", false, true, "", 1, lo, tinyChaos(), tinyClients(), tinyTopo()); err != nil {
 		t.Fatal(err)
 	}
 	var tables []struct {
@@ -456,7 +538,7 @@ func TestRunChaosExperiment(t *testing.T) {
 		t.Skip("live wall-clock chaos benchmark; skipped in -short mode")
 	}
 	var b strings.Builder
-	if err := run(&b, "chaos", false, true, "", 1, tinyLock(), tinyChaos(), tinyClients()); err != nil {
+	if err := run(&b, "chaos", false, true, "", 1, tinyLock(), tinyChaos(), tinyClients(), tinyTopo()); err != nil {
 		t.Fatal(err)
 	}
 	var tables []struct {
@@ -504,7 +586,7 @@ func TestChaosRejectsQuorumLoss(t *testing.T) {
 // benchmarks/*.json records which machine produced its numbers.
 func TestRunJSONGenWrapsMeta(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "6.3", false, true, "PR-test", 1, tinyLock(), tinyChaos(), tinyClients()); err != nil {
+	if err := run(&b, "6.3", false, true, "PR-test", 1, tinyLock(), tinyChaos(), tinyClients(), tinyTopo()); err != nil {
 		t.Fatal(err)
 	}
 	var doc struct {

@@ -120,6 +120,7 @@ func RunLive(t *testing.T, f Factory, subs []Substrate) {
 			t.Run("SequentialEntries", func(t *testing.T) { liveSequentialEntries(t, f, sub) })
 			t.Run("TimedOutAcquireRecovery", func(t *testing.T) { liveTimedOutRecovery(t, f, sub) })
 			t.Run("FencingMonotonic", func(t *testing.T) { liveFencingMonotonic(t, f, sub) })
+			t.Run("PlannedReorientFencing", func(t *testing.T) { livePlannedReorientFencing(t, f, sub) })
 			if sub.NewLockCluster != nil {
 				t.Run("LeaseExpiry", func(t *testing.T) { liveLeaseExpiry(t, sub) })
 			}
@@ -229,6 +230,67 @@ func liveFencingMonotonic(t *testing.T, f Factory, sub Substrate) {
 	// for those that do, every grant must have carried a token.
 	if got := fenced.Load(); got != 0 && got != int64(n*perNode) {
 		t.Fatalf("only %d of %d grants carried a fencing token", got, n*perNode)
+	}
+}
+
+// livePlannedReorientFencing is the adaptive-topology acceptance check:
+// under real contention, holders plan reorients from inside their
+// critical sections (toward a rotating "hot" node, so the reshape
+// target keeps moving), and the fencing generation must stay strictly
+// monotonic across every planned epoch — the reshape reuses the
+// recovery rounds but must never regenerate the token. Refused plans
+// (mid-reshape, quorum loss, or a protocol without the capability) are
+// fine; the subtest skips only if no reorient was ever planned, so a
+// capable protocol cannot pass vacuously. Run over both substrates, the
+// REORIENT frames cross the wire codec on tcp.
+func livePlannedReorientFencing(t *testing.T, f Factory, sub Substrate) {
+	const n, perNode = 4, 8
+	c, cfg := f.liveCluster(t, sub, n, 1)
+	var lastGen atomic.Uint64 // written only inside the CS, so unraced
+	var planned atomic.Int64
+	var wg sync.WaitGroup
+	for i, id := range cfg.IDs {
+		h := c.Session(id)
+		hot := cfg.IDs[(i+1)%len(cfg.IDs)]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			for j := 0; j < perNode; j++ {
+				g, err := h.Acquire(ctx)
+				if err != nil {
+					t.Errorf("node %d acquire: %v", h.ID(), err)
+					return
+				}
+				if g.Generation > 0 {
+					if prev := lastGen.Load(); g.Generation <= prev {
+						t.Errorf("node %d granted generation %d, not above previous %d",
+							h.ID(), g.Generation, prev)
+					}
+					lastGen.Store(g.Generation)
+				}
+				ok, err := h.PlanReorient(hot)
+				if err != nil {
+					t.Errorf("node %d plan reorient toward %d: %v", h.ID(), hot, err)
+					return
+				}
+				if ok {
+					planned.Add(1)
+				}
+				if err := h.Release(); err != nil {
+					t.Errorf("node %d release: %v", h.ID(), err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if planned.Load() == 0 {
+		t.Skip("no reorient was ever planned (protocol lacks the capability)")
 	}
 }
 

@@ -43,14 +43,22 @@ type Request struct {
 	From   mutex.ID
 	Origin mutex.ID
 	Epoch  uint32
+	// Hops counts the forwards this request has survived: 0 as issued by
+	// Origin, incremented at every intermediate node. The granting node
+	// folds the final count into the PRIVILEGE it dispatches, so the
+	// requester learns — for free, on frames that travel anyway — how far
+	// its request actually walked. That number is the adaptive-topology
+	// work's measurement: the lock service aggregates it per shard, and
+	// dagbench's `-exp topology` sweep reports it as hops/grant.
+	Hops uint16
 }
 
 // Kind implements mutex.Message.
 func (Request) Kind() string { return "REQUEST" }
 
 // Size implements mutex.Message: two integers, per thesis §6.4, plus the
-// recovery epoch.
-func (Request) Size() int { return 2*mutex.IntSize + EpochSize }
+// recovery epoch and the hop counter.
+func (Request) Size() int { return 2*mutex.IntSize + EpochSize + HopSize }
 
 // Privilege is the token. The thesis's PRIVILEGE carries no data at all
 // (§6.4); this implementation extends it with one integer, the fencing
@@ -78,6 +86,12 @@ type Privilege struct {
 	// — which is precisely what the two-message sequence would have
 	// done, minus one message. See Node.ReleaseRequest.
 	Requesting bool
+	// Hops is the forwarding-path length of the REQUEST this token
+	// answers (0 when the grant needed no request to travel: an idle
+	// holder entering directly, recovery reissues). It rides the token
+	// the same way the Requesting flag does — measurement piggybacked on
+	// a frame that travels anyway, no extra message type.
+	Hops uint16
 }
 
 // Kind implements mutex.Message.
@@ -85,14 +99,18 @@ func (Privilege) Kind() string { return "PRIVILEGE" }
 
 // Size implements mutex.Message: one 8-byte generation counter (the
 // thesis's token is empty; the fencing extension costs one integer),
-// the recovery epoch, and the pipelined-handoff request flag.
-func (Privilege) Size() int { return GenSize + EpochSize + 1 }
+// the recovery epoch, the pipelined-handoff request flag, and the
+// request-path hop count.
+func (Privilege) Size() int { return GenSize + EpochSize + 1 + HopSize }
 
 // GenSize is the wire size, in bytes, of the fencing generation counter.
 const GenSize = 8
 
 // EpochSize is the wire size, in bytes, of the recovery epoch counter.
 const EpochSize = 4
+
+// HopSize is the wire size, in bytes, of the request-path hop counter.
+const HopSize = 2
 
 // State names the six node states of the thesis's Figure 4.
 type State uint8
@@ -217,8 +235,9 @@ func (s Snapshot) HasToken() bool { return s.Holding || s.InCS }
 
 // Node is one site running the DAG algorithm.
 type Node struct {
-	id  mutex.ID
-	env mutex.Env
+	id     mutex.ID
+	env    mutex.Env
+	hopEnv mutex.HopGranter // env's optional hop-accounting surface, cached at New
 
 	holding    bool
 	next       mutex.ID
@@ -226,6 +245,17 @@ type Node struct {
 	requesting bool
 	inCS       bool
 	gen        uint64 // fencing counter; travels with the token (see Privilege)
+
+	// Adaptive-topology state. compress switches procedure P2's edge
+	// reversal to the Naimi–Trehel rule (NEXT := Origin instead of
+	// NEXT := From), so every request a node touches rewires it directly
+	// at the requester about to become the new sink; followHops remembers
+	// the stored FOLLOW request's path length until the token leaves;
+	// grantHops is the path length behind the grant currently being
+	// issued (0 for grants that needed no request to travel).
+	compress   bool
+	followHops uint16
+	grantHops  uint16
 
 	// Failure-recovery state (see recover.go). Epoch counts completed
 	// recoveries; dead is the local membership suspicion set; frozen spans
@@ -244,6 +274,9 @@ type Node struct {
 	ackedRequesting bool
 	deferred        []deferredMsg // same-epoch traffic buffered while frozen
 	joinAsked       uint32        // highest epoch we already sent a Join for
+	// planTarget is the hot node a planned reshape (PlanReorient) biases
+	// the next rebuilt orientation toward; Nil outside a planned round.
+	planTarget mutex.ID
 
 	// Coordinator-side recovery state.
 	collecting bool
@@ -276,6 +309,7 @@ type deferredMsg struct {
 
 var _ mutex.Node = (*Node)(nil)
 var _ mutex.MembershipHandler = (*Node)(nil)
+var _ mutex.Reorienter = (*Node)(nil)
 
 // Option configures a Node at construction time.
 type Option func(*Node)
@@ -300,6 +334,22 @@ func WithEventObserver(fn func(Event)) Option {
 // inside the node's handlers and must not block.
 func WithInitObserver(fn func(id mutex.ID)) Option {
 	return func(n *Node) { n.onInit = fn }
+}
+
+// WithPathCompression switches procedure P2's edge reversal from the
+// thesis's NEXT := X (the adjacent forwarder) to the Naimi–Trehel rule
+// NEXT := Y (the originating requester, about to become the new sink).
+// Every node a request passes through then points directly at the
+// requester instead of merely back along the channel the request
+// arrived on, collapsing the forwarding chain the request just
+// traversed: under repeated contention the expected request path drops
+// to O(log n) regardless of the initial tree shape (Lavault's
+// average-case analysis of path reversal). Safety is untouched — the
+// DAG stays acyclic toward the sink because Y is the new sink by
+// definition — and nodes with and without compression interoperate,
+// since the rule is purely local.
+func WithPathCompression() Option {
+	return func(n *Node) { n.compress = true }
 }
 
 // New constructs the node with the given identifier. cfg.Holder designates
@@ -329,6 +379,7 @@ func New(id mutex.ID, env mutex.Env, cfg mutex.Config, opts ...Option) (*Node, e
 		}
 		n.next = p
 	}
+	n.hopEnv, _ = env.(mutex.HopGranter)
 	for _, o := range opts {
 		o(n)
 	}
@@ -416,9 +467,17 @@ func (n *Node) TryRequest() (bool, error) {
 // grant issues the next fencing generation and reports the grant. Every
 // critical-section entry goes through here, so generations are strictly
 // monotonic across the cluster: the counter travels with the token and
-// the token serializes all grants.
+// the token serializes all grants. Environments with hop accounting
+// also receive the granted request's path length (grantHops, set by
+// deliverPrivilege and consumed exactly once here).
 func (n *Node) grant() {
 	n.gen++
+	hops := int(n.grantHops)
+	n.grantHops = 0
+	if n.hopEnv != nil {
+		n.hopEnv.GrantedHops(n.gen, hops)
+		return
+	}
 	n.env.Granted(n.gen)
 }
 
@@ -445,12 +504,15 @@ func (n *Node) Release() error {
 		// local successor pointer is dropped, not served.
 		n.holding = true
 		n.follow = mutex.Nil
+		n.followHops = 0
 		return nil
 	}
 	if n.follow != mutex.Nil {
 		to := n.follow
+		hops := n.followHops
 		n.follow = mutex.Nil
-		n.env.Send(to, Privilege{Generation: n.gen, Epoch: n.epoch})
+		n.followHops = 0
+		n.env.Send(to, Privilege{Generation: n.gen, Epoch: n.epoch, Hops: hops})
 		n.transition(TransPassToken)
 		return nil
 	}
@@ -478,8 +540,10 @@ func (n *Node) ReleaseRequest() error {
 	if !n.staleCS && !n.frozen && n.follow != mutex.Nil && n.next == n.follow {
 		n.inCS = false
 		to := n.follow
+		hops := n.followHops
 		n.follow = mutex.Nil
-		n.env.Send(to, Privilege{Generation: n.gen, Epoch: n.epoch, Requesting: true})
+		n.followHops = 0
+		n.env.Send(to, Privilege{Generation: n.gen, Epoch: n.epoch, Requesting: true, Hops: hops})
 		n.transition(TransPassToken)
 		n.requesting = true
 		n.next = mutex.Nil
@@ -588,16 +652,25 @@ func (n *Node) gateEpoch(from mutex.ID, e uint32) bool {
 //	    else FOLLOW := Y
 //	else send REQUEST(I, Y) to NEXT
 //	NEXT := X
+//
+// Under WithPathCompression the final assignment becomes NEXT := Y —
+// the Naimi–Trehel reversal — so the traversed forwarding chain
+// collapses onto the requester instead of merely reversing edge by
+// edge. Every other line is unchanged.
 func (n *Node) deliverRequest(from mutex.ID, msg Request) error {
 	if msg.From != from {
 		return fmt.Errorf("%w: REQUEST at node %d claims sender %d but arrived from %d",
 			mutex.ErrUnexpectedMessage, n.id, msg.From, from)
 	}
+	rev := msg.From
+	if n.compress {
+		rev = msg.Origin
+	}
 	if n.next == mutex.Nil { // sink
 		if n.holding {
-			n.env.Send(msg.Origin, Privilege{Generation: n.gen, Epoch: n.epoch})
+			n.env.Send(msg.Origin, Privilege{Generation: n.gen, Epoch: n.epoch, Hops: addHop(msg.Hops)})
 			n.holding = false
-			n.next = msg.From
+			n.next = rev
 			n.transition(TransGrantFromHolding)
 			return nil
 		}
@@ -610,12 +683,13 @@ func (n *Node) deliverRequest(from mutex.ID, msg Request) error {
 				mutex.ErrUnexpectedMessage, n.id, n.follow, msg.Origin)
 		}
 		n.follow = msg.Origin
-		n.next = msg.From
+		n.followHops = addHop(msg.Hops)
+		n.next = rev
 		n.transition(TransSaveFollow)
 		return nil
 	}
-	n.env.Send(n.next, Request{From: n.id, Origin: msg.Origin, Epoch: n.epoch})
-	n.next = msg.From
+	n.env.Send(n.next, Request{From: n.id, Origin: msg.Origin, Epoch: n.epoch, Hops: addHop(msg.Hops)})
+	n.next = rev
 	n.transition(TransForward)
 	return nil
 }
@@ -642,12 +716,24 @@ func (n *Node) deliverPrivilege(from mutex.ID, msg Privilege) error {
 	n.gen = msg.Generation
 	n.requesting = false
 	n.inCS = true
+	n.grantHops = msg.Hops
 	n.transition(TransReceiveToken)
 	n.grant()
 	if msg.Requesting {
 		return n.deliverRequest(from, Request{From: from, Origin: from, Epoch: n.epoch})
 	}
 	return nil
+}
+
+// addHop advances a hop counter by one channel traversal, saturating
+// instead of wrapping — a 64k-deep forwarding chain cannot occur in a
+// healthy cluster, but a saturated counter degrades to "at least this
+// far" rather than lying.
+func addHop(h uint16) uint16 {
+	if h == ^uint16(0) {
+		return h
+	}
+	return h + 1
 }
 
 // Storage implements mutex.Node: the thesis's three scalar control

@@ -112,12 +112,13 @@ func TestIdleHolderGrantsRemoteRequestImmediately(t *testing.T) {
 func TestMessageSizesMatchThesisSection64(t *testing.T) {
 	// §6.4: a REQUEST carries two integers. The thesis's PRIVILEGE carries
 	// nothing; ours carries the 8-byte fencing generation, and both carry
-	// the 4-byte recovery epoch the failure extension stamps on them.
-	if got := (Request{}).Size(); got != 2*mutex.IntSize+EpochSize {
-		t.Fatalf("REQUEST size = %d, want %d", got, 2*mutex.IntSize+EpochSize)
+	// the 4-byte recovery epoch the failure extension stamps on them and
+	// the 2-byte hop counter the adaptive-topology extension adds.
+	if got := (Request{}).Size(); got != 2*mutex.IntSize+EpochSize+HopSize {
+		t.Fatalf("REQUEST size = %d, want %d", got, 2*mutex.IntSize+EpochSize+HopSize)
 	}
-	if got := (Privilege{}).Size(); got != GenSize+EpochSize+1 {
-		t.Fatalf("PRIVILEGE size = %d, want %d (fencing generation + epoch + pipelined-request flag)", got, GenSize+EpochSize+1)
+	if got := (Privilege{}).Size(); got != GenSize+EpochSize+1+HopSize {
+		t.Fatalf("PRIVILEGE size = %d, want %d (fencing generation + epoch + pipelined-request flag + hops)", got, GenSize+EpochSize+1+HopSize)
 	}
 }
 

@@ -161,6 +161,9 @@ const (
 	// EventWelcome: this node was re-admitted into a newer epoch (Peer is
 	// the sponsor) or re-admitted a returning peer (see PeerUp).
 	EventWelcome
+	// EventPlanReorient: this node, holding the token, started a planned
+	// reshape epoch toward an observed hot requester (Peer is the target).
+	EventPlanReorient
 )
 
 // String names the event kind for traces.
@@ -188,6 +191,8 @@ func (k EventKind) String() string {
 		return "JOIN"
 	case EventWelcome:
 		return "WELCOME"
+	case EventPlanReorient:
+		return "PLAN-REORIENT"
 	default:
 		return fmt.Sprintf("EventKind(%d)", uint8(k))
 	}
@@ -324,6 +329,50 @@ func (n *Node) PeerUp(peer mutex.ID) error {
 	return nil
 }
 
+// PlanReorient implements mutex.Reorienter: a planned reshape of the DAG
+// toward an observed hot requester, reusing the crash-recovery epoch
+// machinery verbatim — probe round, freeze, REORIENT install — with one
+// difference in the outcome: the rebuilt orientation is the two-level
+// radial around hot (everyone's NEXT points at hot, hot's at the sink)
+// instead of the star around the sink, so subsequent requests from
+// anywhere reach the hot region in at most two forwards.
+//
+// Only the node that possesses the token may plan (anyone else reports
+// false), which makes regeneration impossible by construction: the
+// initiator seeds itself as the round's token holder, so the epoch
+// adopts the existing token and the fencing generation is untouched.
+// Like Regrant, the reshape is refused — false, nil error — while a
+// recovery or earlier reshape is in flight (frozen or collecting), while
+// the current occupancy rides an invalidated token (staleCS), or
+// without a quorum; acknowledged in-flight requests are re-queued as the
+// rebuilt FOLLOW chain and requests issued mid-freeze are reissued, so
+// no waiter is lost.
+func (n *Node) PlanReorient(hot mutex.ID) (bool, error) {
+	if n.uninitialized {
+		return false, fmt.Errorf("%w: node %d not initialized (run Figure 5 INIT first)", mutex.ErrBadConfig, n.id)
+	}
+	if !n.member(hot) {
+		return false, fmt.Errorf("%w: reorient target %d is not a cluster member", mutex.ErrBadConfig, hot)
+	}
+	if n.dead[hot] {
+		return false, fmt.Errorf("%w: reorient target %d is marked dead at node %d", mutex.ErrBadConfig, hot, n.id)
+	}
+	if n.frozen || n.collecting || n.staleCS {
+		return false, nil
+	}
+	if !n.holding && !n.inCS {
+		return false, nil
+	}
+	if !n.quorum() {
+		n.event(EventQuorumLost, hot, 0)
+		return false, nil
+	}
+	n.planTarget = hot
+	n.event(EventPlanReorient, hot, n.gen)
+	n.startRecovery(mutex.Nil)
+	return true, nil
+}
+
 // startRecovery begins (or restarts) a probe round with this node as
 // coordinator. Callers have already checked membership and quorum.
 func (n *Node) startRecovery(dead mutex.ID) {
@@ -374,9 +423,11 @@ func (n *Node) deliverProbe(from mutex.ID, msg Probe) error {
 		n.dead[msg.Dead] = true
 		n.event(EventPeerDown, msg.Dead, 0)
 	}
-	// Cede any collection this node was running itself.
+	// Cede any collection this node was running itself (a planned
+	// reshape it had started is abandoned with it).
 	n.collecting = false
 	n.awaiting = nil
+	n.planTarget = mutex.Nil
 	n.frozen = true
 	n.ackedRequesting = n.requesting
 	n.env.Send(from, ProbeAck{
@@ -453,9 +504,22 @@ func (n *Node) finishRecovery() error {
 		}
 		return mutex.Nil
 	}
+	// A planned reshape biases the rebuilt orientation toward its hot
+	// target: everyone's NEXT points at hot and hot's at the sink (the
+	// two-level radial), instead of the crash recovery's star around the
+	// sink. The bias is consumed exactly once and falls back to the star
+	// when the target died mid-round or already is the sink.
+	hot := n.planTarget
+	n.planTarget = mutex.Nil
+	if hot != mutex.Nil && (n.dead[hot] || hot == sink) {
+		hot = mutex.Nil
+	}
 	nextOf := func(id mutex.ID) mutex.ID {
 		if id == sink {
 			return mutex.Nil
+		}
+		if hot != mutex.Nil && id != hot {
+			return hot
 		}
 		return sink
 	}
@@ -507,6 +571,7 @@ func (n *Node) deliverReorient(from mutex.ID, msg Reorient) error {
 func (n *Node) applyOrientation(isRoot bool, next, follow mutex.ID) {
 	n.next = next
 	n.follow = follow
+	n.followHops = 0 // the rebuilt chain carries no request-path history
 	if !isRoot {
 		if n.holding || n.inCS {
 			n.holding = false
@@ -594,6 +659,7 @@ func (n *Node) deliverWelcome(from mutex.ID, msg Welcome) error {
 	n.dead = make(map[mutex.ID]bool)
 	n.collecting = false
 	n.awaiting = nil
+	n.planTarget = mutex.Nil
 	n.frozen = false
 	n.deferred = nil
 	n.ackedRequesting = false
@@ -604,6 +670,7 @@ func (n *Node) deliverWelcome(from mutex.ID, msg Welcome) error {
 		}
 	}
 	n.follow = mutex.Nil
+	n.followHops = 0
 	n.next = from
 	if n.requesting && !n.inCS {
 		n.env.Send(n.next, Request{From: n.id, Origin: n.id, Epoch: n.epoch})

@@ -27,6 +27,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -39,6 +40,34 @@ import (
 // dialTimeout bounds each upstream dial attempt, so failover walks on
 // to the next member instead of hanging on a dead one.
 const dialTimeout = 2 * time.Second
+
+// Reconnect backoff bounds for a failed upstream. After every failed
+// dial the member is quarantined for a jittered, exponentially growing
+// delay: requests routed there during the quarantine fail over
+// immediately instead of each paying a fresh dial attempt (the previous
+// lazy-redial behavior), and when the member comes back the jitter
+// keeps a fleet of gateways from greeting it with one synchronized
+// thundering herd of redials.
+const (
+	backoffBase = 50 * time.Millisecond
+	backoffCap  = 2 * time.Second
+)
+
+// backoffDelay returns the quarantine after the n-th consecutive dial
+// failure (n >= 1): backoffBase doubled per failure, capped at
+// backoffCap, with uniform jitter over the upper half of the interval
+// — the result is in [cap/2, cap) once saturated. rng supplies the
+// jitter draw in [0, 1) (rand.Float64 in production; fixed in tests).
+func backoffDelay(n int, rng func() float64) time.Duration {
+	d := backoffCap
+	if n < 10 { // beyond 2^9 the shift is past the cap anyway
+		if shifted := backoffBase << (n - 1); shifted < d {
+			d = shifted
+		}
+	}
+	half := d / 2
+	return half + time.Duration(rng()*float64(half))
+}
 
 // Config configures a Gateway.
 type Config struct {
@@ -92,19 +121,26 @@ func (g *Gateway) Close() error {
 	return nil
 }
 
-// upstream is one member connection, dialed lazily and redialed after
-// failures. The mutex serializes dialing, not requests: a healthy
-// connection is handed out immediately and used concurrently.
+// upstream is one member connection, dialed on first use and redialed
+// after failures under a jittered exponential backoff. The mutex
+// serializes dialing, not requests: a healthy connection is handed out
+// immediately and used concurrently.
 type upstream struct {
 	addr string
 
-	mu     sync.Mutex
-	conn   *client.Conn
-	closed bool
+	mu        sync.Mutex
+	conn      *client.Conn
+	closed    bool
+	failures  int       // consecutive failed dials since the last success
+	notBefore time.Time // quarantine deadline; no redial attempt before it
 }
 
 // get returns a healthy connection to this member, dialing (bounded by
-// ctx and dialTimeout) if the previous one died.
+// ctx and dialTimeout) if the previous one died. The dial itself is the
+// health check — it includes the client-protocol handshake — so a
+// success ends the member's quarantine, while a failure extends it
+// exponentially; during a quarantine get fails fast without touching
+// the network, and the failover walk moves on to the next member.
 func (u *upstream) get(ctx context.Context) (*client.Conn, error) {
 	u.mu.Lock()
 	defer u.mu.Unlock()
@@ -118,12 +154,19 @@ func (u *upstream) get(ctx context.Context) (*client.Conn, error) {
 		_ = u.conn.Close()
 		u.conn = nil
 	}
+	if wait := time.Until(u.notBefore); wait > 0 {
+		return nil, fmt.Errorf("gateway: member %s backing off after %d failed dials (next attempt in %s)",
+			u.addr, u.failures, wait.Round(time.Millisecond))
+	}
 	dctx, cancel := context.WithTimeout(ctx, dialTimeout)
 	defer cancel()
 	c, err := client.DialContext(dctx, u.addr)
 	if err != nil {
+		u.failures++
+		u.notBefore = time.Now().Add(backoffDelay(u.failures, rand.Float64))
 		return nil, err
 	}
+	u.failures, u.notBefore = 0, time.Time{}
 	u.conn = c
 	return c, nil
 }

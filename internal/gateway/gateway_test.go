@@ -3,6 +3,9 @@ package gateway
 import (
 	"context"
 	"errors"
+	"io"
+	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -209,4 +212,112 @@ func TestGatewayFailsOverOnMemberKill(t *testing.T) {
 			t.Fatalf("post-recovery acquire %d: %v", i, err)
 		}
 	}
+}
+
+// TestBackoffDelay pins the reconnect-quarantine schedule: exponential
+// doubling from backoffBase, saturation at backoffCap, and jitter
+// confined to the upper half of the interval.
+func TestBackoffDelay(t *testing.T) {
+	zero := func() float64 { return 0 }
+	almostOne := func() float64 { return 0.999999 }
+	for _, tc := range []struct {
+		n    int
+		full time.Duration
+	}{
+		{1, 50 * time.Millisecond},
+		{2, 100 * time.Millisecond},
+		{3, 200 * time.Millisecond},
+		{6, 1600 * time.Millisecond},
+		{7, backoffCap},  // 3200ms capped
+		{10, backoffCap}, // past the shift guard
+		{50, backoffCap}, // a shift here would overflow; the guard must hold
+	} {
+		if got, want := backoffDelay(tc.n, zero), tc.full/2; got != want {
+			t.Errorf("backoffDelay(%d, 0) = %v, want %v", tc.n, got, want)
+		}
+		if got := backoffDelay(tc.n, almostOne); got < tc.full/2 || got >= tc.full {
+			t.Errorf("backoffDelay(%d, ~1) = %v, want in [%v, %v)", tc.n, got, tc.full/2, tc.full)
+		}
+	}
+}
+
+// TestUpstreamQuarantineFailsFast checks the reconnect state machine on
+// a member that refuses connections: the first get pays a real dial,
+// the second fails fast on the quarantine without touching the network,
+// and once the quarantine lapses the dial is retried (and the backoff
+// doubles). A successful dial must clear the state entirely.
+func TestUpstreamQuarantineFailsFast(t *testing.T) {
+	// A listener opened then closed yields a loopback port that refuses
+	// connections immediately.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	u := &upstream{addr: addr}
+	ctx := context.Background()
+	if _, err := u.get(ctx); err == nil {
+		t.Fatal("get on refused port succeeded")
+	}
+	if u.failures != 1 || u.notBefore.IsZero() {
+		t.Fatalf("after first failure: failures=%d notBefore=%v", u.failures, u.notBefore)
+	}
+
+	// Inside the quarantine: fail fast, no dial, failure count frozen.
+	start := time.Now()
+	_, err = u.get(ctx)
+	if err == nil || !strings.Contains(err.Error(), "backing off") {
+		t.Fatalf("quarantined get: err = %v, want backing-off error", err)
+	}
+	if elapsed := time.Since(start); elapsed > 20*time.Millisecond {
+		t.Errorf("quarantined get took %v, want fail-fast", elapsed)
+	}
+	if u.failures != 1 {
+		t.Errorf("quarantined get bumped failures to %d", u.failures)
+	}
+
+	// After the quarantine lapses the dial is retried and the backoff
+	// grows.
+	u.mu.Lock()
+	u.notBefore = time.Now().Add(-time.Millisecond)
+	u.mu.Unlock()
+	if _, err := u.get(ctx); err == nil || strings.Contains(err.Error(), "backing off") {
+		t.Fatalf("post-quarantine get: err = %v, want a fresh dial error", err)
+	}
+	if u.failures != 2 {
+		t.Errorf("after second failure: failures = %d, want 2", u.failures)
+	}
+
+	// A member that comes back clears the quarantine on the next
+	// allowed dial.
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln2.Close()
+	go func() {
+		for {
+			conn, err := ln2.Accept()
+			if err != nil {
+				return
+			}
+			// Absorb the handshake; enough for DialContext to succeed.
+			go func() { _, _ = io.Copy(io.Discard, conn) }()
+		}
+	}()
+	u2 := &upstream{addr: addr, failures: 3, notBefore: time.Now().Add(-time.Millisecond)}
+	u2.addr = ln2.Addr().String()
+	if _, err := u2.get(ctx); err != nil {
+		t.Fatalf("get on live listener: %v", err)
+	}
+	if u2.failures != 0 || !u2.notBefore.IsZero() {
+		t.Errorf("success did not reset quarantine: failures=%d notBefore=%v", u2.failures, u2.notBefore)
+	}
+	u2.mu.Lock()
+	if u2.conn != nil {
+		_ = u2.conn.Close()
+	}
+	u2.mu.Unlock()
 }

@@ -167,8 +167,8 @@ func TestStorageTableShowsDAGConstant(t *testing.T) {
 	if dagRow[1] != "5" || dagRow[2] != "12" || dagRow[3] != "0" {
 		t.Fatalf("dag row %v, want 5 scalars + N=12 membership entries (the failure extension's liveness view)", dagRow)
 	}
-	if dagRow[5] != "13" {
-		t.Fatalf("dag largest message = %s bytes, want 13 (fencing generation + epoch + pipelined-request flag)", dagRow[5])
+	if dagRow[5] != "15" {
+		t.Fatalf("dag largest message = %s bytes, want 15 (fencing generation + epoch + pipelined-request flag + hop counter)", dagRow[5])
 	}
 	skArrays, _ := strconv.Atoi(skRow[2])
 	if skArrays < 12 {

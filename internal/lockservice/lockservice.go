@@ -131,6 +131,33 @@ type Config struct {
 	// remote requesters). 0 means DefaultCohortBudget; negative disables
 	// cohort handoffs entirely.
 	CohortBudget int
+	// Topology selects how each shard's DAG adapts to the request stream.
+	// The zero value is the static policy: the tree built at New stays
+	// fixed, exactly the pre-adaptive behavior.
+	Topology Topology
+}
+
+// Topology is a per-shard adaptive-topology policy. Every participating
+// process of a distributed deployment must use the same policy, like the
+// other shape-determining Config fields.
+type Topology struct {
+	// PathCompression switches the per-shard DAG's edge reversal to the
+	// Naimi–Trehel rule: every node a request passes through re-points
+	// its NEXT edge directly at the requester, collapsing the forwarding
+	// chain the request traversed. Purely local — no extra messages, no
+	// coordination — and drives the expected request path to O(log n)
+	// under contention regardless of the initial tree.
+	PathCompression bool
+	// RebalanceEvery, when positive, starts a per-shard rebalancer that
+	// periodically re-roots the shard's DAG toward its observed hottest
+	// requester (the member with the most grants since the last pass),
+	// using the planned-reorient epoch machinery: the reshape is refused
+	// while a recovery is in flight and never regenerates the token, so
+	// fencing stays strictly monotonic across reshapes. Implies nothing
+	// about compression; the two compose. Over a distributed transport
+	// each process nominates from the grants it observed locally, and
+	// only the process whose member currently has the token reshapes.
+	RebalanceEvery time.Duration
 }
 
 // DefaultCohortBudget is the consecutive-local-handoff bound applied
@@ -210,13 +237,20 @@ type shard struct {
 	slots   []*slot
 	done    <-chan struct{} // service-wide close signal
 
-	grants  atomic.Int64
-	expired atomic.Int64  // holds force-released by the sweeper
-	fence   atomic.Uint64 // highest fencing token granted through this process
+	grants    atomic.Int64
+	expired   atomic.Int64  // holds force-released by the sweeper
+	fence     atomic.Uint64 // highest fencing token granted through this process
+	hops      atomic.Int64  // request-path hops behind all grants (adaptive-topology signal)
+	reorients atomic.Int64  // planned reshapes this process initiated
 
-	mu        sync.Mutex
-	waits     []float64 // reservoir of per-grant waits, milliseconds
-	waitsSeen int       // total grants observed, for reservoir replacement
+	// nodeGrants counts grants per member observed by this process, the
+	// rebalancer's heat signal; len == Nodes, indexed by id-1.
+	nodeGrants []atomic.Int64
+
+	mu         sync.Mutex
+	waits      []float64 // reservoir of per-grant waits, milliseconds
+	waitsSeen  int       // total grants observed, for reservoir replacement
+	lastGrants []int64   // nodeGrants snapshot at the last rebalance pass
 }
 
 // maxWaitSamples bounds the per-shard wait reservoir so a long-lived
@@ -281,6 +315,12 @@ const maxExpiredMarkers = 1024
 func New(cfg Config) (*Service, error) {
 	cfg = cfg.withDefaults()
 	s := &Service{cfg: cfg, shards: make([]*shard, 0, cfg.Shards), done: make(chan struct{})}
+	builder := mutex.Builder(core.Builder)
+	if cfg.Topology.PathCompression {
+		builder = func(id mutex.ID, env mutex.Env, mcfg mutex.Config) (mutex.Node, error) {
+			return core.New(id, env, mcfg, core.WithPathCompression())
+		}
+	}
 	for i := 0; i < cfg.Shards; i++ {
 		tree := cfg.Tree(cfg.Nodes)
 		if tree.N() != cfg.Nodes {
@@ -291,13 +331,14 @@ func New(cfg Config) (*Service, error) {
 		// holding every shard's token.
 		home := mutex.ID(1 + i%cfg.Nodes)
 		mcfg := mutex.Config{IDs: tree.IDs(), Holder: home, Parent: tree.ParentsToward(home)}
-		cluster, err := cfg.Transport.StartShard(i, core.Builder, mcfg)
+		cluster, err := cfg.Transport.StartShard(i, builder, mcfg)
 		if err != nil {
 			s.Close()
 			return nil, fmt.Errorf("lockservice: shard %d: %w", i, err)
 		}
 		sh := &shard{index: i, home: home, route: mutex.Nil, cluster: cluster, lease: cfg.Lease,
-			cohort: cfg.CohortBudget, slots: make([]*slot, cfg.Nodes), done: s.done}
+			cohort: cfg.CohortBudget, slots: make([]*slot, cfg.Nodes), done: s.done,
+			nodeGrants: make([]atomic.Int64, cfg.Nodes), lastGrants: make([]int64, cfg.Nodes)}
 		for n := 0; n < cfg.Nodes; n++ {
 			h := cluster.Session(mutex.ID(n + 1))
 			if h == nil {
@@ -317,6 +358,9 @@ func New(cfg Config) (*Service, error) {
 		}
 		s.shards = append(s.shards, sh)
 		go sh.sweep(cfg.SweepInterval)
+		if cfg.Topology.RebalanceEvery > 0 {
+			go sh.rebalance(cfg.Topology.RebalanceEvery)
+		}
 	}
 	return s, nil
 }
@@ -524,7 +568,7 @@ func (sh *shard) acquire(ctx context.Context, id mutex.ID, resource string) (Hol
 	sl.fence = grant.Generation
 	sl.expires = hold.Expires
 	sl.mu.Unlock()
-	sh.grants.Add(1)
+	sh.noteGrant(id, grant.Hops)
 	sh.storeFence(grant.Generation)
 	sh.recordWait(time.Since(start))
 	return hold, nil
@@ -584,7 +628,7 @@ func (sh *shard) tryAcquire(id mutex.ID, resource string) (Hold, bool, error) {
 	sl.fence = grant.Generation
 	sl.expires = hold.Expires
 	sl.mu.Unlock()
-	sh.grants.Add(1)
+	sh.noteGrant(id, grant.Hops)
 	sh.storeFence(grant.Generation)
 	sh.recordWait(0)
 	return hold, true, nil
@@ -822,6 +866,81 @@ func (sh *shard) recordWait(d time.Duration) {
 	sh.mu.Unlock()
 }
 
+// noteGrant records one grant against member id: the shard total, the
+// per-member heat signal the rebalancer reads, and the hop count of the
+// request path the grant traveled.
+func (sh *shard) noteGrant(id mutex.ID, hops int) {
+	sh.grants.Add(1)
+	sh.nodeGrants[id-1].Add(1)
+	sh.hops.Add(int64(hops))
+}
+
+// rebalance is the shard's adaptive-topology loop: on every tick it runs
+// one rebalance pass (see rebalanceOnce).
+func (sh *shard) rebalance(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-sh.done:
+			return
+		case <-t.C:
+			sh.rebalanceOnce()
+		}
+	}
+}
+
+// rebalanceOnce re-roots the shard toward its hottest member — the one
+// with the most grants since the previous pass, as observed by this
+// process. Only the member currently possessing the token can reshape
+// (PlanReorient refuses everywhere else, and mid-recovery, without
+// error), so the pass offers the plan to every hosted slot and stops at
+// the first taker. Reports whether a reshape was planned.
+func (sh *shard) rebalanceOnce() bool {
+	sh.mu.Lock()
+	hot, best := mutex.Nil, int64(0)
+	for i := range sh.nodeGrants {
+		n := sh.nodeGrants[i].Load()
+		if d := n - sh.lastGrants[i]; d > best {
+			hot, best = mutex.ID(i+1), d
+		}
+		sh.lastGrants[i] = n
+	}
+	sh.mu.Unlock()
+	if hot == mutex.Nil {
+		return false // idle interval: nothing to adapt to
+	}
+	for _, sl := range sh.slots {
+		if sl == nil {
+			continue
+		}
+		planned, err := sl.session.PlanReorient(hot)
+		if err != nil {
+			continue // e.g. the hot member died since we counted it
+		}
+		if planned {
+			sh.reorients.Add(1)
+			return true
+		}
+	}
+	return false
+}
+
+// RebalanceNow runs one synchronous rebalance pass over every shard,
+// regardless of the configured cadence, and returns how many shards
+// planned a reshape. Benchmarks and tests use it to adapt at
+// deterministic points; production deployments normally rely on
+// Topology.RebalanceEvery instead.
+func (s *Service) RebalanceNow() int {
+	planned := 0
+	for _, sh := range s.shards {
+		if sh.rebalanceOnce() {
+			planned++
+		}
+	}
+	return planned
+}
+
 // ShardStats is one shard's counters.
 type ShardStats struct {
 	Shard int
@@ -838,6 +957,13 @@ type ShardStats struct {
 	Fence uint64
 	// Messages counts protocol messages the shard cluster exchanged.
 	Messages int64
+	// Hops counts the request-path hops behind all grants: how many nodes
+	// each granted request traveled through. Hops/Grants is the mean path
+	// length — the signal adaptive topology policies drive down.
+	Hops int64
+	// Reorients counts planned topology reshapes this process initiated
+	// on the shard (always 0 under the static policy).
+	Reorients int64
 	// Wait summarizes acquire latency in milliseconds, over a bounded
 	// uniform reservoir of at most maxWaitSamples recent-and-past grants.
 	Wait metrics.Summary
@@ -846,10 +972,13 @@ type ShardStats struct {
 // Stats aggregates the per-shard counters.
 type Stats struct {
 	PerShard []ShardStats
-	// Grants, Expired and Messages are the service-wide totals.
-	Grants   int64
-	Expired  int64
-	Messages int64
+	// Grants, Expired, Messages, Hops and Reorients are the service-wide
+	// totals.
+	Grants    int64
+	Expired   int64
+	Messages  int64
+	Hops      int64
+	Reorients int64
 	// Wait summarizes acquire latency in milliseconds across all shards.
 	Wait metrics.Summary
 }
@@ -867,18 +996,22 @@ func (s *Service) Stats() Stats {
 		n := sh.waitsSeen
 		sh.mu.Unlock()
 		ss := ShardStats{
-			Shard:    sh.index,
-			Home:     sh.home,
-			Grants:   sh.grants.Load(),
-			Expired:  sh.expired.Load(),
-			Fence:    sh.fence.Load(),
-			Messages: sh.cluster.Messages(),
-			Wait:     metrics.Summarize(waits),
+			Shard:     sh.index,
+			Home:      sh.home,
+			Grants:    sh.grants.Load(),
+			Expired:   sh.expired.Load(),
+			Fence:     sh.fence.Load(),
+			Messages:  sh.cluster.Messages(),
+			Hops:      sh.hops.Load(),
+			Reorients: sh.reorients.Load(),
+			Wait:      metrics.Summarize(waits),
 		}
 		st.PerShard = append(st.PerShard, ss)
 		st.Grants += ss.Grants
 		st.Expired += ss.Expired
 		st.Messages += ss.Messages
+		st.Hops += ss.Hops
+		st.Reorients += ss.Reorients
 		samples = append(samples, waits)
 		seen = append(seen, n)
 		totalSeen += n

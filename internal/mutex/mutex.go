@@ -103,6 +103,38 @@ type Regranter interface {
 	Regrant() (granted bool, err error)
 }
 
+// Reorienter is an optional capability of protocol nodes that can
+// reshape the protocol's routing structure around an observed hot spot
+// without moving the token or advancing the fencing generation — the
+// planned counterpart of crash recovery. A successful PlanReorient
+// starts an asynchronous reshape epoch; requests in flight when it
+// starts are re-queued by the reshape, so no grant is lost and fencing
+// stays strictly monotonic. Only the node that currently possesses the
+// token may plan a reshape (anyone else returns false), which also
+// guarantees the reshape can never regenerate a token.
+type Reorienter interface {
+	// PlanReorient plans a reshape that shortens paths toward hot,
+	// reporting whether a reshape epoch was started. False with a nil
+	// error means the reshape is currently unavailable — this node does
+	// not hold the token, a recovery or earlier reshape is still in
+	// flight, or the cluster lacks a quorum — and the caller may simply
+	// retry later. An unknown or dead target is an error.
+	PlanReorient(hot ID) (planned bool, err error)
+}
+
+// HopGranter is an optional capability of Env implementations that want
+// the request path length behind each grant. A protocol that tracks how
+// many hops the granted REQUEST travelled calls GrantedHops instead of
+// Granted when the environment supports it; hops is 0 for grants that
+// required no network traffic (an idle holder entering directly, a
+// cohort regrant). The two calls are otherwise identical, and protocols
+// without hop accounting just call Granted.
+type HopGranter interface {
+	// GrantedHops is Env.Granted plus the number of protocol messages
+	// the granted request travelled before the token was dispatched.
+	GrantedHops(gen uint64, hops int)
+}
+
 // MembershipHandler is an optional capability of protocol nodes that can
 // survive membership changes: a failure detector (or an operator) reports
 // a peer as crashed with PeerDown, and as returned with PeerUp. Both are

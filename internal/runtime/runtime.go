@@ -91,6 +91,13 @@ type Grant struct {
 	// direct member grants, which are lease-free at this layer (the lock
 	// service layers its own leases above).
 	Expires time.Time
+	// Hops is the number of protocol messages the granted request
+	// travelled before the token was dispatched, when the protocol
+	// reports it (the DAG algorithm's hop-stamped REQUEST/PRIVILEGE);
+	// 0 for grants that needed no network traffic and for protocols
+	// without hop accounting. The lock service aggregates it per shard
+	// as the adaptive-topology feedback signal.
+	Hops int
 }
 
 // Envelope is one in-flight protocol message with its transport-level
@@ -248,8 +255,18 @@ func (e env) Send(to mutex.ID, m mutex.Message) {
 // Granted signals the waiting Acquire, if any, carrying the protocol's
 // fencing generation and the local grant time.
 func (e env) Granted(gen uint64) {
+	e.deposit(Grant{Generation: gen, At: time.Now()})
+}
+
+// GrantedHops implements mutex.HopGranter: Granted plus the granted
+// request's path length, for protocols that track it.
+func (e env) GrantedHops(gen uint64, hops int) {
+	e.deposit(Grant{Generation: gen, At: time.Now(), Hops: hops})
+}
+
+func (e env) deposit(g Grant) {
 	select {
-	case e.n.granted <- Grant{Generation: gen, At: time.Now()}:
+	case e.n.granted <- g:
 	default:
 		// A grant with no waiter indicates a protocol double-grant; it
 		// will surface as ErrOutstanding on the next request.
@@ -620,6 +637,36 @@ func (s *Session) Regrant() (bool, error) {
 	granted, err := rg.Regrant()
 	n.mu.Unlock()
 	return granted, err
+}
+
+// PlanReorient asks the protocol to reshape its routing structure
+// toward hot — the planned counterpart of crash recovery, used by the
+// lock service's Rebalance topology policy to re-root a shard's DAG at
+// its observed hottest requester. It reports false (with no error) when
+// the reshape is currently unavailable: this node does not possess the
+// token (only the holder may reshape, which is what keeps the fencing
+// generation untouched — no token is ever regenerated), a recovery or
+// earlier reshape is still in flight, the cluster lacks a quorum, or
+// the protocol has no reshaping capability at all. The reshape runs
+// asynchronously; requests in flight when it starts are re-queued by
+// the rebuilt orientation, so no grant is lost.
+func (s *Session) PlanReorient(hot mutex.ID) (bool, error) {
+	n := s.n
+	if n.selfDown.Load() {
+		return false, fmt.Errorf("reorient node %d: %w", n.id, ErrNodeDown)
+	}
+	n.mu.Lock()
+	ro, ok := n.node.(mutex.Reorienter)
+	if !ok {
+		n.mu.Unlock()
+		return false, nil
+	}
+	planned, err := ro.PlanReorient(hot)
+	n.mu.Unlock()
+	// Unlike Regrant, a planned reshape sends traffic (the probe round),
+	// so the handler turn's batched sends must leave now.
+	n.flushInline()
+	return planned, err
 }
 
 // Membership exposes the node's membership observations (peer down/up

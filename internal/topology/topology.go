@@ -237,6 +237,41 @@ func RadiatingStar(arms, armLen int) *Tree {
 	return MustNew(fmt.Sprintf("radiating-star-%dx%d", arms, armLen), n, edges)
 }
 
+// Radial returns a balanced two-level radial tree on any n: node 1 at
+// the center, an inner ring of ~sqrt(n-1) spokes, and the remaining
+// nodes as leaves distributed round-robin among the spokes. Unlike
+// RadiatingStar it needs no divisibility of n-1, so sweeps can compare
+// the shape at arbitrary sizes. Its diameter is 4 (for n large enough
+// to have leaves), between the star's 2 and the chain's n-1 — the
+// middle ground the adaptive-topology comparison measures against.
+func Radial(n int) *Tree {
+	inner := 0
+	for (inner+1)*(inner+1) <= n-1 {
+		inner++
+	}
+	edges := make([][2]mutex.ID, 0, n-1)
+	for i := 2; i <= n; i++ {
+		parent := mutex.ID(1)
+		if i-2 >= inner {
+			parent = mutex.ID(2 + (i-2-inner)%inner)
+		}
+		edges = append(edges, [2]mutex.ID{parent, mutex.ID(i)})
+	}
+	return MustNew("radial", n, edges)
+}
+
+// MeanDepth returns the mean distance from every node to root: the
+// expected request path length when root possesses the token and
+// requesters are uniform — the static shape metric the adaptive
+// policies (path compression, rebalancing) drive the live DAG below.
+func (t *Tree) MeanDepth(root mutex.ID) float64 {
+	total := 0
+	for _, id := range t.IDs() {
+		total += t.Dist(root, id)
+	}
+	return float64(total) / float64(t.n)
+}
+
 // KAry returns a complete-as-possible k-ary tree on n nodes rooted at 1,
 // filled level by level (node i's parent is (i-2)/k + 1).
 func KAry(n, k int) *Tree {

@@ -232,3 +232,87 @@ func TestNeighborsReturnsCopy(t *testing.T) {
 		t.Fatal("Neighbors exposed internal slice")
 	}
 }
+
+// TestDegenerateTreeMetrics pins every shape metric on the n=1 and n=2
+// trees, where the BFS machinery has no interior to traverse: the
+// adaptive-topology planner consults these on tiny shards, so the
+// degenerate answers must be exact, not accidental.
+func TestDegenerateTreeMetrics(t *testing.T) {
+	one := MustNew("one", 1, nil)
+	if got := one.Center(); got != 1 {
+		t.Errorf("singleton Center = %d, want 1", got)
+	}
+	if got := one.Path(1, 1); len(got) != 1 || got[0] != 1 {
+		t.Errorf("singleton Path(1,1) = %v, want [1]", got)
+	}
+	if got := one.Dist(1, 1); got != 0 {
+		t.Errorf("singleton Dist(1,1) = %d, want 0", got)
+	}
+	if a, b := one.DiameterEndpoints(); a != 1 || b != 1 {
+		t.Errorf("singleton DiameterEndpoints = %d,%d, want 1,1", a, b)
+	}
+	if got := one.MeanDepth(1); got != 0 {
+		t.Errorf("singleton MeanDepth = %v, want 0", got)
+	}
+
+	two := Line(2)
+	if got := two.Diameter(); got != 1 {
+		t.Errorf("two-node Diameter = %d, want 1", got)
+	}
+	if got := two.Center(); got != 1 {
+		t.Errorf("two-node Center = %d, want 1 (tie broken low)", got)
+	}
+	if got := two.Path(2, 1); len(got) != 2 || got[0] != 2 || got[1] != 1 {
+		t.Errorf("two-node Path(2,1) = %v, want [2 1]", got)
+	}
+	if got := two.Eccentricity(2); got != 1 {
+		t.Errorf("two-node Eccentricity(2) = %d, want 1", got)
+	}
+	if got := two.MeanDepth(1); got != 0.5 {
+		t.Errorf("two-node MeanDepth(1) = %v, want 0.5", got)
+	}
+}
+
+// TestMustNewPanicsOnBadShape checks the panic contract directly: the
+// statically-known-good builders lean on it, so an invalid shape must
+// abort construction loudly rather than return a half-built tree.
+func TestMustNewPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew accepted a disconnected shape without panicking")
+		}
+	}()
+	MustNew("bad", 4, [][2]mutex.ID{{1, 2}, {3, 4}, {1, 2}})
+}
+
+// TestRadialShape validates the balanced two-level radial at the sizes
+// the topology sweep uses — including n-1 prime (where RadiatingStar
+// has no non-degenerate factoring) and the degenerate small n.
+func TestRadialShape(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 10, 32} {
+		r := Radial(n)
+		if r.N() != n {
+			t.Fatalf("Radial(%d).N() = %d", n, r.N())
+		}
+		if n >= 2 && r.Dist(1, 2) != 1 {
+			t.Errorf("Radial(%d): first spoke not adjacent to center", n)
+		}
+		if d := r.Diameter(); d > 4 {
+			t.Errorf("Radial(%d) diameter = %d, want <= 4", n, d)
+		}
+	}
+	// At n=32 the 31 non-center nodes split into 5 spokes + 26 leaves;
+	// depth never exceeds 2, so the shape sits between star and chain.
+	r := Radial(32)
+	for _, id := range r.IDs() {
+		if d := r.Dist(1, id); d > 2 {
+			t.Errorf("Radial(32): node %d at depth %d, want <= 2", id, d)
+		}
+	}
+	if star, radial := Star(32).MeanDepth(1), r.MeanDepth(1); radial <= star {
+		t.Errorf("Radial(32) mean depth %v not above star's %v", radial, star)
+	}
+	if chain, radial := Line(32).MeanDepth(1), r.MeanDepth(1); radial >= chain {
+		t.Errorf("Radial(32) mean depth %v not below chain's %v", radial, chain)
+	}
+}

@@ -38,10 +38,11 @@ const (
 )
 
 // DAGCodec encodes the messages of the thesis's algorithm plus the
-// failure extension. A REQUEST is thirteen bytes on the wire (tag + two
-// 32-bit identifiers + the 32-bit recovery epoch); a PRIVILEGE is a tag
-// byte plus the 64-bit fencing generation, the epoch and the
-// pipelined-request flag. The recovery
+// failure extension. A REQUEST is fifteen bytes on the wire (tag + two
+// 32-bit identifiers + the 32-bit recovery epoch + the 16-bit hop
+// counter); a PRIVILEGE is a tag byte plus the 64-bit fencing
+// generation, the epoch, the pipelined-request flag and the 16-bit
+// request-path hop count. The recovery
 // messages (PROBE, PROBEACK, REORIENT, JOIN, WELCOME) and the failure
 // detector's HEARTBEAT are encoded alongside, so one framed connection
 // carries protocol, recovery and liveness traffic alike.
@@ -63,12 +64,14 @@ func (DAGCodec) AppendEncode(dst []byte, m mutex.Message) ([]byte, error) {
 		dst = append(dst, wireRequest)
 		dst = binary.BigEndian.AppendUint32(dst, uint32(msg.From))
 		dst = binary.BigEndian.AppendUint32(dst, uint32(msg.Origin))
-		return binary.BigEndian.AppendUint32(dst, msg.Epoch), nil
+		dst = binary.BigEndian.AppendUint32(dst, msg.Epoch)
+		return binary.BigEndian.AppendUint16(dst, msg.Hops), nil
 	case core.Privilege:
 		dst = append(dst, wirePrivilege)
 		dst = binary.BigEndian.AppendUint64(dst, msg.Generation)
 		dst = binary.BigEndian.AppendUint32(dst, msg.Epoch)
-		return append(dst, boolByte(msg.Requesting)), nil
+		dst = append(dst, boolByte(msg.Requesting))
+		return binary.BigEndian.AppendUint16(dst, msg.Hops), nil
 	case failure.Heartbeat:
 		return append(dst, wireHeartbeat), nil
 	case core.Probe:
@@ -105,22 +108,24 @@ func (DAGCodec) Decode(data []byte) (mutex.Message, error) {
 	}
 	switch data[0] {
 	case wireRequest:
-		if len(data) != 13 {
-			return nil, fmt.Errorf("dag codec: REQUEST frame has %d bytes, want 13", len(data))
+		if len(data) != 15 {
+			return nil, fmt.Errorf("dag codec: REQUEST frame has %d bytes, want 15", len(data))
 		}
 		return core.Request{
 			From:   mutex.ID(binary.BigEndian.Uint32(data[1:5])),
 			Origin: mutex.ID(binary.BigEndian.Uint32(data[5:9])),
 			Epoch:  binary.BigEndian.Uint32(data[9:13]),
+			Hops:   binary.BigEndian.Uint16(data[13:15]),
 		}, nil
 	case wirePrivilege:
-		if len(data) != 14 {
-			return nil, fmt.Errorf("dag codec: PRIVILEGE frame has %d bytes, want 14", len(data))
+		if len(data) != 16 {
+			return nil, fmt.Errorf("dag codec: PRIVILEGE frame has %d bytes, want 16", len(data))
 		}
 		return core.Privilege{
 			Generation: binary.BigEndian.Uint64(data[1:9]),
 			Epoch:      binary.BigEndian.Uint32(data[9:13]),
 			Requesting: data[13] != 0,
+			Hops:       binary.BigEndian.Uint16(data[14:16]),
 		}, nil
 	case wireHeartbeat:
 		if len(data) != 1 {

@@ -14,9 +14,9 @@ import (
 // a field cannot pass by luck of the zero value.
 func everyFrame() []mutex.Message {
 	return []mutex.Message{
-		core.Request{From: 3, Origin: 7, Epoch: 9},
-		core.Privilege{Generation: 1<<40 + 5, Epoch: 3},
-		core.Privilege{Generation: 42, Epoch: 3, Requesting: true},
+		core.Request{From: 3, Origin: 7, Epoch: 9, Hops: 511},
+		core.Privilege{Generation: 1<<40 + 5, Epoch: 3, Hops: 30},
+		core.Privilege{Generation: 42, Epoch: 3, Requesting: true, Hops: 1},
 		failure.Heartbeat{},
 		core.Probe{Epoch: 5, Dead: 2},
 		core.ProbeAck{Epoch: 5, HasToken: true, Requesting: true, Generation: 77},
@@ -124,13 +124,47 @@ func TestPooledBufferReuseDoesNotAliasFrames(t *testing.T) {
 	}
 }
 
-// TestCodecRejectsLegacyPrivilegeLength pins the frame-size bump that
-// came with the Requesting flag: the previous 13-byte PRIVILEGE layout
-// must be rejected, not silently mis-decoded.
-func TestCodecRejectsLegacyPrivilegeLength(t *testing.T) {
-	legacy := make([]byte, 13)
-	legacy[0] = 2 // wirePrivilege
-	if _, err := (DAGCodec{}).Decode(legacy); err == nil {
-		t.Fatal("Decode accepted a 13-byte pre-extension PRIVILEGE frame")
+// TestCodecRejectsLegacyFrameLengths pins the frame-size bumps the wire
+// extensions introduced: the pre-Requesting 13-byte PRIVILEGE, the
+// pre-hop-counter 14-byte PRIVILEGE and 13-byte REQUEST layouts must all
+// be rejected, not silently mis-decoded.
+func TestCodecRejectsLegacyFrameLengths(t *testing.T) {
+	for _, tc := range []struct {
+		kind string
+		tag  byte
+		n    int
+	}{
+		{"PRIVILEGE pre-Requesting", 2, 13},
+		{"PRIVILEGE pre-hops", 2, 14},
+		{"REQUEST pre-hops", 1, 13},
+	} {
+		legacy := make([]byte, tc.n)
+		legacy[0] = tc.tag
+		if _, err := (DAGCodec{}).Decode(legacy); err == nil {
+			t.Fatalf("Decode accepted a %d-byte %s frame", tc.n, tc.kind)
+		}
+	}
+}
+
+// TestRequestHopCounterSurvivesCodec pins the adaptive-topology wire
+// extension both ways: hop counts on REQUEST and PRIVILEGE round-trip
+// exactly, including the saturation value.
+func TestRequestHopCounterSurvivesCodec(t *testing.T) {
+	for _, m := range []mutex.Message{
+		core.Request{From: 1, Origin: 2, Epoch: 1, Hops: 0},
+		core.Request{From: 1, Origin: 2, Epoch: 1, Hops: 65535},
+		core.Privilege{Generation: 3, Epoch: 1, Hops: 65535},
+	} {
+		b, err := DAGCodec{}.Encode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DAGCodec{}.Decode(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != m {
+			t.Fatalf("hop round-trip %#v -> %#v", m, got)
+		}
 	}
 }

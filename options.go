@@ -2,6 +2,7 @@ package dagmutex
 
 import (
 	"context"
+	"time"
 
 	"dagmutex/internal/core"
 	"dagmutex/internal/failure"
@@ -50,6 +51,7 @@ type openOptions struct {
 	member    ID
 	startCtx  context.Context
 	queue     *transport.ClientQueue
+	policy    TopologyPolicy
 }
 
 // WithTransport selects the substrate: Local (default) or TCP(listen).
@@ -117,4 +119,48 @@ func WithClientQueue(depth int, rate float64, burst int) Option {
 // 10 s deadline.
 func WithStartupContext(ctx context.Context) Option {
 	return func(o *openOptions) { o.startCtx = ctx }
+}
+
+// TopologyPolicy selects how a cluster's DAG adapts to the request
+// stream at runtime. The zero value is Static. Construct the adaptive
+// policies with PathCompress or Rebalance; every member of a cluster
+// (and every participating process of a distributed deployment) must
+// use the same policy.
+type TopologyPolicy struct {
+	compress bool
+	every    time.Duration
+}
+
+// Static is the non-adaptive policy, and the default: the DAG's shape
+// changes only by the paper's own edge reversal, one edge per request
+// hop, so the initial tree's geometry keeps governing message cost.
+var Static = TopologyPolicy{}
+
+// PathCompress returns the path-compressing policy: every node a
+// request passes through re-points its NEXT edge directly at the
+// requester (the Naimi–Trehel reversal) instead of at the neighbor the
+// request arrived from. Compression is purely local — no extra messages
+// and no coordination — and keeps the expected request path short under
+// contention regardless of the initial tree, so a pessimal chain decays
+// toward the star the thesis proves optimal.
+func PathCompress() TopologyPolicy { return TopologyPolicy{compress: true} }
+
+// Rebalance returns the fully adaptive policy: path compression plus,
+// in a lock service, a per-shard rebalancer that every interval
+// re-roots the shard's DAG around its observed hottest requester using
+// the planned-reorient epoch rounds (see Session.PlanReorient for the
+// machinery and its refusal conditions: a reshape is declined while a
+// recovery or another reshape is in flight, and never regenerates the
+// token, so fencing stays strictly monotonic). For Open and OpenPeer —
+// bare clusters with no grant-rate vantage point — Rebalance applies
+// its compression half and leaves re-rooting to explicit
+// Session.PlanReorient calls.
+func Rebalance(interval time.Duration) TopologyPolicy {
+	return TopologyPolicy{compress: true, every: interval}
+}
+
+// WithTopologyPolicy selects the adaptive-topology policy for Open,
+// OpenPeer and OpenLockService. Default Static.
+func WithTopologyPolicy(p TopologyPolicy) Option {
+	return func(o *openOptions) { o.policy = p }
 }
