@@ -25,6 +25,8 @@ const defaultStartupTimeout = 10 * time.Second
 type Cluster struct {
 	backend clusterBackend
 	tree    *Tree
+	reg     *Telemetry       // WithTelemetry (or the one WithDebugAddr installed)
+	debug   *TelemetryServer // WithDebugAddr
 }
 
 // clusterBackend is the substrate-side surface a Cluster drives;
@@ -108,7 +110,23 @@ func Open(tree *Tree, holder ID, opts ...Option) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Cluster{backend: backend, tree: tree}
+	c := &Cluster{backend: backend, tree: tree, reg: o.telemetry}
+	if o.debugAddr != nil && c.reg == nil {
+		c.reg = NewTelemetry()
+	}
+	if c.reg != nil {
+		c.reg.Gauge("dagmutex_messages_total", func() float64 {
+			return float64(backend.Messages())
+		})
+	}
+	if o.debugAddr != nil {
+		srv, err := ServeTelemetry(*o.debugAddr, c.reg)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("dagmutex: debug endpoints: %w", err)
+		}
+		c.debug = srv
+	}
 	if o.init {
 		if err := c.startInit(holder, initDone, o.startCtx); err != nil {
 			c.Close()
@@ -126,6 +144,9 @@ func coreOptions(o *openOptions, extra ...core.Option) []core.Option {
 	}
 	if o.policy.compress {
 		opts = append(opts, core.WithPathCompression())
+	}
+	if o.trace != nil {
+		opts = append(opts, core.WithTraceObserver(o.trace))
 	}
 	return append(opts, extra...)
 }
@@ -202,7 +223,26 @@ func (c *Cluster) Messages() int64 { return c.backend.Messages() }
 func (c *Cluster) Err() error { return c.backend.Err() }
 
 // Close stops the cluster's goroutines and waits for them to exit.
-func (c *Cluster) Close() { c.backend.Close() }
+func (c *Cluster) Close() {
+	if c.debug != nil {
+		c.debug.Close()
+	}
+	c.backend.Close()
+}
+
+// Metrics returns the telemetry registry the cluster was opened with
+// (WithTelemetry, or the one WithDebugAddr installed), or nil when the
+// cluster runs uninstrumented.
+func (c *Cluster) Metrics() *Telemetry { return c.reg }
+
+// DebugAddr returns the bound address of the debug endpoints
+// (WithDebugAddr), or "" when they are not being served.
+func (c *Cluster) DebugAddr() string {
+	if c.debug == nil {
+		return ""
+	}
+	return c.debug.Addr()
+}
 
 // Kill crashes member id: it falls silent mid-whatever-it-was-doing, its
 // own Session fails fast with ErrNodeDown, and — when the cluster was
@@ -292,6 +332,18 @@ func OpenLockService(cfg LockServiceConfig, opts ...Option) (*LockService, error
 	}
 	if o.policy.compress || o.policy.every > 0 {
 		cfg.Topology = lockservice.Topology{PathCompression: o.policy.compress, RebalanceEvery: o.policy.every}
+	}
+	if o.telemetry != nil {
+		cfg.Telemetry = o.telemetry
+	}
+	if o.trace != nil {
+		cfg.TraceObserver = o.trace
+	}
+	if o.debugAddr != nil {
+		cfg.DebugAddr = *o.debugAddr
+		if cfg.DebugAddr == "" {
+			cfg.DebugAddr = "127.0.0.1:0"
+		}
 	}
 	if !o.transport.tcp {
 		if o.member != Nil {

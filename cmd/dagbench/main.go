@@ -37,6 +37,7 @@ import (
 	"dagmutex/internal/lockservice"
 	"dagmutex/internal/mutex"
 	"dagmutex/internal/sim"
+	"dagmutex/internal/telemetry"
 	"dagmutex/internal/workload"
 )
 
@@ -55,12 +56,18 @@ type lockOptions struct {
 	lease         time.Duration
 	overholdEvery int
 	churn         bool // set by the lease experiment: enable stuck-client overholding
+	instrument    bool // set by the telemetry experiment: attach a live registry and trace observer
 }
 
 func main() {
 	exp := flag.String("exp", "all",
 		"experiment(s) to run, comma-separated: 6.1, 6.2, 6.2-placement, 6.2-heavy, 6.3, 6.4, topo, load, all, "+
-			"or the live benchmarks lock, topology, lease, clients and chaos (not part of all)")
+			"or the live benchmarks lock, topology, lease, clients, chaos and telemetry (not part of all)")
+	telemetryMode := flag.Bool("telemetry", false,
+		"run the telemetry-overhead benchmark (shorthand for -exp telemetry): the lock sweep bare vs. fully instrumented, asserting the traced run stays within the overhead budget")
+	var tl telemetryOptions
+	flag.Float64Var(&tl.maxOverhead, "telemetry-max-overhead", 5,
+		"telemetry: fail when the instrumented sweep's throughput loss exceeds this percentage (<= 0 disables the assertion)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	jsonOut := flag.Bool("json", false, "emit one JSON array of result tables (overrides -csv)")
 	seed := flag.Int64("seed", 1, "random seed for randomized scenarios")
@@ -120,7 +127,15 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	err := run(os.Stdout, *exp, *csv, *jsonOut, *gen, *seed, lo, co, cl, to)
+	selectedExp := *exp
+	if *telemetryMode {
+		if selectedExp == "all" {
+			selectedExp = "telemetry"
+		} else {
+			selectedExp += ",telemetry"
+		}
+	}
+	err := run(os.Stdout, selectedExp, *csv, *jsonOut, *gen, *seed, lo, co, cl, to, tl)
 	if *cpuprofile != "" {
 		pprof.StopCPUProfile() // flush before any exit below; the deferred stop is then a no-op
 	}
@@ -158,7 +173,7 @@ type runMeta struct {
 	NumCPU     int    `json:"ncpu"`
 }
 
-func run(w io.Writer, exp string, csv, jsonOut bool, gen string, seed int64, lo lockOptions, co chaosOptions, cl clientsOptions, to topoOptions) error {
+func run(w io.Writer, exp string, csv, jsonOut bool, gen string, seed int64, lo lockOptions, co chaosOptions, cl clientsOptions, to topoOptions, tl telemetryOptions) error {
 	// JSON is one array, so tables accumulate and emit at the end; the
 	// table/CSV modes stream each experiment as it completes.
 	var tables []*harness.Table
@@ -230,6 +245,7 @@ func run(w io.Writer, exp string, csv, jsonOut bool, gen string, seed int64, lo 
 		{"lease", true, func() (*harness.Table, error) { return leaseTable(lo, seed) }},
 		{"clients", true, func() (*harness.Table, error) { return clientsTable(lo, cl, seed) }},
 		{"chaos", true, func() (*harness.Table, error) { return chaosTable(co, seed) }},
+		{"telemetry", true, func() (*harness.Table, error) { return telemetryTable(lo, tl, seed) }},
 	}
 
 	// Validate the whole -exp list up front, so "6.2,bogus" fails with a
@@ -493,6 +509,16 @@ func lockConfig(lo lockOptions, shards int) lockservice.Config {
 	cfg := lockservice.Config{Shards: shards, Nodes: lo.nodes, Lease: lo.lease}
 	if lo.lease > 0 {
 		cfg.SweepInterval = lo.lease / 8
+	}
+	if lo.instrument {
+		// The telemetry experiment's traced variant: the full
+		// observability stack as a production deployment runs it — a
+		// registry the service feeds per-shard instruments into, and a
+		// trace observer invoked on every protocol event. The observer
+		// body is empty so the experiment measures the stack's own cost,
+		// not a consumer's.
+		cfg.Telemetry = telemetry.NewRegistry()
+		cfg.TraceObserver = func(telemetry.TraceEvent) {}
 	}
 	return cfg
 }

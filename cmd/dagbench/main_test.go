@@ -61,7 +61,7 @@ func tinyChaos() chaosOptions {
 
 func TestRunSingleExperiment(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "6.3", false, false, "", 1, tinyLock(), tinyChaos(), tinyClients(), tinyTopo()); err != nil {
+	if err := run(&b, "6.3", false, false, "", 1, tinyLock(), tinyChaos(), tinyClients(), tinyTopo(), telemetryOptions{maxOverhead: 5}); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -74,7 +74,7 @@ func TestRunSingleExperiment(t *testing.T) {
 
 func TestRunCSVOutput(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "6.3", true, false, "", 1, tinyLock(), tinyChaos(), tinyClients(), tinyTopo()); err != nil {
+	if err := run(&b, "6.3", true, false, "", 1, tinyLock(), tinyChaos(), tinyClients(), tinyTopo(), telemetryOptions{maxOverhead: 5}); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -88,14 +88,14 @@ func TestRunCSVOutput(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "99", false, false, "", 1, tinyLock(), tinyChaos(), tinyClients(), tinyTopo()); err == nil {
+	if err := run(&b, "99", false, false, "", 1, tinyLock(), tinyChaos(), tinyClients(), tinyTopo(), telemetryOptions{maxOverhead: 5}); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
 
 func TestRunTopoExperiment(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "topo", false, false, "", 1, tinyLock(), tinyChaos(), tinyClients(), tinyTopo()); err != nil {
+	if err := run(&b, "topo", false, false, "", 1, tinyLock(), tinyChaos(), tinyClients(), tinyTopo(), telemetryOptions{maxOverhead: 5}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "radiating-star") {
@@ -105,7 +105,7 @@ func TestRunTopoExperiment(t *testing.T) {
 
 func TestRunLockExperiment(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "lock", false, false, "", 1, tinyLock(), tinyChaos(), tinyClients(), tinyTopo()); err != nil {
+	if err := run(&b, "lock", false, false, "", 1, tinyLock(), tinyChaos(), tinyClients(), tinyTopo(), telemetryOptions{maxOverhead: 5}); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -118,7 +118,7 @@ func TestRunLockExperiment(t *testing.T) {
 
 func TestRunLockExperimentCSV(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "lock", true, false, "", 1, tinyLock(), tinyChaos(), tinyClients(), tinyTopo()); err != nil {
+	if err := run(&b, "lock", true, false, "", 1, tinyLock(), tinyChaos(), tinyClients(), tinyTopo(), telemetryOptions{maxOverhead: 5}); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -129,7 +129,7 @@ func TestRunLockExperimentCSV(t *testing.T) {
 
 func TestRunClientsExperiment(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "clients", false, true, "", 1, tinyLock(), tinyChaos(), tinyClients(), tinyTopo()); err != nil {
+	if err := run(&b, "clients", false, true, "", 1, tinyLock(), tinyChaos(), tinyClients(), tinyTopo(), telemetryOptions{maxOverhead: 5}); err != nil {
 		t.Fatal(err)
 	}
 	var tables []struct {
@@ -165,7 +165,7 @@ func TestRunClientsShedsOverRate(t *testing.T) {
 	cl.rate = 200
 	cl.burst = 1
 	var b strings.Builder
-	if err := run(&b, "clients", false, true, "", 1, tinyLock(), tinyChaos(), cl, tinyTopo()); err != nil {
+	if err := run(&b, "clients", false, true, "", 1, tinyLock(), tinyChaos(), cl, tinyTopo(), telemetryOptions{maxOverhead: 5}); err != nil {
 		t.Fatal(err)
 	}
 	var tables []struct {
@@ -193,12 +193,12 @@ func TestRunClientsRejectsBadCount(t *testing.T) {
 	cl := tinyClients()
 	cl.list = "0"
 	var b strings.Builder
-	if err := run(&b, "clients", false, false, "", 1, tinyLock(), tinyChaos(), cl, tinyTopo()); err == nil {
+	if err := run(&b, "clients", false, false, "", 1, tinyLock(), tinyChaos(), cl, tinyTopo(), telemetryOptions{maxOverhead: 5}); err == nil {
 		t.Fatal("clients=0 accepted")
 	}
 	cl.list = "16"
 	cl.modes = "proxy"
-	if err := run(&b, "clients", false, false, "", 1, tinyLock(), tinyChaos(), cl, tinyTopo()); err == nil {
+	if err := run(&b, "clients", false, false, "", 1, tinyLock(), tinyChaos(), cl, tinyTopo(), telemetryOptions{maxOverhead: 5}); err == nil {
 		t.Fatal("bad client mode accepted")
 	}
 }
@@ -229,7 +229,7 @@ func TestParseClientList(t *testing.T) {
 // cut the static chain's per-grant message cost.
 func TestRunTopologyExperiment(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "topology", false, true, "", 1, tinyLock(), tinyChaos(), tinyClients(), tinyTopo()); err != nil {
+	if err := run(&b, "topology", false, true, "", 1, tinyLock(), tinyChaos(), tinyClients(), tinyTopo(), telemetryOptions{maxOverhead: 5}); err != nil {
 		t.Fatal(err)
 	}
 	var tables []struct {
@@ -285,7 +285,7 @@ func TestRunTopologyRejectsBadFlags(t *testing.T) {
 		to := tinyTopo()
 		tc.mutate(&to)
 		var b strings.Builder
-		err := run(&b, "topology", false, false, "", 1, tinyLock(), tinyChaos(), tinyClients(), to)
+		err := run(&b, "topology", false, false, "", 1, tinyLock(), tinyChaos(), tinyClients(), to, telemetryOptions{maxOverhead: 5})
 		if err == nil || !strings.Contains(err.Error(), tc.want) {
 			t.Fatalf("error = %v, want one line containing %q", err, tc.want)
 		}
@@ -296,11 +296,11 @@ func TestRunLockRejectsBadShardList(t *testing.T) {
 	lo := tinyLock()
 	lo.shards = "1,zero"
 	var b strings.Builder
-	if err := run(&b, "lock", false, false, "", 1, lo, tinyChaos(), tinyClients(), tinyTopo()); err == nil {
+	if err := run(&b, "lock", false, false, "", 1, lo, tinyChaos(), tinyClients(), tinyTopo(), telemetryOptions{maxOverhead: 5}); err == nil {
 		t.Fatal("bad shard list accepted")
 	}
 	lo.shards = ""
-	if err := run(&b, "lock", false, false, "", 1, lo, tinyChaos(), tinyClients(), tinyTopo()); err == nil {
+	if err := run(&b, "lock", false, false, "", 1, lo, tinyChaos(), tinyClients(), tinyTopo(), telemetryOptions{maxOverhead: 5}); err == nil {
 		t.Fatal("empty shard list accepted")
 	}
 }
@@ -362,7 +362,7 @@ func TestLockThroughputScalesWithShards(t *testing.T) {
 
 func TestRunJSONOutput(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "6.3", false, true, "", 1, tinyLock(), tinyChaos(), tinyClients(), tinyTopo()); err != nil {
+	if err := run(&b, "6.3", false, true, "", 1, tinyLock(), tinyChaos(), tinyClients(), tinyTopo(), telemetryOptions{maxOverhead: 5}); err != nil {
 		t.Fatal(err)
 	}
 	var tables []struct {
@@ -387,7 +387,7 @@ func TestRunJSONOutput(t *testing.T) {
 // substrates.
 func TestRunLockExperimentJSONSweepsBothTransports(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "lock", false, true, "", 1, tinyLock(), tinyChaos(), tinyClients(), tinyTopo()); err != nil {
+	if err := run(&b, "lock", false, true, "", 1, tinyLock(), tinyChaos(), tinyClients(), tinyTopo(), telemetryOptions{maxOverhead: 5}); err != nil {
 		t.Fatal(err)
 	}
 	var tables []struct {
@@ -413,11 +413,11 @@ func TestRunLockRejectsBadTransportList(t *testing.T) {
 	lo := tinyLock()
 	lo.transports = "local,udp"
 	var b strings.Builder
-	if err := run(&b, "lock", false, false, "", 1, lo, tinyChaos(), tinyClients(), tinyTopo()); err == nil {
+	if err := run(&b, "lock", false, false, "", 1, lo, tinyChaos(), tinyClients(), tinyTopo(), telemetryOptions{maxOverhead: 5}); err == nil {
 		t.Fatal("bad transport list accepted")
 	}
 	lo.transports = ""
-	if err := run(&b, "lock", false, false, "", 1, lo, tinyChaos(), tinyClients(), tinyTopo()); err == nil {
+	if err := run(&b, "lock", false, false, "", 1, lo, tinyChaos(), tinyClients(), tinyTopo(), telemetryOptions{maxOverhead: 5}); err == nil {
 		t.Fatal("empty transport list accepted")
 	}
 }
@@ -426,7 +426,7 @@ func TestRunLockRejectsBadTransportList(t *testing.T) {
 // experiment, in registry order.
 func TestRunExpCommaList(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "6.3, 6.4", false, false, "", 1, tinyLock(), tinyChaos(), tinyClients(), tinyTopo()); err != nil {
+	if err := run(&b, "6.3, 6.4", false, false, "", 1, tinyLock(), tinyChaos(), tinyClients(), tinyTopo(), telemetryOptions{maxOverhead: 5}); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -441,7 +441,7 @@ func TestRunExpCommaList(t *testing.T) {
 // a clear one-line error before anything executes.
 func TestRunRejectsUnknownExpInList(t *testing.T) {
 	var b strings.Builder
-	err := run(&b, "6.3,bogus", false, false, "", 1, tinyLock(), tinyChaos(), tinyClients(), tinyTopo())
+	err := run(&b, "6.3,bogus", false, false, "", 1, tinyLock(), tinyChaos(), tinyClients(), tinyTopo(), telemetryOptions{maxOverhead: 5})
 	if err == nil {
 		t.Fatal("unknown experiment in list accepted")
 	}
@@ -459,7 +459,7 @@ func TestRunRejectsUnknownExpInList(t *testing.T) {
 func TestRunRejectsEmptyExpList(t *testing.T) {
 	var b strings.Builder
 	for _, exp := range []string{"", " , "} {
-		if err := run(&b, exp, false, false, "", 1, tinyLock(), tinyChaos(), tinyClients(), tinyTopo()); err == nil {
+		if err := run(&b, exp, false, false, "", 1, tinyLock(), tinyChaos(), tinyClients(), tinyTopo(), telemetryOptions{maxOverhead: 5}); err == nil {
 			t.Fatalf("empty -exp %q accepted", exp)
 		}
 	}
@@ -477,7 +477,7 @@ func TestRunLeaseExperiment(t *testing.T) {
 	lo.lease = 30 * time.Millisecond
 	lo.overholdEvery = 2
 	var b strings.Builder
-	if err := run(&b, "lease", false, true, "", 1, lo, tinyChaos(), tinyClients(), tinyTopo()); err != nil {
+	if err := run(&b, "lease", false, true, "", 1, lo, tinyChaos(), tinyClients(), tinyTopo(), telemetryOptions{maxOverhead: 5}); err != nil {
 		t.Fatal(err)
 	}
 	var tables []struct {
@@ -538,7 +538,7 @@ func TestRunChaosExperiment(t *testing.T) {
 		t.Skip("live wall-clock chaos benchmark; skipped in -short mode")
 	}
 	var b strings.Builder
-	if err := run(&b, "chaos", false, true, "", 1, tinyLock(), tinyChaos(), tinyClients(), tinyTopo()); err != nil {
+	if err := run(&b, "chaos", false, true, "", 1, tinyLock(), tinyChaos(), tinyClients(), tinyTopo(), telemetryOptions{maxOverhead: 5}); err != nil {
 		t.Fatal(err)
 	}
 	var tables []struct {
@@ -586,7 +586,7 @@ func TestChaosRejectsQuorumLoss(t *testing.T) {
 // benchmarks/*.json records which machine produced its numbers.
 func TestRunJSONGenWrapsMeta(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "6.3", false, true, "PR-test", 1, tinyLock(), tinyChaos(), tinyClients(), tinyTopo()); err != nil {
+	if err := run(&b, "6.3", false, true, "PR-test", 1, tinyLock(), tinyChaos(), tinyClients(), tinyTopo(), telemetryOptions{maxOverhead: 5}); err != nil {
 		t.Fatal(err)
 	}
 	var doc struct {
@@ -608,5 +608,44 @@ func TestRunJSONGenWrapsMeta(t *testing.T) {
 	}
 	if len(doc.Tables) != 1 || doc.Tables[0].ID != "EXP-6.3-delay" || len(doc.Tables[0].Rows) == 0 {
 		t.Fatalf("unexpected tables: %+v", doc.Tables)
+	}
+}
+
+// TestRunTelemetryExperiment runs the observability tax meter on a tiny
+// sweep: the table must carry both throughput columns and a numeric
+// overhead for every transport × shard point. The overhead assertion is
+// disabled (0) — a unit test on a loaded machine is exactly the noise
+// the budget must not be judged under.
+func TestRunTelemetryExperiment(t *testing.T) {
+	lo := tinyLock()
+	lo.shards = "1"
+	var b strings.Builder
+	if err := run(&b, "telemetry", true, false, "", 1, lo, tinyChaos(), tinyClients(), tinyTopo(), telemetryOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "transport,shards,grants,base ops/sec,traced ops/sec,overhead-pct") {
+		t.Fatalf("telemetry CSV header missing:\n%s", out)
+	}
+	for _, tr := range []string{"local,1,", "tcp,1,"} {
+		row := ""
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, tr) {
+				row = line
+			}
+		}
+		if row == "" {
+			t.Fatalf("telemetry row for %q missing:\n%s", tr, out)
+		}
+		fields := strings.Split(row, ",")
+		if len(fields) != 6 {
+			t.Fatalf("telemetry row %q has %d fields, want 6", row, len(fields))
+		}
+		if _, err := strconv.ParseFloat(fields[5], 64); err != nil {
+			t.Fatalf("overhead-pct %q not numeric: %v", fields[5], err)
+		}
+		if grants, err := strconv.Atoi(fields[2]); err != nil || grants <= 0 {
+			t.Fatalf("traced grants %q not positive", fields[2])
+		}
 	}
 }

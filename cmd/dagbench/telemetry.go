@@ -1,0 +1,113 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"dagmutex/internal/harness"
+)
+
+// The telemetry experiment is the observability tax meter: the same
+// closed-loop lock sweep run twice per point — once bare, once with the
+// full telemetry stack attached (a live registry with per-shard
+// instruments plus a trace observer on every protocol event) — and the
+// throughput loss it measures is asserted against a budget. The
+// instrumentation is designed to be allocation-free and wait-free on
+// the hot path; this experiment is where that design meets a wall
+// clock, so an instrument that quietly grows a lock or an allocation
+// fails the run, not just a code review.
+
+// telemetryOptions parameterizes the overhead assertion.
+type telemetryOptions struct {
+	maxOverhead float64 // percent; <= 0 disables the assertion
+}
+
+// telemetryTable sweeps transport × shard count, measuring each point
+// bare and instrumented. The two variants run interleaved (bare,
+// traced, bare, traced, …) so slow machine-wide drift — thermal
+// throttling, a background indexer — lands on both sides of the
+// comparison instead of masquerading as overhead.
+func telemetryTable(lo lockOptions, tl telemetryOptions, seed int64) (*harness.Table, error) {
+	counts, err := parseShardList(lo.shards)
+	if err != nil {
+		return nil, err
+	}
+	transports, err := parseTransportList(lo.transports)
+	if err != nil {
+		return nil, err
+	}
+	// A single bare/traced pair cannot tell overhead from scheduler
+	// noise; the overhead is a difference of medians, so take at least
+	// three pairs per point even when the caller didn't ask for repeats.
+	pairs := lo.repeat
+	if pairs < 3 {
+		pairs = 3
+	}
+	tbl := &harness.Table{
+		ID: "EXP-telemetry",
+		Title: fmt.Sprintf("telemetry overhead: %d resources, zipf %.2f, %d workers x %d ops, median of %d interleaved pairs",
+			lo.resources, lo.skew, lo.workers, lo.ops, pairs),
+		Columns: []string{"transport", "shards", "grants", "base ops/sec", "traced ops/sec", "overhead-pct"},
+		Notes: []string{
+			"traced rows run with a live telemetry registry (per-shard counters and histograms) plus a trace observer on every protocol event",
+			"overhead-pct = (base - traced) / base, medians of interleaved runs; negative means the traced median came out faster (noise floor)",
+			"both ops/sec columns are wall-clock and machine-bound; the committed trajectory records them for context, the gate enforces only the overhead budget via dagbench itself",
+		},
+	}
+	var worst struct {
+		key      string
+		overhead float64
+	}
+	for _, tr := range transports {
+		for _, m := range counts {
+			tr, m := tr, m
+			point := func(instrument bool) (lockResult, error) {
+				o := lo
+				o.instrument = instrument
+				if tr == "local" {
+					return runLockLocal(o, m, seed)
+				}
+				return runLockTCP(o, m, seed)
+			}
+			base := make([]lockResult, 0, pairs)
+			traced := make([]lockResult, 0, pairs)
+			for i := 0; i < pairs; i++ {
+				b, err := point(false)
+				if err != nil {
+					return nil, fmt.Errorf("transport=%s shards=%d bare: %w", tr, m, err)
+				}
+				tr2, err := point(true)
+				if err != nil {
+					return nil, fmt.Errorf("transport=%s shards=%d traced: %w", tr, m, err)
+				}
+				base = append(base, b)
+				traced = append(traced, tr2)
+			}
+			b, tc := medianByTput(base), medianByTput(traced)
+			overhead := (b.tput - tc.tput) / b.tput * 100
+			tbl.AddRow(
+				tr,
+				fmt.Sprintf("%d", m),
+				fmt.Sprintf("%d", tc.grants),
+				fmt.Sprintf("%.0f", b.tput),
+				fmt.Sprintf("%.0f", tc.tput),
+				fmt.Sprintf("%.1f", overhead),
+			)
+			if overhead > worst.overhead {
+				worst.key = fmt.Sprintf("transport=%s shards=%d", tr, m)
+				worst.overhead = overhead
+			}
+		}
+	}
+	if tl.maxOverhead > 0 && worst.overhead > tl.maxOverhead {
+		return nil, fmt.Errorf("telemetry overhead %.1f%% at %s exceeds the %.1f%% budget",
+			worst.overhead, worst.key, tl.maxOverhead)
+	}
+	return tbl, nil
+}
+
+// medianByTput returns the median-throughput run of a non-empty slice.
+func medianByTput(rs []lockResult) lockResult {
+	sort.Slice(rs, func(i, j int) bool { return rs[i].tput < rs[j].tput })
+	return rs[len(rs)/2]
+}

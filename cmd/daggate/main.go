@@ -7,7 +7,12 @@
 // Usage:
 //
 //	daggate -listen :7420 -members host1:7401,host2:7401,host3:7401 \
-//	        -depth 64 -rate 5000 -burst 10000
+//	        -depth 64 -rate 5000 -burst 10000 -debug 127.0.0.1:7421
+//
+// -debug serves the live debug endpoints for the gateway's lifetime:
+// Prometheus text metrics on /metrics (connections, in-flight and
+// admitted/answered/shed request counters) and the pprof profiles on
+// /debug/pprof/.
 //
 // Clients Dial the gateway exactly as they would a member; a named
 // resource always routes to the same member, and when that member is
@@ -34,15 +39,16 @@ func main() {
 	rate := flag.Float64("rate", 0, "admitted requests/second across all connections (0 = unlimited)")
 	burst := flag.Int("burst", 0, "admission burst size (0 = one second of rate)")
 	stats := flag.Duration("stats", 0, "print admission counters at this interval (0 = off)")
+	debug := flag.String("debug", "", "serve /metrics and /debug/pprof on this address (empty = off)")
 	flag.Parse()
 
-	if err := run(*listen, *members, *depth, *rate, *burst, *stats); err != nil {
+	if err := run(*listen, *members, *depth, *rate, *burst, *stats, *debug); err != nil {
 		fmt.Fprintln(os.Stderr, "daggate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, members string, depth int, rate float64, burst int, statsEvery time.Duration) error {
+func run(listen, members string, depth int, rate float64, burst int, statsEvery time.Duration, debug string) error {
 	var addrs []string
 	for _, a := range strings.Split(members, ",") {
 		if a = strings.TrimSpace(a); a != "" {
@@ -52,12 +58,19 @@ func run(listen, members string, depth int, rate float64, burst int, statsEvery 
 	if len(addrs) == 0 {
 		return fmt.Errorf("no member addresses: pass -members host:port[,host:port...]")
 	}
-	g, err := dagmutex.OpenGateway(listen, addrs, dagmutex.WithClientQueue(depth, rate, burst))
+	opts := []dagmutex.Option{dagmutex.WithClientQueue(depth, rate, burst)}
+	if debug != "" {
+		opts = append(opts, dagmutex.WithDebugAddr(debug))
+	}
+	g, err := dagmutex.OpenGateway(listen, addrs, opts...)
 	if err != nil {
 		return err
 	}
 	defer g.Close()
 	fmt.Printf("daggate: listening on %s, %d members\n", g.Addr(), len(addrs))
+	if addr := g.DebugAddr(); addr != "" {
+		fmt.Printf("daggate: debug endpoints on http://%s/metrics and /debug/pprof/\n", addr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -74,8 +87,8 @@ func run(listen, members string, depth int, rate float64, burst int, statsEvery 
 			return nil
 		case <-tick:
 			st := g.Stats()
-			fmt.Printf("daggate: conns=%d inflight=%d admitted=%d shed_depth=%d shed_rate=%d\n",
-				st.Conns, st.Inflight, st.Admitted, st.ShedDepth, st.ShedRate)
+			fmt.Printf("daggate: conns=%d inflight=%d admitted=%d answered=%d shed_depth=%d shed_rate=%d\n",
+				st.Conns, st.Inflight, st.Admitted, st.Answered, st.ShedDepth, st.ShedRate)
 		}
 	}
 }

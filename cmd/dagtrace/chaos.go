@@ -52,16 +52,11 @@ func newChaosReplayer(w io.Writer, tree *topology.Tree, holder mutex.ID) (*chaos
 	return r, nil
 }
 
+// printEvent renders a recovery event through the shared trace
+// vocabulary (core.Event.Trace bridges into telemetry.TraceEvent), so
+// the chaos replay reads exactly like a live WithTraceObserver stream.
 func (r *chaosReplayer) printEvent(e core.Event) {
-	line := fmt.Sprintf("  event: node %d %s", e.Node, e.Kind)
-	if e.Peer != mutex.Nil {
-		line += fmt.Sprintf(" peer=%d", e.Peer)
-	}
-	line += fmt.Sprintf(" epoch=%d", e.Epoch)
-	if e.Generation > 0 {
-		line += fmt.Sprintf(" gen=%d", e.Generation)
-	}
-	fmt.Fprintln(r.w, line)
+	fmt.Fprintf(r.w, "  event: %s\n", e.Trace())
 }
 
 func (r *chaosReplayer) show(caption string) {

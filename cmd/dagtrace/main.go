@@ -9,10 +9,17 @@
 // reorientation — alongside the state tables, so a recovery is as
 // readable as the paper's own examples.
 //
+// With -live it prints the structured live trace stream instead: the
+// same telemetry.TraceEvent lines a production WithTraceObserver
+// callback receives, one causal request→forward→privilege→grant chain
+// per acquire — the offline replays and the runtime's live telemetry
+// share one vocabulary.
+//
 // Usage:
 //
 //	dagtrace -fig 6
 //	dagtrace -chaos
+//	dagtrace -live
 package main
 
 import (
@@ -30,11 +37,15 @@ import (
 func main() {
 	fig := flag.Int("fig", 6, "figure to replay: 2 or 6")
 	chaos := flag.Bool("chaos", false, "replay the crash-recovery scenario instead of a thesis figure")
+	live := flag.Bool("live", false, "print the live structured trace stream of a contended run")
 	flag.Parse()
 	var err error
-	if *chaos {
+	switch {
+	case *chaos:
 		err = chaosDemo(os.Stdout)
-	} else {
+	case *live:
+		err = liveDemo(os.Stdout)
+	default:
 		err = run(os.Stdout, *fig)
 	}
 	if err != nil {

@@ -49,6 +49,29 @@ func TestUnknownFigure(t *testing.T) {
 	}
 }
 
+// TestLiveDemoStreamsTraceVocabulary: the -live replay must print the
+// structured live trace stream — each grant's causal chain in the
+// telemetry vocabulary, fences increasing across grants.
+func TestLiveDemoStreamsTraceVocabulary(t *testing.T) {
+	var b strings.Builder
+	if err := liveDemo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"node 4 REQUEST -> 3 origin=4",
+		"node 3 FORWARD -> 2 origin=4 hops=1",
+		"node 1 PRIVILEGE -> 4 origin=4 hops=3",
+		"node 4 GRANT origin=4 fence=1 hops=3",
+		"node 2 GRANT origin=2 fence=2",
+		"HOLDING_I",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("live trace missing %q:\n%s", want, out)
+		}
+	}
+}
+
 // TestChaosDemoRendersRecovery: the -chaos replay must narrate the whole
 // failure lifecycle — crash, suspicion, probe, regeneration with its
 // fencing jump, reorientation — and end with the cluster serving grants
@@ -59,14 +82,17 @@ func TestChaosDemoRendersRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := b.String()
+	// The recovery lines must come out in the unified trace vocabulary
+	// (core.Event.Trace → telemetry.TraceEvent.String), the same strings
+	// a live WithTraceObserver stream carries.
 	for _, want := range []string{
 		"CRASHED",
-		"PEER-DOWN",
-		"PROBE",
-		"FREEZE",
-		"REGENERATE",
-		"REORIENT",
-		"gen=1048576",
+		"RECOVERY PEER-DOWN",
+		"RECOVERY PROBE",
+		"RECOVERY FREEZE",
+		"RECOVERY REGENERATE",
+		"RECOVERY REORIENT",
+		"fence=1048576",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("chaos trace missing %q:\n%s", want, out)

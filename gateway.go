@@ -23,7 +23,9 @@ type ClientStats = transport.ClientStats
 // Construct with OpenGateway; Close it to hang up every client and
 // upstream connection.
 type Gateway struct {
-	g *gateway.Gateway
+	g     *gateway.Gateway
+	reg   *Telemetry       // WithTelemetry (or the one WithDebugAddr installed)
+	debug *TelemetryServer // WithDebugAddr
 }
 
 // OpenGateway starts a gateway listening on listen ("" for a fresh
@@ -31,7 +33,9 @@ type Gateway struct {
 // (Cluster.Addr, Peer.Addr or LockService.Addr values). Member
 // connections are dialed lazily and redialed after failures, so the
 // gateway may be started before its members. WithClientQueue sets the
-// admission bounds applied at the gateway's edge; other options do not
+// admission bounds applied at the gateway's edge, WithTelemetry
+// registers the client-tier admission counters, and WithDebugAddr
+// serves the /metrics and /debug/pprof endpoints; other options do not
 // apply. A named resource always routes to the same member; when that
 // member is unreachable the gateway fails over to the next and routes
 // the eventual release back to whichever member granted.
@@ -48,7 +52,22 @@ func OpenGateway(listen string, members []string, opts ...Option) (*Gateway, err
 	if err != nil {
 		return nil, err
 	}
-	return &Gateway{g: g}, nil
+	fg := &Gateway{g: g, reg: o.telemetry}
+	if o.debugAddr != nil && fg.reg == nil {
+		fg.reg = NewTelemetry()
+	}
+	if fg.reg != nil {
+		g.Register(fg.reg)
+	}
+	if o.debugAddr != nil {
+		srv, err := ServeTelemetry(*o.debugAddr, fg.reg)
+		if err != nil {
+			_ = g.Close()
+			return nil, err
+		}
+		fg.debug = srv
+	}
+	return fg, nil
 }
 
 // Addr returns the gateway's client-facing listen address, for Dial and
@@ -59,6 +78,25 @@ func (g *Gateway) Addr() string { return g.g.Addr() }
 // in-flight requests, admitted and shed totals.
 func (g *Gateway) Stats() ClientStats { return g.g.Stats() }
 
+// Metrics returns the telemetry registry the gateway was opened with
+// (WithTelemetry, or the one WithDebugAddr installed), or nil when the
+// gateway runs uninstrumented.
+func (g *Gateway) Metrics() *Telemetry { return g.reg }
+
+// DebugAddr returns the bound address of the debug endpoints
+// (WithDebugAddr), or "" when they are not being served.
+func (g *Gateway) DebugAddr() string {
+	if g.debug == nil {
+		return ""
+	}
+	return g.debug.Addr()
+}
+
 // Close stops the listener, severs every client connection (releasing
 // the holds they owned), then hangs up the member connections.
-func (g *Gateway) Close() error { return g.g.Close() }
+func (g *Gateway) Close() error {
+	if g.debug != nil {
+		g.debug.Close()
+	}
+	return g.g.Close()
+}

@@ -1,0 +1,209 @@
+package conformance
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dagmutex/internal/client"
+	"dagmutex/internal/lockservice"
+	"dagmutex/internal/telemetry"
+)
+
+// This file is the telemetry battery: the live trace stream a
+// lockservice.Config.TraceObserver delivers must tell the truth over
+// every client access path. Two invariants are checked against
+// client-side ground truth (the test counts its own successful acquires
+// and releases):
+//
+//   - conservation: every grant the service hands out ends in exactly
+//     one lifecycle event — RELEASE, REGRANT, or EXPIRE. At quiescence
+//     grants == releases + expired, with cohort regrants counting as
+//     releases.
+//   - causal order: GRANT fences are strictly monotonic per shard in
+//     stream order. The fence is the shard's logical clock; if two
+//     grants ever swap in the stream, the trace cannot be trusted to
+//     reconstruct who held the lock when.
+//
+// The observer is shared by every member of the cluster (the config is
+// copied to each), so over the TCP and gateway substrates the stream
+// interleaves events from several member processes — exactly the
+// deployment shape a real aggregation pipeline sees.
+
+// traceCollector accumulates a trace stream from concurrently running
+// members. Observers run inside protocol handlers, so the append is the
+// only work done under the lock.
+type traceCollector struct {
+	mu     sync.Mutex
+	events []telemetry.TraceEvent
+}
+
+func (tc *traceCollector) observe(e telemetry.TraceEvent) {
+	tc.mu.Lock()
+	tc.events = append(tc.events, e)
+	tc.mu.Unlock()
+}
+
+func (tc *traceCollector) snapshot() []telemetry.TraceEvent {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	out := make([]telemetry.TraceEvent, len(tc.events))
+	copy(out, tc.events)
+	return out
+}
+
+// RunTelemetry executes the telemetry-consistency battery over every
+// substrate.
+func RunTelemetry(t *testing.T, subs []ClientSubstrate) {
+	t.Helper()
+	for _, sub := range subs {
+		sub := sub
+		t.Run(sub.Name, func(t *testing.T) {
+			t.Run("TelemetryConsistency", func(t *testing.T) { telemetryConsistency(t, sub) })
+		})
+	}
+}
+
+// telemetryConsistency drives a contended workload with deliberate
+// lease expiries through a substrate and audits the resulting trace
+// stream against the client-side ledger.
+func telemetryConsistency(t *testing.T, sub ClientSubstrate) {
+	const workers, perWorker = 4, 25
+	tc := &traceCollector{}
+	conns := sub.start(t, lockservice.Config{
+		Shards:        2,
+		Lease:         250 * time.Millisecond,
+		SweepInterval: 10 * time.Millisecond,
+		TraceObserver: tc.observe,
+	}, 2, workers+1)
+	abandoner := conns[workers]
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// Two holds are taken and abandoned: the sweeper must reclaim them,
+	// and the reclamations must show up as EXPIRE events.
+	for _, key := range []string{"expiring-a", "expiring-b"} {
+		if _, err := abandoner.Acquire(ctx, key); err != nil {
+			t.Fatalf("abandoner acquire %q: %v", key, err)
+		}
+	}
+
+	// grants and releases are the client-side ledger the stream is
+	// audited against. A worker's own hold can expire under scheduling
+	// delay (the lease is short so the abandoned holds reclaim fast);
+	// such a release reports ErrLeaseExpired and is counted as an
+	// expiry, not a release.
+	var grants, releases atomic.Int64
+	grants.Add(2) // the abandoned holds
+	keys := []string{"key-0", "key-1", "key-2", "key-3"}
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int, c *client.Conn) {
+			defer wg.Done()
+			for j := 0; j < perWorker; j++ {
+				key := keys[(i+j)%len(keys)]
+				h, err := c.Acquire(ctx, key)
+				if err != nil {
+					t.Errorf("worker %d acquire %q: %v", i, key, err)
+					return
+				}
+				grants.Add(1)
+				switch err := c.ReleaseHold(h); {
+				case err == nil:
+					releases.Add(1)
+				case !errors.Is(err, lockservice.ErrLeaseExpired):
+					t.Errorf("worker %d release %q: %v", i, key, err)
+					return
+				}
+			}
+		}(i, conns[i])
+	}
+	wg.Wait()
+
+	// Proof of reclamation: acquiring the abandoned keys succeeds only
+	// after the sweeper expired them, and each EXPIRE event is emitted
+	// before the successor's grant can complete.
+	for _, key := range []string{"expiring-a", "expiring-b"} {
+		h, err := conns[0].Acquire(ctx, key)
+		if err != nil {
+			t.Fatalf("acquire after expiry of %q: %v", key, err)
+		}
+		grants.Add(1)
+		if err := conns[0].ReleaseHold(h); err != nil {
+			t.Fatalf("release of reclaimed %q: %v", key, err)
+		}
+		releases.Add(1)
+	}
+
+	events := tc.snapshot()
+	auditConservation(t, events, grants.Load(), releases.Load())
+	auditGrantFences(t, events)
+}
+
+// auditConservation checks the lifecycle ledger: RELEASE + REGRANT
+// events must equal the client-observed releases, EXPIRE events must
+// account for exactly the grants that never released, and every
+// lifecycle event must carry its shard stamp and resource name.
+func auditConservation(t *testing.T, events []telemetry.TraceEvent, grants, releases int64) {
+	t.Helper()
+	var rel, exp int64
+	for _, e := range events {
+		switch e.Kind {
+		case telemetry.TraceRelease, telemetry.TraceRegrant, telemetry.TraceExpire:
+			if e.Shard < 0 {
+				t.Errorf("lifecycle event without shard stamp: %s", e)
+			}
+			if e.Detail == "" {
+				t.Errorf("lifecycle event without resource name: %s", e)
+			}
+			if e.Kind == telemetry.TraceExpire {
+				exp++
+			} else {
+				rel++
+			}
+		}
+	}
+	if rel != releases {
+		t.Errorf("stream releases+regrants = %d, client-side releases = %d", rel, releases)
+	}
+	if want := grants - releases; exp != want {
+		t.Errorf("stream expiries = %d, want %d (grants %d - releases %d)", exp, want, grants, releases)
+	}
+	if exp < 2 {
+		t.Errorf("stream expiries = %d, want at least the 2 abandoned holds", exp)
+	}
+}
+
+// auditGrantFences checks causal order: within each shard, GRANT events
+// must appear in the stream with strictly increasing fences — the token
+// serializes grants, so any inversion means the trace lies about
+// ordering.
+func auditGrantFences(t *testing.T, events []telemetry.TraceEvent) {
+	t.Helper()
+	last := make(map[int32]uint64)
+	grants := 0
+	for _, e := range events {
+		if e.Kind != telemetry.TraceGrant {
+			continue
+		}
+		grants++
+		if e.Shard < 0 {
+			t.Errorf("grant event without shard stamp: %s", e)
+			continue
+		}
+		if prev, ok := last[e.Shard]; ok && e.Fence <= prev {
+			t.Errorf("shard %d grant fence %d not above predecessor's %d", e.Shard, e.Fence, prev)
+		}
+		last[e.Shard] = e.Fence
+	}
+	if grants == 0 {
+		t.Error("trace stream carries no GRANT events")
+	}
+	if len(last) < 2 {
+		t.Errorf("grants observed on %d shards, want both", len(last))
+	}
+}

@@ -1,0 +1,12 @@
+package conformance
+
+import "testing"
+
+// TestTelemetryConsistency runs the telemetry battery over every client
+// access path: the shared trace stream must conserve grants (each one
+// ends in exactly one RELEASE, REGRANT, or EXPIRE) and order them (GRANT
+// fences strictly monotonic per shard) whether the members run locally,
+// over TCP, or behind the gateway tier.
+func TestTelemetryConsistency(t *testing.T) {
+	RunTelemetry(t, ClientSubstrates())
+}

@@ -28,6 +28,7 @@ import (
 	"fmt"
 
 	"dagmutex/internal/mutex"
+	"dagmutex/internal/telemetry"
 )
 
 // Request is the thesis's REQUEST(X, Y) message. From is X, the adjacent
@@ -296,6 +297,11 @@ type Node struct {
 	onTransition func(tr Transition, to State)
 	// onEvent, when set, observes failure-recovery events (see Event).
 	onEvent func(Event)
+	// onTrace, when set, observes the structured trace stream: one event
+	// per protocol action (request issued, request forwarded, token
+	// dispatched, critical section entered) plus the recovery events,
+	// all in the telemetry vocabulary. See WithTraceObserver.
+	onTrace func(telemetry.TraceEvent)
 	// onInit, when set, fires once when the node completes INIT (for
 	// nodes built with NewUninitialized; nodes built initialized never
 	// fire it).
@@ -334,6 +340,23 @@ func WithEventObserver(fn func(Event)) Option {
 // inside the node's handlers and must not block.
 func WithInitObserver(fn func(id mutex.ID)) Option {
 	return func(n *Node) { n.onInit = fn }
+}
+
+// WithTraceObserver registers fn to receive the node's structured trace
+// stream: a REQUEST event when the node issues a request, FORWARD at
+// every node a request passes through, PRIVILEGE when the token is
+// dispatched, GRANT at every critical-section entry, and RECOVERY for
+// the failure subsystem's events. Every event carries the causal
+// identity already on the wire — the request's Origin and the fencing
+// generation — so a grant's whole request→hop→privilege→grant chain
+// shares one TraceID without any new message fields.
+//
+// fn runs inside the node's handlers: it must not block, must not call
+// back into the node, and must itself be allocation-free to preserve
+// the hot path's allocation budget (feed telemetry.Counter/Histogram
+// instruments, or copy the event into a preallocated ring).
+func WithTraceObserver(fn func(telemetry.TraceEvent)) Option {
+	return func(n *Node) { n.onTrace = fn }
 }
 
 // WithPathCompression switches procedure P2's edge reversal from the
@@ -437,9 +460,11 @@ func (n *Node) Request() error {
 		// coordinator's reorientation lands (see deliverReorient).
 		return nil
 	}
-	n.env.Send(n.next, Request{From: n.id, Origin: n.id, Epoch: n.epoch})
+	to := n.next
+	n.env.Send(to, Request{From: n.id, Origin: n.id, Epoch: n.epoch})
 	n.next = mutex.Nil
 	n.transition(TransRequest)
+	n.trace(telemetry.TraceRequest, to, n.id, 0, 0)
 	return nil
 }
 
@@ -474,6 +499,7 @@ func (n *Node) grant() {
 	n.gen++
 	hops := int(n.grantHops)
 	n.grantHops = 0
+	n.trace(telemetry.TraceGrant, mutex.Nil, n.id, n.gen, uint16(hops))
 	if n.hopEnv != nil {
 		n.hopEnv.GrantedHops(n.gen, hops)
 		return
@@ -514,6 +540,7 @@ func (n *Node) Release() error {
 		n.followHops = 0
 		n.env.Send(to, Privilege{Generation: n.gen, Epoch: n.epoch, Hops: hops})
 		n.transition(TransPassToken)
+		n.trace(telemetry.TracePrivilege, to, to, n.gen, hops)
 		return nil
 	}
 	n.holding = true
@@ -545,9 +572,11 @@ func (n *Node) ReleaseRequest() error {
 		n.followHops = 0
 		n.env.Send(to, Privilege{Generation: n.gen, Epoch: n.epoch, Requesting: true, Hops: hops})
 		n.transition(TransPassToken)
+		n.trace(telemetry.TracePrivilege, to, to, n.gen, hops)
 		n.requesting = true
 		n.next = mutex.Nil
 		n.transition(TransRequest)
+		n.trace(telemetry.TraceRequest, to, n.id, 0, 0)
 		return nil
 	}
 	if err := n.Release(); err != nil {
@@ -672,6 +701,7 @@ func (n *Node) deliverRequest(from mutex.ID, msg Request) error {
 			n.holding = false
 			n.next = rev
 			n.transition(TransGrantFromHolding)
+			n.trace(telemetry.TracePrivilege, msg.Origin, msg.Origin, n.gen, addHop(msg.Hops))
 			return nil
 		}
 		// A sink that is requesting or executing stores the request: this
@@ -688,9 +718,11 @@ func (n *Node) deliverRequest(from mutex.ID, msg Request) error {
 		n.transition(TransSaveFollow)
 		return nil
 	}
-	n.env.Send(n.next, Request{From: n.id, Origin: msg.Origin, Epoch: n.epoch, Hops: addHop(msg.Hops)})
+	to := n.next
+	n.env.Send(to, Request{From: n.id, Origin: msg.Origin, Epoch: n.epoch, Hops: addHop(msg.Hops)})
 	n.next = rev
 	n.transition(TransForward)
+	n.trace(telemetry.TraceForward, to, msg.Origin, 0, addHop(msg.Hops))
 	return nil
 }
 
@@ -752,6 +784,19 @@ func (n *Node) Storage() mutex.Storage {
 			len(n.ids)*(mutex.IntSize+1) +
 			len(n.deferred)*2*mutex.IntSize + len(n.awaiting)*mutex.IntSize,
 	}
+}
+
+// trace emits one structured trace event when an observer is attached.
+// Events are built from fields already in registers, passed by value,
+// so the disabled and enabled paths both allocate nothing.
+func (n *Node) trace(k telemetry.TraceKind, peer, origin mutex.ID, fence uint64, hops uint16) {
+	if n.onTrace == nil {
+		return
+	}
+	n.onTrace(telemetry.TraceEvent{
+		Kind: k, Node: n.id, Peer: peer, Origin: origin,
+		Fence: fence, Epoch: n.epoch, Hops: hops, Shard: -1,
+	})
 }
 
 func (n *Node) transition(tr Transition) {

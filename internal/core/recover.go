@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"dagmutex/internal/mutex"
+	"dagmutex/internal/telemetry"
 )
 
 // This file is the failure extension of the DAG algorithm: everything
@@ -214,9 +215,24 @@ type Event struct {
 	Generation uint64
 }
 
+// Trace maps the recovery event into the telemetry vocabulary: a
+// RECOVERY trace event whose Detail is the recovery kind's name. This is
+// the single bridge between the two event streams, so dagtrace's chaos
+// rendering and a live trace observer print recoveries identically.
+func (e Event) Trace() telemetry.TraceEvent {
+	return telemetry.TraceEvent{
+		Kind: telemetry.TraceRecovery, Node: e.Node, Peer: e.Peer,
+		Epoch: e.Epoch, Fence: e.Generation, Shard: -1, Detail: e.Kind.String(),
+	}
+}
+
 func (n *Node) event(k EventKind, peer mutex.ID, gen uint64) {
+	ev := Event{Kind: k, Node: n.id, Peer: peer, Epoch: n.epoch, Generation: gen}
 	if n.onEvent != nil {
-		n.onEvent(Event{Kind: k, Node: n.id, Peer: peer, Epoch: n.epoch, Generation: gen})
+		n.onEvent(ev)
+	}
+	if n.onTrace != nil {
+		n.onTrace(ev.Trace())
 	}
 }
 

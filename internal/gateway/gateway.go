@@ -34,6 +34,7 @@ import (
 	"dagmutex/internal/client"
 	"dagmutex/internal/lockservice"
 	"dagmutex/internal/runtime"
+	"dagmutex/internal/telemetry"
 	"dagmutex/internal/transport"
 )
 
@@ -112,6 +113,11 @@ func (g *Gateway) Addr() string { return g.srv.Addr() }
 // Stats snapshots the gateway's admission counters: connections,
 // in-flight requests, admitted and shed totals.
 func (g *Gateway) Stats() transport.ClientStats { return g.srv.Stats() }
+
+// Register publishes the gateway's client-tier admission counters on
+// reg (the dagmutex_client_* families; see internal/transport). Serve
+// reg over HTTP with telemetry.Serve.
+func (g *Gateway) Register(reg *telemetry.Registry) { g.srv.Register(reg) }
 
 // Close stops the listener, severs every client connection (releasing
 // the holds they owned upstream), then hangs up the member connections.

@@ -1,0 +1,89 @@
+package gateway
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"dagmutex/internal/client"
+	"dagmutex/internal/transport"
+)
+
+// TestClientStatsSnapshotConsistency hammers the gateway from several
+// dialed clients while concurrently snapshotting Stats, and checks every
+// snapshot is one consistent cut of the admission counters: always
+// Inflight == Admitted - Answered, inflight never negative, and at
+// quiescence everything admitted has been answered. Under the race
+// detector this also proves the counter updates are synchronized with
+// the snapshot.
+func TestClientStatsSnapshotConsistency(t *testing.T) {
+	g, _, _ := gatewayCluster(t, false, transport.ClientQueue{})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	stop := make(chan struct{})
+	var snapErr error
+	var snapWG sync.WaitGroup
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := g.Stats()
+			if s.Inflight != s.Admitted-s.Answered || s.Inflight < 0 || s.Conns < 0 {
+				snapErr = fmt.Errorf("inconsistent admission snapshot: %+v", s)
+				return
+			}
+		}
+	}()
+
+	const clients, ops = 4, 50
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conn, err := client.DialContext(ctx, g.Addr())
+			if err != nil {
+				t.Errorf("dial gateway: %v", err)
+				return
+			}
+			defer conn.Close()
+			for j := 0; j < ops; j++ {
+				h, err := conn.Acquire(ctx, "")
+				if err != nil {
+					t.Errorf("client %d acquire: %v", i, err)
+					return
+				}
+				if err := conn.ReleaseHold(h); err != nil {
+					t.Errorf("client %d release: %v", i, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	snapWG.Wait()
+	if snapErr != nil {
+		t.Fatal(snapErr)
+	}
+
+	s := g.Stats()
+	if s.Inflight != 0 || s.Admitted != s.Answered {
+		t.Fatalf("at quiescence inflight=%d admitted=%d answered=%d", s.Inflight, s.Admitted, s.Answered)
+	}
+	// Every acquire and release was admitted (no sheds configured here).
+	if want := int64(clients * ops); s.Admitted < want {
+		t.Fatalf("admitted %d, want at least %d", s.Admitted, want)
+	}
+	if s.Shed() != 0 {
+		t.Fatalf("unexpected sheds: %+v", s)
+	}
+}

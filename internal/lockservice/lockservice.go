@@ -48,6 +48,7 @@ import (
 	"dagmutex/internal/metrics"
 	"dagmutex/internal/mutex"
 	"dagmutex/internal/runtime"
+	"dagmutex/internal/telemetry"
 	"dagmutex/internal/topology"
 )
 
@@ -135,6 +136,29 @@ type Config struct {
 	// The zero value is the static policy: the tree built at New stays
 	// fixed, exactly the pre-adaptive behavior.
 	Topology Topology
+	// Telemetry, when set, registers the service's live metrics on the
+	// registry: per-shard grant/release/regrant/expiry/recovery counters,
+	// msgs-per-grant and hops-per-grant gauges, and acquire-wait plus
+	// hold-duration histograms (p50/p95/p99). Gauges are pull-based —
+	// they read the shard counters only when the registry is scraped —
+	// and the histograms are wait-free atomics, so enabling telemetry
+	// does not add locks or allocations to the acquire hot path.
+	Telemetry *telemetry.Registry
+	// TraceObserver, when set, receives the structured trace stream of
+	// every locally hosted member: the protocol chain of every grant
+	// (request, forwards, privilege, grant — see core.WithTraceObserver),
+	// the service-level lifecycle around it (release, regrant, expiry,
+	// tagged with the resource name), and recovery events, each stamped
+	// with its shard. Called concurrently from protocol and service
+	// goroutines; it must not block and should not allocate.
+	TraceObserver func(telemetry.TraceEvent)
+	// DebugAddr, when non-empty, serves the debug endpoints on it for the
+	// service's lifetime: Prometheus text metrics on /metrics and the
+	// pprof profiles on /debug/pprof/. Use "127.0.0.1:0" for a fresh
+	// loopback port (the bound address is DebugAddr() on the service).
+	// When Telemetry is unset a fresh registry is installed so the
+	// endpoints have content.
+	DebugAddr string
 }
 
 // Topology is a per-shard adaptive-topology policy. Every participating
@@ -219,6 +243,7 @@ func (c Config) withDefaults() Config {
 type Service struct {
 	cfg    Config
 	shards []*shard
+	debug  *telemetry.Server // non-nil when Config.DebugAddr was set
 
 	closeOnce sync.Once
 	done      chan struct{} // closed by Close; stops the shard sweepers
@@ -237,17 +262,35 @@ type shard struct {
 	slots   []*slot
 	done    <-chan struct{} // service-wide close signal
 
-	grants    atomic.Int64
-	expired   atomic.Int64  // holds force-released by the sweeper
-	fence     atomic.Uint64 // highest fencing token granted through this process
-	hops      atomic.Int64  // request-path hops behind all grants (adaptive-topology signal)
-	reorients atomic.Int64  // planned reshapes this process initiated
+	// Telemetry instruments; nil when Config.Telemetry is unset. The
+	// histograms are wait-free atomics fed on the hot path; every gauge
+	// reads the counters below at scrape time only.
+	waitHist *telemetry.Histogram
+	holdHist *telemetry.Histogram
+	// obs is the effective trace observer (shard-tagging wrapper around
+	// Config.TraceObserver plus the recovery counter); nil when neither
+	// telemetry nor a trace observer is configured.
+	obs func(telemetry.TraceEvent)
 
+	// mu guards every counter below plus the wait reservoir, so a Stats
+	// snapshot is one consistent cut of the shard: grants, releases and
+	// expiries taken under the same lock can never disagree transiently
+	// (previously these were independent atomics read field by field).
+	// The cost is nil: the grant path already took mu for the wait
+	// reservoir, and folding the counters into the same hold replaces
+	// four separate atomic RMWs.
+	mu         sync.Mutex
+	grants     int64
+	releases   int64 // successful Releases (cohort regrants included)
+	regrants   int64 // releases served by a cohort handoff (no token move)
+	expired    int64 // holds force-released by the sweeper
+	recoveries int64 // recovery events observed (requires obs installed)
+	fence      uint64
+	hops       int64 // request-path hops behind all grants
+	reorients  int64 // planned reshapes this process initiated
 	// nodeGrants counts grants per member observed by this process, the
 	// rebalancer's heat signal; len == Nodes, indexed by id-1.
-	nodeGrants []atomic.Int64
-
-	mu         sync.Mutex
+	nodeGrants []int64
 	waits      []float64 // reservoir of per-grant waits, milliseconds
 	waitsSeen  int       // total grants observed, for reservoir replacement
 	lastGrants []int64   // nodeGrants snapshot at the last rebalance pass
@@ -273,6 +316,7 @@ type slot struct {
 	held      string    // resource name currently locked through this slot
 	fence     uint64    // fencing token of the current hold
 	expires   time.Time // lease deadline; zero when leases are disabled
+	grantedAt time.Time // when the current hold was granted (hold-duration signal)
 	abandoned bool      // a failed Acquire left its request outstanding
 	// pending marks a pipelined handoff: the releaser already re-issued
 	// the slot's next protocol request (ReleaseRequest) or regranted the
@@ -314,13 +358,11 @@ const maxExpiredMarkers = 1024
 // members derive identical shard configurations.
 func New(cfg Config) (*Service, error) {
 	cfg = cfg.withDefaults()
-	s := &Service{cfg: cfg, shards: make([]*shard, 0, cfg.Shards), done: make(chan struct{})}
-	builder := mutex.Builder(core.Builder)
-	if cfg.Topology.PathCompression {
-		builder = func(id mutex.ID, env mutex.Env, mcfg mutex.Config) (mutex.Node, error) {
-			return core.New(id, env, mcfg, core.WithPathCompression())
-		}
+	if cfg.DebugAddr != "" && cfg.Telemetry == nil {
+		cfg.Telemetry = telemetry.NewRegistry()
 	}
+	s := &Service{cfg: cfg, shards: make([]*shard, 0, cfg.Shards), done: make(chan struct{})}
+	observed := cfg.Telemetry != nil || cfg.TraceObserver != nil
 	for i := 0; i < cfg.Shards; i++ {
 		tree := cfg.Tree(cfg.Nodes)
 		if tree.N() != cfg.Nodes {
@@ -331,14 +373,19 @@ func New(cfg Config) (*Service, error) {
 		// holding every shard's token.
 		home := mutex.ID(1 + i%cfg.Nodes)
 		mcfg := mutex.Config{IDs: tree.IDs(), Holder: home, Parent: tree.ParentsToward(home)}
+		sh := &shard{index: i, home: home, route: mutex.Nil, lease: cfg.Lease,
+			cohort: cfg.CohortBudget, slots: make([]*slot, cfg.Nodes), done: s.done,
+			nodeGrants: make([]int64, cfg.Nodes), lastGrants: make([]int64, cfg.Nodes)}
+		if observed {
+			sh.obs = sh.observer(cfg.TraceObserver)
+		}
+		builder := shardBuilder(cfg.Topology.PathCompression, sh.obs)
 		cluster, err := cfg.Transport.StartShard(i, builder, mcfg)
 		if err != nil {
 			s.Close()
 			return nil, fmt.Errorf("lockservice: shard %d: %w", i, err)
 		}
-		sh := &shard{index: i, home: home, route: mutex.Nil, cluster: cluster, lease: cfg.Lease,
-			cohort: cfg.CohortBudget, slots: make([]*slot, cfg.Nodes), done: s.done,
-			nodeGrants: make([]atomic.Int64, cfg.Nodes), lastGrants: make([]int64, cfg.Nodes)}
+		sh.cluster = cluster
 		for n := 0; n < cfg.Nodes; n++ {
 			h := cluster.Session(mutex.ID(n + 1))
 			if h == nil {
@@ -356,11 +403,23 @@ func New(cfg Config) (*Service, error) {
 		if sh.slots[home-1] != nil {
 			sh.route = home
 		}
+		if cfg.Telemetry != nil {
+			// Before the sweeper starts: it reads the histogram fields.
+			sh.register(cfg.Telemetry)
+		}
 		s.shards = append(s.shards, sh)
 		go sh.sweep(cfg.SweepInterval)
 		if cfg.Topology.RebalanceEvery > 0 {
 			go sh.rebalance(cfg.Topology.RebalanceEvery)
 		}
+	}
+	if cfg.DebugAddr != "" {
+		srv, err := telemetry.Serve(cfg.DebugAddr, cfg.Telemetry)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("lockservice: debug endpoints: %w", err)
+		}
+		s.debug = srv
 	}
 	return s, nil
 }
@@ -567,10 +626,9 @@ func (sh *shard) acquire(ctx context.Context, id mutex.ID, resource string) (Hol
 	sl.held = resource
 	sl.fence = grant.Generation
 	sl.expires = hold.Expires
+	sl.grantedAt = grant.At
 	sl.mu.Unlock()
-	sh.noteGrant(id, grant.Hops)
-	sh.storeFence(grant.Generation)
-	sh.recordWait(time.Since(start))
+	sh.noteGrant(id, grant.Hops, grant.Generation, time.Since(start))
 	return hold, nil
 }
 
@@ -627,10 +685,9 @@ func (sh *shard) tryAcquire(id mutex.ID, resource string) (Hold, bool, error) {
 	sl.held = resource
 	sl.fence = grant.Generation
 	sl.expires = hold.Expires
+	sl.grantedAt = grant.At
 	sl.mu.Unlock()
-	sh.noteGrant(id, grant.Hops)
-	sh.storeFence(grant.Generation)
-	sh.recordWait(0)
+	sh.noteGrant(id, grant.Hops, grant.Generation, 0)
 	return hold, true, nil
 }
 
@@ -675,7 +732,8 @@ func (sh *shard) release(id mutex.ID, resource string, fence uint64) error {
 		return fmt.Errorf("lockservice: node %d holds %q, not %q (shard %d): %w",
 			id, held, resource, sh.index, ErrNotHeld)
 	}
-	sl.held, sl.fence, sl.expires = "", 0, time.Time{}
+	heldFence, heldSince := sl.fence, sl.grantedAt
+	sl.held, sl.fence, sl.expires, sl.grantedAt = "", 0, time.Time{}, time.Time{}
 	if fence == 0 {
 		// By-name releases cannot be matched to markers later, so a clean
 		// release retires any unreported markers for the same name rather
@@ -699,6 +757,7 @@ func (sh *shard) release(id mutex.ID, resource string, fence uint64) error {
 				sl.streak++
 				sl.pending = true
 				sl.mu.Unlock()
+				sh.noteRelease(true, id, resource, heldFence, heldSince)
 				<-sl.sem
 				return nil
 			}
@@ -722,8 +781,31 @@ func (sh *shard) release(id mutex.ID, resource string, fence uint64) error {
 	if err != nil {
 		return fmt.Errorf("lockservice: release %q (shard %d, node %d): %w", resource, sh.index, id, err)
 	}
+	sh.noteRelease(false, id, resource, heldFence, heldSince)
 	<-sl.sem
 	return nil
+}
+
+// noteRelease records one successful release: the counters (a cohort
+// regrant is both a release and a regrant), the hold-duration histogram,
+// and the service-level lifecycle trace event.
+func (sh *shard) noteRelease(regrant bool, id mutex.ID, resource string, fence uint64, heldSince time.Time) {
+	sh.mu.Lock()
+	sh.releases++
+	if regrant {
+		sh.regrants++
+	}
+	sh.mu.Unlock()
+	if sh.holdHist != nil && !heldSince.IsZero() {
+		sh.holdHist.ObserveDuration(time.Since(heldSince))
+	}
+	if sh.obs != nil {
+		k := telemetry.TraceRelease
+		if regrant {
+			k = telemetry.TraceRegrant
+		}
+		sh.obs(telemetry.TraceEvent{Kind: k, Node: id, Fence: fence, Detail: resource})
+	}
 }
 
 // takeExpired consumes the expiry marker matching a late release: the
@@ -767,7 +849,8 @@ func (sh *shard) sweep(interval time.Duration) {
 
 // sweepOnce performs one pass over the shard's hosted slots.
 func (sh *shard) sweepOnce(now time.Time) {
-	for _, sl := range sh.slots {
+	for i, sl := range sh.slots {
+		id := mutex.ID(i + 1)
 		if sl == nil {
 			continue
 		}
@@ -830,12 +913,13 @@ func (sh *shard) sweepOnce(now time.Time) {
 					break
 				}
 			}
-			sl.expired[expiredHold{resource: sl.held, fence: sl.fence}] = true
-			sl.held, sl.fence, sl.expires = "", 0, time.Time{}
+			res, fen, since := sl.held, sl.fence, sl.grantedAt
+			sl.expired[expiredHold{resource: res, fence: fen}] = true
+			sl.held, sl.fence, sl.expires, sl.grantedAt = "", 0, time.Time{}, time.Time{}
 			if err := sl.session.Release(); err == nil {
-				sh.expired.Add(1)
 				sl.streak = 0
 				sl.mu.Unlock()
+				sh.noteExpired(id, res, fen, since)
 				<-sl.sem
 				continue
 			}
@@ -844,19 +928,21 @@ func (sh *shard) sweepOnce(now time.Time) {
 	}
 }
 
-// storeFence records the highest fencing token granted via this process.
-func (sh *shard) storeFence(f uint64) {
-	for {
-		cur := sh.fence.Load()
-		if f <= cur || sh.fence.CompareAndSwap(cur, f) {
-			return
-		}
-	}
-}
-
-func (sh *shard) recordWait(d time.Duration) {
-	ms := float64(d) / float64(time.Millisecond)
+// noteGrant records one grant against member id under a single lock
+// hold: the shard total, the per-member heat signal the rebalancer
+// reads, the hop count of the request path the grant traveled, the
+// fencing high-water mark, and the wait-reservoir sample. One critical
+// section per grant replaces the previous mutex-plus-four-atomics
+// combination and is what makes Stats snapshots consistent.
+func (sh *shard) noteGrant(id mutex.ID, hops int, fence uint64, wait time.Duration) {
+	ms := float64(wait) / float64(time.Millisecond)
 	sh.mu.Lock()
+	sh.grants++
+	sh.nodeGrants[id-1]++
+	sh.hops += int64(hops)
+	if fence > sh.fence {
+		sh.fence = fence
+	}
 	sh.waitsSeen++
 	if len(sh.waits) < maxWaitSamples {
 		sh.waits = append(sh.waits, ms)
@@ -864,15 +950,60 @@ func (sh *shard) recordWait(d time.Duration) {
 		sh.waits[i] = ms
 	}
 	sh.mu.Unlock()
+	if sh.waitHist != nil {
+		sh.waitHist.ObserveDuration(wait)
+	}
 }
 
-// noteGrant records one grant against member id: the shard total, the
-// per-member heat signal the rebalancer reads, and the hop count of the
-// request path the grant traveled.
-func (sh *shard) noteGrant(id mutex.ID, hops int) {
-	sh.grants.Add(1)
-	sh.nodeGrants[id-1].Add(1)
-	sh.hops.Add(int64(hops))
+// noteExpired records one lease-expiry reclamation: the counter, the
+// (truncated) hold duration, and the EXPIRE trace event.
+func (sh *shard) noteExpired(id mutex.ID, resource string, fence uint64, heldSince time.Time) {
+	sh.mu.Lock()
+	sh.expired++
+	sh.mu.Unlock()
+	if sh.holdHist != nil && !heldSince.IsZero() {
+		sh.holdHist.ObserveDuration(time.Since(heldSince))
+	}
+	if sh.obs != nil {
+		sh.obs(telemetry.TraceEvent{Kind: telemetry.TraceExpire, Node: id, Fence: fence, Detail: resource})
+	}
+}
+
+// observer builds the shard's effective trace observer: it stamps every
+// event with the shard index, counts recovery events, and forwards to
+// the user's observer when one is configured. The closure is built once
+// per shard; per event it copies a struct and forwards — no allocation.
+func (sh *shard) observer(user func(telemetry.TraceEvent)) func(telemetry.TraceEvent) {
+	idx := int32(sh.index)
+	return func(e telemetry.TraceEvent) {
+		e.Shard = idx
+		if e.Kind == telemetry.TraceRecovery {
+			sh.mu.Lock()
+			sh.recoveries++
+			sh.mu.Unlock()
+		}
+		if user != nil {
+			user(e)
+		}
+	}
+}
+
+// shardBuilder returns the node builder for one shard: core.Builder
+// plus the shard's topology and observation options.
+func shardBuilder(compress bool, obs func(telemetry.TraceEvent)) mutex.Builder {
+	if !compress && obs == nil {
+		return core.Builder
+	}
+	var opts []core.Option
+	if compress {
+		opts = append(opts, core.WithPathCompression())
+	}
+	if obs != nil {
+		opts = append(opts, core.WithTraceObserver(obs))
+	}
+	return func(id mutex.ID, env mutex.Env, mcfg mutex.Config) (mutex.Node, error) {
+		return core.New(id, env, mcfg, opts...)
+	}
 }
 
 // rebalance is the shard's adaptive-topology loop: on every tick it runs
@@ -899,8 +1030,7 @@ func (sh *shard) rebalance(interval time.Duration) {
 func (sh *shard) rebalanceOnce() bool {
 	sh.mu.Lock()
 	hot, best := mutex.Nil, int64(0)
-	for i := range sh.nodeGrants {
-		n := sh.nodeGrants[i].Load()
+	for i, n := range sh.nodeGrants {
 		if d := n - sh.lastGrants[i]; d > best {
 			hot, best = mutex.ID(i+1), d
 		}
@@ -919,7 +1049,9 @@ func (sh *shard) rebalanceOnce() bool {
 			continue // e.g. the hot member died since we counted it
 		}
 		if planned {
-			sh.reorients.Add(1)
+			sh.mu.Lock()
+			sh.reorients++
+			sh.mu.Unlock()
 			return true
 		}
 	}
@@ -949,9 +1081,21 @@ type ShardStats struct {
 	Home mutex.ID
 	// Grants counts successful Acquires.
 	Grants int64
+	// Releases counts successful Releases (cohort regrants included).
+	// At quiescence Grants == Releases + Expired: every grant is either
+	// released by its holder or reclaimed by the sweeper.
+	Releases int64
+	// Regrants counts releases served by a cohort handoff — the section
+	// passed to a queued local waiter with no token movement at all.
+	Regrants int64
 	// Expired counts holds the sweeper force-released after their lease
 	// deadline passed.
 	Expired int64
+	// Recoveries counts failure-recovery events observed on this shard's
+	// locally hosted members. Populated only when the service runs with
+	// telemetry or a trace observer (Config.Telemetry/TraceObserver);
+	// zero otherwise.
+	Recoveries int64
 	// Fence is the highest fencing token granted through this process on
 	// this shard.
 	Fence uint64
@@ -972,43 +1116,38 @@ type ShardStats struct {
 // Stats aggregates the per-shard counters.
 type Stats struct {
 	PerShard []ShardStats
-	// Grants, Expired, Messages, Hops and Reorients are the service-wide
-	// totals.
-	Grants    int64
-	Expired   int64
-	Messages  int64
-	Hops      int64
-	Reorients int64
+	// Grants, Releases, Regrants, Expired, Recoveries, Messages, Hops
+	// and Reorients are the service-wide totals.
+	Grants     int64
+	Releases   int64
+	Regrants   int64
+	Expired    int64
+	Recoveries int64
+	Messages   int64
+	Hops       int64
+	Reorients  int64
 	// Wait summarizes acquire latency in milliseconds across all shards.
 	Wait metrics.Summary
 }
 
-// Stats snapshots the service counters.
+// Stats snapshots the service counters. Each shard's counters are read
+// under the same lock that guards their updates, so every per-shard row
+// is internally consistent — Releases can never transiently exceed
+// Grants, and at quiescence Grants == Releases + Expired holds exactly.
+// (Messages is the transport's own counter, read alongside.)
 func (s *Service) Stats() Stats {
 	var st Stats
 	samples := make([][]float64, 0, len(s.shards))
 	seen := make([]int, 0, len(s.shards))
 	totalSeen := 0
 	for _, sh := range s.shards {
-		sh.mu.Lock()
-		waits := make([]float64, len(sh.waits))
-		copy(waits, sh.waits)
-		n := sh.waitsSeen
-		sh.mu.Unlock()
-		ss := ShardStats{
-			Shard:     sh.index,
-			Home:      sh.home,
-			Grants:    sh.grants.Load(),
-			Expired:   sh.expired.Load(),
-			Fence:     sh.fence.Load(),
-			Messages:  sh.cluster.Messages(),
-			Hops:      sh.hops.Load(),
-			Reorients: sh.reorients.Load(),
-			Wait:      metrics.Summarize(waits),
-		}
+		ss, waits, n := sh.snapshot()
 		st.PerShard = append(st.PerShard, ss)
 		st.Grants += ss.Grants
+		st.Releases += ss.Releases
+		st.Regrants += ss.Regrants
 		st.Expired += ss.Expired
+		st.Recoveries += ss.Recoveries
 		st.Messages += ss.Messages
 		st.Hops += ss.Hops
 		st.Reorients += ss.Reorients
@@ -1018,6 +1157,31 @@ func (s *Service) Stats() Stats {
 	}
 	st.Wait = metrics.Summarize(mergeWeighted(samples, seen, totalSeen))
 	return st
+}
+
+// snapshot takes one consistent cut of the shard's counters and wait
+// reservoir under a single lock hold.
+func (sh *shard) snapshot() (ShardStats, []float64, int) {
+	sh.mu.Lock()
+	waits := make([]float64, len(sh.waits))
+	copy(waits, sh.waits)
+	n := sh.waitsSeen
+	ss := ShardStats{
+		Shard:      sh.index,
+		Home:       sh.home,
+		Grants:     sh.grants,
+		Releases:   sh.releases,
+		Regrants:   sh.regrants,
+		Expired:    sh.expired,
+		Recoveries: sh.recoveries,
+		Fence:      sh.fence,
+		Hops:       sh.hops,
+		Reorients:  sh.reorients,
+	}
+	sh.mu.Unlock()
+	ss.Messages = sh.cluster.Messages()
+	ss.Wait = metrics.Summarize(waits)
+	return ss, waits, n
 }
 
 // mergeWeighted combines per-shard wait reservoirs into one sample for
@@ -1094,6 +1258,9 @@ func (s *Service) Close() {
 	s.closeOnce.Do(func() {
 		if s.done != nil {
 			close(s.done)
+		}
+		if s.debug != nil {
+			s.debug.Close()
 		}
 		for _, sh := range s.shards {
 			if sh != nil {

@@ -6,6 +6,7 @@ import (
 	"dagmutex/internal/failure"
 	"dagmutex/internal/mutex"
 	"dagmutex/internal/runtime"
+	"dagmutex/internal/telemetry"
 	"dagmutex/internal/transport"
 )
 
@@ -139,6 +140,13 @@ func (t *TCPTransport) Close() { t.host.Close() }
 // the wiring tests, benchmarks and demos need, matching exactly what
 // separate processes do by hand. Callers must Close every returned
 // Service. cfg.Nodes and cfg.Transport are overridden per member.
+//
+// When cfg.Telemetry is set, member 1 registers into it and every
+// further member gets its own fresh registry — metric names are
+// per-shard, so sharing one registry across members would collide,
+// and separate processes have separate registries anyway. Read each
+// member's through Service.Telemetry. A shared cfg.TraceObserver is
+// fine: every member's events funnel into it.
 func NewTCPCluster(cfg Config, members int) ([]*Service, error) {
 	if members <= 0 {
 		return nil, fmt.Errorf("lockservice: need at least one member, got %d", members)
@@ -169,6 +177,9 @@ func NewTCPCluster(cfg Config, members int) ([]*Service, error) {
 	for m, tr := range transports {
 		c := cfg
 		c.Transport = tr
+		if m > 0 && c.Telemetry != nil {
+			c.Telemetry = telemetry.NewRegistry()
+		}
 		svc, err := New(c)
 		if err != nil {
 			cleanup()

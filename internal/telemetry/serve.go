@@ -1,0 +1,53 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is a running debug endpoint: /metrics (Prometheus text
+// exposition of one Registry), /debug/pprof (the standard profiling
+// handlers), and /debug/vars (expvar). It uses its own ServeMux, so
+// nothing leaks onto http.DefaultServeMux and several servers can run in
+// one process (one per lock-service member, say).
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts a debug HTTP server on addr ("" or ":0"-style for an
+// ephemeral port; query the bound address with Addr). The caller owns
+// the server and must Close it.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the server's bound address, for scraping.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and its listener.
+func (s *Server) Close() error { return s.srv.Close() }

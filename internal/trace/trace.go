@@ -12,6 +12,7 @@ import (
 	"dagmutex/internal/core"
 	"dagmutex/internal/mutex"
 	"dagmutex/internal/sim"
+	"dagmutex/internal/telemetry"
 )
 
 // Event is one line of a run trace.
@@ -31,6 +32,15 @@ func NewLog() *Log { return &Log{} }
 // Addf appends a formatted event at time t.
 func (l *Log) Addf(t sim.Time, format string, args ...any) {
 	l.events = append(l.events, Event{At: t, Text: fmt.Sprintf(format, args...)})
+}
+
+// AddEvent appends a structured trace event at time t, rendered in the
+// shared telemetry vocabulary: a simulation log and a live
+// WithTraceObserver stream print identical lines, so the offline
+// tooling reads both. Attach it to simulated nodes with
+// core.WithTraceObserver and a closure over the simulator clock.
+func (l *Log) AddEvent(t sim.Time, e telemetry.TraceEvent) {
+	l.Addf(t, "%s", e)
 }
 
 // Events returns the recorded events in insertion order (which is time

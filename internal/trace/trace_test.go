@@ -8,6 +8,7 @@ import (
 	"dagmutex/internal/core"
 	"dagmutex/internal/mutex"
 	"dagmutex/internal/sim"
+	"dagmutex/internal/telemetry"
 	"dagmutex/internal/topology"
 )
 
@@ -37,6 +38,45 @@ func TestLogCapturesRunEvents(t *testing.T) {
 	}
 	if len(l.Events()) < 4 {
 		t.Fatalf("too few events: %d", len(l.Events()))
+	}
+}
+
+// TestLogRecordsLiveTraceStream wires the runtime's structured trace
+// observer into a simulation log: the simulated run's lines must come
+// out in the exact live-telemetry vocabulary (REQUEST/PRIVILEGE/GRANT
+// with origin= and fence=), time-stamped by the simulator clock.
+func TestLogRecordsLiveTraceStream(t *testing.T) {
+	tree := topology.Line(3)
+	cfg := mutex.Config{IDs: tree.IDs(), Holder: 3, Parent: tree.ParentsToward(3)}
+	l := NewLog()
+	var c *cluster.Cluster
+	builder := func(id mutex.ID, env mutex.Env, mc mutex.Config) (mutex.Node, error) {
+		return core.New(id, env, mc, core.WithTraceObserver(func(e telemetry.TraceEvent) {
+			l.AddEvent(c.Scheduler().Now(), e)
+		}))
+	}
+	c, err := cluster.New(builder, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RequestAt(0, 1)
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if _, err := l.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"node 1 REQUEST -> 2 origin=1",
+		"node 2 FORWARD -> 3 origin=1 hops=1",
+		"node 3 PRIVILEGE -> 1 origin=1 hops=2",
+		"node 1 GRANT origin=1 fence=1 hops=2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("live-vocabulary trace missing %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -8,7 +8,9 @@ import (
 	"time"
 
 	"dagmutex/internal/core"
+	"dagmutex/internal/mutex"
 	"dagmutex/internal/runtime"
+	"dagmutex/internal/telemetry"
 	"dagmutex/internal/topology"
 )
 
@@ -42,6 +44,57 @@ func TestAllocBudgetLocalSteadyState(t *testing.T) {
 
 	if avg := testing.AllocsPerRun(1000, cycle); avg != 0 {
 		t.Fatalf("local steady-state acquire/release = %.2f allocs/op, want 0", avg)
+	}
+}
+
+// TestAllocBudgetTracedSteadyState pins the same steady-state cycle at
+// zero heap allocations with live telemetry attached: a trace observer
+// feeding real registry instruments (a counter and a histogram, the
+// exact instruments the lock service's per-shard observer drives).
+// Turning observability on must not put allocations back on the grant
+// hot path — the events are built from registers and passed by value,
+// and the instruments are wait-free atomics.
+func TestAllocBudgetTracedSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated by race instrumentation")
+	}
+	reg := telemetry.NewRegistry()
+	grants := reg.Counter("grants")
+	fences := reg.Histogram("fences", telemetry.Units)
+	builder := func(id mutex.ID, env mutex.Env, cfg mutex.Config) (mutex.Node, error) {
+		return core.New(id, env, cfg, core.WithTraceObserver(func(e telemetry.TraceEvent) {
+			if e.Kind == telemetry.TraceGrant {
+				grants.Inc()
+				fences.Observe(int64(e.Fence))
+			}
+		}))
+	}
+	l, err := NewLocal(builder, dagConfig(topology.Line(2), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	h := l.Session(1)
+	ctx := context.Background()
+
+	cycle := func() {
+		if _, err := h.Acquire(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Release(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cycle() // warm up lazy initialization outside the measured window
+
+	before := grants.Value()
+	if avg := testing.AllocsPerRun(1000, cycle); avg != 0 {
+		t.Fatalf("traced steady-state acquire/release = %.2f allocs/op, want 0", avg)
+	}
+	// The budget only means something if the observer actually fired on
+	// every measured grant.
+	if got := grants.Value() - before; got < 1000 {
+		t.Fatalf("observer saw %d grants during the measured window, want >= 1000", got)
 	}
 }
 

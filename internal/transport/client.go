@@ -9,7 +9,6 @@ import (
 	"io"
 	"net"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"dagmutex/internal/runtime"
@@ -93,11 +92,14 @@ type ClientQueue struct {
 	Burst int
 }
 
-// ClientStats is a snapshot of one listener's client-tier counters.
+// ClientStats is a snapshot of one listener's client-tier counters. The
+// snapshot is one consistent cut, not a field-by-field racing read: in
+// every snapshot Inflight == Admitted - Answered.
 type ClientStats struct {
 	Conns     int64 // client connections currently open
 	Inflight  int64 // acquires/tries admitted and not yet answered
 	Admitted  int64 // total requests admitted since the listener started
+	Answered  int64 // admitted requests that have completed (any outcome)
 	ShedDepth int64 // requests shed because the per-connection queue was full
 	ShedRate  int64 // requests shed by the admission rate limit
 }
@@ -114,15 +116,20 @@ type admission struct {
 	rate  float64
 	burst float64
 
-	mu     sync.Mutex
-	tokens float64
-	last   time.Time
-
-	conns     atomic.Int64
-	inflight  atomic.Int64
-	admitted  atomic.Int64
-	shedDepth atomic.Int64
-	shedRate  atomic.Int64
+	// One mutex guards the token bucket and every counter, so the
+	// accounting for one request is a single transition and stats() is
+	// a consistent cut. Rate-limited admissions already paid this lock
+	// for the bucket; unlimited ones trade their two atomic RMWs for
+	// one uncontended-in-practice lock hold.
+	mu        sync.Mutex
+	tokens    float64
+	last      time.Time
+	conns     int64
+	inflight  int64
+	admitted  int64
+	answered  int64
+	shedDepth int64
+	shedRate  int64
 }
 
 func newAdmission(q ClientQueue) *admission {
@@ -145,37 +152,66 @@ func newAdmission(q ClientQueue) *admission {
 	return a
 }
 
-// allow takes one token from the bucket, refilling it lazily from the
-// elapsed wall clock. Unlimited (rate 0) admissions skip the lock.
-func (a *admission) allow(now time.Time) bool {
-	if a.rate <= 0 {
-		return true
-	}
+// admitOne takes one token from the bucket (refilled lazily from the
+// elapsed wall clock) and, when admitted, records the admission — one
+// lock hold covers both, so a request is either fully admitted or fully
+// shed in every concurrent stats() snapshot. A rate reject burns no
+// token.
+func (a *admission) admitOne(now time.Time) bool {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if !a.last.IsZero() {
-		if elapsed := now.Sub(a.last).Seconds(); elapsed > 0 {
-			a.tokens += elapsed * a.rate
-			if a.tokens > a.burst {
-				a.tokens = a.burst
+	if a.rate > 0 {
+		if !a.last.IsZero() {
+			if elapsed := now.Sub(a.last).Seconds(); elapsed > 0 {
+				a.tokens += elapsed * a.rate
+				if a.tokens > a.burst {
+					a.tokens = a.burst
+				}
 			}
 		}
+		a.last = now
+		if a.tokens < 1 {
+			a.shedRate++
+			return false
+		}
+		a.tokens--
 	}
-	a.last = now
-	if a.tokens < 1 {
-		return false
-	}
-	a.tokens--
+	a.admitted++
+	a.inflight++
 	return true
 }
 
+// finish retires an admitted request: inflight and answered move in the
+// same transition, keeping Inflight == Admitted - Answered invariant.
+func (a *admission) finish() {
+	a.mu.Lock()
+	a.inflight--
+	a.answered++
+	a.mu.Unlock()
+}
+
+func (a *admission) shedFull() {
+	a.mu.Lock()
+	a.shedDepth++
+	a.mu.Unlock()
+}
+
+func (a *admission) connDelta(d int64) {
+	a.mu.Lock()
+	a.conns += d
+	a.mu.Unlock()
+}
+
 func (a *admission) stats() ClientStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	return ClientStats{
-		Conns:     a.conns.Load(),
-		Inflight:  a.inflight.Load(),
-		Admitted:  a.admitted.Load(),
-		ShedDepth: a.shedDepth.Load(),
-		ShedRate:  a.shedRate.Load(),
+		Conns:     a.conns,
+		Inflight:  a.inflight,
+		Admitted:  a.admitted,
+		Answered:  a.answered,
+		ShedDepth: a.shedDepth,
+		ShedRate:  a.shedRate,
 	}
 }
 
@@ -386,7 +422,7 @@ func serveClientConn(r io.Reader, conn net.Conn, backend ClientBackend, adm *adm
 		holds:   make(map[string]uint64),
 	}
 	cc.out.conn = conn
-	adm.conns.Add(1)
+	adm.connDelta(1)
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
@@ -403,7 +439,7 @@ func serveClientConn(r io.Reader, conn net.Conn, backend ClientBackend, adm *adm
 		cc.out.shutdown()
 		wg.Wait()
 		_ = conn.Close()
-		adm.conns.Add(-1)
+		adm.connDelta(-1)
 	}()
 	// stop (host shutdown) severs the connection, unblocking the read.
 	done := make(chan struct{})
@@ -449,25 +485,22 @@ func (cc *clientConn) admit(reqID uint64) bool {
 	select {
 	case cc.sem <- struct{}{}:
 	default:
-		cc.adm.shedDepth.Add(1)
+		cc.adm.shedFull()
 		cc.respondErr(reqID, ErrClientBusy)
 		return false
 	}
-	if !cc.adm.allow(time.Now()) {
+	if !cc.adm.admitOne(time.Now()) {
 		<-cc.sem
-		cc.adm.shedRate.Add(1)
 		cc.respondErr(reqID, ErrClientBusy)
 		return false
 	}
-	cc.adm.admitted.Add(1)
-	cc.adm.inflight.Add(1)
 	return true
 }
 
 // done returns an admitted request's inflight slot.
 func (cc *clientConn) done() {
 	<-cc.sem
-	cc.adm.inflight.Add(-1)
+	cc.adm.finish()
 }
 
 // startAcquire runs one acquire in its own goroutine: acquires may block

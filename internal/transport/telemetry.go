@@ -1,0 +1,35 @@
+package transport
+
+import (
+	"dagmutex/internal/telemetry"
+)
+
+// This file publishes the client-tier admission counters onto a
+// telemetry registry. The gauges are pull-based — each scrape takes one
+// consistent ClientStats snapshot per family — so serving /metrics
+// costs the admission path nothing.
+//
+// Exported metric families (one process has one client edge, so these
+// carry no label):
+//
+//	dagmutex_client_conns           gauge    client connections open
+//	dagmutex_client_inflight        gauge    admitted, not yet answered
+//	dagmutex_client_admitted_total  counter  requests admitted
+//	dagmutex_client_answered_total  counter  admitted requests completed
+//	dagmutex_client_shed_total      counter  requests shed, by reason
+//	                                         (label reason="depth"|"rate")
+func (a *admission) register(reg *telemetry.Registry) {
+	gauge := func(name string, v func(ClientStats) int64) {
+		reg.Gauge(name, func() float64 { return float64(v(a.stats())) })
+	}
+	gauge("dagmutex_client_conns", func(s ClientStats) int64 { return s.Conns })
+	gauge("dagmutex_client_inflight", func(s ClientStats) int64 { return s.Inflight })
+	gauge("dagmutex_client_admitted_total", func(s ClientStats) int64 { return s.Admitted })
+	gauge("dagmutex_client_answered_total", func(s ClientStats) int64 { return s.Answered })
+	gauge(`dagmutex_client_shed_total{reason="depth"}`, func(s ClientStats) int64 { return s.ShedDepth })
+	gauge(`dagmutex_client_shed_total{reason="rate"}`, func(s ClientStats) int64 { return s.ShedRate })
+}
+
+// Register publishes the gateway's admission counters on reg; see the
+// metric families above.
+func (g *ClientGateway) Register(reg *telemetry.Registry) { g.adm.register(reg) }

@@ -6,6 +6,7 @@ import (
 
 	"dagmutex/internal/core"
 	"dagmutex/internal/failure"
+	"dagmutex/internal/telemetry"
 	"dagmutex/internal/transport"
 )
 
@@ -16,6 +17,54 @@ type Event = core.Event
 
 // EventKind labels an Event.
 type EventKind = core.EventKind
+
+// Telemetry is an allocation-free metrics registry: atomic counters,
+// pull-based gauges and fixed-bucket histograms with p50/p95/p99
+// snapshots, rendered in the Prometheus text format by WritePrometheus.
+// Construct one with NewTelemetry, attach it with WithTelemetry, and
+// serve it over HTTP with ServeTelemetry (or let WithDebugAddr do both).
+type Telemetry = telemetry.Registry
+
+// NewTelemetry returns an empty metrics registry.
+func NewTelemetry() *Telemetry { return telemetry.NewRegistry() }
+
+// TelemetryServer is a live debug endpoint listener: Prometheus text
+// metrics on /metrics and the pprof profiles on /debug/pprof/. Start
+// one with ServeTelemetry; Close it to stop serving.
+type TelemetryServer = telemetry.Server
+
+// ServeTelemetry serves reg's metrics and the process's pprof profiles
+// on addr ("" for a fresh loopback port; the bound address is Addr on
+// the returned server). The caller owns the server's lifetime — or use
+// WithDebugAddr to tie it to a Cluster, LockService or Gateway.
+func ServeTelemetry(addr string, reg *Telemetry) (*TelemetryServer, error) {
+	return telemetry.Serve(addr, reg)
+}
+
+// TraceEvent is one structured observation of the protocol in motion —
+// a request issued, forwarded, the privilege dispatched, the grant, the
+// release, a lease expiry, a recovery step — carrying the node, the
+// requesting origin, the fencing generation and the hop count. Origin
+// and fence together form the grant's causal trace ID (TraceID), so the
+// full request→hops→privilege→grant chain of one critical-section entry
+// can be stitched back together from the stream without any extra wire
+// fields. Subscribe with WithTraceObserver.
+type TraceEvent = telemetry.TraceEvent
+
+// TraceKind labels a TraceEvent.
+type TraceKind = telemetry.TraceKind
+
+// TraceEvent kinds, in rough causal order of one grant's life.
+const (
+	TraceRequest   = telemetry.TraceRequest
+	TraceForward   = telemetry.TraceForward
+	TracePrivilege = telemetry.TracePrivilege
+	TraceGrant     = telemetry.TraceGrant
+	TraceRelease   = telemetry.TraceRelease
+	TraceRegrant   = telemetry.TraceRegrant
+	TraceExpire    = telemetry.TraceExpire
+	TraceRecovery  = telemetry.TraceRecovery
+)
 
 // TransportSpec selects the messaging substrate Open runs a cluster on.
 // Use the Local value or the TCP constructor.
@@ -52,6 +101,9 @@ type openOptions struct {
 	startCtx  context.Context
 	queue     *transport.ClientQueue
 	policy    TopologyPolicy
+	telemetry *Telemetry
+	trace     func(TraceEvent)
+	debugAddr *string
 }
 
 // WithTransport selects the substrate: Local (default) or TCP(listen).
@@ -119,6 +171,44 @@ func WithClientQueue(depth int, rate float64, burst int) Option {
 // 10 s deadline.
 func WithStartupContext(ctx context.Context) Option {
 	return func(o *openOptions) { o.startCtx = ctx }
+}
+
+// WithTelemetry registers the opened thing's live metrics on reg. A
+// LockService exports per-shard grant/release/regrant/expiry/recovery
+// counters, msgs-per-grant and hops-per-grant gauges, and acquire-wait
+// plus hold-duration quantiles; a Cluster exports its message counter;
+// a Gateway exports the client-tier admission counters. Gauges are
+// pull-based (read only when the registry is scraped) and the
+// histograms are wait-free atomics, so telemetry adds no locks and no
+// allocations to the grant hot path. Read it back with
+// Cluster.Metrics or LockService.Telemetry, render it with
+// Telemetry.WritePrometheus, or serve it with ServeTelemetry or
+// WithDebugAddr.
+func WithTelemetry(reg *Telemetry) Option {
+	return func(o *openOptions) { o.telemetry = reg }
+}
+
+// WithTraceObserver subscribes fn to the structured trace stream: every
+// request, forward, privilege dispatch, grant, release, lease expiry
+// and recovery event of every member hosted in this process, each
+// carrying the causal trace ID (origin and fence) that stitches one
+// critical-section entry's chain together. fn runs inside protocol
+// handlers and service goroutines, possibly concurrently: it must not
+// block, must not call back into the cluster, and should not allocate.
+// Applies to Open, OpenPeer and OpenLockService.
+func WithTraceObserver(fn func(TraceEvent)) Option {
+	return func(o *openOptions) { o.trace = fn }
+}
+
+// WithDebugAddr serves the debug endpoints on addr for the opened
+// thing's lifetime: Prometheus text metrics on /metrics (the
+// WithTelemetry registry, or a fresh one when none was attached) and
+// the pprof profiles on /debug/pprof/. Use "127.0.0.1:0" for a fresh
+// loopback port; read the bound address back with Cluster.DebugAddr,
+// LockService.DebugAddr or Gateway.DebugAddr. Applies to Open,
+// OpenLockService and OpenGateway.
+func WithDebugAddr(addr string) Option {
+	return func(o *openOptions) { o.debugAddr = &addr }
 }
 
 // TopologyPolicy selects how a cluster's DAG adapts to the request
