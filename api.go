@@ -91,6 +91,9 @@ func Open(tree *Tree, holder ID, opts ...Option) (*Cluster, error) {
 
 	var backend clusterBackend
 	if o.transport.tcp {
+		if o.clock != nil {
+			return nil, fmt.Errorf("dagmutex: WithClock applies to the Local substrate; TCP sockets live on real time")
+		}
 		var tc *transport.TCPCluster
 		tc, err = transport.NewTCPClusterWith(builder, cfg, transport.DAGCodec{}, o.fcfg, o.inj)
 		if err == nil && o.queue != nil {
@@ -104,6 +107,9 @@ func Open(tree *Tree, holder ID, opts ...Option) (*Cluster, error) {
 		}
 		if o.fcfg != nil {
 			lopts = append(lopts, transport.WithFailureDetection(*o.fcfg))
+		}
+		if o.clock != nil {
+			lopts = append(lopts, transport.WithClock(o.clock))
 		}
 		backend, err = transport.NewLocal(builder, cfg, lopts...)
 	}
@@ -286,6 +292,9 @@ func OpenPeer(tree *Tree, holder ID, id ID, opts ...Option) (*Peer, error) {
 	if o.init {
 		return nil, fmt.Errorf("dagmutex: WithINIT requires Open (a whole-cluster view); peers must be configured statically")
 	}
+	if o.clock != nil {
+		return nil, fmt.Errorf("dagmutex: WithClock applies to the Local substrate; TCP sockets live on real time")
+	}
 	cfg, err := TreeConfig(tree, holder)
 	if err != nil {
 		return nil, err
@@ -349,10 +358,16 @@ func OpenLockService(cfg LockServiceConfig, opts ...Option) (*LockService, error
 		if o.member != Nil {
 			return nil, fmt.Errorf("dagmutex: WithMember needs WithTransport(TCP(...)); the in-process service hosts every member")
 		}
+		if o.clock != nil {
+			cfg.Clock = o.clock
+		}
 		if cfg.Transport == nil && (o.fcfg != nil || o.inj != nil) {
-			cfg.Transport = lockservice.LocalTransport{Failure: o.fcfg, Injector: o.inj}
+			cfg.Transport = lockservice.LocalTransport{Failure: o.fcfg, Injector: o.inj, Clock: o.clock}
 		}
 		return lockservice.New(cfg)
+	}
+	if o.clock != nil {
+		return nil, fmt.Errorf("dagmutex: WithClock applies to the Local substrate; TCP sockets live on real time")
 	}
 	member := o.member
 	if member == Nil {

@@ -352,3 +352,57 @@ func TestOpenPeerEquivalentToNewTCPPeer(t *testing.T) {
 		}
 	}
 }
+
+// TestWithClockVirtualLeaseExpiry drives the whole lock-service stack
+// on a virtual clock through the public facade: a lease runs out only
+// when the test advances the clock, deterministically, with no sleeps.
+func TestWithClockVirtualLeaseExpiry(t *testing.T) {
+	v := dagmutex.NewVirtualClock()
+	svc, err := dagmutex.OpenLockService(
+		dagmutex.LockServiceConfig{Shards: 1, Nodes: 2, Lease: 50 * time.Millisecond, SweepInterval: 5 * time.Millisecond},
+		dagmutex.WithClock(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	h, err := svc.Acquire(ctx, "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Real time passing changes nothing: the lease lives on v.
+	if err := svc.Release("r"); err != nil {
+		t.Fatalf("release within virtual lease = %v", err)
+	}
+	if _, err := svc.Acquire(ctx, "r"); err != nil {
+		t.Fatal(err)
+	}
+	v.Advance(200 * time.Millisecond) // lease out; sweeper reclaims deterministically
+	if err := svc.Release("r"); !errors.Is(err, dagmutex.ErrLeaseExpired) {
+		t.Fatalf("release after virtual expiry = %v, want ErrLeaseExpired", err)
+	}
+	_ = h
+}
+
+// TestWithClockRejectedOverTCP pins the loud failure: virtual time and
+// real sockets cannot mix.
+func TestWithClockRejectedOverTCP(t *testing.T) {
+	v := dagmutex.NewVirtualClock()
+	if _, err := dagmutex.Open(dagmutex.Star(3), 1,
+		dagmutex.WithTransport(dagmutex.TCP("")), dagmutex.WithClock(v)); err == nil ||
+		!strings.Contains(err.Error(), "WithClock") {
+		t.Fatalf("Open(TCP, WithClock) = %v, want a WithClock error", err)
+	}
+	if _, err := dagmutex.OpenLockService(dagmutex.LockServiceConfig{},
+		dagmutex.WithTransport(dagmutex.TCP("")), dagmutex.WithMember(1),
+		dagmutex.WithClock(v)); err == nil ||
+		!strings.Contains(err.Error(), "WithClock") {
+		t.Fatalf("OpenLockService(TCP, WithClock) = %v, want a WithClock error", err)
+	}
+	if _, err := dagmutex.OpenPeer(dagmutex.Star(3), 1, 2,
+		dagmutex.WithClock(v)); err == nil || !strings.Contains(err.Error(), "WithClock") {
+		t.Fatalf("OpenPeer(WithClock) = %v, want a WithClock error", err)
+	}
+}

@@ -8,6 +8,17 @@
 //
 // Topologies: star, line, binary, radiating, random. Algorithms: see
 // -algo list.
+//
+// With -virtual the scenario instead runs on the virtual-time harness
+// (internal/simharness): the full DAG protocol including epoch
+// recovery, 1000+ nodes, simulated hours in wall-clock seconds:
+//
+//	dagsim -virtual -n 1000 -requesters 100 -duration 1h -seed 42
+//
+// and -capacity sweeps the capacity-planning grid (nodes x shards x
+// requesters), writing BENCH-style JSON:
+//
+//	dagsim -virtual -capacity -out BENCH_sim.json
 package main
 
 import (
@@ -17,6 +28,7 @@ import (
 	"math/rand"
 	"os"
 	"strings"
+	"time"
 
 	"dagmutex"
 	"dagmutex/internal/topology"
@@ -31,9 +43,24 @@ func main() {
 	think := flag.Float64("think", 10, "mean think time between entries, in message hops (0 = heavy demand)")
 	cs := flag.Float64("cs", 0.5, "critical-section duration in hops")
 	seed := flag.Int64("seed", 1, "random seed")
+	virtual := flag.Bool("virtual", false, "run on the virtual-time harness (full protocol, wall-clock time model)")
+	duration := flag.Duration("duration", 10*time.Minute, "simulated run length (-virtual only)")
+	requesters := flag.Int("requesters", 0, "requesting nodes, 0 = all (-virtual only)")
+	compress := flag.Bool("compress", false, "enable path compression (-virtual only)")
+	capacity := flag.Bool("capacity", false, "sweep the capacity grid instead of one run (-virtual only)")
+	out := flag.String("out", "-", "capacity JSON output path, - for stdout (-virtual -capacity only)")
 	flag.Parse()
 
-	if err := run(os.Stdout, *algo, *topo, *n, *holder, *requests, *think, *cs, *seed); err != nil {
+	var err error
+	switch {
+	case *capacity:
+		err = runCapacity(*out, *duration, *seed)
+	case *virtual:
+		err = runVirtual(os.Stdout, *topo, *n, *holder, *requesters, *duration, *seed, *compress)
+	default:
+		err = run(os.Stdout, *algo, *topo, *n, *holder, *requests, *think, *cs, *seed)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "dagsim:", err)
 		os.Exit(1)
 	}

@@ -317,4 +317,33 @@
 // experiment (-telemetry) measures the end-to-end tax, asserting the
 // instrumented sweep holds within 5% of the bare one. See
 // examples/telemetry for the full pattern, scrape included.
+//
+// # Virtual time
+//
+// Every timer in the stack reads time through a Clock — lease
+// deadlines and the expiry sweeper, heartbeat failure detection,
+// rebalance ticks, proxy expiry, the local substrate's injected delay
+// lines. The default is the system clock. WithClock(NewVirtualClock())
+// swaps in a deterministic one: nothing expires or ticks until the
+// test calls VirtualClock.Advance, which fires the timers due, in
+// order, on the advancing goroutine — so the test asserts immediately
+// after Advance returns, with no sleeps and no polling:
+//
+//	v := dagmutex.NewVirtualClock()
+//	svc, err := dagmutex.OpenLockService(
+//	    dagmutex.LockServiceConfig{Shards: 1, Nodes: 2,
+//	        Lease: 50 * time.Millisecond, SweepInterval: 5 * time.Millisecond},
+//	    dagmutex.WithClock(v))
+//	svc.Acquire(ctx, "r")
+//	v.Advance(200 * time.Millisecond)     // the lease expires here
+//	err = svc.Release("r")                // ErrLeaseExpired, deterministically
+//
+// WithClock applies to the Local substrate only; TCP sockets live on
+// real time, so combining it with WithTransport(TCP(...)) is an
+// error. For whole-cluster simulation at scale — thousands of nodes,
+// seeded fault schedules against the recovery protocol, simulated
+// hours in wall-clock seconds — the internal/simharness package and
+// `dagsim -virtual` run the same core state machines entirely on
+// virtual time; `dagsim -virtual -capacity` publishes the
+// capacity-planning curves as BENCH_sim.json.
 package dagmutex

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"dagmutex/internal/mutex"
+	"dagmutex/internal/vclock"
 )
 
 // Heartbeat is the detector's liveness message. It carries nothing: its
@@ -46,6 +47,11 @@ type Config struct {
 	// heartbeat interval plus worst-case scheduling jitter; too tight a
 	// bound turns load into false suspicion.
 	SuspectAfter time.Duration
+	// Clock is the time source the detector ticks and timestamps on. Nil
+	// means the real clock; tests and the simulation harness install a
+	// vclock.Virtual so heartbeat intervals and suspicion timeouts pass
+	// in virtual time instead of wall-clock sleeps.
+	Clock vclock.Clock
 }
 
 func (c Config) withDefaults() Config {
@@ -55,6 +61,7 @@ func (c Config) withDefaults() Config {
 	if c.SuspectAfter <= 0 {
 		c.SuspectAfter = 8 * c.Heartbeat
 	}
+	c.Clock = vclock.Or(c.Clock)
 	return c
 }
 
@@ -79,10 +86,10 @@ type Detector struct {
 	onDown   func(mutex.ID)
 	onUp     func(mutex.ID)
 	started  bool
+	timer    vclock.Timer // the heartbeat tick chain; nil before Start and after Stop
 
 	stop     chan struct{}
 	stopOnce sync.Once
-	wg       sync.WaitGroup
 
 	// verdictMu serializes callback invocations, so a protocol sees
 	// down/up transitions for one peer in order.
@@ -133,40 +140,54 @@ func (d *Detector) Start() {
 		return
 	}
 	d.started = true
-	now := time.Now()
+	now := d.cfg.Clock.Now()
 	for _, p := range d.peers {
 		d.lastSeen[p] = now
 	}
+	// The tick chain replaces the former ticker goroutine: each fire
+	// re-arms itself, so on a virtual clock ticks run deterministically
+	// on the advancing goroutine, and on the real clock time.AfterFunc
+	// supplies the goroutine per fire.
+	d.timer = d.cfg.Clock.AfterFunc(d.cfg.Heartbeat, d.tick)
 	d.mu.Unlock()
-	d.wg.Add(1)
-	go func() {
-		defer d.wg.Done()
-		d.run()
-	}()
 }
 
 // Stop halts heartbeats and suspicion; no callbacks fire after it
 // returns.
 func (d *Detector) Stop() {
 	d.stopOnce.Do(func() { close(d.stop) })
-	d.wg.Wait()
+	d.mu.Lock()
+	if d.timer != nil {
+		d.timer.Stop()
+		d.timer = nil
+	}
+	d.mu.Unlock()
+	// Flush an in-flight verdict: once we hold verdictMu, any callback
+	// that had already passed the stop check has returned, and the stop
+	// check turns away every later one.
+	d.verdictMu.Lock()
+	//lint:ignore SA2001 barrier: the hold itself is the synchronization
+	d.verdictMu.Unlock()
 }
 
-func (d *Detector) run() {
-	t := time.NewTicker(d.cfg.Heartbeat)
-	defer t.Stop()
-	for {
-		select {
-		case <-d.stop:
-			return
-		case <-t.C:
-		}
-		// Heartbeat everyone — down peers too, so a heal is detected.
-		for _, p := range d.peers {
-			_ = d.send(p, Heartbeat{})
-		}
-		d.check(time.Now())
+// tick is one heartbeat round: send to every peer, check for silence,
+// re-arm.
+func (d *Detector) tick() {
+	select {
+	case <-d.stop:
+		return
+	default:
 	}
+	// Heartbeat everyone — down peers too, so a heal is detected.
+	for _, p := range d.peers {
+		_ = d.send(p, Heartbeat{})
+	}
+	d.check(d.cfg.Clock.Now())
+	d.mu.Lock()
+	if d.timer != nil {
+		d.timer.Reset(d.cfg.Heartbeat)
+	}
+	d.mu.Unlock()
 }
 
 func (d *Detector) check(now time.Time) {
@@ -215,7 +236,7 @@ func (d *Detector) Inbound(from mutex.ID, m mutex.Message) bool {
 		d.mu.Unlock()
 		return hb
 	}
-	d.lastSeen[from] = time.Now()
+	d.lastSeen[from] = d.cfg.Clock.Now()
 	revived := d.down[from]
 	if revived {
 		delete(d.down, from)
@@ -239,7 +260,7 @@ func (d *Detector) MarkDown(peer mutex.ID) {
 	}
 	d.down[peer] = true
 	// Age the peer out so a lone stale timestamp cannot flap it back.
-	d.lastSeen[peer] = time.Now().Add(-d.cfg.SuspectAfter)
+	d.lastSeen[peer] = d.cfg.Clock.Now().Add(-d.cfg.SuspectAfter)
 	onDown := d.onDown
 	d.mu.Unlock()
 	d.verdict(onDown, peer)

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"dagmutex/internal/mutex"
+	"dagmutex/internal/vclock"
 )
 
 // collect accumulates verdicts thread-safely.
@@ -23,52 +24,35 @@ func (c *collect) snapshot() (down, up []mutex.ID) {
 	return append([]mutex.ID(nil), c.down...), append([]mutex.ID(nil), c.up...)
 }
 
-func waitFor(t *testing.T, cond func() bool, what string) {
-	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		if cond() {
-			return
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
-	t.Fatalf("timed out waiting for %s", what)
-}
+// The detector tests run on a virtual clock: suspicion windows pass via
+// Advance instead of wall-clock sleeps, so verdict timing is exact — a
+// peer goes down at the first tick past the window, not "eventually".
 
 // TestDetectorSuspectsSilentPeer: a peer that never speaks is declared
 // down after the suspicion window; a chatty one is not.
 func TestDetectorSuspectsSilentPeer(t *testing.T) {
+	v := vclock.NewVirtual()
 	var c collect
 	d := NewDetector(1, []mutex.ID{2, 3}, func(mutex.ID, mutex.Message) error { return nil },
-		Config{Heartbeat: 5 * time.Millisecond, SuspectAfter: 25 * time.Millisecond})
+		Config{Heartbeat: 5 * time.Millisecond, SuspectAfter: 25 * time.Millisecond, Clock: v})
 	d.OnDown(c.onDown)
 	d.Start()
 	defer d.Stop()
 
-	// Node 2 keeps talking; node 3 is silent.
-	stopFeeding := make(chan struct{})
-	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		for {
-			select {
-			case <-stopFeeding:
-				return
-			case <-time.After(5 * time.Millisecond):
-				d.Inbound(2, Heartbeat{})
-			}
-		}
-	}()
-
-	waitFor(t, func() bool { down, _ := c.snapshot(); return len(down) > 0 }, "down verdict")
-	close(stopFeeding)
-	wg.Wait()
+	// Node 2 keeps talking; node 3 is silent. Ticks land at 5ms
+	// multiples, so the window (last tick with now-lastSeen <= 25ms) ends
+	// exactly at t=25ms and the down verdict fires on the t=30ms tick.
+	for i := 0; i < 5; i++ {
+		v.Advance(5 * time.Millisecond)
+		d.Inbound(2, Heartbeat{})
+	}
+	if down, _ := c.snapshot(); len(down) != 0 {
+		t.Fatalf("down verdicts inside the window: %v", down)
+	}
+	v.Advance(5 * time.Millisecond)
 	down, _ := c.snapshot()
-	for _, p := range down {
-		if p != 3 {
-			t.Fatalf("suspected node %d, only 3 was silent", p)
-		}
+	if len(down) != 1 || down[0] != 3 {
+		t.Fatalf("down verdicts = %v, want [3]", down)
 	}
 	if got := d.Down(); len(got) != 1 || got[0] != 3 {
 		t.Fatalf("Down() = %v, want [3]", got)
@@ -78,28 +62,35 @@ func TestDetectorSuspectsSilentPeer(t *testing.T) {
 // TestDetectorRevivesOnTraffic: a down peer that speaks again gets an up
 // verdict and leaves the down set.
 func TestDetectorRevivesOnTraffic(t *testing.T) {
+	v := vclock.NewVirtual()
 	var c collect
 	d := NewDetector(1, []mutex.ID{2}, func(mutex.ID, mutex.Message) error { return nil },
-		Config{Heartbeat: 5 * time.Millisecond, SuspectAfter: 20 * time.Millisecond})
+		Config{Heartbeat: 5 * time.Millisecond, SuspectAfter: 20 * time.Millisecond, Clock: v})
 	d.OnDown(c.onDown)
 	d.OnUp(c.onUp)
 	d.Start()
 	defer d.Stop()
 
-	waitFor(t, func() bool { down, _ := c.snapshot(); return len(down) == 1 }, "down verdict")
+	v.Advance(30 * time.Millisecond)
+	if down, _ := c.snapshot(); len(down) != 1 {
+		t.Fatalf("down verdicts = %v, want one", down)
+	}
 	d.Inbound(2, Heartbeat{})
-	waitFor(t, func() bool { _, up := c.snapshot(); return len(up) == 1 }, "up verdict")
+	if _, up := c.snapshot(); len(up) != 1 {
+		t.Fatalf("up verdicts = %v, want one", up)
+	}
 	if got := d.Down(); len(got) != 0 {
 		t.Fatalf("Down() = %v after revival, want empty", got)
 	}
 }
 
 // TestDetectorMarkDownIsImmediate: out-of-band evidence fires without
-// waiting out the window.
+// waiting out the window — no Advance at all.
 func TestDetectorMarkDownIsImmediate(t *testing.T) {
+	v := vclock.NewVirtual()
 	var c collect
 	d := NewDetector(1, []mutex.ID{2}, func(mutex.ID, mutex.Message) error { return nil },
-		Config{Heartbeat: time.Hour, SuspectAfter: time.Hour})
+		Config{Heartbeat: time.Hour, SuspectAfter: time.Hour, Clock: v})
 	d.OnDown(c.onDown)
 	d.Start()
 	defer d.Stop()
@@ -135,6 +126,7 @@ func (fakeMsg) Size() int    { return 0 }
 // TestDetectorHeartbeatsAllPeers: heartbeats keep flowing to down peers,
 // so a healed peer is noticed.
 func TestDetectorHeartbeatsAllPeers(t *testing.T) {
+	v := vclock.NewVirtual()
 	var mu sync.Mutex
 	sent := make(map[mutex.ID]int)
 	d := NewDetector(1, []mutex.ID{2, 3}, func(to mutex.ID, m mutex.Message) error {
@@ -142,18 +134,49 @@ func TestDetectorHeartbeatsAllPeers(t *testing.T) {
 		sent[to]++
 		mu.Unlock()
 		return nil
-	}, Config{Heartbeat: 2 * time.Millisecond, SuspectAfter: 6 * time.Millisecond})
+	}, Config{Heartbeat: 2 * time.Millisecond, SuspectAfter: 6 * time.Millisecond, Clock: v})
 	d.Start()
 	defer d.Stop()
-	waitFor(t, func() bool { return len(d.Down()) == 2 }, "both peers down")
+	v.Advance(20 * time.Millisecond)
+	if got := d.Down(); len(got) != 2 {
+		t.Fatalf("Down() = %v, want both peers", got)
+	}
 	mu.Lock()
 	before := sent[2]
 	mu.Unlock()
-	waitFor(t, func() bool {
+	v.Advance(10 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if sent[2] != before+5 {
+		t.Fatalf("heartbeats to a down peer over 10ms at 2ms cadence = %d, want 5", sent[2]-before)
+	}
+}
+
+// TestDetectorStopSilencesTicks: after Stop, advancing the clock fires no
+// heartbeats and no verdicts.
+func TestDetectorStopSilencesTicks(t *testing.T) {
+	v := vclock.NewVirtual()
+	var mu sync.Mutex
+	sends := 0
+	var c collect
+	d := NewDetector(1, []mutex.ID{2}, func(mutex.ID, mutex.Message) error {
 		mu.Lock()
-		defer mu.Unlock()
-		return sent[2] > before+2
-	}, "heartbeats to a down peer")
+		sends++
+		mu.Unlock()
+		return nil
+	}, Config{Heartbeat: 5 * time.Millisecond, SuspectAfter: 10 * time.Millisecond, Clock: v})
+	d.OnDown(c.onDown)
+	d.Start()
+	d.Stop()
+	v.Advance(time.Hour)
+	mu.Lock()
+	defer mu.Unlock()
+	if sends != 0 {
+		t.Fatalf("stopped detector sent %d heartbeats", sends)
+	}
+	if down, _ := c.snapshot(); len(down) != 0 {
+		t.Fatalf("stopped detector fired verdicts: %v", down)
+	}
 }
 
 // TestInjectorVerdicts covers the fault plan's decision table.

@@ -36,6 +36,7 @@ import (
 	"dagmutex/internal/runtime"
 	"dagmutex/internal/telemetry"
 	"dagmutex/internal/transport"
+	"dagmutex/internal/vclock"
 )
 
 // dialTimeout bounds each upstream dial attempt, so failover walks on
@@ -81,6 +82,12 @@ type Config struct {
 	// Queue is the admission control applied at the gateway's edge; the
 	// zero value is the member default (depth 64, no rate limit).
 	Queue transport.ClientQueue
+	// Clock, when set, drives the reconnect-backoff quarantine deadlines
+	// (nil means the system clock). The gateway is a TCP-facing tier, so
+	// its dials and I/O stay on real time regardless; the clock only
+	// decides when a quarantined member may be redialed — which is what
+	// tests need to make backoff deterministic.
+	Clock vclock.Clock
 }
 
 // Gateway is a running gateway: a client-protocol listener whose
@@ -98,7 +105,7 @@ func New(cfg Config) (*Gateway, error) {
 	if len(cfg.Members) == 0 {
 		return nil, errors.New("gateway: no member addresses")
 	}
-	b := newBackend(cfg.Members)
+	b := newBackend(cfg.Members, vclock.Or(cfg.Clock))
 	srv, err := transport.NewClientGatewayWith(cfg.Listen, b, cfg.Queue)
 	if err != nil {
 		b.close()
@@ -133,6 +140,7 @@ func (g *Gateway) Close() error {
 // immediately and used concurrently.
 type upstream struct {
 	addr string
+	clk  vclock.Clock // never nil; quarantine deadlines only
 
 	mu        sync.Mutex
 	conn      *client.Conn
@@ -160,7 +168,7 @@ func (u *upstream) get(ctx context.Context) (*client.Conn, error) {
 		_ = u.conn.Close()
 		u.conn = nil
 	}
-	if wait := time.Until(u.notBefore); wait > 0 {
+	if wait := u.clk.Until(u.notBefore); wait > 0 {
 		return nil, fmt.Errorf("gateway: member %s backing off after %d failed dials (next attempt in %s)",
 			u.addr, u.failures, wait.Round(time.Millisecond))
 	}
@@ -169,7 +177,7 @@ func (u *upstream) get(ctx context.Context) (*client.Conn, error) {
 	c, err := client.DialContext(dctx, u.addr)
 	if err != nil {
 		u.failures++
-		u.notBefore = time.Now().Add(backoffDelay(u.failures, rand.Float64))
+		u.notBefore = u.clk.Now().Add(backoffDelay(u.failures, rand.Float64))
 		return nil, err
 	}
 	u.failures, u.notBefore = 0, time.Time{}
@@ -190,10 +198,10 @@ type backend struct {
 	holds map[string]map[uint64]int
 }
 
-func newBackend(members []string) *backend {
+func newBackend(members []string, clk vclock.Clock) *backend {
 	b := &backend{ups: make([]*upstream, len(members)), holds: make(map[string]map[uint64]int)}
 	for i, addr := range members {
-		b.ups[i] = &upstream{addr: addr}
+		b.ups[i] = &upstream{addr: addr, clk: clk}
 	}
 	return b
 }

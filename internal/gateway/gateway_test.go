@@ -18,6 +18,7 @@ import (
 	"dagmutex/internal/mutex"
 	"dagmutex/internal/topology"
 	"dagmutex/internal/transport"
+	"dagmutex/internal/vclock"
 )
 
 // gatewayCluster starts a 3-member TCP cluster (failure detection
@@ -256,7 +257,7 @@ func TestUpstreamQuarantineFailsFast(t *testing.T) {
 	addr := ln.Addr().String()
 	ln.Close()
 
-	u := &upstream{addr: addr}
+	u := &upstream{addr: addr, clk: vclock.System()}
 	ctx := context.Background()
 	if _, err := u.get(ctx); err == nil {
 		t.Fatal("get on refused port succeeded")
@@ -307,7 +308,7 @@ func TestUpstreamQuarantineFailsFast(t *testing.T) {
 			go func() { _, _ = io.Copy(io.Discard, conn) }()
 		}
 	}()
-	u2 := &upstream{addr: addr, failures: 3, notBefore: time.Now().Add(-time.Millisecond)}
+	u2 := &upstream{addr: addr, clk: vclock.System(), failures: 3, notBefore: time.Now().Add(-time.Millisecond)}
 	u2.addr = ln2.Addr().String()
 	if _, err := u2.get(ctx); err != nil {
 		t.Fatalf("get on live listener: %v", err)

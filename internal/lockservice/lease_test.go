@@ -9,17 +9,22 @@ import (
 	"time"
 
 	"dagmutex/internal/mutex"
+	"dagmutex/internal/vclock"
 )
 
-// leaseService starts a service with a short lease and a fast sweeper,
-// suitable for expiry tests.
-func leaseService(t *testing.T, shards, nodes int, lease time.Duration) *Service {
+// leaseService starts a service with a short lease and a fast sweeper on
+// a virtual clock, suitable for expiry tests: the lease deadline and the
+// sweeper both advance only when the test says so, so expiry is a
+// deterministic event rather than a race against real sleeps.
+func leaseService(t *testing.T, shards, nodes int, lease time.Duration) (*Service, *vclock.Virtual) {
 	t.Helper()
+	v := vclock.NewVirtual()
 	s, err := New(Config{
 		Shards:        shards,
 		Nodes:         nodes,
 		Lease:         lease,
 		SweepInterval: 5 * time.Millisecond,
+		Clock:         v,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -30,7 +35,7 @@ func leaseService(t *testing.T, shards, nodes int, lease time.Duration) *Service
 			t.Errorf("protocol error after run: %v", err)
 		}
 	})
-	return s
+	return s, v
 }
 
 // TestReleaseNotHeldSentinel: the distinct ErrNotHeld sentinel surfaces
@@ -76,9 +81,9 @@ func TestReleaseNotHeldSentinel(t *testing.T) {
 // hold with the shard, member, a non-zero fencing token and a lease
 // deadline derived from the configured lease.
 func TestHoldCarriesFenceAndDeadline(t *testing.T) {
-	s := leaseService(t, 2, 2, time.Minute)
+	s, v := leaseService(t, 2, 2, time.Minute)
 	ctx := context.Background()
-	before := time.Now()
+	before := v.Now()
 	h, err := s.Acquire(ctx, "res")
 	if err != nil {
 		t.Fatal(err)
@@ -89,7 +94,7 @@ func TestHoldCarriesFenceAndDeadline(t *testing.T) {
 	if h.Fence == 0 {
 		t.Fatal("hold carries no fencing token")
 	}
-	if h.Expires.Before(before.Add(30*time.Second)) || h.Expires.After(time.Now().Add(time.Minute)) {
+	if h.Expires.Before(before.Add(30*time.Second)) || h.Expires.After(v.Now().Add(time.Minute)) {
 		t.Fatalf("hold deadline %v not ~1 minute out", h.Expires)
 	}
 	if err := s.Release("res"); err != nil {
@@ -100,7 +105,8 @@ func TestHoldCarriesFenceAndDeadline(t *testing.T) {
 // TestLeaseDisabled: a negative lease turns expiry off — holds carry no
 // deadline and outlive any sweep interval.
 func TestLeaseDisabled(t *testing.T) {
-	s, err := New(Config{Shards: 1, Nodes: 2, Lease: -1, SweepInterval: 5 * time.Millisecond})
+	v := vclock.NewVirtual()
+	s, err := New(Config{Shards: 1, Nodes: 2, Lease: -1, SweepInterval: 5 * time.Millisecond, Clock: v})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +118,7 @@ func TestLeaseDisabled(t *testing.T) {
 	if !h.Expires.IsZero() {
 		t.Fatalf("hold deadline = %v, want zero with leases disabled", h.Expires)
 	}
-	time.Sleep(40 * time.Millisecond) // several sweeps
+	v.Advance(time.Hour) // hundreds of thousands of sweeps
 	if err := s.Release("r"); err != nil {
 		t.Fatalf("release after sweeps = %v, want success (no expiry)", err)
 	}
@@ -123,7 +129,7 @@ func TestLeaseDisabled(t *testing.T) {
 // a second member then acquires it under a higher fence, and the late
 // Release observes ErrLeaseExpired.
 func TestLeaseExpiryForcesRelease(t *testing.T) {
-	s := leaseService(t, 1, 2, 60*time.Millisecond)
+	s, v := leaseService(t, 1, 2, 60*time.Millisecond)
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	c1, err := s.On(1)
@@ -139,8 +145,10 @@ func TestLeaseExpiryForcesRelease(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Member 1 goes silent. Member 2 must get the resource without any
-	// Release from member 1 — the sweeper reclaims the expired hold.
+	// Member 1 goes silent; the lease runs out and the sweeper reclaims
+	// the hold. Member 2 then gets the resource without any Release from
+	// member 1.
+	advanceReclaimed(t, v, s, "hot", first)
 	second, err := c2.Acquire(ctx, "hot")
 	if err != nil {
 		t.Fatalf("acquire after expiry: %v", err)
@@ -181,7 +189,7 @@ func TestLeaseExpiryForcesRelease(t *testing.T) {
 // any unreported expiry marker for the same resource, so a double
 // release after it is ErrNotHeld, not a stale ErrLeaseExpired.
 func TestCleanReleaseClearsExpiryMarker(t *testing.T) {
-	s := leaseService(t, 1, 2, 60*time.Millisecond)
+	s, v := leaseService(t, 1, 2, 60*time.Millisecond)
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	c2, err := s.On(2)
@@ -189,11 +197,13 @@ func TestCleanReleaseClearsExpiryMarker(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if _, err := s.Acquire(ctx, "r"); err != nil {
+	h, err := s.Acquire(ctx, "r")
+	if err != nil {
 		t.Fatal(err)
 	}
 	// Let the hold expire; prove it did by acquiring from another member,
 	// then hand the resource back. The first holder never reports in.
+	advanceReclaimed(t, v, s, "r", h)
 	if _, err := c2.Acquire(ctx, "r"); err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +229,7 @@ func TestCleanReleaseClearsExpiryMarker(t *testing.T) {
 // the slot moved on to other resources (or re-held the same one), and a
 // stale fence can never release somebody else's newer hold.
 func TestReleaseHoldMatchesByFence(t *testing.T) {
-	s := leaseService(t, 1, 2, 60*time.Millisecond)
+	s, v := leaseService(t, 1, 2, 60*time.Millisecond)
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	c1, err := s.On(1)
@@ -231,11 +241,9 @@ func TestReleaseHoldMatchesByFence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Let the hold expire (proved by waiting out the deadline plus
-	// sweeps), then re-acquire the same resource through the same slot.
-	for time.Now().Before(old.Expires.Add(50 * time.Millisecond)) {
-		time.Sleep(5 * time.Millisecond)
-	}
+	// Let the hold expire, then re-acquire the same resource through the
+	// same slot.
+	advanceReclaimed(t, v, s, "r", old)
 	cur, err := c1.Acquire(ctx, "r")
 	if err != nil {
 		t.Fatal(err)
@@ -312,11 +320,13 @@ func TestFencingMonotonicPerShardUnderContention(t *testing.T) {
 // back), each late ReleaseHold must observe ErrLeaseExpired — the older
 // marker must not be lost when the newer expiry lands.
 func TestSuccessiveExpiriesEachReported(t *testing.T) {
+	v := vclock.NewVirtual()
 	svc, err := New(Config{
 		Shards:        1,
 		Nodes:         2,
 		Lease:         60 * time.Millisecond,
 		SweepInterval: 5 * time.Millisecond,
+		Clock:         v,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -334,12 +344,12 @@ func TestSuccessiveExpiriesEachReported(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	waitReclaimed(t, svc, resource, first)
+	advanceReclaimed(t, v, svc, resource, first)
 	second, err := c.Acquire(ctx, resource)
 	if err != nil {
 		t.Fatal(err)
 	}
-	waitReclaimed(t, svc, resource, second)
+	advanceReclaimed(t, v, svc, resource, second)
 
 	// Both stuck holders come back late; each must learn its lease ran
 	// out, in either order.
@@ -355,24 +365,25 @@ func TestSuccessiveExpiriesEachReported(t *testing.T) {
 	}
 }
 
-// waitReclaimed blocks until the sweeper has force-released h (another
-// member can acquire the resource and release it cleanly again).
-func waitReclaimed(t *testing.T, svc *Service, resource string, h Hold) {
+// advanceReclaimed advances the virtual clock past h's lease deadline
+// plus two sweeper ticks, which fires the sweeper deterministically, and
+// asserts the hold was force-released. The reclaim happens synchronously
+// during Advance — no polling loop.
+func advanceReclaimed(t *testing.T, v *vclock.Virtual, svc *Service, resource string, h Hold) {
 	t.Helper()
-	deadline := time.Now().Add(15 * time.Second)
-	for time.Now().Before(deadline) {
-		sh, err := svc.shardOf(resource)
-		if err != nil {
-			t.Fatal(err)
-		}
-		sl := sh.slot(h.Node)
-		sl.mu.Lock()
-		reclaimed := sl.held != resource || sl.fence != h.Fence
-		sl.mu.Unlock()
-		if reclaimed {
-			return
-		}
-		time.Sleep(5 * time.Millisecond)
+	if d := v.Until(h.Expires); d > 0 {
+		v.Advance(d)
 	}
-	t.Fatalf("hold %v never reclaimed by the sweeper", h)
+	v.Advance(10 * time.Millisecond) // two sweeps: at least one strictly past the deadline
+	sh, err := svc.shardOf(resource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl := sh.slot(h.Node)
+	sl.mu.Lock()
+	reclaimed := sl.held != resource || sl.fence != h.Fence
+	sl.mu.Unlock()
+	if !reclaimed {
+		t.Fatalf("hold %v not reclaimed by the sweeper after its deadline", h)
+	}
 }

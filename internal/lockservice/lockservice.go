@@ -50,6 +50,7 @@ import (
 	"dagmutex/internal/runtime"
 	"dagmutex/internal/telemetry"
 	"dagmutex/internal/topology"
+	"dagmutex/internal/vclock"
 )
 
 // Sentinel errors for the hold lifecycle.
@@ -159,6 +160,13 @@ type Config struct {
 	// When Telemetry is unset a fresh registry is installed so the
 	// endpoints have content.
 	DebugAddr string
+	// Clock is the time source the service runs on: lease deadlines,
+	// sweeper cadence, rebalance cadence, acquire-wait measurement. Nil
+	// means the real clock. Tests and the simulation harness install a
+	// vclock.Virtual so simulated hours of lease churn pass under test
+	// control; pair it with a LocalTransport carrying the same clock so
+	// the protocol layer below agrees on time.
+	Clock vclock.Clock
 }
 
 // Topology is a per-shard adaptive-topology policy. Every participating
@@ -200,8 +208,9 @@ func (c Config) withDefaults() Config {
 	if c.Tree == nil {
 		c.Tree = topology.Star
 	}
+	c.Clock = vclock.Or(c.Clock)
 	if c.Transport == nil {
-		c.Transport = LocalTransport{}
+		c.Transport = LocalTransport{Clock: c.Clock}
 	}
 	if c.Lease == 0 {
 		c.Lease = DefaultLease
@@ -261,6 +270,7 @@ type shard struct {
 	cohort  int           // max consecutive local regrants; <= 0 disables
 	slots   []*slot
 	done    <-chan struct{} // service-wide close signal
+	clk     vclock.Clock    // never nil; leases, sweeps and waits run on it
 
 	// Telemetry instruments; nil when Config.Telemetry is unset. The
 	// histograms are wait-free atomics fed on the hot path; every gauge
@@ -294,6 +304,15 @@ type shard struct {
 	waits      []float64 // reservoir of per-grant waits, milliseconds
 	waitsSeen  int       // total grants observed, for reservoir replacement
 	lastGrants []int64   // nodeGrants snapshot at the last rebalance pass
+
+	// The periodic loops are clock-driven AfterFunc chains (each tick
+	// re-arms itself), so on a virtual clock they run deterministically
+	// on the advancing goroutine. Both timers are guarded by mu; nil
+	// after Close stops the chain.
+	sweepEvery time.Duration
+	sweepTimer vclock.Timer
+	rebalEvery time.Duration
+	rebalTimer vclock.Timer
 }
 
 // maxWaitSamples bounds the per-shard wait reservoir so a long-lived
@@ -374,7 +393,7 @@ func New(cfg Config) (*Service, error) {
 		home := mutex.ID(1 + i%cfg.Nodes)
 		mcfg := mutex.Config{IDs: tree.IDs(), Holder: home, Parent: tree.ParentsToward(home)}
 		sh := &shard{index: i, home: home, route: mutex.Nil, lease: cfg.Lease,
-			cohort: cfg.CohortBudget, slots: make([]*slot, cfg.Nodes), done: s.done,
+			cohort: cfg.CohortBudget, slots: make([]*slot, cfg.Nodes), done: s.done, clk: cfg.Clock,
 			nodeGrants: make([]int64, cfg.Nodes), lastGrants: make([]int64, cfg.Nodes)}
 		if observed {
 			sh.obs = sh.observer(cfg.TraceObserver)
@@ -408,10 +427,7 @@ func New(cfg Config) (*Service, error) {
 			sh.register(cfg.Telemetry)
 		}
 		s.shards = append(s.shards, sh)
-		go sh.sweep(cfg.SweepInterval)
-		if cfg.Topology.RebalanceEvery > 0 {
-			go sh.rebalance(cfg.Topology.RebalanceEvery)
-		}
+		sh.startLoops(cfg.SweepInterval, cfg.Topology.RebalanceEvery)
 	}
 	if cfg.DebugAddr != "" {
 		srv, err := telemetry.Serve(cfg.DebugAddr, cfg.Telemetry)
@@ -569,7 +585,7 @@ func (sh *shard) acquire(ctx context.Context, id mutex.ID, resource string) (Hol
 	if sl == nil {
 		return Hold{}, fmt.Errorf("lockservice: member %d is not hosted by this process (shard %d)", id, sh.index)
 	}
-	start := time.Now() // wait includes local slot queueing, not just token travel
+	start := sh.clk.Now() // wait includes local slot queueing, not just token travel
 	sl.waiters.Add(1)
 	select {
 	case sl.sem <- struct{}{}:
@@ -628,7 +644,7 @@ func (sh *shard) acquire(ctx context.Context, id mutex.ID, resource string) (Hol
 	sl.expires = hold.Expires
 	sl.grantedAt = grant.At
 	sl.mu.Unlock()
-	sh.noteGrant(id, grant.Hops, grant.Generation, time.Since(start))
+	sh.noteGrant(id, grant.Hops, grant.Generation, sh.clk.Since(start))
 	return hold, nil
 }
 
@@ -797,7 +813,7 @@ func (sh *shard) noteRelease(regrant bool, id mutex.ID, resource string, fence u
 	}
 	sh.mu.Unlock()
 	if sh.holdHist != nil && !heldSince.IsZero() {
-		sh.holdHist.ObserveDuration(time.Since(heldSince))
+		sh.holdHist.ObserveDuration(sh.clk.Since(heldSince))
 	}
 	if sh.obs != nil {
 		k := telemetry.TraceRelease
@@ -830,21 +846,55 @@ func (sl *slot) takeExpired(resource string, fence uint64) (uint64, bool) {
 	return 0, false
 }
 
-// sweep is the shard's lease enforcer and slot recoverer: on every tick
-// it force-releases holds whose lease deadline passed and drains grants
-// that arrived for abandoned (timed-out) Acquires. One sweeper per shard
-// replaces the previous goroutine-per-abandon reaper.
-func (sh *shard) sweep(interval time.Duration) {
-	t := time.NewTicker(interval)
-	defer t.Stop()
-	for {
-		select {
-		case <-sh.done:
-			return
-		case <-t.C:
-			sh.sweepOnce(time.Now())
-		}
+// startLoops arms the shard's periodic work as clock-driven AfterFunc
+// chains: the sweeper (lease enforcement and slot recovery) and, when
+// enabled, the rebalancer. Each tick re-arms itself, so on a virtual
+// clock the loops run deterministically on the advancing goroutine, and
+// on the real clock time.AfterFunc supplies the goroutine per fire —
+// replacing the previous ticker goroutines.
+func (sh *shard) startLoops(sweepEvery, rebalEvery time.Duration) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.sweepEvery = sweepEvery
+	sh.sweepTimer = sh.clk.AfterFunc(sweepEvery, sh.sweepTick)
+	if rebalEvery > 0 {
+		sh.rebalEvery = rebalEvery
+		sh.rebalTimer = sh.clk.AfterFunc(rebalEvery, sh.rebalTick)
 	}
+}
+
+// stopLoops withdraws the shard's timer chains at Close. A tick firing
+// concurrently sees the closed done channel and returns without
+// re-arming.
+func (sh *shard) stopLoops() {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.sweepTimer != nil {
+		sh.sweepTimer.Stop()
+		sh.sweepTimer = nil
+	}
+	if sh.rebalTimer != nil {
+		sh.rebalTimer.Stop()
+		sh.rebalTimer = nil
+	}
+}
+
+// sweepTick is one sweeper round: force-release holds whose lease
+// deadline passed, drain grants that arrived for abandoned (timed-out)
+// Acquires, re-arm. One sweeper per shard replaces the previous
+// goroutine-per-abandon reaper.
+func (sh *shard) sweepTick() {
+	select {
+	case <-sh.done:
+		return
+	default:
+	}
+	sh.sweepOnce(sh.clk.Now())
+	sh.mu.Lock()
+	if sh.sweepTimer != nil {
+		sh.sweepTimer.Reset(sh.sweepEvery)
+	}
+	sh.mu.Unlock()
 }
 
 // sweepOnce performs one pass over the shard's hosted slots.
@@ -962,7 +1012,7 @@ func (sh *shard) noteExpired(id mutex.ID, resource string, fence uint64, heldSin
 	sh.expired++
 	sh.mu.Unlock()
 	if sh.holdHist != nil && !heldSince.IsZero() {
-		sh.holdHist.ObserveDuration(time.Since(heldSince))
+		sh.holdHist.ObserveDuration(sh.clk.Since(heldSince))
 	}
 	if sh.obs != nil {
 		sh.obs(telemetry.TraceEvent{Kind: telemetry.TraceExpire, Node: id, Fence: fence, Detail: resource})
@@ -1006,19 +1056,20 @@ func shardBuilder(compress bool, obs func(telemetry.TraceEvent)) mutex.Builder {
 	}
 }
 
-// rebalance is the shard's adaptive-topology loop: on every tick it runs
-// one rebalance pass (see rebalanceOnce).
-func (sh *shard) rebalance(interval time.Duration) {
-	t := time.NewTicker(interval)
-	defer t.Stop()
-	for {
-		select {
-		case <-sh.done:
-			return
-		case <-t.C:
-			sh.rebalanceOnce()
-		}
+// rebalTick is the shard's adaptive-topology loop: one rebalance pass
+// (see rebalanceOnce) per tick, re-armed like the sweeper.
+func (sh *shard) rebalTick() {
+	select {
+	case <-sh.done:
+		return
+	default:
 	}
+	sh.rebalanceOnce()
+	sh.mu.Lock()
+	if sh.rebalTimer != nil {
+		sh.rebalTimer.Reset(sh.rebalEvery)
+	}
+	sh.mu.Unlock()
 }
 
 // rebalanceOnce re-roots the shard toward its hottest member — the one
@@ -1264,6 +1315,7 @@ func (s *Service) Close() {
 		}
 		for _, sh := range s.shards {
 			if sh != nil {
+				sh.stopLoops()
 				sh.cluster.Close()
 			}
 		}

@@ -8,6 +8,7 @@ import (
 	"dagmutex/internal/runtime"
 	"dagmutex/internal/telemetry"
 	"dagmutex/internal/transport"
+	"dagmutex/internal/vclock"
 )
 
 // Cluster is one shard's runtime as the service sees it: handles for the
@@ -58,6 +59,10 @@ type LocalTransport struct {
 	// Injector, when set, is the fault plan every shard cluster consults
 	// (crashing a member silences it in all shards at once).
 	Injector *failure.Injector
+	// Clock, when set, runs every shard cluster on it (grant timestamps,
+	// detector ticks, delay lines). Pass the same clock as the service
+	// Config.Clock so both layers agree on time.
+	Clock vclock.Clock
 }
 
 // StartShard implements Transport.
@@ -68,6 +73,9 @@ func (t LocalTransport) StartShard(index int, b mutex.Builder, cfg mutex.Config)
 	}
 	if t.Failure != nil {
 		opts = append(opts, transport.WithFailureDetection(*t.Failure))
+	}
+	if t.Clock != nil {
+		opts = append(opts, transport.WithClock(t.Clock))
 	}
 	return transport.NewLocal(b, cfg, opts...)
 }

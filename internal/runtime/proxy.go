@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"dagmutex/internal/vclock"
 )
 
 // DefaultProxyLease bounds a remote client's hold of the proxied mutex
@@ -69,7 +71,7 @@ type Proxy struct {
 	mu      sync.Mutex
 	fence   uint64    // fencing token of the current hold, 0 when free
 	expires time.Time // lease deadline of the current hold
-	timer   *time.Timer
+	timer   vclock.Timer
 	// pending is the coalescing flag: the previous release already put the
 	// next grant in flight (Regrant deposited it, ReleaseRequest re-issued
 	// the request), so the next semaphore taker must Await instead of
@@ -82,7 +84,7 @@ type Proxy struct {
 	// stayed outstanding; drainAbandoned owns the recovery and the
 	// semaphore stays held until it completes.
 	abandoned bool
-	adopt     *time.Timer // checks unclaimed pending grants for adoption
+	adopt     vclock.Timer // checks unclaimed pending grants for adoption
 	// expired remembers force-released fences so each late Release can be
 	// told apart from a Release of something never held. One-shot,
 	// bounded by maxProxyExpired.
@@ -197,7 +199,7 @@ func (p *Proxy) admit(g Grant) uint64 {
 	if p.lease > 0 {
 		p.expires = g.At.Add(p.lease)
 		fence := g.Generation
-		p.timer = time.AfterFunc(p.lease, func() { p.forceExpire(fence) })
+		p.timer = p.s.n.clk.AfterFunc(p.lease, func() { p.forceExpire(fence) })
 	}
 	return p.fence
 }
@@ -290,7 +292,7 @@ func (p *Proxy) clearHoldLocked() {
 // Callers hold p.mu and have just set pending.
 func (p *Proxy) armAdoptLocked() {
 	if p.adopt == nil {
-		p.adopt = time.AfterFunc(proxyAdoptInterval, p.adoptOrphan)
+		p.adopt = p.s.n.clk.AfterFunc(proxyAdoptInterval, p.adoptOrphan)
 	} else {
 		p.adopt.Reset(proxyAdoptInterval)
 	}

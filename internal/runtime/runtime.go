@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"dagmutex/internal/mutex"
+	"dagmutex/internal/vclock"
 )
 
 // ErrGrantPending marks an Acquire failure that leaves the protocol
@@ -188,6 +189,7 @@ type Node struct {
 	id   mutex.ID
 	link Link
 	sink *ErrorSink
+	clk  vclock.Clock // never nil; the clock grants and proxy leases are stamped on
 
 	mu   sync.Mutex // serializes Request/Release/Deliver on the state machine
 	node mutex.Node
@@ -208,11 +210,21 @@ type Node struct {
 
 type monitorBox struct{ m Monitor }
 
+// StartOption configures a Node at Start.
+type StartOption func(*Node)
+
+// WithClock installs the clock the node stamps grants and membership
+// events on and arms proxy-lease timers against. Nil (and the default)
+// is the real clock; the simulation harness installs a vclock.Virtual.
+func WithClock(c vclock.Clock) StartOption {
+	return func(n *Node) { n.clk = vclock.Or(c) }
+}
+
 // Start builds the protocol node with b over link and starts its actor
 // loop. sink collects the cluster's first error; passing the same sink to
 // every node of a cluster gives cluster-wide fail-fast Acquire. A nil
 // sink gets a private one.
-func Start(id mutex.ID, b mutex.Builder, cfg mutex.Config, link Link, sink *ErrorSink) (*Node, error) {
+func Start(id mutex.ID, b mutex.Builder, cfg mutex.Config, link Link, sink *ErrorSink, opts ...StartOption) (*Node, error) {
 	if sink == nil {
 		sink = NewErrorSink()
 	}
@@ -220,9 +232,13 @@ func Start(id mutex.ID, b mutex.Builder, cfg mutex.Config, link Link, sink *Erro
 		id:      id,
 		link:    link,
 		sink:    sink,
+		clk:     vclock.System(),
 		granted: make(chan Grant, 1),
 		downCh:  make(chan struct{}),
 		events:  make(chan MemberEvent, 64),
+	}
+	for _, opt := range opts {
+		opt(n)
 	}
 	if fl, ok := link.(Flusher); ok {
 		n.flush = fl
@@ -255,13 +271,13 @@ func (e env) Send(to mutex.ID, m mutex.Message) {
 // Granted signals the waiting Acquire, if any, carrying the protocol's
 // fencing generation and the local grant time.
 func (e env) Granted(gen uint64) {
-	e.deposit(Grant{Generation: gen, At: time.Now()})
+	e.deposit(Grant{Generation: gen, At: e.n.clk.Now()})
 }
 
 // GrantedHops implements mutex.HopGranter: Granted plus the granted
 // request's path length, for protocols that track it.
 func (e env) GrantedHops(gen uint64, hops int) {
-	e.deposit(Grant{Generation: gen, At: time.Now(), Hops: hops})
+	e.deposit(Grant{Generation: gen, At: e.n.clk.Now(), Hops: hops})
 }
 
 func (e env) deposit(g Grant) {
@@ -351,7 +367,7 @@ func (n *Node) Send(to mutex.ID, m mutex.Message) error {
 // dead peer is unrecoverable and the error (wrapping ErrNodeDown) is
 // returned for the caller to escalate.
 func (n *Node) PeerDown(peer mutex.ID) error {
-	n.publish(MemberEvent{Peer: peer, Down: true, At: time.Now()})
+	n.publish(MemberEvent{Peer: peer, Down: true, At: n.clk.Now()})
 	return n.With(func(pn mutex.Node) error {
 		mh, ok := pn.(mutex.MembershipHandler)
 		if !ok {
@@ -363,7 +379,7 @@ func (n *Node) PeerDown(peer mutex.ID) error {
 
 // PeerUp reports a previously-down peer as alive again.
 func (n *Node) PeerUp(peer mutex.ID) error {
-	n.publish(MemberEvent{Peer: peer, Down: false, At: time.Now()})
+	n.publish(MemberEvent{Peer: peer, Down: false, At: n.clk.Now()})
 	return n.With(func(pn mutex.Node) error {
 		if mh, ok := pn.(mutex.MembershipHandler); ok {
 			return mh.PeerUp(peer)
@@ -405,6 +421,10 @@ func (n *Node) MarkSelfDown() {
 
 // ID returns the hosted node's identifier.
 func (n *Node) ID() mutex.ID { return n.id }
+
+// Clock returns the clock the node was started with (the real clock by
+// default) — the time source every layer above the node should share.
+func (n *Node) Clock() vclock.Clock { return n.clk }
 
 // Sink returns the node's error sink.
 func (n *Node) Sink() *ErrorSink { return n.sink }
@@ -479,6 +499,24 @@ func (s *Session) Acquire(ctx context.Context) (Grant, error) {
 		return Grant{}, err
 	}
 	return s.Await(ctx)
+}
+
+// AcquireAsync issues the critical-section request without waiting for
+// the grant — the request half of Acquire. The grant arrives later on
+// Granted (collect it with Await, or from an event-driven observer). It
+// is what the simulation harness calls: on a virtual-time cluster the
+// grant is produced by a future clock event, so a blocking Acquire from
+// the driving goroutine would deadlock the clock it is advancing.
+func (s *Session) AcquireAsync() error {
+	n := s.n
+	if n.selfDown.Load() {
+		return fmt.Errorf("acquire node %d: %w", n.id, ErrNodeDown)
+	}
+	n.mu.Lock()
+	err := n.node.Request()
+	n.mu.Unlock()
+	n.flushInline()
+	return err
 }
 
 // acquireSpins bounds the spin-then-park fast path: how many times an

@@ -1,0 +1,238 @@
+// Package sched is the single deterministic event scheduler under both
+// of the repository's time layers: internal/sim drives it in abstract
+// ticks for the message-count experiments, and internal/vclock drives
+// it in wall-clock vocabulary (one tick = one nanosecond) as the
+// Virtual clock the live subsystems run on under test. It lives in its
+// own leaf package so both can share one scheduling implementation
+// without an import cycle — sim re-exports Time, Hop, Scheduler and
+// Event as aliases, so experiment code keeps saying sim.Time.
+//
+// Events fire in (time, scheduling order): two events due at the same
+// instant fire in the order they were armed, every run. That total
+// order is what makes trace diffs byte-stable across runs.
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in virtual time, in ticks.
+type Time int64
+
+// Hop is the conventional per-message latency used by experiments, chosen
+// so that sub-hop tie-breaking adjustments (FIFO clamping) never add up to
+// a full hop.
+const Hop Time = 1000
+
+// event is a scheduled callback. seq breaks ties between events scheduled
+// for the same instant: earlier-scheduled events fire first, which keeps
+// runs deterministic. A cancelled event stays in the heap (removal would
+// be O(n)) and is discarded when it surfaces.
+type event struct {
+	at        Time
+	seq       uint64
+	fire      func()
+	cancelled bool
+}
+
+// Event is a cancellable handle to one scheduled callback, returned by
+// AtEvent and AfterEvent — what vclock's timers are built on.
+type Event struct{ ev *event }
+
+// Cancel withdraws the event. It reports whether the cancellation took
+// effect: false when the event already fired or was already cancelled.
+// Cancelling a fired event is a no-op, exactly like time.Timer.Stop.
+func (e *Event) Cancel() bool {
+	if e == nil || e.ev == nil || e.ev.cancelled || e.ev.fire == nil {
+		return false
+	}
+	e.ev.cancelled = true
+	e.ev.fire = nil // release the callback now; the heap slot drains later
+	return true
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler is a virtual-time event queue. The zero value is not usable;
+// construct with NewScheduler.
+type Scheduler struct {
+	now     Time
+	heap    eventHeap
+	seq     uint64
+	stepped uint64
+}
+
+// NewScheduler returns an empty scheduler at time zero.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Pending reports the number of scheduled, not-yet-fired events.
+// Cancelled events still occupying heap slots are not counted.
+func (s *Scheduler) Pending() int {
+	n := 0
+	for _, e := range s.heap {
+		if !e.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// Processed reports how many events have fired so far.
+func (s *Scheduler) Processed() uint64 { return s.stepped }
+
+// At schedules fn to fire at virtual time t. Scheduling in the past is a
+// programming error and panics, since it would silently corrupt causality.
+func (s *Scheduler) At(t Time, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("sched: scheduling at %d before now %d", t, s.now))
+	}
+	s.seq++
+	heap.Push(&s.heap, &event{at: t, seq: s.seq, fire: fn})
+}
+
+// After schedules fn to fire d ticks from now.
+func (s *Scheduler) After(d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sched: negative delay %d", d))
+	}
+	s.At(s.now+d, fn)
+}
+
+// AtEvent is At with a cancellable handle, for timers layered above.
+func (s *Scheduler) AtEvent(t Time, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sched: scheduling at %d before now %d", t, s.now))
+	}
+	s.seq++
+	ev := &event{at: t, seq: s.seq, fire: fn}
+	heap.Push(&s.heap, ev)
+	return &Event{ev: ev}
+}
+
+// AfterEvent is After with a cancellable handle.
+func (s *Scheduler) AfterEvent(d Time, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sched: negative delay %d", d))
+	}
+	return s.AtEvent(s.now+d, fn)
+}
+
+// Step fires the earliest pending event and returns true, or returns false
+// if no events remain.
+func (s *Scheduler) Step() bool {
+	fn, ok := s.PopDue(s.maxTime())
+	if !ok {
+		return false
+	}
+	fn()
+	return true
+}
+
+func (s *Scheduler) maxTime() Time { return Time(1)<<62 - 1 }
+
+// NextAt reports the earliest pending event's time, or false when the
+// queue is empty. Cancelled events are drained on the way.
+func (s *Scheduler) NextAt() (Time, bool) {
+	for len(s.heap) > 0 && s.heap[0].cancelled {
+		heap.Pop(&s.heap)
+	}
+	if len(s.heap) == 0 {
+		return 0, false
+	}
+	return s.heap[0].at, true
+}
+
+// PopDue removes the earliest pending event scheduled at or before t,
+// advances the clock to its time, and returns its callback — without
+// running it, so a caller that guards the scheduler with a lock can
+// release the lock before firing (vclock's callbacks re-enter the
+// clock). It reports false when no event is due by t.
+func (s *Scheduler) PopDue(t Time) (func(), bool) {
+	for {
+		at, ok := s.NextAt()
+		if !ok || at > t {
+			return nil, false
+		}
+		e := heap.Pop(&s.heap).(*event)
+		if e.cancelled {
+			continue
+		}
+		s.now = e.at
+		s.stepped++
+		fn := e.fire
+		e.fire = nil // marks the event fired for Cancel
+		return fn, true
+	}
+}
+
+// AdvanceTo moves the clock forward to t without firing anything; events
+// due by t must have been drained first (PopDue). Moving backward is
+// ignored.
+func (s *Scheduler) AdvanceTo(t Time) {
+	if t > s.now {
+		s.now = t
+	}
+}
+
+// Run fires events until none remain and returns the number fired. Events
+// may schedule further events; Run keeps going until true quiescence. The
+// limit argument of RunLimited guards against livelock in tests.
+func (s *Scheduler) Run() uint64 {
+	var n uint64
+	for s.Step() {
+		n++
+	}
+	return n
+}
+
+// RunLimited fires at most limit events, returning the number fired and
+// whether the queue drained. Use it where a protocol bug could otherwise
+// loop forever.
+func (s *Scheduler) RunLimited(limit uint64) (fired uint64, drained bool) {
+	for fired < limit {
+		if !s.Step() {
+			return fired, true
+		}
+		fired++
+	}
+	return fired, s.Pending() == 0
+}
+
+// RunUntil fires all events scheduled at or before t, then advances the
+// clock to t (even if no event was scheduled exactly there).
+func (s *Scheduler) RunUntil(t Time) {
+	for {
+		fn, ok := s.PopDue(t)
+		if !ok {
+			break
+		}
+		fn()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}

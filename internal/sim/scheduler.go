@@ -6,135 +6,32 @@
 // Time is measured in abstract ticks. Experiments use a unit latency of
 // Hop ticks per message, which makes "synchronization delay in messages"
 // (thesis §6.3) equal to elapsed virtual time divided by Hop.
+//
+// The scheduler itself lives in internal/sched and is re-exported here
+// as aliases: it is also the event queue under internal/vclock's Virtual
+// clock, which is the same machine driven in wall-clock vocabulary (one
+// tick is one nanosecond, so vclock durations map onto sim.Time exactly)
+// — the two time layers share a single scheduling implementation. The
+// experiment harnesses keep using ticks and Hop directly; everything
+// that speaks time.Duration goes through vclock.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "dagmutex/internal/sched"
 
 // Time is a point in virtual time, in ticks.
-type Time int64
+type Time = sched.Time
 
 // Hop is the conventional per-message latency used by experiments, chosen
 // so that sub-hop tie-breaking adjustments (FIFO clamping) never add up to
 // a full hop.
-const Hop Time = 1000
+const Hop = sched.Hop
 
-// event is a scheduled callback. seq breaks ties between events scheduled
-// for the same instant: earlier-scheduled events fire first, which keeps
-// runs deterministic.
-type event struct {
-	at   Time
-	seq  uint64
-	fire func()
-}
+// Scheduler is a virtual-time event queue; see sched.Scheduler.
+type Scheduler = sched.Scheduler
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
-
-// Scheduler is a virtual-time event queue. The zero value is not usable;
-// construct with NewScheduler.
-type Scheduler struct {
-	now     Time
-	heap    eventHeap
-	seq     uint64
-	stepped uint64
-}
+// Event is a cancellable handle to one scheduled callback; see
+// sched.Event.
+type Event = sched.Event
 
 // NewScheduler returns an empty scheduler at time zero.
-func NewScheduler() *Scheduler {
-	return &Scheduler{}
-}
-
-// Now returns the current virtual time.
-func (s *Scheduler) Now() Time { return s.now }
-
-// Pending reports the number of scheduled, not-yet-fired events.
-func (s *Scheduler) Pending() int { return len(s.heap) }
-
-// Processed reports how many events have fired so far.
-func (s *Scheduler) Processed() uint64 { return s.stepped }
-
-// At schedules fn to fire at virtual time t. Scheduling in the past is a
-// programming error and panics, since it would silently corrupt causality.
-func (s *Scheduler) At(t Time, fn func()) {
-	if t < s.now {
-		panic(fmt.Sprintf("sim: scheduling at %d before now %d", t, s.now))
-	}
-	s.seq++
-	heap.Push(&s.heap, &event{at: t, seq: s.seq, fire: fn})
-}
-
-// After schedules fn to fire d ticks from now.
-func (s *Scheduler) After(d Time, fn func()) {
-	if d < 0 {
-		panic(fmt.Sprintf("sim: negative delay %d", d))
-	}
-	s.At(s.now+d, fn)
-}
-
-// Step fires the earliest pending event and returns true, or returns false
-// if no events remain.
-func (s *Scheduler) Step() bool {
-	if len(s.heap) == 0 {
-		return false
-	}
-	e := heap.Pop(&s.heap).(*event)
-	s.now = e.at
-	s.stepped++
-	e.fire()
-	return true
-}
-
-// Run fires events until none remain and returns the number fired. Events
-// may schedule further events; Run keeps going until true quiescence. The
-// limit argument of RunLimited guards against livelock in tests.
-func (s *Scheduler) Run() uint64 {
-	var n uint64
-	for s.Step() {
-		n++
-	}
-	return n
-}
-
-// RunLimited fires at most limit events, returning the number fired and
-// whether the queue drained. Use it where a protocol bug could otherwise
-// loop forever.
-func (s *Scheduler) RunLimited(limit uint64) (fired uint64, drained bool) {
-	for fired < limit {
-		if !s.Step() {
-			return fired, true
-		}
-		fired++
-	}
-	return fired, len(s.heap) == 0
-}
-
-// RunUntil fires all events scheduled at or before t, then advances the
-// clock to t (even if no event was scheduled exactly there).
-func (s *Scheduler) RunUntil(t Time) {
-	for len(s.heap) > 0 && s.heap[0].at <= t {
-		s.Step()
-	}
-	if s.now < t {
-		s.now = t
-	}
-}
+func NewScheduler() *Scheduler { return sched.NewScheduler() }

@@ -1,0 +1,445 @@
+// Package simharness runs the full DAG-mutex protocol stack under
+// virtual time: a cluster of real core.Node state machines wired to a
+// simulated network whose message deliveries, workload drivers and
+// fault schedules are all events on one vclock.Virtual. Nothing in a
+// harness run ever sleeps or races — every handler executes on the
+// clock's advancing goroutine, in deterministic (time, scheduling)
+// order — so a thousand-node cluster living through simulated hours of
+// churn completes in wall-clock milliseconds-to-seconds, and the same
+// seed replays the same run byte for byte (see Harness.FormatTrace).
+//
+// The harness sits between two existing layers. internal/sim is the
+// thesis experiment simulator: abstract ticks, per-protocol message
+// counts, no failures. internal/transport's Local cluster is the live
+// runtime on real goroutines: faithful, but its schedules are whatever
+// the Go scheduler produces. simharness keeps sim's determinism (both
+// run on the same internal/sched event heap) while exercising the real
+// protocol code paths the live runtime runs — including the epoch
+// recovery machinery, which sim never drives — under fault schedules
+// that are part of the input, not an accident of timing.
+//
+// A run is: New a Harness, Schedule any faults, Run a Workload, read
+// the Report. Invariants (single holder per connectivity component,
+// strictly monotonic fencing per component) are checked on every grant
+// during the run; violations fail the Run.
+package simharness
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"dagmutex/internal/core"
+	"dagmutex/internal/mutex"
+	"dagmutex/internal/telemetry"
+	"dagmutex/internal/topology"
+	"dagmutex/internal/vclock"
+)
+
+// Config sizes and seeds a virtual cluster.
+type Config struct {
+	// Nodes is the cluster size; members are IDs 1..Nodes.
+	Nodes int
+	// Topology names the logical tree: "kary4" (default), "kary2"
+	// (alias "binary"), "kary8", "line", "star", "radial" or "random"
+	// (seeded).
+	Topology string
+	// Holder is the initial token holder (default 1).
+	Holder mutex.ID
+	// Seed drives everything stochastic: the random topology, per-message
+	// link delays, workload think times and fault-verdict jitter. The
+	// same seed and schedule replay the same run exactly.
+	Seed int64
+	// MinDelay and MaxDelay bound the uniform per-message link latency.
+	// Defaults 200µs and 2ms.
+	MinDelay, MaxDelay time.Duration
+	// Compress enables Naimi–Trehel path compression on every node.
+	Compress bool
+	// Trace records the full structured trace stream (FormatTrace).
+	// Costs memory proportional to the event count; leave off for
+	// capacity runs.
+	Trace bool
+}
+
+// Workload is one open-loop run: a subset of nodes repeatedly request
+// the critical section, hold it, release, think, and request again
+// until the simulated duration elapses.
+type Workload struct {
+	// Duration is the simulated run length.
+	Duration time.Duration
+	// Requesters is how many nodes drive requests (0 = every node),
+	// spread evenly across the ID range.
+	Requesters int
+	// Think is the mean idle time between a release and the node's next
+	// request (exponentially distributed). Default 1s.
+	Think time.Duration
+	// Hold is the critical-section residence time. Default 5ms.
+	Hold time.Duration
+}
+
+// Report summarizes one Run.
+type Report struct {
+	Nodes        int           `json:"nodes"`
+	Topology     string        `json:"topology"`
+	Requesters   int           `json:"requesters"`
+	Seed         int64         `json:"seed"`
+	SimDuration  time.Duration `json:"sim_duration_ns"`
+	WallDuration time.Duration `json:"wall_duration_ns"`
+	Grants       int64         `json:"grants"`
+	Messages     int64         `json:"messages"`
+	Dropped      int64         `json:"dropped"`
+	MsgsPerGrant float64       `json:"msgs_per_grant"`
+	MaxFence     uint64        `json:"max_fence"`
+	// Recoveries counts probe rounds started; Regenerations counts lost
+	// tokens minted anew (each implies a RegenerationJump fence jump).
+	Recoveries    int64 `json:"recoveries"`
+	Regenerations int64 `json:"regenerations"`
+}
+
+// TraceRecord is one structured trace event stamped with its virtual
+// time since the start of the run.
+type TraceRecord struct {
+	At time.Duration
+	Ev telemetry.TraceEvent
+}
+
+type linkKey struct{ from, to mutex.ID }
+
+// Harness is one virtual cluster. Not safe for concurrent use: every
+// method runs on the goroutine that advances the clock (normally the
+// test goroutine), which is also where every scheduled event fires.
+type Harness struct {
+	cfg  Config
+	clk  *vclock.Virtual
+	tree *topology.Tree
+	rng  *rand.Rand
+
+	nodes map[mutex.ID]*core.Node
+	ids   []mutex.ID
+
+	// lastAt is the per-link FIFO clamp: a link never delivers a later
+	// send before an earlier one, whatever the jitter draws.
+	lastAt map[linkKey]time.Time
+
+	// down marks crashed members; side assigns each member to a
+	// connectivity component (0 = the main partition; each SchedulePartition
+	// call mints a fresh side for the isolated group).
+	down map[mutex.ID]bool
+	side map[mutex.ID]int
+
+	// driver state: which members run the workload loop, and the request
+	// lifecycle position of each (at most one outstanding request per
+	// node, per the protocol contract).
+	driving    map[mutex.ID]bool
+	requesting map[mutex.ID]bool
+
+	// invariant state, keyed by side.
+	inCS     map[mutex.ID]bool
+	maxFence map[int]uint64
+
+	// wl is the active workload, set once by Run.
+	wl Workload
+
+	msgs       int64
+	dropped    int64
+	grants     int64
+	recoveries int64
+	regens     int64
+	violations []string
+
+	trace []TraceRecord
+
+	ran bool
+}
+
+// New builds a virtual cluster per cfg: one core.Node per tree vertex,
+// the token at cfg.Holder, NEXT pointers oriented toward it (the
+// Figure 5 INIT steady state), all wired to the harness network.
+func New(cfg Config) (*Harness, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("simharness: need at least one node, got %d", cfg.Nodes)
+	}
+	if cfg.Holder == mutex.Nil {
+		cfg.Holder = 1
+	}
+	if cfg.MinDelay <= 0 {
+		cfg.MinDelay = 200 * time.Microsecond
+	}
+	if cfg.MaxDelay < cfg.MinDelay {
+		cfg.MaxDelay = 10 * cfg.MinDelay
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tree, err := buildTree(cfg.Topology, cfg.Nodes, rng)
+	if err != nil {
+		return nil, err
+	}
+	h := &Harness{
+		cfg:        cfg,
+		clk:        vclock.NewVirtual(),
+		tree:       tree,
+		rng:        rng,
+		nodes:      make(map[mutex.ID]*core.Node, cfg.Nodes),
+		ids:        tree.IDs(),
+		lastAt:     make(map[linkKey]time.Time),
+		down:       make(map[mutex.ID]bool),
+		side:       make(map[mutex.ID]int),
+		driving:    make(map[mutex.ID]bool),
+		requesting: make(map[mutex.ID]bool),
+		inCS:       make(map[mutex.ID]bool),
+		maxFence:   make(map[int]uint64),
+	}
+	mcfg := mutex.Config{IDs: h.ids, Holder: cfg.Holder, Parent: tree.ParentsToward(cfg.Holder)}
+	for _, id := range h.ids {
+		env := &nodeEnv{h: h, id: id}
+		opts := []core.Option{core.WithTraceObserver(h.observerFor(id))}
+		if cfg.Compress {
+			opts = append(opts, core.WithPathCompression())
+		}
+		n, err := core.New(id, env, mcfg, opts...)
+		if err != nil {
+			return nil, fmt.Errorf("simharness: node %d: %w", id, err)
+		}
+		h.nodes[id] = n
+	}
+	return h, nil
+}
+
+func buildTree(name string, n int, rng *rand.Rand) (*topology.Tree, error) {
+	switch name {
+	case "", "kary4":
+		return topology.KAry(n, 4), nil
+	case "kary2", "binary":
+		return topology.KAry(n, 2), nil
+	case "kary8":
+		return topology.KAry(n, 8), nil
+	case "line":
+		return topology.Line(n), nil
+	case "star":
+		return topology.Star(n), nil
+	case "radial":
+		return topology.Radial(n), nil
+	case "random":
+		return topology.Random(n, rng), nil
+	}
+	return nil, fmt.Errorf("simharness: unknown topology %q", name)
+}
+
+// Clock exposes the run's virtual clock (for tests that advance it by
+// hand after scheduling their own events).
+func (h *Harness) Clock() *vclock.Virtual { return h.clk }
+
+// Topology returns the logical tree the cluster was built on.
+func (h *Harness) Topology() *topology.Tree { return h.tree }
+
+// observerFor bridges one node's trace stream into the harness: the
+// recovery counters always, the retained trace only when enabled.
+func (h *Harness) observerFor(id mutex.ID) func(telemetry.TraceEvent) {
+	return func(ev telemetry.TraceEvent) {
+		if ev.Kind == telemetry.TraceRecovery {
+			switch ev.Detail {
+			case "PROBE":
+				h.recoveries++
+			case "REGENERATE":
+				h.regens++
+			}
+		}
+		if h.cfg.Trace {
+			h.trace = append(h.trace, TraceRecord{At: h.clk.Elapsed(), Ev: ev})
+		}
+	}
+}
+
+// nodeEnv is the mutex.Env the harness hands each node: sends become
+// scheduled deliveries, grants feed the invariant checker and the
+// workload driver.
+type nodeEnv struct {
+	h  *Harness
+	id mutex.ID
+}
+
+func (e *nodeEnv) Send(to mutex.ID, m mutex.Message) { e.h.send(e.id, to, m) }
+func (e *nodeEnv) Granted(gen uint64)                { e.h.granted(e.id, gen) }
+func (e *nodeEnv) GrantedHops(gen uint64, hops int)  { e.h.granted(e.id, gen) }
+
+var _ mutex.HopGranter = (*nodeEnv)(nil)
+
+// send schedules m's delivery after a seeded uniform link delay,
+// clamped so the (from, to) link stays FIFO. Sends across an active
+// partition cut are dropped at send time; messages already in flight
+// when a cut lands still arrive (they were on the wire).
+func (h *Harness) send(from, to mutex.ID, m mutex.Message) {
+	if h.side[from] != h.side[to] {
+		h.dropped++
+		return
+	}
+	delay := h.cfg.MinDelay
+	if span := h.cfg.MaxDelay - h.cfg.MinDelay; span > 0 {
+		delay += time.Duration(h.rng.Int63n(int64(span)))
+	}
+	at := h.clk.Now().Add(delay)
+	k := linkKey{from, to}
+	if last := h.lastAt[k]; !at.After(last) {
+		at = last.Add(time.Nanosecond)
+	}
+	h.lastAt[k] = at
+	h.clk.AfterFunc(h.clk.Until(at), func() { h.deliver(from, to, m) })
+}
+
+// deliver hands m to its destination, unless the destination crashed
+// while the message was in flight.
+func (h *Harness) deliver(from, to mutex.ID, m mutex.Message) {
+	if h.down[to] {
+		h.dropped++
+		return
+	}
+	h.msgs++
+	if err := h.nodes[to].Deliver(from, m); err != nil {
+		h.failf("deliver %s %d->%d at %v: %v", m.Kind(), from, to, h.clk.Elapsed(), err)
+	}
+}
+
+// granted is every critical-section entry: the invariant checkpoint and
+// the driver's grant→hold→release transition.
+func (h *Harness) granted(id mutex.ID, gen uint64) {
+	h.grants++
+	side := h.side[id]
+	for other := range h.inCS {
+		if h.side[other] == side {
+			h.failf("mutual exclusion violated at %v: nodes %d and %d both in CS (side %d)",
+				h.clk.Elapsed(), other, id, side)
+		}
+	}
+	if max := h.maxFence[side]; gen <= max {
+		h.failf("fence regression at %v: node %d granted %d after %d (side %d)",
+			h.clk.Elapsed(), id, gen, max, side)
+	}
+	h.maxFence[side] = gen
+	h.inCS[id] = true
+	h.requesting[id] = false
+	if h.driving[id] {
+		h.clk.AfterFunc(h.holdFor(), func() { h.driverRelease(id) })
+	}
+}
+
+func (h *Harness) holdFor() time.Duration { return h.wl.Hold }
+
+// failf records an invariant violation (capped: one storm, not a
+// million lines).
+func (h *Harness) failf(format string, args ...any) {
+	if len(h.violations) < 32 {
+		h.violations = append(h.violations, fmt.Sprintf(format, args...))
+	}
+}
+
+// Run executes w against the cluster: starts the drivers, advances the
+// virtual clock through w.Duration (firing every delivery, driver step
+// and scheduled fault in deterministic order), and reports. Any
+// invariant violation or protocol error fails the run.
+func (h *Harness) Run(w Workload) (Report, error) {
+	if h.ran {
+		return Report{}, fmt.Errorf("simharness: harness already ran")
+	}
+	h.ran = true
+	if w.Duration <= 0 {
+		return Report{}, fmt.Errorf("simharness: workload needs a positive duration")
+	}
+	if w.Think <= 0 {
+		w.Think = time.Second
+	}
+	if w.Hold <= 0 {
+		w.Hold = 5 * time.Millisecond
+	}
+	if w.Requesters <= 0 || w.Requesters > len(h.ids) {
+		w.Requesters = len(h.ids)
+	}
+	h.wl = w
+
+	// Spread the requesters evenly across the ID range and stagger their
+	// first requests across one mean think time, so the run does not
+	// open with a synchronized thundering herd.
+	stride := float64(len(h.ids)) / float64(w.Requesters)
+	for i := 0; i < w.Requesters; i++ {
+		id := h.ids[int(float64(i)*stride)]
+		h.driving[id] = true
+		h.clk.AfterFunc(time.Duration(h.rng.Int63n(int64(w.Think)+1)), func() { h.driverRequest(id) })
+	}
+
+	start := time.Now()
+	h.clk.Advance(w.Duration)
+	wall := time.Since(start)
+
+	r := Report{
+		Nodes:         len(h.ids),
+		Topology:      h.tree.Name(),
+		Requesters:    w.Requesters,
+		Seed:          h.cfg.Seed,
+		SimDuration:   w.Duration,
+		WallDuration:  wall,
+		Grants:        h.grants,
+		Messages:      h.msgs,
+		Dropped:       h.dropped,
+		MaxFence:      h.maxFence[0],
+		Recoveries:    h.recoveries,
+		Regenerations: h.regens,
+	}
+	if h.grants > 0 {
+		r.MsgsPerGrant = float64(h.msgs) / float64(h.grants)
+	}
+	if len(h.violations) > 0 {
+		return r, fmt.Errorf("simharness: %d violation(s):\n  %s",
+			len(h.violations), strings.Join(h.violations, "\n  "))
+	}
+	return r, nil
+}
+
+// driverRequest issues one CS request for id, unless the member crashed
+// or still has a request outstanding (a recovery can re-queue a request
+// that then lands after the driver moved on).
+func (h *Harness) driverRequest(id mutex.ID) {
+	if h.down[id] || h.requesting[id] || h.inCS[id] {
+		return
+	}
+	if h.clk.Elapsed() >= h.wl.Duration {
+		return
+	}
+	h.requesting[id] = true
+	if err := h.nodes[id].Request(); err != nil {
+		h.failf("request at node %d at %v: %v", id, h.clk.Elapsed(), err)
+	}
+}
+
+// driverRelease leaves the CS and schedules the next request after an
+// exponentially distributed think time.
+func (h *Harness) driverRelease(id mutex.ID) {
+	if h.down[id] || !h.inCS[id] {
+		return
+	}
+	delete(h.inCS, id)
+	if err := h.nodes[id].Release(); err != nil {
+		h.failf("release at node %d at %v: %v", id, h.clk.Elapsed(), err)
+		return
+	}
+	think := time.Duration(h.rng.ExpFloat64() * float64(h.wl.Think))
+	h.clk.AfterFunc(think, func() { h.driverRequest(id) })
+}
+
+// Grants returns the number of critical-section entries so far (tests
+// use the delta around a fault window to assert progress).
+func (h *Harness) Grants() int64 { return h.grants }
+
+// Trace returns the retained trace records (Config.Trace must be set).
+func (h *Harness) Trace() []TraceRecord { return h.trace }
+
+// FormatTrace renders the retained trace deterministically, one line
+// per event: virtual timestamp plus the shared telemetry vocabulary.
+// Two runs with the same Config, Workload and fault schedule produce
+// byte-identical output — the determinism contract the replay tests
+// pin.
+func (h *Harness) FormatTrace() string {
+	var b strings.Builder
+	for _, r := range h.trace {
+		fmt.Fprintf(&b, "t=%s %s\n", r.At, r.Ev.String())
+	}
+	return b.String()
+}

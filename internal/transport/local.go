@@ -10,6 +10,7 @@ import (
 	"dagmutex/internal/failure"
 	"dagmutex/internal/mutex"
 	"dagmutex/internal/runtime"
+	"dagmutex/internal/vclock"
 )
 
 // Session is the blocking application API over one live node, provided
@@ -49,6 +50,7 @@ type localNet struct {
 	boxes map[mutex.ID]*mailbox[runtime.Envelope]
 	msgs  atomic.Int64
 	inj   *failure.Injector
+	clk   vclock.Clock // never nil; delay-line deadlines run on it
 
 	delayMu   sync.Mutex
 	delays    map[linkPair]*mailbox[delayedEnvelope]
@@ -85,7 +87,7 @@ func (net *localNet) send(from, to mutex.ID, m mutex.Message, count bool) error 
 	// delay is cleared (deadline = now): a direct send bypassing queued
 	// delayed messages would break the per-link FIFO the protocol needs.
 	if d := net.inj.Delay(from, to); d > 0 || net.hasDelayLine(from, to) {
-		net.delayLine(from, to).put(delayedEnvelope{e: e, deliverAt: time.Now().Add(d)})
+		net.delayLine(from, to).put(delayedEnvelope{e: e, deliverAt: net.clk.Now().Add(d)})
 		if count {
 			net.msgs.Add(1)
 		}
@@ -133,7 +135,7 @@ func (net *localNet) delayLine(from, to mutex.ID) *mailbox[delayedEnvelope] {
 	go func() {
 		defer net.wg.Done()
 		var lastDeadline time.Time
-		timer := time.NewTimer(0)
+		timer := net.clk.NewTimer(0)
 		defer timer.Stop()
 		for {
 			de, ok := q.get()
@@ -144,12 +146,12 @@ func (net *localNet) delayLine(from, to mutex.ID) *mailbox[delayedEnvelope] {
 				de.deliverAt = lastDeadline // a shrunk delay must not reorder the link
 			}
 			lastDeadline = de.deliverAt
-			if wait := time.Until(de.deliverAt); wait > 0 {
+			if wait := net.clk.Until(de.deliverAt); wait > 0 {
 				timer.Reset(wait)
 				select {
 				case <-net.stop:
 					return // closing: drop undelivered delayed traffic
-				case <-timer.C:
+				case <-timer.C():
 				}
 			}
 			if net.closed.Load() || !net.inj.Allow(from, to) {
@@ -200,6 +202,7 @@ type LocalOption func(*localOptions)
 type localOptions struct {
 	inj  *failure.Injector
 	fcfg *failure.Config
+	clk  vclock.Clock
 }
 
 // WithInjector installs a shared fault plan: every send consults it, so
@@ -220,6 +223,15 @@ func WithFailureDetection(cfg failure.Config) LocalOption {
 	return func(o *localOptions) { o.fcfg = &cfg }
 }
 
+// WithClock runs the whole cluster — grant timestamps, proxy leases,
+// failure-detector ticks, delay-line deadlines — on c instead of the
+// real clock. The simulation harness installs a vclock.Virtual here so
+// simulated hours of heartbeats and leases pass under test control. A
+// detector config with its own Clock set keeps it.
+func WithClock(c vclock.Clock) LocalOption {
+	return func(o *localOptions) { o.clk = c }
+}
+
 // NewLocal builds and starts one node per cfg.IDs entry. Callers must
 // Close the runtime to stop its goroutines.
 func NewLocal(b mutex.Builder, cfg mutex.Config, opts ...LocalOption) (*Local, error) {
@@ -230,10 +242,12 @@ func NewLocal(b mutex.Builder, cfg mutex.Config, opts ...LocalOption) (*Local, e
 	if o.inj == nil {
 		o.inj = failure.NewInjector()
 	}
+	o.clk = vclock.Or(o.clk)
 	l := &Local{
 		net: &localNet{
 			boxes: make(map[mutex.ID]*mailbox[runtime.Envelope], len(cfg.IDs)),
 			inj:   o.inj,
+			clk:   o.clk,
 			stop:  make(chan struct{}),
 		},
 		nodes: make(map[mutex.ID]*runtime.Node, len(cfg.IDs)),
@@ -246,7 +260,7 @@ func NewLocal(b mutex.Builder, cfg mutex.Config, opts ...LocalOption) (*Local, e
 		l.net.boxes[id] = newMailbox[runtime.Envelope]()
 	}
 	for _, id := range cfg.IDs {
-		n, err := runtime.Start(id, b, cfg, localLink{id: id, net: l.net}, l.sink)
+		n, err := runtime.Start(id, b, cfg, localLink{id: id, net: l.net}, l.sink, runtime.WithClock(o.clk))
 		if err != nil {
 			l.Close()
 			return nil, err
@@ -254,6 +268,9 @@ func NewLocal(b mutex.Builder, cfg mutex.Config, opts ...LocalOption) (*Local, e
 		l.nodes[id] = n
 	}
 	if o.fcfg != nil {
+		if o.fcfg.Clock == nil {
+			o.fcfg.Clock = o.clk
+		}
 		for id, n := range l.nodes {
 			node := n
 			hbSend := func(to mutex.ID, m mutex.Message) error {

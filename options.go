@@ -8,7 +8,27 @@ import (
 	"dagmutex/internal/failure"
 	"dagmutex/internal/telemetry"
 	"dagmutex/internal/transport"
+	"dagmutex/internal/vclock"
 )
+
+// Clock is the time source a cluster or lock service runs on: grant
+// timestamps, lease deadlines, sweeper cadence, heartbeat ticks and
+// delay-line deadlines all go through it. The default is the system
+// clock; NewVirtualClock returns a deterministic one for tests and
+// simulation. Attach with WithClock.
+type Clock = vclock.Clock
+
+// VirtualClock is a deterministic, manually advanced Clock: time stands
+// still until Advance (or Step) fires the timers due, in order, on the
+// advancing goroutine. A cluster opened with WithClock(v) does all of
+// its timing — lease expiry, failure detection, rebalance ticks —
+// exactly when the test advances v, turning timing-dependent tests and
+// simulated-hours scenarios into deterministic, wall-clock-fast code.
+type VirtualClock = vclock.Virtual
+
+// NewVirtualClock returns a virtual clock at its epoch. Advance it with
+// VirtualClock.Advance; nothing fires until then.
+func NewVirtualClock() *VirtualClock { return vclock.NewVirtual() }
 
 // Event is one failure-recovery observation (peer suspected, probe,
 // token regeneration, reorientation, ...), delivered to the callback
@@ -104,11 +124,26 @@ type openOptions struct {
 	telemetry *Telemetry
 	trace     func(TraceEvent)
 	debugAddr *string
+	clock     Clock
 }
 
 // WithTransport selects the substrate: Local (default) or TCP(listen).
 func WithTransport(t TransportSpec) Option {
 	return func(o *openOptions) { o.transport = t }
+}
+
+// WithClock runs the opened cluster or lock service on c: grant
+// timestamps, lease deadlines and the sweeper, heartbeat failure
+// detection, proxy expiry and local delay lines all read time from it.
+// Pass a NewVirtualClock to make every timer deterministic — nothing
+// expires or ticks until the test advances the clock. Applies to Open
+// and OpenLockService on the Local substrate only; the TCP substrate's
+// sockets live on real time, so combining WithClock with
+// WithTransport(TCP(...)) is an error. For pure protocol simulation at
+// scale (thousands of nodes, seeded fault schedules), see
+// internal/simharness and `dagsim -virtual`.
+func WithClock(c Clock) Option {
+	return func(o *openOptions) { o.clock = c }
 }
 
 // WithFailureDetection arms the failure subsystem: every member runs a
